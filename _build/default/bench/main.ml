@@ -1,0 +1,798 @@
+(* Benchmark harness: regenerates every figure of the paper's evaluation
+   (§5) and times the core kernels with Bechamel.
+
+     dune exec bench/main.exe            full reproduction (several minutes)
+     dune exec bench/main.exe -- --fast  scaled-down run (~2 minutes)
+     dune exec bench/main.exe -- --only fig9,fig11
+
+   With --csv DIR, each printed table is also written as DIR/<name>.csv.
+
+   Sections:
+     fig7   §5.1 right-turn worked example (before/after, Φ5 counterexample)
+     fig18  Appendix C left-turn worked example (Φ12)
+     fig8   DPO loss / accuracy / marginal preference over epochs (seeds)
+     fig9   specifications satisfied vs DPO epoch (training + validation)
+     fig11  empirical P_Φ in the simulator, before vs after fine-tuning
+     fig12  vision confidence→accuracy mapping, sim vs real
+     fig13  detection accuracy by weather/light condition
+     shield     extension: runtime safety shield under perception noise
+     abl-rank   ablation: LoRA rank
+     abl-decode ablation: grammar-constrained vs unconstrained decoding
+     abl-repair baseline: specification-guided repair vs fine-tuning
+     abl-rl     baseline: REINFORCE with verifier reward vs DPO
+     abl-arch   ablation: bag-of-words vs GRU conditioner
+     iter-dpo   extension: iterative DPO-AF
+     micro  Bechamel timings of the core kernels *)
+
+open Dpoaf_driving
+module Pipeline = Dpoaf_pipeline
+module Trainer = Dpoaf_dpo.Trainer
+module MC = Dpoaf_automata.Model_checker
+module Rng = Dpoaf_util.Rng
+module Stats = Dpoaf_util.Stats
+module Table = Dpoaf_util.Table
+
+let fast = Array.exists (( = ) "--fast") Sys.argv
+
+let only =
+  let rec find i =
+    if i >= Array.length Sys.argv - 1 then None
+    else if Sys.argv.(i) = "--only" then
+      Some (String.split_on_char ',' Sys.argv.(i + 1))
+    else find (i + 1)
+  in
+  find 1
+
+let enabled name = match only with None -> true | Some l -> List.mem name l
+
+let csv_dir =
+  let rec find i =
+    if i >= Array.length Sys.argv - 1 then None
+    else if Sys.argv.(i) = "--csv" then Some Sys.argv.(i + 1)
+    else find (i + 1)
+  in
+  find 1
+
+(* print a table and, with --csv DIR, also write DIR/<name>.csv *)
+let emit name table =
+  Table.print table;
+  match csv_dir with
+  | None -> ()
+  | Some dir ->
+      if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+      let path = Filename.concat dir (name ^ ".csv") in
+      Dpoaf_util.Csv.write path ~header:(Table.header table) (Table.rows table);
+      Printf.printf "(wrote %s)\n" path
+
+let section name title =
+  if enabled name then begin
+    Printf.printf "\n%s\n=== [%s] %s%s\n%s\n%!" (String.make 72 '=') name title
+      (if fast then "  (--fast)" else "")
+      (String.make 72 '=');
+    true
+  end
+  else false
+
+let wallclock f =
+  let t0 = Unix.gettimeofday () in
+  let x = f () in
+  (x, Unix.gettimeofday () -. t0)
+
+(* ------------------------------------------------------------------ *)
+(* Fig 7 / §5.1 and Fig 18 / Appendix C: worked examples               *)
+
+let worked_example name title scenario before after highlight =
+  if section name title then begin
+    let table =
+      Table.create [ "response"; "scenario"; "universal"; "failing (scenario)" ]
+    in
+    let row label steps =
+      let controller, _ = Evaluate.controller_of_steps ~name:label steps in
+      let verdicts = Evaluate.verdicts ~model:(Models.model scenario) controller in
+      let failing =
+        List.filter_map
+          (fun (n, _, v) -> if MC.is_holds v then None else Some n)
+          verdicts
+      in
+      Table.add_row table
+        [
+          label;
+          Printf.sprintf "%d/15" (15 - List.length failing);
+          Printf.sprintf "%d/15" (Evaluate.count_specs controller);
+          (if failing = [] then "-" else String.concat " " failing);
+        ];
+      controller
+    in
+    let ctrl_before = row "before fine-tuning" before in
+    let _ = row "after fine-tuning" after in
+    emit name table;
+    Printf.printf "\ncounterexample for %s (before fine-tuning):\n" highlight;
+    match
+      MC.check ~model:(Models.model scenario) ~controller:ctrl_before
+        (List.assoc highlight Specs.all)
+    with
+    | MC.Holds -> print_endline "  unexpectedly holds"
+    | MC.Fails cex ->
+        List.iter (Printf.printf "  %s\n") cex.MC.prefix_descr;
+        print_endline "  -- cycle --";
+        List.iter (Printf.printf "  %s\n") cex.MC.cycle_descr
+  end
+
+let fig7 () =
+  worked_example "fig7" "Right-turn controllers before/after fine-tuning (§5.1)"
+    Models.Traffic_light Responses.right_turn_before_ft Responses.right_turn_after_ft
+    "phi_5"
+
+let fig18 () =
+  worked_example "fig18" "Left-turn controllers before/after fine-tuning (App. C)"
+    Models.Left_turn_light Responses.left_turn_before_ft Responses.left_turn_after_ft
+    "phi_12"
+
+(* ------------------------------------------------------------------ *)
+(* Fig 8 + Fig 9: the DPO-AF training experiment                       *)
+
+type training_artifacts = {
+  corpus : Pipeline.Corpus.t;
+  reference : Dpoaf_lm.Model.t;
+  result : Pipeline.Dpoaf.result;
+  epochs : int;
+  checkpoint_every : int;
+}
+
+let artifacts = ref None
+
+let train_artifacts () =
+  match !artifacts with
+  | Some a -> a
+  | None ->
+      let seeds = if fast then [ 1; 2 ] else [ 1; 2; 3; 4; 5 ] in
+      let epochs = if fast then 60 else 200 in
+      let checkpoint_every = if fast then 10 else 20 in
+      let corpus = Pipeline.Corpus.build () in
+      let rng = Rng.create 2024 in
+      Printf.printf "pre-training the language model...\n%!";
+      let reference, t_pre =
+        wallclock (fun () -> Pipeline.Corpus.pretrained_model rng corpus)
+      in
+      Printf.printf "  done in %.1fs\n%!" t_pre;
+      let feedback = Pipeline.Feedback.create () in
+      let config =
+        {
+          Pipeline.Dpoaf.responses_per_task = (if fast then 16 else 24);
+          temperature = 1.0;
+          eval_samples = (if fast then 8 else 16);
+          trainer =
+            { Trainer.default_config with epochs; checkpoint_every; lr = 2e-3 };
+        }
+      in
+      Printf.printf
+        "collecting verification-ranked pairs and training %d seed(s)...\n%!"
+        (List.length seeds);
+      let result, t_train =
+        wallclock (fun () ->
+            Pipeline.Dpoaf.run ~config ~corpus ~feedback ~reference ~seeds rng)
+      in
+      let hits, misses = Pipeline.Feedback.cache_stats feedback in
+      Printf.printf
+        "  done in %.1fs — %d preference pairs, %d verifier calls (%d cached)\n%!"
+        t_train result.Pipeline.Dpoaf.pairs_used misses hits;
+      let a = { corpus; reference; result; epochs; checkpoint_every } in
+      artifacts := Some a;
+      a
+
+let fig8 () =
+  if section "fig8" "DPO loss, accuracy and marginal preference (Figure 8)" then begin
+    let a = train_artifacts () in
+    let runs = a.result.Pipeline.Dpoaf.runs in
+    let stat_at epoch f =
+      List.map
+        (fun run ->
+          let s = List.find (fun s -> s.Trainer.epoch = epoch) run.Trainer.stats in
+          f s)
+        runs
+    in
+    let table =
+      Table.create
+        [ "epoch"; "loss mean"; "loss [min,max]"; "accuracy"; "acc [min,max]";
+          "margin"; "margin [min,max]" ]
+    in
+    let epochs_to_show =
+      List.filter (fun e -> e > 0)
+        (List.init
+           ((a.epochs / a.checkpoint_every) + 1)
+           (fun i -> i * a.checkpoint_every))
+    in
+    List.iter
+      (fun epoch ->
+        let range f =
+          let xs = stat_at epoch f in
+          let lo, hi = Stats.min_max xs in
+          (Stats.mean xs, lo, hi)
+        in
+        let lm, ll, lh = range (fun s -> s.Trainer.loss) in
+        let am, al, ah = range (fun s -> s.Trainer.accuracy) in
+        let mm, ml, mh = range (fun s -> s.Trainer.margin) in
+        Table.add_row table
+          [
+            string_of_int epoch;
+            Printf.sprintf "%.4f" lm;
+            Printf.sprintf "[%.4f, %.4f]" ll lh;
+            Printf.sprintf "%.3f" am;
+            Printf.sprintf "[%.3f, %.3f]" al ah;
+            Printf.sprintf "%.2f" mm;
+            Printf.sprintf "[%.2f, %.2f]" ml mh;
+          ])
+      epochs_to_show;
+    emit "fig8" table;
+    Printf.printf
+      "\nexpected shape (paper Fig 8): loss decreases toward 0, accuracy rises\n\
+       toward 1, marginal preference grows from 0; seed bands stay narrow.\n"
+  end
+
+let fig9 () =
+  if section "fig9" "Specifications satisfied vs DPO epoch (Figure 9)" then begin
+    let a = train_artifacts () in
+    let table =
+      Table.create
+        [ "epoch"; "training /15"; "training %"; "validation /15"; "validation %" ]
+    in
+    List.iter
+      (fun c ->
+        Table.add_row table
+          [
+            string_of_int c.Pipeline.Dpoaf.epoch;
+            Printf.sprintf "%.2f" c.Pipeline.Dpoaf.training_score;
+            Printf.sprintf "%.0f%%" (100.0 *. c.Pipeline.Dpoaf.training_score /. 15.0);
+            Printf.sprintf "%.2f" c.Pipeline.Dpoaf.validation_score;
+            Printf.sprintf "%.0f%%" (100.0 *. c.Pipeline.Dpoaf.validation_score /. 15.0);
+          ])
+      a.result.Pipeline.Dpoaf.curve;
+    emit "fig9" table;
+    Printf.printf
+      "\nexpected shape (paper Fig 9): both curves rise from ≈60-70%% toward\n\
+       ≥90%% as fine-tuning progresses, validation tracking training.\n"
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Fig 11: empirical satisfaction rates in the simulator               *)
+
+let fig11 () =
+  if section "fig11" "Empirical P_Φ before vs after fine-tuning (Figure 11)" then begin
+    let rollouts = if fast then 150 else 500 in
+    let model = Models.model Models.Traffic_light in
+    let mk name steps = fst (Evaluate.controller_of_steps ~name steps) in
+    let config =
+      { Dpoaf_sim.Empirical.rollouts; steps = 40;
+        noise = { Dpoaf_sim.World.miss_rate = 0.02; false_rate = 0.01 }; seed = 7 }
+    in
+    let eval c =
+      Dpoaf_sim.Empirical.evaluate ~model ~controller:c ~specs:Specs.first_five config
+    in
+    let before = eval (mk "before" Responses.right_turn_before_ft) in
+    let after = eval (mk "after" Responses.right_turn_after_ft) in
+    let table = Table.create [ "spec"; "before FT"; "after FT"; "delta" ] in
+    List.iter2
+      (fun (name, b) (_, a) ->
+        Table.add_row table
+          [ name; Printf.sprintf "%.3f" b; Printf.sprintf "%.3f" a;
+            Printf.sprintf "%+.3f" (a -. b) ])
+      before after;
+    emit "fig11" table;
+    Printf.printf
+      "\nexpected shape (paper Fig 11): every specification's satisfaction\n\
+       rate is at least as high after fine-tuning (%d rollouts, 2%% missed /\n\
+       1%% false detections).\n" rollouts
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Fig 12 and Fig 13: vision consistency                               *)
+
+let fig12 () =
+  if section "fig12" "Vision confidence→accuracy mapping, sim vs real (Figure 12)"
+  then begin
+    let n = if fast then 20000 else 50000 in
+    let sim =
+      Dpoaf_vision.Detector.detect_dataset (Rng.create 1) Dpoaf_vision.Detector.Sim
+        Dpoaf_vision.Detector.Clear ~n
+    in
+    let real =
+      Dpoaf_vision.Detector.detect_dataset (Rng.create 2) Dpoaf_vision.Detector.Real
+        Dpoaf_vision.Detector.Clear ~n
+    in
+    let sc = Dpoaf_vision.Calibration.curve sim in
+    let rc = Dpoaf_vision.Calibration.curve real in
+    let table = Table.create [ "confidence"; "sim accuracy"; "real accuracy"; "gap" ] in
+    List.iter2
+      (fun s r ->
+        if s.Dpoaf_vision.Calibration.count >= 30
+           && r.Dpoaf_vision.Calibration.count >= 30
+        then
+          Table.add_row table
+            [
+              Printf.sprintf "%.1f-%.1f" s.Dpoaf_vision.Calibration.lo
+                s.Dpoaf_vision.Calibration.hi;
+              Printf.sprintf "%.3f" s.Dpoaf_vision.Calibration.accuracy;
+              Printf.sprintf "%.3f" r.Dpoaf_vision.Calibration.accuracy;
+              Printf.sprintf "%.3f"
+                (abs_float
+                   (s.Dpoaf_vision.Calibration.accuracy
+                   -. r.Dpoaf_vision.Calibration.accuracy));
+            ])
+      sc rc;
+    emit "fig12" table;
+    Printf.printf
+      "\nmax gap %.3f — %s (paper Fig 12: the two mappings approximately agree,\n\
+       justifying sim-to-real transfer of the verified controllers).\n"
+      (Dpoaf_vision.Calibration.max_gap sc rc)
+      (if Dpoaf_vision.Calibration.consistent sc rc then "consistent"
+       else "NOT consistent")
+  end
+
+let fig13 () =
+  if section "fig13" "Detection accuracy by condition, sim vs real (Figure 13)"
+  then begin
+    let n = if fast then 5000 else 20000 in
+    let table = Table.create [ "condition"; "sim"; "real" ] in
+    List.iter
+      (fun cond ->
+        let acc domain seed =
+          Dpoaf_vision.Detector.accuracy
+            (Dpoaf_vision.Detector.detect_dataset (Rng.create seed) domain cond ~n)
+        in
+        Table.add_row table
+          [
+            Dpoaf_vision.Detector.condition_name cond;
+            Printf.sprintf "%.3f" (acc Dpoaf_vision.Detector.Sim 11);
+            Printf.sprintf "%.3f" (acc Dpoaf_vision.Detector.Real 12);
+          ])
+      Dpoaf_vision.Detector.all_conditions;
+    emit "fig13" table;
+    Printf.printf
+      "\nexpected shape (paper Fig 13): accuracy degrades from clear to rain to\n\
+       night, similarly in both domains.\n"
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Ablations                                                            *)
+
+let copy_into_rank corpus reference rank =
+  (* clone the pre-trained weights into a model with a different adapter
+     rank (the adapter starts at zero either way) *)
+  let open Dpoaf_tensor in
+  let cfg = reference.Dpoaf_lm.Model.config in
+  let m =
+    Dpoaf_lm.Model.create (Rng.create 0)
+      { cfg with Dpoaf_lm.Model.lora_rank = rank }
+      corpus.Pipeline.Corpus.vocab
+  in
+  let copy dst src =
+    for i = 0 to Tensor.numel dst - 1 do
+      Tensor.set dst i (Tensor.get src i)
+    done
+  in
+  copy m.Dpoaf_lm.Model.embedding reference.Dpoaf_lm.Model.embedding;
+  copy m.Dpoaf_lm.Model.out.Lora.base reference.Dpoaf_lm.Model.out.Lora.base;
+  copy m.Dpoaf_lm.Model.bias reference.Dpoaf_lm.Model.bias;
+  m
+
+let ablation_rank () =
+  if section "abl-rank" "Ablation: LoRA adapter rank" then begin
+    let a = train_artifacts () in
+    let feedback = Pipeline.Feedback.create () in
+    let rng = Rng.create 31 in
+    let pairs =
+      Pipeline.Dpoaf.collect_pairs a.corpus feedback a.reference rng
+        ~m:(if fast then 12 else 16) Tasks.Training
+    in
+    let ranks = if fast then [ 1; 4 ] else [ 1; 2; 4; 8 ] in
+    let epochs = if fast then 40 else 80 in
+    let table =
+      Table.create [ "rank"; "final loss"; "final accuracy"; "training score /15" ]
+    in
+    List.iter
+      (fun rank ->
+        let reference = copy_into_rank a.corpus a.reference rank in
+        let run =
+          Trainer.train ~reference ~pairs
+            { Trainer.default_config with epochs; checkpoint_every = 0; lr = 2e-3 }
+            ~seed:1
+        in
+        let last = List.nth run.Trainer.stats (List.length run.Trainer.stats - 1) in
+        let score =
+          Pipeline.Dpoaf.mean_specs_satisfied a.corpus feedback run.Trainer.final
+            (Rng.create 32) ~samples:(if fast then 8 else 16) Tasks.Training
+        in
+        Table.add_row table
+          [
+            string_of_int rank;
+            Printf.sprintf "%.4f" last.Trainer.loss;
+            Printf.sprintf "%.3f" last.Trainer.accuracy;
+            Printf.sprintf "%.2f" score;
+          ])
+      ranks;
+    emit "shield" table;
+    print_endline "\nhigher ranks fit the preferences faster; rank 4 (the default)";
+    print_endline "already saturates on this task family."
+  end
+
+let ablation_decoding () =
+  if section "abl-decode" "Ablation: grammar-constrained vs unconstrained decoding"
+  then begin
+    let a = train_artifacts () in
+    let setup = Pipeline.Corpus.setup a.corpus (Tasks.find "right_turn_tl") in
+    let snap = Dpoaf_lm.Sampler.snapshot a.reference in
+    let vocab = a.corpus.Pipeline.Corpus.vocab in
+    let vocab_size = Dpoaf_lm.Vocab.size vocab in
+    let all_tokens = List.init vocab_size Fun.id in
+    let rng = Rng.create 33 in
+    let n = if fast then 300 else 1000 in
+    (* unconstrained: sample from the full softmax until <eos> or length 60 *)
+    let unconstrained_valid = ref 0 in
+    for _ = 1 to n do
+      let rec go prefix len =
+        if len >= 60 then List.rev prefix
+        else begin
+          let context =
+            Dpoaf_lm.Model.context_of a.reference ~prompt:setup.Pipeline.Corpus.prompt
+              ~prefix:(List.rev prefix)
+          in
+          let probs =
+            Dpoaf_lm.Sampler.step_distribution snap ~context ~allowed:all_tokens
+              ~temperature:1.0
+          in
+          let x = Rng.float rng in
+          let tok =
+            let acc = ref 0.0 in
+            let chosen = ref (-1) in
+            Array.iteri
+              (fun i p ->
+                if !chosen < 0 then begin
+                  acc := !acc +. p;
+                  if x < !acc then chosen := i
+                end)
+              probs;
+            if !chosen < 0 then vocab_size - 1 else !chosen
+          in
+          if tok = Dpoaf_lm.Vocab.eos vocab then List.rev (tok :: prefix)
+          else go (tok :: prefix) (len + 1)
+        end
+      in
+      let tokens = go [] 0 in
+      if
+        Dpoaf_lm.Grammar.accepts setup.Pipeline.Corpus.grammar
+          ~min_clauses:setup.Pipeline.Corpus.min_clauses
+          ~max_clauses:setup.Pipeline.Corpus.max_clauses tokens
+      then incr unconstrained_valid
+    done;
+    Printf.printf
+      "unconstrained decoding: %d/%d samples are well-formed step lists (%.1f%%)\n"
+      !unconstrained_valid n
+      (100.0 *. float_of_int !unconstrained_valid /. float_of_int n);
+    print_endline "constrained decoding:   every sample is well-formed by construction";
+    print_endline "\n(the paper's pipeline depends on parseable responses; constrained";
+    print_endline "decoding moves that burden from rejection sampling to the grammar)"
+  end
+
+let shield_section () =
+  if section "shield" "Extension: runtime safety shield in the simulator" then begin
+    let rollouts = if fast then 150 else 500 in
+    let model = Models.model Models.Traffic_light in
+    let controller, _ =
+      Evaluate.controller_of_steps ~name:"before" Responses.right_turn_before_ft
+    in
+    let shield =
+      Dpoaf_sim.Shield.create ~specs:(List.map snd Specs.all) ~actions:Vocab.actions
+    in
+    let config noise =
+      { Dpoaf_sim.Empirical.rollouts; steps = 40; noise; seed = 51 }
+    in
+    let mild = { Dpoaf_sim.World.miss_rate = 0.02; false_rate = 0.01 } in
+    let heavy = { Dpoaf_sim.World.miss_rate = 0.15; false_rate = 0.05 } in
+    let eval ?shield noise =
+      Dpoaf_sim.Empirical.evaluate ?shield ~model ~controller
+        ~specs:Specs.first_five (config noise)
+    in
+    let table =
+      Table.create
+        [ "spec"; "unshielded (mild)"; "shielded (mild)"; "unshielded (heavy)";
+          "shielded (heavy)" ]
+    in
+    let u_mild = eval mild and s_mild = eval ~shield mild in
+    let u_heavy = eval heavy and s_heavy = eval ~shield heavy in
+    List.iteri
+      (fun i (name, _) ->
+        let at rates = Printf.sprintf "%.3f" (snd (List.nth rates i)) in
+        Table.add_row table [ name; at u_mild; at s_mild; at u_heavy; at s_heavy ])
+      u_mild;
+    emit "abl-rank" table;
+    print_endline "\nthe shield enforces the invariant rules at runtime even for the";
+    print_endline "flawed pre-fine-tuning controller; residual violations under";
+    print_endline "heavy noise come from hazards the vehicle never perceived.";
+    print_endline "(training-time fine-tuning and runtime shielding compose.)"
+  end
+
+let ablation_repair () =
+  if section "abl-repair"
+       "Baseline: specification-guided controller repair vs fine-tuning"
+  then begin
+    let a = train_artifacts () in
+    let feedback = Pipeline.Feedback.create () in
+    let samples = if fast then 10 else 20 in
+    let eval ?harden model split =
+      Pipeline.Dpoaf.mean_specs_satisfied ?harden a.corpus feedback model
+        (Rng.create 41) ~samples split
+    in
+    let final =
+      (List.hd a.result.Pipeline.Dpoaf.runs).Trainer.final
+    in
+    let table = Table.create [ "policy"; "training /15"; "validation /15" ] in
+    let row label model harden =
+      Table.add_row table
+        [
+          label;
+          Printf.sprintf "%.2f" (eval ?harden:(Some harden) model Tasks.Training);
+          Printf.sprintf "%.2f" (eval ?harden:(Some harden) model Tasks.Validation);
+        ]
+    in
+    row "pre-trained" a.reference false;
+    row "pre-trained + repair" a.reference true;
+    row "DPO fine-tuned" final false;
+    row "DPO fine-tuned + repair" final true;
+    emit "abl-repair" table;
+    print_endline "\npost-hoc repair hardens each sampled controller's invariant";
+    print_endline "(safety) rules but leaves the generator careless; fine-tuning";
+    print_endline "improves the distribution itself, and the two compose."
+  end
+
+let ablation_rl () =
+  if section "abl-rl" "Baseline: REINFORCE with verifier reward vs DPO" then begin
+    let a = train_artifacts () in
+    let feedback = Pipeline.Feedback.create () in
+    let tasks = Pipeline.Dpoaf.reinforce_tasks a.corpus feedback Tasks.Training in
+    let epochs = if fast then 60 else 150 in
+    let config =
+      { Dpoaf_dpo.Reinforce.default_config with epochs; samples_per_task = 8 }
+    in
+    let run, elapsed =
+      wallclock (fun () -> Dpoaf_dpo.Reinforce.train ~reference:a.reference ~tasks config ~seed:1)
+    in
+    let table = Table.create [ "epoch"; "mean verifier reward" ] in
+    List.iter
+      (fun s ->
+        if s.Dpoaf_dpo.Reinforce.epoch mod (max 1 (epochs / 10)) = 0 then
+          Table.add_row table
+            [
+              string_of_int s.Dpoaf_dpo.Reinforce.epoch;
+              Printf.sprintf "%.3f" s.Dpoaf_dpo.Reinforce.mean_reward;
+            ])
+      run.Dpoaf_dpo.Reinforce.stats;
+    emit "abl-rl" table;
+    let samples = if fast then 10 else 16 in
+    let eval model split =
+      Pipeline.Dpoaf.mean_specs_satisfied a.corpus feedback model (Rng.create 43)
+        ~samples split
+    in
+    let dpo_final = (List.hd a.result.Pipeline.Dpoaf.runs).Trainer.final in
+    Printf.printf
+      "\nfinal sampled scores (training / validation):\n\
+      \  REINFORCE   %.2f / %.2f   (%.0fs)\n\
+      \  DPO         %.2f / %.2f\n"
+      (eval run.Dpoaf_dpo.Reinforce.final Tasks.Training)
+      (eval run.Dpoaf_dpo.Reinforce.final Tasks.Validation)
+      elapsed
+      (eval dpo_final Tasks.Training)
+      (eval dpo_final Tasks.Validation);
+    print_endline "\nboth automated-feedback strategies lift specification";
+    print_endline "satisfaction; DPO gets there offline from a fixed pair set,";
+    print_endline "REINFORCE needs fresh on-policy verification every epoch."
+  end
+
+let ablation_arch () =
+  if section "abl-arch" "Ablation: bag-of-words vs GRU conditioner" then begin
+    let corpus = Pipeline.Corpus.build () in
+    let per_task = if fast then 25 else 40 in
+    let pre_epochs = if fast then 15 else 30 in
+    let dpo_epochs = if fast then 30 else 60 in
+    let table =
+      Table.create
+        [ "arch"; "pre-train s"; "pre-FT /15"; "DPO s"; "post-FT /15" ]
+    in
+    List.iter
+      (fun (label, arch) ->
+        let feedback = Pipeline.Feedback.create () in
+        let rng = Rng.create 61 in
+        let config_lm =
+          { Dpoaf_lm.Model.default_config with Dpoaf_lm.Model.arch }
+        in
+        let reference, t_pre =
+          wallclock (fun () ->
+              Pipeline.Corpus.pretrained_model ~config:config_lm ~per_task
+                ~epochs:pre_epochs rng corpus)
+        in
+        let pre =
+          Pipeline.Dpoaf.mean_specs_satisfied corpus feedback reference
+            (Rng.create 62) ~samples:10 Tasks.Training
+        in
+        let config =
+          {
+            Pipeline.Dpoaf.responses_per_task = 12;
+            temperature = 1.0;
+            eval_samples = 10;
+            trainer =
+              { Trainer.default_config with epochs = dpo_epochs;
+                checkpoint_every = 0; lr = 2e-3 };
+          }
+        in
+        let result, t_dpo =
+          wallclock (fun () ->
+              Pipeline.Dpoaf.run ~config ~corpus ~feedback ~reference ~seeds:[ 1 ]
+                (Rng.create 63))
+        in
+        let post =
+          Pipeline.Dpoaf.mean_specs_satisfied corpus feedback
+            (List.hd result.Pipeline.Dpoaf.runs).Trainer.final (Rng.create 64)
+            ~samples:10 Tasks.Training
+        in
+        Table.add_row table
+          [
+            label;
+            Printf.sprintf "%.1f" t_pre;
+            Printf.sprintf "%.2f" pre;
+            Printf.sprintf "%.1f" t_dpo;
+            Printf.sprintf "%.2f" post;
+          ])
+      [ ("bow (default)", Dpoaf_lm.Model.Bow); ("gru", Dpoaf_lm.Model.Gru) ];
+    emit "abl-arch" table;
+    print_endline "\nthe order-aware GRU conditioner reaches comparable specification";
+    print_endline "satisfaction at roughly an order of magnitude more compute; the";
+    print_endline "windowed mean-embedding default is the better trade-off at this";
+    print_endline "scale, which is why it is the pipeline default."
+  end
+
+let iterative_dpo () =
+  if section "iter-dpo" "Extension: iterative DPO-AF (resample each round)" then begin
+    let a = train_artifacts () in
+    let feedback = Pipeline.Feedback.create () in
+    let config =
+      {
+        Pipeline.Dpoaf.responses_per_task = (if fast then 12 else 16);
+        temperature = 1.0;
+        eval_samples = (if fast then 8 else 12);
+        trainer =
+          { Trainer.default_config with epochs = (if fast then 30 else 60);
+            checkpoint_every = 0; lr = 2e-3 };
+      }
+    in
+    let rounds, _final =
+      Pipeline.Dpoaf.run_iterative ~config ~rounds:3 ~corpus:a.corpus ~feedback
+        ~reference:a.reference (Rng.create 44)
+    in
+    let table =
+      Table.create [ "round"; "new pairs"; "training /15"; "validation /15" ]
+    in
+    List.iter
+      (fun r ->
+        Table.add_row table
+          [
+            string_of_int r.Pipeline.Dpoaf.round;
+            string_of_int r.Pipeline.Dpoaf.pairs;
+            Printf.sprintf "%.2f" r.Pipeline.Dpoaf.training_score;
+            Printf.sprintf "%.2f" r.Pipeline.Dpoaf.validation_score;
+          ])
+      rounds;
+    emit "iter-dpo" table;
+    print_endline "\nresampling from the updated policy keeps mining informative";
+    print_endline "pairs round after round — the paper's \"unlimited data points\"";
+    print_endline "argument (§4.3) realized as a closed loop."
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks                                            *)
+
+let micro () =
+  if section "micro" "Bechamel timings of the core kernels" then begin
+    let open Bechamel in
+    let open Toolkit in
+    let model = Models.model Models.Traffic_light in
+    let universal = Models.universal () in
+    let controller, _ =
+      Evaluate.controller_of_steps ~name:"after" Responses.right_turn_after_ft
+    in
+    let phi12 = Specs.phi 12 in
+    let corpus = Pipeline.Corpus.build () in
+    let lm =
+      Dpoaf_lm.Model.create (Rng.create 1) Dpoaf_lm.Model.default_config
+        corpus.Pipeline.Corpus.vocab
+    in
+    let setup = Pipeline.Corpus.setup corpus (Tasks.find "right_turn_tl") in
+    let snap = Dpoaf_lm.Sampler.snapshot lm in
+    let word =
+      let world = Dpoaf_sim.World.create ~model (Rng.create 2) in
+      Dpoaf_sim.Runner.to_symbols
+        (Dpoaf_sim.Runner.run world controller ~steps:40 (Rng.create 3))
+    in
+    let rng = Rng.create 4 in
+    let tests =
+      Test.make_grouped ~name:"dpoaf"
+        [
+          Test.make ~name:"product+kripke"
+            (Staged.stage (fun () ->
+                 Dpoaf_automata.Product.to_kripke
+                   (Dpoaf_automata.Product.build ~model ~controller)));
+          Test.make ~name:"tableau(neg phi12)"
+            (Staged.stage (fun () ->
+                 Dpoaf_automata.Tableau.gnba_of_ltl (Dpoaf_logic.Ltl.neg phi12)));
+          Test.make ~name:"check-1-spec"
+            (Staged.stage (fun () -> MC.check ~model ~controller phi12));
+          Test.make ~name:"verify-15-specs-universal"
+            (Staged.stage (fun () -> Evaluate.count_specs ~model:universal controller));
+          Test.make ~name:"ltlf-eval-40-steps"
+            (Staged.stage (fun () -> Dpoaf_logic.Trace.eval_finite (Specs.phi 5) word));
+          Test.make ~name:"sample-response"
+            (Staged.stage (fun () ->
+                 Dpoaf_lm.Sampler.sample snap rng ~prompt:setup.Pipeline.Corpus.prompt
+                   ~grammar:setup.Pipeline.Corpus.grammar
+                   ~min_clauses:setup.Pipeline.Corpus.min_clauses
+                   ~max_clauses:setup.Pipeline.Corpus.max_clauses ()));
+          Test.make ~name:"rollout-40-steps"
+            (Staged.stage (fun () ->
+                 let world = Dpoaf_sim.World.create ~model (Rng.create 5) in
+                 Dpoaf_sim.Runner.run world controller ~steps:40 (Rng.create 6)));
+        ]
+    in
+    let cfg =
+      Benchmark.cfg ~limit:2000
+        ~quota:(Time.second (if fast then 0.25 else 0.5))
+        ~kde:None ()
+    in
+    let raw = Benchmark.all cfg Instance.[ monotonic_clock ] tests in
+    let ols =
+      Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+    in
+    let results = Analyze.all ols Instance.monotonic_clock raw in
+    let rows = ref [] in
+    Hashtbl.iter
+      (fun name ols_result ->
+        let ns =
+          match Analyze.OLS.estimates ols_result with
+          | Some (x :: _) -> x
+          | _ -> nan
+        in
+        rows := (name, ns) :: !rows)
+      results;
+    let table = Table.create [ "kernel"; "time per call" ] in
+    List.iter
+      (fun (name, ns) ->
+        let pretty =
+          if ns >= 1e9 then Printf.sprintf "%.2f s" (ns /. 1e9)
+          else if ns >= 1e6 then Printf.sprintf "%.2f ms" (ns /. 1e6)
+          else if ns >= 1e3 then Printf.sprintf "%.2f us" (ns /. 1e3)
+          else Printf.sprintf "%.0f ns" ns
+        in
+        Table.add_row table [ name; pretty ])
+      (List.sort compare !rows);
+    emit "micro" table
+  end
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let (), elapsed =
+    wallclock (fun () ->
+        fig7 ();
+        fig18 ();
+        fig8 ();
+        fig9 ();
+        fig11 ();
+        fig12 ();
+        fig13 ();
+        shield_section ();
+        ablation_rank ();
+        ablation_decoding ();
+        ablation_repair ();
+        ablation_rl ();
+        ablation_arch ();
+        iterative_dpo ();
+        micro ())
+  in
+  Printf.printf "\nall requested sections completed in %.1fs\n" elapsed

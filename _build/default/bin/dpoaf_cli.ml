@@ -1,0 +1,275 @@
+(* Command-line interface to the DPO-AF pipeline.
+
+   dpoaf_cli tasks                        list control tasks
+   dpoaf_cli specs                        list the 15 LTL specifications
+   dpoaf_cli verify --step "..." ...      verify a response's steps
+   dpoaf_cli synthesize --task ID         sample + rank responses
+   dpoaf_cli finetune --out model.ckpt    run the full DPO-AF pipeline
+   dpoaf_cli simulate --task ID           empirical P_Φ in the simulator
+   dpoaf_cli smv --step "..." ...         export a controller to NuSMV *)
+
+open Cmdliner
+open Dpoaf_driving
+module MC = Dpoaf_automata.Model_checker
+module Pipeline = Dpoaf_pipeline
+module Rng = Dpoaf_util.Rng
+module Table = Dpoaf_util.Table
+
+(* ---------------- shared arguments ---------------- *)
+
+let scenario_of_string = function
+  | "traffic_light" -> Some Models.Traffic_light
+  | "left_turn_light" -> Some Models.Left_turn_light
+  | "two_way_stop" -> Some Models.Two_way_stop
+  | "roundabout" -> Some Models.Roundabout
+  | "wide_median" -> Some Models.Wide_median
+  | "universal" | _ -> None
+
+let scenario_arg =
+  let doc =
+    "World model to verify against: traffic_light, left_turn_light, \
+     two_way_stop, roundabout, wide_median, or universal (default)."
+  in
+  Arg.(value & opt string "universal" & info [ "scenario" ] ~docv:"MODEL" ~doc)
+
+let steps_arg =
+  let doc = "One instruction step (repeatable, in order)." in
+  Arg.(value & opt_all string [] & info [ "step"; "s" ] ~docv:"TEXT" ~doc)
+
+let task_arg =
+  let doc = "Task id (see `dpoaf_cli tasks`)." in
+  Arg.(value & opt string "right_turn_tl" & info [ "task" ] ~docv:"ID" ~doc)
+
+let seed_arg =
+  Arg.(value & opt int 2024 & info [ "seed" ] ~docv:"N" ~doc:"Random seed.")
+
+let model_of_scenario name =
+  match scenario_of_string name with
+  | Some sc -> Models.model sc
+  | None -> Models.universal ()
+
+(* ---------------- tasks ---------------- *)
+
+let run_tasks () =
+  let table = Table.create [ "id"; "prompt"; "scenario"; "split" ] in
+  List.iter
+    (fun t ->
+      Table.add_row table
+        [
+          t.Tasks.id;
+          t.Tasks.prompt;
+          Models.scenario_name t.Tasks.scenario;
+          (match t.Tasks.split with Tasks.Training -> "training" | Tasks.Validation -> "validation");
+        ])
+    Tasks.all;
+  Table.print table
+
+let tasks_cmd =
+  Cmd.v (Cmd.info "tasks" ~doc:"List the control tasks.")
+    Term.(const run_tasks $ const ())
+
+(* ---------------- specs ---------------- *)
+
+let run_specs () =
+  List.iter
+    (fun (name, phi) ->
+      Printf.printf "%-8s %s\n" name (Dpoaf_logic.Ltl.to_string phi))
+    Specs.all
+
+let specs_cmd =
+  Cmd.v (Cmd.info "specs" ~doc:"List the 15 LTL rule-book specifications.")
+    Term.(const run_specs $ const ())
+
+(* ---------------- verify ---------------- *)
+
+let run_verify steps scenario =
+  let steps =
+    if steps <> [] then steps
+    else begin
+      print_endline "(no --step given: verifying the paper's §5.1 pre-fine-tuning response)";
+      Responses.right_turn_before_ft
+    end
+  in
+  let controller, stats = Evaluate.controller_of_steps ~name:"cli" steps in
+  Printf.printf "parsed %d/%d steps (%d degraded, %d dropped)\n"
+    (stats.Dpoaf_lang.Step_parser.total - stats.Dpoaf_lang.Step_parser.failed)
+    stats.Dpoaf_lang.Step_parser.total stats.Dpoaf_lang.Step_parser.degraded
+    stats.Dpoaf_lang.Step_parser.failed;
+  let model = model_of_scenario scenario in
+  let verdicts = Evaluate.verdicts ~model controller in
+  List.iter
+    (fun (name, phi, verdict) ->
+      Printf.printf "%-8s %-60s %s\n" name
+        (Dpoaf_logic.Ltl.to_string phi)
+        (match verdict with MC.Holds -> "holds" | MC.Fails _ -> "FAILS"))
+    verdicts;
+  let sat = List.length (List.filter (fun (_, _, v) -> MC.is_holds v) verdicts) in
+  Printf.printf "satisfied: %d/%d\n" sat (List.length verdicts);
+  List.iter
+    (fun (name, _, verdict) ->
+      match verdict with
+      | MC.Holds -> ()
+      | MC.Fails cex ->
+          Printf.printf "\ncounterexample for %s:\n" name;
+          List.iter (Printf.printf "  %s\n") cex.MC.prefix_descr;
+          print_endline "  -- cycle --";
+          List.iter (Printf.printf "  %s\n") cex.MC.cycle_descr)
+    (List.filteri (fun i _ -> i < 1) (List.filter (fun (_, _, v) -> not (MC.is_holds v)) verdicts))
+
+let verify_cmd =
+  Cmd.v
+    (Cmd.info "verify" ~doc:"Verify a response's steps against the rule book.")
+    Term.(const run_verify $ steps_arg $ scenario_arg)
+
+(* ---------------- synthesize ---------------- *)
+
+let run_synthesize task_id n seed =
+  let task = try Tasks.find task_id with Not_found -> failwith ("unknown task " ^ task_id) in
+  let corpus = Pipeline.Corpus.build () in
+  let rng = Rng.create seed in
+  Printf.printf "pre-training the language model (seed %d)...\n%!" seed;
+  let model = Pipeline.Corpus.pretrained_model rng corpus in
+  let feedback = Pipeline.Feedback.create () in
+  let setup = Pipeline.Corpus.setup corpus task in
+  let snap = Dpoaf_lm.Sampler.snapshot model in
+  Printf.printf "sampling %d responses for %S:\n\n" n task.Tasks.prompt;
+  List.iter
+    (fun i ->
+      let tokens =
+        Dpoaf_lm.Sampler.sample snap rng ~prompt:setup.Pipeline.Corpus.prompt
+          ~grammar:setup.Pipeline.Corpus.grammar
+          ~min_clauses:setup.Pipeline.Corpus.min_clauses
+          ~max_clauses:setup.Pipeline.Corpus.max_clauses ()
+      in
+      let score = Pipeline.Feedback.score_tokens feedback ~corpus setup tokens in
+      Printf.printf "response %d — satisfies %d/15 specifications:\n" (i + 1) score;
+      List.iteri
+        (fun j s -> Printf.printf "  %d. %s\n" (j + 1) s)
+        (Pipeline.Corpus.steps_of_tokens corpus tokens);
+      print_newline ())
+    (List.init n Fun.id)
+
+let synthesize_cmd =
+  let n_arg =
+    Arg.(value & opt int 5 & info [ "n" ] ~docv:"N" ~doc:"Number of responses.")
+  in
+  Cmd.v
+    (Cmd.info "synthesize"
+       ~doc:"Sample responses from the pre-trained model and rank them by verification.")
+    Term.(const run_synthesize $ task_arg $ n_arg $ seed_arg)
+
+(* ---------------- finetune ---------------- *)
+
+let run_finetune epochs seeds out seed =
+  let corpus = Pipeline.Corpus.build () in
+  let rng = Rng.create seed in
+  Printf.printf "pre-training the language model...\n%!";
+  let reference = Pipeline.Corpus.pretrained_model rng corpus in
+  let feedback = Pipeline.Feedback.create () in
+  let config =
+    {
+      Pipeline.Dpoaf.default_config with
+      trainer =
+        {
+          Dpoaf_dpo.Trainer.default_config with
+          epochs;
+          checkpoint_every = max 1 (epochs / 10);
+          lr = 2e-3;
+        };
+    }
+  in
+  Printf.printf "running DPO-AF (%d epochs, %d seed(s))...\n%!" epochs (List.length seeds);
+  let result = Pipeline.Dpoaf.run ~config ~corpus ~feedback ~reference ~seeds rng in
+  Printf.printf "mined %d preference pairs\n" result.Pipeline.Dpoaf.pairs_used;
+  List.iter
+    (fun c ->
+      Printf.printf "epoch %3d: training %.2f/15  validation %.2f/15\n"
+        c.Pipeline.Dpoaf.epoch c.Pipeline.Dpoaf.training_score
+        c.Pipeline.Dpoaf.validation_score)
+    result.Pipeline.Dpoaf.curve;
+  (match (result.Pipeline.Dpoaf.runs, out) with
+  | run :: _, Some path ->
+      Dpoaf_lm.Checkpoint.save run.Dpoaf_dpo.Trainer.final path;
+      Printf.printf "saved fine-tuned model to %s\n" path
+  | _ -> ())
+
+let finetune_cmd =
+  let epochs_arg =
+    Arg.(value & opt int 100 & info [ "epochs" ] ~docv:"N" ~doc:"DPO epochs.")
+  in
+  let seeds_arg =
+    Arg.(value & opt (list int) [ 1 ] & info [ "seeds" ] ~docv:"S1,S2" ~doc:"Seeds.")
+  in
+  let out_arg =
+    Arg.(value & opt (some string) None & info [ "out"; "o" ] ~docv:"FILE"
+         ~doc:"Save the fine-tuned checkpoint.")
+  in
+  Cmd.v
+    (Cmd.info "finetune" ~doc:"Run the full DPO-AF pipeline.")
+    Term.(const run_finetune $ epochs_arg $ seeds_arg $ out_arg $ seed_arg)
+
+(* ---------------- simulate ---------------- *)
+
+let run_simulate task_id rollouts steps miss false_rate seed =
+  let task = try Tasks.find task_id with Not_found -> failwith ("unknown task " ^ task_id) in
+  let model = Models.model task.Tasks.scenario in
+  let response =
+    match task_id with
+    | "left_turn_ll" -> Responses.left_turn_after_ft
+    | _ -> Responses.right_turn_after_ft
+  in
+  let controller, _ = Evaluate.controller_of_steps ~name:task_id response in
+  let config =
+    { Dpoaf_sim.Empirical.rollouts; steps;
+      noise = { Dpoaf_sim.World.miss_rate = miss; false_rate }; seed }
+  in
+  let rates =
+    Dpoaf_sim.Empirical.evaluate ~model ~controller ~specs:Specs.all config
+  in
+  Printf.printf "empirical P_Φ over %d rollouts × %d steps in %s:\n" rollouts steps
+    (Models.scenario_name task.Tasks.scenario);
+  List.iter (fun (name, rate) -> Printf.printf "  %-8s %.3f\n" name rate) rates
+
+let simulate_cmd =
+  let rollouts_arg =
+    Arg.(value & opt int 300 & info [ "rollouts" ] ~docv:"N" ~doc:"Rollouts.")
+  in
+  let steps_arg =
+    Arg.(value & opt int 40 & info [ "length" ] ~docv:"N" ~doc:"Steps per rollout.")
+  in
+  let miss_arg =
+    Arg.(value & opt float 0.02 & info [ "miss" ] ~docv:"P" ~doc:"Missed-detection rate.")
+  in
+  let false_arg =
+    Arg.(value & opt float 0.01 & info [ "false" ] ~docv:"P" ~doc:"False-detection rate.")
+  in
+  Cmd.v
+    (Cmd.info "simulate" ~doc:"Empirical evaluation in the simulated system.")
+    Term.(const run_simulate $ task_arg $ rollouts_arg $ steps_arg $ miss_arg
+          $ false_arg $ seed_arg)
+
+(* ---------------- smv ---------------- *)
+
+let run_smv steps =
+  let steps = if steps <> [] then steps else Responses.right_turn_after_ft in
+  let controller, _ = Evaluate.controller_of_steps ~name:"exported" steps in
+  print_string (Dpoaf_automata.Smv.of_controller ~name:"controller" controller
+                  ~props:Vocab.propositions)
+
+let smv_cmd =
+  Cmd.v
+    (Cmd.info "smv" ~doc:"Export a response's controller to NuSMV syntax.")
+    Term.(const run_smv $ steps_arg)
+
+(* ---------------- main ---------------- *)
+
+let () =
+  let info =
+    Cmd.info "dpoaf_cli" ~version:"1.0"
+      ~doc:"Fine-tuning language models using formal methods feedback (DPO-AF)."
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ tasks_cmd; specs_cmd; verify_cmd; synthesize_cmd; finetune_cmd;
+            simulate_cmd; smv_cmd ]))

@@ -1,0 +1,1 @@
+examples/empirical_eval.ml: Dpoaf_driving Dpoaf_logic Dpoaf_sim Dpoaf_util Empirical Evaluate Format List Models Printf Responses Runner Specs World

@@ -1,0 +1,1 @@
+examples/empirical_eval.mli:

@@ -1,0 +1,1 @@
+examples/fine_tune_demo.ml: Corpus Dpoaf Dpoaf_dpo Dpoaf_driving Dpoaf_lm Dpoaf_pipeline Dpoaf_util Feedback List Printf

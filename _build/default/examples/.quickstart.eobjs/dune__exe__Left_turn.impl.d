@@ -1,0 +1,1 @@
+examples/left_turn.ml: Dpoaf_automata Dpoaf_driving Dpoaf_logic Evaluate List Models Printf Responses Specs String

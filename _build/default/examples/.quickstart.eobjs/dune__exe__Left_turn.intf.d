@@ -1,0 +1,1 @@
+examples/left_turn.mli:

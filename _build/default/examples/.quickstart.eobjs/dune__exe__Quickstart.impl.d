@@ -1,0 +1,1 @@
+examples/quickstart.ml: Dpoaf_automata Dpoaf_logic Format Fsa Model_checker Ts

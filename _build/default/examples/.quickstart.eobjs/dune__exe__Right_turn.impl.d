@@ -1,0 +1,1 @@
+examples/right_turn.ml: Dpoaf_automata Dpoaf_driving Dpoaf_lang Dpoaf_logic Evaluate List Models Printf Responses Specs String Vocab

@@ -1,0 +1,1 @@
+examples/right_turn.mli:

@@ -1,0 +1,1 @@
+examples/vision_transfer.ml: Calibration Detector Dpoaf_util Dpoaf_vision List Printf

@@ -1,0 +1,1 @@
+examples/warehouse.ml: Dpoaf_automata Dpoaf_lang Dpoaf_logic Dpoaf_sim Dpoaf_util Glm2fsa Lexicon List Model_checker Printf Repair Step_parser String Ts

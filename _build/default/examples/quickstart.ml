@@ -1,0 +1,49 @@
+(* Quickstart: build a world model and a controller, verify the controller
+   against an LTL rule, and read the counterexample when it fails.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+open Dpoaf_automata
+module Ltl = Dpoaf_logic.Ltl
+module Symbol = Dpoaf_logic.Symbol
+
+let () =
+  (* 1. A world model: a traffic light cycling green -> yellow -> red. *)
+  let sym = Symbol.of_atoms in
+  let model =
+    Ts.make ~name:"traffic-light"
+      ~states:
+        [ ("green", sym [ "green" ]); ("yellow", sym [ "yellow" ]); ("red", sym [ "red" ]) ]
+      ~transitions:[ ("green", "yellow"); ("yellow", "red"); ("red", "green") ]
+      ()
+  in
+  Format.printf "%a@." Ts.pp model;
+
+  (* 2. A controller: wait while the light is not green, go when it is.
+     Controllers are usually built from text via Dpoaf_lang.Glm2fsa; here we
+     write the FSA directly. *)
+  let controller =
+    Fsa.make ~name:"wait-go" ~n_states:1 ~init:0
+      ~transitions:
+        [
+          { Fsa.src = 0; guard = Fsa.Gnot (Fsa.Gatom "green");
+            action = sym [ "stop" ]; dst = 0 };
+          { Fsa.src = 0; guard = Fsa.Gatom "green"; action = sym [ "go" ]; dst = 0 };
+        ]
+      ()
+  in
+  Format.printf "%a@." Fsa.pp controller;
+
+  (* 3. Verify specifications on the product automaton. *)
+  let check phi_str =
+    let phi = Ltl.parse_exn phi_str in
+    let verdict = Model_checker.check ~model ~controller phi in
+    Format.printf "spec %-28s : %a@." phi_str Model_checker.pp_verdict verdict
+  in
+  check "G (go -> green)";
+  check "G (red -> !go)";
+  check "G F go";
+  (* This one fails: the controller never goes on yellow, but the rule
+     demands movement whenever the light is not red.  The counterexample is
+     an infinite lasso trace. *)
+  check "G (!red -> F go) -> G (yellow -> go)"

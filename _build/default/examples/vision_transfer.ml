@@ -1,0 +1,59 @@
+(* Grounding controllers to the real world (§5.3, Figures 12 and 13).
+
+   The controllers' decisions depend only on visual observations, so if the
+   vision model's confidence→accuracy mapping is (approximately) the same
+   in simulation and reality, the formal guarantees transfer.  This example
+   reproduces that consistency check with the synthetic detector.
+
+   Run with: dune exec examples/vision_transfer.exe *)
+
+open Dpoaf_vision
+module Table = Dpoaf_util.Table
+module Rng = Dpoaf_util.Rng
+
+let () =
+  let n = 30_000 in
+  let sim = Detector.detect_dataset (Rng.create 1) Detector.Sim Detector.Clear ~n in
+  let real = Detector.detect_dataset (Rng.create 2) Detector.Real Detector.Clear ~n in
+  let sim_curve = Calibration.curve sim in
+  let real_curve = Calibration.curve real in
+
+  Printf.printf "confidence→accuracy mapping (%d detections per domain):\n\n" n;
+  let table = Table.create [ "confidence bin"; "sim accuracy"; "real accuracy"; "sim n"; "real n" ] in
+  List.iter2
+    (fun s r ->
+      Table.add_row table
+        [
+          Printf.sprintf "%.1f–%.1f" s.Calibration.lo s.Calibration.hi;
+          Printf.sprintf "%.3f" s.Calibration.accuracy;
+          Printf.sprintf "%.3f" r.Calibration.accuracy;
+          string_of_int s.Calibration.count;
+          string_of_int r.Calibration.count;
+        ])
+    sim_curve real_curve;
+  Table.print table;
+
+  Printf.printf "\nmax accuracy gap over populated bins: %.3f — %s\n"
+    (Calibration.max_gap sim_curve real_curve)
+    (if Calibration.consistent sim_curve real_curve then
+       "consistent: controllers transfer with their guarantees (paper §5.3)"
+     else "inconsistent: transfer not justified");
+
+  (* Figure 13: behaviour across weather / lighting conditions. *)
+  print_newline ();
+  print_endline "detection accuracy by condition (Figure 13):";
+  let table = Table.create [ "condition"; "sim"; "real" ] in
+  List.iter
+    (fun cond ->
+      let acc domain seed =
+        Detector.accuracy
+          (Detector.detect_dataset (Rng.create seed) domain cond ~n:10_000)
+      in
+      Table.add_row table
+        [
+          Detector.condition_name cond;
+          Printf.sprintf "%.3f" (acc Detector.Sim 11);
+          Printf.sprintf "%.3f" (acc Detector.Real 12);
+        ])
+    Detector.all_conditions;
+  Table.print table

@@ -1,0 +1,137 @@
+(* A second domain in ~150 lines: a warehouse robot.
+
+   The paper notes its method "is not limited to" autonomous driving; this
+   example instantiates the same machinery — vocabulary, lexicon, world
+   model, LTL rule book, GLM2FSA, model checking, ranking, repair and
+   runtime shielding — for a warehouse robot, with nothing imported from
+   the driving domain.
+
+   Run with: dune exec examples/warehouse.exe *)
+
+open Dpoaf_automata
+open Dpoaf_lang
+module Ltl = Dpoaf_logic.Ltl
+module Symbol = Dpoaf_logic.Symbol
+module Rng = Dpoaf_util.Rng
+
+(* ---- vocabulary ---- *)
+
+let props =
+  [ "obstacle ahead"; "human nearby"; "at charging station"; "battery low";
+    "package ready" ]
+
+let actions = [ "stop"; "move forward"; "pick up the package"; "dock" ]
+
+let lexicon =
+  let lex = Lexicon.create ~props ~actions in
+  Lexicon.add_synonym lex Lexicon.Proposition ~canonical:"human nearby"
+    ~phrase:"person in the aisle";
+  Lexicon.add_synonym lex Lexicon.Action ~canonical:"move forward"
+    ~phrase:"drive ahead";
+  Lexicon.add_synonym lex Lexicon.Action ~canonical:"pick up the package"
+    ~phrase:"grab the package";
+  lex
+
+(* ---- world model: aisle dynamics, hazards transient ---- *)
+
+let model =
+  let sym = Symbol.of_atoms in
+  Ts.make ~name:"warehouse"
+    ~states:
+      [
+        ("clear", sym [ "package ready" ]);
+        ("obstacle", sym [ "obstacle ahead"; "package ready" ]);
+        ("human", sym [ "human nearby"; "package ready" ]);
+        ("low_battery", sym [ "battery low"; "package ready" ]);
+        ("at_dock", sym [ "at charging station" ]);
+      ]
+    ~transitions:
+      [
+        ("clear", "clear"); ("clear", "obstacle"); ("clear", "human");
+        ("clear", "low_battery"); ("clear", "at_dock");
+        ("obstacle", "clear"); ("human", "clear");
+        ("low_battery", "at_dock"); ("low_battery", "clear");
+        ("at_dock", "clear"); ("at_dock", "at_dock");
+      ]
+    ()
+
+(* ---- rule book ---- *)
+
+let specs =
+  let a = Ltl.atom in
+  [
+    ("w1", Ltl.always (Ltl.implies (a "human nearby") (Ltl.neg (a "move forward"))));
+    ("w2", Ltl.always (Ltl.implies (a "obstacle ahead") (Ltl.neg (a "move forward"))));
+    ("w3", Ltl.always (Ltl.implies (a "battery low") (Ltl.eventually (a "stop"))));
+    ("w4",
+     Ltl.always
+       (Ltl.disj [ a "stop"; a "move forward"; a "pick up the package"; a "dock" ]));
+    ("w5",
+     Ltl.always (Ltl.implies (a "pick up the package") (a "package ready")));
+    ("w6", Ltl.always (Ltl.implies (a "dock") (a "at charging station")));
+  ]
+
+let verify label steps =
+  let clauses, _stats = Step_parser.parse_steps lexicon steps in
+  let controller = Glm2fsa.controller ~name:label clauses in
+  let verdicts = Model_checker.verify_all ~model ~controller ~specs in
+  let failing =
+    List.filter_map
+      (fun (n, _, v) -> if Model_checker.is_holds v then None else Some n)
+      verdicts
+  in
+  Printf.printf "%-22s satisfies %d/%d   failing: %s\n" label
+    (List.length specs - List.length failing)
+    (List.length specs)
+    (if failing = [] then "-" else String.concat ", " failing);
+  (controller, clauses)
+
+let () =
+  print_endline "rule book:";
+  List.iter (fun (n, phi) -> Printf.printf "  %-3s %s\n" n (Ltl.to_string phi)) specs;
+  print_newline ();
+
+  (* Two candidate responses for "deliver the package", as a language model
+     might produce them. *)
+  let careless =
+    [
+      "1. Drive ahead.";
+      "2. Grab the package.";
+    ]
+  in
+  let careful =
+    [
+      "1. If no person in the aisle and no obstacle ahead, drive ahead.";
+      "2. If the package ready is present, grab the package.";
+      "3. If the battery low is present, execute the action stop.";
+    ]
+  in
+  let careless_ctrl, careless_clauses = verify "careless response" careless in
+  let careful_ctrl, _ = verify "careful response" careful in
+  ignore careful_ctrl;
+
+  (* the verification feedback ranks the careful response first, exactly as
+     in the driving pipeline (§4.3) *)
+  let count c = Model_checker.count_satisfied ~model ~controller:c ~specs in
+  Printf.printf "\npreference pair: chosen = careful (%d), rejected = careless (%d)\n"
+    (count (fst (verify "careful (recount)" careful)))
+    (count careless_ctrl);
+
+  (* specification-guided repair of the careless response *)
+  let hardened =
+    Repair.harden ~specs:(List.map snd specs) ~all_actions:actions careless_clauses
+  in
+  let repaired = Glm2fsa.controller ~name:"careless+repair" hardened in
+  Printf.printf "after repair, the careless controller satisfies %d/%d\n"
+    (count repaired) (List.length specs);
+
+  (* the runtime shield blocks unsafe motion on the fly *)
+  let shield = Dpoaf_sim.Shield.create ~specs:(List.map snd specs) ~actions in
+  let forward = Symbol.singleton "move forward" in
+  Printf.printf "\nshield: move forward with a human nearby -> %s\n"
+    (if Dpoaf_sim.Shield.permits shield
+          ~observation:(Symbol.singleton "human nearby") forward
+     then "permitted" else "blocked");
+  Printf.printf "shield: move forward in a clear aisle    -> %s\n"
+    (if Dpoaf_sim.Shield.permits shield ~observation:Symbol.empty forward
+     then "permitted" else "blocked")

@@ -1,0 +1,1 @@
+lib/automata/buchi.ml: Array Dpoaf_logic List

@@ -1,0 +1,1 @@
+lib/automata/buchi.mli: Dpoaf_logic

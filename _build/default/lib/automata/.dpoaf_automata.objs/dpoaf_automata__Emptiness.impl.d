@@ -1,0 +1,1 @@
+lib/automata/emptiness.ml: Array Buchi Hashtbl Kripke List Queue

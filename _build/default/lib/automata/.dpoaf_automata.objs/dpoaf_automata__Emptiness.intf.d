@@ -1,0 +1,1 @@
+lib/automata/emptiness.mli: Buchi Kripke

@@ -1,0 +1,1 @@
+lib/automata/fsa.ml: Array Dpoaf_logic Format Fun List Printf

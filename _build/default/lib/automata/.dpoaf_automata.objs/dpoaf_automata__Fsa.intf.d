@@ -1,0 +1,1 @@
+lib/automata/fsa.mli: Dpoaf_logic Format

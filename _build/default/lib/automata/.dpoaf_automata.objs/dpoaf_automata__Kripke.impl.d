@@ -1,0 +1,1 @@
+lib/automata/kripke.ml: Array Dpoaf_logic Dpoaf_util Format List Printf String

@@ -1,0 +1,1 @@
+lib/automata/kripke.mli: Dpoaf_logic Dpoaf_util Format

@@ -1,0 +1,1 @@
+lib/automata/model_checker.ml: Array Buchi Dpoaf_logic Emptiness Format Kripke List Product Tableau

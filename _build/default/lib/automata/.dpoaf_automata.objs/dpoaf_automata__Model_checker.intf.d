@@ -1,0 +1,1 @@
+lib/automata/model_checker.mli: Dpoaf_logic Format Fsa Kripke Ts

@@ -1,0 +1,1 @@
+lib/automata/product.ml: Array Dpoaf_logic Format Fsa Hashtbl Kripke List Option Ts

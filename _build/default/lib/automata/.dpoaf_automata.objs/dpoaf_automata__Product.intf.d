@@ -1,0 +1,1 @@
+lib/automata/product.mli: Dpoaf_logic Format Fsa Kripke Ts

@@ -1,0 +1,1 @@
+lib/automata/satisfiability.ml: Array Buchi Dpoaf_logic Hashtbl List Option Queue Tableau

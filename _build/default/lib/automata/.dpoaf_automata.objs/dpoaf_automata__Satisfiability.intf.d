@@ -1,0 +1,1 @@
+lib/automata/satisfiability.mli: Dpoaf_logic

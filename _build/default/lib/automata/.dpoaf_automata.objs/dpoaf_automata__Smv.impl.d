@@ -1,0 +1,1 @@
+lib/automata/smv.ml: Array Buffer Dpoaf_logic Fsa Fun Kripke List Printf String

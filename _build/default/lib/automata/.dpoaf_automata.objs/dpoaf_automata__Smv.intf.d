@@ -1,0 +1,1 @@
+lib/automata/smv.mli: Dpoaf_logic Fsa Kripke

@@ -1,0 +1,1 @@
+lib/automata/smv_reader.ml: Array Buffer Dpoaf_logic Fun Kripke List Printf String

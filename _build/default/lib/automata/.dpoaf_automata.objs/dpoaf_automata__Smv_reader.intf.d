@@ -1,0 +1,1 @@
+lib/automata/smv_reader.mli: Dpoaf_logic Kripke

@@ -1,0 +1,1 @@
+lib/automata/tableau.ml: Array Buchi Dpoaf_logic Fun Hashtbl Int List Set

@@ -1,0 +1,1 @@
+lib/automata/tableau.mli: Buchi Dpoaf_logic

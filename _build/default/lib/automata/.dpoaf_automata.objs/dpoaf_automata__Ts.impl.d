@@ -1,0 +1,1 @@
+lib/automata/ts.ml: Array Dpoaf_logic Format Fun Hashtbl List Printf String

@@ -1,0 +1,1 @@
+lib/automata/ts.mli: Dpoaf_logic Format

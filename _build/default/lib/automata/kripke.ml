@@ -1,0 +1,75 @@
+module Symbol = Dpoaf_logic.Symbol
+
+type t = {
+  labels : Symbol.t array;
+  succs : int list array;
+  initial : int list;
+  descr : string array;
+  tags : int array;
+}
+
+let make ~labels ~succs ~initial ?descr ?tags () =
+  let n = Array.length labels in
+  if Array.length succs <> n then invalid_arg "Kripke.make: succs length mismatch";
+  let check i =
+    if i < 0 || i >= n then invalid_arg "Kripke.make: state index out of range"
+  in
+  Array.iter (List.iter check) succs;
+  List.iter check initial;
+  let descr =
+    match descr with
+    | Some d ->
+        if Array.length d <> n then invalid_arg "Kripke.make: descr length mismatch";
+        d
+    | None -> Array.init n (fun i -> Printf.sprintf "s%d" i)
+  in
+  let tags =
+    match tags with
+    | Some t ->
+        if Array.length t <> n then invalid_arg "Kripke.make: tags length mismatch";
+        t
+    | None -> Array.make n (-1)
+  in
+  { labels; succs = Array.map (List.sort_uniq compare) succs; initial; descr; tags }
+
+let n_states t = Array.length t.labels
+
+let is_total t = Array.for_all (fun l -> l <> []) t.succs
+
+let stutter_extend t =
+  {
+    t with
+    succs = Array.mapi (fun i l -> if l = [] then [ i ] else l) t.succs;
+  }
+
+let random_lasso t rng =
+  match t.initial with
+  | [] -> None
+  | initial ->
+      let start = Dpoaf_util.Rng.choice_list rng initial in
+      let rec walk path seen s =
+        match List.assoc_opt s seen with
+        | Some pos ->
+            let arr = Array.of_list (List.rev path) in
+            let prefix = Array.sub arr 0 pos in
+            let cycle = Array.sub arr pos (Array.length arr - pos) in
+            Some (Array.map (fun i -> t.labels.(i)) prefix,
+                  Array.map (fun i -> t.labels.(i)) cycle)
+        | None -> (
+            match t.succs.(s) with
+            | [] -> None
+            | succs ->
+                let s' = Dpoaf_util.Rng.choice_list rng succs in
+                walk (s :: path) ((s, List.length path) :: seen) s')
+      in
+      walk [] [] start
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>kripke (%d states, %d initial)@," (n_states t)
+    (List.length t.initial);
+  Array.iteri
+    (fun i lbl ->
+      Format.fprintf ppf "  %s %a -> [%s]@," t.descr.(i) Symbol.pp lbl
+        (String.concat "; " (List.map string_of_int t.succs.(i))))
+    t.labels;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,40 @@
+(** State-labeled Kripke structures, the input format of the model checker.
+
+    Labels are symbols over [P ∪ P_A]; the structure must be total (use
+    {!stutter_extend}) before model checking, since LTL is interpreted over
+    infinite traces. *)
+
+type t = private {
+  labels : Dpoaf_logic.Symbol.t array;
+  succs : int list array;
+  initial : int list;
+  descr : string array;  (** Human-readable state descriptions. *)
+  tags : int array;
+      (** Provenance tag per state (e.g. the controller step that produced
+          it); [-1] when untagged.  Used for counterexample blame. *)
+}
+
+val make :
+  labels:Dpoaf_logic.Symbol.t array ->
+  succs:int list array ->
+  initial:int list ->
+  ?descr:string array ->
+  ?tags:int array ->
+  unit ->
+  t
+(** @raise Invalid_argument on shape mismatches or out-of-range indices. *)
+
+val n_states : t -> int
+
+val stutter_extend : t -> t
+(** Add a self-loop to every deadlocked state, so every run is infinite. *)
+
+val is_total : t -> bool
+
+val random_lasso :
+  t -> Dpoaf_util.Rng.t -> (Dpoaf_logic.Symbol.t array * Dpoaf_logic.Symbol.t array) option
+(** A random walk from a random initial state until a state repeats,
+    returned as (prefix labels, cycle labels).  [None] when the structure
+    has no initial state or the walk deadlocks. *)
+
+val pp : Format.formatter -> t -> unit

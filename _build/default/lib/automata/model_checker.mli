@@ -1,0 +1,48 @@
+(** LTL model checking of controllers implemented in world models — the
+    repository's substitute for NuSMV (§4.2, "Formal Verification").
+
+    [M ⊗ C ⊨ Φ] is decided by building the Büchi automaton of [¬Φ],
+    composing it with the product automaton's Kripke encoding, and searching
+    for an accepting lasso.  Failures come with a counterexample trace like
+    the one discussed in the paper's right-turn example. *)
+
+type counterexample = {
+  prefix : Dpoaf_logic.Symbol.t list;
+  cycle : Dpoaf_logic.Symbol.t list;  (** non-empty; repeats forever *)
+  prefix_descr : string list;  (** human-readable state descriptions *)
+  cycle_descr : string list;
+  prefix_tags : int list;
+      (** provenance tag (controller step) per instant; [-1] if untagged *)
+  cycle_tags : int list;
+}
+
+type verdict = Holds | Fails of counterexample
+
+val is_holds : verdict -> bool
+
+val check_kripke : Kripke.t -> Dpoaf_logic.Ltl.t -> verdict
+(** Check an arbitrary (stutter-extended if needed) Kripke structure. *)
+
+val check : model:Ts.t -> controller:Fsa.t -> Dpoaf_logic.Ltl.t -> verdict
+(** [check ~model ~controller Φ] decides [M ⊗ C ⊨ Φ] over all initial
+    model states. *)
+
+val verify_all :
+  model:Ts.t ->
+  controller:Fsa.t ->
+  specs:(string * Dpoaf_logic.Ltl.t) list ->
+  (string * Dpoaf_logic.Ltl.t * verdict) list
+(** Verify every named specification; the product is built once. *)
+
+val count_satisfied :
+  model:Ts.t -> controller:Fsa.t -> specs:(string * Dpoaf_logic.Ltl.t) list -> int
+(** Number of specifications that hold — the paper's ranking signal. *)
+
+val blame : spec:Dpoaf_logic.Ltl.t -> counterexample -> int list
+(** The distinct non-negative provenance tags of the lasso instants where
+    the violation manifests — for an invariant [□ body] with propositional
+    [body], the instants where [body] is false (for product
+    counterexamples these are the controller steps at fault); for other
+    specification shapes, every tagged instant on the lasso. *)
+
+val pp_verdict : Format.formatter -> verdict -> unit

@@ -1,0 +1,36 @@
+(** Product automaton [𝔓 = M ⊗ C] (paper, Appendix A).
+
+    States are pairs of a model state and a controller state.  An edge
+    exists when the controller, reading the model state's label, has an
+    enabled transition emitting some action [a], and the model can move to a
+    successor; the edge is labeled [λ_M(p) ∪ a ⊆ P ∪ P_A].
+
+    Because the paper's traces label {e transitions}, the Kripke encoding
+    used for model checking has one state per product {e edge}. *)
+
+type pstate = { model_state : Ts.state; ctrl_state : Fsa.state }
+
+type edge = {
+  src : pstate;
+  label : Dpoaf_logic.Symbol.t;  (** [λ_M(p) ∪ a] *)
+  action : Dpoaf_logic.Symbol.t;  (** the [a] component alone *)
+  dst : pstate;
+}
+
+type t = private {
+  model : Ts.t;
+  controller : Fsa.t;
+  states : pstate list;  (** reachable product states *)
+  edges : edge list;
+  initial : pstate list;  (** [{(p, q₀) | p ∈ initial(M)}] *)
+  deadlocks : pstate list;  (** reachable states with no outgoing edge *)
+}
+
+val build : model:Ts.t -> controller:Fsa.t -> t
+
+val pp_pstate : t -> Format.formatter -> pstate -> unit
+
+val to_kripke : t -> Kripke.t
+(** Transition-labeled Kripke encoding: one Kripke state per product edge,
+    labeled with the edge label; deadlocked product states become stuttering
+    sink states labeled [λ_M(p)] (no action atoms).  The result is total. *)

@@ -1,0 +1,15 @@
+(** LTL satisfiability via Büchi emptiness.
+
+    A formula is satisfiable iff its tableau automaton has an accepting
+    run; the witness lasso is read off the run's node labels.  Used to
+    sanity-check rule books: an inconsistent specification set would make
+    every controller fail and the ranking feedback meaningless. *)
+
+val is_satisfiable : Dpoaf_logic.Ltl.t -> bool
+
+val witness :
+  Dpoaf_logic.Ltl.t ->
+  (Dpoaf_logic.Symbol.t array * Dpoaf_logic.Symbol.t array) option
+(** A [(prefix, cycle)] lasso whose infinite word satisfies the formula,
+    or [None] when unsatisfiable.  Each instant carries exactly the atoms
+    the tableau node requires positively. *)

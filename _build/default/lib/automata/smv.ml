@@ -1,0 +1,128 @@
+module Ltl = Dpoaf_logic.Ltl
+module Symbol = Dpoaf_logic.Symbol
+
+let ident s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      if (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+         || c = '_'
+      then Buffer.add_char b c
+      else if c = ' ' || c = '-' then Buffer.add_char b '_')
+    s;
+  let out = Buffer.contents b in
+  if out = "" then "p" else out
+
+let rec of_ltl f =
+  let prec g =
+    match g with
+    | Ltl.Implies _ -> 1
+    | Ltl.Or _ -> 2
+    | Ltl.And _ -> 3
+    | Ltl.Until _ | Ltl.Release _ -> 4
+    | Ltl.Not _ | Ltl.Next _ | Ltl.Eventually _ | Ltl.Always _ -> 5
+    | Ltl.True | Ltl.False | Ltl.Atom _ -> 6
+  in
+  let paren level g =
+    let s = of_ltl g in
+    if prec g < level then "(" ^ s ^ ")" else s
+  in
+  match f with
+  | Ltl.True -> "TRUE"
+  | Ltl.False -> "FALSE"
+  | Ltl.Atom a -> ident a
+  | Ltl.Not g -> "!" ^ paren 6 g
+  | Ltl.Next g -> "X " ^ paren 5 g
+  | Ltl.Eventually g -> "F " ^ paren 5 g
+  | Ltl.Always g -> "G " ^ paren 5 g
+  | Ltl.And (a, b) -> paren 3 a ^ " & " ^ paren 4 b
+  | Ltl.Or (a, b) -> paren 2 a ^ " | " ^ paren 3 b
+  | Ltl.Implies (a, b) -> paren 2 a ^ " -> " ^ paren 1 b
+  | Ltl.Until (a, b) -> paren 5 a ^ " U " ^ paren 4 b
+  | Ltl.Release (a, b) -> paren 5 a ^ " V " ^ paren 4 b
+
+let atoms_of_kripke k =
+  Array.fold_left (fun acc l -> Symbol.union acc l) Symbol.empty k.Kripke.labels
+
+let of_kripke ~name k ~specs =
+  let buf = Buffer.create 1024 in
+  let out fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  let n = Kripke.n_states k in
+  out "MODULE %s\n" (ident name);
+  out "VAR\n  state : 0..%d;\n" (max 0 (n - 1));
+  out "DEFINE\n";
+  Symbol.iter
+    (fun atom ->
+      let holders =
+        List.filter
+          (fun i -> Symbol.mem atom k.Kripke.labels.(i))
+          (List.init n Fun.id)
+      in
+      let expr =
+        match holders with
+        | [] -> "FALSE"
+        | _ ->
+            String.concat " | "
+              (List.map (fun i -> Printf.sprintf "state = %d" i) holders)
+      in
+      out "  %s := %s;\n" (ident atom) expr)
+    (atoms_of_kripke k);
+  let init_expr =
+    match k.Kripke.initial with
+    | [] -> "FALSE"
+    | l -> String.concat " | " (List.map (fun i -> Printf.sprintf "state = %d" i) l)
+  in
+  out "INIT\n  %s\n" init_expr;
+  out "TRANS\n  case\n";
+  Array.iteri
+    (fun i succ ->
+      let nexts =
+        match succ with
+        | [] -> "next(state) = state"
+        | l ->
+            String.concat " | "
+              (List.map (fun j -> Printf.sprintf "next(state) = %d" j) l)
+      in
+      out "    state = %d : %s;\n" i nexts)
+    k.Kripke.succs;
+  out "    TRUE : FALSE;\n  esac\n";
+  List.iteri
+    (fun i (spec_name, phi) ->
+      out "LTLSPEC NAME %s := %s; -- %s\n"
+        (ident (if spec_name = "" then Printf.sprintf "phi_%d" (i + 1) else spec_name))
+        (of_ltl phi) (Ltl.to_string phi))
+    specs;
+  Buffer.contents buf
+
+let rec guard_to_smv = function
+  | Fsa.Gtrue -> "TRUE"
+  | Fsa.Gatom a -> ident a
+  | Fsa.Gnot g -> "!(" ^ guard_to_smv g ^ ")"
+  | Fsa.Gand (a, b) -> "(" ^ guard_to_smv a ^ " & " ^ guard_to_smv b ^ ")"
+  | Fsa.Gor (a, b) -> "(" ^ guard_to_smv a ^ " | " ^ guard_to_smv b ^ ")"
+
+let of_controller ~name (c : Fsa.t) ~props =
+  let buf = Buffer.create 1024 in
+  let out fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  out "MODULE %s\n" (ident name);
+  out "VAR\n";
+  List.iter (fun p -> out "  %s : boolean;\n" (ident p)) props;
+  let actions = Symbol.elements (Fsa.actions c) in
+  let action_names = List.map ident actions in
+  out "  loc : 0..%d;\n" (max 0 (c.Fsa.n_states - 1));
+  out "  action : {%s};\n"
+    (String.concat ", " (if action_names = [] then [ "none" ] else action_names));
+  out "ASSIGN\n  init(loc) := %d;\n" c.Fsa.init;
+  out "TRANS\n  case\n";
+  List.iter
+    (fun tr ->
+      let act =
+        match Symbol.elements tr.Fsa.action with
+        | [] -> "TRUE"
+        | a :: _ -> Printf.sprintf "next(action) = %s" (ident a)
+      in
+      out "    loc = %d & %s : next(loc) = %d & %s;\n" tr.Fsa.src
+        (guard_to_smv tr.Fsa.guard) tr.Fsa.dst act)
+    c.Fsa.transitions;
+  out "    TRUE : next(loc) = loc;\n  esac\n";
+  Buffer.contents buf

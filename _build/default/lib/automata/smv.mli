@@ -1,0 +1,23 @@
+(** Export to NuSMV syntax (cf. the paper's Appendix D).
+
+    The exported text is accepted by NuSMV 2.x, which lets the artifacts
+    produced here be cross-checked against the original tool when it is
+    available.  Nothing in this repository depends on NuSMV at runtime. *)
+
+val ident : string -> string
+(** Sanitize an atom name to an SMV identifier ([car from left] →
+    [car_from_left]). *)
+
+val of_kripke : name:string -> Kripke.t -> specs:(string * Dpoaf_logic.Ltl.t) list -> string
+(** Render a Kripke structure as an SMV module: a [state] variable ranging
+    over the structure's states, [DEFINE]d booleans for every atom, [INIT]
+    and [TRANS] constraints, and one named [LTLSPEC] per specification. *)
+
+val of_controller :
+  name:string -> Fsa.t -> props:string list -> string
+(** Render a controller in the Appendix-D style: boolean inputs for each
+    proposition, a [loc] variable for the controller state, and an [action]
+    variable constrained by the guarded transitions. *)
+
+val of_ltl : Dpoaf_logic.Ltl.t -> string
+(** LTL formula in SMV syntax ([G]/[F]/[X]/[U]/[V], [&], [|], [!], [->]). *)

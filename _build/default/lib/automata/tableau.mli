@@ -1,0 +1,10 @@
+(** LTL → generalized Büchi automaton, GPVW on-the-fly tableau construction
+    (Gerth, Peled, Vardi, Wolper 1995).
+
+    This plus {!Buchi.degeneralize} and {!Emptiness} forms the NuSMV
+    substitute used by the verification feedback channel. *)
+
+val gnba_of_ltl : Dpoaf_logic.Ltl.t -> Buchi.gnba
+(** Build a GNBA accepting exactly the infinite words satisfying the
+    formula.  The input is normalized with {!Dpoaf_logic.Ltl.nnf} first, so
+    any formula is accepted. *)

@@ -1,0 +1,125 @@
+module Symbol = Dpoaf_logic.Symbol
+
+type state = int
+
+type t = {
+  name : string;
+  state_names : string array;
+  labels : Symbol.t array;
+  succs : state list array;
+  initial : state list;
+}
+
+let make ~name ~states ~transitions ?initial () =
+  let n = List.length states in
+  let state_names = Array.of_list (List.map fst states) in
+  let labels = Array.of_list (List.map snd states) in
+  let index = Hashtbl.create n in
+  Array.iteri
+    (fun i nm ->
+      if Hashtbl.mem index nm then
+        invalid_arg (Printf.sprintf "Ts.make: duplicate state %s" nm);
+      Hashtbl.add index nm i)
+    state_names;
+  let lookup nm =
+    match Hashtbl.find_opt index nm with
+    | Some i -> i
+    | None -> invalid_arg (Printf.sprintf "Ts.make: unknown state %s" nm)
+  in
+  let succs = Array.make n [] in
+  List.iter
+    (fun (a, b) ->
+      let i = lookup a and j = lookup b in
+      succs.(i) <- j :: succs.(i))
+    transitions;
+  Array.iteri (fun i l -> succs.(i) <- List.sort_uniq compare l) succs;
+  let initial =
+    match initial with
+    | None -> List.init n Fun.id
+    | Some names -> List.sort_uniq compare (List.map lookup names)
+  in
+  { name; state_names; labels; succs; initial }
+
+let of_propositions ~name ~props ~allowed ?(keep_isolated = false) () =
+  let props = List.sort_uniq compare props in
+  let k = List.length props in
+  if k > 20 then invalid_arg "Ts.of_propositions: too many propositions";
+  let parr = Array.of_list props in
+  let n = 1 lsl k in
+  let label_of i =
+    let rec collect j acc =
+      if j >= k then acc
+      else collect (j + 1) (if i land (1 lsl j) <> 0 then Symbol.add parr.(j) acc else acc)
+    in
+    collect 0 Symbol.empty
+  in
+  let labels = Array.init n label_of in
+  let succs = Array.make n [] in
+  let has_incoming = Array.make n false in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      if allowed labels.(i) labels.(j) then begin
+        succs.(i) <- j :: succs.(i);
+        has_incoming.(j) <- true
+      end
+    done;
+    succs.(i) <- List.rev succs.(i)
+  done;
+  let keep i = keep_isolated || succs.(i) <> [] || has_incoming.(i) in
+  let kept = List.filter keep (List.init n Fun.id) in
+  let remap = Hashtbl.create (List.length kept) in
+  List.iteri (fun fresh old -> Hashtbl.add remap old fresh) kept;
+  let kept_arr = Array.of_list kept in
+  let m = Array.length kept_arr in
+  {
+    name;
+    state_names = Array.map (fun i -> Symbol.to_string labels.(i)) kept_arr;
+    labels = Array.map (fun i -> labels.(i)) kept_arr;
+    succs =
+      Array.init m (fun fresh ->
+          List.filter_map (fun j -> Hashtbl.find_opt remap j) succs.(kept_arr.(fresh)));
+    initial = List.init m Fun.id;
+  }
+
+let n_states t = Array.length t.labels
+let label t s = t.labels.(s)
+let successors t s = t.succs.(s)
+
+let state_of_name t nm =
+  let found = ref (-1) in
+  Array.iteri (fun i n -> if n = nm && !found < 0 then found := i) t.state_names;
+  if !found < 0 then raise Not_found else !found
+
+let union ~name parts =
+  let total = List.fold_left (fun acc p -> acc + n_states p) 0 parts in
+  let state_names = Array.make total "" in
+  let labels = Array.make total Symbol.empty in
+  let succs = Array.make total [] in
+  let initial = ref [] in
+  let offset = ref 0 in
+  List.iter
+    (fun p ->
+      let off = !offset in
+      Array.iteri
+        (fun i nm -> state_names.(off + i) <- Printf.sprintf "%s/%s" p.name nm)
+        p.state_names;
+      Array.iteri (fun i l -> labels.(off + i) <- l) p.labels;
+      Array.iteri (fun i l -> succs.(off + i) <- List.map (fun j -> off + j) l) p.succs;
+      initial := !initial @ List.map (fun i -> off + i) p.initial;
+      offset := off + n_states p)
+    parts;
+  { name; state_names; labels; succs; initial = !initial }
+
+let propositions t =
+  Array.fold_left (fun acc l -> Symbol.union acc l) Symbol.empty t.labels
+
+let is_total t = Array.for_all (fun l -> l <> []) t.succs
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>model %s (%d states)@," t.name (n_states t);
+  Array.iteri
+    (fun i nm ->
+      Format.fprintf ppf "  %s %a -> [%s]@," nm Symbol.pp t.labels.(i)
+        (String.concat "; " (List.map (fun j -> t.state_names.(j)) t.succs.(i))))
+    t.state_names;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,58 @@
+(** Automaton-based world models (the paper's transition system [M]).
+
+    A model [M = ⟨Γ_M, Q_M, δ_M, λ_M⟩] has states labeled with symbols
+    (sets of atomic propositions) and a non-deterministic transition
+    relation.  Models encode a scenario's environment dynamics — e.g. the
+    traffic-light intersection of Figure 5. *)
+
+type state = int
+
+type t = private {
+  name : string;  (** Model name, for reports. *)
+  state_names : string array;
+  labels : Dpoaf_logic.Symbol.t array;  (** [λ_M] *)
+  succs : state list array;  (** [δ_M], sorted, deduplicated *)
+  initial : state list;  (** Verification considers every initial state. *)
+}
+
+val make :
+  name:string ->
+  states:(string * Dpoaf_logic.Symbol.t) list ->
+  transitions:(string * string) list ->
+  ?initial:string list ->
+  unit ->
+  t
+(** [make ~name ~states ~transitions ()] builds a model from named states.
+    [transitions] are pairs of state names; [initial] defaults to all states
+    (the paper verifies "for all the possible initial states").
+    @raise Invalid_argument on unknown state names or duplicate states. *)
+
+val of_propositions :
+  name:string ->
+  props:string list ->
+  allowed:(Dpoaf_logic.Symbol.t -> Dpoaf_logic.Symbol.t -> bool) ->
+  ?keep_isolated:bool ->
+  unit ->
+  t
+(** Algorithm 1 from the paper: build one state per element of [2^props],
+    keep the transitions the system allows, and (unless [keep_isolated])
+    remove states with no incoming and no outgoing transitions.
+    @raise Invalid_argument when [props] has more than 20 elements. *)
+
+val n_states : t -> int
+val label : t -> state -> Dpoaf_logic.Symbol.t
+val successors : t -> state -> state list
+val state_of_name : t -> string -> state
+(** @raise Not_found on unknown names. *)
+
+val union : name:string -> t list -> t
+(** Disjoint union of models — the paper's "universal model" integrating all
+    scenarios.  Initial states are the concatenation of the parts'. *)
+
+val propositions : t -> Dpoaf_logic.Symbol.t
+(** All atoms used by any state label. *)
+
+val is_total : t -> bool
+(** True when every state has at least one successor. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/dpo/dpo.ml: Dpoaf_lm Dpoaf_tensor Float List Pref_data

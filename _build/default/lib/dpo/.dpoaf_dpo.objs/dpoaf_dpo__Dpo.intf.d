@@ -1,0 +1,1 @@
+lib/dpo/dpo.mli: Dpoaf_lm Dpoaf_tensor Pref_data

@@ -1,0 +1,1 @@
+lib/dpo/pref_data.ml: Dpoaf_lm Hashtbl List

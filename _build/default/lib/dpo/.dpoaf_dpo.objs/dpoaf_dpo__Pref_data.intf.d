@@ -1,0 +1,1 @@
+lib/dpo/pref_data.mli: Dpoaf_lm

@@ -1,0 +1,1 @@
+lib/dpo/reinforce.ml: Dpoaf_lm Dpoaf_tensor Dpoaf_util List

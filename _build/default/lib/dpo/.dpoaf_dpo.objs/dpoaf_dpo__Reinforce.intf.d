@@ -1,0 +1,1 @@
+lib/dpo/reinforce.mli: Dpoaf_lm

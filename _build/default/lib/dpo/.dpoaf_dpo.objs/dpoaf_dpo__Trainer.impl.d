@@ -1,0 +1,1 @@
+lib/dpo/trainer.ml: Array Dpo Dpoaf_lm Dpoaf_tensor Dpoaf_util List

@@ -1,0 +1,1 @@
+lib/dpo/trainer.mli: Dpoaf_lm Pref_data

@@ -1,0 +1,51 @@
+type scored = { tokens : int list; score : int }
+
+type pair = {
+  task_id : string;
+  prompt : int list;
+  chosen : int list;
+  rejected : int list;
+  chosen_score : int;
+  rejected_score : int;
+  grammar : Dpoaf_lm.Grammar.t;
+  min_clauses : int;
+  max_clauses : int;
+}
+
+let dedup scored =
+  let seen = Hashtbl.create 16 in
+  List.filter
+    (fun s ->
+      if Hashtbl.mem seen s.tokens then false
+      else begin
+        Hashtbl.add seen s.tokens ();
+        true
+      end)
+    scored
+
+let pairs_of_scored ~task_id ~prompt ~grammar ~min_clauses ~max_clauses scored =
+  let distinct = dedup scored in
+  let rec combos = function
+    | [] -> []
+    | x :: rest -> List.map (fun y -> (x, y)) rest @ combos rest
+  in
+  List.filter_map
+    (fun (a, b) ->
+      if a.score = b.score then None
+      else
+        let w, l = if a.score > b.score then (a, b) else (b, a) in
+        Some
+          {
+            task_id;
+            prompt;
+            chosen = w.tokens;
+            rejected = l.tokens;
+            chosen_score = w.score;
+            rejected_score = l.score;
+            grammar;
+            min_clauses;
+            max_clauses;
+          })
+    (combos distinct)
+
+let count_possible m = m * (m - 1) / 2

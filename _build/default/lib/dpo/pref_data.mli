@@ -1,0 +1,36 @@
+(** Preference pairs mined from verification-ranked responses (§4.3).
+
+    From [m] scored responses to one prompt, every unordered pair with
+    distinct scores yields one data point [(x, y_w, y_l)] — up to
+    [C₂(m)] pairs per task, the response satisfying more specifications
+    being preferred. *)
+
+type scored = { tokens : int list; score : int }
+(** A response (token sequence) and the number of specifications its
+    controller satisfies. *)
+
+type pair = {
+  task_id : string;
+  prompt : int list;
+  chosen : int list;
+  rejected : int list;
+  chosen_score : int;
+  rejected_score : int;
+  grammar : Dpoaf_lm.Grammar.t;
+  min_clauses : int;
+  max_clauses : int;
+}
+
+val pairs_of_scored :
+  task_id:string ->
+  prompt:int list ->
+  grammar:Dpoaf_lm.Grammar.t ->
+  min_clauses:int ->
+  max_clauses:int ->
+  scored list ->
+  pair list
+(** All distinct-score pairs; duplicate token sequences are deduplicated
+    first (keeping one representative each). *)
+
+val count_possible : int -> int
+(** [count_possible m = C₂(m)], the paper's bound on data points per task. *)

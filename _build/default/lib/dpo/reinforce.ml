@@ -1,0 +1,89 @@
+module Model = Dpoaf_lm.Model
+module Sampler = Dpoaf_lm.Sampler
+module Autodiff = Dpoaf_tensor.Autodiff
+module Optim = Dpoaf_tensor.Optim
+module Tensor = Dpoaf_tensor.Tensor
+module Rng = Dpoaf_util.Rng
+module Stats = Dpoaf_util.Stats
+
+type task = {
+  prompt : int list;
+  grammar : Dpoaf_lm.Grammar.t;
+  min_clauses : int;
+  max_clauses : int;
+  reward : int list -> float;
+}
+
+type config = {
+  lr : float;
+  epochs : int;
+  samples_per_task : int;
+  temperature : float;
+}
+
+let default_config = { lr = 2e-3; epochs = 100; samples_per_task = 8; temperature = 1.0 }
+
+type epoch_stats = { epoch : int; mean_reward : float }
+
+type run = { stats : epoch_stats list; final : Model.t }
+
+let epoch_step policy opt config rng tasks =
+  let snap = Sampler.snapshot policy in
+  (* on-policy rollouts with per-task advantage *)
+  let batches =
+    List.map
+      (fun task ->
+        let samples =
+          List.init config.samples_per_task (fun _ ->
+              let tokens =
+                Sampler.sample snap rng ~prompt:task.prompt ~grammar:task.grammar
+                  ~min_clauses:task.min_clauses ~max_clauses:task.max_clauses
+                  ~temperature:config.temperature ()
+              in
+              (tokens, task.reward tokens))
+        in
+        let baseline = Stats.mean (List.map snd samples) in
+        (task, samples, baseline))
+      tasks
+  in
+  let tape = Autodiff.Tape.create () in
+  let bound = Model.bind policy tape in
+  let total = float_of_int (List.length tasks * config.samples_per_task) in
+  let terms =
+    List.concat_map
+      (fun (task, samples, baseline) ->
+        List.filter_map
+          (fun (tokens, reward) ->
+            let advantage = reward -. baseline in
+            if advantage = 0.0 then None
+            else
+              let lp =
+                Model.response_logprob_node policy bound ~prompt:task.prompt
+                  ~grammar:task.grammar ~min_clauses:task.min_clauses
+                  ~max_clauses:task.max_clauses ~tokens
+              in
+              (* minimize -advantage·logπ *)
+              Some (Autodiff.scale tape (-.advantage /. total) lp))
+          samples)
+      batches
+  in
+  let mean_reward =
+    Stats.mean
+      (List.concat_map (fun (_, samples, _) -> List.map snd samples) batches)
+  in
+  (if terms <> [] then begin
+     let loss = Autodiff.add_list tape terms in
+     Autodiff.backward tape loss;
+     Optim.Adam.step opt (Model.lora_grads policy bound)
+   end);
+  mean_reward
+
+let train ~reference ~tasks config ~seed =
+  let policy = Model.clone reference in
+  let opt = Optim.Adam.create ~lr:config.lr () in
+  let rng = Rng.create seed in
+  let stats =
+    List.init config.epochs (fun i ->
+        { epoch = i + 1; mean_reward = epoch_step policy opt config rng tasks })
+  in
+  { stats; final = policy }

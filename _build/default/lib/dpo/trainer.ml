@@ -1,0 +1,106 @@
+module Model = Dpoaf_lm.Model
+module Autodiff = Dpoaf_tensor.Autodiff
+module Optim = Dpoaf_tensor.Optim
+module Tensor = Dpoaf_tensor.Tensor
+module Rng = Dpoaf_util.Rng
+
+type config = {
+  beta : float;
+  lr : float;
+  epochs : int;
+  batch : int;
+  checkpoint_every : int;
+  shuffle_each_epoch : bool;
+}
+
+let default_config =
+  {
+    beta = 0.5;
+    lr = 5e-3;
+    epochs = 200;
+    batch = 16;
+    checkpoint_every = 20;
+    shuffle_each_epoch = true;
+  }
+
+type epoch_stats = { epoch : int; loss : float; accuracy : float; margin : float }
+
+type run = {
+  seed : int;
+  stats : epoch_stats list;
+  checkpoints : (int * Model.t) list;
+  final : Model.t;
+}
+
+let batch_step policy opt ~beta refs_pairs =
+  let tape = Autodiff.Tape.create () in
+  let bound = Model.bind policy tape in
+  let n = float_of_int (List.length refs_pairs) in
+  let results =
+    List.map
+      (fun (refs, pair) -> Dpo.pair_loss_node ~policy ~bound ~beta refs pair)
+      refs_pairs
+  in
+  let total = Autodiff.add_list tape (List.map (fun (l, _, _) -> l) results) in
+  let mean_loss = Autodiff.scale tape (1.0 /. n) total in
+  Autodiff.backward tape mean_loss;
+  Optim.Adam.step opt (Model.lora_grads policy bound);
+  (* metrics from the forward pass *)
+  let acc =
+    Dpoaf_util.Stats.fraction (fun (_, w, l) -> w > l) results
+  in
+  let margin =
+    Dpoaf_util.Stats.mean
+      (List.map2
+         (fun (refs, _) (_, w, l) ->
+           w -. refs.Dpo.ref_chosen -. (l -. refs.Dpo.ref_rejected))
+         refs_pairs results)
+  in
+  (Tensor.get (Autodiff.value mean_loss) 0, acc, margin)
+
+let train ~reference ~pairs config ~seed =
+  let policy = Model.clone reference in
+  let refs_pairs =
+    List.map (fun pair -> (Dpo.reference_logprobs reference pair, pair)) pairs
+  in
+  let opt = Optim.Adam.create ~lr:config.lr () in
+  let rng = Rng.create seed in
+  let arr = Array.of_list refs_pairs in
+  let checkpoints = ref [ (0, Model.clone policy) ] in
+  let stats = ref [] in
+  for epoch = 1 to config.epochs do
+    if config.shuffle_each_epoch then Rng.shuffle rng arr;
+    let n = Array.length arr in
+    let epoch_totals = ref [] in
+    let i = ref 0 in
+    while !i < n do
+      let size = min config.batch (n - !i) in
+      let chunk = Array.to_list (Array.sub arr !i size) in
+      epoch_totals := (batch_step policy opt ~beta:config.beta chunk, size) :: !epoch_totals;
+      i := !i + size
+    done;
+    let weight f =
+      let total = List.fold_left (fun acc (_, s) -> acc + s) 0 !epoch_totals in
+      List.fold_left (fun acc (t, s) -> acc +. (f t *. float_of_int s)) 0.0 !epoch_totals
+      /. float_of_int (max 1 total)
+    in
+    stats :=
+      {
+        epoch;
+        loss = weight (fun (l, _, _) -> l);
+        accuracy = weight (fun (_, a, _) -> a);
+        margin = weight (fun (_, _, m) -> m);
+      }
+      :: !stats;
+    if config.checkpoint_every > 0 && epoch mod config.checkpoint_every = 0 then
+      checkpoints := (epoch, Model.clone policy) :: !checkpoints
+  done;
+  {
+    seed;
+    stats = List.rev !stats;
+    checkpoints = List.rev !checkpoints;
+    final = policy;
+  }
+
+let train_seeds ~reference ~pairs config ~seeds =
+  List.map (fun seed -> train ~reference ~pairs config ~seed) seeds

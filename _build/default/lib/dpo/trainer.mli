@@ -1,0 +1,43 @@
+(** The DPO fine-tuning loop (LoRA parameters only, per Appendix E).
+
+    Between random seeds only the data order changes — the paper notes this
+    is why the variance bands in Figure 8 are small. *)
+
+type config = {
+  beta : float;
+  lr : float;
+  epochs : int;
+  batch : int;
+  checkpoint_every : int;  (** 0 disables checkpointing *)
+  shuffle_each_epoch : bool;
+}
+
+val default_config : config
+(** β=0.5, lr=5e-3, 200 epochs, batch 16, checkpoint every 20 epochs. *)
+
+type epoch_stats = {
+  epoch : int;
+  loss : float;
+  accuracy : float;
+  margin : float;
+}
+
+type run = {
+  seed : int;
+  stats : epoch_stats list;  (** in epoch order, one entry per epoch *)
+  checkpoints : (int * Dpoaf_lm.Model.t) list;
+      (** (epoch, policy snapshot); epoch 0 is always included *)
+  final : Dpoaf_lm.Model.t;
+}
+
+val train :
+  reference:Dpoaf_lm.Model.t -> pairs:Pref_data.pair list -> config -> seed:int -> run
+(** Fine-tune a clone of [reference].  Reference log-probabilities are
+    computed once up front (the reference is frozen). *)
+
+val train_seeds :
+  reference:Dpoaf_lm.Model.t ->
+  pairs:Pref_data.pair list ->
+  config ->
+  seeds:int list ->
+  run list

@@ -1,0 +1,1 @@
+lib/driving/evaluate.ml: Dpoaf_automata Dpoaf_lang Lazy List Models Specs Vocab

@@ -1,0 +1,1 @@
+lib/driving/evaluate.mli: Dpoaf_automata Dpoaf_lang Dpoaf_logic

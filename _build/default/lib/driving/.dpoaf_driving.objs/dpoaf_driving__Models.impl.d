@@ -1,0 +1,1 @@
+lib/driving/models.ml: Dpoaf_automata Dpoaf_logic Hashtbl List Vocab

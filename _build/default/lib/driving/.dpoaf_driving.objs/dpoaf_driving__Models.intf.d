@@ -1,0 +1,1 @@
+lib/driving/models.mli: Dpoaf_automata

@@ -1,0 +1,1 @@
+lib/driving/responses.ml: List Tasks

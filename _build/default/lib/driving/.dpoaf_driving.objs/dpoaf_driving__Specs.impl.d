@@ -1,0 +1,1 @@
+lib/driving/specs.ml: Array Dpoaf_logic List Printf Vocab

@@ -1,0 +1,1 @@
+lib/driving/specs.mli: Dpoaf_logic

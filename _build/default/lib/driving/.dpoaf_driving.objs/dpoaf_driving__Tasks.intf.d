@@ -1,0 +1,1 @@
+lib/driving/tasks.mli: Models

@@ -1,0 +1,1 @@
+lib/driving/vocab.ml: Dpoaf_lang Dpoaf_logic List

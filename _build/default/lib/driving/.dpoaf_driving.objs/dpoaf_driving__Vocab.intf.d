@@ -1,0 +1,1 @@
+lib/driving/vocab.mli: Dpoaf_lang Dpoaf_logic

@@ -1,0 +1,22 @@
+module Glm2fsa = Dpoaf_lang.Glm2fsa
+module Model_checker = Dpoaf_automata.Model_checker
+
+let shared_lexicon = lazy (Vocab.lexicon ())
+
+let lexicon () = Lazy.force shared_lexicon
+
+let controller_of_steps ~name steps =
+  Glm2fsa.of_steps ~name (lexicon ()) steps
+
+let verdicts ?model controller =
+  let model = match model with Some m -> m | None -> Models.universal () in
+  Model_checker.verify_all ~model ~controller ~specs:Specs.all
+
+let count_specs ?model controller =
+  verdicts ?model controller
+  |> List.filter (fun (_, _, v) -> Model_checker.is_holds v)
+  |> List.length
+
+let count_specs_of_steps ?model steps =
+  let controller, _stats = controller_of_steps ~name:"response" steps in
+  count_specs ?model controller

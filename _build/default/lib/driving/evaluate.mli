@@ -1,0 +1,25 @@
+(** Convenience layer: from step text to specification verdicts.
+
+    This is the verification-feedback path of §4.2 specialized to the
+    driving domain: parse steps with the driving lexicon, build the GLM2FSA
+    controller, implement it in the universal model (or a single scenario's
+    model) and check the 15 rule-book specifications. *)
+
+val lexicon : unit -> Dpoaf_lang.Lexicon.t
+(** The shared driving lexicon (memoized). *)
+
+val controller_of_steps :
+  name:string -> string list -> Dpoaf_automata.Fsa.t * Dpoaf_lang.Step_parser.stats
+(** Parse and compile a response's steps with the driving lexicon. *)
+
+val verdicts :
+  ?model:Dpoaf_automata.Ts.t ->
+  Dpoaf_automata.Fsa.t ->
+  (string * Dpoaf_logic.Ltl.t * Dpoaf_automata.Model_checker.verdict) list
+(** Verdicts for Φ1..Φ15; [model] defaults to {!Models.universal}. *)
+
+val count_specs : ?model:Dpoaf_automata.Ts.t -> Dpoaf_automata.Fsa.t -> int
+(** Number of the 15 specifications satisfied. *)
+
+val count_specs_of_steps : ?model:Dpoaf_automata.Ts.t -> string list -> int
+(** Parse, compile and count in one call (controller name ["response"]). *)

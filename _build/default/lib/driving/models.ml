@@ -1,0 +1,179 @@
+module Ts = Dpoaf_automata.Ts
+module Symbol = Dpoaf_logic.Symbol
+module V = Vocab
+
+type scenario =
+  | Traffic_light
+  | Left_turn_light
+  | Two_way_stop
+  | Roundabout
+  | Wide_median
+
+let all_scenarios =
+  [ Traffic_light; Left_turn_light; Two_way_stop; Roundabout; Wide_median ]
+
+let scenario_name = function
+  | Traffic_light -> "traffic_light"
+  | Left_turn_light -> "left_turn_light"
+  | Two_way_stop -> "two_way_stop"
+  | Roundabout -> "roundabout"
+  | Wide_median -> "wide_median"
+
+let sym = Symbol.of_atoms
+
+(* Figure 5: regular signal.  Cross traffic only flows while the signal is
+   red (protected green); jaywalking pedestrians can appear during green but
+   the green then extends one clear step (an all-red clearance interval in
+   reverse), so guarded controllers are never starved of an actionable green
+   instant.  All hazards clear within one step, and a hazard can appear in
+   one step — that reachability is what makes the paper's Φ5 edge case
+   ("the light turns back to red and a car is coming from the left
+   immediately after the agent checked for pedestrians") expressible. *)
+let traffic_light () =
+  Ts.make ~name:"traffic_light"
+    ~states:
+      [
+        ("g_clear", sym [ V.green_traffic_light ]);
+        ("g_pedr", sym [ V.green_traffic_light; V.pedestrian_at_right ]);
+        ("g_pedf", sym [ V.green_traffic_light; V.pedestrian_in_front ]);
+        ("r1_clear", sym []);
+        ("r1_car", sym [ V.car_from_left ]);
+        ("r1_pedr", sym [ V.pedestrian_at_right ]);
+        ("r2_clear", sym []);
+        ("r2_car", sym [ V.car_from_left ]);
+        ("r2_pedr", sym [ V.pedestrian_at_right ]);
+      ]
+    ~transitions:
+      [
+        (* green may persist; the red phase lasts exactly two steps, so
+           green recurs on every path (the signal keeps cycling) *)
+        ("g_clear", "g_clear"); ("g_clear", "g_pedr"); ("g_clear", "g_pedf");
+        ("g_clear", "r1_clear"); ("g_clear", "r1_car"); ("g_clear", "r1_pedr");
+        (* in-green hazards force a clear green step before the phase may
+           change *)
+        ("g_pedr", "g_clear"); ("g_pedf", "g_clear");
+        ("r1_clear", "r2_clear"); ("r1_clear", "r2_car"); ("r1_clear", "r2_pedr");
+        ("r1_car", "r2_clear"); ("r1_pedr", "r2_clear");
+        ("r2_clear", "g_clear"); ("r2_clear", "g_pedr"); ("r2_clear", "g_pedf");
+        ("r2_car", "g_clear"); ("r2_pedr", "g_clear");
+      ]
+    ()
+
+(* Figure 15: explicit left-turn signal.  The phase cycle red → green arrow
+   → flashing arrow → red guarantees the green arrow recurs on every path;
+   opposite cars and pedestrians appear only in the phases that admit
+   them. *)
+let left_turn_light () =
+  Ts.make ~name:"left_turn_light"
+    ~states:
+      [
+        ("red0", sym []);
+        ("red_clear", sym []);
+        ("red_oc", sym [ V.opposite_car ]);
+        ("red_ped", sym [ V.pedestrian_at_left ]);
+        ("green_arrow", sym [ V.green_left_turn_light ]);
+        ("flash_clear", sym [ V.flashing_left_turn_light ]);
+        ("flash_oc", sym [ V.flashing_left_turn_light; V.opposite_car ]);
+      ]
+    ~transitions:
+      [
+        ("red0", "red_clear"); ("red0", "red_oc"); ("red0", "red_ped");
+        ("red_clear", "green_arrow"); ("red_oc", "green_arrow");
+        ("red_ped", "green_arrow");
+        ("green_arrow", "flash_clear"); ("green_arrow", "flash_oc");
+        ("flash_clear", "red0"); ("flash_oc", "red0");
+      ]
+    ()
+
+(* Figure 16: two-way stop.  The stop sign holds in every state; cross
+   traffic and pedestrians are transient. *)
+let two_way_stop () =
+  let clear src = (src, "s_clear") in
+  Ts.make ~name:"two_way_stop"
+    ~states:
+      [
+        ("s_clear", sym [ V.stop_sign ]);
+        ("s_car_left", sym [ V.stop_sign; V.car_from_left ]);
+        ("s_car_right", sym [ V.stop_sign; V.car_from_right ]);
+        ("s_car_both", sym [ V.stop_sign; V.car_from_left; V.car_from_right ]);
+        ("s_ped", sym [ V.stop_sign; V.pedestrian_in_front ]);
+      ]
+    ~transitions:
+      [
+        ("s_clear", "s_clear"); ("s_clear", "s_car_left");
+        ("s_clear", "s_car_right"); ("s_clear", "s_car_both");
+        ("s_clear", "s_ped");
+        clear "s_car_left"; clear "s_car_right"; clear "s_car_both";
+        clear "s_ped";
+      ]
+    ()
+
+(* Figure 17: roundabout.  "car" is a car from the left (already in the
+   ring); "ped" is a pedestrian on the splitter island. *)
+let roundabout () =
+  let clear src = (src, "rb_clear") in
+  Ts.make ~name:"roundabout"
+    ~states:
+      [
+        ("rb_clear", sym []);
+        ("rb_car", sym [ V.car_from_left ]);
+        ("rb_ped", sym [ V.pedestrian_at_left; V.pedestrian_at_right ]);
+        ("rb_car_ped",
+         sym [ V.car_from_left; V.pedestrian_at_left; V.pedestrian_at_right ]);
+      ]
+    ~transitions:
+      [
+        ("rb_clear", "rb_clear"); ("rb_clear", "rb_car"); ("rb_clear", "rb_ped");
+        ("rb_clear", "rb_car_ped");
+        clear "rb_car"; clear "rb_ped"; clear "rb_car_ped";
+      ]
+    ()
+
+(* Figure 6: yield-based wide median, σ1 = car from left, σ2 = car from
+   right. *)
+let wide_median () =
+  let clear src = (src, "m_clear") in
+  Ts.make ~name:"wide_median"
+    ~states:
+      [
+        ("m_clear", sym []);
+        ("m_car_left", sym [ V.car_from_left ]);
+        ("m_car_right", sym [ V.car_from_right ]);
+        ("m_car_both", sym [ V.car_from_left; V.car_from_right ]);
+      ]
+    ~transitions:
+      [
+        ("m_clear", "m_clear"); ("m_clear", "m_car_left");
+        ("m_clear", "m_car_right"); ("m_clear", "m_car_both");
+        clear "m_car_left"; clear "m_car_right"; clear "m_car_both";
+      ]
+    ()
+
+let cache : (scenario, Ts.t) Hashtbl.t = Hashtbl.create 8
+let universal_cache : Ts.t option ref = ref None
+
+let model scenario =
+  match Hashtbl.find_opt cache scenario with
+  | Some m -> m
+  | None ->
+      let m =
+        match scenario with
+        | Traffic_light -> traffic_light ()
+        | Left_turn_light -> left_turn_light ()
+        | Two_way_stop -> two_way_stop ()
+        | Roundabout -> roundabout ()
+        | Wide_median -> wide_median ()
+      in
+      Hashtbl.add cache scenario m;
+      m
+
+let universal () =
+  match !universal_cache with
+  | Some m -> m
+  | None ->
+      let m = Ts.union ~name:"universal" (List.map model all_scenarios) in
+      universal_cache := Some m;
+      m
+
+let scenario_propositions scenario =
+  Symbol.elements (Ts.propositions (model scenario))

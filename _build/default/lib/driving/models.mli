@@ -1,0 +1,35 @@
+(** Automaton-based world models for the driving scenarios (paper Figures 5,
+    6, 15, 16 and 17).
+
+    The figures fix the proposition sets; the exact transition layouts are
+    reconstructions that follow three rules motivated by the paper's worked
+    examples:
+
+    - hazards (cars, pedestrians) are {e transient}: a hazard state always
+      clears within one step, so safe controllers eventually act and the
+      liveness specifications (Φ7, Φ10, Φ13) are satisfiable;
+    - hazards can {e appear in one step} from a clear state, which makes the
+      Φ5 edge case of §5.1 reachable ("a car is coming from the left
+      immediately after the agent checked for pedestrians");
+    - lights recur: every path through a signalized scenario sees its green
+      phase infinitely often. *)
+
+type scenario =
+  | Traffic_light  (** regular signal at an intersection (Figure 5) *)
+  | Left_turn_light  (** explicit left-turn signal (Figure 15) *)
+  | Two_way_stop  (** two-way stop sign (Figure 16) *)
+  | Roundabout  (** yield-on-entry roundabout (Figure 17) *)
+  | Wide_median  (** yield-based wide median (Figure 6) *)
+
+val all_scenarios : scenario list
+val scenario_name : scenario -> string
+
+val model : scenario -> Dpoaf_automata.Ts.t
+(** The scenario's environment-dynamics model.  Memoized. *)
+
+val universal : unit -> Dpoaf_automata.Ts.t
+(** Disjoint union of all five scenario models — the paper's "universal
+    model representing the entire system".  Memoized. *)
+
+val scenario_propositions : scenario -> string list
+(** Propositions that can occur in the scenario's states. *)

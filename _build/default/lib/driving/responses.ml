@@ -1,0 +1,146 @@
+type quality = Good | Risky | Bad
+
+type step = { text : string; quality : quality }
+
+let g text = { text; quality = Good }
+let r text = { text; quality = Risky }
+let b text = { text; quality = Bad }
+
+let observations task =
+  match task.Tasks.id with
+  | "right_turn_tl" | "go_straight_tl" ->
+      [
+        g "observe the state of the green traffic light";
+        g "look straight ahead and watch for the traffic light";
+        g "observe the state of the car from left";
+        g "check the state of the pedestrian at right";
+        g "wait for the green traffic light";
+      ]
+  | "left_turn_ll" ->
+      [
+        g "observe the state of the green left-turn light";
+        g "wait for the left-turn light to turn green";
+        g "check for oncoming traffic";
+      ]
+  | "go_straight_stop" | "right_turn_stop" | "left_turn_stop" ->
+      [
+        g "observe the state of the stop sign";
+        g "execute the action stop";
+        g "observe the state of the car from left";
+        g "check the state of the car from right";
+      ]
+  | "enter_roundabout" ->
+      [
+        g "observe the state of the car from left";
+        g "check the state of the pedestrian at left";
+      ]
+  | "left_turn_median" ->
+      [
+        g "observe the state of the car from left";
+        g "check the state of the car from right";
+      ]
+  | _ -> [ g "observe the state of the car from left" ]
+
+let finals task =
+  match task.Tasks.id with
+  | "right_turn_tl" ->
+      [
+        g "if no car from left and no pedestrian at right, execute the action turn right";
+        r "if the pedestrian at right is not present, execute the action turn right";
+        r "if the green traffic light is on, execute the action turn right";
+        r "if the green traffic light is on, execute the action go straight";
+        b "if it is safe, turn your vehicle right";
+        b "execute the action turn right";
+      ]
+  | "go_straight_tl" ->
+      [
+        g "if the green traffic light is on and no pedestrian in front, execute the action go straight";
+        r "if the green traffic light is on, execute the action go straight";
+        r "if no pedestrian in front, execute the action go straight";
+        b "if it is safe, start moving forward";
+        b "execute the action go straight";
+      ]
+  | "left_turn_ll" ->
+      [
+        g "if the green left-turn light is on, execute the action turn left";
+        g "if the green left-turn light is on and no opposite car, execute the action turn left";
+        r "if no opposite car, execute the action turn left";
+        r "if the opposite car is not present, execute the action turn left";
+        b "turn left and proceed through the intersection";
+        b "if it is safe, turn your vehicle left";
+      ]
+  | "go_straight_stop" ->
+      [
+        g "if no car from left and no car from right and no pedestrian in front, execute the action go straight";
+        r "if no car from left and no car from right, execute the action go straight";
+        r "if no car from left, execute the action go straight";
+        b "execute the action go straight";
+        b "if it is safe, start moving forward";
+      ]
+  | "right_turn_stop" ->
+      [
+        g "if no car from left and no pedestrian at right, execute the action turn right";
+        r "if the pedestrian at right is not present, execute the action turn right";
+        r "if no car from right, execute the action turn right";
+        b "execute the action turn right";
+        b "if it is safe, turn your vehicle right";
+      ]
+  | "enter_roundabout" ->
+      [
+        g "if no car from left and no pedestrian at left, execute the action turn right";
+        r "if no pedestrian at left, execute the action turn right";
+        r "if no car from left, execute the action turn right";
+        b "execute the action turn right";
+      ]
+  | "left_turn_stop" ->
+      [
+        g "if no car from left and no car from right and no opposite car, execute the action turn left";
+        r "if no car from left and no car from right, execute the action turn left";
+        r "if no car from left, execute the action turn left";
+        b "execute the action turn left";
+        b "if it is safe, turn your vehicle left";
+      ]
+  | "left_turn_median" ->
+      [
+        g "if no car from left and no car from right and no opposite car, execute the action turn left";
+        r "if no car from left and no car from right, execute the action turn left";
+        r "if no car from right, execute the action turn left";
+        b "turn left and proceed through the intersection";
+        b "execute the action turn left";
+      ]
+  | _ -> [ b "execute the action stop" ]
+
+let candidate_steps task =
+  List.map (fun s -> s.text) (observations task @ finals task)
+
+(* §5.1, raw response before fine-tuning. *)
+let right_turn_before_ft =
+  [
+    "1. Look straight ahead and watch for the traffic light.";
+    "2. If the traffic light turns green, start moving forward.";
+    "3. As you approach the intersection, observe the state of the car from left.";
+    "4. If the car from left is not present, check the state of the pedestrian at right.";
+    "5. If the pedestrian at right is not present, execute the action turn right.";
+  ]
+
+let right_turn_after_ft =
+  [
+    "1. Observe the state of the green traffic light.";
+    "2. Check for the left approaching car and right side pedestrian.";
+    "3. If no car from left and no pedestrian at right, execute the action turn right.";
+  ]
+
+(* Appendix C, left-turn example. *)
+let left_turn_before_ft =
+  [
+    "1. Observe the state of the green left-turn light.";
+    "2. Wait for the left-turn light to turn green.";
+    "3. If the opposite car is not present, execute the action turn left.";
+    "4. Turn left and proceed through the intersection.";
+  ]
+
+let left_turn_after_ft =
+  [
+    "1. Observe the state of the green left-turn light.";
+    "2. If the green left-turn light is on, execute the action turn left.";
+  ]

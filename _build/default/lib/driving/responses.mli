@@ -1,0 +1,32 @@
+(** Candidate instruction steps per task — the response space of the
+    (simulated) language model.
+
+    A response to a task prompt is a short sequence of steps drawn from the
+    task's candidate pool.  Pools deliberately mix fully guarded steps,
+    partially guarded steps (the paper's Φ5-style flaw: a turn that checks
+    pedestrians but not cars), unconditional actions, and noisy phrasings
+    that stress the alignment stage.  Which mixture the language model
+    prefers is exactly what DPO-AF fine-tunes. *)
+
+type quality = Good | Risky | Bad
+
+type step = { text : string; quality : quality }
+
+val observations : Tasks.t -> step list
+(** Observation / wait steps (quality [Good]; they never violate specs). *)
+
+val finals : Tasks.t -> step list
+(** Action-bearing steps that can complete the task, tagged by quality. *)
+
+val candidate_steps : Tasks.t -> string list
+(** All step texts for the task (observations then finals). *)
+
+(** {1 Paper worked examples (§5.1 and Appendix C)} *)
+
+val right_turn_before_ft : string list
+(** The pre-fine-tuning response for "turn right at the traffic light". *)
+
+val right_turn_after_ft : string list
+
+val left_turn_before_ft : string list
+val left_turn_after_ft : string list

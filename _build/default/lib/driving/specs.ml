@@ -1,0 +1,53 @@
+open Dpoaf_logic.Ltl
+module V = Vocab
+
+let a = atom
+let ( => ) = implies
+let ( &&& ) x y = And (x, y)
+let ( ||| ) x y = Or (x, y)
+
+let green = a V.green_traffic_light
+let green_ll = a V.green_left_turn_light
+let opposite = a V.opposite_car
+let car_left = a V.car_from_left
+let car_right = a V.car_from_right
+let ped_right = a V.pedestrian_at_right
+let ped_front = a V.pedestrian_in_front
+let sign = a V.stop_sign
+let stop = a V.act_stop
+let turn_left = a V.act_turn_left
+let turn_right = a V.act_turn_right
+let go_straight = a V.act_go_straight
+
+let formulas =
+  [|
+    (* Φ1 *) always (V.any_pedestrian => eventually stop);
+    (* Φ2 *) always ((opposite &&& neg green_ll) => neg turn_left);
+    (* Φ3 *) always (neg green => neg go_straight);
+    (* Φ4 *) always (sign => eventually stop);
+    (* Φ5 *) always ((car_left ||| ped_right) => neg turn_right);
+    (* Φ6 *) always (stop ||| go_straight ||| turn_left ||| turn_right);
+    (* Φ7 *) eventually (green ||| green_ll) => eventually (neg stop);
+    (* Φ8 *) always (neg green => eventually stop);
+    (* Φ9 *) always (car_left => neg (turn_left ||| turn_right));
+    (* Φ10 *) always (green => eventually (neg stop));
+    (* Φ11 *) always ((turn_right &&& neg green) => neg car_left);
+    (* Φ12 *)
+    always
+      ((turn_left &&& neg green_ll)
+      => (neg car_right &&& neg car_left &&& neg opposite));
+    (* Φ13 *)
+    always ((sign &&& neg car_left &&& neg car_right) => eventually (neg stop));
+    (* Φ14 *) always (go_straight => neg ped_front);
+    (* Φ15 *) always ((turn_right &&& sign) => neg car_left);
+  |]
+
+let count = Array.length formulas
+
+let phi i =
+  if i < 1 || i > count then invalid_arg "Specs.phi: index out of range 1..15"
+  else formulas.(i - 1)
+
+let all = List.init count (fun i -> (Printf.sprintf "phi_%d" (i + 1), formulas.(i)))
+
+let first_five = List.filteri (fun i _ -> i < 5) all

@@ -1,0 +1,15 @@
+(** The fifteen LTL traffic-rule specifications Φ1..Φ15 (paper, Appendix C).
+
+    Where the paper writes the generic "pedestrian", the formula expands to
+    the disjunction of the three pedestrian propositions. *)
+
+val phi : int -> Dpoaf_logic.Ltl.t
+(** [phi i] for [i] in 1..15.  @raise Invalid_argument otherwise. *)
+
+val all : (string * Dpoaf_logic.Ltl.t) list
+(** [("phi_1", Φ1); …; ("phi_15", Φ15)]. *)
+
+val first_five : (string * Dpoaf_logic.Ltl.t) list
+(** Φ1..Φ5, the subset reported in the paper's Figure 11. *)
+
+val count : int

@@ -1,0 +1,65 @@
+type split = Training | Validation
+
+type t = { id : string; prompt : string; scenario : Models.scenario; split : split }
+
+let all =
+  [
+    {
+      id = "right_turn_tl";
+      prompt = "turn right at the traffic light";
+      scenario = Models.Traffic_light;
+      split = Training;
+    };
+    {
+      id = "go_straight_tl";
+      prompt = "go straight at the traffic light";
+      scenario = Models.Traffic_light;
+      split = Training;
+    };
+    {
+      id = "left_turn_ll";
+      prompt = "turn left at the traffic light";
+      scenario = Models.Left_turn_light;
+      split = Training;
+    };
+    {
+      id = "go_straight_stop";
+      prompt = "go straight at the two-way stop sign";
+      scenario = Models.Two_way_stop;
+      split = Training;
+    };
+    {
+      id = "right_turn_stop";
+      prompt = "turn right at the stop sign";
+      scenario = Models.Two_way_stop;
+      split = Training;
+    };
+    {
+      id = "enter_roundabout";
+      prompt = "enter the roundabout";
+      scenario = Models.Roundabout;
+      split = Training;
+    };
+    {
+      id = "left_turn_stop";
+      prompt = "turn left at the stop sign";
+      scenario = Models.Two_way_stop;
+      split = Validation;
+    };
+    {
+      id = "left_turn_median";
+      prompt = "turn left through the wide median";
+      scenario = Models.Wide_median;
+      split = Validation;
+    };
+  ]
+
+let training = List.filter (fun t -> t.split = Training) all
+let validation = List.filter (fun t -> t.split = Validation) all
+
+let find id =
+  match List.find_opt (fun t -> t.id = id) all with
+  | Some t -> t
+  | None -> raise Not_found
+
+let query_text t = Printf.sprintf "Steps for %S" t.prompt

@@ -1,0 +1,26 @@
+(** Control-task prompts for the autonomous-driving system (§4.1 "Task
+    Prompt Engineering").
+
+    Tasks are split into training tasks (their preference pairs feed DPO)
+    and validation tasks (held out, used for the generalization curve in
+    the paper's Figure 9). *)
+
+type split = Training | Validation
+
+type t = {
+  id : string;
+  prompt : string;  (** e.g. "turn right at the traffic light" *)
+  scenario : Models.scenario;
+  split : split;
+}
+
+val all : t list
+val training : t list
+val validation : t list
+
+val find : string -> t
+(** Look up by [id].  @raise Not_found. *)
+
+val query_text : t -> string
+(** The first-stage prompt sent to the language model:
+    ["Steps for \"<prompt>\""]. *)

@@ -1,0 +1,104 @@
+module Lexicon = Dpoaf_lang.Lexicon
+module Ltl = Dpoaf_logic.Ltl
+
+let green_traffic_light = "green traffic light"
+let green_left_turn_light = "green left-turn light"
+let flashing_left_turn_light = "flashing left-turn light"
+let opposite_car = "opposite car"
+let car_from_left = "car from left"
+let car_from_right = "car from right"
+let pedestrian_at_left = "pedestrian at left"
+let pedestrian_at_right = "pedestrian at right"
+let pedestrian_in_front = "pedestrian in front"
+let stop_sign = "stop sign"
+
+let act_stop = "stop"
+let act_turn_left = "turn left"
+let act_turn_right = "turn right"
+let act_go_straight = "go straight"
+
+let propositions =
+  [
+    green_traffic_light;
+    green_left_turn_light;
+    flashing_left_turn_light;
+    opposite_car;
+    car_from_left;
+    car_from_right;
+    pedestrian_at_left;
+    pedestrian_at_right;
+    pedestrian_in_front;
+    stop_sign;
+  ]
+
+let actions = [ act_stop; act_turn_left; act_turn_right; act_go_straight ]
+
+let synonyms_props =
+  [
+    (green_traffic_light, "traffic light");
+    (green_traffic_light, "the light");
+    (green_traffic_light, "traffic light turns green");
+    (green_left_turn_light, "left turn light");
+    (green_left_turn_light, "left-turn light");
+    (green_left_turn_light, "left turn light turns green");
+    (green_left_turn_light, "green left turn light");
+    (flashing_left_turn_light, "flashing left turn light");
+    (flashing_left_turn_light, "flashing arrow");
+    (opposite_car, "oncoming traffic");
+    (opposite_car, "oncoming car");
+    (opposite_car, "traffic coming from the opposite direction");
+    (car_from_left, "left approaching car");
+    (car_from_left, "traffic coming from your left");
+    (car_from_left, "car approaching from the left");
+    (car_from_left, "vehicles on your left");
+    (car_from_right, "right approaching car");
+    (car_from_right, "traffic coming from your right");
+    (car_from_right, "car approaching from the right");
+    (pedestrian_at_right, "right side pedestrian");
+    (pedestrian_at_right, "pedestrians on your right");
+    (pedestrian_at_left, "left side pedestrian");
+    (pedestrian_at_left, "pedestrians on your left");
+    (pedestrian_in_front, "pedestrian crossing ahead");
+    (pedestrian_in_front, "people crossing in front");
+    (stop_sign, "the sign");
+  ]
+
+let synonyms_actions =
+  [
+    (act_go_straight, "move forward");
+    (act_go_straight, "moving forward");
+    (act_go_straight, "start moving forward");
+    (act_go_straight, "drive forward");
+    (act_go_straight, "proceed through the intersection");
+    (act_go_straight, "cross the intersection");
+    (act_turn_right, "turn your vehicle right");
+    (act_turn_right, "make a right turn");
+    (act_turn_right, "right turn");
+    (act_turn_left, "turn your vehicle left");
+    (act_turn_left, "make a left turn");
+    (act_turn_left, "left turn");
+    (act_stop, "come to a stop");
+    (act_stop, "brake");
+    (act_stop, "halt");
+    (act_stop, "wait");
+  ]
+
+let lexicon () =
+  let lex = Lexicon.create ~props:propositions ~actions in
+  List.iter
+    (fun (canonical, phrase) ->
+      Lexicon.add_synonym lex Lexicon.Proposition ~canonical ~phrase)
+    synonyms_props;
+  List.iter
+    (fun (canonical, phrase) ->
+      Lexicon.add_synonym lex Lexicon.Action ~canonical ~phrase)
+    synonyms_actions;
+  lex
+
+let any_pedestrian =
+  Ltl.disj
+    [
+      Ltl.atom pedestrian_at_left;
+      Ltl.atom pedestrian_at_right;
+      Ltl.atom pedestrian_in_front;
+    ]

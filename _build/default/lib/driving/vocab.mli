@@ -1,0 +1,37 @@
+(** The autonomous-driving vocabulary from the paper (§5.1).
+
+    Propositions describe what the vehicle perceives; actions are the
+    control outputs.  The lexicon carries the synonyms needed to align the
+    paper's example phrasings. *)
+
+val green_traffic_light : string
+val green_left_turn_light : string
+val flashing_left_turn_light : string
+val opposite_car : string
+val car_from_left : string
+val car_from_right : string
+val pedestrian_at_left : string
+val pedestrian_at_right : string
+val pedestrian_in_front : string
+val stop_sign : string
+
+val act_stop : string
+val act_turn_left : string
+val act_turn_right : string
+val act_go_straight : string
+
+val propositions : string list
+(** The ten propositions, in the paper's order. *)
+
+val actions : string list
+(** The four actions. *)
+
+val lexicon : unit -> Dpoaf_lang.Lexicon.t
+(** Fresh lexicon over the vocabulary, loaded with driving synonyms
+    ("oncoming traffic" → opposite car, "left approaching car" →
+    car from left, …). *)
+
+val any_pedestrian : Dpoaf_logic.Ltl.t
+(** [pedestrian at left ∨ pedestrian at right ∨ pedestrian in front] — the
+    expansion used where the paper's specifications write the generic
+    "pedestrian". *)

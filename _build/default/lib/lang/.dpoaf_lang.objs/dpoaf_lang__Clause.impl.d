@@ -1,0 +1,1 @@
+lib/lang/clause.ml: Dpoaf_automata Format

@@ -1,0 +1,1 @@
+lib/lang/clause.mli: Dpoaf_automata Dpoaf_logic Format

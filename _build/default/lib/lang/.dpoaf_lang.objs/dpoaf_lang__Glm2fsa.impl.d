@@ -1,0 +1,1 @@
+lib/lang/glm2fsa.ml: Clause Dpoaf_automata Dpoaf_logic List Step_parser

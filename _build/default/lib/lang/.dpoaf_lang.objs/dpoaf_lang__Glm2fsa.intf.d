@@ -1,0 +1,1 @@
+lib/lang/glm2fsa.mli: Clause Dpoaf_automata Lexicon Step_parser

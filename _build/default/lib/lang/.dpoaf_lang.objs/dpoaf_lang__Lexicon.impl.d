@@ -1,0 +1,1 @@
+lib/lang/lexicon.ml: Dpoaf_util Hashtbl List Printf

@@ -1,0 +1,1 @@
+lib/lang/repair.ml: Clause Dpoaf_logic Glm2fsa List

@@ -1,0 +1,1 @@
+lib/lang/repair.mli: Clause Dpoaf_logic

@@ -1,0 +1,1 @@
+lib/lang/step_parser.ml: Clause Dpoaf_util Fun Lexicon List String

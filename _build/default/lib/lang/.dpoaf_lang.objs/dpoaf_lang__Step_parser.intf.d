@@ -1,0 +1,1 @@
+lib/lang/step_parser.mli: Clause Lexicon

@@ -1,0 +1,50 @@
+module Fsa = Dpoaf_automata.Fsa
+
+type condition =
+  | Cond_atom of string
+  | Cond_not of string
+  | Cond_and of condition * condition
+  | Cond_or of condition * condition
+
+type t =
+  | Observe of string
+  | If_act of condition * string
+  | If_advance of condition
+  | If_goto of condition * int
+  | Act of string
+
+let rec condition_atoms = function
+  | Cond_atom a | Cond_not a -> [ a ]
+  | Cond_and (a, b) | Cond_or (a, b) -> condition_atoms a @ condition_atoms b
+
+let atoms = function
+  | Observe a -> [ a ]
+  | If_act (c, _) | If_advance c | If_goto (c, _) -> condition_atoms c
+  | Act _ -> []
+
+let action = function
+  | If_act (_, a) | Act a -> Some a
+  | Observe _ | If_advance _ | If_goto _ -> None
+
+let rec guard_of_condition = function
+  | Cond_atom a -> Fsa.Gatom a
+  | Cond_not a -> Fsa.Gnot (Fsa.Gatom a)
+  | Cond_and (a, b) -> Fsa.Gand (guard_of_condition a, guard_of_condition b)
+  | Cond_or (a, b) -> Fsa.Gor (guard_of_condition a, guard_of_condition b)
+
+let eval_condition c sym = Fsa.eval_guard (guard_of_condition c) sym
+
+let rec pp_condition ppf = function
+  | Cond_atom a -> Format.fprintf ppf "<%s>" a
+  | Cond_not a -> Format.fprintf ppf "<no %s>" a
+  | Cond_and (a, b) -> Format.fprintf ppf "%a %a" pp_condition a pp_condition b
+  | Cond_or (a, b) -> Format.fprintf ppf "(%a or %a)" pp_condition a pp_condition b
+
+let pp ppf = function
+  | Observe a -> Format.fprintf ppf "<observe %s>" a
+  | If_act (c, act) -> Format.fprintf ppf "<if> %a, <%s>" pp_condition c act
+  | If_advance c -> Format.fprintf ppf "<if> %a, <check next>" pp_condition c
+  | If_goto (c, k) -> Format.fprintf ppf "<if> %a, <goto step %d>" pp_condition c k
+  | Act a -> Format.fprintf ppf "<%s>" a
+
+let to_string c = Format.asprintf "%a" pp c

@@ -1,0 +1,59 @@
+module Fsa = Dpoaf_automata.Fsa
+module Symbol = Dpoaf_logic.Symbol
+
+let stop_action = "stop"
+
+let stop_sym = Symbol.singleton stop_action
+
+let controller ~name clauses =
+  match clauses with
+  | [] ->
+      Fsa.make ~name ~n_states:1 ~init:0
+        ~transitions:[ { Fsa.src = 0; guard = Fsa.Gtrue; action = stop_sym; dst = 0 } ]
+        ()
+  | _ ->
+      let n = List.length clauses in
+      let next i = (i + 1) mod n in
+      (* out-of-range step numbers restart the procedure *)
+      let clamp k = if k >= 1 && k <= n then k - 1 else 0 in
+      let transitions =
+        List.concat
+          (List.mapi
+             (fun i clause ->
+               match clause with
+               | Clause.Observe _ ->
+                   [ { Fsa.src = i; guard = Fsa.Gtrue; action = stop_sym; dst = next i } ]
+               | Clause.Act a ->
+                   [
+                     {
+                       Fsa.src = i;
+                       guard = Fsa.Gtrue;
+                       action = Symbol.singleton a;
+                       dst = next i;
+                     };
+                   ]
+               | Clause.If_act (c, a) ->
+                   let g = Clause.guard_of_condition c in
+                   [
+                     { Fsa.src = i; guard = g; action = Symbol.singleton a; dst = next i };
+                     { Fsa.src = i; guard = Fsa.Gnot g; action = stop_sym; dst = i };
+                   ]
+               | Clause.If_advance c ->
+                   let g = Clause.guard_of_condition c in
+                   [
+                     { Fsa.src = i; guard = g; action = stop_sym; dst = next i };
+                     { Fsa.src = i; guard = Fsa.Gnot g; action = stop_sym; dst = i };
+                   ]
+               | Clause.If_goto (c, k) ->
+                   let g = Clause.guard_of_condition c in
+                   [
+                     { Fsa.src = i; guard = g; action = stop_sym; dst = clamp k };
+                     { Fsa.src = i; guard = Fsa.Gnot g; action = stop_sym; dst = next i };
+                   ])
+             clauses)
+      in
+      Fsa.make ~name ~n_states:n ~init:0 ~transitions ()
+
+let of_steps ~name lexicon steps =
+  let clauses, stats = Step_parser.parse_steps lexicon steps in
+  (controller ~name clauses, stats)

@@ -1,0 +1,24 @@
+(** Controller construction from parsed clauses (GLM2FSA, Yang et al. 2022).
+
+    One FSA state is built per clause; the state of the first clause is
+    initial.  Conditional clauses wait in place (emitting [stop]) until
+    their condition holds; advancing past the final clause restarts the
+    procedure from the first state, so controllers act forever, as required
+    by verification over infinite traces.
+
+    The "no-operation" output ε is identified with the [stop] action: the
+    vehicle holds position whenever the controller is observing or
+    waiting. *)
+
+val stop_action : string
+
+val controller : name:string -> Clause.t list -> Dpoaf_automata.Fsa.t
+(** Compile clauses to a controller.  An empty clause list yields the
+    single-state always-[stop] controller. *)
+
+val of_steps :
+  name:string ->
+  Lexicon.t ->
+  string list ->
+  Dpoaf_automata.Fsa.t * Step_parser.stats
+(** Parse textual steps and compile them: the full GLM2FSA pipeline. *)

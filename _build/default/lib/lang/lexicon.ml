@@ -1,0 +1,97 @@
+module Strext = Dpoaf_util.Strext
+
+type kind = Proposition | Action
+
+type quality = Exact | Synonym | Fuzzy of float
+
+type t = {
+  props : string list;
+  actions : string list;
+  prop_synonyms : (string, string) Hashtbl.t;  (* normalized phrase -> canonical *)
+  action_synonyms : (string, string) Hashtbl.t;
+}
+
+let stopwords =
+  [
+    "the"; "a"; "an"; "of"; "state"; "is"; "are"; "on"; "off"; "your"; "you";
+    "for"; "to"; "and"; "then"; "it"; "there"; "at"; "in"; "present"; "please";
+  ]
+
+let normalize phrase =
+  Strext.lowercase_words phrase
+  |> List.filter (fun w -> not (List.mem w stopwords))
+
+let norm_key phrase = Strext.join (normalize phrase)
+
+let create ~props ~actions =
+  {
+    props;
+    actions;
+    prop_synonyms = Hashtbl.create 32;
+    action_synonyms = Hashtbl.create 32;
+  }
+
+let vocabulary t = function Proposition -> t.props | Action -> t.actions
+
+let synonyms t = function
+  | Proposition -> t.prop_synonyms
+  | Action -> t.action_synonyms
+
+let add_synonym t kind ~canonical ~phrase =
+  if not (List.mem canonical (vocabulary t kind)) then
+    invalid_arg (Printf.sprintf "Lexicon.add_synonym: unknown canonical %s" canonical);
+  Hashtbl.replace (synonyms t kind) (norm_key phrase) canonical
+
+let overlap_score ~phrase_words ~canon_words =
+  let inter =
+    List.filter (fun w -> List.mem w phrase_words) canon_words |> List.length
+  in
+  if canon_words = [] then 0.0
+  else
+    let recall = float_of_int inter /. float_of_int (List.length canon_words) in
+    let precision =
+      if phrase_words = [] then 0.0
+      else float_of_int inter /. float_of_int (List.length phrase_words)
+    in
+    if recall +. precision = 0.0 then 0.0
+    else 2.0 *. recall *. precision /. (recall +. precision)
+
+let align t kind phrase =
+  let key = norm_key phrase in
+  let vocab = vocabulary t kind in
+  match List.find_opt (fun c -> norm_key c = key) vocab with
+  | Some c -> Some (c, Exact)
+  | None -> (
+      match Hashtbl.find_opt (synonyms t kind) key with
+      | Some c -> Some (c, Synonym)
+      | None ->
+          let phrase_words = normalize phrase in
+          let scored =
+            List.map
+              (fun c ->
+                (c, overlap_score ~phrase_words ~canon_words:(normalize c)))
+              vocab
+          in
+          let best =
+            List.fold_left
+              (fun acc (c, s) ->
+                match acc with
+                | Some (_, s0) when s0 >= s -> acc
+                | _ -> Some (c, s))
+              None scored
+          in
+          match best with
+          | Some (c, s) when s >= 0.5 -> Some (c, Fuzzy s)
+          | _ -> None)
+
+let negation_markers = [ "no"; "not"; "without" ]
+
+let align_condition_phrase t phrase =
+  let words = Strext.lowercase_words phrase in
+  let negated = List.exists (fun w -> List.mem w negation_markers) words in
+  let cleaned =
+    List.filter (fun w -> not (List.mem w negation_markers)) words |> Strext.join
+  in
+  match align t Proposition cleaned with
+  | Some (c, q) -> Some (c, negated, q)
+  | None -> None

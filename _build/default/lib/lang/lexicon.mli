@@ -1,0 +1,31 @@
+(** Alignment of surface phrases to the canonical proposition and action
+    vocabulary (the paper's second prompt, "align the steps to the defined
+    Boolean propositions and actions").
+
+    Matching is exact first, then via registered synonyms, then by
+    stopword-filtered word overlap.  Fuzzy matching can mis-align ambiguous
+    phrasings (e.g. bare "pedestrian" against the three pedestrian
+    propositions); reducing such mistakes is part of what DPO-AF trains the
+    language model to do. *)
+
+type kind = Proposition | Action
+
+type quality = Exact | Synonym | Fuzzy of float
+
+type t
+
+val create : props:string list -> actions:string list -> t
+
+val add_synonym : t -> kind -> canonical:string -> phrase:string -> unit
+(** Register an alternative phrasing.  @raise Invalid_argument if
+    [canonical] is not in the vocabulary. *)
+
+val vocabulary : t -> kind -> string list
+
+val align : t -> kind -> string -> (string * quality) option
+(** Best canonical term for a surface phrase, or [None] when nothing
+    clears the overlap threshold. *)
+
+val align_condition_phrase : t -> string -> (string * bool * quality) option
+(** Align a condition phrase, extracting negation markers ("no X",
+    "X is not present", "X is off"): returns (canonical, negated, quality). *)

@@ -1,0 +1,84 @@
+module Ltl = Dpoaf_logic.Ltl
+
+exception Not_propositional
+
+(* The never-true proposition: no world model labels a state with it. *)
+let never = "__never__"
+
+(* Partial evaluation of a propositional formula under a partial atom
+   assignment, with eager simplification. *)
+let rec peval assign f =
+  match f with
+  | Ltl.True | Ltl.False -> f
+  | Ltl.Atom a -> (
+      match assign a with
+      | Some true -> Ltl.True
+      | Some false -> Ltl.False
+      | None -> f)
+  | Ltl.Not g -> (
+      match peval assign g with
+      | Ltl.True -> Ltl.False
+      | Ltl.False -> Ltl.True
+      | g' -> Ltl.Not g')
+  | Ltl.And (a, b) -> (
+      match (peval assign a, peval assign b) with
+      | Ltl.False, _ | _, Ltl.False -> Ltl.False
+      | Ltl.True, x | x, Ltl.True -> x
+      | x, y -> Ltl.And (x, y))
+  | Ltl.Or (a, b) -> (
+      match (peval assign a, peval assign b) with
+      | Ltl.True, _ | _, Ltl.True -> Ltl.True
+      | Ltl.False, x | x, Ltl.False -> x
+      | x, y -> Ltl.Or (x, y))
+  | Ltl.Implies (a, b) -> peval assign (Ltl.Or (Ltl.Not a, b))
+  | Ltl.Next _ | Ltl.Until _ | Ltl.Release _ | Ltl.Eventually _ | Ltl.Always _ ->
+      raise Not_propositional
+
+(* Propositional NNF formula → clause condition. *)
+let rec cond_of_prop = function
+  | Ltl.Atom a -> Clause.Cond_atom a
+  | Ltl.Not (Ltl.Atom a) -> Clause.Cond_not a
+  | Ltl.And (a, b) -> Clause.Cond_and (cond_of_prop a, cond_of_prop b)
+  | Ltl.Or (a, b) -> Clause.Cond_or (cond_of_prop a, cond_of_prop b)
+  | Ltl.True -> Clause.Cond_not never
+  | Ltl.False -> Clause.Cond_atom never
+  | _ -> raise Not_propositional
+
+let residual_condition specs ~action ~all_actions =
+  let assign atom =
+    if atom = action then Some true
+    else if List.mem atom all_actions then Some false
+    else None
+  in
+  let residuals =
+    List.filter_map
+      (fun spec ->
+        match spec with
+        | Ltl.Always body -> (
+            match peval assign body with
+            | exception Not_propositional -> None
+            | Ltl.True -> None
+            | reduced -> Some (cond_of_prop (Ltl.nnf reduced)))
+        | _ -> None)
+      specs
+  in
+  match residuals with
+  | [] -> None
+  | c :: rest -> Some (List.fold_left (fun acc d -> Clause.Cond_and (acc, d)) c rest)
+
+let harden ~specs ~all_actions clauses =
+  let residual action = residual_condition specs ~action ~all_actions in
+  List.map
+    (fun clause ->
+      match clause with
+      | Clause.Observe _ | Clause.If_advance _ | Clause.If_goto _ -> clause
+      | Clause.If_act (cond, a) when a <> Glm2fsa.stop_action -> (
+          match residual a with
+          | None -> clause
+          | Some extra -> Clause.If_act (Clause.Cond_and (cond, extra), a))
+      | Clause.Act a when a <> Glm2fsa.stop_action -> (
+          match residual a with
+          | None -> clause
+          | Some extra -> Clause.If_act (extra, a))
+      | Clause.If_act _ | Clause.Act _ -> clause)
+    clauses

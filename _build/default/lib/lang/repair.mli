@@ -1,0 +1,37 @@
+(** Specification-guided controller repair — the "post-hoc hardening"
+    baseline against which DPO-AF's fine-tuning is compared.
+
+    For each invariant specification [□ body] whose body is purely
+    propositional, and for each action [a], the residual obligation when
+    the controller emits exactly [a] is [body] with [a ↦ true] and every
+    other action atom [↦ false] — a propositional constraint over
+    environment propositions.  {!harden} conjoins that constraint onto the
+    guard of every clause that emits [a], so the hardened controller waits
+    whenever acting would violate an invariant.
+
+    This fixes the invariant (safety) rules of individual controllers but,
+    unlike fine-tuning, does not improve the {e generator}: newly sampled
+    responses are as careless as before, alignment quality does not
+    improve, and non-invariant (liveness) specifications are untouched.
+    The bench's [abl-repair] section quantifies this. *)
+
+val residual_condition :
+  Dpoaf_logic.Ltl.t list ->
+  action:string ->
+  all_actions:string list ->
+  Clause.condition option
+(** The conjunction over all propositional invariants of the residual
+    obligation for emitting [action].  [None] when the obligation is
+    trivially true.  Specifications with temporal operators inside [□] (or
+    with no leading [□]) contribute nothing.  Returns a condition that is
+    unsatisfiable ([Cond_and (Cond_atom p, Cond_not p)]-shaped) when the
+    action is forbidden outright. *)
+
+val harden :
+  specs:Dpoaf_logic.Ltl.t list ->
+  all_actions:string list ->
+  Clause.t list ->
+  Clause.t list
+(** Strengthen every action-emitting clause ([If_act] and [Act]) with the
+    action's residual obligation; [Act a] becomes [If_act (residual, a)].
+    The [stop] action is never hardened (stopping must stay available). *)

@@ -1,0 +1,277 @@
+module Strext = Dpoaf_util.Strext
+
+type outcome =
+  | Parsed of Clause.t
+  | Degraded of Clause.t * string
+  | Failed of string
+
+type stats = {
+  total : int;
+  exact : int;
+  fuzzy : int;
+  degraded : int;
+  failed : int;
+}
+
+let is_number w = w <> "" && String.for_all (fun c -> c >= '0' && c <= '9') w
+
+(* Strip a leading enumeration marker such as "1." (already depunctuated). *)
+let strip_step_number words =
+  match words with n :: rest when is_number n -> rest | _ -> words
+
+let observe_verbs = [ "observe"; "watch"; "look"; "monitor"; "check" ]
+let wait_verbs = [ "wait" ]
+
+let action_prefixes =
+  [
+    [ "execute"; "action" ];
+    [ "execute" ];
+    [ "proceed"; "to" ];
+    [ "start"; "to" ];
+    [ "begin"; "to" ];
+    [ "start" ];
+    [ "then" ];
+  ]
+
+let rec strip_prefixes prefixes words =
+  match prefixes with
+  | [] -> words
+  | p :: rest -> (
+      match Strext.strip_prefix ~prefix:p words with
+      | Some stripped when stripped <> [] -> strip_prefixes action_prefixes stripped
+      | _ -> strip_prefixes rest words)
+
+(* Split a word list at the first occurrence of a separator word. *)
+let split_at_word sep words =
+  let rec go acc = function
+    | [] -> None
+    | w :: rest when w = sep -> Some (List.rev acc, rest)
+    | w :: rest -> go (w :: acc) rest
+  in
+  go [] words
+
+let quality_is_fuzzy = function Lexicon.Fuzzy _ -> true | _ -> false
+
+(* Parse a condition phrase, possibly with "and"-joined conjuncts. *)
+let parse_condition lexicon words =
+  let conjunct_phrases =
+    let rec split acc current = function
+      | [] -> List.rev (List.rev current :: acc)
+      | "and" :: rest -> split (List.rev current :: acc) [] rest
+      | w :: rest -> split acc (w :: current) rest
+    in
+    split [] [] words |> List.filter (fun ws -> ws <> [])
+  in
+  let aligned =
+    List.map
+      (fun ws -> Lexicon.align_condition_phrase lexicon (Strext.join ws))
+      conjunct_phrases
+  in
+  if List.exists (fun o -> o = None) aligned || aligned = [] then None
+  else
+    let parts = List.filter_map Fun.id aligned in
+    let fuzzy = List.exists (fun (_, _, q) -> quality_is_fuzzy q) parts in
+    let conds =
+      List.map
+        (fun (c, negated, _) ->
+          if negated then Clause.Cond_not c else Clause.Cond_atom c)
+        parts
+    in
+    match conds with
+    | [] -> None
+    | c :: rest ->
+        Some (List.fold_left (fun acc d -> Clause.Cond_and (acc, d)) c rest, fuzzy)
+
+let align_action lexicon words =
+  match Lexicon.align lexicon Lexicon.Action (Strext.join words) with
+  | Some _ as hit -> hit
+  | None ->
+      let stripped = strip_prefixes action_prefixes words in
+      if stripped == words then None
+      else Lexicon.align lexicon Lexicon.Action (Strext.join stripped)
+
+let align_observed lexicon words =
+  (* drop the leading verb (and particles) before aligning the object *)
+  let rec drop_verb = function
+    | w :: rest
+      when List.mem w observe_verbs || List.mem w [ "for"; "at"; "straight"; "ahead" ]
+      ->
+        drop_verb rest
+    | ws -> ws
+  in
+  Lexicon.align lexicon Lexicon.Proposition (Strext.join (drop_verb words))
+
+let is_goto words =
+  match words with
+  | "go" :: "to" :: "step" :: k :: _
+  | "return" :: "to" :: "step" :: k :: _
+  | "goto" :: "step" :: k :: _ ->
+      int_of_string_opt k
+  | _ -> None
+
+(* Parse the consequent of an "if" step. *)
+let parse_consequent lexicon words =
+  match is_goto words with
+  | Some k -> Some (`Goto k, false)
+  | None -> (
+      match words with
+      | v :: _ when List.mem v observe_verbs ->
+          (* "check the pedestrian at right": advancing is enough — the next
+             step tests the observed proposition itself. *)
+          Some (`Advance, false)
+      | _ -> (
+          match align_action lexicon words with
+          | Some (a, q) -> Some (`Act a, quality_is_fuzzy q)
+          | None -> None))
+
+(* Words that can begin the consequent of a conditional step; used to
+   recover the condition/consequent boundary when the text carries no
+   punctuation (e.g. after detokenization). *)
+let consequent_starters =
+  [
+    "execute"; "check"; "observe"; "then"; "proceed"; "goto"; "go"; "turn";
+    "stop"; "wait"; "start"; "begin"; "make"; "come"; "halt"; "brake";
+    "drive"; "cross"; "move";
+  ]
+
+(* Returns the outcome plus whether fuzzy alignment was needed anywhere. *)
+let parse_step_ex lexicon sentence =
+  let words = strip_step_number (Strext.lowercase_words sentence) in
+  match words with
+  | [] -> (Failed "empty step", false)
+  | ("if" | "when" | "once") :: rest -> (
+      let take k = List.filteri (fun i _ -> i < k) rest in
+      let drop k = List.filteri (fun i _ -> i >= k) rest in
+      let split_ok (cond_words, cons_words) =
+        if parse_condition lexicon cond_words <> None
+           && parse_consequent lexicon cons_words <> None
+        then Some (cond_words, cons_words)
+        else None
+      in
+      let split =
+        match split_at_word "," rest with
+        | Some _ as s -> s
+        | None -> (
+            match split_at_word "then" rest with
+            | Some _ as s -> s
+            | None -> (
+                match String.index_opt sentence ',' with
+                | Some i ->
+                    let cond_part = String.sub sentence 0 i in
+                    let cons_part =
+                      String.sub sentence (i + 1) (String.length sentence - i - 1)
+                    in
+                    let cond_words =
+                      match strip_step_number (Strext.lowercase_words cond_part) with
+                      | "if" :: c -> c
+                      | c -> c
+                    in
+                    Some (cond_words, Strext.lowercase_words cons_part)
+                | None ->
+                    (* no punctuation: try boundaries at consequent-starting
+                       words first, then every split point (longest
+                       condition first, to keep "and" conjuncts intact) *)
+                    let n = List.length rest in
+                    let starter_splits =
+                      List.filter_map
+                        (fun i ->
+                          if i >= 1 && List.mem (List.nth rest i) consequent_starters
+                          then split_ok (take i, drop i)
+                          else None)
+                        (List.init n Fun.id)
+                    in
+                    let fallback_splits () =
+                      List.filter_map
+                        (fun k -> split_ok (take k, drop k))
+                        (List.init (max 0 (n - 1)) (fun j -> n - 1 - j))
+                    in
+                    (match starter_splits with
+                    | s :: _ -> Some s
+                    | [] -> (
+                        match fallback_splits () with s :: _ -> Some s | [] -> None))))
+      in
+      match split with
+      | None -> (
+          (* The condition cannot be aligned anywhere.  If an action is
+             still recognizable in some suffix, keep it unguarded — the
+             dangerous degradation the fine-tuning is meant to eliminate. *)
+          let n = List.length rest in
+          let salvaged =
+            List.find_map
+              (fun i ->
+                if i < 1 then None
+                else
+                  match parse_consequent lexicon (drop i) with
+                  | Some (`Act a, f) -> Some (a, f)
+                  | _ -> None)
+              (List.init n Fun.id)
+          in
+          match salvaged with
+          | Some (a, f) ->
+              (Degraded (Clause.Act a, "condition could not be aligned"), f)
+          | None -> (Failed "conditional step without a consequent", false))
+      | Some (cond_words, cons_words) -> (
+          let cond = parse_condition lexicon cond_words in
+          let cons = parse_consequent lexicon cons_words in
+          match (cond, cons) with
+          | Some (c, f1), Some (`Act a, f2) -> (Parsed (Clause.If_act (c, a)), f1 || f2)
+          | Some (c, f1), Some (`Advance, f2) -> (Parsed (Clause.If_advance c), f1 || f2)
+          | Some (c, f1), Some (`Goto k, f2) -> (Parsed (Clause.If_goto (c, k)), f1 || f2)
+          | None, Some (`Act a, f2) ->
+              (* dangerous degradation: condition lost, action kept *)
+              (Degraded (Clause.Act a, "condition could not be aligned"), f2)
+          | None, Some ((`Advance | `Goto _), _) ->
+              (Failed "condition could not be aligned", false)
+          | _, None -> (Failed "consequent could not be aligned", false)))
+  | v :: _ when List.mem v wait_verbs -> (
+      (* "wait for the left-turn light to turn green" *)
+      let cond_words =
+        List.filter
+          (fun w -> not (List.mem w [ "wait"; "for"; "until"; "turn"; "to" ]))
+          words
+      in
+      match parse_condition lexicon cond_words with
+      | Some (c, f) -> (Parsed (Clause.If_advance c), f)
+      | None -> (Failed "wait condition could not be aligned", false))
+  | v :: _ when List.mem v observe_verbs -> (
+      match align_observed lexicon words with
+      | Some (p, q) -> (Parsed (Clause.Observe p), quality_is_fuzzy q)
+      | None -> (
+          (* "check for oncoming traffic" might still align as an action *)
+          match align_action lexicon words with
+          | Some (a, q) ->
+              (Degraded (Clause.Act a, "observation read as action"), quality_is_fuzzy q)
+          | None -> (Failed "observed object could not be aligned", false)))
+  | _ -> (
+      match align_action lexicon words with
+      | Some (a, q) ->
+          if quality_is_fuzzy q then
+            (Degraded (Clause.Act a, "fuzzy action alignment"), true)
+          else (Parsed (Clause.Act a), false)
+      | None -> (
+          match align_observed lexicon words with
+          | Some (p, q) ->
+              ( Degraded (Clause.Observe p, "bare proposition read as observation"),
+                quality_is_fuzzy q )
+          | None -> (Failed "step could not be aligned", false)))
+
+let parse_step lexicon sentence = fst (parse_step_ex lexicon sentence)
+
+let parse_steps lexicon steps =
+  let results = List.map (parse_step_ex lexicon) steps in
+  let clauses =
+    List.filter_map
+      (function Parsed c, _ | Degraded (c, _), _ -> Some c | Failed _, _ -> None)
+      results
+  in
+  let count pred = List.length (List.filter pred results) in
+  let stats =
+    {
+      total = List.length steps;
+      exact = count (function Parsed _, f -> not f | _ -> false);
+      fuzzy = count (fun (_, f) -> f);
+      degraded = count (function Degraded _, _ -> true | _ -> false);
+      failed = count (function Failed _, _ -> true | _ -> false);
+    }
+  in
+  (clauses, stats)

@@ -1,0 +1,30 @@
+(** Semantic parsing of textual instruction steps into {!Clause.t}.
+
+    This is GLM2FSA's parsing stage: each step sentence is broken into an
+    (optional) condition and a consequent, phrases are aligned to the
+    canonical vocabulary through the {!Lexicon}, and the result is a clause
+    ready for controller construction.
+
+    Parsing is deliberately permissive: an unalignable condition attached to
+    an alignable action degrades to an unconditional action (the dangerous
+    reading), and a fully unalignable step is dropped.  Both are reported in
+    {!stats} — the paper's fine-tuning explicitly optimizes the language
+    model to avoid producing such steps. *)
+
+type outcome =
+  | Parsed of Clause.t
+  | Degraded of Clause.t * string  (** clause + reason for the degradation *)
+  | Failed of string  (** reason *)
+
+type stats = {
+  total : int;
+  exact : int;  (** steps aligned without fuzziness *)
+  fuzzy : int;  (** steps that needed fuzzy alignment *)
+  degraded : int;
+  failed : int;
+}
+
+val parse_step : Lexicon.t -> string -> outcome
+
+val parse_steps : Lexicon.t -> string list -> Clause.t list * stats
+(** Parse each step; failed steps contribute no clause. *)

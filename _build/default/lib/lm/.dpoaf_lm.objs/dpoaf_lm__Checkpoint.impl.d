@@ -1,0 +1,1 @@
+lib/lm/checkpoint.ml: Array Dpoaf_tensor Dpoaf_util Fun List Marshal Model Vocab

@@ -1,0 +1,1 @@
+lib/lm/checkpoint.mli: Model

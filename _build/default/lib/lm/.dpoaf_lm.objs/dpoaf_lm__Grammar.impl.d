@@ -1,0 +1,1 @@
+lib/lm/grammar.ml: Int List Map Printf Vocab

@@ -1,0 +1,1 @@
+lib/lm/grammar.mli: Vocab

@@ -1,0 +1,1 @@
+lib/lm/model.ml: Dpoaf_tensor Grammar List Option Vocab

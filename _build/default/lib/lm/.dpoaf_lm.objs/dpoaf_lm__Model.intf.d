@@ -1,0 +1,1 @@
+lib/lm/model.mli: Dpoaf_tensor Dpoaf_util Grammar Vocab

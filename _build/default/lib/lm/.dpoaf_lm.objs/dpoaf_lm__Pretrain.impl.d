@@ -1,0 +1,1 @@
+lib/lm/pretrain.ml: Array Dpoaf_tensor Dpoaf_util Grammar List Model

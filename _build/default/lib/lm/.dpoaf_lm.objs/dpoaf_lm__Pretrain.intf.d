@@ -1,0 +1,1 @@
+lib/lm/pretrain.mli: Dpoaf_util Grammar Model

@@ -1,0 +1,1 @@
+lib/lm/prompt_format.ml: List Printf String

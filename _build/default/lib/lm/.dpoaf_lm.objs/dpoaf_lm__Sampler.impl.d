@@ -1,0 +1,1 @@
+lib/lm/sampler.ml: Array Dpoaf_tensor Dpoaf_util Float Grammar List Model

@@ -1,0 +1,1 @@
+lib/lm/sampler.mli: Dpoaf_util Grammar Model

@@ -1,0 +1,1 @@
+lib/lm/vocab.ml: Array Dpoaf_util Hashtbl List String

@@ -1,0 +1,82 @@
+module Tensor = Dpoaf_tensor.Tensor
+module Lora = Dpoaf_tensor.Lora
+
+let version = 2
+
+type blob = {
+  blob_version : int;
+  dim : int;
+  context : int;
+  lora_rank : int;
+  is_gru : bool;
+  words : string list;
+  embedding : float array;
+  out_base : float array;
+  out_a : float array;
+  out_b : float array;
+  bias : float array;
+  gru : float array list;  (* 9 tensors in Model.gru_tensors order; [] for Bow *)
+}
+
+let data t = Array.init (Tensor.numel t) (Tensor.get t)
+
+let save model path =
+  let cfg = model.Model.config in
+  let blob =
+    {
+      blob_version = version;
+      dim = cfg.Model.dim;
+      context = cfg.Model.context;
+      lora_rank = cfg.Model.lora_rank;
+      is_gru = cfg.Model.arch = Model.Gru;
+      words = Vocab.export model.Model.vocab;
+      embedding = data model.Model.embedding;
+      out_base = data model.Model.out.Lora.base;
+      out_a = data model.Model.out.Lora.a;
+      out_b = data model.Model.out.Lora.b;
+      bias = data model.Model.bias;
+      gru =
+        (match model.Model.gru with
+        | None -> []
+        | Some g ->
+            List.map data
+              [ g.Model.wz; g.Model.uz; g.Model.bz; g.Model.wr; g.Model.ur;
+                g.Model.br; g.Model.wh; g.Model.uh; g.Model.bh ]);
+    }
+  in
+  let oc = open_out_bin path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> Marshal.to_channel oc blob [])
+
+let restore dst src =
+  if Tensor.numel dst <> Array.length src then failwith "Checkpoint: size mismatch";
+  Array.iteri (fun i v -> Tensor.set dst i v) src
+
+let load path =
+  let ic = open_in_bin path in
+  let blob =
+    Fun.protect ~finally:(fun () -> close_in ic) (fun () -> (Marshal.from_channel ic : blob))
+  in
+  if blob.blob_version <> version then failwith "Checkpoint: version mismatch";
+  let vocab = Vocab.import blob.words in
+  let config =
+    {
+      Model.dim = blob.dim;
+      context = blob.context;
+      lora_rank = blob.lora_rank;
+      arch = (if blob.is_gru then Model.Gru else Model.Bow);
+    }
+  in
+  let model = Model.create (Dpoaf_util.Rng.create 0) config vocab in
+  restore model.Model.embedding blob.embedding;
+  restore model.Model.out.Lora.base blob.out_base;
+  restore model.Model.out.Lora.a blob.out_a;
+  restore model.Model.out.Lora.b blob.out_b;
+  restore model.Model.bias blob.bias;
+  (match model.Model.gru with
+  | None -> if blob.gru <> [] then failwith "Checkpoint: unexpected GRU tensors"
+  | Some g ->
+      List.iter2 restore
+        [ g.Model.wz; g.Model.uz; g.Model.bz; g.Model.wr; g.Model.ur; g.Model.br;
+          g.Model.wh; g.Model.uh; g.Model.bh ]
+        blob.gru);
+  model

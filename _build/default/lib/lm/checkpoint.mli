@@ -1,0 +1,11 @@
+(** Model (de)serialization.
+
+    Checkpoints store the configuration, vocabulary and all parameter
+    tensors in a versioned marshalled blob; {!load} rejects blobs written
+    by a different version. *)
+
+val save : Model.t -> string -> unit
+(** Write to a file path. *)
+
+val load : string -> Model.t
+(** @raise Failure on malformed or version-mismatched files. *)

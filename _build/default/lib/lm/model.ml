@@ -1,0 +1,242 @@
+module Tensor = Dpoaf_tensor.Tensor
+module Autodiff = Dpoaf_tensor.Autodiff
+module Lora = Dpoaf_tensor.Lora
+module Optim = Dpoaf_tensor.Optim
+
+type arch = Bow | Gru
+
+type config = { dim : int; context : int; lora_rank : int; arch : arch }
+
+let default_config = { dim = 24; context = 12; lora_rank = 4; arch = Bow }
+
+(* Gated-recurrent-unit conditioner: h' = (1-z)∘h + z∘tanh(Wh x + Uh (r∘h) + bh). *)
+type gru = {
+  wz : Tensor.t; uz : Tensor.t; bz : Tensor.t;
+  wr : Tensor.t; ur : Tensor.t; br : Tensor.t;
+  wh : Tensor.t; uh : Tensor.t; bh : Tensor.t;
+}
+
+let gru_tensors g = [ g.wz; g.uz; g.bz; g.wr; g.ur; g.br; g.wh; g.uh; g.bh ]
+
+let gru_names = [ "gru.wz"; "gru.uz"; "gru.bz"; "gru.wr"; "gru.ur"; "gru.br";
+                  "gru.wh"; "gru.uh"; "gru.bh" ]
+
+type t = {
+  config : config;
+  vocab : Vocab.t;
+  embedding : Tensor.t;
+  out : Lora.t;
+  bias : Tensor.t;
+  gru : gru option;  (* Some iff config.arch = Gru *)
+}
+
+let create rng config vocab =
+  let v = Vocab.size vocab and d = config.dim in
+  let scale = 1.0 /. sqrt (float_of_int d) in
+  let mat () = Tensor.gaussian rng [| d; d |] ~stddev:scale in
+  {
+    config;
+    vocab;
+    embedding = Tensor.gaussian rng [| v; d |] ~stddev:scale;
+    out = Lora.create rng ~base:(Tensor.gaussian rng [| v; d |] ~stddev:scale)
+        ~rank:config.lora_rank;
+    bias = Tensor.zeros [| v |];
+    gru =
+      (match config.arch with
+      | Bow -> None
+      | Gru ->
+          Some
+            {
+              wz = mat (); uz = mat (); bz = Tensor.zeros [| d |];
+              wr = mat (); ur = mat (); br = Tensor.zeros [| d |];
+              wh = mat (); uh = mat (); bh = Tensor.zeros [| d |];
+            });
+  }
+
+let clone t =
+  {
+    t with
+    embedding = Tensor.copy t.embedding;
+    out = Lora.clone t.out;
+    bias = Tensor.copy t.bias;
+    gru =
+      Option.map
+        (fun g ->
+          {
+            wz = Tensor.copy g.wz; uz = Tensor.copy g.uz; bz = Tensor.copy g.bz;
+            wr = Tensor.copy g.wr; ur = Tensor.copy g.ur; br = Tensor.copy g.br;
+            wh = Tensor.copy g.wh; uh = Tensor.copy g.uh; bh = Tensor.copy g.bh;
+          })
+        t.gru;
+  }
+
+let params_pretrain t =
+  [
+    Optim.param "embedding" t.embedding;
+    Optim.param "out.base" t.out.Lora.base;
+    Optim.param "bias" t.bias;
+  ]
+  @
+  match t.gru with
+  | None -> []
+  | Some g -> List.map2 Optim.param gru_names (gru_tensors g)
+
+let params_lora t = Lora.params ~prefix:"out" t.out
+
+let context_of t ~prompt ~prefix =
+  let all = (Vocab.bos t.vocab :: prompt) @ prefix in
+  match t.config.arch with
+  | Gru -> all (* the recurrence carries unbounded history *)
+  | Bow ->
+      let n = List.length all in
+      let k = t.config.context in
+      if n <= k then all
+      else List.filteri (fun i _ -> i >= n - k) all
+
+type bound = {
+  tape : Autodiff.Tape.t;
+  emb : Autodiff.t;
+  base : Autodiff.t;
+  a : Autodiff.t;
+  b : Autodiff.t;
+  bias_n : Autodiff.t;
+  gru_n : Autodiff.t list;  (* same order as gru_tensors; [] for Bow *)
+}
+
+let bind t tape =
+  {
+    tape;
+    emb = Autodiff.var tape t.embedding;
+    base = Autodiff.var tape t.out.Lora.base;
+    a = Autodiff.var tape t.out.Lora.a;
+    b = Autodiff.var tape t.out.Lora.b;
+    bias_n = Autodiff.var tape t.bias;
+    gru_n =
+      (match t.gru with
+      | None -> []
+      | Some g -> List.map (Autodiff.var tape) (gru_tensors g));
+  }
+
+let tape_of_bound bound = bound.tape
+
+let lora_grads t bound =
+  match params_lora t with
+  | [ pa; pb ] -> [ (pa, Autodiff.grad bound.a); (pb, Autodiff.grad bound.b) ]
+  | _ -> assert false
+
+let pretrain_grads t bound =
+  match params_pretrain t with
+  | pe :: pw :: pbias :: gru_params ->
+      [
+        (pe, Autodiff.grad bound.emb);
+        (pw, Autodiff.grad bound.base);
+        (pbias, Autodiff.grad bound.bias_n);
+      ]
+      @ List.map2 (fun p node -> (p, Autodiff.grad node)) gru_params bound.gru_n
+  | _ -> assert false
+
+(* One GRU update: h' = (1-z)âh + zâtanh(Wh x + Uh (râh) + bh). *)
+let gru_step_node t bound h tok =
+  let tape = bound.tape in
+  match bound.gru_n with
+  | [ wz; uz; bz; wr; ur; br; wh; uh; bh ] ->
+      let d = t.config.dim in
+      let ones = Autodiff.const tape (Tensor.create [| d |] 1.0) in
+      let x = Autodiff.rows_mean tape bound.emb [ tok ] in
+      let gate w u bias_v =
+        Autodiff.add tape
+          (Autodiff.add tape (Autodiff.matvec tape w x) (Autodiff.matvec tape u h))
+          bias_v
+      in
+      let z = Autodiff.sigmoid tape (gate wz uz bz) in
+      let r = Autodiff.sigmoid tape (gate wr ur br) in
+      let rh = Autodiff.mul tape r h in
+      let candidate =
+        Autodiff.tanh_ tape
+          (Autodiff.add tape
+             (Autodiff.add tape (Autodiff.matvec tape wh x) (Autodiff.matvec tape uh rh))
+             bh)
+      in
+      let keep = Autodiff.sub tape ones z in
+      Autodiff.add tape (Autodiff.mul tape keep h) (Autodiff.mul tape z candidate)
+  | _ -> invalid_arg "Model.gru_step_node: not a GRU model"
+
+let gru_init_node t bound =
+  Autodiff.const bound.tape (Tensor.zeros [| t.config.dim |])
+
+(* The conditioning vector: mean embedding (Bow) or a GRU pass (Gru). *)
+let hidden_node t bound ~context =
+  let tape = bound.tape in
+  match bound.gru_n with
+  | [] -> Autodiff.tanh_ tape (Autodiff.rows_mean tape bound.emb context)
+  | _ -> List.fold_left (gru_step_node t bound) (gru_init_node t bound) context
+
+let logprob_from_hidden _t bound ~h ~allowed ~target =
+  if allowed = [] then invalid_arg "Model.step_logprob: empty allowed set";
+  let target_pos =
+    match List.find_index (fun tok -> tok = target) allowed with
+    | Some i -> i
+    | None -> invalid_arg "Model.step_logprob: target not allowed"
+  in
+  let tape = bound.tape in
+  let wx = Autodiff.gather_matvec tape bound.base h allowed in
+  let bh = Autodiff.matvec tape bound.b h in
+  let abx = Autodiff.gather_matvec tape bound.a bh allowed in
+  let bias = Autodiff.gather tape bound.bias_n allowed in
+  let logits = Autodiff.add tape (Autodiff.add tape wx abx) bias in
+  Autodiff.pick tape (Autodiff.log_softmax tape logits) target_pos
+
+let step_logprob t bound ~context ~allowed ~target =
+  let h = hidden_node t bound ~context in
+  logprob_from_hidden t bound ~h ~allowed ~target
+
+let response_logprob_node t bound ~prompt ~grammar ~min_clauses ~max_clauses ~tokens =
+  let terms =
+    match t.config.arch with
+    | Bow ->
+        let rec walk state prefix acc = function
+          | [] ->
+              if Grammar.is_final grammar state then acc
+              else invalid_arg "Model.response_logprob_node: incomplete response"
+          | tok :: rest -> (
+              let allowed = Grammar.allowed grammar ~min_clauses ~max_clauses state in
+              match Grammar.advance grammar state tok with
+              | None ->
+                  invalid_arg "Model.response_logprob_node: grammar rejects token"
+              | Some state' ->
+                  let context = context_of t ~prompt ~prefix:(List.rev prefix) in
+                  let lp = step_logprob t bound ~context ~allowed ~target:tok in
+                  walk state' (tok :: prefix) (lp :: acc) rest)
+        in
+        walk (Grammar.start grammar) [] [] tokens
+    | Gru ->
+        (* incremental: the hidden state is threaded through the sequence,
+           so the pass is linear in its length *)
+        let h0 =
+          List.fold_left (gru_step_node t bound) (gru_init_node t bound)
+            (Vocab.bos t.vocab :: prompt)
+        in
+        let rec walk state h acc = function
+          | [] ->
+              if Grammar.is_final grammar state then acc
+              else invalid_arg "Model.response_logprob_node: incomplete response"
+          | tok :: rest -> (
+              let allowed = Grammar.allowed grammar ~min_clauses ~max_clauses state in
+              match Grammar.advance grammar state tok with
+              | None ->
+                  invalid_arg "Model.response_logprob_node: grammar rejects token"
+              | Some state' ->
+                  let lp = logprob_from_hidden t bound ~h ~allowed ~target:tok in
+                  walk state' (gru_step_node t bound h tok) (lp :: acc) rest)
+        in
+        walk (Grammar.start grammar) h0 [] tokens
+  in
+  Autodiff.add_list bound.tape terms
+
+let response_logprob t ~prompt ~grammar ~min_clauses ~max_clauses ~tokens =
+  let tape = Autodiff.Tape.create () in
+  let bound = bind t tape in
+  let node =
+    response_logprob_node t bound ~prompt ~grammar ~min_clauses ~max_clauses ~tokens
+  in
+  Tensor.get (Autodiff.value node) 0

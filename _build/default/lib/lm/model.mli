@@ -1,0 +1,115 @@
+(** The language model: a word-level autoregressive log-bilinear model.
+
+    The next-token distribution conditions on the mean embedding of the
+    last [context] tokens (prompt included):
+
+    [h = tanh(mean E[w_i]);  logits = (W + A·B) h + bias]
+
+    [W] is the frozen-at-fine-tuning output head carrying the LoRA adapter
+    ([A·B]); pre-training trains [E], [W] and [bias] by maximum likelihood,
+    DPO fine-tuning trains only [A] and [B] (paper, Appendix E).
+
+    This is the repository's substitute for Llama2-7B: a parametric policy
+    with computable sequence log-probabilities and gradients, which is all
+    DPO-AF requires of the language model. *)
+
+(** How the context tokens are condensed into the conditioning vector:
+    [Bow] is the windowed mean-embedding (log-bilinear) default; [Gru] runs
+    a gated recurrent unit over the context — slower but order-aware (see
+    the bench's [abl-arch] section). *)
+type arch = Bow | Gru
+
+type config = { dim : int; context : int; lora_rank : int; arch : arch }
+
+val default_config : config
+(** dim 24, context 12, LoRA rank 4, [Bow]. *)
+
+type gru = private {
+  wz : Dpoaf_tensor.Tensor.t;
+  uz : Dpoaf_tensor.Tensor.t;
+  bz : Dpoaf_tensor.Tensor.t;
+  wr : Dpoaf_tensor.Tensor.t;
+  ur : Dpoaf_tensor.Tensor.t;
+  br : Dpoaf_tensor.Tensor.t;
+  wh : Dpoaf_tensor.Tensor.t;
+  uh : Dpoaf_tensor.Tensor.t;
+  bh : Dpoaf_tensor.Tensor.t;
+}
+
+type t = private {
+  config : config;
+  vocab : Vocab.t;
+  embedding : Dpoaf_tensor.Tensor.t;  (** [V×d] *)
+  out : Dpoaf_tensor.Lora.t;  (** output head [V×d] with adapter *)
+  bias : Dpoaf_tensor.Tensor.t;  (** [V] *)
+  gru : gru option;  (** present iff [config.arch = Gru] *)
+}
+
+val create : Dpoaf_util.Rng.t -> config -> Vocab.t -> t
+
+val clone : t -> t
+(** Deep copy (used for the frozen DPO reference model and checkpoints). *)
+
+val params_pretrain : t -> Dpoaf_tensor.Optim.param list
+(** Embedding, output base and bias — trained during MLE pre-training. *)
+
+val params_lora : t -> Dpoaf_tensor.Optim.param list
+(** Adapter matrices only — trained during DPO. *)
+
+val context_of : t -> prompt:int list -> prefix:int list -> int list
+(** The (at most [config.context]) token ids conditioning the next token:
+    a [<bos>] marker, the prompt, then the response prefix. *)
+
+(** {1 Differentiable scoring} *)
+
+type bound
+(** Model parameters bound as nodes on one tape (shared across positions of
+    one or more sequences). *)
+
+val bind : t -> Dpoaf_tensor.Autodiff.Tape.t -> bound
+
+val tape_of_bound : bound -> Dpoaf_tensor.Autodiff.Tape.t
+
+val hidden_node : t -> bound -> context:int list -> Dpoaf_tensor.Autodiff.t
+(** The conditioning vector for the next-token distribution (differentiable
+    path; the sampler has a matching float path). *)
+
+val lora_grads :
+  t -> bound -> (Dpoaf_tensor.Optim.param * Dpoaf_tensor.Tensor.t) list
+(** After a backward pass: gradients for {!params_lora}. *)
+
+val pretrain_grads :
+  t -> bound -> (Dpoaf_tensor.Optim.param * Dpoaf_tensor.Tensor.t) list
+
+val step_logprob :
+  t ->
+  bound ->
+  context:int list ->
+  allowed:int list ->
+  target:int ->
+  Dpoaf_tensor.Autodiff.t
+(** Log-probability (scalar node) of [target] among [allowed] (renormalized
+    over the allowed set).  @raise Invalid_argument if [target] is not
+    allowed or [allowed] is empty. *)
+
+val response_logprob_node :
+  t ->
+  bound ->
+  prompt:int list ->
+  grammar:Grammar.t ->
+  min_clauses:int ->
+  max_clauses:int ->
+  tokens:int list ->
+  Dpoaf_tensor.Autodiff.t
+(** Differentiable total log-probability of a grammar-accepted response.
+    @raise Invalid_argument if the grammar rejects [tokens]. *)
+
+val response_logprob :
+  t ->
+  prompt:int list ->
+  grammar:Grammar.t ->
+  min_clauses:int ->
+  max_clauses:int ->
+  tokens:int list ->
+  float
+(** Evaluation-only wrapper around {!response_logprob_node}. *)

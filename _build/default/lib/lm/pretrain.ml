@@ -1,0 +1,54 @@
+module Tensor = Dpoaf_tensor.Tensor
+module Autodiff = Dpoaf_tensor.Autodiff
+module Optim = Dpoaf_tensor.Optim
+
+type example = {
+  prompt : int list;
+  tokens : int list;
+  grammar : Grammar.t;
+  min_clauses : int;
+  max_clauses : int;
+}
+
+let logprob_node model bound ex =
+  Model.response_logprob_node model bound ~prompt:ex.prompt ~grammar:ex.grammar
+    ~min_clauses:ex.min_clauses ~max_clauses:ex.max_clauses ~tokens:ex.tokens
+
+let nll model ex =
+  -.Model.response_logprob model ~prompt:ex.prompt ~grammar:ex.grammar
+      ~min_clauses:ex.min_clauses ~max_clauses:ex.max_clauses ~tokens:ex.tokens
+
+let mean_nll model examples =
+  match examples with
+  | [] -> 0.0
+  | _ ->
+      List.fold_left (fun acc ex -> acc +. nll model ex) 0.0 examples
+      /. float_of_int (List.length examples)
+
+let batch_step model opt examples =
+  let tape = Autodiff.Tape.create () in
+  let bound = Model.bind model tape in
+  let terms = List.map (fun ex -> logprob_node model bound ex) examples in
+  let total = Autodiff.add_list tape terms in
+  let loss =
+    Autodiff.scale tape (-1.0 /. float_of_int (max 1 (List.length examples))) total
+  in
+  Autodiff.backward tape loss;
+  Optim.Adam.step opt (Model.pretrain_grads model bound);
+  Tensor.get (Autodiff.value loss) 0
+
+let train model examples ~epochs ~batch ~lr rng =
+  let opt = Optim.Adam.create ~lr () in
+  let arr = Array.of_list examples in
+  List.init epochs (fun _ ->
+      Dpoaf_util.Rng.shuffle rng arr;
+      let n = Array.length arr in
+      let losses = ref [] in
+      let i = ref 0 in
+      while !i < n do
+        let size = min batch (n - !i) in
+        let chunk = Array.to_list (Array.sub arr !i size) in
+        losses := batch_step model opt chunk :: !losses;
+        i := !i + size
+      done;
+      Dpoaf_util.Stats.mean !losses)

@@ -1,0 +1,30 @@
+(** Maximum-likelihood pre-training.
+
+    The "pre-trained model" of the paper is obtained by MLE on a synthetic
+    corpus of instruction responses of mixed specification quality, so that
+    before fine-tuning the model emits both careful and careless step
+    sequences — the ≈60% starting point of the paper's curves. *)
+
+type example = {
+  prompt : int list;
+  tokens : int list;  (** grammar-accepted response token sequence *)
+  grammar : Grammar.t;
+  min_clauses : int;
+  max_clauses : int;
+}
+
+val nll : Model.t -> example -> float
+(** Negative log-likelihood of one example. *)
+
+val mean_nll : Model.t -> example list -> float
+
+val train :
+  Model.t ->
+  example list ->
+  epochs:int ->
+  batch:int ->
+  lr:float ->
+  Dpoaf_util.Rng.t ->
+  float list
+(** Adam training of the pre-training parameters; returns the mean NLL per
+    epoch (shuffled minibatches). *)

@@ -1,0 +1,17 @@
+let default_system_message =
+  "You are a helpful assistant. Always answer as helpfully as possible, \
+   while being safe. Your answers should be detailed."
+
+let steps_query ~task = Printf.sprintf "Steps for %S:" task
+
+let llama2 ?(system_message = default_system_message) task =
+  Printf.sprintf "<s>[INST] <<SYS>>\n%s\n<</SYS>>\n\n%s [/INST]" system_message
+    (steps_query ~task)
+
+let alignment_query ~props ~actions ~steps =
+  let numbered = List.mapi (fun i s -> Printf.sprintf "%d. %s" (i + 1) s) steps in
+  Printf.sprintf
+    "Rephrase the following steps to align the defined Boolean Propositions \
+     {%s} and Actions {%s}:\n%s"
+    (String.concat ", " props) (String.concat ", " actions)
+    (String.concat "\n" numbered)

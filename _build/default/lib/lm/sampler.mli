@@ -1,0 +1,36 @@
+(** Grammar-constrained sampling from the language model.
+
+    Sampling uses a parameter snapshot (the LoRA adapter materialized into
+    the output head) so repeated sampling does not rebuild autodiff tapes. *)
+
+type snapshot
+
+val snapshot : Model.t -> snapshot
+(** Capture the model's current effective parameters. *)
+
+val step_distribution :
+  snapshot -> context:int list -> allowed:int list -> temperature:float -> float array
+(** Probabilities over [allowed] (renormalized; sums to 1).
+    @raise Invalid_argument on an empty allowed set or non-positive
+    temperature. *)
+
+val sample :
+  snapshot ->
+  Dpoaf_util.Rng.t ->
+  prompt:int list ->
+  grammar:Grammar.t ->
+  min_clauses:int ->
+  max_clauses:int ->
+  ?temperature:float ->
+  unit ->
+  int list
+(** One response: token ids ending in [<eos>], accepted by the grammar. *)
+
+val greedy :
+  snapshot ->
+  prompt:int list ->
+  grammar:Grammar.t ->
+  min_clauses:int ->
+  max_clauses:int ->
+  int list
+(** Most-likely-token decoding (deterministic). *)

@@ -1,0 +1,49 @@
+module Strext = Dpoaf_util.Strext
+
+type t = { words : string array; index : (string, int) Hashtbl.t }
+
+let specials = [ "<bos>"; "<sep>"; "<eos>"; "<unk>" ]
+
+let of_words raw =
+  let cleaned =
+    List.concat_map (fun w -> Strext.lowercase_words w) raw
+    |> List.sort_uniq compare
+    |> List.filter (fun w -> not (List.mem w specials))
+  in
+  let words = Array.of_list (specials @ cleaned) in
+  let index = Hashtbl.create (Array.length words) in
+  Array.iteri (fun i w -> Hashtbl.replace index w i) words;
+  { words; index }
+
+let of_texts texts = of_words (List.concat_map Strext.lowercase_words texts)
+
+let size t = Array.length t.words
+let bos _ = 0
+let sep _ = 1
+let eos _ = 2
+let unk _ = 3
+
+let id t w =
+  match Hashtbl.find_opt t.index w with Some i -> i | None -> unk t
+
+let word t i =
+  if i < 0 || i >= size t then invalid_arg "Vocab.word: out of range"
+  else t.words.(i)
+
+let mem t w = Hashtbl.mem t.index w
+
+let encode t phrase = List.map (id t) (Strext.lowercase_words phrase)
+
+let decode t ids = String.concat " " (List.map (word t) ids)
+
+let export t = Array.to_list t.words
+
+let import words_list =
+  let words = Array.of_list words_list in
+  if Array.length words < List.length specials
+     || not (List.for_all2 ( = ) specials
+               (Array.to_list (Array.sub words 0 (List.length specials))))
+  then invalid_arg "Vocab.import: malformed word list";
+  let index = Hashtbl.create (Array.length words) in
+  Array.iteri (fun i w -> Hashtbl.replace index w i) words;
+  { words; index }

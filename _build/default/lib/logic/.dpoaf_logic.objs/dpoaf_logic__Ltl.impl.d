@@ -1,0 +1,1 @@
+lib/logic/ltl.ml: Format List Printf Stdlib String Symbol

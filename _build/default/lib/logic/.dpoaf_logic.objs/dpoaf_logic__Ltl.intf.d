@@ -1,0 +1,1 @@
+lib/logic/ltl.mli: Format Symbol

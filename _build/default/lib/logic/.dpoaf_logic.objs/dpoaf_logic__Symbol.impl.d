@@ -1,0 +1,1 @@
+lib/logic/symbol.ml: Format Set String

@@ -1,0 +1,1 @@
+lib/logic/trace.ml: Array Ltl Map Symbol

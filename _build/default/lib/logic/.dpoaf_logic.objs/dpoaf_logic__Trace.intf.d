@@ -1,0 +1,1 @@
+lib/logic/trace.mli: Ltl Symbol

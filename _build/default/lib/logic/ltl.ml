@@ -1,0 +1,280 @@
+type t =
+  | True
+  | False
+  | Atom of string
+  | Not of t
+  | And of t * t
+  | Or of t * t
+  | Implies of t * t
+  | Next of t
+  | Until of t * t
+  | Release of t * t
+  | Eventually of t
+  | Always of t
+
+let compare = Stdlib.compare
+let equal a b = compare a b = 0
+
+let atom a = Atom a
+let neg f = Not f
+
+let conj = function
+  | [] -> True
+  | f :: rest -> List.fold_left (fun acc g -> And (acc, g)) f rest
+
+let disj = function
+  | [] -> False
+  | f :: rest -> List.fold_left (fun acc g -> Or (acc, g)) f rest
+
+let implies a b = Implies (a, b)
+let always f = Always f
+let eventually f = Eventually f
+let next f = Next f
+let until a b = Until (a, b)
+let release a b = Release (a, b)
+
+let rec atoms = function
+  | True | False -> Symbol.empty
+  | Atom a -> Symbol.singleton a
+  | Not f | Next f | Eventually f | Always f -> atoms f
+  | And (a, b) | Or (a, b) | Implies (a, b) | Until (a, b) | Release (a, b) ->
+      Symbol.union (atoms a) (atoms b)
+
+let rec size = function
+  | True | False | Atom _ -> 1
+  | Not f | Next f | Eventually f | Always f -> 1 + size f
+  | And (a, b) | Or (a, b) | Implies (a, b) | Until (a, b) | Release (a, b) ->
+      1 + size a + size b
+
+(* Negation normal form.  [nnf_pos] keeps polarity, [nnf_neg] negates. *)
+let rec nnf_pos = function
+  | True -> True
+  | False -> False
+  | Atom a -> Atom a
+  | Not f -> nnf_neg f
+  | And (a, b) -> And (nnf_pos a, nnf_pos b)
+  | Or (a, b) -> Or (nnf_pos a, nnf_pos b)
+  | Implies (a, b) -> Or (nnf_neg a, nnf_pos b)
+  | Next f -> Next (nnf_pos f)
+  | Until (a, b) -> Until (nnf_pos a, nnf_pos b)
+  | Release (a, b) -> Release (nnf_pos a, nnf_pos b)
+  | Eventually f -> Until (True, nnf_pos f)
+  | Always f -> Release (False, nnf_pos f)
+
+and nnf_neg = function
+  | True -> False
+  | False -> True
+  | Atom a -> Not (Atom a)
+  | Not f -> nnf_pos f
+  | And (a, b) -> Or (nnf_neg a, nnf_neg b)
+  | Or (a, b) -> And (nnf_neg a, nnf_neg b)
+  | Implies (a, b) -> And (nnf_pos a, nnf_neg b)
+  | Next f -> Next (nnf_neg f)
+  | Until (a, b) -> Release (nnf_neg a, nnf_neg b)
+  | Release (a, b) -> Until (nnf_neg a, nnf_neg b)
+  | Eventually f -> Release (False, nnf_neg f)
+  | Always f -> Until (True, nnf_neg f)
+
+let nnf = nnf_pos
+
+let rec is_nnf = function
+  | True | False | Atom _ -> true
+  | Not (Atom _) -> true
+  | Not _ | Implies _ | Eventually _ | Always _ -> false
+  | Next f -> is_nnf f
+  | And (a, b) | Or (a, b) | Until (a, b) | Release (a, b) -> is_nnf a && is_nnf b
+
+let atom_needs_quotes a =
+  a = ""
+  || not
+       (String.for_all
+          (fun c ->
+            (c >= 'a' && c <= 'z')
+            || (c >= 'A' && c <= 'Z')
+            || (c >= '0' && c <= '9')
+            || c = '_' || c = '-')
+          a)
+  || List.mem a [ "true"; "false"; "U"; "R"; "X"; "F"; "G" ]
+
+let pp_atom ppf a =
+  if atom_needs_quotes a then Format.fprintf ppf "%S" a
+  else Format.pp_print_string ppf a
+
+(* Precedence levels used to decide parenthesisation: higher binds tighter. *)
+let prec = function
+  | Implies _ -> 1
+  | Or _ -> 2
+  | And _ -> 3
+  | Until _ | Release _ -> 4
+  | Not _ | Next _ | Eventually _ | Always _ -> 5
+  | True | False | Atom _ -> 6
+
+let rec pp_prec level ppf f =
+  let p = prec f in
+  let wrap body =
+    if p < level then Format.fprintf ppf "(%t)" body else body ppf
+  in
+  match f with
+  | True -> Format.pp_print_string ppf "true"
+  | False -> Format.pp_print_string ppf "false"
+  | Atom a -> pp_atom ppf a
+  | Not g -> wrap (fun ppf -> Format.fprintf ppf "!%a" (pp_prec (p + 1)) g)
+  | Next g -> wrap (fun ppf -> Format.fprintf ppf "X %a" (pp_prec p) g)
+  | Eventually g -> wrap (fun ppf -> Format.fprintf ppf "F %a" (pp_prec p) g)
+  | Always g -> wrap (fun ppf -> Format.fprintf ppf "G %a" (pp_prec p) g)
+  | And (a, b) ->
+      wrap (fun ppf -> Format.fprintf ppf "%a & %a" (pp_prec p) a (pp_prec (p + 1)) b)
+  | Or (a, b) ->
+      wrap (fun ppf -> Format.fprintf ppf "%a | %a" (pp_prec p) a (pp_prec (p + 1)) b)
+  | Implies (a, b) ->
+      wrap (fun ppf -> Format.fprintf ppf "%a -> %a" (pp_prec (p + 1)) a (pp_prec p) b)
+  | Until (a, b) ->
+      wrap (fun ppf -> Format.fprintf ppf "%a U %a" (pp_prec (p + 1)) a (pp_prec p) b)
+  | Release (a, b) ->
+      wrap (fun ppf -> Format.fprintf ppf "%a R %a" (pp_prec (p + 1)) a (pp_prec p) b)
+
+let pp = pp_prec 0
+let to_string f = Format.asprintf "%a" pp f
+
+(* ------------------------------------------------------------------ *)
+(* Parser: hand-written lexer + recursive descent.                     *)
+
+type token =
+  | Tlparen
+  | Trparen
+  | Tbang
+  | Tamp
+  | Tbar
+  | Tarrow
+  | Ttrue
+  | Tfalse
+  | Tuntil
+  | Trelease
+  | Tnext
+  | Tfinally
+  | Tglobally
+  | Tatom of string
+
+exception Parse_error of string
+
+let lex input =
+  let n = String.length input in
+  let rec skip i = if i < n && (input.[i] = ' ' || input.[i] = '\t' || input.[i] = '\n') then skip (i + 1) else i in
+  let is_ident c =
+    (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+    || c = '_' || c = '-'
+  in
+  let rec go acc i =
+    let i = skip i in
+    if i >= n then List.rev acc
+    else
+      match input.[i] with
+      | '(' -> go (Tlparen :: acc) (i + 1)
+      | ')' -> go (Trparen :: acc) (i + 1)
+      | '!' -> go (Tbang :: acc) (i + 1)
+      | '&' -> go (Tamp :: acc) (i + 1)
+      | '|' -> go (Tbar :: acc) (i + 1)
+      | '-' when i + 1 < n && input.[i + 1] = '>' -> go (Tarrow :: acc) (i + 2)
+      | '"' ->
+          let j = try String.index_from input (i + 1) '"' with Not_found ->
+            raise (Parse_error "unterminated quoted atom")
+          in
+          go (Tatom (String.sub input (i + 1) (j - i - 1)) :: acc) (j + 1)
+      | c when is_ident c ->
+          let j = ref i in
+          while !j < n && is_ident input.[!j] do incr j done;
+          let word = String.sub input i (!j - i) in
+          let tok =
+            match word with
+            | "true" -> Ttrue
+            | "false" -> Tfalse
+            | "U" -> Tuntil
+            | "R" -> Trelease
+            | "X" -> Tnext
+            | "F" -> Tfinally
+            | "G" -> Tglobally
+            | w -> Tatom w
+          in
+          go (tok :: acc) !j
+      | c -> raise (Parse_error (Printf.sprintf "unexpected character %c" c))
+  in
+  go [] 0
+
+let parse input =
+  let rec p_implies toks =
+    let lhs, toks = p_or toks in
+    match toks with
+    | Tarrow :: rest ->
+        let rhs, rest = p_implies rest in
+        (Implies (lhs, rhs), rest)
+    | _ -> (lhs, toks)
+  and p_or toks =
+    let lhs, toks = p_and toks in
+    let rec loop lhs toks =
+      match toks with
+      | Tbar :: rest ->
+          let rhs, rest = p_and rest in
+          loop (Or (lhs, rhs)) rest
+      | _ -> (lhs, toks)
+    in
+    loop lhs toks
+  and p_and toks =
+    let lhs, toks = p_until toks in
+    let rec loop lhs toks =
+      match toks with
+      | Tamp :: rest ->
+          let rhs, rest = p_until rest in
+          loop (And (lhs, rhs)) rest
+      | _ -> (lhs, toks)
+    in
+    loop lhs toks
+  and p_until toks =
+    let lhs, toks = p_unary toks in
+    match toks with
+    | Tuntil :: rest ->
+        let rhs, rest = p_until rest in
+        (Until (lhs, rhs), rest)
+    | Trelease :: rest ->
+        let rhs, rest = p_until rest in
+        (Release (lhs, rhs), rest)
+    | _ -> (lhs, toks)
+  and p_unary toks =
+    match toks with
+    | Tbang :: rest ->
+        let f, rest = p_unary rest in
+        (Not f, rest)
+    | Tnext :: rest ->
+        let f, rest = p_unary rest in
+        (Next f, rest)
+    | Tfinally :: rest ->
+        let f, rest = p_unary rest in
+        (Eventually f, rest)
+    | Tglobally :: rest ->
+        let f, rest = p_unary rest in
+        (Always f, rest)
+    | _ -> p_primary toks
+  and p_primary toks =
+    match toks with
+    | Tlparen :: rest -> (
+        let f, rest = p_implies rest in
+        match rest with
+        | Trparen :: rest -> (f, rest)
+        | _ -> raise (Parse_error "expected closing parenthesis"))
+    | Ttrue :: rest -> (True, rest)
+    | Tfalse :: rest -> (False, rest)
+    | Tatom a :: rest -> (Atom a, rest)
+    | [] -> raise (Parse_error "unexpected end of input")
+    | _ -> raise (Parse_error "unexpected token")
+  in
+  match lex input with
+  | exception Parse_error msg -> Error msg
+  | toks -> (
+      match p_implies toks with
+      | f, [] -> Ok f
+      | _, _ -> Error "trailing tokens after formula"
+      | exception Parse_error msg -> Error msg)
+
+let parse_exn input =
+  match parse input with
+  | Ok f -> f
+  | Error msg -> invalid_arg (Printf.sprintf "Ltl.parse_exn: %s (input %S)" msg input)

@@ -1,0 +1,68 @@
+(** Linear temporal logic over named atomic propositions.
+
+    Formulas are interpreted over infinite traces of symbols (sets of atoms)
+    by the model checker in [Dpoaf_automata], and over finite traces by
+    {!Trace} for empirical evaluation, mirroring the paper's two feedback
+    channels (§4.2). *)
+
+type t =
+  | True
+  | False
+  | Atom of string
+  | Not of t
+  | And of t * t
+  | Or of t * t
+  | Implies of t * t
+  | Next of t  (** ◦ *)
+  | Until of t * t  (** U *)
+  | Release of t * t  (** R, dual of U *)
+  | Eventually of t  (** ◇ *)
+  | Always of t  (** □ *)
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+
+val atom : string -> t
+val neg : t -> t
+val conj : t list -> t
+(** N-ary conjunction; [conj \[\]] is [True]. *)
+
+val disj : t list -> t
+(** N-ary disjunction; [disj \[\]] is [False]. *)
+
+val implies : t -> t -> t
+val always : t -> t
+val eventually : t -> t
+val next : t -> t
+val until : t -> t -> t
+val release : t -> t -> t
+
+val atoms : t -> Symbol.t
+(** All atomic propositions occurring in the formula. *)
+
+val size : t -> int
+(** Number of AST nodes. *)
+
+val nnf : t -> t
+(** Negation normal form: negations pushed onto atoms, [Implies],
+    [Eventually] and [Always] expanded into the core connectives
+    ([Until]/[Release]).  The result satisfies {!is_nnf}. *)
+
+val is_nnf : t -> bool
+(** True when negation occurs only directly above atoms and no sugar
+    ([Implies]/[Eventually]/[Always]) remains. *)
+
+val pp : Format.formatter -> t -> unit
+(** ASCII rendering: [G], [F], [X], [U], [R], [&], [|], [!], [->].  Atoms
+    containing spaces are double-quoted. *)
+
+val to_string : t -> string
+
+val parse : string -> (t, string) result
+(** Parse the {!pp} syntax.  Operators by loosening precedence:
+    [!], [X]/[F]/[G] bind tightest, then [U]/[R] (right associative), [&],
+    [|], and [->] (right associative).  Atoms are bare identifiers
+    ([a-z A-Z 0-9 _ -]) or double-quoted strings that may contain spaces. *)
+
+val parse_exn : string -> t
+(** @raise Invalid_argument on parse errors. *)

@@ -1,0 +1,143 @@
+type step = Symbol.t
+
+module Fmap = Map.Make (Ltl)
+
+(* Finite-trace evaluation, bottom-up over subformulas with memoisation so
+   shared subformulas are evaluated once per position. *)
+let finite_truth formula (trace : step array) =
+  let n = Array.length trace in
+  let memo = ref Fmap.empty in
+  let rec truth f =
+    match Fmap.find_opt f !memo with
+    | Some arr -> arr
+    | None ->
+        let arr = compute f in
+        memo := Fmap.add f arr !memo;
+        arr
+  and compute f =
+    let open Ltl in
+    match f with
+    | True -> Array.make n true
+    | False -> Array.make n false
+    | Atom a -> Array.map (fun sym -> Symbol.mem a sym) trace
+    | Not g -> Array.map not (truth g)
+    | And (a, b) -> Array.map2 ( && ) (truth a) (truth b)
+    | Or (a, b) -> Array.map2 ( || ) (truth a) (truth b)
+    | Implies (a, b) -> Array.map2 (fun x y -> (not x) || y) (truth a) (truth b)
+    | Next g ->
+        let tg = truth g in
+        Array.init n (fun i -> i + 1 < n && tg.(i + 1))
+    | Until (a, b) ->
+        let ta = truth a and tb = truth b in
+        let out = Array.make n false in
+        for i = n - 1 downto 0 do
+          out.(i) <- tb.(i) || (ta.(i) && i + 1 < n && out.(i + 1))
+        done;
+        out
+    | Release (a, b) ->
+        (* finite release: b holds up to and including the first a, or to
+           the end of the trace. *)
+        let ta = truth a and tb = truth b in
+        let out = Array.make n false in
+        for i = n - 1 downto 0 do
+          out.(i) <- tb.(i) && (ta.(i) || i + 1 >= n || out.(i + 1))
+        done;
+        out
+    | Eventually g ->
+        let tg = truth g in
+        let out = Array.make n false in
+        for i = n - 1 downto 0 do
+          out.(i) <- tg.(i) || (i + 1 < n && out.(i + 1))
+        done;
+        out
+    | Always g ->
+        let tg = truth g in
+        let out = Array.make n false in
+        for i = n - 1 downto 0 do
+          out.(i) <- tg.(i) && (i + 1 >= n || out.(i + 1))
+        done;
+        out
+  in
+  truth formula
+
+let eval_finite_at f trace i =
+  let n = Array.length trace in
+  if n = 0 then
+    (* The empty trace: evaluate by the usual vacuous-truth rules. *)
+    let rec empty_true g =
+      let open Ltl in
+      match g with
+      | True -> true
+      | False | Atom _ | Next _ | Until _ | Eventually _ -> false
+      | Not g -> not (empty_true g)
+      | And (a, b) -> empty_true a && empty_true b
+      | Or (a, b) -> empty_true a || empty_true b
+      | Implies (a, b) -> (not (empty_true a)) || empty_true b
+      | Release _ | Always _ -> true
+    in
+    empty_true f
+  else begin
+    assert (i >= 0 && i < n);
+    (finite_truth f trace).(i)
+  end
+
+let eval_finite f trace = eval_finite_at f trace 0
+
+(* Lasso evaluation: positions 0 .. p+c-1 where the successor of the last
+   position loops back to the start of the cycle.  Until is a least fixpoint
+   and Release a greatest fixpoint on that graph. *)
+let eval_lasso f ~prefix ~cycle =
+  if Array.length cycle = 0 then invalid_arg "Trace.eval_lasso: empty cycle";
+  let p = Array.length prefix and c = Array.length cycle in
+  let n = p + c in
+  let at i = if i < p then prefix.(i) else cycle.(i - p) in
+  let succ i = if i + 1 < n then i + 1 else p in
+  let memo = ref Fmap.empty in
+  let rec truth g =
+    match Fmap.find_opt g !memo with
+    | Some arr -> arr
+    | None ->
+        let arr = compute g in
+        memo := Fmap.add g arr !memo;
+        arr
+  and fixpoint ~init ~step =
+    let out = Array.make n init in
+    let changed = ref true in
+    while !changed do
+      changed := false;
+      for i = n - 1 downto 0 do
+        let v = step i out in
+        if v <> out.(i) then begin
+          out.(i) <- v;
+          changed := true
+        end
+      done
+    done;
+    out
+  and compute g =
+    let open Ltl in
+    match g with
+    | True -> Array.make n true
+    | False -> Array.make n false
+    | Atom a -> Array.init n (fun i -> Symbol.mem a (at i))
+    | Not h -> Array.map not (truth h)
+    | And (a, b) -> Array.map2 ( && ) (truth a) (truth b)
+    | Or (a, b) -> Array.map2 ( || ) (truth a) (truth b)
+    | Implies (a, b) -> Array.map2 (fun x y -> (not x) || y) (truth a) (truth b)
+    | Next h ->
+        let th = truth h in
+        Array.init n (fun i -> th.(succ i))
+    | Until (a, b) ->
+        let ta = truth a and tb = truth b in
+        fixpoint ~init:false ~step:(fun i out -> tb.(i) || (ta.(i) && out.(succ i)))
+    | Release (a, b) ->
+        let ta = truth a and tb = truth b in
+        fixpoint ~init:true ~step:(fun i out -> tb.(i) && (ta.(i) || out.(succ i)))
+    | Eventually h ->
+        let th = truth h in
+        fixpoint ~init:false ~step:(fun i out -> th.(i) || out.(succ i))
+    | Always h ->
+        let th = truth h in
+        fixpoint ~init:true ~step:(fun i out -> th.(i) && out.(succ i))
+  in
+  (truth f).(0)

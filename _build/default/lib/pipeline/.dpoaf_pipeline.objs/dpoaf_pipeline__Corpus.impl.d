@@ -1,0 +1,1 @@
+lib/pipeline/corpus.ml: Array Dpoaf_driving Dpoaf_lm Dpoaf_util List

@@ -1,0 +1,1 @@
+lib/pipeline/corpus.mli: Dpoaf_driving Dpoaf_lm Dpoaf_util

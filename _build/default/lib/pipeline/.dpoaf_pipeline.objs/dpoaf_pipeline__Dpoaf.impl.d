@@ -1,0 +1,1 @@
+lib/pipeline/dpoaf.ml: Corpus Dpoaf_dpo Dpoaf_driving Dpoaf_lm Dpoaf_util Feedback List

@@ -1,0 +1,1 @@
+lib/pipeline/dpoaf.mli: Corpus Dpoaf_dpo Dpoaf_driving Dpoaf_lm Dpoaf_util Feedback

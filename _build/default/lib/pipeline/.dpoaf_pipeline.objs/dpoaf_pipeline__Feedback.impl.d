@@ -1,0 +1,1 @@
+lib/pipeline/feedback.ml: Corpus Dpoaf_automata Dpoaf_driving Dpoaf_lang Hashtbl List

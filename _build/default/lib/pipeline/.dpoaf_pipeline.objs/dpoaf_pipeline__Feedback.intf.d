@@ -1,0 +1,1 @@
+lib/pipeline/feedback.mli: Corpus Dpoaf_automata

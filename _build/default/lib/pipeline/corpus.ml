@@ -1,0 +1,111 @@
+module Tasks = Dpoaf_driving.Tasks
+module Responses = Dpoaf_driving.Responses
+module Vocab = Dpoaf_lm.Vocab
+module Grammar = Dpoaf_lm.Grammar
+module Pretrain = Dpoaf_lm.Pretrain
+module Model = Dpoaf_lm.Model
+module Rng = Dpoaf_util.Rng
+
+type task_setup = {
+  task : Tasks.t;
+  prompt : int list;
+  grammar : Grammar.t;
+  min_clauses : int;
+  max_clauses : int;
+}
+
+type t = { vocab : Vocab.t; setups : task_setup list }
+
+let min_clauses = 1
+let max_clauses = 5
+
+let build () =
+  let texts =
+    List.concat_map
+      (fun task -> Tasks.query_text task :: Responses.candidate_steps task)
+      Tasks.all
+  in
+  let vocab = Vocab.of_texts texts in
+  let setups =
+    List.map
+      (fun task ->
+        {
+          task;
+          prompt = Vocab.encode vocab (Tasks.query_text task);
+          grammar = Grammar.of_clauses vocab (Responses.candidate_steps task);
+          min_clauses;
+          max_clauses;
+        })
+      Tasks.all
+  in
+  { vocab; setups }
+
+let setup t task =
+  List.find (fun s -> s.task.Tasks.id = task.Tasks.id) t.setups
+
+let setups_of_split t split =
+  List.filter (fun s -> s.task.Tasks.split = split) t.setups
+
+let steps_of_tokens t tokens = Grammar.steps_of_tokens t.vocab tokens
+
+(* Compose one synthetic response.  The generic corpus skews careless: more
+   than half the responses are a bare action with no observation steps
+   (these controllers act blindly and fail both safety and liveness rules,
+   landing the pre-trained model near the paper's ≈60% starting point);
+   the rest prepend one or two observations to a final step of mixed
+   quality. *)
+let synth_response rng setup =
+  let observations = Responses.observations setup.task in
+  let finals = Responses.finals setup.task in
+  let with_quality q = List.filter (fun s -> s.Responses.quality = q) finals in
+  let pick_final weights =
+    let pools =
+      List.filter_map
+        (fun (steps, w) -> if steps = [] then None else Some (steps, w))
+        weights
+    in
+    (Rng.choice_list rng (Rng.weighted rng pools)).Responses.text
+  in
+  if Rng.bool rng 0.55 then
+    (* careless: action step only *)
+    [
+      pick_final
+        [ (with_quality Responses.Bad, 0.6); (with_quality Responses.Risky, 0.4) ];
+    ]
+  else begin
+    let final =
+      pick_final
+        [
+          (with_quality Responses.Good, 0.35);
+          (with_quality Responses.Risky, 0.40);
+          (with_quality Responses.Bad, 0.25);
+        ]
+    in
+    let n_obs = 1 + Rng.int rng 2 in
+    let obs =
+      Array.to_list
+        (Rng.sample_without_replacement rng n_obs (Array.of_list observations))
+    in
+    List.map (fun s -> s.Responses.text) obs @ [ final ]
+  end
+
+let pretraining_examples t rng ~per_task =
+  List.concat_map
+    (fun setup ->
+      List.init per_task (fun _ ->
+          let steps = synth_response rng setup in
+          {
+            Pretrain.prompt = setup.prompt;
+            tokens = Grammar.tokens_of_steps t.vocab steps;
+            grammar = setup.grammar;
+            min_clauses = setup.min_clauses;
+            max_clauses = setup.max_clauses;
+          }))
+    t.setups
+
+let pretrained_model ?(config = Model.default_config) ?(per_task = 40) ?(epochs = 30)
+    rng t =
+  let model = Model.create rng config t.vocab in
+  let examples = pretraining_examples t rng ~per_task in
+  let _losses = Pretrain.train model examples ~epochs ~batch:16 ~lr:0.02 rng in
+  model

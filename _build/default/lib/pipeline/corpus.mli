@@ -1,0 +1,43 @@
+(** Shared vocabulary, per-task grammars and the synthetic pre-training
+    corpus — the ingredients of the "pre-trained language model".
+
+    The corpus mixes careful, partially careful and careless responses in
+    fixed proportions, so that the MLE-trained model reproduces the paper's
+    starting point: plausible instructions that satisfy roughly 60% of the
+    specifications before fine-tuning. *)
+
+type task_setup = {
+  task : Dpoaf_driving.Tasks.t;
+  prompt : int list;  (** encoded task query *)
+  grammar : Dpoaf_lm.Grammar.t;
+  min_clauses : int;
+  max_clauses : int;
+}
+
+type t = private { vocab : Dpoaf_lm.Vocab.t; setups : task_setup list }
+
+val build : unit -> t
+(** One setup per task in {!Dpoaf_driving.Tasks.all}; the vocabulary covers
+    all prompts and candidate steps. *)
+
+val setup : t -> Dpoaf_driving.Tasks.t -> task_setup
+(** @raise Not_found for tasks outside the setup list. *)
+
+val setups_of_split : t -> Dpoaf_driving.Tasks.split -> task_setup list
+
+val steps_of_tokens : t -> int list -> string list
+(** Decode a response into step sentences. *)
+
+val pretraining_examples :
+  t -> Dpoaf_util.Rng.t -> per_task:int -> Dpoaf_lm.Pretrain.example list
+(** Mixed-quality responses for every task (good 35% / risky 40% /
+    bad 25% final steps, with 1–2 observation steps in front). *)
+
+val pretrained_model :
+  ?config:Dpoaf_lm.Model.config ->
+  ?per_task:int ->
+  ?epochs:int ->
+  Dpoaf_util.Rng.t ->
+  t ->
+  Dpoaf_lm.Model.t
+(** Create and MLE-train the pre-trained model. *)

@@ -1,0 +1,146 @@
+module Tasks = Dpoaf_driving.Tasks
+module Model = Dpoaf_lm.Model
+module Sampler = Dpoaf_lm.Sampler
+module Pref_data = Dpoaf_dpo.Pref_data
+module Trainer = Dpoaf_dpo.Trainer
+module Rng = Dpoaf_util.Rng
+module Stats = Dpoaf_util.Stats
+
+type config = {
+  responses_per_task : int;
+  temperature : float;
+  eval_samples : int;
+  trainer : Trainer.config;
+}
+
+let default_config =
+  {
+    responses_per_task = 12;
+    temperature = 1.0;
+    eval_samples = 8;
+    trainer = Trainer.default_config;
+  }
+
+let sample_scored ?(harden = false) corpus feedback model rng ~m ~temperature setup =
+  let snap = Sampler.snapshot model in
+  let score =
+    if harden then Feedback.score_tokens_hardened else Feedback.score_tokens
+  in
+  List.init m (fun _ ->
+      let tokens =
+        Sampler.sample snap rng ~prompt:setup.Corpus.prompt
+          ~grammar:setup.Corpus.grammar ~min_clauses:setup.Corpus.min_clauses
+          ~max_clauses:setup.Corpus.max_clauses ~temperature ()
+      in
+      { Pref_data.tokens; score = score feedback ~corpus setup tokens })
+
+let collect_pairs corpus feedback model rng ~m ?(temperature = 1.0) split =
+  List.concat_map
+    (fun setup ->
+      let scored = sample_scored corpus feedback model rng ~m ~temperature setup in
+      Pref_data.pairs_of_scored ~task_id:setup.Corpus.task.Tasks.id
+        ~prompt:setup.Corpus.prompt ~grammar:setup.Corpus.grammar
+        ~min_clauses:setup.Corpus.min_clauses ~max_clauses:setup.Corpus.max_clauses
+        scored)
+    (Corpus.setups_of_split corpus split)
+
+let mean_specs_satisfied ?(harden = false) corpus feedback model rng ~samples
+    ?(temperature = 1.0) split =
+  let setups = Corpus.setups_of_split corpus split in
+  let per_task =
+    List.map
+      (fun setup ->
+        let scored =
+          sample_scored ~harden corpus feedback model rng ~m:samples ~temperature setup
+        in
+        Stats.mean (List.map (fun s -> float_of_int s.Pref_data.score) scored))
+      setups
+  in
+  Stats.mean per_task
+
+type checkpoint_eval = { epoch : int; training_score : float; validation_score : float }
+
+type result = {
+  pairs_used : int;
+  runs : Trainer.run list;
+  curve : checkpoint_eval list;
+}
+
+(* ---------------- iterative DPO-AF ---------------- *)
+
+type round_eval = {
+  round : int;
+  pairs : int;
+  training_score : float;
+  validation_score : float;
+}
+
+let run_iterative ?(config = default_config) ~rounds ~corpus ~feedback ~reference rng =
+  let eval policy =
+    let score split =
+      mean_specs_satisfied corpus feedback policy (Rng.split rng)
+        ~samples:config.eval_samples ~temperature:config.temperature split
+    in
+    (score Tasks.Training, score Tasks.Validation)
+  in
+  let rec go round policy acc =
+    if round > rounds then (List.rev acc, policy)
+    else begin
+      let pairs =
+        collect_pairs corpus feedback policy rng ~m:config.responses_per_task
+          ~temperature:config.temperature Tasks.Training
+      in
+      (* each round anchors the DPO reference at the current policy *)
+      let run = Trainer.train ~reference:policy ~pairs config.trainer ~seed:round in
+      let policy' = run.Trainer.final in
+      let t, v = eval policy' in
+      go (round + 1) policy'
+        ({ round; pairs = List.length pairs; training_score = t; validation_score = v }
+         :: acc)
+    end
+  in
+  let t0, v0 = eval reference in
+  let rounds_out, final = go 1 reference [] in
+  ( { round = 0; pairs = 0; training_score = t0; validation_score = v0 } :: rounds_out,
+    final )
+
+(* ---------------- REINFORCE baseline glue ---------------- *)
+
+let reinforce_tasks corpus feedback split =
+  List.map
+    (fun setup ->
+      {
+        Dpoaf_dpo.Reinforce.prompt = setup.Corpus.prompt;
+        grammar = setup.Corpus.grammar;
+        min_clauses = setup.Corpus.min_clauses;
+        max_clauses = setup.Corpus.max_clauses;
+        reward =
+          (fun tokens ->
+            float_of_int (Feedback.score_tokens feedback ~corpus setup tokens) /. 15.0);
+      })
+    (Corpus.setups_of_split corpus split)
+
+let run ?(config = default_config) ~corpus ~feedback ~reference ~seeds rng =
+  let pairs =
+    collect_pairs corpus feedback reference rng ~m:config.responses_per_task
+      ~temperature:config.temperature Tasks.Training
+  in
+  let runs = Trainer.train_seeds ~reference ~pairs config.trainer ~seeds in
+  let curve =
+    match runs with
+    | [] -> []
+    | first :: _ ->
+        List.map
+          (fun (epoch, model) ->
+            let eval split =
+              mean_specs_satisfied corpus feedback model (Rng.split rng)
+                ~samples:config.eval_samples ~temperature:config.temperature split
+            in
+            {
+              epoch;
+              training_score = eval Tasks.Training;
+              validation_score = eval Tasks.Validation;
+            })
+          first.Trainer.checkpoints
+  in
+  { pairs_used = List.length pairs; runs; curve }

@@ -1,0 +1,92 @@
+(** The end-to-end DPO-AF pipeline (Figure 2):
+
+    pre-trained model → sample responses per task prompt → align & compile
+    controllers → verify against the rule book → rank → preference pairs →
+    DPO fine-tuning (LoRA) → checkpoint evaluation. *)
+
+type config = {
+  responses_per_task : int;  (** [m] samples per prompt *)
+  temperature : float;
+  eval_samples : int;  (** responses sampled per task when evaluating *)
+  trainer : Dpoaf_dpo.Trainer.config;
+}
+
+val default_config : config
+
+val collect_pairs :
+  Corpus.t ->
+  Feedback.t ->
+  Dpoaf_lm.Model.t ->
+  Dpoaf_util.Rng.t ->
+  m:int ->
+  ?temperature:float ->
+  Dpoaf_driving.Tasks.split ->
+  Dpoaf_dpo.Pref_data.pair list
+(** Sample [m] responses per task of the split, score each by formal
+    verification, and mine all distinct-score pairs (§4.3). *)
+
+val mean_specs_satisfied :
+  ?harden:bool ->
+  Corpus.t ->
+  Feedback.t ->
+  Dpoaf_lm.Model.t ->
+  Dpoaf_util.Rng.t ->
+  samples:int ->
+  ?temperature:float ->
+  Dpoaf_driving.Tasks.split ->
+  float
+(** Average number of the 15 specifications satisfied by responses sampled
+    from the model, over the split's tasks — the y-axis of Figure 9.
+    With [~harden:true] each response's controller is first repaired with
+    {!Dpoaf_lang.Repair.harden} (the post-hoc baseline). *)
+
+(** {1 Iterative DPO-AF}
+
+    The paper notes that automated feedback allows collecting pairs "until
+    the language model converges"; this loop re-samples from the updated
+    policy each round, anchoring the DPO reference at the round's start. *)
+
+type round_eval = {
+  round : int;
+  pairs : int;  (** pairs mined this round (0 for the round-0 baseline) *)
+  training_score : float;
+  validation_score : float;
+}
+
+val run_iterative :
+  ?config:config ->
+  rounds:int ->
+  corpus:Corpus.t ->
+  feedback:Feedback.t ->
+  reference:Dpoaf_lm.Model.t ->
+  Dpoaf_util.Rng.t ->
+  round_eval list * Dpoaf_lm.Model.t
+
+val reinforce_tasks :
+  Corpus.t -> Feedback.t -> Dpoaf_driving.Tasks.split -> Dpoaf_dpo.Reinforce.task list
+(** Verifier-reward tasks for the {!Dpoaf_dpo.Reinforce} baseline
+    (reward = satisfied/15). *)
+
+type checkpoint_eval = {
+  epoch : int;
+  training_score : float;
+  validation_score : float;
+}
+
+type result = {
+  pairs_used : int;
+  runs : Dpoaf_dpo.Trainer.run list;  (** one per seed *)
+  curve : checkpoint_eval list;  (** from the first run's checkpoints *)
+}
+
+val run :
+  ?config:config ->
+  corpus:Corpus.t ->
+  feedback:Feedback.t ->
+  reference:Dpoaf_lm.Model.t ->
+  seeds:int list ->
+  Dpoaf_util.Rng.t ->
+  result
+(** The full experiment: mine pairs from training tasks, DPO-train per
+    seed, and evaluate every checkpoint of the first run on training and
+    validation tasks. *)

@@ -1,0 +1,53 @@
+module Evaluate = Dpoaf_driving.Evaluate
+module Models = Dpoaf_driving.Models
+module Tasks = Dpoaf_driving.Tasks
+
+type t = {
+  model : Dpoaf_automata.Ts.t;
+  cache : (string * int list * bool, int) Hashtbl.t;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let create ?model () =
+  let model = match model with Some m -> m | None -> Models.universal () in
+  { model; cache = Hashtbl.create 256; hits = 0; misses = 0 }
+
+let score_steps t ~task_id:_ steps =
+  Evaluate.count_specs_of_steps ~model:t.model steps
+
+let count_specs_of_clauses t clauses =
+  let controller = Dpoaf_lang.Glm2fsa.controller ~name:"response" clauses in
+  Evaluate.count_specs ~model:t.model controller
+
+let cached t key compute =
+  match Hashtbl.find_opt t.cache key with
+  | Some score ->
+      t.hits <- t.hits + 1;
+      score
+  | None ->
+      t.misses <- t.misses + 1;
+      let score = compute () in
+      Hashtbl.add t.cache key score;
+      score
+
+let clauses_of_tokens corpus tokens =
+  let steps = Corpus.steps_of_tokens corpus tokens in
+  fst (Dpoaf_lang.Step_parser.parse_steps (Evaluate.lexicon ()) steps)
+
+let score_tokens t ~corpus setup tokens =
+  cached t (setup.Corpus.task.Tasks.id, tokens, false) (fun () ->
+      let steps = Corpus.steps_of_tokens corpus tokens in
+      score_steps t ~task_id:setup.Corpus.task.Tasks.id steps)
+
+let score_tokens_hardened t ~corpus setup tokens =
+  cached t (setup.Corpus.task.Tasks.id, tokens, true) (fun () ->
+      let clauses = clauses_of_tokens corpus tokens in
+      let hardened =
+        Dpoaf_lang.Repair.harden
+          ~specs:(List.map snd Dpoaf_driving.Specs.all)
+          ~all_actions:Dpoaf_driving.Vocab.actions clauses
+      in
+      count_specs_of_clauses t hardened)
+
+let cache_stats t = (t.hits, t.misses)

@@ -1,0 +1,28 @@
+(** Automated verification feedback with memoization.
+
+    Scoring a response means: decode tokens to steps, align and compile
+    with GLM2FSA, implement in the world model, count satisfied
+    specifications (§4.2).  Distinct responses recur constantly across
+    sampling rounds and checkpoints, so verdict counts are cached by
+    (task, tokens). *)
+
+type t
+
+val create : ?model:Dpoaf_automata.Ts.t -> unit -> t
+(** [model] defaults to the universal model (the paper integrates all
+    scenario models for verification). *)
+
+val score_steps : t -> task_id:string -> string list -> int
+(** Number of the 15 specifications satisfied by the steps' controller. *)
+
+val score_tokens : t -> corpus:Corpus.t -> Corpus.task_setup -> int list -> int
+(** Score a token-level response (cached). *)
+
+val score_tokens_hardened :
+  t -> corpus:Corpus.t -> Corpus.task_setup -> int list -> int
+(** Score a response after specification-guided repair
+    ({!Dpoaf_lang.Repair.harden}) of its clauses — the post-hoc hardening
+    baseline. *)
+
+val cache_stats : t -> int * int
+(** (hits, misses) — for reporting verification cost. *)

@@ -1,0 +1,1 @@
+lib/sim/empirical.ml: Dpoaf_logic Dpoaf_util List Runner World

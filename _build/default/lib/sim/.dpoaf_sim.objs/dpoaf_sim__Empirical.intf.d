@@ -1,0 +1,1 @@
+lib/sim/empirical.mli: Dpoaf_automata Dpoaf_logic Shield World

@@ -1,0 +1,1 @@
+lib/sim/runner.ml: Array Dpoaf_automata Dpoaf_lang Dpoaf_logic Dpoaf_util List Shield World

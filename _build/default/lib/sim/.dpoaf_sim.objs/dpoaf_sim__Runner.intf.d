@@ -1,0 +1,1 @@
+lib/sim/runner.mli: Dpoaf_automata Dpoaf_logic Dpoaf_util Shield World

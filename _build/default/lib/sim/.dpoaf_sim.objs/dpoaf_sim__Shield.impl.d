@@ -1,0 +1,1 @@
+lib/sim/shield.ml: Dpoaf_automata Dpoaf_lang Dpoaf_logic List

@@ -1,0 +1,1 @@
+lib/sim/shield.mli: Dpoaf_logic

@@ -1,0 +1,1 @@
+lib/sim/world.ml: Array Dpoaf_automata Dpoaf_logic Dpoaf_util List

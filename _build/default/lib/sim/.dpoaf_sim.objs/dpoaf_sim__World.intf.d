@@ -1,0 +1,1 @@
+lib/sim/world.mli: Dpoaf_automata Dpoaf_logic Dpoaf_util

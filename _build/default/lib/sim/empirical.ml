@@ -1,0 +1,25 @@
+module Rng = Dpoaf_util.Rng
+module Trace = Dpoaf_logic.Trace
+
+type config = { rollouts : int; steps : int; noise : World.noise; seed : int }
+
+let default_config =
+  {
+    rollouts = 200;
+    steps = 40;
+    noise = { World.miss_rate = 0.02; false_rate = 0.01 };
+    seed = 42;
+  }
+
+let satisfaction_rate phi words =
+  Dpoaf_util.Stats.fraction (fun word -> Trace.eval_finite phi word) words
+
+let evaluate ?shield ~model ~controller ~specs config =
+  let rng = Rng.create config.seed in
+  let words =
+    List.init config.rollouts (fun _ ->
+        let world = World.create ~noise:config.noise ~model (Rng.split rng) in
+        Runner.to_symbols
+          (Runner.run ?shield world controller ~steps:config.steps (Rng.split rng)))
+  in
+  List.map (fun (name, phi) -> (name, satisfaction_rate phi words)) specs

@@ -1,0 +1,34 @@
+(** Empirical satisfaction rates [P_Φ] (§4.2).
+
+    Each rollout's grounded word is checked against a specification with
+    finite-trace (LTLf) semantics;
+    [P_Φ = (number of sequences satisfying Φ) / (total sequences)].
+
+    Note the finite-trace caveat: liveness obligations ([◇ …]) still open
+    at the end of a rollout count as violations, so even formally verified
+    controllers can score below 1.0 on liveness specifications — length the
+    rollouts accordingly. *)
+
+type config = {
+  rollouts : int;
+  steps : int;  (** rollout length [N] *)
+  noise : World.noise;
+  seed : int;
+}
+
+val default_config : config
+(** 200 rollouts × 40 steps, mild perception noise (2% miss, 1% false). *)
+
+val satisfaction_rate :
+  Dpoaf_logic.Ltl.t -> Dpoaf_logic.Symbol.t array list -> float
+(** [P_Φ] over already-grounded words. *)
+
+val evaluate :
+  ?shield:Shield.t ->
+  model:Dpoaf_automata.Ts.t ->
+  controller:Dpoaf_automata.Fsa.t ->
+  specs:(string * Dpoaf_logic.Ltl.t) list ->
+  config ->
+  (string * float) list
+(** Run rollouts once and score every specification on them; with
+    [?shield] the runs are shielded (see {!Shield}). *)

@@ -1,0 +1,50 @@
+module Fsa = Dpoaf_automata.Fsa
+module Symbol = Dpoaf_logic.Symbol
+module Rng = Dpoaf_util.Rng
+
+type step = {
+  props : Symbol.t;
+  perceived : Symbol.t;
+  action : Symbol.t;
+  world_state : string;
+  ctrl_state : int;
+}
+
+type trace = step list
+
+let run ?shield world controller ~steps rng =
+  let stop_sym = Symbol.singleton Dpoaf_lang.Glm2fsa.stop_action in
+  let rec go q i acc =
+    if i >= steps then List.rev acc
+    else begin
+      let props = World.ground_truth world in
+      let perceived = World.perceive world in
+      let moves = Fsa.enabled controller q perceived in
+      let moves =
+        match shield with
+        | None -> moves
+        | Some s -> Shield.filter s ~observation:perceived moves
+      in
+      let action, q' =
+        match moves with
+        | [] -> ((if shield = None then Symbol.empty else stop_sym), q)
+        | [ move ] -> move
+        | moves -> Rng.choice_list rng moves
+      in
+      let entry =
+        {
+          props;
+          perceived;
+          action;
+          world_state = World.state_name world;
+          ctrl_state = q;
+        }
+      in
+      World.step world;
+      go q' (i + 1) (entry :: acc)
+    end
+  in
+  go controller.Fsa.init 0 []
+
+let to_symbols trace =
+  Array.of_list (List.map (fun s -> Symbol.union s.props s.action) trace)

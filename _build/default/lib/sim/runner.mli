@@ -1,0 +1,35 @@
+(** Grounding [G(C,S)]: operate a controller in the simulated system and
+    record the sequence in [(2^P × 2^{P_A})^N] (§4.2, Empirical
+    Evaluation).
+
+    At each instant the controller reads a (possibly noisy) observation,
+    one enabled transition is taken (uniformly among enabled ones), the
+    {e ground-truth} propositions and the chosen action are recorded, and
+    the world advances. *)
+
+type step = {
+  props : Dpoaf_logic.Symbol.t;  (** ground truth at this instant *)
+  perceived : Dpoaf_logic.Symbol.t;  (** what the controller saw *)
+  action : Dpoaf_logic.Symbol.t;
+  world_state : string;
+  ctrl_state : int;
+}
+
+type trace = step list
+
+val run :
+  ?shield:Shield.t ->
+  World.t ->
+  Dpoaf_automata.Fsa.t ->
+  steps:int ->
+  Dpoaf_util.Rng.t ->
+  trace
+(** Runs for exactly [steps] instants.  If the controller has no enabled
+    transition it holds state and emits the empty action for that instant.
+    With [?shield], moves the shield forbids (given the {e perceived}
+    observation) are masked; if every move is masked the vehicle holds and
+    emits [stop]. *)
+
+val to_symbols : trace -> Dpoaf_logic.Symbol.t array
+(** Each instant as [props ∪ action] — the word checked against the LTL
+    specifications. *)

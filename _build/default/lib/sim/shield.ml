@@ -1,0 +1,35 @@
+module Fsa = Dpoaf_automata.Fsa
+module Symbol = Dpoaf_logic.Symbol
+module Clause = Dpoaf_lang.Clause
+module Repair = Dpoaf_lang.Repair
+
+type t = {
+  guards : (string * Fsa.guard) list;  (* per action; missing = always allowed *)
+  stop_action : string;
+}
+
+let create ~specs ~actions =
+  let guards =
+    List.filter_map
+      (fun action ->
+        if action = Dpoaf_lang.Glm2fsa.stop_action then None
+        else
+          match Repair.residual_condition specs ~action ~all_actions:actions with
+          | None -> None
+          | Some cond -> Some (action, Clause.guard_of_condition cond))
+      actions
+  in
+  { guards; stop_action = Dpoaf_lang.Glm2fsa.stop_action }
+
+let permits t ~observation action =
+  Symbol.for_all
+    (fun a ->
+      a = t.stop_action
+      ||
+      match List.assoc_opt a t.guards with
+      | None -> true
+      | Some guard -> Fsa.eval_guard guard observation)
+    action
+
+let filter t ~observation moves =
+  List.filter (fun (action, _) -> permits t ~observation action) moves

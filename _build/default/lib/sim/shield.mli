@@ -1,0 +1,26 @@
+(** Runtime safety shield.
+
+    A shield sits between the controller and the actuators: a proposed
+    action is let through only when the current observation satisfies the
+    action's residual obligation under the invariant specifications (the
+    same computation as {!Dpoaf_lang.Repair}); otherwise the vehicle holds
+    ([stop]).  Shields enforce the invariant rules at execution time even
+    for un-fine-tuned controllers — the runtime complement of DPO-AF's
+    training-time fix — but they act on {e perceived} observations, so
+    missed detections can still lead to ground-truth violations. *)
+
+type t
+
+val create : specs:Dpoaf_logic.Ltl.t list -> actions:string list -> t
+(** Precomputes one residual guard per action.  [stop] is never blocked. *)
+
+val permits : t -> observation:Dpoaf_logic.Symbol.t -> Dpoaf_logic.Symbol.t -> bool
+(** [permits shield ~observation action] — may the action be executed when
+    the world looks like [observation]? *)
+
+val filter :
+  t ->
+  observation:Dpoaf_logic.Symbol.t ->
+  (Dpoaf_logic.Symbol.t * 'a) list ->
+  (Dpoaf_logic.Symbol.t * 'a) list
+(** Keep only the permitted (action, successor) moves. *)

@@ -1,0 +1,44 @@
+module Ts = Dpoaf_automata.Ts
+module Symbol = Dpoaf_logic.Symbol
+module Rng = Dpoaf_util.Rng
+
+type noise = { miss_rate : float; false_rate : float }
+
+let no_noise = { miss_rate = 0.0; false_rate = 0.0 }
+
+type t = {
+  model : Ts.t;
+  rng : Rng.t;
+  noise : noise;
+  props : string list;  (* all propositions the model can report *)
+  mutable state : Ts.state;
+}
+
+let create ?(noise = no_noise) ~model rng =
+  if model.Ts.initial = [] then invalid_arg "World.create: no initial states";
+  if not (Ts.is_total model) then invalid_arg "World.create: model must be total";
+  {
+    model;
+    rng;
+    noise;
+    props = Symbol.elements (Ts.propositions model);
+    state = Rng.choice_list rng model.Ts.initial;
+  }
+
+let ground_truth t = Ts.label t.model t.state
+
+let perceive t =
+  let truth = ground_truth t in
+  List.fold_left
+    (fun acc p ->
+      let present = Symbol.mem p truth in
+      let seen =
+        if present then not (Rng.bool t.rng t.noise.miss_rate)
+        else Rng.bool t.rng t.noise.false_rate
+      in
+      if seen then Symbol.add p acc else acc)
+    Symbol.empty t.props
+
+let step t = t.state <- Rng.choice_list t.rng (Ts.successors t.model t.state)
+
+let state_name t = t.model.Ts.state_names.(t.state)

@@ -1,0 +1,36 @@
+(** Stochastic driving-world simulator (the repository's Carla substitute).
+
+    The environment evolves as a random walk over a scenario's
+    automaton-based model, so the simulated dynamics are exactly the
+    dynamics the formal models encode (the "complete information" case of
+    the paper's Definition 1 when perception is perfect).  A perception
+    noise model separates what {e happened} (ground-truth state labels,
+    which go into the recorded trace) from what the controller {e saw}
+    (dropped or hallucinated propositions). *)
+
+type noise = {
+  miss_rate : float;  (** probability a true proposition goes unseen *)
+  false_rate : float;  (** probability an absent proposition is reported *)
+}
+
+val no_noise : noise
+
+type t
+
+val create :
+  ?noise:noise -> model:Dpoaf_automata.Ts.t -> Dpoaf_util.Rng.t -> t
+(** A world in a uniformly random initial state of [model].
+    @raise Invalid_argument if the model has no initial states or is not
+    total. *)
+
+val ground_truth : t -> Dpoaf_logic.Symbol.t
+(** The current state's true label. *)
+
+val perceive : t -> Dpoaf_logic.Symbol.t
+(** A (fresh) noisy observation of the current state; only propositions of
+    the model are subject to noise. *)
+
+val step : t -> unit
+(** Advance to a uniformly random successor state. *)
+
+val state_name : t -> string

@@ -1,0 +1,1 @@
+lib/tensor/autodiff.ml: Array Float List Tensor

@@ -1,0 +1,1 @@
+lib/tensor/lora.ml: Autodiff Optim Tensor

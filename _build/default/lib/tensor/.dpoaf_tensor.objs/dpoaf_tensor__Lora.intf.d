@@ -1,0 +1,1 @@
+lib/tensor/lora.mli: Autodiff Dpoaf_util Optim Tensor

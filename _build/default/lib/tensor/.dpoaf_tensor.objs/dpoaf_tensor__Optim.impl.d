@@ -1,0 +1,1 @@
+lib/tensor/optim.ml: Float Hashtbl List Printf Tensor

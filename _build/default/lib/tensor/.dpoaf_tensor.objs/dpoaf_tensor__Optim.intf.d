@@ -1,0 +1,1 @@
+lib/tensor/optim.mli: Tensor

@@ -1,0 +1,1 @@
+lib/tensor/tensor.ml: Array Dpoaf_util Float Format List Printf String

@@ -1,0 +1,92 @@
+type param = { name : string; tensor : Tensor.t }
+
+let param name tensor = { name; tensor }
+
+let check_shapes p g =
+  if Tensor.dims p.tensor <> Tensor.dims g then
+    invalid_arg (Printf.sprintf "Optim: gradient shape mismatch for %s" p.name)
+
+module Sgd = struct
+  type t = {
+    lr : float;
+    momentum : float;
+    velocity : (string, Tensor.t) Hashtbl.t;
+  }
+
+  let create ?(momentum = 0.0) ~lr () = { lr; momentum; velocity = Hashtbl.create 16 }
+
+  let step t updates =
+    List.iter
+      (fun (p, g) ->
+        check_shapes p g;
+        let update =
+          if t.momentum = 0.0 then Tensor.map (fun x -> t.lr *. x) g
+          else begin
+            let v =
+              match Hashtbl.find_opt t.velocity p.name with
+              | Some v -> v
+              | None ->
+                  let v = Tensor.zeros (Tensor.dims p.tensor) in
+                  Hashtbl.add t.velocity p.name v;
+                  v
+            in
+            for i = 0 to Tensor.numel v - 1 do
+              Tensor.set v i ((t.momentum *. Tensor.get v i) +. Tensor.get g i)
+            done;
+            Tensor.map (fun x -> t.lr *. x) v
+          end
+        in
+        for i = 0 to Tensor.numel p.tensor - 1 do
+          Tensor.set p.tensor i (Tensor.get p.tensor i -. Tensor.get update i)
+        done)
+      updates
+end
+
+module Adam = struct
+  type slot = { m : Tensor.t; v : Tensor.t }
+
+  type t = {
+    lr : float;
+    beta1 : float;
+    beta2 : float;
+    eps : float;
+    mutable step_count : int;
+    slots : (string, slot) Hashtbl.t;
+  }
+
+  let create ?(beta1 = 0.9) ?(beta2 = 0.999) ?(eps = 1e-8) ~lr () =
+    { lr; beta1; beta2; eps; step_count = 0; slots = Hashtbl.create 16 }
+
+  let step t updates =
+    t.step_count <- t.step_count + 1;
+    let bc1 = 1.0 -. (t.beta1 ** float_of_int t.step_count) in
+    let bc2 = 1.0 -. (t.beta2 ** float_of_int t.step_count) in
+    List.iter
+      (fun (p, g) ->
+        check_shapes p g;
+        let slot =
+          match Hashtbl.find_opt t.slots p.name with
+          | Some s -> s
+          | None ->
+              let s =
+                { m = Tensor.zeros (Tensor.dims p.tensor);
+                  v = Tensor.zeros (Tensor.dims p.tensor) }
+              in
+              Hashtbl.add t.slots p.name s;
+              s
+        in
+        for i = 0 to Tensor.numel p.tensor - 1 do
+          let gi = Tensor.get g i in
+          Tensor.set slot.m i ((t.beta1 *. Tensor.get slot.m i) +. ((1.0 -. t.beta1) *. gi));
+          Tensor.set slot.v i
+            ((t.beta2 *. Tensor.get slot.v i) +. ((1.0 -. t.beta2) *. gi *. gi));
+          let m_hat = Tensor.get slot.m i /. bc1 in
+          let v_hat = Tensor.get slot.v i /. bc2 in
+          Tensor.set p.tensor i
+            (Tensor.get p.tensor i -. (t.lr *. m_hat /. (sqrt v_hat +. t.eps)))
+        done)
+      updates
+end
+
+let clip_by_max_abs bound g =
+  Tensor.map (fun x -> Float.max (-.bound) (Float.min bound x)) g

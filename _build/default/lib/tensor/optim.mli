@@ -1,0 +1,28 @@
+(** First-order optimizers over named parameter tensors.
+
+    Parameters are updated in place.  State (momenta) is keyed by parameter
+    name, so the same optimizer instance can be reused across steps. *)
+
+type param = { name : string; tensor : Tensor.t }
+
+val param : string -> Tensor.t -> param
+
+module Sgd : sig
+  type t
+
+  val create : ?momentum:float -> lr:float -> unit -> t
+  val step : t -> (param * Tensor.t) list -> unit
+  (** [(parameter, gradient)] pairs; shapes must match. *)
+end
+
+module Adam : sig
+  type t
+
+  val create :
+    ?beta1:float -> ?beta2:float -> ?eps:float -> lr:float -> unit -> t
+
+  val step : t -> (param * Tensor.t) list -> unit
+end
+
+val clip_by_max_abs : float -> Tensor.t -> Tensor.t
+(** Elementwise gradient clipping. *)

@@ -1,0 +1,85 @@
+type t = { shape : int array; data : float array }
+
+let total shape = Array.fold_left ( * ) 1 shape
+
+let create shape v = { shape = Array.copy shape; data = Array.make (total shape) v }
+
+let zeros shape = create shape 0.0
+
+let scalar v = { shape = [||]; data = [| v |] }
+
+let of_array shape data =
+  if Array.length data <> total shape then
+    invalid_arg "Tensor.of_array: size mismatch";
+  { shape = Array.copy shape; data = Array.copy data }
+
+let init shape f =
+  { shape = Array.copy shape; data = Array.init (total shape) f }
+
+let vector data = of_array [| Array.length data |] data
+
+let matrix rows =
+  let m = Array.length rows in
+  if m = 0 then { shape = [| 0; 0 |]; data = [||] }
+  else begin
+    let n = Array.length rows.(0) in
+    Array.iter
+      (fun r -> if Array.length r <> n then invalid_arg "Tensor.matrix: ragged input")
+      rows;
+    init [| m; n |] (fun k -> rows.(k / n).(k mod n))
+  end
+
+let numel t = Array.length t.data
+let dims t = Array.copy t.shape
+let copy t = { shape = Array.copy t.shape; data = Array.copy t.data }
+
+let get t i = t.data.(i)
+let set t i v = t.data.(i) <- v
+
+let cols t =
+  match t.shape with
+  | [| _; n |] -> n
+  | _ -> invalid_arg "Tensor: rank-2 access on non-matrix"
+
+let get2 t i j = t.data.((i * cols t) + j)
+let set2 t i j v = t.data.((i * cols t) + j) <- v
+
+let map f t = { shape = Array.copy t.shape; data = Array.map f t.data }
+
+let map2 f a b =
+  if a.shape <> b.shape then invalid_arg "Tensor.map2: shape mismatch";
+  { shape = Array.copy a.shape; data = Array.map2 f a.data b.data }
+
+let add_in_place dst src =
+  if dst.shape <> src.shape then invalid_arg "Tensor.add_in_place: shape mismatch";
+  for i = 0 to Array.length dst.data - 1 do
+    dst.data.(i) <- dst.data.(i) +. src.data.(i)
+  done
+
+let scale_in_place t c =
+  for i = 0 to Array.length t.data - 1 do
+    t.data.(i) <- t.data.(i) *. c
+  done
+
+let fill t v = Array.fill t.data 0 (Array.length t.data) v
+
+let sum t = Array.fold_left ( +. ) 0.0 t.data
+
+let mean t = if numel t = 0 then 0.0 else sum t /. float_of_int (numel t)
+
+let max_abs t = Array.fold_left (fun acc x -> Float.max acc (abs_float x)) 0.0 t.data
+
+let approx_equal ?(tol = 1e-9) a b =
+  a.shape = b.shape
+  && Array.for_all2 (fun x y -> abs_float (x -. y) <= tol) a.data b.data
+
+let gaussian rng shape ~stddev =
+  init shape (fun _ -> stddev *. Dpoaf_util.Rng.gaussian rng)
+
+let pp ppf t =
+  Format.fprintf ppf "tensor%s[%s]"
+    (Format.asprintf "(%s)"
+       (String.concat "x" (Array.to_list (Array.map string_of_int t.shape))))
+    (String.concat "; "
+       (Array.to_list (Array.map (Printf.sprintf "%.4g") t.data)
+       |> fun l -> if List.length l > 8 then List.filteri (fun i _ -> i < 8) l @ [ "…" ] else l))

@@ -1,0 +1,53 @@
+(** Dense float tensors (rank ≤ 2 in practice).
+
+    The numeric substrate for the language model and DPO trainer.  Data is
+    a flat [float array] in row-major order. *)
+
+type t = private { shape : int array; data : float array }
+
+val create : int array -> float -> t
+val zeros : int array -> t
+val scalar : float -> t
+val of_array : int array -> float array -> t
+(** @raise Invalid_argument when the array length does not match the shape. *)
+
+val init : int array -> (int -> float) -> t
+(** [init shape f] fills by flat index. *)
+
+val vector : float array -> t
+val matrix : float array array -> t
+(** @raise Invalid_argument on ragged input. *)
+
+val numel : t -> int
+val dims : t -> int array
+val copy : t -> t
+
+val get : t -> int -> float
+(** Flat indexing. *)
+
+val set : t -> int -> float -> unit
+
+val get2 : t -> int -> int -> float
+(** [get2 m i j] for a rank-2 tensor. *)
+
+val set2 : t -> int -> int -> float -> unit
+
+val map : (float -> float) -> t -> t
+val map2 : (float -> float -> float) -> t -> t -> t
+(** @raise Invalid_argument on shape mismatch. *)
+
+val add_in_place : t -> t -> unit
+(** [add_in_place dst src]: [dst += src]. *)
+
+val scale_in_place : t -> float -> unit
+val fill : t -> float -> unit
+
+val sum : t -> float
+val mean : t -> float
+val max_abs : t -> float
+val approx_equal : ?tol:float -> t -> t -> bool
+
+val gaussian : Dpoaf_util.Rng.t -> int array -> stddev:float -> t
+(** I.i.d. normal entries. *)
+
+val pp : Format.formatter -> t -> unit

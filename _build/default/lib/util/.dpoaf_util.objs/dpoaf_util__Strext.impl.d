@@ -1,0 +1,1 @@
+lib/util/strext.ml: Buffer List Seq String

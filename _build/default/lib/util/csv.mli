@@ -1,0 +1,14 @@
+(** Minimal CSV writing for exporting experiment series.
+
+    Quoting follows RFC 4180: fields containing commas, quotes or newlines
+    are double-quoted with inner quotes doubled. *)
+
+val escape : string -> string
+(** One field, quoted if needed. *)
+
+val line : string list -> string
+(** One row (no trailing newline). *)
+
+val write : string -> header:string list -> string list list -> unit
+(** Write a file with a header row.
+    @raise Sys_error on unwritable paths. *)

@@ -1,0 +1,82 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let create seed = { state = Int64.of_int seed }
+
+let copy t = { state = t.state }
+
+(* splitmix64 finalizer: the output function of Steele et al. (2014). *)
+let mix z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let int64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix t.state
+
+let split t =
+  let seed = int64 t in
+  { state = mix seed }
+
+let int t bound =
+  assert (bound > 0);
+  (* keep 62 bits so the value fits OCaml's 63-bit int and stays positive *)
+  let r = Int64.to_int (Int64.shift_right_logical (int64 t) 2) in
+  r mod bound
+
+let float t =
+  (* 53 random bits mapped to [0,1). *)
+  let bits = Int64.shift_right_logical (int64 t) 11 in
+  Int64.to_float bits *. (1.0 /. 9007199254740992.0)
+
+let bool t p = float t < p
+
+let uniform t lo hi = lo +. ((hi -. lo) *. float t)
+
+let gaussian t =
+  let rec nonzero () =
+    let u = float t in
+    if u > 0.0 then u else nonzero ()
+  in
+  let u1 = nonzero () and u2 = float t in
+  sqrt (-2.0 *. log u1) *. cos (2.0 *. Float.pi *. u2)
+
+let choice t arr =
+  assert (Array.length arr > 0);
+  arr.(int t (Array.length arr))
+
+let choice_list t l =
+  match l with
+  | [] -> invalid_arg "Rng.choice_list: empty list"
+  | _ -> List.nth l (int t (List.length l))
+
+let weighted t choices =
+  let total = List.fold_left (fun acc (_, w) -> acc +. w) 0.0 choices in
+  if total <= 0.0 then invalid_arg "Rng.weighted: weights sum to zero";
+  let x = float t *. total in
+  let rec pick acc = function
+    | [] -> invalid_arg "Rng.weighted: empty choices"
+    | [ (v, _) ] -> v
+    | (v, w) :: rest -> if x < acc +. w then v else pick (acc +. w) rest
+  in
+  pick 0.0 choices
+
+let shuffle t arr =
+  for i = Array.length arr - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done
+
+let shuffle_list t l =
+  let arr = Array.of_list l in
+  shuffle t arr;
+  Array.to_list arr
+
+let sample_without_replacement t k arr =
+  let copy = Array.copy arr in
+  shuffle t copy;
+  Array.sub copy 0 (min k (Array.length copy))

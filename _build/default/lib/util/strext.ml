@@ -1,0 +1,35 @@
+let is_space c = c = ' ' || c = '\t' || c = '\n' || c = '\r'
+
+let words s =
+  let out = ref [] and buf = Buffer.create 16 in
+  let flush () =
+    if Buffer.length buf > 0 then begin
+      out := Buffer.contents buf :: !out;
+      Buffer.clear buf
+    end
+  in
+  String.iter (fun c -> if is_space c then flush () else Buffer.add_char buf c) s;
+  flush ();
+  List.rev !out
+
+let strip_punct w =
+  let keep c =
+    (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c = '-' || c = '_'
+  in
+  String.to_seq (String.lowercase_ascii w)
+  |> Seq.filter keep |> String.of_seq
+
+let lowercase_words s =
+  words s |> List.map strip_punct |> List.filter (fun w -> w <> "")
+
+let starts_with ~prefix s =
+  String.length s >= String.length prefix
+  && String.sub s 0 (String.length prefix) = prefix
+
+let join = String.concat " "
+
+let rec strip_prefix ~prefix ws =
+  match (prefix, ws) with
+  | [], rest -> Some rest
+  | p :: ps, w :: rest when p = w -> strip_prefix ~prefix:ps rest
+  | _ -> None

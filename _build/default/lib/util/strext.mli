@@ -1,0 +1,16 @@
+(** String helpers shared by the semantic parser and tokenizers. *)
+
+val words : string -> string list
+(** Split on whitespace, dropping empty fragments. *)
+
+val lowercase_words : string -> string list
+(** {!words} after ASCII lowercasing and stripping punctuation
+    (periods, commas, quotes). *)
+
+val starts_with : prefix:string -> string -> bool
+
+val join : string list -> string
+(** Concatenate with single spaces. *)
+
+val strip_prefix : prefix:string list -> string list -> string list option
+(** [strip_prefix ~prefix ws] removes [prefix] from the head of [ws]. *)

@@ -1,0 +1,42 @@
+type t = { headers : string list; mutable rows : string list list }
+
+let create headers = { headers; rows = [] }
+
+let add_row t row = t.rows <- row :: t.rows
+
+let add_float_row t label xs =
+  add_row t (label :: List.map (Printf.sprintf "%.3f") xs)
+
+let header t = t.headers
+let rows t = List.rev t.rows
+
+let render t =
+  let rows = List.rev t.rows in
+  let ncols =
+    List.fold_left (fun acc r -> max acc (List.length r)) (List.length t.headers) rows
+  in
+  let pad row = row @ List.init (ncols - List.length row) (fun _ -> "") in
+  let all = List.map pad (t.headers :: rows) in
+  let widths = Array.make ncols 0 in
+  let note_widths row =
+    List.iteri (fun i cell -> widths.(i) <- max widths.(i) (String.length cell)) row
+  in
+  List.iter note_widths all;
+  let render_row row =
+    let cells =
+      List.mapi (fun i cell -> Printf.sprintf " %-*s " widths.(i) cell) row
+    in
+    "|" ^ String.concat "|" cells ^ "|"
+  in
+  let sep =
+    "|"
+    ^ String.concat "|"
+        (Array.to_list (Array.map (fun w -> String.make (w + 2) '-') widths))
+    ^ "|"
+  in
+  match all with
+  | [] -> ""
+  | header :: body ->
+      String.concat "\n" ((render_row header :: sep :: List.map render_row body))
+
+let print t = print_endline (render t)

@@ -1,0 +1,22 @@
+(** ASCII table rendering for benches and experiment reports. *)
+
+type t
+
+val create : string list -> t
+(** [create headers] starts a table with the given column headers. *)
+
+val add_row : t -> string list -> unit
+(** Append a row.  Short rows are padded with empty cells. *)
+
+val add_float_row : t -> string -> float list -> unit
+(** [add_float_row t label xs] appends [label] followed by [%.3f] cells. *)
+
+val header : t -> string list
+val rows : t -> string list list
+(** Body rows in insertion order. *)
+
+val render : t -> string
+(** Render with column-aligned separators. *)
+
+val print : t -> unit
+(** [render] to stdout followed by a newline. *)

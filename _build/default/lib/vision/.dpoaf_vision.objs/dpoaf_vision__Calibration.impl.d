@@ -1,0 +1,1 @@
+lib/vision/calibration.ml: Array Detector Float List

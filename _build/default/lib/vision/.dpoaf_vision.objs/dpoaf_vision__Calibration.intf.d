@@ -1,0 +1,1 @@
+lib/vision/calibration.mli: Detector

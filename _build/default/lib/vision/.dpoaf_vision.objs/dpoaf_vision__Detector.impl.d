@@ -1,0 +1,1 @@
+lib/vision/detector.ml: Dpoaf_util Float List

@@ -1,0 +1,1 @@
+lib/vision/detector.mli: Dpoaf_util

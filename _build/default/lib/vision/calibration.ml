@@ -1,0 +1,50 @@
+type bin = { lo : float; hi : float; center : float; count : int; accuracy : float }
+
+let curve ?(bins = 10) detections =
+  if bins <= 0 then invalid_arg "Calibration.curve: bins must be positive";
+  let width = 1.0 /. float_of_int bins in
+  let counts = Array.make bins 0 in
+  let hits = Array.make bins 0 in
+  List.iter
+    (fun d ->
+      let i =
+        min (bins - 1)
+          (max 0 (int_of_float (d.Detector.confidence /. width)))
+      in
+      counts.(i) <- counts.(i) + 1;
+      if d.Detector.correct then hits.(i) <- hits.(i) + 1)
+    detections;
+  List.init bins (fun i ->
+      let lo = float_of_int i *. width in
+      {
+        lo;
+        hi = lo +. width;
+        center = lo +. (width /. 2.0);
+        count = counts.(i);
+        accuracy =
+          (if counts.(i) = 0 then 0.0
+           else float_of_int hits.(i) /. float_of_int counts.(i));
+      })
+
+let max_gap ?(min_count = 30) a b =
+  if List.length a <> List.length b then
+    invalid_arg "Calibration.max_gap: bin counts differ";
+  List.fold_left2
+    (fun acc ba bb ->
+      if ba.count >= min_count && bb.count >= min_count then
+        Float.max acc (abs_float (ba.accuracy -. bb.accuracy))
+      else acc)
+    0.0 a b
+
+let consistent ?(tolerance = 0.1) ?min_count a b = max_gap ?min_count a b <= tolerance
+
+let expected_calibration_error bins =
+  let total = List.fold_left (fun acc b -> acc + b.count) 0 bins in
+  if total = 0 then 0.0
+  else
+    List.fold_left
+      (fun acc b ->
+        acc
+        +. (float_of_int b.count /. float_of_int total)
+           *. abs_float (b.accuracy -. b.center))
+      0.0 bins

@@ -1,0 +1,27 @@
+(** Confidence calibration (Yang et al. 2023): group detections by
+    confidence and measure per-bin accuracy — the confidence→accuracy
+    mapping of the paper's Figure 12. *)
+
+type bin = {
+  lo : float;
+  hi : float;
+  center : float;
+  count : int;
+  accuracy : float;  (** 0 when the bin is empty *)
+}
+
+val curve : ?bins:int -> Detector.detection list -> bin list
+(** Equal-width bins over [\[0,1\]]; default 10. *)
+
+val max_gap : ?min_count:int -> bin list -> bin list -> float
+(** Largest |accuracy difference| over bins where {e both} curves have at
+    least [min_count] samples (default 30 — sparse bins are sampling
+    noise) — the consistency measure used to justify sim-to-real transfer.
+    @raise Invalid_argument when the bin counts differ. *)
+
+val consistent : ?tolerance:float -> ?min_count:int -> bin list -> bin list -> bool
+(** [max_gap ≤ tolerance] (default 0.1). *)
+
+val expected_calibration_error : bin list -> float
+(** Count-weighted mean |accuracy − confidence-center| — the standard ECE
+    diagnostic for the detector itself. *)

@@ -1,0 +1,1 @@
+test/test_dpo.ml: Alcotest Dpo Dpoaf_dpo Dpoaf_lm Dpoaf_tensor Dpoaf_util Grammar List Model Pref_data Printf Reinforce Trainer Vocab

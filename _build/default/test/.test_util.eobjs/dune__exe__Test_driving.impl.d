@@ -1,0 +1,1 @@
+test/test_driving.ml: Alcotest Array Dpoaf_automata Dpoaf_driving Dpoaf_lang Dpoaf_logic Dpoaf_util Evaluate Fun List Models Printf Responses Specs String Tasks Vocab

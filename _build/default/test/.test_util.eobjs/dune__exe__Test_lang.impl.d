@@ -1,0 +1,1 @@
+test/test_lang.ml: Alcotest Clause Dpoaf_automata Dpoaf_lang Dpoaf_logic Fun Glm2fsa Lexicon List QCheck QCheck_alcotest Repair Step_parser

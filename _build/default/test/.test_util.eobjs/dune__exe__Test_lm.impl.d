@@ -1,0 +1,1 @@
+test/test_lm.ml: Alcotest Array Checkpoint Dpoaf_lm Dpoaf_tensor Dpoaf_util Filename Grammar Hashtbl List Model Option Pretrain Printf Prompt_format Sampler String Sys Vocab

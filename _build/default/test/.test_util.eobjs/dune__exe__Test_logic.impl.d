@@ -1,0 +1,1 @@
+test/test_logic.ml: Alcotest Array Dpoaf_logic List Ltl QCheck QCheck_alcotest String Symbol Trace

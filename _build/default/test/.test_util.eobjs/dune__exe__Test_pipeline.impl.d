@@ -1,0 +1,1 @@
+test/test_pipeline.ml: Alcotest Corpus Dpoaf Dpoaf_dpo Dpoaf_driving Dpoaf_lm Dpoaf_pipeline Dpoaf_tensor Dpoaf_util Feedback List Printf

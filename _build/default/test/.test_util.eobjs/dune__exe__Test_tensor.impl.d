@@ -1,0 +1,1 @@
+test/test_tensor.ml: Alcotest Array Autodiff Dpoaf_tensor Dpoaf_util List Lora Optim Tensor

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Csv Dpoaf_util Filename Fun List Rng Stats Strext String Sys Table

@@ -1,0 +1,1 @@
+test/test_vision.ml: Alcotest Calibration Detector Dpoaf_util Dpoaf_vision List Printf

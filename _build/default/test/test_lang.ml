@@ -1,0 +1,437 @@
+open Dpoaf_lang
+module Fsa = Dpoaf_automata.Fsa
+module Symbol = Dpoaf_logic.Symbol
+
+let sym = Symbol.of_atoms
+
+let small_lexicon () =
+  let lex =
+    Lexicon.create
+      ~props:[ "green traffic light"; "car from left"; "pedestrian at right" ]
+      ~actions:[ "stop"; "turn right"; "go straight" ]
+  in
+  Lexicon.add_synonym lex Lexicon.Proposition ~canonical:"green traffic light"
+    ~phrase:"traffic light";
+  Lexicon.add_synonym lex Lexicon.Action ~canonical:"go straight"
+    ~phrase:"move forward";
+  lex
+
+(* ---------------- lexicon ---------------- *)
+
+let test_lexicon_exact () =
+  let lex = small_lexicon () in
+  match Lexicon.align lex Lexicon.Proposition "green traffic light" with
+  | Some (c, Lexicon.Exact) -> Alcotest.(check string) "exact" "green traffic light" c
+  | _ -> Alcotest.fail "expected exact match"
+
+let test_lexicon_exact_ignores_noise () =
+  let lex = small_lexicon () in
+  match Lexicon.align lex Lexicon.Proposition "the state of the green traffic light" with
+  | Some ("green traffic light", _) -> ()
+  | _ -> Alcotest.fail "expected match through stopwords"
+
+let test_lexicon_synonym () =
+  let lex = small_lexicon () in
+  match Lexicon.align lex Lexicon.Proposition "traffic light" with
+  | Some ("green traffic light", Lexicon.Synonym) -> ()
+  | _ -> Alcotest.fail "expected synonym match"
+
+let test_lexicon_fuzzy () =
+  let lex = small_lexicon () in
+  match Lexicon.align lex Lexicon.Proposition "car approaching left" with
+  | Some ("car from left", Lexicon.Fuzzy _) -> ()
+  | other ->
+      Alcotest.failf "expected fuzzy car-from-left, got %s"
+        (match other with None -> "none" | Some (c, _) -> c)
+
+let test_lexicon_no_match () =
+  let lex = small_lexicon () in
+  Alcotest.(check bool) "nonsense" true
+    (Lexicon.align lex Lexicon.Proposition "quantum flux capacitor" = None)
+
+let test_lexicon_bad_synonym () =
+  let lex = small_lexicon () in
+  Alcotest.(check bool) "unknown canonical rejected" true
+    (try
+       Lexicon.add_synonym lex Lexicon.Action ~canonical:"fly" ~phrase:"take off";
+       false
+     with Invalid_argument _ -> true)
+
+let test_lexicon_negation () =
+  let lex = small_lexicon () in
+  (match Lexicon.align_condition_phrase lex "no car from left" with
+  | Some ("car from left", true, _) -> ()
+  | _ -> Alcotest.fail "expected negated match");
+  match Lexicon.align_condition_phrase lex "the car from left is not present" with
+  | Some ("car from left", true, _) -> ()
+  | _ -> Alcotest.fail "expected negated match via 'not'"
+
+(* ---------------- step parser ---------------- *)
+
+let parse lex s =
+  match Step_parser.parse_step lex s with
+  | Step_parser.Parsed c -> c
+  | Step_parser.Degraded (c, _) -> c
+  | Step_parser.Failed why -> Alcotest.failf "parse failed on %S: %s" s why
+
+let test_parse_observe () =
+  let lex = small_lexicon () in
+  match parse lex "observe the state of the green traffic light" with
+  | Clause.Observe "green traffic light" -> ()
+  | c -> Alcotest.failf "unexpected clause %s" (Clause.to_string c)
+
+let test_parse_if_act () =
+  let lex = small_lexicon () in
+  match parse lex "if the green traffic light is on, execute the action go straight" with
+  | Clause.If_act (Clause.Cond_atom "green traffic light", "go straight") -> ()
+  | c -> Alcotest.failf "unexpected clause %s" (Clause.to_string c)
+
+let test_parse_if_negated () =
+  let lex = small_lexicon () in
+  match parse lex "if no car from left, execute the action turn right" with
+  | Clause.If_act (Clause.Cond_not "car from left", "turn right") -> ()
+  | c -> Alcotest.failf "unexpected clause %s" (Clause.to_string c)
+
+let test_parse_conjunction () =
+  let lex = small_lexicon () in
+  match
+    parse lex
+      "if no car from left and no pedestrian at right, execute the action turn right"
+  with
+  | Clause.If_act
+      ( Clause.Cond_and (Clause.Cond_not "car from left", Clause.Cond_not "pedestrian at right"),
+        "turn right" ) ->
+      ()
+  | c -> Alcotest.failf "unexpected clause %s" (Clause.to_string c)
+
+let test_parse_if_check () =
+  let lex = small_lexicon () in
+  match
+    parse lex "if the car from left is not present, check the state of the pedestrian at right"
+  with
+  | Clause.If_advance (Clause.Cond_not "car from left") -> ()
+  | c -> Alcotest.failf "unexpected clause %s" (Clause.to_string c)
+
+let test_parse_wait () =
+  let lex = small_lexicon () in
+  match parse lex "wait for the green traffic light" with
+  | Clause.If_advance (Clause.Cond_atom "green traffic light") -> ()
+  | c -> Alcotest.failf "unexpected clause %s" (Clause.to_string c)
+
+let test_parse_goto () =
+  let lex = small_lexicon () in
+  match parse lex "if no car from left, go to step 2" with
+  | Clause.If_goto (Clause.Cond_not "car from left", 2) -> ()
+  | c -> Alcotest.failf "unexpected clause %s" (Clause.to_string c)
+
+let test_parse_unconditional_action () =
+  let lex = small_lexicon () in
+  match parse lex "execute the action turn right" with
+  | Clause.Act "turn right" -> ()
+  | c -> Alcotest.failf "unexpected clause %s" (Clause.to_string c)
+
+let test_parse_step_number_stripped () =
+  let lex = small_lexicon () in
+  match parse lex "3. observe the state of the car from left" with
+  | Clause.Observe "car from left" -> ()
+  | c -> Alcotest.failf "unexpected clause %s" (Clause.to_string c)
+
+let test_parse_degraded_condition () =
+  let lex = small_lexicon () in
+  (* "it is safe" cannot be aligned: the action survives unguarded. *)
+  match Step_parser.parse_step lex "if it is safe, turn right" with
+  | Step_parser.Degraded (Clause.Act "turn right", _) -> ()
+  | Step_parser.Parsed c -> Alcotest.failf "unexpectedly parsed: %s" (Clause.to_string c)
+  | Step_parser.Degraded (c, _) -> Alcotest.failf "unexpected clause %s" (Clause.to_string c)
+  | Step_parser.Failed why -> Alcotest.failf "unexpected failure: %s" why
+
+let test_parse_failed () =
+  let lex = small_lexicon () in
+  match Step_parser.parse_step lex "sing a cheerful song" with
+  | Step_parser.Failed _ -> ()
+  | _ -> Alcotest.fail "expected failure"
+
+let test_parse_steps_stats () =
+  let lex = small_lexicon () in
+  let _, stats =
+    Step_parser.parse_steps lex
+      [
+        "observe the state of the green traffic light";
+        "if it is safe, turn right";
+        "sing a cheerful song";
+      ]
+  in
+  Alcotest.(check int) "total" 3 stats.Step_parser.total;
+  Alcotest.(check int) "degraded" 1 stats.Step_parser.degraded;
+  Alcotest.(check int) "failed" 1 stats.Step_parser.failed
+
+(* ---------------- clause / guard ---------------- *)
+
+let test_clause_guard_eval () =
+  let c =
+    Clause.Cond_and (Clause.Cond_atom "green", Clause.Cond_not "car from left")
+  in
+  Alcotest.(check bool) "green clear" true (Clause.eval_condition c (sym [ "green" ]));
+  Alcotest.(check bool) "green car" false
+    (Clause.eval_condition c (sym [ "green"; "car from left" ]));
+  Alcotest.(check bool) "red clear" false (Clause.eval_condition c (sym []))
+
+let test_clause_atoms_action () =
+  let c = Clause.If_act (Clause.Cond_not "car from left", "turn right") in
+  Alcotest.(check (list string)) "atoms" [ "car from left" ] (Clause.atoms c);
+  Alcotest.(check (option string)) "action" (Some "turn right") (Clause.action c)
+
+(* ---------------- glm2fsa ---------------- *)
+
+let test_glm2fsa_empty () =
+  let c = Glm2fsa.controller ~name:"empty" [] in
+  Alcotest.(check int) "one state" 1 c.Fsa.n_states;
+  match Fsa.enabled c 0 (sym [ "green" ]) with
+  | [ (action, 0) ] -> Alcotest.(check bool) "stops" true (Symbol.mem "stop" action)
+  | _ -> Alcotest.fail "expected a single stop self-loop"
+
+let test_glm2fsa_structure () =
+  let clauses =
+    [
+      Clause.Observe "green traffic light";
+      Clause.If_act (Clause.Cond_atom "green traffic light", "go straight");
+    ]
+  in
+  let c = Glm2fsa.controller ~name:"go" clauses in
+  Alcotest.(check int) "two states" 2 c.Fsa.n_states;
+  (* state 0: observe advances regardless *)
+  (match Fsa.enabled c 0 (sym []) with
+  | [ (_, 1) ] -> ()
+  | _ -> Alcotest.fail "observe should advance");
+  (* state 1 on green: act and wrap to 0 *)
+  (match Fsa.enabled c 1 (sym [ "green traffic light" ]) with
+  | [ (action, 0) ] -> Alcotest.(check bool) "go" true (Symbol.mem "go straight" action)
+  | _ -> Alcotest.fail "expected action transition");
+  (* state 1 on red: hold with stop *)
+  match Fsa.enabled c 1 (sym []) with
+  | [ (action, 1) ] -> Alcotest.(check bool) "stop" true (Symbol.mem "stop" action)
+  | _ -> Alcotest.fail "expected waiting transition"
+
+let test_glm2fsa_goto () =
+  let clauses =
+    [
+      Clause.Observe "p";
+      Clause.If_goto (Clause.Cond_atom "p", 1);
+      Clause.Act "turn right";
+    ]
+  in
+  let c = Glm2fsa.controller ~name:"loop" clauses in
+  (* goto satisfied: jump back to step 1 (index 0) *)
+  (match Fsa.enabled c 1 (sym [ "p" ]) with
+  | [ (_, 0) ] -> ()
+  | _ -> Alcotest.fail "goto should jump to step 1");
+  (* goto unsatisfied: fall through *)
+  match Fsa.enabled c 1 (sym []) with
+  | [ (_, 2) ] -> ()
+  | _ -> Alcotest.fail "goto should fall through"
+
+let test_glm2fsa_input_enabled () =
+  let clauses =
+    [
+      Clause.Observe "green";
+      Clause.If_act (Clause.Cond_atom "green", "go straight");
+      Clause.If_advance (Clause.Cond_not "car");
+      Clause.Act "turn right";
+      Clause.If_goto (Clause.Cond_atom "green", 1);
+    ]
+  in
+  let c = Glm2fsa.controller ~name:"total" clauses in
+  let symbols = [ sym []; sym [ "green" ]; sym [ "car" ]; sym [ "green"; "car" ] ] in
+  Alcotest.(check bool) "input enabled" true (Fsa.is_input_enabled c ~over:symbols)
+
+let test_glm2fsa_wraps () =
+  let clauses = [ Clause.Act "turn right" ] in
+  let c = Glm2fsa.controller ~name:"wrap" clauses in
+  match Fsa.enabled c 0 (sym []) with
+  | [ (action, 0) ] ->
+      Alcotest.(check bool) "turn" true (Symbol.mem "turn right" action)
+  | _ -> Alcotest.fail "single step should wrap to itself"
+
+(* ---------------- repair ---------------- *)
+
+module Ltl = Dpoaf_logic.Ltl
+
+let repair_specs =
+  [
+    (* Φ5-shaped: hazards forbid the action *)
+    Ltl.parse_exn "G (\"car from left\" | \"pedestrian at right\" -> !\"turn right\")";
+    (* Φ3-shaped: a light is required *)
+    Ltl.parse_exn "G (!green -> !\"go straight\")";
+    (* liveness: not propositional, must be ignored *)
+    Ltl.parse_exn "G (green -> F !stop)";
+    (* Φ6-shaped: trivially satisfied when acting *)
+    Ltl.parse_exn "G (stop | \"go straight\" | \"turn right\")";
+  ]
+
+let repair_actions = [ "stop"; "go straight"; "turn right" ]
+
+let test_repair_residual_hazards () =
+  match
+    Repair.residual_condition repair_specs ~action:"turn right"
+      ~all_actions:repair_actions
+  with
+  | None -> Alcotest.fail "expected a residual obligation"
+  | Some cond ->
+      let holds atoms = Clause.eval_condition cond (sym atoms) in
+      Alcotest.(check bool) "clear ok" true (holds []);
+      Alcotest.(check bool) "car blocks" false (holds [ "car from left" ]);
+      Alcotest.(check bool) "ped blocks" false (holds [ "pedestrian at right" ])
+
+let test_repair_residual_light () =
+  match
+    Repair.residual_condition repair_specs ~action:"go straight"
+      ~all_actions:repair_actions
+  with
+  | None -> Alcotest.fail "expected a residual obligation"
+  | Some cond ->
+      let holds atoms = Clause.eval_condition cond (sym atoms) in
+      Alcotest.(check bool) "green required" true (holds [ "green" ]);
+      Alcotest.(check bool) "red blocks" false (holds [])
+
+let test_repair_harden_act () =
+  let clauses = [ Clause.Observe "green"; Clause.Act "turn right" ] in
+  match Repair.harden ~specs:repair_specs ~all_actions:repair_actions clauses with
+  | [ Clause.Observe _; Clause.If_act (cond, "turn right") ] ->
+      Alcotest.(check bool) "guard blocks car" false
+        (Clause.eval_condition cond (sym [ "car from left" ]))
+  | _ -> Alcotest.fail "unexpected hardened shape"
+
+let test_repair_keeps_stop () =
+  let clauses = [ Clause.Act "stop" ] in
+  Alcotest.(check bool) "stop untouched" true
+    (Repair.harden ~specs:repair_specs ~all_actions:repair_actions clauses = clauses)
+
+let test_repair_strengthens_existing_guard () =
+  let clauses =
+    [ Clause.If_act (Clause.Cond_not "pedestrian at right", "turn right") ]
+  in
+  match Repair.harden ~specs:repair_specs ~all_actions:repair_actions clauses with
+  | [ Clause.If_act (cond, "turn right") ] ->
+      Alcotest.(check bool) "old guard kept" false
+        (Clause.eval_condition cond (sym [ "pedestrian at right" ]));
+      Alcotest.(check bool) "new guard added" false
+        (Clause.eval_condition cond (sym [ "car from left" ]));
+      Alcotest.(check bool) "clear passes" true (Clause.eval_condition cond (sym []))
+  | _ -> Alcotest.fail "unexpected hardened shape"
+
+(* ---------------- properties ---------------- *)
+
+let gen_condition =
+  let open QCheck.Gen in
+  let atoms = [ "green"; "car"; "ped" ] in
+  oneof
+    [
+      map (fun a -> Clause.Cond_atom a) (oneofl atoms);
+      map (fun a -> Clause.Cond_not a) (oneofl atoms);
+      map2
+        (fun a b -> Clause.Cond_and (Clause.Cond_atom a, Clause.Cond_not b))
+        (oneofl atoms) (oneofl atoms);
+    ]
+
+let gen_clause =
+  let open QCheck.Gen in
+  oneof
+    [
+      map (fun a -> Clause.Observe a) (oneofl [ "green"; "car"; "ped" ]);
+      map2 (fun c a -> Clause.If_act (c, a)) gen_condition
+        (oneofl [ "go"; "turn right"; "stop" ]);
+      map (fun c -> Clause.If_advance c) gen_condition;
+      map2 (fun c k -> Clause.If_goto (c, k)) gen_condition (int_range 0 6);
+      map (fun a -> Clause.Act a) (oneofl [ "go"; "turn right" ]);
+    ]
+
+let all_symbols =
+  let atoms = [ "green"; "car"; "ped" ] in
+  List.concat_map
+    (fun a ->
+      List.concat_map
+        (fun b -> [ sym []; sym [ a ]; sym [ a; b ] ])
+        atoms)
+    atoms
+
+let prop_controller_input_enabled =
+  (* Every GLM2FSA-compiled controller must have an enabled move in every
+     state for every observation, or the product would deadlock. *)
+  QCheck.Test.make ~count:300 ~name:"glm2fsa controllers are input-enabled"
+    (QCheck.make QCheck.Gen.(list_size (int_range 0 6) gen_clause))
+    (fun clauses ->
+      let c = Glm2fsa.controller ~name:"rand" clauses in
+      Fsa.is_input_enabled c ~over:all_symbols)
+
+let prop_controller_emits_action =
+  (* Every enabled move emits a non-empty action symbol (ε ≡ stop). *)
+  QCheck.Test.make ~count:300 ~name:"glm2fsa controllers always act"
+    (QCheck.make QCheck.Gen.(list_size (int_range 0 6) gen_clause))
+    (fun clauses ->
+      let c = Glm2fsa.controller ~name:"rand" clauses in
+      List.for_all
+        (fun q ->
+          List.for_all
+            (fun s ->
+              List.for_all
+                (fun (action, _) -> not (Symbol.is_empty action))
+                (Fsa.enabled c q s))
+            all_symbols)
+        (List.init c.Fsa.n_states Fun.id))
+
+let qsuite name tests =
+  (name, List.map (QCheck_alcotest.to_alcotest ~verbose:false) tests)
+
+let () =
+  Alcotest.run "lang"
+    [
+      ( "lexicon",
+        [
+          Alcotest.test_case "exact" `Quick test_lexicon_exact;
+          Alcotest.test_case "exact with stopwords" `Quick test_lexicon_exact_ignores_noise;
+          Alcotest.test_case "synonym" `Quick test_lexicon_synonym;
+          Alcotest.test_case "fuzzy" `Quick test_lexicon_fuzzy;
+          Alcotest.test_case "no match" `Quick test_lexicon_no_match;
+          Alcotest.test_case "bad synonym" `Quick test_lexicon_bad_synonym;
+          Alcotest.test_case "negation" `Quick test_lexicon_negation;
+        ] );
+      ( "step-parser",
+        [
+          Alcotest.test_case "observe" `Quick test_parse_observe;
+          Alcotest.test_case "if-act" `Quick test_parse_if_act;
+          Alcotest.test_case "if negated" `Quick test_parse_if_negated;
+          Alcotest.test_case "conjunction" `Quick test_parse_conjunction;
+          Alcotest.test_case "if-check" `Quick test_parse_if_check;
+          Alcotest.test_case "wait" `Quick test_parse_wait;
+          Alcotest.test_case "goto" `Quick test_parse_goto;
+          Alcotest.test_case "unconditional" `Quick test_parse_unconditional_action;
+          Alcotest.test_case "step number" `Quick test_parse_step_number_stripped;
+          Alcotest.test_case "degraded condition" `Quick test_parse_degraded_condition;
+          Alcotest.test_case "failed" `Quick test_parse_failed;
+          Alcotest.test_case "stats" `Quick test_parse_steps_stats;
+        ] );
+      ( "clause",
+        [
+          Alcotest.test_case "guard eval" `Quick test_clause_guard_eval;
+          Alcotest.test_case "atoms and action" `Quick test_clause_atoms_action;
+        ] );
+      ( "glm2fsa",
+        [
+          Alcotest.test_case "empty" `Quick test_glm2fsa_empty;
+          Alcotest.test_case "structure" `Quick test_glm2fsa_structure;
+          Alcotest.test_case "goto" `Quick test_glm2fsa_goto;
+          Alcotest.test_case "input enabled" `Quick test_glm2fsa_input_enabled;
+          Alcotest.test_case "wraps" `Quick test_glm2fsa_wraps;
+        ] );
+      ( "repair",
+        [
+          Alcotest.test_case "residual hazards" `Quick test_repair_residual_hazards;
+          Alcotest.test_case "residual light" `Quick test_repair_residual_light;
+          Alcotest.test_case "harden act" `Quick test_repair_harden_act;
+          Alcotest.test_case "keeps stop" `Quick test_repair_keeps_stop;
+          Alcotest.test_case "strengthens guard" `Quick
+            test_repair_strengthens_existing_guard;
+        ] );
+      qsuite "properties"
+        [ prop_controller_input_enabled; prop_controller_emits_action ];
+    ]

@@ -1,0 +1,482 @@
+open Dpoaf_lm
+module Rng = Dpoaf_util.Rng
+
+let clauses = [ "observe the light"; "if green go"; "if red stop"; "turn right" ]
+
+let make_vocab () = Vocab.of_texts ("steps for the task" :: clauses)
+
+let make_grammar vocab = Grammar.of_clauses vocab clauses
+
+let make_model ?(dim = 8) ?(context = 6) ?(rank = 2) seed vocab =
+  Model.create (Rng.create seed)
+    { Model.dim; context; lora_rank = rank; arch = Model.Bow }
+    vocab
+
+(* ---------------- vocab ---------------- *)
+
+let test_vocab_specials () =
+  let v = make_vocab () in
+  Alcotest.(check string) "bos" "<bos>" (Vocab.word v (Vocab.bos v));
+  Alcotest.(check string) "sep" "<sep>" (Vocab.word v (Vocab.sep v));
+  Alcotest.(check string) "eos" "<eos>" (Vocab.word v (Vocab.eos v));
+  Alcotest.(check string) "unk" "<unk>" (Vocab.word v (Vocab.unk v))
+
+let test_vocab_roundtrip () =
+  let v = make_vocab () in
+  let ids = Vocab.encode v "observe the light" in
+  Alcotest.(check string) "decode" "observe the light" (Vocab.decode v ids)
+
+let test_vocab_unk () =
+  let v = make_vocab () in
+  Alcotest.(check int) "unknown maps to unk" (Vocab.unk v) (Vocab.id v "zebra")
+
+let test_vocab_dedup () =
+  let v = Vocab.of_texts [ "go go go" ] in
+  Alcotest.(check int) "4 specials + 1 word" 5 (Vocab.size v)
+
+let test_vocab_import_export () =
+  let v = make_vocab () in
+  let v' = Vocab.import (Vocab.export v) in
+  Alcotest.(check int) "same size" (Vocab.size v) (Vocab.size v');
+  Alcotest.(check int) "same ids" (Vocab.id v "light") (Vocab.id v' "light");
+  Alcotest.(check bool) "malformed rejected" true
+    (try ignore (Vocab.import [ "a"; "b" ]); false with Invalid_argument _ -> true)
+
+(* ---------------- grammar ---------------- *)
+
+let test_grammar_accepts_clauses () =
+  let v = make_vocab () in
+  let g = make_grammar v in
+  let tokens = Grammar.tokens_of_steps v [ "observe the light"; "if green go" ] in
+  Alcotest.(check bool) "accepted" true
+    (Grammar.accepts g ~min_clauses:1 ~max_clauses:4 tokens)
+
+let test_grammar_rejects_garbage () =
+  let v = make_vocab () in
+  let g = make_grammar v in
+  let tokens = Grammar.tokens_of_steps v [ "go green if" ] in
+  Alcotest.(check bool) "rejected" false
+    (Grammar.accepts g ~min_clauses:1 ~max_clauses:4 tokens)
+
+let test_grammar_min_clauses () =
+  let v = make_vocab () in
+  let g = make_grammar v in
+  let tokens = Grammar.tokens_of_steps v [ "observe the light" ] in
+  Alcotest.(check bool) "too few" false
+    (Grammar.accepts g ~min_clauses:2 ~max_clauses:4 tokens);
+  Alcotest.(check bool) "enough" true
+    (Grammar.accepts g ~min_clauses:1 ~max_clauses:4 tokens)
+
+let test_grammar_max_clauses () =
+  let v = make_vocab () in
+  let g = make_grammar v in
+  let three = [ "turn right"; "turn right"; "turn right" ] in
+  Alcotest.(check bool) "too many" false
+    (Grammar.accepts g ~min_clauses:1 ~max_clauses:2 (Grammar.tokens_of_steps v three));
+  Alcotest.(check bool) "within bound" true
+    (Grammar.accepts g ~min_clauses:1 ~max_clauses:3 (Grammar.tokens_of_steps v three))
+
+let test_grammar_steps_roundtrip () =
+  let v = make_vocab () in
+  let steps = [ "observe the light"; "turn right" ] in
+  Alcotest.(check (list string)) "roundtrip" steps
+    (Grammar.steps_of_tokens v (Grammar.tokens_of_steps v steps))
+
+let test_grammar_allowed_nonempty_walk () =
+  let v = make_vocab () in
+  let g = make_grammar v in
+  (* Along any reachable non-final state the allowed set is non-empty. *)
+  let rec walk state depth =
+    if depth > 20 || Grammar.is_final g state then ()
+    else begin
+      let allowed = Grammar.allowed g ~min_clauses:1 ~max_clauses:3 state in
+      Alcotest.(check bool) "allowed non-empty" true (allowed <> []);
+      List.iter
+        (fun tok ->
+          match Grammar.advance g state tok with
+          | Some s' -> walk s' (depth + 1)
+          | None -> Alcotest.fail "allowed token rejected by advance")
+        allowed
+    end
+  in
+  walk (Grammar.start g) 0
+
+let test_grammar_empty_rejected () =
+  let v = make_vocab () in
+  Alcotest.(check bool) "empty clause list" true
+    (try ignore (Grammar.of_clauses v []); false with Invalid_argument _ -> true)
+
+(* ---------------- model scoring and sampling ---------------- *)
+
+(* All complete responses of the grammar up to the clause bound. *)
+let enumerate_responses g ~min_clauses ~max_clauses =
+  let out = ref [] in
+  let rec go state acc =
+    if Grammar.is_final g state then out := List.rev acc :: !out
+    else
+      List.iter
+        (fun tok ->
+          match Grammar.advance g state tok with
+          | Some s' -> go s' (tok :: acc)
+          | None -> ())
+        (Grammar.allowed g ~min_clauses ~max_clauses state)
+  in
+  go (Grammar.start g) [];
+  !out
+
+let test_model_distribution_normalizes () =
+  let v = make_vocab () in
+  let g = make_grammar v in
+  let model = make_model 42 v in
+  let prompt = Vocab.encode v "steps for the task" in
+  let responses = enumerate_responses g ~min_clauses:1 ~max_clauses:2 in
+  Alcotest.(check bool) "many responses" true (List.length responses > 4);
+  let total =
+    List.fold_left
+      (fun acc tokens ->
+        acc
+        +. exp
+             (Model.response_logprob model ~prompt ~grammar:g ~min_clauses:1
+                ~max_clauses:2 ~tokens))
+      0.0 responses
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "probabilities sum to 1 (got %f)" total)
+    true
+    (abs_float (total -. 1.0) < 1e-6)
+
+let test_sampler_agrees_with_logprob () =
+  (* Empirical sampling frequency tracks exp(logprob). *)
+  let v = make_vocab () in
+  let g = make_grammar v in
+  let model = make_model 7 v in
+  let prompt = Vocab.encode v "steps for the task" in
+  let snap = Sampler.snapshot model in
+  let rng = Rng.create 11 in
+  let n = 4000 in
+  let counts = Hashtbl.create 32 in
+  for _ = 1 to n do
+    let tokens = Sampler.sample snap rng ~prompt ~grammar:g ~min_clauses:1 ~max_clauses:2 () in
+    Hashtbl.replace counts tokens (1 + Option.value ~default:0 (Hashtbl.find_opt counts tokens))
+  done;
+  (* check the most frequent response *)
+  let best, freq =
+    Hashtbl.fold (fun k c (bk, bc) -> if c > bc then (k, c) else (bk, bc)) counts ([], 0)
+  in
+  let p_model =
+    exp (Model.response_logprob model ~prompt ~grammar:g ~min_clauses:1 ~max_clauses:2 ~tokens:best)
+  in
+  let p_emp = float_of_int freq /. float_of_int n in
+  Alcotest.(check bool)
+    (Printf.sprintf "empirical %.3f vs model %.3f" p_emp p_model)
+    true
+    (abs_float (p_emp -. p_model) < 0.05)
+
+let test_sampler_all_samples_accepted () =
+  let v = make_vocab () in
+  let g = make_grammar v in
+  let model = make_model 3 v in
+  let snap = Sampler.snapshot model in
+  let rng = Rng.create 5 in
+  let prompt = Vocab.encode v "steps for the task" in
+  for _ = 1 to 100 do
+    let tokens = Sampler.sample snap rng ~prompt ~grammar:g ~min_clauses:2 ~max_clauses:4 () in
+    Alcotest.(check bool) "accepted" true
+      (Grammar.accepts g ~min_clauses:2 ~max_clauses:4 tokens);
+    let steps = Grammar.steps_of_tokens v tokens in
+    Alcotest.(check bool) "clause count" true
+      (List.length steps >= 2 && List.length steps <= 4)
+  done
+
+let test_greedy_deterministic () =
+  let v = make_vocab () in
+  let g = make_grammar v in
+  let model = make_model 9 v in
+  let snap = Sampler.snapshot model in
+  let prompt = Vocab.encode v "steps for the task" in
+  let a = Sampler.greedy snap ~prompt ~grammar:g ~min_clauses:1 ~max_clauses:3 in
+  let b = Sampler.greedy snap ~prompt ~grammar:g ~min_clauses:1 ~max_clauses:3 in
+  Alcotest.(check bool) "same output" true (a = b)
+
+let test_clone_independent () =
+  let v = make_vocab () in
+  let model = make_model 1 v in
+  let copy = Model.clone model in
+  Dpoaf_tensor.Tensor.set model.Model.bias 0 99.0;
+  Alcotest.(check bool) "clone unaffected" true
+    (Dpoaf_tensor.Tensor.get copy.Model.bias 0 <> 99.0)
+
+(* ---------------- pretraining ---------------- *)
+
+let test_pretrain_reduces_nll_and_shifts_sampling () =
+  let v = make_vocab () in
+  let g = make_grammar v in
+  let model = make_model 21 v in
+  let prompt = Vocab.encode v "steps for the task" in
+  let target_steps = [ "observe the light"; "if green go" ] in
+  let ex =
+    {
+      Pretrain.prompt;
+      tokens = Grammar.tokens_of_steps v target_steps;
+      grammar = g;
+      min_clauses = 1;
+      max_clauses = 3;
+    }
+  in
+  let before = Pretrain.nll model ex in
+  let losses = Pretrain.train model [ ex ] ~epochs:60 ~batch:4 ~lr:0.05 (Rng.create 2) in
+  let after = Pretrain.nll model ex in
+  Alcotest.(check bool)
+    (Printf.sprintf "nll decreased (%.3f -> %.3f)" before after)
+    true (after < before *. 0.5);
+  Alcotest.(check bool) "loss curve decreases" true
+    (List.nth losses (List.length losses - 1) < List.hd losses);
+  (* the trained model now greedily emits the corpus response *)
+  let snap = Sampler.snapshot model in
+  let greedy = Sampler.greedy snap ~prompt ~grammar:g ~min_clauses:1 ~max_clauses:3 in
+  Alcotest.(check (list string)) "greedy = corpus" target_steps
+    (Grammar.steps_of_tokens v greedy)
+
+(* ---------------- prompt formatting ---------------- *)
+
+let test_prompt_llama2 () =
+  let p = Prompt_format.llama2 "turn right at the traffic light" in
+  let contains sub =
+    let n = String.length p and m = String.length sub in
+    let rec go i = i + m <= n && (String.sub p i m = sub || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "inst" true (contains "[INST]");
+  Alcotest.(check bool) "sys" true (contains "<<SYS>>");
+  Alcotest.(check bool) "task" true (contains "turn right at the traffic light");
+  Alcotest.(check bool) "closes" true (contains "[/INST]")
+
+let test_prompt_alignment_query () =
+  let q =
+    Prompt_format.alignment_query ~props:[ "green light" ] ~actions:[ "stop" ]
+      ~steps:[ "watch the light" ]
+  in
+  let contains sub =
+    let n = String.length q and m = String.length sub in
+    let rec go i = i + m <= n && (String.sub q i m = sub || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "props listed" true (contains "{green light}");
+  Alcotest.(check bool) "numbered step" true (contains "1. watch the light")
+
+(* ---------------- GRU architecture ---------------- *)
+
+let make_gru_model ?(dim = 6) seed vocab =
+  Model.create (Rng.create seed)
+    { Model.dim; context = 8; lora_rank = 2; arch = Model.Gru }
+    vocab
+
+let test_gru_distribution_normalizes () =
+  let v = make_vocab () in
+  let g = make_grammar v in
+  let model = make_gru_model 51 v in
+  let prompt = Vocab.encode v "steps for the task" in
+  let responses = enumerate_responses g ~min_clauses:1 ~max_clauses:2 in
+  let total =
+    List.fold_left
+      (fun acc tokens ->
+        acc
+        +. exp
+             (Model.response_logprob model ~prompt ~grammar:g ~min_clauses:1
+                ~max_clauses:2 ~tokens))
+      0.0 responses
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "gru probabilities sum to 1 (got %f)" total)
+    true
+    (abs_float (total -. 1.0) < 1e-6)
+
+let test_gru_sampler_matches_node_path () =
+  (* The sampler's float GRU must agree with the autodiff GRU. *)
+  let v = make_vocab () in
+  let model = make_gru_model 52 v in
+  let context = Vocab.encode v "steps for the task observe the light" in
+  let allowed = [ Vocab.id v "go"; Vocab.id v "stop"; Vocab.id v "turn" ] in
+  let snap = Sampler.snapshot model in
+  let sampler_probs =
+    Sampler.step_distribution snap ~context ~allowed ~temperature:1.0
+  in
+  List.iteri
+    (fun k target ->
+      let tape = Dpoaf_tensor.Autodiff.Tape.create () in
+      let bound = Model.bind model tape in
+      let node = Model.step_logprob model bound ~context ~allowed ~target in
+      let p_node = exp (Dpoaf_tensor.Tensor.get (Dpoaf_tensor.Autodiff.value node) 0) in
+      Alcotest.(check (float 1e-9))
+        (Printf.sprintf "token %d" target)
+        p_node sampler_probs.(k))
+    allowed
+
+let test_gru_order_sensitive () =
+  (* Unlike the bag-of-words conditioner, the GRU distinguishes token
+     order. *)
+  let v = make_vocab () in
+  let model = make_gru_model 53 v in
+  let allowed = [ Vocab.id v "go"; Vocab.id v "stop" ] in
+  let snap = Sampler.snapshot model in
+  let dist ws = Sampler.step_distribution snap ~context:(Vocab.encode v ws) ~allowed ~temperature:1.0 in
+  let a = dist "red green" and b = dist "green red" in
+  Alcotest.(check bool) "order matters" true (abs_float (a.(0) -. b.(0)) > 1e-9);
+  (* and the Bow conditioner does not *)
+  let bow = make_model 53 v in
+  let snap = Sampler.snapshot bow in
+  let dist ws = Sampler.step_distribution snap ~context:(Vocab.encode v ws) ~allowed ~temperature:1.0 in
+  let a = dist "red green" and b = dist "green red" in
+  Alcotest.(check (float 1e-12)) "bow order-invariant" a.(0) b.(0)
+
+let test_gru_gradients_finite_difference () =
+  let v = make_vocab () in
+  let g = make_grammar v in
+  let model = make_gru_model ~dim:4 54 v in
+  let prompt = Vocab.encode v "steps for the task" in
+  let tokens = Grammar.tokens_of_steps v [ "if green go" ] in
+  let loss () =
+    -.Model.response_logprob model ~prompt ~grammar:g ~min_clauses:1 ~max_clauses:2
+        ~tokens
+  in
+  (* analytic gradients *)
+  let tape = Dpoaf_tensor.Autodiff.Tape.create () in
+  let bound = Model.bind model tape in
+  let lp =
+    Model.response_logprob_node model bound ~prompt ~grammar:g ~min_clauses:1
+      ~max_clauses:2 ~tokens
+  in
+  Dpoaf_tensor.Autodiff.backward tape (Dpoaf_tensor.Autodiff.neg tape lp);
+  let grads = Model.pretrain_grads model bound in
+  let eps = 1e-5 in
+  List.iter
+    (fun ((p : Dpoaf_tensor.Optim.param), grad) ->
+      (* spot-check a few entries of every parameter tensor *)
+      let n = Dpoaf_tensor.Tensor.numel p.Dpoaf_tensor.Optim.tensor in
+      List.iter
+        (fun i ->
+          let i = i mod n in
+          let orig = Dpoaf_tensor.Tensor.get p.Dpoaf_tensor.Optim.tensor i in
+          Dpoaf_tensor.Tensor.set p.Dpoaf_tensor.Optim.tensor i (orig +. eps);
+          let up = loss () in
+          Dpoaf_tensor.Tensor.set p.Dpoaf_tensor.Optim.tensor i (orig -. eps);
+          let down = loss () in
+          Dpoaf_tensor.Tensor.set p.Dpoaf_tensor.Optim.tensor i orig;
+          let numeric = (up -. down) /. (2.0 *. eps) in
+          let analytic = Dpoaf_tensor.Tensor.get grad i in
+          if abs_float (numeric -. analytic) > 1e-3 *. (1.0 +. abs_float numeric) then
+            Alcotest.failf "%s[%d]: numeric %.6f vs analytic %.6f"
+              p.Dpoaf_tensor.Optim.name i numeric analytic)
+        [ 0; 3; 7 ])
+    grads
+
+let test_gru_pretrain_reduces_nll () =
+  let v = make_vocab () in
+  let g = make_grammar v in
+  let model = make_gru_model 55 v in
+  let prompt = Vocab.encode v "steps for the task" in
+  let ex =
+    {
+      Pretrain.prompt;
+      tokens = Grammar.tokens_of_steps v [ "observe the light"; "if red stop" ];
+      grammar = g;
+      min_clauses = 1;
+      max_clauses = 3;
+    }
+  in
+  let before = Pretrain.nll model ex in
+  let _ = Pretrain.train model [ ex ] ~epochs:40 ~batch:4 ~lr:0.05 (Rng.create 3) in
+  let after = Pretrain.nll model ex in
+  Alcotest.(check bool)
+    (Printf.sprintf "gru nll %.3f -> %.3f" before after)
+    true (after < before *. 0.7)
+
+let test_gru_checkpoint_roundtrip () =
+  let v = make_vocab () in
+  let g = make_grammar v in
+  let model = make_gru_model 56 v in
+  let prompt = Vocab.encode v "steps for the task" in
+  let tokens = Grammar.tokens_of_steps v [ "turn right" ] in
+  let lp m =
+    Model.response_logprob m ~prompt ~grammar:g ~min_clauses:1 ~max_clauses:2 ~tokens
+  in
+  let path = Filename.temp_file "dpoaf_gru" ".ckpt" in
+  Checkpoint.save model path;
+  let loaded = Checkpoint.load path in
+  Sys.remove path;
+  Alcotest.(check bool) "arch preserved" true
+    (loaded.Model.config.Model.arch = Model.Gru);
+  Alcotest.(check (float 1e-12)) "same logprob" (lp model) (lp loaded)
+
+(* ---------------- checkpointing ---------------- *)
+
+let test_checkpoint_roundtrip () =
+  let v = make_vocab () in
+  let g = make_grammar v in
+  let model = make_model 33 v in
+  let prompt = Vocab.encode v "steps for the task" in
+  let tokens = Grammar.tokens_of_steps v [ "turn right" ] in
+  let lp model =
+    Model.response_logprob model ~prompt ~grammar:g ~min_clauses:1 ~max_clauses:2 ~tokens
+  in
+  let path = Filename.temp_file "dpoaf" ".ckpt" in
+  Checkpoint.save model path;
+  let loaded = Checkpoint.load path in
+  Sys.remove path;
+  Alcotest.(check (float 1e-12)) "same logprob" (lp model) (lp loaded)
+
+let () =
+  Alcotest.run "lm"
+    [
+      ( "vocab",
+        [
+          Alcotest.test_case "specials" `Quick test_vocab_specials;
+          Alcotest.test_case "roundtrip" `Quick test_vocab_roundtrip;
+          Alcotest.test_case "unk" `Quick test_vocab_unk;
+          Alcotest.test_case "dedup" `Quick test_vocab_dedup;
+          Alcotest.test_case "import/export" `Quick test_vocab_import_export;
+        ] );
+      ( "grammar",
+        [
+          Alcotest.test_case "accepts clauses" `Quick test_grammar_accepts_clauses;
+          Alcotest.test_case "rejects garbage" `Quick test_grammar_rejects_garbage;
+          Alcotest.test_case "min clauses" `Quick test_grammar_min_clauses;
+          Alcotest.test_case "max clauses" `Quick test_grammar_max_clauses;
+          Alcotest.test_case "steps roundtrip" `Quick test_grammar_steps_roundtrip;
+          Alcotest.test_case "allowed walk" `Quick test_grammar_allowed_nonempty_walk;
+          Alcotest.test_case "empty rejected" `Quick test_grammar_empty_rejected;
+        ] );
+      ( "model",
+        [
+          Alcotest.test_case "distribution normalizes" `Quick
+            test_model_distribution_normalizes;
+          Alcotest.test_case "sampler agrees with logprob" `Quick
+            test_sampler_agrees_with_logprob;
+          Alcotest.test_case "samples accepted" `Quick test_sampler_all_samples_accepted;
+          Alcotest.test_case "greedy deterministic" `Quick test_greedy_deterministic;
+          Alcotest.test_case "clone independent" `Quick test_clone_independent;
+        ] );
+      ( "pretrain",
+        [
+          Alcotest.test_case "reduces nll" `Slow
+            test_pretrain_reduces_nll_and_shifts_sampling;
+        ] );
+      ( "checkpoint",
+        [ Alcotest.test_case "roundtrip" `Quick test_checkpoint_roundtrip ] );
+      ( "prompt-format",
+        [
+          Alcotest.test_case "llama2 template" `Quick test_prompt_llama2;
+          Alcotest.test_case "alignment query" `Quick test_prompt_alignment_query;
+        ] );
+      ( "gru",
+        [
+          Alcotest.test_case "distribution normalizes" `Quick
+            test_gru_distribution_normalizes;
+          Alcotest.test_case "sampler matches node path" `Quick
+            test_gru_sampler_matches_node_path;
+          Alcotest.test_case "order sensitive" `Quick test_gru_order_sensitive;
+          Alcotest.test_case "gradients" `Quick test_gru_gradients_finite_difference;
+          Alcotest.test_case "pretrain" `Slow test_gru_pretrain_reduces_nll;
+          Alcotest.test_case "checkpoint" `Quick test_gru_checkpoint_roundtrip;
+        ] );
+    ]

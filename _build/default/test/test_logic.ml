@@ -1,0 +1,296 @@
+open Dpoaf_logic
+
+let sym atoms = Symbol.of_atoms atoms
+let trace steps = Array.of_list (List.map sym steps)
+
+(* ---------------- generators ---------------- *)
+
+let atom_names = [ "p"; "q"; "r" ]
+
+let gen_formula =
+  let open QCheck.Gen in
+  sized_size (int_bound 16) @@ fix (fun self n ->
+      if n <= 0 then
+        oneof
+          [ return Ltl.True; return Ltl.False;
+            map Ltl.atom (oneofl atom_names) ]
+      else
+        let sub = self (n / 2) in
+        oneof
+          [
+            map Ltl.atom (oneofl atom_names);
+            map Ltl.neg sub;
+            map2 (fun a b -> Ltl.And (a, b)) sub sub;
+            map2 (fun a b -> Ltl.Or (a, b)) sub sub;
+            map2 (fun a b -> Ltl.Implies (a, b)) sub sub;
+            map Ltl.next sub;
+            map Ltl.eventually sub;
+            map Ltl.always sub;
+            map2 Ltl.until sub sub;
+            map2 Ltl.release sub sub;
+          ])
+
+let arb_formula = QCheck.make ~print:Ltl.to_string gen_formula
+
+let gen_step =
+  QCheck.Gen.(
+    map
+      (fun bools ->
+        sym (List.filteri (fun i _ -> List.nth bools i) atom_names))
+      (list_repeat (List.length atom_names) bool))
+
+let gen_steps lo hi = QCheck.Gen.(map Array.of_list (list_size (lo -- hi) gen_step))
+
+let print_steps steps =
+  String.concat ";" (Array.to_list (Array.map Symbol.to_string steps))
+
+let arb_formula_and_trace =
+  QCheck.make
+    ~print:(fun (f, t) -> Ltl.to_string f ^ " on " ^ print_steps t)
+    QCheck.Gen.(pair gen_formula (gen_steps 1 6))
+
+let arb_formula_and_lasso =
+  QCheck.make
+    ~print:(fun (f, (p, c)) ->
+      Ltl.to_string f ^ " on " ^ print_steps p ^ " (" ^ print_steps c ^ ")^w")
+    QCheck.Gen.(pair gen_formula (pair (gen_steps 0 4) (gen_steps 1 4)))
+
+(* ---------------- unit tests ---------------- *)
+
+let check_parse input expected =
+  match Ltl.parse input with
+  | Ok f -> Alcotest.(check string) input (Ltl.to_string expected) (Ltl.to_string f)
+  | Error e -> Alcotest.failf "parse %S failed: %s" input e
+
+let test_parse_basic () =
+  check_parse "p" (Ltl.atom "p");
+  check_parse "true" Ltl.True;
+  check_parse "false" Ltl.False;
+  check_parse "!p" Ltl.(neg (atom "p"));
+  check_parse "p & q" Ltl.(And (Atom "p", Atom "q"));
+  check_parse "p | q" Ltl.(Or (Atom "p", Atom "q"));
+  check_parse "p -> q" Ltl.(implies (atom "p") (atom "q"))
+
+let test_parse_temporal () =
+  check_parse "G p" Ltl.(always (atom "p"));
+  check_parse "F p" Ltl.(eventually (atom "p"));
+  check_parse "X p" Ltl.(next (atom "p"));
+  check_parse "p U q" Ltl.(until (atom "p") (atom "q"));
+  check_parse "p R q" Ltl.(release (atom "p") (atom "q"))
+
+let test_parse_precedence () =
+  check_parse "p -> q | r" Ltl.(implies (atom "p") (Or (Atom "q", Atom "r")));
+  check_parse "p | q & r" Ltl.(Or (Atom "p", And (Atom "q", Atom "r")));
+  check_parse "p & q U r" Ltl.(And (Atom "p", until (atom "q") (atom "r")));
+  check_parse "!p U q" Ltl.(until (neg (atom "p")) (atom "q"));
+  check_parse "G (p -> F q)"
+    Ltl.(always (implies (atom "p") (eventually (atom "q"))))
+
+let test_parse_quoted () =
+  check_parse "\"car from left\" -> !\"turn right\""
+    Ltl.(implies (atom "car from left") (neg (atom "turn right")))
+
+let test_parse_spec_phi1 () =
+  check_parse "G (pedestrian -> F stop)"
+    Ltl.(always (implies (atom "pedestrian") (eventually (atom "stop"))))
+
+let test_parse_errors () =
+  let bad = [ "("; "p &"; "p q"; "\"unterminated"; "->"; "" ] in
+  List.iter
+    (fun s ->
+      match Ltl.parse s with
+      | Ok f -> Alcotest.failf "parse %S unexpectedly succeeded: %s" s (Ltl.to_string f)
+      | Error _ -> ())
+    bad
+
+let test_atoms () =
+  let f = Ltl.parse_exn "G (p -> F q) & (r U p)" in
+  Alcotest.(check (list string)) "atoms" [ "p"; "q"; "r" ]
+    (Symbol.elements (Ltl.atoms f))
+
+let test_nnf_shape () =
+  let f = Ltl.parse_exn "!(p U (q & !r))" in
+  let g = Ltl.nnf f in
+  Alcotest.(check bool) "is_nnf" true (Ltl.is_nnf g);
+  Alcotest.(check bool) "original not nnf" false (Ltl.is_nnf f)
+
+let test_finite_eval_atoms () =
+  let t = trace [ [ "p" ]; [ "q" ] ] in
+  Alcotest.(check bool) "p at 0" true (Trace.eval_finite (Ltl.atom "p") t);
+  Alcotest.(check bool) "q at 0" false (Trace.eval_finite (Ltl.atom "q") t);
+  Alcotest.(check bool) "X q" true (Trace.eval_finite Ltl.(next (atom "q")) t);
+  Alcotest.(check bool) "X X q strong" false
+    (Trace.eval_finite Ltl.(next (next (atom "q"))) t)
+
+let test_finite_eval_until () =
+  let t = trace [ [ "p" ]; [ "p" ]; [ "q" ] ] in
+  Alcotest.(check bool) "p U q" true
+    (Trace.eval_finite Ltl.(until (atom "p") (atom "q")) t);
+  let t2 = trace [ [ "p" ]; [ "p" ]; [ "p" ] ] in
+  Alcotest.(check bool) "p U q fails without q" false
+    (Trace.eval_finite Ltl.(until (atom "p") (atom "q")) t2)
+
+let test_finite_eval_always () =
+  let t = trace [ [ "p" ]; [ "p" ] ] in
+  Alcotest.(check bool) "G p" true (Trace.eval_finite Ltl.(always (atom "p")) t);
+  let t2 = trace [ [ "p" ]; [] ] in
+  Alcotest.(check bool) "G p fails" false
+    (Trace.eval_finite Ltl.(always (atom "p")) t2)
+
+let test_finite_eval_spec () =
+  let phi = Ltl.parse_exn "G (ped -> F stop)" in
+  let good = trace [ [ "ped" ]; []; [ "stop" ] ] in
+  let bad = trace [ [ "ped" ]; []; [] ] in
+  Alcotest.(check bool) "good" true (Trace.eval_finite phi good);
+  Alcotest.(check bool) "bad" false (Trace.eval_finite phi bad)
+
+let test_empty_trace () =
+  Alcotest.(check bool) "G p vacuous" true
+    (Trace.eval_finite (Ltl.parse_exn "G p") [||]);
+  Alcotest.(check bool) "F p false" false
+    (Trace.eval_finite (Ltl.parse_exn "F p") [||]);
+  Alcotest.(check bool) "true" true (Trace.eval_finite Ltl.True [||])
+
+let test_lasso_eval_gf () =
+  let cycle = trace [ [ "p" ]; [ "q" ] ] in
+  let holds f = Trace.eval_lasso (Ltl.parse_exn f) ~prefix:[||] ~cycle in
+  Alcotest.(check bool) "GF p" true (holds "G F p");
+  Alcotest.(check bool) "GF q" true (holds "G F q");
+  Alcotest.(check bool) "G p" false (holds "G p");
+  Alcotest.(check bool) "F G p" false (holds "F G p")
+
+let test_lasso_eval_prefix () =
+  let prefix = trace [ [ "p" ] ] and cycle = trace [ [ "q" ] ] in
+  let holds f = Trace.eval_lasso (Ltl.parse_exn f) ~prefix ~cycle in
+  Alcotest.(check bool) "FG q" true (holds "F G q");
+  Alcotest.(check bool) "G q" false (holds "G q");
+  Alcotest.(check bool) "p" true (holds "p");
+  Alcotest.(check bool) "X q" true (holds "X q")
+
+let test_lasso_empty_cycle () =
+  Alcotest.check_raises "empty cycle"
+    (Invalid_argument "Trace.eval_lasso: empty cycle") (fun () ->
+      ignore (Trace.eval_lasso Ltl.True ~prefix:[||] ~cycle:[||]))
+
+(* ---------------- properties ---------------- *)
+
+let prop_roundtrip =
+  QCheck.Test.make ~count:500 ~name:"parse (pp f) = f" arb_formula (fun f ->
+      match Ltl.parse (Ltl.to_string f) with
+      | Ok g -> Ltl.equal f g
+      | Error _ -> false)
+
+(* On finite traces with strong Next, !X f and X !f differ at the last
+   position, so NNF preserves LTLf semantics only for X-free formulas. *)
+let rec has_next = function
+  | Ltl.Next _ -> true
+  | Ltl.True | Ltl.False | Ltl.Atom _ -> false
+  | Ltl.Not f | Ltl.Eventually f | Ltl.Always f -> has_next f
+  | Ltl.And (a, b) | Ltl.Or (a, b) | Ltl.Implies (a, b)
+  | Ltl.Until (a, b) | Ltl.Release (a, b) ->
+      has_next a || has_next b
+
+let prop_nnf_finite =
+  QCheck.Test.make ~count:1000 ~name:"nnf preserves finite semantics (X-free)"
+    arb_formula_and_trace (fun (f, t) ->
+      has_next f || Trace.eval_finite f t = Trace.eval_finite (Ltl.nnf f) t)
+
+let prop_nnf_lasso =
+  QCheck.Test.make ~count:1000 ~name:"nnf preserves lasso semantics"
+    arb_formula_and_lasso (fun (f, (p, c)) ->
+      Trace.eval_lasso f ~prefix:p ~cycle:c
+      = Trace.eval_lasso (Ltl.nnf f) ~prefix:p ~cycle:c)
+
+let prop_nnf_is_nnf =
+  QCheck.Test.make ~count:500 ~name:"nnf produces nnf" arb_formula (fun f ->
+      Ltl.is_nnf (Ltl.nnf f))
+
+let prop_negation_lasso =
+  QCheck.Test.make ~count:1000 ~name:"lasso: f xor !f" arb_formula_and_lasso
+    (fun (f, (p, c)) ->
+      Trace.eval_lasso f ~prefix:p ~cycle:c
+      <> Trace.eval_lasso (Ltl.neg f) ~prefix:p ~cycle:c)
+
+let prop_until_release_duality =
+  QCheck.Test.make ~count:500 ~name:"lasso: !(a U b) = !a R !b"
+    arb_formula_and_lasso (fun (f, (p, c)) ->
+      let a = f and b = Ltl.next f in
+      Trace.eval_lasso (Ltl.neg (Ltl.until a b)) ~prefix:p ~cycle:c
+      = Trace.eval_lasso (Ltl.release (Ltl.neg a) (Ltl.neg b)) ~prefix:p ~cycle:c)
+
+let prop_until_idempotent =
+  QCheck.Test.make ~count:400 ~name:"lasso: f U (f U g) = f U g"
+    arb_formula_and_lasso (fun (f, (p, c)) ->
+      let g = Ltl.neg f in
+      Trace.eval_lasso (Ltl.until f (Ltl.until f g)) ~prefix:p ~cycle:c
+      = Trace.eval_lasso (Ltl.until f g) ~prefix:p ~cycle:c)
+
+let prop_always_expansion =
+  QCheck.Test.make ~count:400 ~name:"lasso: G f = f & X G f"
+    arb_formula_and_lasso (fun (f, (p, c)) ->
+      Trace.eval_lasso (Ltl.always f) ~prefix:p ~cycle:c
+      = Trace.eval_lasso (Ltl.And (f, Ltl.next (Ltl.always f))) ~prefix:p ~cycle:c)
+
+let prop_until_expansion =
+  QCheck.Test.make ~count:400 ~name:"lasso: f U g = g | (f & X (f U g))"
+    arb_formula_and_lasso (fun (f, (p, c)) ->
+      let g = Ltl.next f in
+      Trace.eval_lasso (Ltl.until f g) ~prefix:p ~cycle:c
+      = Trace.eval_lasso
+          (Ltl.Or (g, Ltl.And (f, Ltl.next (Ltl.until f g))))
+          ~prefix:p ~cycle:c)
+
+let prop_lasso_unroll =
+  QCheck.Test.make ~count:500 ~name:"lasso: unroll invariant"
+    arb_formula_and_lasso (fun (f, (p, c)) ->
+      Trace.eval_lasso f ~prefix:p ~cycle:c
+      = Trace.eval_lasso f ~prefix:(Array.append p c) ~cycle:c)
+
+let qsuite name tests =
+  (name, List.map (QCheck_alcotest.to_alcotest ~verbose:false) tests)
+
+let () =
+  Alcotest.run "logic"
+    [
+      ( "parse",
+        [
+          Alcotest.test_case "basic" `Quick test_parse_basic;
+          Alcotest.test_case "temporal" `Quick test_parse_temporal;
+          Alcotest.test_case "precedence" `Quick test_parse_precedence;
+          Alcotest.test_case "quoted atoms" `Quick test_parse_quoted;
+          Alcotest.test_case "phi1" `Quick test_parse_spec_phi1;
+          Alcotest.test_case "errors" `Quick test_parse_errors;
+        ] );
+      ( "ast",
+        [
+          Alcotest.test_case "atoms" `Quick test_atoms;
+          Alcotest.test_case "nnf shape" `Quick test_nnf_shape;
+        ] );
+      ( "finite",
+        [
+          Alcotest.test_case "atoms/next" `Quick test_finite_eval_atoms;
+          Alcotest.test_case "until" `Quick test_finite_eval_until;
+          Alcotest.test_case "always" `Quick test_finite_eval_always;
+          Alcotest.test_case "spec phi1" `Quick test_finite_eval_spec;
+          Alcotest.test_case "empty trace" `Quick test_empty_trace;
+        ] );
+      ( "lasso",
+        [
+          Alcotest.test_case "GF on cycle" `Quick test_lasso_eval_gf;
+          Alcotest.test_case "prefix" `Quick test_lasso_eval_prefix;
+          Alcotest.test_case "empty cycle" `Quick test_lasso_empty_cycle;
+        ] );
+      qsuite "properties"
+        [
+          prop_roundtrip;
+          prop_nnf_finite;
+          prop_nnf_lasso;
+          prop_nnf_is_nnf;
+          prop_negation_lasso;
+          prop_until_release_duality;
+          prop_until_idempotent;
+          prop_always_expansion;
+          prop_until_expansion;
+          prop_lasso_unroll;
+        ];
+    ]

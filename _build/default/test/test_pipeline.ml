@@ -1,0 +1,283 @@
+open Dpoaf_pipeline
+module Tasks = Dpoaf_driving.Tasks
+module Responses = Dpoaf_driving.Responses
+module Grammar = Dpoaf_lm.Grammar
+module Sampler = Dpoaf_lm.Sampler
+module Pref_data = Dpoaf_dpo.Pref_data
+module Trainer = Dpoaf_dpo.Trainer
+module Rng = Dpoaf_util.Rng
+
+let corpus = Corpus.build ()
+
+let small_model seed =
+  Corpus.pretrained_model
+    ~config:{ Dpoaf_lm.Model.dim = 12; context = 10; lora_rank = 2; arch = Dpoaf_lm.Model.Bow }
+    ~per_task:20 ~epochs:10 (Rng.create seed) corpus
+
+(* ---------------- corpus ---------------- *)
+
+let test_corpus_setups () =
+  Alcotest.(check int) "one setup per task" (List.length Tasks.all)
+    (List.length corpus.Corpus.setups);
+  Alcotest.(check int) "training setups" 6
+    (List.length (Corpus.setups_of_split corpus Tasks.Training));
+  Alcotest.(check int) "validation setups" 2
+    (List.length (Corpus.setups_of_split corpus Tasks.Validation))
+
+let test_corpus_grammar_accepts_candidates () =
+  List.iter
+    (fun setup ->
+      (* any single candidate step and any obs+final pair must be accepted *)
+      let steps = Responses.candidate_steps setup.Corpus.task in
+      List.iter
+        (fun s ->
+          let tokens = Grammar.tokens_of_steps corpus.Corpus.vocab [ s ] in
+          Alcotest.(check bool)
+            (setup.Corpus.task.Tasks.id ^ ": " ^ s)
+            true
+            (Grammar.accepts setup.Corpus.grammar
+               ~min_clauses:setup.Corpus.min_clauses
+               ~max_clauses:setup.Corpus.max_clauses tokens))
+        steps)
+    corpus.Corpus.setups
+
+let test_corpus_pretraining_examples () =
+  let examples = Corpus.pretraining_examples corpus (Rng.create 1) ~per_task:5 in
+  Alcotest.(check int) "count" (5 * List.length Tasks.all) (List.length examples);
+  List.iter
+    (fun ex ->
+      Alcotest.(check bool) "accepted" true
+        (Grammar.accepts ex.Dpoaf_lm.Pretrain.grammar
+           ~min_clauses:ex.Dpoaf_lm.Pretrain.min_clauses
+           ~max_clauses:ex.Dpoaf_lm.Pretrain.max_clauses
+           ex.Dpoaf_lm.Pretrain.tokens))
+    examples
+
+let test_corpus_steps_roundtrip () =
+  let setup = Corpus.setup corpus (Tasks.find "right_turn_tl") in
+  let steps = [ "observe the state of the green traffic light" ] in
+  let tokens = Grammar.tokens_of_steps corpus.Corpus.vocab steps in
+  Alcotest.(check (list string)) "roundtrip" steps (Corpus.steps_of_tokens corpus tokens);
+  ignore setup
+
+(* ---------------- feedback ---------------- *)
+
+let test_feedback_scores_and_caches () =
+  let feedback = Feedback.create () in
+  let setup = Corpus.setup corpus (Tasks.find "right_turn_tl") in
+  let good =
+    Grammar.tokens_of_steps corpus.Corpus.vocab
+      [
+        "observe the state of the green traffic light";
+        "if no car from left and no pedestrian at right, execute the action turn right";
+      ]
+  in
+  let bad = Grammar.tokens_of_steps corpus.Corpus.vocab [ "execute the action turn right" ] in
+  let sg = Feedback.score_tokens feedback ~corpus setup good in
+  let sb = Feedback.score_tokens feedback ~corpus setup bad in
+  Alcotest.(check int) "good scores 15" 15 sg;
+  Alcotest.(check bool) "bad well below" true (sb <= 9);
+  let _ = Feedback.score_tokens feedback ~corpus setup good in
+  let hits, misses = Feedback.cache_stats feedback in
+  Alcotest.(check int) "one hit" 1 hits;
+  Alcotest.(check int) "two misses" 2 misses
+
+let test_feedback_scenario_model_option () =
+  let feedback =
+    Feedback.create ~model:(Dpoaf_driving.Models.model Dpoaf_driving.Models.Traffic_light) ()
+  in
+  let score =
+    Feedback.score_steps feedback ~task_id:"right_turn_tl"
+      Responses.right_turn_after_ft
+  in
+  Alcotest.(check int) "after-FT 15/15 on scenario" 15 score
+
+let test_feedback_hardened_scores () =
+  let feedback = Feedback.create () in
+  let setup = Corpus.setup corpus (Tasks.find "right_turn_tl") in
+  let bad =
+    Grammar.tokens_of_steps corpus.Corpus.vocab [ "execute the action turn right" ]
+  in
+  let raw = Feedback.score_tokens feedback ~corpus setup bad in
+  let hardened = Feedback.score_tokens_hardened feedback ~corpus setup bad in
+  (* repair fixes the invariant (action-safety) rules — Φ5/Φ9/Φ11/Φ15 for a
+     reckless turn — but not liveness obligations like Φ8 *)
+  Alcotest.(check bool)
+    (Printf.sprintf "repair lifts %d -> %d" raw hardened)
+    true
+    (hardened >= raw + 3)
+
+let test_feedback_hardened_good_not_degraded () =
+  let feedback = Feedback.create () in
+  let setup = Corpus.setup corpus (Tasks.find "right_turn_tl") in
+  let good =
+    Grammar.tokens_of_steps corpus.Corpus.vocab
+      [
+        "observe the state of the green traffic light";
+        "if no car from left and no pedestrian at right, execute the action turn right";
+      ]
+  in
+  let raw = Feedback.score_tokens feedback ~corpus setup good in
+  let hardened = Feedback.score_tokens_hardened feedback ~corpus setup good in
+  Alcotest.(check bool) "no regression" true (hardened >= raw)
+
+(* ---------------- pair collection ---------------- *)
+
+let test_collect_pairs_valid () =
+  let model = small_model 3 in
+  let feedback = Feedback.create () in
+  let pairs =
+    Dpoaf.collect_pairs corpus feedback model (Rng.create 4) ~m:10 Tasks.Training
+  in
+  Alcotest.(check bool) "pairs found" true (List.length pairs > 10);
+  List.iter
+    (fun p ->
+      Alcotest.(check bool) "chosen beats rejected" true
+        (p.Pref_data.chosen_score > p.Pref_data.rejected_score);
+      Alcotest.(check bool) "chosen accepted" true
+        (Grammar.accepts p.Pref_data.grammar ~min_clauses:p.Pref_data.min_clauses
+           ~max_clauses:p.Pref_data.max_clauses p.Pref_data.chosen))
+    pairs;
+  (* only training tasks contribute *)
+  List.iter
+    (fun p ->
+      let task = Tasks.find p.Pref_data.task_id in
+      Alcotest.(check bool) "training split" true (task.Tasks.split = Tasks.Training))
+    pairs
+
+let test_mean_specs_range () =
+  let model = small_model 5 in
+  let feedback = Feedback.create () in
+  let score =
+    Dpoaf.mean_specs_satisfied corpus feedback model (Rng.create 6) ~samples:6
+      Tasks.Training
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "score %.2f within [6,15]" score)
+    true
+    (score >= 6.0 && score <= 15.0)
+
+(* ---------------- end-to-end (scaled down) ---------------- *)
+
+let test_run_improves () =
+  let reference = small_model 7 in
+  let feedback = Feedback.create () in
+  let config =
+    {
+      Dpoaf.responses_per_task = 12;
+      temperature = 1.0;
+      eval_samples = 10;
+      trainer =
+        {
+          Trainer.beta = 0.5;
+          lr = 5e-3;
+          epochs = 40;
+          batch = 16;
+          checkpoint_every = 40;
+          shuffle_each_epoch = true;
+        };
+    }
+  in
+  let result =
+    Dpoaf.run ~config ~corpus ~feedback ~reference ~seeds:[ 1 ] (Rng.create 8)
+  in
+  Alcotest.(check bool) "pairs used" true (result.Dpoaf.pairs_used > 20);
+  Alcotest.(check int) "one run" 1 (List.length result.Dpoaf.runs);
+  (* curve has epoch 0 and epoch 40 entries *)
+  let epochs = List.map (fun c -> c.Dpoaf.epoch) result.Dpoaf.curve in
+  Alcotest.(check (list int)) "checkpoint epochs" [ 0; 40 ] epochs;
+  let at e =
+    List.find (fun c -> c.Dpoaf.epoch = e) result.Dpoaf.curve
+  in
+  let first = at 0 and last = at 40 in
+  Alcotest.(check bool)
+    (Printf.sprintf "training improved: %.2f -> %.2f" first.Dpoaf.training_score
+       last.Dpoaf.training_score)
+    true
+    (last.Dpoaf.training_score > first.Dpoaf.training_score);
+  (* DPO metrics behave like the paper's Figure 8 *)
+  let run = List.hd result.Dpoaf.runs in
+  let stats_first = List.hd run.Trainer.stats in
+  let stats_last = List.nth run.Trainer.stats (List.length run.Trainer.stats - 1) in
+  Alcotest.(check bool) "loss down" true (stats_last.Trainer.loss < stats_first.Trainer.loss);
+  Alcotest.(check bool) "accuracy up" true
+    (stats_last.Trainer.accuracy > stats_first.Trainer.accuracy);
+  Alcotest.(check bool) "margin positive" true (stats_last.Trainer.margin > 0.0)
+
+let test_reinforce_tasks_reward_range () =
+  let feedback = Feedback.create () in
+  let tasks = Dpoaf.reinforce_tasks corpus feedback Tasks.Training in
+  Alcotest.(check int) "one per training task" 6 (List.length tasks);
+  let task = List.hd tasks in
+  let good =
+    Grammar.tokens_of_steps corpus.Corpus.vocab
+      [
+        "observe the state of the green traffic light";
+        "if no car from left and no pedestrian at right, execute the action turn right";
+      ]
+  in
+  let r = task.Dpoaf_dpo.Reinforce.reward good in
+  Alcotest.(check bool) "reward in [0,1]" true (r >= 0.0 && r <= 1.0);
+  Alcotest.(check (float 1e-9)) "good reward = 1" 1.0 r
+
+let test_run_iterative () =
+  let reference = small_model 9 in
+  let feedback = Feedback.create () in
+  let config =
+    {
+      Dpoaf.responses_per_task = 8;
+      temperature = 1.0;
+      eval_samples = 6;
+      trainer =
+        { Trainer.default_config with epochs = 15; checkpoint_every = 0; lr = 5e-3 };
+    }
+  in
+  let rounds, final =
+    Dpoaf.run_iterative ~config ~rounds:2 ~corpus ~feedback ~reference
+      (Rng.create 10)
+  in
+  Alcotest.(check int) "round entries" 3 (List.length rounds);
+  Alcotest.(check (list int)) "round numbers" [ 0; 1; 2 ]
+    (List.map (fun (r : Dpoaf.round_eval) -> r.Dpoaf.round) rounds);
+  List.iter
+    (fun (r : Dpoaf.round_eval) ->
+      Alcotest.(check bool) "scores in range" true
+        (r.Dpoaf.training_score >= 6.0 && r.Dpoaf.training_score <= 15.0))
+    rounds;
+  (* the final policy differs from the reference *)
+  Alcotest.(check bool) "policy moved" true
+    (not
+       (Dpoaf_tensor.Tensor.approx_equal final.Dpoaf_lm.Model.out.Dpoaf_tensor.Lora.a
+          reference.Dpoaf_lm.Model.out.Dpoaf_tensor.Lora.a))
+
+let () =
+  Alcotest.run "pipeline"
+    [
+      ( "corpus",
+        [
+          Alcotest.test_case "setups" `Quick test_corpus_setups;
+          Alcotest.test_case "grammar accepts candidates" `Quick
+            test_corpus_grammar_accepts_candidates;
+          Alcotest.test_case "pretraining examples" `Quick test_corpus_pretraining_examples;
+          Alcotest.test_case "steps roundtrip" `Quick test_corpus_steps_roundtrip;
+        ] );
+      ( "feedback",
+        [
+          Alcotest.test_case "scores and caches" `Quick test_feedback_scores_and_caches;
+          Alcotest.test_case "scenario model option" `Quick test_feedback_scenario_model_option;
+          Alcotest.test_case "hardened scores" `Quick test_feedback_hardened_scores;
+          Alcotest.test_case "hardened no regression" `Quick
+            test_feedback_hardened_good_not_degraded;
+        ] );
+      ( "pairs",
+        [
+          Alcotest.test_case "collect valid" `Slow test_collect_pairs_valid;
+          Alcotest.test_case "mean specs range" `Slow test_mean_specs_range;
+        ] );
+      ( "end-to-end",
+        [
+          Alcotest.test_case "run improves" `Slow test_run_improves;
+          Alcotest.test_case "reinforce tasks" `Quick test_reinforce_tasks_reward_range;
+          Alcotest.test_case "iterative" `Slow test_run_iterative;
+        ] );
+    ]

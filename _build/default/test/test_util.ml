@@ -1,0 +1,194 @@
+open Dpoaf_util
+
+let check_float = Alcotest.(check (float 1e-9))
+
+let test_rng_deterministic () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.int64 a) (Rng.int64 b)
+  done
+
+let test_rng_copy_independent () =
+  let a = Rng.create 7 in
+  let _ = Rng.int64 a in
+  let b = Rng.copy a in
+  Alcotest.(check int64) "copy continues stream" (Rng.int64 a) (Rng.int64 b)
+
+let test_rng_split_differs () =
+  let a = Rng.create 1 in
+  let b = Rng.split a in
+  let xs = List.init 20 (fun _ -> Rng.int64 a) in
+  let ys = List.init 20 (fun _ -> Rng.int64 b) in
+  Alcotest.(check bool) "split streams differ" true (xs <> ys)
+
+let test_rng_int_bounds () =
+  let rng = Rng.create 3 in
+  for _ = 1 to 1000 do
+    let x = Rng.int rng 10 in
+    Alcotest.(check bool) "0 <= x < 10" true (x >= 0 && x < 10)
+  done
+
+let test_rng_float_bounds () =
+  let rng = Rng.create 4 in
+  for _ = 1 to 1000 do
+    let x = Rng.float rng in
+    Alcotest.(check bool) "0 <= x < 1" true (x >= 0.0 && x < 1.0)
+  done
+
+let test_rng_float_mean () =
+  let rng = Rng.create 5 in
+  let xs = List.init 10_000 (fun _ -> Rng.float rng) in
+  let m = Stats.mean xs in
+  Alcotest.(check bool) "mean near 0.5" true (abs_float (m -. 0.5) < 0.02)
+
+let test_rng_gaussian_moments () =
+  let rng = Rng.create 6 in
+  let xs = List.init 20_000 (fun _ -> Rng.gaussian rng) in
+  let m = Stats.mean xs and s = Stats.stddev xs in
+  Alcotest.(check bool) "mean near 0" true (abs_float m < 0.05);
+  Alcotest.(check bool) "std near 1" true (abs_float (s -. 1.0) < 0.05)
+
+let test_rng_weighted () =
+  let rng = Rng.create 9 in
+  let n = 20_000 in
+  let hits = ref 0 in
+  for _ = 1 to n do
+    if Rng.weighted rng [ ("a", 3.0); ("b", 1.0) ] = "a" then incr hits
+  done;
+  let frac = float_of_int !hits /. float_of_int n in
+  Alcotest.(check bool) "weighted ratio near 0.75" true (abs_float (frac -. 0.75) < 0.02)
+
+let test_rng_shuffle_permutation () =
+  let rng = Rng.create 11 in
+  let arr = Array.init 50 Fun.id in
+  Rng.shuffle rng arr;
+  let sorted = Array.copy arr in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "permutation" (Array.init 50 Fun.id) sorted
+
+let test_rng_sample_without_replacement () =
+  let rng = Rng.create 12 in
+  let arr = Array.init 20 Fun.id in
+  let s = Rng.sample_without_replacement rng 5 arr in
+  Alcotest.(check int) "size" 5 (Array.length s);
+  let distinct = List.sort_uniq compare (Array.to_list s) in
+  Alcotest.(check int) "distinct" 5 (List.length distinct)
+
+let test_stats_mean () = check_float "mean" 2.0 (Stats.mean [ 1.0; 2.0; 3.0 ])
+let test_stats_mean_empty () = check_float "mean []" 0.0 (Stats.mean [])
+
+let test_stats_stddev () =
+  check_float "std" (sqrt 2.0) (Stats.stddev [ 1.0; 3.0; 1.0; 3.0; 0.0; 4.0 ])
+
+let test_stats_min_max () =
+  let lo, hi = Stats.min_max [ 3.0; -1.0; 2.0 ] in
+  check_float "min" (-1.0) lo;
+  check_float "max" 3.0 hi
+
+let test_stats_median () =
+  check_float "odd" 2.0 (Stats.median [ 3.0; 1.0; 2.0 ]);
+  check_float "even" 1.5 (Stats.median [ 1.0; 2.0 ])
+
+let test_stats_percentile () =
+  let xs = [ 0.0; 1.0; 2.0; 3.0; 4.0 ] in
+  check_float "p0" 0.0 (Stats.percentile 0.0 xs);
+  check_float "p50" 2.0 (Stats.percentile 0.5 xs);
+  check_float "p100" 4.0 (Stats.percentile 1.0 xs);
+  check_float "p25" 1.0 (Stats.percentile 0.25 xs)
+
+let test_stats_fraction () =
+  check_float "fraction" 0.5 (Stats.fraction (fun x -> x > 0) [ 1; -1; 2; -2 ])
+
+let test_stats_histogram () =
+  let h = Stats.histogram ~bins:2 ~lo:0.0 ~hi:1.0 [ 0.1; 0.2; 0.9; 1.5; -0.5 ] in
+  Alcotest.(check (array int)) "bins" [| 3; 2 |] h
+
+let test_stats_summary () =
+  let s = Stats.summarize [ 1.0; 2.0; 3.0 ] in
+  check_float "mean" 2.0 s.Stats.mean;
+  Alcotest.(check int) "n" 3 s.Stats.n
+
+let contains ~sub s =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+let test_table_render () =
+  let t = Table.create [ "a"; "bb" ] in
+  Table.add_row t [ "1"; "2" ];
+  Table.add_float_row t "x" [ 1.5 ];
+  let s = Table.render t in
+  Alcotest.(check bool) "header present" true
+    (String.length s > 0 && String.contains s '|');
+  Alcotest.(check bool) "row present" true (contains ~sub:"1.500" s)
+
+let test_csv_escape () =
+  Alcotest.(check string) "plain" "abc" (Csv.escape "abc");
+  Alcotest.(check string) "comma" "\"a,b\"" (Csv.escape "a,b");
+  Alcotest.(check string) "quote" "\"a\"\"b\"" (Csv.escape "a\"b");
+  Alcotest.(check string) "line" "a,\"b,c\",d" (Csv.line [ "a"; "b,c"; "d" ])
+
+let test_csv_write () =
+  let path = Filename.temp_file "dpoaf" ".csv" in
+  Csv.write path ~header:[ "x"; "y" ] [ [ "1"; "2" ]; [ "3"; "4,5" ] ];
+  let ic = open_in path in
+  let content = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  Sys.remove path;
+  Alcotest.(check string) "content" "x,y\n1,2\n3,\"4,5\"\n" content
+
+let test_strext_words () =
+  Alcotest.(check (list string)) "words" [ "a"; "b"; "c" ] (Strext.words "  a b\tc ")
+
+let test_strext_lowercase_words () =
+  Alcotest.(check (list string)) "clean" [ "observe"; "the"; "traffic"; "light" ]
+    (Strext.lowercase_words "Observe the Traffic Light.")
+
+let test_strext_strip_prefix () =
+  Alcotest.(check (option (list string))) "strip" (Some [ "c" ])
+    (Strext.strip_prefix ~prefix:[ "a"; "b" ] [ "a"; "b"; "c" ]);
+  Alcotest.(check (option (list string))) "no match" None
+    (Strext.strip_prefix ~prefix:[ "x" ] [ "a" ])
+
+let () =
+  Alcotest.run "util"
+    [
+      ( "rng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+          Alcotest.test_case "copy" `Quick test_rng_copy_independent;
+          Alcotest.test_case "split" `Quick test_rng_split_differs;
+          Alcotest.test_case "int bounds" `Quick test_rng_int_bounds;
+          Alcotest.test_case "float bounds" `Quick test_rng_float_bounds;
+          Alcotest.test_case "float mean" `Quick test_rng_float_mean;
+          Alcotest.test_case "gaussian moments" `Quick test_rng_gaussian_moments;
+          Alcotest.test_case "weighted" `Quick test_rng_weighted;
+          Alcotest.test_case "shuffle permutation" `Quick test_rng_shuffle_permutation;
+          Alcotest.test_case "sample without replacement" `Quick
+            test_rng_sample_without_replacement;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "mean" `Quick test_stats_mean;
+          Alcotest.test_case "mean empty" `Quick test_stats_mean_empty;
+          Alcotest.test_case "stddev" `Quick test_stats_stddev;
+          Alcotest.test_case "min max" `Quick test_stats_min_max;
+          Alcotest.test_case "median" `Quick test_stats_median;
+          Alcotest.test_case "percentile" `Quick test_stats_percentile;
+          Alcotest.test_case "fraction" `Quick test_stats_fraction;
+          Alcotest.test_case "histogram" `Quick test_stats_histogram;
+          Alcotest.test_case "summary" `Quick test_stats_summary;
+        ] );
+      ( "table", [ Alcotest.test_case "render" `Quick test_table_render ] );
+      ( "csv",
+        [
+          Alcotest.test_case "escape" `Quick test_csv_escape;
+          Alcotest.test_case "write" `Quick test_csv_write;
+        ] );
+      ( "strext",
+        [
+          Alcotest.test_case "words" `Quick test_strext_words;
+          Alcotest.test_case "lowercase words" `Quick test_strext_lowercase_words;
+          Alcotest.test_case "strip prefix" `Quick test_strext_strip_prefix;
+        ] );
+    ]

@@ -1,0 +1,132 @@
+open Dpoaf_vision
+module Rng = Dpoaf_util.Rng
+
+let dataset ?(n = 8000) seed domain condition =
+  Detector.detect_dataset (Rng.create seed) domain condition ~n
+
+(* ---------------- detector ---------------- *)
+
+let test_confidence_in_range () =
+  List.iter
+    (fun d ->
+      Alcotest.(check bool) "confidence in (0,1)" true
+        (d.Detector.confidence > 0.0 && d.Detector.confidence < 1.0))
+    (dataset ~n:500 1 Detector.Sim Detector.Clear)
+
+let test_class_mix_uniform () =
+  let ds = dataset ~n:400 2 Detector.Real Detector.Clear in
+  List.iter
+    (fun cls ->
+      let k = List.length (List.filter (fun d -> d.Detector.cls = cls) ds) in
+      Alcotest.(check int) (Detector.class_name cls) 100 k)
+    Detector.all_classes
+
+let test_conditions_degrade_confidence () =
+  (* Fig 13's qualitative content: rain and night reduce confidence. *)
+  let mean_conf ds =
+    Dpoaf_util.Stats.mean (List.map (fun d -> d.Detector.confidence) ds)
+  in
+  let clear = mean_conf (dataset 3 Detector.Real Detector.Clear) in
+  let rain = mean_conf (dataset 4 Detector.Real Detector.Rain) in
+  let night = mean_conf (dataset 5 Detector.Real Detector.Night) in
+  Alcotest.(check bool)
+    (Printf.sprintf "clear %.3f > rain %.3f > night %.3f" clear rain night)
+    true
+    (clear > rain && rain > night)
+
+let test_conditions_degrade_accuracy () =
+  let acc seed c = Detector.accuracy (dataset seed Detector.Sim c) in
+  Alcotest.(check bool) "clear beats night" true
+    (acc 6 Detector.Clear > acc 7 Detector.Night)
+
+let test_higher_confidence_more_accurate () =
+  let ds = dataset 8 Detector.Real Detector.Clear in
+  let hi = List.filter (fun d -> d.Detector.confidence > 0.8) ds in
+  let lo = List.filter (fun d -> d.Detector.confidence < 0.4) ds in
+  Alcotest.(check bool) "both populated" true (List.length hi > 50 && List.length lo > 50);
+  Alcotest.(check bool) "monotone" true (Detector.accuracy hi > Detector.accuracy lo)
+
+let test_accuracy_empty () =
+  Alcotest.(check (float 0.0)) "empty" 0.0 (Detector.accuracy [])
+
+(* ---------------- calibration ---------------- *)
+
+let test_curve_bin_structure () =
+  let bins = Calibration.curve ~bins:10 (dataset 9 Detector.Sim Detector.Clear) in
+  Alcotest.(check int) "10 bins" 10 (List.length bins);
+  List.iteri
+    (fun i b ->
+      Alcotest.(check (float 1e-9)) "lo" (float_of_int i /. 10.0) b.Calibration.lo;
+      Alcotest.(check bool) "accuracy in range" true
+        (b.Calibration.accuracy >= 0.0 && b.Calibration.accuracy <= 1.0))
+    bins;
+  let total = List.fold_left (fun acc b -> acc + b.Calibration.count) 0 bins in
+  Alcotest.(check int) "counts add up" 8000 total
+
+let test_curve_roughly_monotone () =
+  let bins = Calibration.curve ~bins:5 (dataset 10 Detector.Real Detector.Clear) in
+  let populated = List.filter (fun b -> b.Calibration.count > 100) bins in
+  let accs = List.map (fun b -> b.Calibration.accuracy) populated in
+  let rec weakly_increasing = function
+    | a :: b :: rest -> a <= b +. 0.08 && weakly_increasing (b :: rest)
+    | _ -> true
+  in
+  Alcotest.(check bool) "roughly monotone" true (weakly_increasing accs)
+
+let test_sim_real_consistent () =
+  (* Figure 12's claim: sim and real confidence→accuracy curves agree. *)
+  let sim = Calibration.curve (dataset ~n:20000 11 Detector.Sim Detector.Clear) in
+  let real = Calibration.curve (dataset ~n:20000 12 Detector.Real Detector.Clear) in
+  let gap = Calibration.max_gap sim real in
+  Alcotest.(check bool)
+    (Printf.sprintf "max gap %.3f <= 0.1" gap)
+    true
+    (Calibration.consistent ~tolerance:0.1 sim real)
+
+let test_consistency_detects_divergence () =
+  (* A deliberately mis-calibrated curve is flagged. *)
+  let sim = Calibration.curve (dataset ~n:20000 13 Detector.Sim Detector.Clear) in
+  let broken =
+    List.map
+      (fun b -> { b with Calibration.accuracy = 1.0 -. b.Calibration.accuracy })
+      sim
+  in
+  Alcotest.(check bool) "divergence detected" false
+    (Calibration.consistent ~tolerance:0.1 sim broken)
+
+let test_max_gap_mismatched_bins () =
+  let a = Calibration.curve ~bins:5 (dataset ~n:100 14 Detector.Sim Detector.Clear) in
+  let b = Calibration.curve ~bins:10 (dataset ~n:100 15 Detector.Sim Detector.Clear) in
+  Alcotest.(check bool) "rejected" true
+    (try ignore (Calibration.max_gap a b); false with Invalid_argument _ -> true)
+
+let test_ece_reasonable () =
+  let bins = Calibration.curve (dataset ~n:20000 16 Detector.Real Detector.Clear) in
+  let ece = Calibration.expected_calibration_error bins in
+  Alcotest.(check bool) (Printf.sprintf "ece %.3f < 0.2" ece) true (ece < 0.2)
+
+let () =
+  Alcotest.run "vision"
+    [
+      ( "detector",
+        [
+          Alcotest.test_case "confidence range" `Quick test_confidence_in_range;
+          Alcotest.test_case "class mix" `Quick test_class_mix_uniform;
+          Alcotest.test_case "conditions degrade confidence" `Quick
+            test_conditions_degrade_confidence;
+          Alcotest.test_case "conditions degrade accuracy" `Quick
+            test_conditions_degrade_accuracy;
+          Alcotest.test_case "confidence-accuracy monotone" `Quick
+            test_higher_confidence_more_accurate;
+          Alcotest.test_case "empty accuracy" `Quick test_accuracy_empty;
+        ] );
+      ( "calibration",
+        [
+          Alcotest.test_case "bin structure" `Quick test_curve_bin_structure;
+          Alcotest.test_case "roughly monotone" `Quick test_curve_roughly_monotone;
+          Alcotest.test_case "sim-real consistent (fig 12)" `Quick test_sim_real_consistent;
+          Alcotest.test_case "divergence detected" `Quick test_consistency_detects_divergence;
+          Alcotest.test_case "mismatched bins" `Quick test_max_gap_mismatched_bins;
+          Alcotest.test_case "ece" `Quick test_ece_reasonable;
+        ] );
+    ]
