@@ -1,0 +1,22 @@
+.PHONY: all build test bench check clean
+
+all: build
+
+build:
+	dune build
+
+test:
+	dune runtest
+
+bench:
+	dune exec bench/main.exe
+
+# The one-stop gate: full build, the whole test pyramid, then a fast
+# benchmark pass on two workers to exercise the parallel scheduler.
+check:
+	dune build
+	dune runtest
+	dune exec bench/main.exe -- --fast --jobs 2
+
+clean:
+	dune clean

@@ -43,6 +43,25 @@ let task_arg =
 let seed_arg =
   Arg.(value & opt int 2024 & info [ "seed" ] ~docv:"N" ~doc:"Random seed.")
 
+let jobs_arg =
+  let doc =
+    "Worker domains for parallel scoring, rollouts and multi-seed training. \
+     Results are identical for every value (the scheduler preserves order \
+     and RNG streams); 1 disables parallelism."
+  in
+  let pos_int =
+    let parse s =
+      match int_of_string_opt s with
+      | Some n when n >= 1 -> Ok n
+      | Some _ -> Error (`Msg "expected a positive integer")
+      | None -> Error (`Msg "expected an integer")
+    in
+    Arg.conv (parse, Format.pp_print_int)
+  in
+  Arg.(value & opt pos_int 1 & info [ "jobs"; "j" ] ~docv:"N" ~doc)
+
+let set_jobs n = Dpoaf_exec.Pool.set_default_jobs n
+
 let model_of_scenario name =
   match scenario_of_string name with
   | Some sc -> Models.model sc
@@ -160,7 +179,8 @@ let synthesize_cmd =
 
 (* ---------------- finetune ---------------- *)
 
-let run_finetune epochs seeds out seed =
+let run_finetune epochs seeds out seed jobs =
+  set_jobs jobs;
   let corpus = Pipeline.Corpus.build () in
   let rng = Rng.create seed in
   Printf.printf "pre-training the language model...\n%!";
@@ -181,6 +201,10 @@ let run_finetune epochs seeds out seed =
   Printf.printf "running DPO-AF (%d epochs, %d seed(s))...\n%!" epochs (List.length seeds);
   let result = Pipeline.Dpoaf.run ~config ~corpus ~feedback ~reference ~seeds rng in
   Printf.printf "mined %d preference pairs\n" result.Pipeline.Dpoaf.pairs_used;
+  let stats = Pipeline.Feedback.cache_stats feedback in
+  Printf.printf "verifier cache: %d hits / %d misses (%d entries)\n"
+    stats.Dpoaf_exec.Cache.hits stats.Dpoaf_exec.Cache.misses
+    stats.Dpoaf_exec.Cache.size;
   List.iter
     (fun c ->
       Printf.printf "epoch %3d: training %.2f/15  validation %.2f/15\n"
@@ -206,11 +230,12 @@ let finetune_cmd =
   in
   Cmd.v
     (Cmd.info "finetune" ~doc:"Run the full DPO-AF pipeline.")
-    Term.(const run_finetune $ epochs_arg $ seeds_arg $ out_arg $ seed_arg)
+    Term.(const run_finetune $ epochs_arg $ seeds_arg $ out_arg $ seed_arg $ jobs_arg)
 
 (* ---------------- simulate ---------------- *)
 
-let run_simulate task_id rollouts steps miss false_rate seed =
+let run_simulate task_id rollouts steps miss false_rate seed jobs =
+  set_jobs jobs;
   let task = try Tasks.find task_id with Not_found -> failwith ("unknown task " ^ task_id) in
   let model = Models.model task.Tasks.scenario in
   let response =
@@ -246,7 +271,7 @@ let simulate_cmd =
   Cmd.v
     (Cmd.info "simulate" ~doc:"Empirical evaluation in the simulated system.")
     Term.(const run_simulate $ task_arg $ rollouts_arg $ steps_arg $ miss_arg
-          $ false_arg $ seed_arg)
+          $ false_arg $ seed_arg $ jobs_arg)
 
 (* ---------------- smv ---------------- *)
 

@@ -102,5 +102,13 @@ let train ~reference ~pairs config ~seed =
     final = policy;
   }
 
-let train_seeds ~reference ~pairs config ~seeds =
-  List.map (fun seed -> train ~reference ~pairs config ~seed) seeds
+(* Each seed's run touches only its own clone of the reference (the shared
+   reference weights are read-only after pre-training) and draws from its
+   own RNG stream [Rng.create seed], so seeds train in parallel without
+   any cross-seed effect on the results. *)
+let train_seeds ?jobs ~reference ~pairs config ~seeds =
+  Dpoaf_exec.Pool.parallel_map ?jobs
+    (fun seed ->
+      Dpoaf_exec.Metrics.time "dpo.train_seed" (fun () ->
+          train ~reference ~pairs config ~seed))
+    seeds

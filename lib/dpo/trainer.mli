@@ -36,8 +36,13 @@ val train :
     computed once up front (the reference is frozen). *)
 
 val train_seeds :
+  ?jobs:int ->
   reference:Dpoaf_lm.Model.t ->
   pairs:Pref_data.pair list ->
   config ->
   seeds:int list ->
   run list
+(** One {!train} per seed, fanned out over [?jobs] workers (default
+    {!Dpoaf_exec.Pool.default_jobs}).  Every seed derives its RNG stream
+    from its own seed value, so the runs are independent of worker count
+    and arrive in input order. *)

@@ -1,9 +1,18 @@
 module Glm2fsa = Dpoaf_lang.Glm2fsa
 module Model_checker = Dpoaf_automata.Model_checker
+module Cache = Dpoaf_exec.Cache
+module Metrics = Dpoaf_exec.Metrics
 
+(* [Lazy.force] is not safe under concurrent forcing in OCaml 5, so the
+   shared lexicon is built under a mutex; afterwards it is read-only. *)
 let shared_lexicon = lazy (Vocab.lexicon ())
+let lexicon_mutex = Mutex.create ()
 
-let lexicon () = Lazy.force shared_lexicon
+let lexicon () =
+  Mutex.lock lexicon_mutex;
+  let l = Lazy.force shared_lexicon in
+  Mutex.unlock lexicon_mutex;
+  l
 
 let controller_of_steps ~name steps =
   Glm2fsa.of_steps ~name (lexicon ()) steps
@@ -17,6 +26,19 @@ let count_specs ?model controller =
   |> List.filter (fun (_, _, v) -> Model_checker.is_holds v)
   |> List.length
 
+(* Spec evaluation is pure in (model, steps): the same step list compiles
+   to the same controller and verdict counts.  Model names are unique per
+   scenario (and "universal"), so they key the model side cheaply.  The
+   cache is bounded — distinct step lists are effectively unbounded across
+   long sampling runs. *)
+let count_cache : (string * string list, int) Cache.t =
+  Cache.create ~capacity:65536 ~name:"evaluate.count_specs" ()
+
+let evaluations = Metrics.counter "evaluate.count_specs_of_steps"
+
 let count_specs_of_steps ?model steps =
-  let controller, _stats = controller_of_steps ~name:"response" steps in
-  count_specs ?model controller
+  Metrics.incr evaluations;
+  let model = match model with Some m -> m | None -> Models.universal () in
+  Cache.find_or_add count_cache (model.Dpoaf_automata.Ts.name, steps) (fun () ->
+      let controller, _stats = controller_of_steps ~name:"response" steps in
+      count_specs ~model controller)

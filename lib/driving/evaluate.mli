@@ -6,7 +6,7 @@
     model) and check the 15 rule-book specifications. *)
 
 val lexicon : unit -> Dpoaf_lang.Lexicon.t
-(** The shared driving lexicon (memoized). *)
+(** The shared driving lexicon (memoized; safe to call from any domain). *)
 
 val controller_of_steps :
   name:string -> string list -> Dpoaf_automata.Fsa.t * Dpoaf_lang.Step_parser.stats
@@ -22,4 +22,6 @@ val count_specs : ?model:Dpoaf_automata.Ts.t -> Dpoaf_automata.Fsa.t -> int
 (** Number of the 15 specifications satisfied. *)
 
 val count_specs_of_steps : ?model:Dpoaf_automata.Ts.t -> string list -> int
-(** Parse, compile and count in one call (controller name ["response"]). *)
+(** Parse, compile and count in one call (controller name ["response"]).
+    Memoized on (model name, steps) through {!Dpoaf_exec.Cache}, since the
+    same step lists recur constantly across sampling rounds. *)

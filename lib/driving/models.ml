@@ -149,31 +149,28 @@ let wide_median () =
       ]
     ()
 
-let cache : (scenario, Ts.t) Hashtbl.t = Hashtbl.create 8
-let universal_cache : Ts.t option ref = ref None
+(* Built models are immutable; the shared-cache module makes concurrent
+   construction from worker domains safe. *)
+let cache : (scenario, Ts.t) Dpoaf_exec.Cache.t =
+  Dpoaf_exec.Cache.create ~name:"driving.models" ()
+
+let universal_key = "universal"
+
+let universal_cache : (string, Ts.t) Dpoaf_exec.Cache.t =
+  Dpoaf_exec.Cache.create ~name:"driving.universal" ()
 
 let model scenario =
-  match Hashtbl.find_opt cache scenario with
-  | Some m -> m
-  | None ->
-      let m =
-        match scenario with
-        | Traffic_light -> traffic_light ()
-        | Left_turn_light -> left_turn_light ()
-        | Two_way_stop -> two_way_stop ()
-        | Roundabout -> roundabout ()
-        | Wide_median -> wide_median ()
-      in
-      Hashtbl.add cache scenario m;
-      m
+  Dpoaf_exec.Cache.find_or_add cache scenario (fun () ->
+      match scenario with
+      | Traffic_light -> traffic_light ()
+      | Left_turn_light -> left_turn_light ()
+      | Two_way_stop -> two_way_stop ()
+      | Roundabout -> roundabout ()
+      | Wide_median -> wide_median ())
 
 let universal () =
-  match !universal_cache with
-  | Some m -> m
-  | None ->
-      let m = Ts.union ~name:"universal" (List.map model all_scenarios) in
-      universal_cache := Some m;
-      m
+  Dpoaf_exec.Cache.find_or_add universal_cache universal_key (fun () ->
+      Ts.union ~name:"universal" (List.map model all_scenarios))
 
 let scenario_propositions scenario =
   Symbol.elements (Ts.propositions (model scenario))

@@ -1,0 +1,107 @@
+(* Keyed memoization with a mutex around every table access, so verifier
+   results can be shared between worker domains.  Values are computed
+   OUTSIDE the lock: two domains racing on the same missing key may both
+   compute it, but computations are required to be deterministic, so the
+   duplicated work is the only cost and the cached value is unambiguous. *)
+
+type stats = { hits : int; misses : int; evictions : int; size : int }
+
+type ('k, 'v) t = {
+  name : string;
+  capacity : int option;
+  table : ('k, 'v) Hashtbl.t;
+  order : 'k Queue.t;  (* insertion order; FIFO eviction when bounded *)
+  mutex : Mutex.t;
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+}
+
+let with_lock t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+let stats t =
+  with_lock t (fun () ->
+      {
+        hits = t.hits;
+        misses = t.misses;
+        evictions = t.evictions;
+        size = Hashtbl.length t.table;
+      })
+
+let create ?capacity ~name () =
+  (match capacity with
+  | Some c when c < 1 -> invalid_arg "Cache.create: capacity must be >= 1"
+  | _ -> ());
+  let t =
+    {
+      name;
+      capacity;
+      table = Hashtbl.create 256;
+      order = Queue.create ();
+      mutex = Mutex.create ();
+      hits = 0;
+      misses = 0;
+      evictions = 0;
+    }
+  in
+  Metrics.register_source ("cache." ^ name) (fun () ->
+      let s = stats t in
+      [
+        ("hits", float_of_int s.hits);
+        ("misses", float_of_int s.misses);
+        ("evictions", float_of_int s.evictions);
+        ("size", float_of_int s.size);
+      ]);
+  t
+
+let find_opt t key =
+  with_lock t (fun () ->
+      match Hashtbl.find_opt t.table key with
+      | Some v ->
+          t.hits <- t.hits + 1;
+          Some v
+      | None ->
+          t.misses <- t.misses + 1;
+          None)
+
+let add t key value =
+  with_lock t (fun () ->
+      if not (Hashtbl.mem t.table key) then begin
+        Hashtbl.replace t.table key value;
+        Queue.push key t.order;
+        match t.capacity with
+        | None -> ()
+        | Some cap ->
+            while Hashtbl.length t.table > cap do
+              let victim = Queue.pop t.order in
+              Hashtbl.remove t.table victim;
+              t.evictions <- t.evictions + 1
+            done
+      end)
+
+let find_or_add t key compute =
+  match find_opt t key with
+  | Some v -> v
+  | None ->
+      let v = compute () in
+      add t key v;
+      v
+
+let length t = with_lock t (fun () -> Hashtbl.length t.table)
+
+let hit_rate t =
+  let s = stats t in
+  let total = s.hits + s.misses in
+  if total = 0 then 0.0 else float_of_int s.hits /. float_of_int total
+
+let clear t =
+  with_lock t (fun () ->
+      Hashtbl.reset t.table;
+      Queue.clear t.order;
+      t.hits <- 0;
+      t.misses <- 0;
+      t.evictions <- 0)
+
+let name t = t.name

@@ -1,0 +1,39 @@
+(** Generic, mutex-protected, optionally bounded memoization cache.
+
+    This is the single cache implementation used across the pipeline
+    (verification feedback, spec evaluation, tableau construction, world
+    models) instead of hand-rolled per-module [Hashtbl]s.  Keys are
+    compared structurally; values must be deterministic functions of their
+    key, because two domains missing on the same key concurrently may both
+    run the computation (last write is kept — same value either way).
+
+    Every cache registers itself with {!Metrics} under [cache.<name>], so
+    hit/miss/eviction counts appear in the instrumentation summary. *)
+
+type ('k, 'v) t
+
+type stats = { hits : int; misses : int; evictions : int; size : int }
+
+val create : ?capacity:int -> name:string -> unit -> ('k, 'v) t
+(** Unbounded unless [capacity] is given; with [capacity], insertion-order
+    (FIFO) eviction keeps at most that many entries.
+    @raise Invalid_argument if [capacity < 1]. *)
+
+val find_or_add : ('k, 'v) t -> 'k -> (unit -> 'v) -> 'v
+(** The single lookup-then-insert pattern: one locked [find_opt], the
+    computation outside the lock on a miss, one locked insert. *)
+
+val find_opt : ('k, 'v) t -> 'k -> 'v option
+(** Counts a hit or a miss. *)
+
+val add : ('k, 'v) t -> 'k -> 'v -> unit
+(** No-op if the key is already present (first write wins). *)
+
+val stats : ('k, 'v) t -> stats
+
+val hit_rate : ('k, 'v) t -> float
+(** [hits / (hits + misses)]; 0 before any lookup. *)
+
+val length : ('k, 'v) t -> int
+val clear : ('k, 'v) t -> unit
+val name : ('k, 'v) t -> string

@@ -1,0 +1,122 @@
+(* Process-wide instrumentation registry.
+
+   Counters are atomic so worker domains can bump them without taking a
+   lock; timers accumulate wall-clock seconds under the registry mutex
+   (timed sections are coarse, so contention is negligible).  External
+   sources (e.g. cache statistics) register a thunk and are sampled when a
+   summary is produced. *)
+
+type counter = int Atomic.t
+
+type timer = { mutable total : float; mutable count : int }
+
+type entry = Counter of counter | Timer of timer
+
+let mutex = Mutex.create ()
+let entries : (string, entry) Hashtbl.t = Hashtbl.create 32
+let sources : (string * (unit -> (string * float) list)) list ref = ref []
+
+let with_lock f =
+  Mutex.lock mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock mutex) f
+
+let counter name =
+  with_lock (fun () ->
+      match Hashtbl.find_opt entries name with
+      | Some (Counter c) -> c
+      | Some (Timer _) -> invalid_arg ("Metrics.counter: " ^ name ^ " is a timer")
+      | None ->
+          let c = Atomic.make 0 in
+          Hashtbl.add entries name (Counter c);
+          c)
+
+let incr c = Atomic.incr c
+let add c n = ignore (Atomic.fetch_and_add c n)
+let value c = Atomic.get c
+
+let timer_entry name =
+  with_lock (fun () ->
+      match Hashtbl.find_opt entries name with
+      | Some (Timer t) -> t
+      | Some (Counter _) -> invalid_arg ("Metrics.time: " ^ name ^ " is a counter")
+      | None ->
+          let t = { total = 0.0; count = 0 } in
+          Hashtbl.add entries name (Timer t);
+          t)
+
+let record_time name seconds =
+  let t = timer_entry name in
+  with_lock (fun () ->
+      t.total <- t.total +. seconds;
+      t.count <- t.count + 1)
+
+let time name f =
+  let t0 = Unix.gettimeofday () in
+  Fun.protect ~finally:(fun () -> record_time name (Unix.gettimeofday () -. t0)) f
+
+let register_source name f =
+  with_lock (fun () ->
+      sources := (name, f) :: List.remove_assoc name !sources)
+
+let summary () =
+  let base =
+    with_lock (fun () ->
+        Hashtbl.fold
+          (fun name entry acc ->
+            match entry with
+            | Counter c -> (name, float_of_int (Atomic.get c)) :: acc
+            | Timer t ->
+                (name ^ ".seconds", t.total) :: (name ^ ".calls", float_of_int t.count)
+                :: acc)
+          entries [])
+  in
+  let srcs = with_lock (fun () -> !sources) in
+  let derived =
+    List.concat_map
+      (fun (name, f) -> List.map (fun (k, v) -> (name ^ "." ^ k, v)) (f ()))
+      srcs
+  in
+  List.sort (fun (a, _) (b, _) -> compare a b) (base @ derived)
+
+let reset () =
+  with_lock (fun () ->
+      Hashtbl.iter
+        (fun _ entry ->
+          match entry with
+          | Counter c -> Atomic.set c 0
+          | Timer t ->
+              t.total <- 0.0;
+              t.count <- 0)
+        entries)
+
+let src = Logs.Src.create "dpoaf.exec" ~doc:"DPO-AF execution engine"
+
+let report () =
+  let items = summary () in
+  Logs.app ~src (fun m ->
+      m "@[<v>execution metrics:@,%a@]"
+        (Fmt.list ~sep:Fmt.cut (fun ppf (k, v) ->
+             if Float.is_integer v && Float.abs v < 1e15 then
+               Fmt.pf ppf "  %-40s %.0f" k v
+             else Fmt.pf ppf "  %-40s %.6f" k v))
+        items)
+
+let to_json () =
+  let b = Buffer.create 256 in
+  Buffer.add_char b '{';
+  List.iteri
+    (fun i (k, v) ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_char b '"';
+      String.iter
+        (fun c ->
+          if c = '"' || c = '\\' then Buffer.add_char b '\\';
+          Buffer.add_char b c)
+        k;
+      Buffer.add_string b "\":";
+      if Float.is_integer v && Float.abs v < 1e15 then
+        Buffer.add_string b (Printf.sprintf "%.0f" v)
+      else Buffer.add_string b (Printf.sprintf "%.6f" v))
+    (summary ());
+  Buffer.add_char b '}';
+  Buffer.contents b

@@ -1,0 +1,44 @@
+(** Process-wide instrumentation: named counters, wall-clock timers and
+    pluggable statistic sources, surfaced through {!Logs} and as a
+    machine-readable JSON summary.
+
+    All operations are safe to call from any domain: counters are atomic,
+    timers and the registry are mutex-protected.  Names are global — two
+    modules asking for the same counter name share the same cell, which is
+    how per-stage totals (responses scored, model-checker calls, rollouts
+    run) accumulate across the pipeline. *)
+
+type counter
+
+val counter : string -> counter
+(** Intern (or retrieve) the counter with this name.
+    @raise Invalid_argument if the name is already used by a timer. *)
+
+val incr : counter -> unit
+val add : counter -> int -> unit
+val value : counter -> int
+
+val time : string -> (unit -> 'a) -> 'a
+(** [time name f] runs [f] and adds its wall-clock duration to the timer
+    [name].  A timer contributes [name.seconds] and [name.calls] to the
+    summary.  Re-entrant and domain-safe. *)
+
+val record_time : string -> float -> unit
+(** Add an externally measured duration (seconds) to a timer. *)
+
+val register_source : string -> (unit -> (string * float) list) -> unit
+(** Register a statistics source sampled at summary time; its items are
+    prefixed with [name.].  Registering the same name again replaces the
+    previous source. *)
+
+val summary : unit -> (string * float) list
+(** All metrics (counters, timers, sources), sorted by name. *)
+
+val report : unit -> unit
+(** Log the summary at [App] level via {!Logs}. *)
+
+val to_json : unit -> string
+(** The summary as a single-line JSON object. *)
+
+val reset : unit -> unit
+(** Zero all counters and timers (registered sources are kept). *)

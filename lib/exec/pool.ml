@@ -1,0 +1,181 @@
+(* Deterministic domain-parallel scheduler.
+
+   A pool of [jobs] execution slots: [jobs - 1] worker domains pulling
+   thunks from a shared queue, plus the submitting domain, which
+   participates in its own batches while it waits.  Results are written
+   into per-batch slots indexed by input position, so [parallel_map]
+   preserves input order no matter how work is interleaved — for pure
+   per-item functions the output is identical for every worker count,
+   which keeps all figures bit-for-bit reproducible for a given seed.
+
+   Nested parallelism degrades gracefully: a [parallel_map] issued from
+   inside a worker runs sequentially (a worker blocking on its own pool
+   would deadlock it). *)
+
+type t = {
+  jobs : int;
+  queue : (unit -> unit) Queue.t;
+  mutex : Mutex.t;
+  work : Condition.t;
+  mutable workers : unit Domain.t list;
+  mutable closed : bool;
+}
+
+let in_worker = Domain.DLS.new_key (fun () -> false)
+
+let tasks_run = Metrics.counter "exec.tasks_run"
+let batches = Metrics.counter "exec.batches"
+
+let rec worker_loop t =
+  Mutex.lock t.mutex;
+  let rec next () =
+    if not (Queue.is_empty t.queue) then begin
+      let job = Queue.pop t.queue in
+      Mutex.unlock t.mutex;
+      job ();
+      worker_loop t
+    end
+    else if t.closed then Mutex.unlock t.mutex
+    else begin
+      Condition.wait t.work t.mutex;
+      next ()
+    end
+  in
+  next ()
+
+let create ~jobs =
+  if jobs < 1 then invalid_arg "Pool.create: jobs must be >= 1";
+  let t =
+    {
+      jobs;
+      queue = Queue.create ();
+      mutex = Mutex.create ();
+      work = Condition.create ();
+      workers = [];
+      closed = false;
+    }
+  in
+  t.workers <-
+    List.init (jobs - 1) (fun _ ->
+        Domain.spawn (fun () ->
+            Domain.DLS.set in_worker true;
+            worker_loop t));
+  t
+
+let jobs t = t.jobs
+
+let shutdown t =
+  Mutex.lock t.mutex;
+  t.closed <- true;
+  Condition.broadcast t.work;
+  Mutex.unlock t.mutex;
+  List.iter Domain.join t.workers;
+  t.workers <- []
+
+(* Run one batch on the pool; the caller helps drain the queue, then waits
+   for stragglers picked up by other workers. *)
+let run_batch t (tasks : (unit -> unit) array) ~(pending : int Atomic.t)
+    ~(done_mutex : Mutex.t) ~(done_cond : Condition.t) =
+  Mutex.lock t.mutex;
+  if t.closed then begin
+    Mutex.unlock t.mutex;
+    invalid_arg "Pool: batch submitted after shutdown"
+  end;
+  Array.iter (fun task -> Queue.push task t.queue) tasks;
+  Condition.broadcast t.work;
+  Mutex.unlock t.mutex;
+  let rec help () =
+    Mutex.lock t.mutex;
+    if Queue.is_empty t.queue then Mutex.unlock t.mutex
+    else begin
+      let job = Queue.pop t.queue in
+      Mutex.unlock t.mutex;
+      job ();
+      help ()
+    end
+  in
+  help ();
+  Mutex.lock done_mutex;
+  while Atomic.get pending > 0 do
+    Condition.wait done_cond done_mutex
+  done;
+  Mutex.unlock done_mutex
+
+let mapi_on_pool t f xs =
+  let arr = Array.of_list xs in
+  let n = Array.length arr in
+  if n = 0 then []
+  else if t.jobs = 1 || n = 1 || Domain.DLS.get in_worker then List.mapi f xs
+  else begin
+    Metrics.incr batches;
+    Metrics.add tasks_run n;
+    let results = Array.make n None in
+    let pending = Atomic.make n in
+    let done_mutex = Mutex.create () in
+    let done_cond = Condition.create () in
+    let task i () =
+      let r =
+        try Ok (f i arr.(i))
+        with e -> Error (e, Printexc.get_raw_backtrace ())
+      in
+      results.(i) <- Some r;
+      if Atomic.fetch_and_add pending (-1) = 1 then begin
+        Mutex.lock done_mutex;
+        Condition.signal done_cond;
+        Mutex.unlock done_mutex
+      end
+    in
+    run_batch t (Array.init n task) ~pending ~done_mutex ~done_cond;
+    (* re-raise the lowest-index failure, deterministically *)
+    List.init n (fun i ->
+        match results.(i) with
+        | Some (Ok v) -> v
+        | Some (Error (e, bt)) -> Printexc.raise_with_backtrace e bt
+        | None -> assert false)
+  end
+
+let map_on_pool t f xs = mapi_on_pool t (fun _ x -> f x) xs
+
+(* ---------------- shared default pool ---------------- *)
+
+let default_jobs_ref = Atomic.make 1
+let shared : t option ref = ref None
+let shared_mutex = Mutex.create ()
+
+let default_jobs () = Atomic.get default_jobs_ref
+
+let set_default_jobs n =
+  if n < 1 then invalid_arg "Pool.set_default_jobs: jobs must be >= 1";
+  Mutex.lock shared_mutex;
+  Atomic.set default_jobs_ref n;
+  (match !shared with
+  | Some p when p.jobs <> n ->
+      shutdown p;
+      shared := None
+  | _ -> ());
+  Mutex.unlock shared_mutex
+
+let get_default () =
+  Mutex.lock shared_mutex;
+  let p =
+    match !shared with
+    | Some p -> p
+    | None ->
+        let p = create ~jobs:(Atomic.get default_jobs_ref) in
+        shared := Some p;
+        p
+  in
+  Mutex.unlock shared_mutex;
+  p
+
+let parallel_mapi ?jobs f xs =
+  match jobs with
+  | Some 1 -> List.mapi f xs
+  | Some n when n <> default_jobs () ->
+      let p = create ~jobs:n in
+      Fun.protect ~finally:(fun () -> shutdown p) (fun () -> mapi_on_pool p f xs)
+  | _ ->
+      if default_jobs () = 1 then List.mapi f xs
+      else mapi_on_pool (get_default ()) f xs
+
+let parallel_map ?jobs f xs = parallel_mapi ?jobs (fun _ x -> f x) xs

@@ -5,6 +5,8 @@ module Pref_data = Dpoaf_dpo.Pref_data
 module Trainer = Dpoaf_dpo.Trainer
 module Rng = Dpoaf_util.Rng
 module Stats = Dpoaf_util.Stats
+module Pool = Dpoaf_exec.Pool
+module Metrics = Dpoaf_exec.Metrics
 
 type config = {
   responses_per_task : int;
@@ -21,42 +23,55 @@ let default_config =
     trainer = Trainer.default_config;
   }
 
-let sample_scored ?(harden = false) corpus feedback model rng ~m ~temperature setup =
+(* Sampling consumes the shared RNG stream and stays sequential — the token
+   sequences are therefore identical for every worker count.  Scoring is a
+   pure function of the tokens (verification + shared cache), so it fans
+   out across the pool, order-preserved by [parallel_map]. *)
+let sample_scored ?(harden = false) ?jobs corpus feedback model rng ~m ~temperature
+    setup =
   let snap = Sampler.snapshot model in
+  let sampled =
+    List.init m (fun _ ->
+        Sampler.sample snap rng ~prompt:setup.Corpus.prompt
+          ~grammar:setup.Corpus.grammar ~min_clauses:setup.Corpus.min_clauses
+          ~max_clauses:setup.Corpus.max_clauses ~temperature ())
+  in
   let score =
     if harden then Feedback.score_tokens_hardened else Feedback.score_tokens
   in
-  List.init m (fun _ ->
-      let tokens =
-        Sampler.sample snap rng ~prompt:setup.Corpus.prompt
-          ~grammar:setup.Corpus.grammar ~min_clauses:setup.Corpus.min_clauses
-          ~max_clauses:setup.Corpus.max_clauses ~temperature ()
-      in
-      { Pref_data.tokens; score = score feedback ~corpus setup tokens })
-
-let collect_pairs corpus feedback model rng ~m ?(temperature = 1.0) split =
-  List.concat_map
-    (fun setup ->
-      let scored = sample_scored corpus feedback model rng ~m ~temperature setup in
-      Pref_data.pairs_of_scored ~task_id:setup.Corpus.task.Tasks.id
-        ~prompt:setup.Corpus.prompt ~grammar:setup.Corpus.grammar
-        ~min_clauses:setup.Corpus.min_clauses ~max_clauses:setup.Corpus.max_clauses
-        scored)
-    (Corpus.setups_of_split corpus split)
-
-let mean_specs_satisfied ?(harden = false) corpus feedback model rng ~samples
-    ?(temperature = 1.0) split =
-  let setups = Corpus.setups_of_split corpus split in
-  let per_task =
-    List.map
-      (fun setup ->
-        let scored =
-          sample_scored ~harden corpus feedback model rng ~m:samples ~temperature setup
-        in
-        Stats.mean (List.map (fun s -> float_of_int s.Pref_data.score) scored))
-      setups
+  let scores =
+    Pool.parallel_map ?jobs (fun tokens -> score feedback ~corpus setup tokens) sampled
   in
-  Stats.mean per_task
+  List.map2 (fun tokens score -> { Pref_data.tokens; score }) sampled scores
+
+let collect_pairs ?jobs corpus feedback model rng ~m ?(temperature = 1.0) split =
+  Metrics.time "pipeline.collect_pairs" (fun () ->
+      List.concat_map
+        (fun setup ->
+          let scored =
+            sample_scored ?jobs corpus feedback model rng ~m ~temperature setup
+          in
+          Pref_data.pairs_of_scored ~task_id:setup.Corpus.task.Tasks.id
+            ~prompt:setup.Corpus.prompt ~grammar:setup.Corpus.grammar
+            ~min_clauses:setup.Corpus.min_clauses
+            ~max_clauses:setup.Corpus.max_clauses scored)
+        (Corpus.setups_of_split corpus split))
+
+let mean_specs_satisfied ?(harden = false) ?jobs corpus feedback model rng ~samples
+    ?(temperature = 1.0) split =
+  Metrics.time "pipeline.evaluate" (fun () ->
+      let setups = Corpus.setups_of_split corpus split in
+      let per_task =
+        List.map
+          (fun setup ->
+            let scored =
+              sample_scored ~harden ?jobs corpus feedback model rng ~m:samples
+                ~temperature setup
+            in
+            Stats.mean (List.map (fun s -> float_of_int s.Pref_data.score) scored))
+          setups
+      in
+      Stats.mean per_task)
 
 type checkpoint_eval = { epoch : int; training_score : float; validation_score : float }
 
@@ -75,10 +90,11 @@ type round_eval = {
   validation_score : float;
 }
 
-let run_iterative ?(config = default_config) ~rounds ~corpus ~feedback ~reference rng =
+let run_iterative ?(config = default_config) ?jobs ~rounds ~corpus ~feedback
+    ~reference rng =
   let eval policy =
     let score split =
-      mean_specs_satisfied corpus feedback policy (Rng.split rng)
+      mean_specs_satisfied ?jobs corpus feedback policy (Rng.split rng)
         ~samples:config.eval_samples ~temperature:config.temperature split
     in
     (score Tasks.Training, score Tasks.Validation)
@@ -87,7 +103,7 @@ let run_iterative ?(config = default_config) ~rounds ~corpus ~feedback ~referenc
     if round > rounds then (List.rev acc, policy)
     else begin
       let pairs =
-        collect_pairs corpus feedback policy rng ~m:config.responses_per_task
+        collect_pairs ?jobs corpus feedback policy rng ~m:config.responses_per_task
           ~temperature:config.temperature Tasks.Training
       in
       (* each round anchors the DPO reference at the current policy *)
@@ -120,12 +136,15 @@ let reinforce_tasks corpus feedback split =
       })
     (Corpus.setups_of_split corpus split)
 
-let run ?(config = default_config) ~corpus ~feedback ~reference ~seeds rng =
+let run ?(config = default_config) ?jobs ~corpus ~feedback ~reference ~seeds rng =
   let pairs =
-    collect_pairs corpus feedback reference rng ~m:config.responses_per_task
+    collect_pairs ?jobs corpus feedback reference rng ~m:config.responses_per_task
       ~temperature:config.temperature Tasks.Training
   in
-  let runs = Trainer.train_seeds ~reference ~pairs config.trainer ~seeds in
+  let runs =
+    Metrics.time "pipeline.train" (fun () ->
+        Trainer.train_seeds ?jobs ~reference ~pairs config.trainer ~seeds)
+  in
   let curve =
     match runs with
     | [] -> []
@@ -133,7 +152,7 @@ let run ?(config = default_config) ~corpus ~feedback ~reference ~seeds rng =
         List.map
           (fun (epoch, model) ->
             let eval split =
-              mean_specs_satisfied corpus feedback model (Rng.split rng)
+              mean_specs_satisfied ?jobs corpus feedback model (Rng.split rng)
                 ~samples:config.eval_samples ~temperature:config.temperature split
             in
             {

@@ -14,6 +14,7 @@ type config = {
 val default_config : config
 
 val collect_pairs :
+  ?jobs:int ->
   Corpus.t ->
   Feedback.t ->
   Dpoaf_lm.Model.t ->
@@ -23,10 +24,16 @@ val collect_pairs :
   Dpoaf_driving.Tasks.split ->
   Dpoaf_dpo.Pref_data.pair list
 (** Sample [m] responses per task of the split, score each by formal
-    verification, and mine all distinct-score pairs (§4.3). *)
+    verification, and mine all distinct-score pairs (§4.3).
+
+    Sampling is sequential on the given RNG; scoring fans out over
+    [?jobs] workers (default {!Dpoaf_exec.Pool.default_jobs}) through the
+    order-preserving scheduler, so the result is identical for every
+    worker count. *)
 
 val mean_specs_satisfied :
   ?harden:bool ->
+  ?jobs:int ->
   Corpus.t ->
   Feedback.t ->
   Dpoaf_lm.Model.t ->
@@ -55,6 +62,7 @@ type round_eval = {
 
 val run_iterative :
   ?config:config ->
+  ?jobs:int ->
   rounds:int ->
   corpus:Corpus.t ->
   feedback:Feedback.t ->
@@ -81,6 +89,7 @@ type result = {
 
 val run :
   ?config:config ->
+  ?jobs:int ->
   corpus:Corpus.t ->
   feedback:Feedback.t ->
   reference:Dpoaf_lm.Model.t ->

@@ -1,17 +1,25 @@
 module Evaluate = Dpoaf_driving.Evaluate
 module Models = Dpoaf_driving.Models
 module Tasks = Dpoaf_driving.Tasks
+module Cache = Dpoaf_exec.Cache
+module Metrics = Dpoaf_exec.Metrics
+
+(* (task id, tokens, hardened?) — the full identity of a scoring request *)
+type key = string * int list * bool
 
 type t = {
   model : Dpoaf_automata.Ts.t;
-  cache : (string * int list * bool, int) Hashtbl.t;
-  mutable hits : int;
-  mutable misses : int;
+  cache : (key, int) Cache.t;
 }
+
+let responses_scored = Metrics.counter "feedback.responses_scored"
 
 let create ?model () =
   let model = match model with Some m -> m | None -> Models.universal () in
-  { model; cache = Hashtbl.create 256; hits = 0; misses = 0 }
+  (* Pre-build shared read-only structures so worker domains never race on
+     their first-use initialization. *)
+  ignore (Evaluate.lexicon ());
+  { model; cache = Cache.create ~name:"feedback.scores" () }
 
 let score_steps t ~task_id:_ steps =
   Evaluate.count_specs_of_steps ~model:t.model steps
@@ -21,15 +29,8 @@ let count_specs_of_clauses t clauses =
   Evaluate.count_specs ~model:t.model controller
 
 let cached t key compute =
-  match Hashtbl.find_opt t.cache key with
-  | Some score ->
-      t.hits <- t.hits + 1;
-      score
-  | None ->
-      t.misses <- t.misses + 1;
-      let score = compute () in
-      Hashtbl.add t.cache key score;
-      score
+  Metrics.incr responses_scored;
+  Cache.find_or_add t.cache key compute
 
 let clauses_of_tokens corpus tokens =
   let steps = Corpus.steps_of_tokens corpus tokens in
@@ -50,4 +51,4 @@ let score_tokens_hardened t ~corpus setup tokens =
       in
       count_specs_of_clauses t hardened)
 
-let cache_stats t = (t.hits, t.misses)
+let cache_stats t = Cache.stats t.cache

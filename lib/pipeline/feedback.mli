@@ -24,5 +24,7 @@ val score_tokens_hardened :
     ({!Dpoaf_lang.Repair.harden}) of its clauses — the post-hoc hardening
     baseline. *)
 
-val cache_stats : t -> int * int
-(** (hits, misses) — for reporting verification cost. *)
+val cache_stats : t -> Dpoaf_exec.Cache.stats
+(** Hits, misses, evictions and current size of the verification cache —
+    for reporting verification cost.  The cache is the shared
+    {!Dpoaf_exec.Cache}, so scoring is safe from any worker domain. *)

@@ -1,5 +1,7 @@
 module Rng = Dpoaf_util.Rng
 module Trace = Dpoaf_logic.Trace
+module Pool = Dpoaf_exec.Pool
+module Metrics = Dpoaf_exec.Metrics
 
 type config = { rollouts : int; steps : int; noise : World.noise; seed : int }
 
@@ -14,12 +16,28 @@ let default_config =
 let satisfaction_rate phi words =
   Dpoaf_util.Stats.fraction (fun word -> Trace.eval_finite phi word) words
 
-let evaluate ?shield ~model ~controller ~specs config =
-  let rng = Rng.create config.seed in
-  let words =
-    List.init config.rollouts (fun _ ->
-        let world = World.create ~noise:config.noise ~model (Rng.split rng) in
-        Runner.to_symbols
-          (Runner.run ?shield world controller ~steps:config.steps (Rng.split rng)))
-  in
-  List.map (fun (name, phi) -> (name, satisfaction_rate phi words)) specs
+let rollouts_run = Metrics.counter "sim.rollouts"
+
+let evaluate ?jobs ?shield ~model ~controller ~specs config =
+  Metrics.time "sim.evaluate" (fun () ->
+      let rng = Rng.create config.seed in
+      (* Split both per-rollout streams sequentially, in the exact order the
+         sequential loop consumed them, then fan the rollouts out — the
+         grounded words are identical for every worker count. *)
+      let rec streams i acc =
+        if i >= config.rollouts then List.rev acc
+        else
+          let world_rng = Rng.split rng in
+          let run_rng = Rng.split rng in
+          streams (i + 1) ((world_rng, run_rng) :: acc)
+      in
+      let words =
+        Pool.parallel_map ?jobs
+          (fun (world_rng, run_rng) ->
+            let world = World.create ~noise:config.noise ~model world_rng in
+            Runner.to_symbols
+              (Runner.run ?shield world controller ~steps:config.steps run_rng))
+          (streams 0 [])
+      in
+      Metrics.add rollouts_run config.rollouts;
+      List.map (fun (name, phi) -> (name, satisfaction_rate phi words)) specs)

@@ -24,6 +24,7 @@ val satisfaction_rate :
 (** [P_Φ] over already-grounded words. *)
 
 val evaluate :
+  ?jobs:int ->
   ?shield:Shield.t ->
   model:Dpoaf_automata.Ts.t ->
   controller:Dpoaf_automata.Fsa.t ->
@@ -31,4 +32,9 @@ val evaluate :
   config ->
   (string * float) list
 (** Run rollouts once and score every specification on them; with
-    [?shield] the runs are shielded (see {!Shield}). *)
+    [?shield] the runs are shielded (see {!Shield}).
+
+    Rollouts fan out over [?jobs] workers (default
+    {!Dpoaf_exec.Pool.default_jobs}); each rollout's RNG streams are split
+    from the seed sequentially before the parallel region, so the rates
+    are bit-for-bit identical for every worker count. *)

@@ -1,0 +1,189 @@
+open Dpoaf_exec
+
+(* ---------------- pool lifecycle ---------------- *)
+
+let test_pool_create_teardown () =
+  let pool = Pool.create ~jobs:3 in
+  Alcotest.(check int) "slots" 3 (Pool.jobs pool);
+  let out = Pool.map_on_pool pool (fun x -> x * x) [ 1; 2; 3; 4; 5 ] in
+  Alcotest.(check (list int)) "squares" [ 1; 4; 9; 16; 25 ] out;
+  Pool.shutdown pool;
+  (* idempotent *)
+  Pool.shutdown pool;
+  Alcotest.(check bool) "submit after shutdown raises" true
+    (try
+       ignore (Pool.map_on_pool pool (fun x -> x) [ 1; 2; 3 ]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_pool_rejects_zero_jobs () =
+  Alcotest.(check bool) "jobs < 1 rejected" true
+    (try ignore (Pool.create ~jobs:0); false
+     with Invalid_argument _ -> true)
+
+let test_order_preserved () =
+  let xs = List.init 100 Fun.id in
+  let expected = List.mapi (fun i x -> (i, 3 * x)) xs in
+  let got = Pool.parallel_mapi ~jobs:4 (fun i x -> (i, 3 * x)) xs in
+  Alcotest.(check bool) "slots by input index" true (got = expected)
+
+let test_empty_and_singleton () =
+  Alcotest.(check (list int)) "empty" []
+    (Pool.parallel_map ~jobs:4 (fun x -> x) []);
+  Alcotest.(check (list int)) "singleton" [ 7 ]
+    (Pool.parallel_map ~jobs:4 (fun x -> x + 1) [ 6 ])
+
+exception Boom of int
+
+let test_exception_propagates () =
+  let pool = Pool.create ~jobs:4 in
+  Fun.protect ~finally:(fun () -> Pool.shutdown pool) @@ fun () ->
+  Alcotest.(check bool) "worker exception reaches caller" true
+    (try
+       ignore
+         (Pool.map_on_pool pool
+            (fun x -> if x = 5 then raise (Boom x) else x)
+            (List.init 10 Fun.id));
+       false
+     with Boom 5 -> true);
+  (* the batch completed: the pool is still usable afterwards *)
+  Alcotest.(check (list int)) "pool survives the failure" [ 2; 4; 6 ]
+    (Pool.map_on_pool pool (fun x -> 2 * x) [ 1; 2; 3 ])
+
+let test_nested_fallback () =
+  (* a parallel_map issued from inside a worker must not deadlock *)
+  let out =
+    Pool.parallel_map ~jobs:4
+      (fun x ->
+        List.fold_left ( + ) 0
+          (Pool.parallel_map ~jobs:4 (fun y -> x * y) [ 1; 2; 3 ]))
+      (List.init 8 Fun.id)
+  in
+  Alcotest.(check (list int)) "nested result"
+    (List.init 8 (fun x -> 6 * x))
+    out
+
+let test_default_pool_setting () =
+  let before = Pool.default_jobs () in
+  Pool.set_default_jobs 2;
+  Alcotest.(check int) "default updated" 2 (Pool.default_jobs ());
+  let out = Pool.parallel_map (fun x -> x + 10) [ 1; 2; 3 ] in
+  Alcotest.(check (list int)) "uses shared pool" [ 11; 12; 13 ] out;
+  Pool.set_default_jobs before
+
+(* ---------------- cache ---------------- *)
+
+let test_cache_hit_miss () =
+  let cache = Cache.create ~name:"test.hitmiss" () in
+  let calls = ref 0 in
+  let get k = Cache.find_or_add cache k (fun () -> incr calls; k * 2) in
+  Alcotest.(check int) "computed" 10 (get 5);
+  Alcotest.(check int) "cached" 10 (get 5);
+  Alcotest.(check int) "other key" 14 (get 7);
+  Alcotest.(check int) "computation ran twice" 2 !calls;
+  let s = Cache.stats cache in
+  Alcotest.(check int) "hits" 1 s.Cache.hits;
+  Alcotest.(check int) "misses" 2 s.Cache.misses;
+  Alcotest.(check int) "size" 2 s.Cache.size;
+  Alcotest.(check (float 1e-9)) "hit rate" (1.0 /. 3.0) (Cache.hit_rate cache)
+
+let test_cache_eviction () =
+  let cache = Cache.create ~capacity:3 ~name:"test.evict" () in
+  List.iter (fun k -> Cache.add cache k (10 * k)) [ 1; 2; 3; 4; 5 ];
+  Alcotest.(check int) "bounded" 3 (Cache.length cache);
+  let s = Cache.stats cache in
+  Alcotest.(check int) "evictions" 2 s.Cache.evictions;
+  (* FIFO: oldest keys 1 and 2 are gone, 3..5 remain *)
+  Alcotest.(check (option int)) "evicted" None (Cache.find_opt cache 1);
+  Alcotest.(check (option int)) "kept" (Some 50) (Cache.find_opt cache 5)
+
+let test_cache_concurrent_agreement () =
+  (* many domains racing on the same keys: every reader sees the
+     deterministic value of its key *)
+  let cache = Cache.create ~name:"test.race" () in
+  let out =
+    Pool.parallel_map ~jobs:4
+      (fun i ->
+        let k = i mod 5 in
+        Cache.find_or_add cache k (fun () -> k * k))
+      (List.init 40 Fun.id)
+  in
+  Alcotest.(check bool) "all values deterministic" true
+    (List.for_all2 (fun i v -> v = (i mod 5) * (i mod 5))
+       (List.init 40 Fun.id) out);
+  Alcotest.(check int) "at most 5 entries" 5 (Cache.length cache)
+
+(* ---------------- metrics ---------------- *)
+
+let test_metrics_counters_and_timers () =
+  let c = Metrics.counter "test.counter" in
+  let base = Metrics.value c in
+  Metrics.incr c;
+  Metrics.add c 4;
+  Alcotest.(check int) "counter arithmetic" (base + 5) (Metrics.value c);
+  let r = Metrics.time "test.timer" (fun () -> 42) in
+  Alcotest.(check int) "timer returns result" 42 r;
+  let summary = Metrics.summary () in
+  Alcotest.(check bool) "timer calls in summary" true
+    (List.mem_assoc "test.timer.calls" summary);
+  Alcotest.(check bool) "counter in summary" true
+    (List.mem_assoc "test.counter" summary);
+  let contains hay needle =
+    let h = String.length hay and n = String.length needle in
+    let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "json mentions counter" true
+    (contains (Metrics.to_json ()) {|"test.counter"|})
+
+(* ---------------- qcheck: parallel_map = List.map ---------------- *)
+
+let prop_parallel_map_pure k =
+  QCheck.Test.make ~count:50
+    ~name:(Printf.sprintf "parallel_map ~jobs:%d = List.map" k)
+    QCheck.(list small_int)
+    (fun xs ->
+      let f x = (x * x) + 7 in
+      Pool.parallel_map ~jobs:k f xs = List.map f xs)
+
+let prop_parallel_mapi_pure k =
+  QCheck.Test.make ~count:50
+    ~name:(Printf.sprintf "parallel_mapi ~jobs:%d = List.mapi" k)
+    QCheck.(list small_int)
+    (fun xs ->
+      let f i x = i + (2 * x) in
+      Pool.parallel_mapi ~jobs:k f xs = List.mapi f xs)
+
+let qsuite name tests =
+  (name, List.map (QCheck_alcotest.to_alcotest ~verbose:false) tests)
+
+let () =
+  Alcotest.run "exec"
+    [
+      ( "pool",
+        [
+          Alcotest.test_case "create/teardown" `Quick test_pool_create_teardown;
+          Alcotest.test_case "rejects jobs=0" `Quick test_pool_rejects_zero_jobs;
+          Alcotest.test_case "order preserved" `Quick test_order_preserved;
+          Alcotest.test_case "empty and singleton" `Quick test_empty_and_singleton;
+          Alcotest.test_case "exception propagation" `Quick test_exception_propagates;
+          Alcotest.test_case "nested fallback" `Quick test_nested_fallback;
+          Alcotest.test_case "shared default pool" `Quick test_default_pool_setting;
+        ] );
+      ( "cache",
+        [
+          Alcotest.test_case "hit/miss accounting" `Quick test_cache_hit_miss;
+          Alcotest.test_case "FIFO eviction" `Quick test_cache_eviction;
+          Alcotest.test_case "concurrent agreement" `Quick
+            test_cache_concurrent_agreement;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "counters and timers" `Quick
+            test_metrics_counters_and_timers;
+        ] );
+      qsuite "properties"
+        (List.concat_map
+           (fun k -> [ prop_parallel_map_pure k; prop_parallel_mapi_pure k ])
+           [ 1; 2; 4 ]);
+    ]

@@ -78,9 +78,10 @@ let test_feedback_scores_and_caches () =
   Alcotest.(check int) "good scores 15" 15 sg;
   Alcotest.(check bool) "bad well below" true (sb <= 9);
   let _ = Feedback.score_tokens feedback ~corpus setup good in
-  let hits, misses = Feedback.cache_stats feedback in
-  Alcotest.(check int) "one hit" 1 hits;
-  Alcotest.(check int) "two misses" 2 misses
+  let stats = Feedback.cache_stats feedback in
+  Alcotest.(check int) "one hit" 1 stats.Dpoaf_exec.Cache.hits;
+  Alcotest.(check int) "two misses" 2 stats.Dpoaf_exec.Cache.misses;
+  Alcotest.(check int) "two entries" 2 stats.Dpoaf_exec.Cache.size
 
 let test_feedback_scenario_model_option () =
   let feedback =
@@ -144,6 +145,38 @@ let test_collect_pairs_valid () =
       let task = Tasks.find p.Pref_data.task_id in
       Alcotest.(check bool) "training split" true (task.Tasks.split = Tasks.Training))
     pairs
+
+(* jobs=1 and jobs=4 must produce identical preference pairs and identical
+   spec counts for the same seed: sampling stays on the sequential RNG
+   stream and scoring is order-preserved by the scheduler. *)
+let test_collect_pairs_jobs_deterministic () =
+  let model = small_model 3 in
+  let run jobs =
+    let feedback = Feedback.create () in
+    Dpoaf.collect_pairs ~jobs corpus feedback model (Rng.create 4) ~m:8
+      Tasks.Training
+  in
+  let seq = run 1 in
+  let par = run 4 in
+  Alcotest.(check int) "same pair count" (List.length seq) (List.length par);
+  List.iter2
+    (fun (a : Pref_data.pair) (b : Pref_data.pair) ->
+      Alcotest.(check string) "task" a.Pref_data.task_id b.Pref_data.task_id;
+      Alcotest.(check (list int)) "chosen" a.Pref_data.chosen b.Pref_data.chosen;
+      Alcotest.(check (list int)) "rejected" a.Pref_data.rejected b.Pref_data.rejected;
+      Alcotest.(check int) "chosen score" a.Pref_data.chosen_score b.Pref_data.chosen_score;
+      Alcotest.(check int) "rejected score" a.Pref_data.rejected_score
+        b.Pref_data.rejected_score)
+    seq par
+
+let test_mean_specs_jobs_deterministic () =
+  let model = small_model 5 in
+  let score jobs =
+    let feedback = Feedback.create () in
+    Dpoaf.mean_specs_satisfied ~jobs corpus feedback model (Rng.create 6) ~samples:6
+      Tasks.Training
+  in
+  Alcotest.(check (float 0.0)) "identical mean spec count" (score 1) (score 4)
 
 let test_mean_specs_range () =
   let model = small_model 5 in
@@ -272,6 +305,10 @@ let () =
       ( "pairs",
         [
           Alcotest.test_case "collect valid" `Slow test_collect_pairs_valid;
+          Alcotest.test_case "collect jobs-deterministic" `Slow
+            test_collect_pairs_jobs_deterministic;
+          Alcotest.test_case "mean specs jobs-deterministic" `Slow
+            test_mean_specs_jobs_deterministic;
           Alcotest.test_case "mean specs range" `Slow test_mean_specs_range;
         ] );
       ( "end-to-end",

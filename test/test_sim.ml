@@ -151,6 +151,22 @@ let test_noise_degrades_safety () =
   in
   Alcotest.(check bool) "noise causes violations" true (List.assoc "phi_5" rates < 1.0)
 
+let test_empirical_jobs_deterministic () =
+  (* Rollout RNG streams are split before the parallel region, so the
+     rates must be bit-identical for any worker count. *)
+  let eval jobs =
+    Empirical.evaluate ~jobs ~model:(tl_model ())
+      ~controller:(before_ft_controller ())
+      ~specs:Specs.first_five
+      { Empirical.rollouts = 120; steps = 30;
+        noise = { World.miss_rate = 0.05; false_rate = 0.02 }; seed = 17 }
+  in
+  let seq = eval 1 and par = eval 4 in
+  List.iter2
+    (fun (name, a) (_, b) ->
+      Alcotest.(check (float 0.0)) (name ^ " identical across jobs") a b)
+    seq par
+
 let test_satisfaction_rate_direct () =
   let phi = Ltl.parse_exn "G (p -> q)" in
   let word atoms = Array.of_list (List.map Symbol.of_atoms atoms) in
@@ -316,6 +332,8 @@ let () =
             test_flawed_controller_violates_phi5_sometimes;
           Alcotest.test_case "after >= before (fig 11)" `Slow test_before_below_after;
           Alcotest.test_case "noise degrades safety" `Quick test_noise_degrades_safety;
+          Alcotest.test_case "jobs-deterministic" `Quick
+            test_empirical_jobs_deterministic;
           Alcotest.test_case "rate arithmetic" `Quick test_satisfaction_rate_direct;
         ] );
       ( "shield",
