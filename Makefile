@@ -1,4 +1,4 @@
-.PHONY: all build test bench check clean
+.PHONY: all build test bench check trace-check clean
 
 all: build
 
@@ -11,12 +11,23 @@ test:
 bench:
 	dune exec bench/main.exe
 
-# The one-stop gate: full build, the whole test pyramid, then a fast
-# benchmark pass on two workers to exercise the parallel scheduler.
+# The one-stop gate: full build, the whole test pyramid, a fast benchmark
+# pass on two workers to exercise the parallel scheduler, then the
+# telemetry round-trip.
 check:
 	dune build
 	dune runtest
 	dune exec bench/main.exe -- --fast --jobs 2
+	$(MAKE) trace-check
+
+# Telemetry round-trip: record a traced 2-worker bench section, then
+# validate the JSONL event log, the Perfetto trace and the metrics JSON.
+trace-check:
+	dune build bench/main.exe test/trace_validate.exe
+	dune exec bench/main.exe -- --fast --only speedup --jobs 2 \
+	  --trace _build/trace-check.jsonl --metrics-json _build/trace-check.metrics.json
+	dune exec test/trace_validate.exe -- _build/trace-check.jsonl _build/trace-check.metrics.json
+	dune exec bin/dpoaf_cli.exe -- report _build/trace-check.jsonl
 
 clean:
 	dune clean

@@ -7,6 +7,11 @@
      dune exec bench/main.exe -- --jobs 4   domain-parallel scoring/rollouts
 
    With --csv DIR, each printed table is also written as DIR/<name>.csv.
+   With --trace FILE, spans and metrics are recorded to FILE (JSONL, plus
+   FILE.perfetto.json for chrome://tracing); --metrics-json FILE writes the
+   final metrics summary as JSON; --section-metrics prints each section's
+   own metric delta (Metrics.delta of summary snapshots — process-lifetime
+   totals are never reset).
 
    Sections:
      fig7   §5.1 right-turn worked example (before/after, Φ5 counterexample)
@@ -62,13 +67,20 @@ let only =
 
 let enabled name = match only with None -> true | Some l -> List.mem name l
 
-let csv_dir =
+let string_opt flag =
   let rec find i =
     if i >= Array.length Sys.argv - 1 then None
-    else if Sys.argv.(i) = "--csv" then Some Sys.argv.(i + 1)
+    else if Sys.argv.(i) = flag then Some Sys.argv.(i + 1)
     else find (i + 1)
   in
   find 1
+
+let csv_dir = string_opt "--csv"
+let trace_file = string_opt "--trace"
+let metrics_json_file = string_opt "--metrics-json"
+let section_metrics = Array.exists (( = ) "--section-metrics") Sys.argv
+
+let () = if trace_file <> None then Dpoaf_exec.Trace.enable ()
 
 (* print a table and, with --csv DIR, also write DIR/<name>.csv *)
 let emit name table =
@@ -205,7 +217,11 @@ let fig8 () =
     let stat_at epoch f =
       List.map
         (fun run ->
-          let s = List.find (fun s -> s.Trainer.epoch = epoch) run.Trainer.stats in
+          let s =
+            List.find
+              (fun (s : Trainer.epoch_stats) -> s.Trainer.epoch = epoch)
+              run.Trainer.stats
+          in
           f s)
         runs
     in
@@ -836,26 +852,57 @@ let micro () =
 
 (* ------------------------------------------------------------------ *)
 
+let sections =
+  [
+    ("fig7", fig7);
+    ("fig18", fig18);
+    ("fig8", fig8);
+    ("fig9", fig9);
+    ("fig11", fig11);
+    ("fig12", fig12);
+    ("fig13", fig13);
+    ("shield", shield_section);
+    ("abl-rank", ablation_rank);
+    ("abl-decode", ablation_decoding);
+    ("abl-repair", ablation_repair);
+    ("abl-rl", ablation_rl);
+    ("abl-arch", ablation_arch);
+    ("iter-dpo", iterative_dpo);
+    ("speedup", speedup);
+    ("micro", micro);
+  ]
+
+(* Scope each section's metrics with delta snapshots rather than resets —
+   the final summary still covers the whole process, and the trace's
+   terminating metrics line stays a lifetime total. *)
+let run_section (name, f) =
+  if not (enabled name) then f ()
+  else begin
+    let before = Dpoaf_exec.Metrics.summary () in
+    Dpoaf_exec.Trace.with_span ~cat:"bench" name f;
+    if section_metrics then
+      let d = Dpoaf_exec.Metrics.delta before (Dpoaf_exec.Metrics.summary ()) in
+      Printf.printf "\n[%s] section metrics: %s\n" name
+        (Dpoaf_exec.Metrics.json_of_items
+           (List.filter (fun (_, v) -> v <> 0.0) d))
+  end
+
 let () =
-  let (), elapsed =
-    wallclock (fun () ->
-        fig7 ();
-        fig18 ();
-        fig8 ();
-        fig9 ();
-        fig11 ();
-        fig12 ();
-        fig13 ();
-        shield_section ();
-        ablation_rank ();
-        ablation_decoding ();
-        ablation_repair ();
-        ablation_rl ();
-        ablation_arch ();
-        iterative_dpo ();
-        speedup ();
-        micro ())
-  in
+  let (), elapsed = wallclock (fun () -> List.iter run_section sections) in
   Printf.printf "\nall requested sections completed in %.1fs (--jobs %d)\n" elapsed
     jobs;
+  (match trace_file with
+  | None -> ()
+  | Some path ->
+      Dpoaf_exec.Trace.write_jsonl path;
+      Dpoaf_exec.Trace.write_chrome (path ^ ".perfetto.json");
+      Printf.printf "trace written to %s (and %s.perfetto.json)\n" path path);
+  (match metrics_json_file with
+  | None -> ()
+  | Some path ->
+      let oc = open_out path in
+      output_string oc (Dpoaf_exec.Metrics.to_json ());
+      output_char oc '\n';
+      close_out oc;
+      Printf.printf "metrics written to %s\n" path);
   Printf.printf "\nexecution metrics: %s\n" (Dpoaf_exec.Metrics.to_json ())

@@ -6,6 +6,7 @@
    dpoaf_cli synthesize --task ID         sample + rank responses
    dpoaf_cli finetune --out model.ckpt    run the full DPO-AF pipeline
    dpoaf_cli simulate --task ID           empirical P_Φ in the simulator
+   dpoaf_cli report trace.jsonl           summarize a recorded trace
    dpoaf_cli smv --step "..." ...         export a controller to NuSMV *)
 
 open Cmdliner
@@ -14,6 +15,8 @@ module MC = Dpoaf_automata.Model_checker
 module Pipeline = Dpoaf_pipeline
 module Rng = Dpoaf_util.Rng
 module Table = Dpoaf_util.Table
+module Metrics = Dpoaf_exec.Metrics
+module Span = Dpoaf_exec.Trace
 
 (* ---------------- shared arguments ---------------- *)
 
@@ -61,6 +64,44 @@ let jobs_arg =
   Arg.(value & opt pos_int 1 & info [ "jobs"; "j" ] ~docv:"N" ~doc)
 
 let set_jobs n = Dpoaf_exec.Pool.set_default_jobs n
+
+let trace_arg =
+  let doc =
+    "Record spans and metrics to $(docv) (JSONL, readable by `dpoaf_cli \
+     report`); a Chrome/Perfetto trace is written alongside as \
+     $(docv).perfetto.json."
+  in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
+let metrics_json_arg =
+  let doc = "Write the metrics summary (counters, timers, histogram \
+             percentiles) as JSON to $(docv)." in
+  Arg.(value & opt (some string) None
+       & info [ "metrics-json" ] ~docv:"FILE" ~doc)
+
+let write_file path contents =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) @@ fun () ->
+  output_string oc contents
+
+(* Enable tracing up front when requested, run the command body, then
+   flush the trace (JSONL + sibling Perfetto file) and metrics summary. *)
+let with_telemetry ~trace ~metrics_json f =
+  if trace <> None then Span.enable ();
+  let finish () =
+    (match trace with
+    | None -> ()
+    | Some path ->
+        Span.write_jsonl path;
+        Span.write_chrome (path ^ ".perfetto.json");
+        Printf.printf "trace written to %s (and %s.perfetto.json)\n" path path);
+    match metrics_json with
+    | None -> ()
+    | Some path ->
+        write_file path (Metrics.to_json () ^ "\n");
+        Printf.printf "metrics written to %s\n" path
+  in
+  Fun.protect ~finally:finish f
 
 let model_of_scenario name =
   match scenario_of_string name with
@@ -179,8 +220,9 @@ let synthesize_cmd =
 
 (* ---------------- finetune ---------------- *)
 
-let run_finetune epochs seeds out seed jobs =
+let run_finetune epochs seeds out seed jobs trace metrics_json =
   set_jobs jobs;
+  with_telemetry ~trace ~metrics_json @@ fun () ->
   let corpus = Pipeline.Corpus.build () in
   let rng = Rng.create seed in
   Printf.printf "pre-training the language model...\n%!";
@@ -199,7 +241,19 @@ let run_finetune epochs seeds out seed jobs =
     }
   in
   Printf.printf "running DPO-AF (%d epochs, %d seed(s))...\n%!" epochs (List.length seeds);
-  let result = Pipeline.Dpoaf.run ~config ~corpus ~feedback ~reference ~seeds rng in
+  let sink, close_sink =
+    match out with
+    | None -> (None, fun () -> ())
+    | Some path ->
+        let steps_path = path ^ ".steps.csv" in
+        let sink, close = Dpoaf_dpo.Trainer.file_sink steps_path in
+        Printf.printf "streaming per-step training records to %s\n%!" steps_path;
+        (Some sink, close)
+  in
+  let result =
+    Fun.protect ~finally:close_sink @@ fun () ->
+    Pipeline.Dpoaf.run ~config ?sink ~corpus ~feedback ~reference ~seeds rng
+  in
   Printf.printf "mined %d preference pairs\n" result.Pipeline.Dpoaf.pairs_used;
   let stats = Pipeline.Feedback.cache_stats feedback in
   Printf.printf "verifier cache: %d hits / %d misses (%d entries)\n"
@@ -230,12 +284,15 @@ let finetune_cmd =
   in
   Cmd.v
     (Cmd.info "finetune" ~doc:"Run the full DPO-AF pipeline.")
-    Term.(const run_finetune $ epochs_arg $ seeds_arg $ out_arg $ seed_arg $ jobs_arg)
+    Term.(const run_finetune $ epochs_arg $ seeds_arg $ out_arg $ seed_arg
+          $ jobs_arg $ trace_arg $ metrics_json_arg)
 
 (* ---------------- simulate ---------------- *)
 
-let run_simulate task_id rollouts steps miss false_rate seed jobs =
+let run_simulate task_id rollouts steps miss false_rate seed jobs trace
+    metrics_json =
   set_jobs jobs;
+  with_telemetry ~trace ~metrics_json @@ fun () ->
   let task = try Tasks.find task_id with Not_found -> failwith ("unknown task " ^ task_id) in
   let model = Models.model task.Tasks.scenario in
   let response =
@@ -271,7 +328,167 @@ let simulate_cmd =
   Cmd.v
     (Cmd.info "simulate" ~doc:"Empirical evaluation in the simulated system.")
     Term.(const run_simulate $ task_arg $ rollouts_arg $ steps_arg $ miss_arg
-          $ false_arg $ seed_arg $ jobs_arg)
+          $ false_arg $ seed_arg $ jobs_arg $ trace_arg $ metrics_json_arg)
+
+(* ---------------- report ---------------- *)
+
+let exact_percentile sorted q =
+  let n = Array.length sorted in
+  if n = 0 then 0.0
+  else
+    let rank = int_of_float (ceil (q *. float_of_int n)) in
+    sorted.(max 0 (min (n - 1) (rank - 1)))
+
+let run_report path =
+  let reader = Span.read_jsonl path in
+  (* per-stage latency: spans grouped by name, exact percentiles over the
+     recorded durations *)
+  let by_name = Hashtbl.create 16 in
+  List.iter
+    (fun (e : Span.event) ->
+      let durs = try Hashtbl.find by_name e.Span.name with Not_found -> [] in
+      Hashtbl.replace by_name e.Span.name (e.Span.dur_us :: durs))
+    reader.Span.spans;
+  let stages =
+    List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) by_name [])
+  in
+  if stages = [] then print_endline "no spans recorded (was tracing enabled?)"
+  else begin
+    Printf.printf "per-stage latency (%d spans):\n" (List.length reader.Span.spans);
+    let table =
+      Table.create [ "stage"; "count"; "total_ms"; "p50_ms"; "p90_ms"; "p99_ms" ]
+    in
+    List.iter
+      (fun (name, durs) ->
+        let sorted = Array.of_list durs in
+        Array.sort compare sorted;
+        let ms us = Printf.sprintf "%.3f" (us /. 1000.0) in
+        Table.add_row table
+          [
+            name;
+            string_of_int (Array.length sorted);
+            ms (Array.fold_left ( +. ) 0.0 sorted);
+            ms (exact_percentile sorted 0.50);
+            ms (exact_percentile sorted 0.90);
+            ms (exact_percentile sorted 0.99);
+          ])
+      stages;
+    Table.print table
+  end;
+  let metric name = List.assoc_opt name reader.Span.metrics in
+  (* cache hit rates, from the cache.<name>.{hits,misses,...} sources *)
+  let caches =
+    List.sort_uniq compare
+      (List.filter_map
+         (fun (k, _) ->
+           match String.split_on_char '.' k with
+           | "cache" :: rest when rest <> [] ->
+               Some (String.concat "." (List.filteri (fun i _ -> i < List.length rest - 1) rest))
+           | _ -> None)
+         reader.Span.metrics)
+  in
+  if caches <> [] then begin
+    print_endline "\ncache hit rates:";
+    let table = Table.create [ "cache"; "hits"; "misses"; "hit_rate"; "size" ] in
+    List.iter
+      (fun name ->
+        let get suffix =
+          Option.value ~default:0.0 (metric ("cache." ^ name ^ "." ^ suffix))
+        in
+        let hits = get "hits" and misses = get "misses" in
+        let rate =
+          if hits +. misses > 0.0 then hits /. (hits +. misses) else 0.0
+        in
+        Table.add_row table
+          [
+            name;
+            Printf.sprintf "%.0f" hits;
+            Printf.sprintf "%.0f" misses;
+            Printf.sprintf "%.1f%%" (100.0 *. rate);
+            Printf.sprintf "%.0f" (get "size");
+          ])
+      caches;
+    Table.print table
+  end;
+  (* spec-violation histogram, from the feedback.violations.* counters *)
+  let prefix = "feedback.violations." in
+  let violations =
+    List.filter_map
+      (fun (k, v) ->
+        if String.length k > String.length prefix
+           && String.sub k 0 (String.length prefix) = prefix
+        then Some (String.sub k (String.length prefix)
+                     (String.length k - String.length prefix), v)
+        else None)
+      reader.Span.metrics
+  in
+  let violations =
+    if List.exists (fun (_, v) -> v > 0.0) violations then violations else []
+  in
+  if violations <> [] then begin
+    (* order phi_2 before phi_10: numeric sort on the suffix *)
+    let keyed =
+      List.sort compare
+        (List.map
+           (fun (name, v) ->
+             let num =
+               match String.split_on_char '_' name with
+               | [ _; n ] -> ( try int_of_string n with _ -> max_int)
+               | _ -> max_int
+             in
+             (num, name, v))
+           violations)
+    in
+    let peak =
+      List.fold_left (fun acc (_, _, v) -> max acc v) 1.0 keyed
+    in
+    print_endline "\nspec violations (per scoring request):";
+    List.iter
+      (fun (_, name, v) ->
+        let bar = int_of_float (40.0 *. v /. peak) in
+        Printf.printf "  %-8s %8.0f %s\n" name v (String.make bar '#'))
+      keyed
+  end;
+  (* headline latency histograms from the metrics line *)
+  let hists = [ "feedback.score"; "sim.rollout"; "dpo.step" ] in
+  let present =
+    List.filter
+      (fun h -> match metric (h ^ ".count") with Some c -> c > 0.0 | None -> false)
+      hists
+  in
+  if present <> [] then begin
+    print_endline "\nlatency histograms (seconds):";
+    let table =
+      Table.create [ "histogram"; "count"; "p50"; "p90"; "p99"; "max" ]
+    in
+    List.iter
+      (fun h ->
+        let get suffix =
+          Option.value ~default:0.0 (metric (h ^ "." ^ suffix))
+        in
+        Table.add_row table
+          [
+            h;
+            Printf.sprintf "%.0f" (get "count");
+            Printf.sprintf "%.6f" (get "p50");
+            Printf.sprintf "%.6f" (get "p90");
+            Printf.sprintf "%.6f" (get "p99");
+            Printf.sprintf "%.6f" (get "max");
+          ])
+      present;
+    Table.print table
+  end
+
+let report_cmd =
+  let path_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"TRACE.jsonl"
+         ~doc:"Telemetry file written by --trace.")
+  in
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:"Summarize a recorded trace: per-stage latency, cache hit rates \
+             and the spec-violation histogram.")
+    Term.(const run_report $ path_arg)
 
 (* ---------------- smv ---------------- *)
 
@@ -297,4 +514,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ tasks_cmd; specs_cmd; verify_cmd; synthesize_cmd; finetune_cmd;
-            simulate_cmd; smv_cmd ]))
+            simulate_cmd; report_cmd; smv_cmd ]))

@@ -1,4 +1,6 @@
-type scored = { tokens : int list; score : int }
+module Json = Dpoaf_util.Json
+
+type scored = { tokens : int list; score : int; satisfied : string list }
 
 type pair = {
   task_id : string;
@@ -7,6 +9,8 @@ type pair = {
   rejected : int list;
   chosen_score : int;
   rejected_score : int;
+  chosen_satisfied : string list;
+  rejected_satisfied : string list;
   grammar : Dpoaf_lm.Grammar.t;
   min_clauses : int;
   max_clauses : int;
@@ -42,6 +46,8 @@ let pairs_of_scored ~task_id ~prompt ~grammar ~min_clauses ~max_clauses scored =
             rejected = l.tokens;
             chosen_score = w.score;
             rejected_score = l.score;
+            chosen_satisfied = w.satisfied;
+            rejected_satisfied = l.satisfied;
             grammar;
             min_clauses;
             max_clauses;
@@ -49,3 +55,31 @@ let pairs_of_scored ~task_id ~prompt ~grammar ~min_clauses ~max_clauses scored =
     (combos distinct)
 
 let count_possible m = m * (m - 1) / 2
+
+(* ---------------- provenance ---------------- *)
+
+let margin_specs pair =
+  List.filter
+    (fun s -> not (List.mem s pair.rejected_satisfied))
+    pair.chosen_satisfied
+
+let json_of_pair pair =
+  let strs xs = Json.arr (List.map Json.str xs) in
+  Json.obj
+    [
+      ("task", Json.str pair.task_id);
+      ("chosen_score", Json.num (float_of_int pair.chosen_score));
+      ("rejected_score", Json.num (float_of_int pair.rejected_score));
+      ("chosen_satisfied", strs pair.chosen_satisfied);
+      ("rejected_satisfied", strs pair.rejected_satisfied);
+      ("margin_specs", strs (margin_specs pair));
+    ]
+
+let dump_provenance path pairs =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) @@ fun () ->
+  List.iter
+    (fun pair ->
+      output_string oc (Json.to_string (json_of_pair pair));
+      output_char oc '\n')
+    pairs

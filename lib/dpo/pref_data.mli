@@ -3,11 +3,21 @@
     From [m] scored responses to one prompt, every unordered pair with
     distinct scores yields one data point [(x, y_w, y_l)] — up to
     [C₂(m)] pairs per task, the response satisfying more specifications
-    being preferred. *)
+    being preferred.
 
-type scored = { tokens : int list; score : int }
-(** A response (token sequence) and the number of specifications its
-    controller satisfies. *)
+    Each scored response carries its verification provenance — the names
+    of the specifications its controller satisfied — so every mined pair
+    records {e why} the chosen response was preferred, not just by how
+    much. *)
+
+type scored = {
+  tokens : int list;
+  score : int;
+  satisfied : string list;
+      (** satisfied spec names; [List.length satisfied = score] *)
+}
+(** A response (token sequence), the number of specifications its
+    controller satisfies, and which ones. *)
 
 type pair = {
   task_id : string;
@@ -16,6 +26,8 @@ type pair = {
   rejected : int list;
   chosen_score : int;
   rejected_score : int;
+  chosen_satisfied : string list;
+  rejected_satisfied : string list;
   grammar : Dpoaf_lm.Grammar.t;
   min_clauses : int;
   max_clauses : int;
@@ -34,3 +46,16 @@ val pairs_of_scored :
 
 val count_possible : int -> int
 (** [count_possible m = C₂(m)], the paper's bound on data points per task. *)
+
+(** {1 Provenance} *)
+
+val margin_specs : pair -> string list
+(** The specifications the chosen response satisfies and the rejected one
+    does not — the formal reason this pair prefers its winner. *)
+
+val json_of_pair : pair -> Dpoaf_util.Json.t
+(** One provenance record: task, both scores, both satisfied sets and the
+    margin specs (token sequences are omitted — they are corpus-relative). *)
+
+val dump_provenance : string -> pair list -> unit
+(** Write one {!json_of_pair} line per pair (JSONL) to the given path. *)

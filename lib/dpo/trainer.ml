@@ -3,6 +3,9 @@ module Autodiff = Dpoaf_tensor.Autodiff
 module Optim = Dpoaf_tensor.Optim
 module Tensor = Dpoaf_tensor.Tensor
 module Rng = Dpoaf_util.Rng
+module Json = Dpoaf_util.Json
+module Metrics = Dpoaf_exec.Metrics
+module Trace = Dpoaf_exec.Trace
 
 type config = {
   beta : float;
@@ -32,7 +35,92 @@ type run = {
   final : Model.t;
 }
 
-let batch_step policy opt ~beta refs_pairs =
+(* ---------------- per-step telemetry ---------------- *)
+
+type step_record = {
+  seed : int;
+  epoch : int;
+  step : int;
+  loss : float;
+  accuracy : float;
+  margin : float;
+  logp_gap : float;
+  grad_norm : float;
+  update_norm : float;
+  seconds : float;
+}
+
+type sink = step_record -> unit
+
+let csv_header =
+  "seed,epoch,step,loss,accuracy,margin,logp_gap,grad_norm,update_norm,seconds"
+
+let csv_line r =
+  Printf.sprintf "%d,%d,%d,%.6f,%.6f,%.6f,%.6f,%.6f,%.6f,%.6f" r.seed r.epoch
+    r.step r.loss r.accuracy r.margin r.logp_gap r.grad_norm r.update_norm
+    r.seconds
+
+let jsonl_line r =
+  Json.to_string
+    (Json.obj
+       [
+         ("seed", Json.num (float_of_int r.seed));
+         ("epoch", Json.num (float_of_int r.epoch));
+         ("step", Json.num (float_of_int r.step));
+         ("loss", Json.num r.loss);
+         ("accuracy", Json.num r.accuracy);
+         ("margin", Json.num r.margin);
+         ("logp_gap", Json.num r.logp_gap);
+         ("grad_norm", Json.num r.grad_norm);
+         ("update_norm", Json.num r.update_norm);
+         ("seconds", Json.num r.seconds);
+       ])
+
+(* Domain-safe file sink: [train_seeds] fans seeds out over workers, so
+   writes are serialized by a mutex.  Row order between seeds is therefore
+   arbitrary — sort on the seed/step columns when analysing. *)
+let file_sink path =
+  let oc = open_out path in
+  let mutex = Mutex.create () in
+  let csv = Filename.check_suffix path ".csv" in
+  if csv then begin
+    output_string oc csv_header;
+    output_char oc '\n'
+  end;
+  let sink r =
+    Mutex.lock mutex;
+    output_string oc (if csv then csv_line r else jsonl_line r);
+    output_char oc '\n';
+    Mutex.unlock mutex
+  in
+  let close () =
+    Mutex.lock mutex;
+    close_out oc;
+    Mutex.unlock mutex
+  in
+  (sink, close)
+
+let step_latency = Metrics.histogram "dpo.step"
+let steps_run = Metrics.counter "dpo.steps"
+
+let l2_norm tensors =
+  sqrt
+    (List.fold_left
+       (fun acc t ->
+         let s = ref 0.0 in
+         for i = 0 to Tensor.numel t - 1 do
+           let x = Tensor.get t i in
+           s := !s +. (x *. x)
+         done;
+         acc +. !s)
+       0.0 tensors)
+
+(* One optimizer step over a batch of preference pairs.  The gradient and
+   LoRA-update norms require an extra pass over the adapter parameters, so
+   they are computed only when a telemetry sink is attached; the returned
+   [(loss, accuracy, margin)] triple always feeds the epoch statistics. *)
+let batch_step ?(want_norms = false) policy opt ~beta refs_pairs =
+  let t0 = Unix.gettimeofday () in
   let tape = Autodiff.Tape.create () in
   let bound = Model.bind policy tape in
   let n = float_of_int (List.length refs_pairs) in
@@ -44,11 +132,25 @@ let batch_step policy opt ~beta refs_pairs =
   let total = Autodiff.add_list tape (List.map (fun (l, _, _) -> l) results) in
   let mean_loss = Autodiff.scale tape (1.0 /. n) total in
   Autodiff.backward tape mean_loss;
-  Optim.Adam.step opt (Model.lora_grads policy bound);
-  (* metrics from the forward pass *)
-  let acc =
-    Dpoaf_util.Stats.fraction (fun (_, w, l) -> w > l) results
+  let grads = Model.lora_grads policy bound in
+  let grad_norm = if want_norms then l2_norm (List.map snd grads) else 0.0 in
+  let before =
+    if want_norms then
+      List.map (fun ((p : Optim.param), _) -> Tensor.copy p.Optim.tensor) grads
+    else []
   in
+  Optim.Adam.step opt grads;
+  let update_norm =
+    if want_norms then
+      l2_norm
+        (List.map2
+           (fun old ((p : Optim.param), _) ->
+             Tensor.map2 (fun a b -> a -. b) p.Optim.tensor old)
+           before grads)
+    else 0.0
+  in
+  (* metrics from the forward pass *)
+  let acc = Dpoaf_util.Stats.fraction (fun (_, w, l) -> w > l) results in
   let margin =
     Dpoaf_util.Stats.mean
       (List.map2
@@ -56,9 +158,16 @@ let batch_step policy opt ~beta refs_pairs =
            w -. refs.Dpo.ref_chosen -. (l -. refs.Dpo.ref_rejected))
          refs_pairs results)
   in
-  (Tensor.get (Autodiff.value mean_loss) 0, acc, margin)
+  let logp_gap =
+    Dpoaf_util.Stats.mean (List.map (fun (_, w, l) -> w -. l) results)
+  in
+  let seconds = Unix.gettimeofday () -. t0 in
+  Metrics.observe step_latency seconds;
+  Metrics.incr steps_run;
+  ( (Tensor.get (Autodiff.value mean_loss) 0, acc, margin),
+    (logp_gap, grad_norm, update_norm, seconds) )
 
-let train ~reference ~pairs config ~seed =
+let train ?sink ~reference ~pairs config ~seed =
   let policy = Model.clone reference in
   let refs_pairs =
     List.map (fun pair -> (Dpo.reference_logprobs reference pair, pair)) pairs
@@ -68,6 +177,8 @@ let train ~reference ~pairs config ~seed =
   let arr = Array.of_list refs_pairs in
   let checkpoints = ref [ (0, Model.clone policy) ] in
   let stats = ref [] in
+  let want_norms = sink <> None in
+  let global_step = ref 0 in
   for epoch = 1 to config.epochs do
     if config.shuffle_each_epoch then Rng.shuffle rng arr;
     let n = Array.length arr in
@@ -76,7 +187,28 @@ let train ~reference ~pairs config ~seed =
     while !i < n do
       let size = min config.batch (n - !i) in
       let chunk = Array.to_list (Array.sub arr !i size) in
-      epoch_totals := (batch_step policy opt ~beta:config.beta chunk, size) :: !epoch_totals;
+      let ((loss, acc, margin) as triple), (logp_gap, grad_norm, update_norm, dt)
+          =
+        batch_step ~want_norms policy opt ~beta:config.beta chunk
+      in
+      incr global_step;
+      (match sink with
+      | None -> ()
+      | Some emit ->
+          emit
+            {
+              seed;
+              epoch;
+              step = !global_step;
+              loss;
+              accuracy = acc;
+              margin;
+              logp_gap;
+              grad_norm;
+              update_norm;
+              seconds = dt;
+            });
+      epoch_totals := (triple, size) :: !epoch_totals;
       i := !i + size
     done;
     let weight f =
@@ -106,9 +238,11 @@ let train ~reference ~pairs config ~seed =
    reference weights are read-only after pre-training) and draws from its
    own RNG stream [Rng.create seed], so seeds train in parallel without
    any cross-seed effect on the results. *)
-let train_seeds ?jobs ~reference ~pairs config ~seeds =
+let train_seeds ?jobs ?sink ~reference ~pairs config ~seeds =
   Dpoaf_exec.Pool.parallel_map ?jobs
     (fun seed ->
-      Dpoaf_exec.Metrics.time "dpo.train_seed" (fun () ->
-          train ~reference ~pairs config ~seed))
+      Trace.with_span ~cat:"dpo" ~attrs:[ ("seed", string_of_int seed) ]
+        "dpo.train_seed" (fun () ->
+          Metrics.time "dpo.train_seed" (fun () ->
+              train ?sink ~reference ~pairs config ~seed)))
     seeds

@@ -30,13 +30,55 @@ type run = {
   final : Dpoaf_lm.Model.t;
 }
 
+(** {1 Per-step telemetry}
+
+    Every optimizer step can be streamed to a pluggable {!sink}.  Norm
+    fields ([grad_norm], [update_norm]) cost an extra pass over the LoRA
+    adapter tensors, so they are computed only when a sink is attached
+    (they read 0 otherwise).  Independent of any sink, each step's wall
+    time feeds the [dpo.step] latency histogram in
+    {!Dpoaf_exec.Metrics}. *)
+
+type step_record = {
+  seed : int;
+  epoch : int;  (** 1-based *)
+  step : int;  (** global step within this seed's run, 1-based *)
+  loss : float;  (** mean DPO loss over the batch *)
+  accuracy : float;  (** fraction of pairs with chosen logp > rejected *)
+  margin : float;  (** mean preference margin vs the reference *)
+  logp_gap : float;  (** mean (chosen − rejected) policy log-probability *)
+  grad_norm : float;  (** L2 norm of the LoRA gradient, all adapters *)
+  update_norm : float;  (** L2 norm of the Adam parameter update *)
+  seconds : float;  (** wall time of this step *)
+}
+
+type sink = step_record -> unit
+
+val file_sink : string -> sink * (unit -> unit)
+(** [file_sink path] opens [path] and returns [(sink, close)].  A [.csv]
+    suffix selects CSV (with header, see {!csv_header}); anything else
+    writes one JSON object per line.  Writes are mutex-serialized, so the
+    sink is safe to share across {!train_seeds} workers — rows from
+    different seeds interleave. *)
+
+val csv_header : string
+val csv_line : step_record -> string
+val jsonl_line : step_record -> string
+
 val train :
-  reference:Dpoaf_lm.Model.t -> pairs:Pref_data.pair list -> config -> seed:int -> run
+  ?sink:sink ->
+  reference:Dpoaf_lm.Model.t ->
+  pairs:Pref_data.pair list ->
+  config ->
+  seed:int ->
+  run
 (** Fine-tune a clone of [reference].  Reference log-probabilities are
-    computed once up front (the reference is frozen). *)
+    computed once up front (the reference is frozen).  [?sink] receives
+    one {!step_record} per optimizer step. *)
 
 val train_seeds :
   ?jobs:int ->
+  ?sink:sink ->
   reference:Dpoaf_lm.Model.t ->
   pairs:Pref_data.pair list ->
   config ->
@@ -45,4 +87,6 @@ val train_seeds :
 (** One {!train} per seed, fanned out over [?jobs] workers (default
     {!Dpoaf_exec.Pool.default_jobs}).  Every seed derives its RNG stream
     from its own seed value, so the runs are independent of worker count
-    and arrive in input order. *)
+    and arrive in input order.  Each seed's run executes inside a
+    [dpo.train_seed] span; a shared [?sink] must be domain-safe
+    ({!file_sink} is). *)

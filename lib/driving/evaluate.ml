@@ -21,24 +21,30 @@ let verdicts ?model controller =
   let model = match model with Some m -> m | None -> Models.universal () in
   Model_checker.verify_all ~model ~controller ~specs:Specs.all
 
-let count_specs ?model controller =
+let satisfied_specs ?model controller =
   verdicts ?model controller
-  |> List.filter (fun (_, _, v) -> Model_checker.is_holds v)
-  |> List.length
+  |> List.filter_map (fun (name, _, v) ->
+         if Model_checker.is_holds v then Some name else None)
+
+let count_specs ?model controller = List.length (satisfied_specs ?model controller)
 
 (* Spec evaluation is pure in (model, steps): the same step list compiles
-   to the same controller and verdict counts.  Model names are unique per
+   to the same controller and verdicts.  Model names are unique per
    scenario (and "universal"), so they key the model side cheaply.  The
    cache is bounded — distinct step lists are effectively unbounded across
-   long sampling runs. *)
-let count_cache : (string * string list, int) Cache.t =
+   long sampling runs.  The cached value is the full satisfied-spec name
+   list, so verification provenance costs no extra model-checker calls. *)
+let profile_cache : (string * string list, string list) Cache.t =
   Cache.create ~capacity:65536 ~name:"evaluate.count_specs" ()
 
 let evaluations = Metrics.counter "evaluate.count_specs_of_steps"
 
-let count_specs_of_steps ?model steps =
+let satisfied_specs_of_steps ?model steps =
   Metrics.incr evaluations;
   let model = match model with Some m -> m | None -> Models.universal () in
-  Cache.find_or_add count_cache (model.Dpoaf_automata.Ts.name, steps) (fun () ->
+  Cache.find_or_add profile_cache (model.Dpoaf_automata.Ts.name, steps) (fun () ->
       let controller, _stats = controller_of_steps ~name:"response" steps in
-      count_specs ~model controller)
+      satisfied_specs ~model controller)
+
+let count_specs_of_steps ?model steps =
+  List.length (satisfied_specs_of_steps ?model steps)

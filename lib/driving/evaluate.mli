@@ -18,10 +18,20 @@ val verdicts :
   (string * Dpoaf_logic.Ltl.t * Dpoaf_automata.Model_checker.verdict) list
 (** Verdicts for Φ1..Φ15; [model] defaults to {!Models.universal}. *)
 
-val count_specs : ?model:Dpoaf_automata.Ts.t -> Dpoaf_automata.Fsa.t -> int
-(** Number of the 15 specifications satisfied. *)
+val satisfied_specs :
+  ?model:Dpoaf_automata.Ts.t -> Dpoaf_automata.Fsa.t -> string list
+(** Names of the satisfied specifications, in rule-book (Φ1..Φ15) order —
+    the provenance behind every verification score. *)
 
-val count_specs_of_steps : ?model:Dpoaf_automata.Ts.t -> string list -> int
-(** Parse, compile and count in one call (controller name ["response"]).
+val count_specs : ?model:Dpoaf_automata.Ts.t -> Dpoaf_automata.Fsa.t -> int
+(** Number of the 15 specifications satisfied
+    ([= List.length (satisfied_specs …)]). *)
+
+val satisfied_specs_of_steps :
+  ?model:Dpoaf_automata.Ts.t -> string list -> string list
+(** Parse, compile and verify in one call (controller name ["response"]).
     Memoized on (model name, steps) through {!Dpoaf_exec.Cache}, since the
     same step lists recur constantly across sampling rounds. *)
+
+val count_specs_of_steps : ?model:Dpoaf_automata.Ts.t -> string list -> int
+(** [List.length (satisfied_specs_of_steps …)] — same memoized path. *)

@@ -2,15 +2,43 @@
 
    Counters are atomic so worker domains can bump them without taking a
    lock; timers accumulate wall-clock seconds under the registry mutex
-   (timed sections are coarse, so contention is negligible).  External
-   sources (e.g. cache statistics) register a thunk and are sampled when a
-   summary is produced. *)
+   (timed sections are coarse, so contention is negligible); histograms
+   keep log-bucketed latency distributions under a per-histogram mutex so
+   hot observation paths (per-response scoring, per-rollout timing) do not
+   contend with the registry.  External sources (e.g. cache statistics)
+   register a thunk and are sampled when a summary is produced. *)
 
 type counter = int Atomic.t
 
 type timer = { mutable total : float; mutable count : int }
 
-type entry = Counter of counter | Timer of timer
+(* Log-bucketed histogram: bucket [i] (for [i > 0]) covers values in
+   [10^((i-1+lo)/10), 10^((i+lo)/10)); bucket 0 collects v <= lowest bound.
+   Ten buckets per decade bounds any percentile estimate within a factor of
+   10^(1/10) ≈ 1.26 of the true order statistic; tracking the exact min and
+   max tightens the tails. *)
+type histogram = {
+  buckets : int array;
+  mutable hcount : int;
+  mutable sum : float;
+  mutable minv : float;
+  mutable maxv : float;
+  hmutex : Mutex.t;
+}
+
+(* exponent range: 1e-9 .. 1e6 (tenths of decades) *)
+let lo_exp = -90
+let hi_exp = 60
+let nbuckets = hi_exp - lo_exp + 1 (* plus the underflow bucket at index 0 *)
+
+let bucket_base = 10.0 ** 0.1
+
+type entry = Counter of counter | Timer of timer | Histogram of histogram
+
+let kind_name = function
+  | Counter _ -> "counter"
+  | Timer _ -> "timer"
+  | Histogram _ -> "histogram"
 
 let mutex = Mutex.create ()
 let entries : (string, entry) Hashtbl.t = Hashtbl.create 32
@@ -20,11 +48,21 @@ let with_lock f =
   Mutex.lock mutex;
   Fun.protect ~finally:(fun () -> Mutex.unlock mutex) f
 
+(* Satellite fix: asking for a name already registered as another kind used
+   to report only one side; now the error names both the requested and the
+   existing kind. *)
+let collision ~requested name existing =
+  invalid_arg
+    (Printf.sprintf
+       "Metrics.%s: %S is already registered as a %s (counters, timers and \
+        histograms share one namespace)"
+       requested name (kind_name existing))
+
 let counter name =
   with_lock (fun () ->
       match Hashtbl.find_opt entries name with
       | Some (Counter c) -> c
-      | Some (Timer _) -> invalid_arg ("Metrics.counter: " ^ name ^ " is a timer")
+      | Some other -> collision ~requested:"counter" name other
       | None ->
           let c = Atomic.make 0 in
           Hashtbl.add entries name (Counter c);
@@ -38,7 +76,7 @@ let timer_entry name =
   with_lock (fun () ->
       match Hashtbl.find_opt entries name with
       | Some (Timer t) -> t
-      | Some (Counter _) -> invalid_arg ("Metrics.time: " ^ name ^ " is a counter")
+      | Some other -> collision ~requested:"time" name other
       | None ->
           let t = { total = 0.0; count = 0 } in
           Hashtbl.add entries name (Timer t);
@@ -51,8 +89,109 @@ let record_time name seconds =
       t.count <- t.count + 1)
 
 let time name f =
+  (* intern up front so a name collision raises before [f] runs, not
+     wrapped in Finally_raised *)
+  let t = timer_entry name in
   let t0 = Unix.gettimeofday () in
-  Fun.protect ~finally:(fun () -> record_time name (Unix.gettimeofday () -. t0)) f
+  Fun.protect f ~finally:(fun () ->
+      let seconds = Unix.gettimeofday () -. t0 in
+      with_lock (fun () ->
+          t.total <- t.total +. seconds;
+          t.count <- t.count + 1))
+
+(* ---------------- histograms ---------------- *)
+
+let histogram name =
+  with_lock (fun () ->
+      match Hashtbl.find_opt entries name with
+      | Some (Histogram h) -> h
+      | Some other -> collision ~requested:"histogram" name other
+      | None ->
+          let h =
+            {
+              buckets = Array.make (nbuckets + 1) 0;
+              hcount = 0;
+              sum = 0.0;
+              minv = Float.infinity;
+              maxv = Float.neg_infinity;
+              hmutex = Mutex.create ();
+            }
+          in
+          Hashtbl.add entries name (Histogram h);
+          h)
+
+let bucket_of v =
+  if v <= 0.0 then 0
+  else
+    let e = int_of_float (Float.floor (10.0 *. Float.log10 v)) in
+    let e = if e < lo_exp then lo_exp - 1 else if e > hi_exp then hi_exp else e in
+    e - lo_exp + 1
+
+let observe h v =
+  Mutex.lock h.hmutex;
+  h.buckets.(bucket_of v) <- h.buckets.(bucket_of v) + 1;
+  h.hcount <- h.hcount + 1;
+  h.sum <- h.sum +. v;
+  if v < h.minv then h.minv <- v;
+  if v > h.maxv then h.maxv <- v;
+  Mutex.unlock h.hmutex
+
+let observe_time name f =
+  let h = histogram name in
+  let t0 = Unix.gettimeofday () in
+  Fun.protect ~finally:(fun () -> observe h (Unix.gettimeofday () -. t0)) f
+
+(* Upper bound of bucket [i]'s value range. *)
+let bucket_upper i =
+  if i = 0 then 0.0 else 10.0 ** (float_of_int (i + lo_exp) /. 10.0)
+
+(* Nearest-rank percentile from the bucket counts, clamped to the observed
+   [min, max] so the extreme quantiles stay exact. *)
+let percentile_locked h q =
+  if h.hcount = 0 then 0.0
+  else begin
+    let q = Float.max 0.0 (Float.min 1.0 q) in
+    let rank = Stdlib.max 1 (int_of_float (Float.ceil (q *. float_of_int h.hcount))) in
+    let est = ref h.maxv in
+    let cum = ref 0 in
+    (try
+       Array.iteri
+         (fun i c ->
+           cum := !cum + c;
+           if !cum >= rank then begin
+             est := bucket_upper i;
+             raise Exit
+           end)
+         h.buckets
+     with Exit -> ());
+    Float.max h.minv (Float.min h.maxv !est)
+  end
+
+let percentile h q =
+  Mutex.lock h.hmutex;
+  let v = percentile_locked h q in
+  Mutex.unlock h.hmutex;
+  v
+
+let histogram_items h =
+  Mutex.lock h.hmutex;
+  let items =
+    if h.hcount = 0 then [ ("count", 0.0) ]
+    else
+      [
+        ("count", float_of_int h.hcount);
+        ("sum", h.sum);
+        ("min", h.minv);
+        ("max", h.maxv);
+        ("p50", percentile_locked h 0.50);
+        ("p90", percentile_locked h 0.90);
+        ("p99", percentile_locked h 0.99);
+      ]
+  in
+  Mutex.unlock h.hmutex;
+  items
+
+(* ---------------- summary ---------------- *)
 
 let register_source name f =
   with_lock (fun () ->
@@ -67,8 +206,24 @@ let summary () =
             | Counter c -> (name, float_of_int (Atomic.get c)) :: acc
             | Timer t ->
                 (name ^ ".seconds", t.total) :: (name ^ ".calls", float_of_int t.count)
-                :: acc)
+                :: acc
+            | Histogram _ -> acc)
           entries [])
+  in
+  (* histogram percentiles take the per-histogram mutex, so they are sampled
+     outside the registry lock *)
+  let hists =
+    with_lock (fun () ->
+        Hashtbl.fold
+          (fun name entry acc ->
+            match entry with Histogram h -> (name, h) :: acc | _ -> acc)
+          entries [])
+  in
+  let hist_items =
+    List.concat_map
+      (fun (name, h) ->
+        List.map (fun (k, v) -> (name ^ "." ^ k, v)) (histogram_items h))
+      hists
   in
   let srcs = with_lock (fun () -> !sources) in
   let derived =
@@ -76,7 +231,29 @@ let summary () =
       (fun (name, f) -> List.map (fun (k, v) -> (name ^ "." ^ k, v)) (f ()))
       srcs
   in
-  List.sort (fun (a, _) (b, _) -> compare a b) (base @ derived)
+  List.sort (fun (a, _) (b, _) -> compare a b) (base @ hist_items @ derived)
+
+(* Scoped instrumentation without global resets: subtract a snapshot taken
+   before a section from one taken after it.  Keys absent from [before]
+   count from zero; quantile/min/max keys are passed through as their
+   [after] value (a difference of order statistics is meaningless). *)
+let delta before after =
+  let passthrough k =
+    match String.rindex_opt k '.' with
+    | None -> false
+    | Some i -> (
+        match String.sub k (i + 1) (String.length k - i - 1) with
+        | "p50" | "p90" | "p99" | "min" | "max" | "size" -> true
+        | _ -> false)
+  in
+  List.map
+    (fun (k, v_after) ->
+      if passthrough k then (k, v_after)
+      else
+        match List.assoc_opt k before with
+        | Some v_before -> (k, v_after -. v_before)
+        | None -> (k, v_after))
+    after
 
 let reset () =
   with_lock (fun () ->
@@ -86,22 +263,32 @@ let reset () =
           | Counter c -> Atomic.set c 0
           | Timer t ->
               t.total <- 0.0;
-              t.count <- 0)
+              t.count <- 0
+          | Histogram h ->
+              Mutex.lock h.hmutex;
+              Array.fill h.buckets 0 (Array.length h.buckets) 0;
+              h.hcount <- 0;
+              h.sum <- 0.0;
+              h.minv <- Float.infinity;
+              h.maxv <- Float.neg_infinity;
+              Mutex.unlock h.hmutex)
         entries)
 
 let src = Logs.Src.create "dpoaf.exec" ~doc:"DPO-AF execution engine"
 
+let pp_items ppf items =
+  Fmt.list ~sep:Fmt.cut
+    (fun ppf (k, v) ->
+      if Float.is_integer v && Float.abs v < 1e15 then
+        Fmt.pf ppf "  %-40s %.0f" k v
+      else Fmt.pf ppf "  %-40s %.6f" k v)
+    ppf items
+
 let report () =
   let items = summary () in
-  Logs.app ~src (fun m ->
-      m "@[<v>execution metrics:@,%a@]"
-        (Fmt.list ~sep:Fmt.cut (fun ppf (k, v) ->
-             if Float.is_integer v && Float.abs v < 1e15 then
-               Fmt.pf ppf "  %-40s %.0f" k v
-             else Fmt.pf ppf "  %-40s %.6f" k v))
-        items)
+  Logs.app ~src (fun m -> m "@[<v>execution metrics:@,%a@]" pp_items items)
 
-let to_json () =
+let json_of_items items =
   let b = Buffer.create 256 in
   Buffer.add_char b '{';
   List.iteri
@@ -114,9 +301,13 @@ let to_json () =
           Buffer.add_char b c)
         k;
       Buffer.add_string b "\":";
-      if Float.is_integer v && Float.abs v < 1e15 then
+      if Float.is_nan v || Float.abs v = Float.infinity then
+        Buffer.add_string b "null"
+      else if Float.is_integer v && Float.abs v < 1e15 then
         Buffer.add_string b (Printf.sprintf "%.0f" v)
       else Buffer.add_string b (Printf.sprintf "%.6f" v))
-    (summary ());
+    items;
   Buffer.add_char b '}';
   Buffer.contents b
+
+let to_json () = json_of_items (summary ())

@@ -1,18 +1,22 @@
-(** Process-wide instrumentation: named counters, wall-clock timers and
-    pluggable statistic sources, surfaced through {!Logs} and as a
-    machine-readable JSON summary.
+(** Process-wide instrumentation: named counters, wall-clock timers,
+    log-bucketed latency histograms and pluggable statistic sources,
+    surfaced through {!Logs} and as a machine-readable JSON summary.
 
     All operations are safe to call from any domain: counters are atomic,
-    timers and the registry are mutex-protected.  Names are global — two
-    modules asking for the same counter name share the same cell, which is
-    how per-stage totals (responses scored, model-checker calls, rollouts
-    run) accumulate across the pipeline. *)
+    timers and the registry are mutex-protected, histograms carry their own
+    mutex.  Names are global — two modules asking for the same counter name
+    share the same cell, which is how per-stage totals (responses scored,
+    model-checker calls, rollouts run) accumulate across the pipeline.
+    Counters, timers and histograms share one namespace; asking for a name
+    under the wrong kind raises an [Invalid_argument] that names both the
+    requested and the existing kind. *)
 
 type counter
 
 val counter : string -> counter
 (** Intern (or retrieve) the counter with this name.
-    @raise Invalid_argument if the name is already used by a timer. *)
+    @raise Invalid_argument if the name is already registered as a timer or
+    histogram. *)
 
 val incr : counter -> unit
 val add : counter -> int -> unit
@@ -21,10 +25,46 @@ val value : counter -> int
 val time : string -> (unit -> 'a) -> 'a
 (** [time name f] runs [f] and adds its wall-clock duration to the timer
     [name].  A timer contributes [name.seconds] and [name.calls] to the
-    summary.  Re-entrant and domain-safe. *)
+    summary.  Re-entrant and domain-safe.
+    @raise Invalid_argument if the name is already registered as a counter
+    or histogram. *)
 
 val record_time : string -> float -> unit
 (** Add an externally measured duration (seconds) to a timer. *)
+
+(** {1 Histograms}
+
+    Log-bucketed distributions (ten buckets per decade over
+    [1e-9, 1e6], an underflow bucket for values [<= 0]): every percentile
+    estimate is within a factor of [10^0.1 ≈ 1.26] of the true order
+    statistic, and the observed min/max are tracked exactly.  A histogram
+    named [n] contributes [n.count], [n.sum], [n.min], [n.max], [n.p50],
+    [n.p90] and [n.p99] to the summary. *)
+
+type histogram
+
+val histogram : string -> histogram
+(** Intern (or retrieve) the histogram with this name.
+    @raise Invalid_argument if the name is already registered as a counter
+    or timer. *)
+
+val observe : histogram -> float -> unit
+(** Record one observation (typically seconds). *)
+
+val observe_time : string -> (unit -> 'a) -> 'a
+(** [observe_time name f] runs [f] and records its wall-clock duration in
+    the histogram [name]. *)
+
+val percentile : histogram -> float -> float
+(** [percentile h q] with [q ∈ [0,1]]: nearest-rank estimate from the
+    buckets, clamped to the observed [[min, max]]; [0.0] when empty. *)
+
+val bucket_base : float
+(** The bucket growth factor [10^0.1]: for in-range positive observations,
+    [oracle <= percentile h q <= oracle *. bucket_base] where [oracle] is
+    the exact nearest-rank order statistic. *)
+
+(** {1 Summaries} *)
 
 val register_source : string -> (unit -> (string * float) list) -> unit
 (** Register a statistics source sampled at summary time; its items are
@@ -32,7 +72,15 @@ val register_source : string -> (unit -> (string * float) list) -> unit
     previous source. *)
 
 val summary : unit -> (string * float) list
-(** All metrics (counters, timers, sources), sorted by name. *)
+(** All metrics (counters, timers, histograms, sources), sorted by name. *)
+
+val delta :
+  (string * float) list -> (string * float) list -> (string * float) list
+(** [delta before after]: per-key difference of two {!summary} snapshots —
+    the scoped alternative to {!reset} for benchmark sections.  Keys absent
+    from [before] count from zero; level/order-statistic keys (suffixes
+    [.p50]/[.p90]/[.p99]/[.min]/[.max]/[.size]) are passed through as their
+    [after] value, since differencing them is meaningless. *)
 
 val report : unit -> unit
 (** Log the summary at [App] level via {!Logs}. *)
@@ -40,5 +88,10 @@ val report : unit -> unit
 val to_json : unit -> string
 (** The summary as a single-line JSON object. *)
 
+val json_of_items : (string * float) list -> string
+(** Render any summary-shaped item list (e.g. a {!delta}) as JSON. *)
+
 val reset : unit -> unit
-(** Zero all counters and timers (registered sources are kept). *)
+(** Zero all counters, timers and histograms (registered sources are
+    kept).  Prefer {!delta} snapshots for scoping benchmark sections —
+    [reset] destroys process-lifetime totals mid-run. *)

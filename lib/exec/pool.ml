@@ -113,9 +113,12 @@ let mapi_on_pool t f xs =
     let pending = Atomic.make n in
     let done_mutex = Mutex.create () in
     let done_cond = Condition.create () in
+    (* capture the submitting domain's open span so per-item spans recorded
+       inside workers are parented under the span that issued the batch *)
+    let span_ctx = Trace.current () in
     let task i () =
       let r =
-        try Ok (f i arr.(i))
+        try Ok (Trace.with_parent span_ctx (fun () -> f i arr.(i)))
         with e -> Error (e, Printexc.get_raw_backtrace ())
       in
       results.(i) <- Some r;

@@ -14,7 +14,12 @@
 
     If any per-item computation raises, the batch still completes and the
     exception of the {e lowest-indexed} failing item is re-raised in the
-    caller (with its backtrace) — deterministic error reporting. *)
+    caller (with its backtrace) — deterministic error reporting.
+
+    When {!Trace} is enabled, the submitting domain's innermost open span
+    is captured at batch submission and installed around every task, so
+    spans recorded inside workers are parented under the span that issued
+    the batch. *)
 
 type t
 

@@ -7,6 +7,7 @@ module Rng = Dpoaf_util.Rng
 module Stats = Dpoaf_util.Stats
 module Pool = Dpoaf_exec.Pool
 module Metrics = Dpoaf_exec.Metrics
+module Trace = Dpoaf_exec.Trace
 
 type config = {
   responses_per_task : int;
@@ -29,22 +30,34 @@ let default_config =
    out across the pool, order-preserved by [parallel_map]. *)
 let sample_scored ?(harden = false) ?jobs corpus feedback model rng ~m ~temperature
     setup =
-  let snap = Sampler.snapshot model in
+  let task = setup.Corpus.task.Tasks.id in
   let sampled =
-    List.init m (fun _ ->
-        Sampler.sample snap rng ~prompt:setup.Corpus.prompt
-          ~grammar:setup.Corpus.grammar ~min_clauses:setup.Corpus.min_clauses
-          ~max_clauses:setup.Corpus.max_clauses ~temperature ())
+    Trace.with_span ~cat:"pipeline" ~attrs:[ ("task", task) ] "pipeline.sample"
+      (fun () ->
+        let snap = Sampler.snapshot model in
+        List.init m (fun _ ->
+            Sampler.sample snap rng ~prompt:setup.Corpus.prompt
+              ~grammar:setup.Corpus.grammar ~min_clauses:setup.Corpus.min_clauses
+              ~max_clauses:setup.Corpus.max_clauses ~temperature ()))
   in
-  let score =
-    if harden then Feedback.score_tokens_hardened else Feedback.score_tokens
+  let profile =
+    if harden then Feedback.profile_tokens_hardened else Feedback.profile_tokens
   in
-  let scores =
-    Pool.parallel_map ?jobs (fun tokens -> score feedback ~corpus setup tokens) sampled
+  let profiles =
+    Trace.with_span ~cat:"pipeline" ~attrs:[ ("task", task) ] "pipeline.score"
+      (fun () ->
+        Pool.parallel_map ?jobs
+          (fun tokens -> profile feedback ~corpus setup tokens)
+          sampled)
   in
-  List.map2 (fun tokens score -> { Pref_data.tokens; score }) sampled scores
+  List.map2
+    (fun tokens (p : Feedback.profile) ->
+      { Pref_data.tokens; score = List.length p.Feedback.satisfied;
+        satisfied = p.Feedback.satisfied })
+    sampled profiles
 
 let collect_pairs ?jobs corpus feedback model rng ~m ?(temperature = 1.0) split =
+  Trace.with_span ~cat:"pipeline" "pipeline.collect_pairs" @@ fun () ->
   Metrics.time "pipeline.collect_pairs" (fun () ->
       List.concat_map
         (fun setup ->
@@ -59,6 +72,7 @@ let collect_pairs ?jobs corpus feedback model rng ~m ?(temperature = 1.0) split 
 
 let mean_specs_satisfied ?(harden = false) ?jobs corpus feedback model rng ~samples
     ?(temperature = 1.0) split =
+  Trace.with_span ~cat:"pipeline" "pipeline.evaluate" @@ fun () ->
   Metrics.time "pipeline.evaluate" (fun () ->
       let setups = Corpus.setups_of_split corpus split in
       let per_task =
@@ -136,14 +150,16 @@ let reinforce_tasks corpus feedback split =
       })
     (Corpus.setups_of_split corpus split)
 
-let run ?(config = default_config) ?jobs ~corpus ~feedback ~reference ~seeds rng =
+let run ?(config = default_config) ?jobs ?sink ~corpus ~feedback ~reference ~seeds
+    rng =
   let pairs =
     collect_pairs ?jobs corpus feedback reference rng ~m:config.responses_per_task
       ~temperature:config.temperature Tasks.Training
   in
   let runs =
+    Trace.with_span ~cat:"pipeline" "pipeline.train" @@ fun () ->
     Metrics.time "pipeline.train" (fun () ->
-        Trainer.train_seeds ?jobs ~reference ~pairs config.trainer ~seeds)
+        Trainer.train_seeds ?jobs ?sink ~reference ~pairs config.trainer ~seeds)
   in
   let curve =
     match runs with

@@ -90,6 +90,7 @@ type result = {
 val run :
   ?config:config ->
   ?jobs:int ->
+  ?sink:Dpoaf_dpo.Trainer.sink ->
   corpus:Corpus.t ->
   feedback:Feedback.t ->
   reference:Dpoaf_lm.Model.t ->
@@ -98,4 +99,5 @@ val run :
   result
 (** The full experiment: mine pairs from training tasks, DPO-train per
     seed, and evaluate every checkpoint of the first run on training and
-    validation tasks. *)
+    validation tasks.  [?sink] streams per-step training telemetry
+    (see {!Dpoaf_dpo.Trainer.file_sink}). *)

@@ -3,16 +3,30 @@ module Models = Dpoaf_driving.Models
 module Tasks = Dpoaf_driving.Tasks
 module Cache = Dpoaf_exec.Cache
 module Metrics = Dpoaf_exec.Metrics
+module Trace = Dpoaf_exec.Trace
 
 (* (task id, tokens, hardened?) — the full identity of a scoring request *)
 type key = string * int list * bool
 
+type profile = { satisfied : string list; violated : string list }
+
 type t = {
   model : Dpoaf_automata.Ts.t;
-  cache : (key, int) Cache.t;
+  cache : (key, profile) Cache.t;
 }
 
+let spec_names = List.map fst Dpoaf_driving.Specs.all
+
 let responses_scored = Metrics.counter "feedback.responses_scored"
+let score_latency = Metrics.histogram "feedback.score"
+
+(* one violation counter per rule-book specification, interned once at
+   module init (single-domain), sampled by `dpoaf_cli report` *)
+let violation_counters =
+  List.map (fun n -> (n, Metrics.counter ("feedback.violations." ^ n))) spec_names
+
+let profile_of_satisfied satisfied =
+  { satisfied; violated = List.filter (fun n -> not (List.mem n satisfied)) spec_names }
 
 let create ?model () =
   let model = match model with Some m -> m | None -> Models.universal () in
@@ -24,31 +38,55 @@ let create ?model () =
 let score_steps t ~task_id:_ steps =
   Evaluate.count_specs_of_steps ~model:t.model steps
 
-let count_specs_of_clauses t clauses =
+let satisfied_of_clauses t clauses =
   let controller = Dpoaf_lang.Glm2fsa.controller ~name:"response" clauses in
-  Evaluate.count_specs ~model:t.model controller
+  Evaluate.satisfied_specs ~model:t.model controller
 
-let cached t key compute =
+(* Every scoring request passes through here: the span and the per-spec
+   violation counters fire per request (hit or miss), reflecting the
+   sampled response distribution; the latency histogram observes only
+   actual verification work (cache misses). *)
+let cached t ~task_id key compute =
   Metrics.incr responses_scored;
-  Cache.find_or_add t.cache key compute
+  Trace.with_span ~cat:"feedback" ~attrs:[ ("task", task_id) ] "feedback.score"
+    (fun () ->
+      let p =
+        Cache.find_or_add t.cache key (fun () ->
+            let t0 = Unix.gettimeofday () in
+            let satisfied = compute () in
+            Metrics.observe score_latency (Unix.gettimeofday () -. t0);
+            profile_of_satisfied satisfied)
+      in
+      List.iter
+        (fun name -> Metrics.incr (List.assoc name violation_counters))
+        p.violated;
+      p)
 
 let clauses_of_tokens corpus tokens =
   let steps = Corpus.steps_of_tokens corpus tokens in
   fst (Dpoaf_lang.Step_parser.parse_steps (Evaluate.lexicon ()) steps)
 
-let score_tokens t ~corpus setup tokens =
-  cached t (setup.Corpus.task.Tasks.id, tokens, false) (fun () ->
+let profile_tokens t ~corpus setup tokens =
+  let task_id = setup.Corpus.task.Tasks.id in
+  cached t ~task_id (task_id, tokens, false) (fun () ->
       let steps = Corpus.steps_of_tokens corpus tokens in
-      score_steps t ~task_id:setup.Corpus.task.Tasks.id steps)
+      Evaluate.satisfied_specs_of_steps ~model:t.model steps)
 
-let score_tokens_hardened t ~corpus setup tokens =
-  cached t (setup.Corpus.task.Tasks.id, tokens, true) (fun () ->
+let profile_tokens_hardened t ~corpus setup tokens =
+  let task_id = setup.Corpus.task.Tasks.id in
+  cached t ~task_id (task_id, tokens, true) (fun () ->
       let clauses = clauses_of_tokens corpus tokens in
       let hardened =
         Dpoaf_lang.Repair.harden
           ~specs:(List.map snd Dpoaf_driving.Specs.all)
           ~all_actions:Dpoaf_driving.Vocab.actions clauses
       in
-      count_specs_of_clauses t hardened)
+      satisfied_of_clauses t hardened)
+
+let score_tokens t ~corpus setup tokens =
+  List.length (profile_tokens t ~corpus setup tokens).satisfied
+
+let score_tokens_hardened t ~corpus setup tokens =
+  List.length (profile_tokens_hardened t ~corpus setup tokens).satisfied
 
 let cache_stats t = Cache.stats t.cache

@@ -1,12 +1,28 @@
-(** Automated verification feedback with memoization.
+(** Automated verification feedback with memoization and provenance.
 
     Scoring a response means: decode tokens to steps, align and compile
     with GLM2FSA, implement in the world model, count satisfied
     specifications (§4.2).  Distinct responses recur constantly across
-    sampling rounds and checkpoints, so verdict counts are cached by
-    (task, tokens). *)
+    sampling rounds and checkpoints, so verdicts are cached by
+    (task, tokens) — and the cached value is the full {e profile} (which
+    of the 15 specifications were satisfied and which violated), not just
+    the count, so every preference pair can be explained after the fact.
+
+    Telemetry: each scoring request runs inside a [feedback.score] span
+    (when {!Dpoaf_exec.Trace} is enabled), actual verification work (cache
+    misses) feeds the [feedback.score] latency histogram, and every
+    violated specification bumps its [feedback.violations.<spec>] counter
+    — the source of the spec-violation histogram in [dpoaf_cli report]. *)
 
 type t
+
+type profile = {
+  satisfied : string list;  (** spec names, in rule-book (Φ1..Φ15) order *)
+  violated : string list;  (** the complementary names, same order *)
+}
+(** Which of the 15 specifications a response's controller satisfied.
+    Invariant: [satisfied] and [violated] partition the rule book, so
+    [List.length satisfied] is exactly the response's score. *)
 
 val create : ?model:Dpoaf_automata.Ts.t -> unit -> t
 (** [model] defaults to the universal model (the paper integrates all
@@ -15,14 +31,20 @@ val create : ?model:Dpoaf_automata.Ts.t -> unit -> t
 val score_steps : t -> task_id:string -> string list -> int
 (** Number of the 15 specifications satisfied by the steps' controller. *)
 
+val profile_tokens : t -> corpus:Corpus.t -> Corpus.task_setup -> int list -> profile
+(** Verify a token-level response and return its full spec profile
+    (cached). *)
+
+val profile_tokens_hardened :
+  t -> corpus:Corpus.t -> Corpus.task_setup -> int list -> profile
+(** Profile after specification-guided repair ({!Dpoaf_lang.Repair.harden})
+    of the response's clauses — the post-hoc hardening baseline. *)
+
 val score_tokens : t -> corpus:Corpus.t -> Corpus.task_setup -> int list -> int
-(** Score a token-level response (cached). *)
+(** [List.length (profile_tokens …).satisfied] — same cached path. *)
 
 val score_tokens_hardened :
   t -> corpus:Corpus.t -> Corpus.task_setup -> int list -> int
-(** Score a response after specification-guided repair
-    ({!Dpoaf_lang.Repair.harden}) of its clauses — the post-hoc hardening
-    baseline. *)
 
 val cache_stats : t -> Dpoaf_exec.Cache.stats
 (** Hits, misses, evictions and current size of the verification cache —

@@ -2,6 +2,7 @@ module Rng = Dpoaf_util.Rng
 module Trace = Dpoaf_logic.Trace
 module Pool = Dpoaf_exec.Pool
 module Metrics = Dpoaf_exec.Metrics
+module Span = Dpoaf_exec.Trace
 
 type config = { rollouts : int; steps : int; noise : World.noise; seed : int }
 
@@ -17,8 +18,13 @@ let satisfaction_rate phi words =
   Dpoaf_util.Stats.fraction (fun word -> Trace.eval_finite phi word) words
 
 let rollouts_run = Metrics.counter "sim.rollouts"
+let rollout_latency = Metrics.histogram "sim.rollout"
 
 let evaluate ?jobs ?shield ~model ~controller ~specs config =
+  Span.with_span ~cat:"sim"
+    ~attrs:[ ("rollouts", string_of_int config.rollouts) ]
+    "sim.evaluate"
+  @@ fun () ->
   Metrics.time "sim.evaluate" (fun () ->
       let rng = Rng.create config.seed in
       (* Split both per-rollout streams sequentially, in the exact order the
@@ -32,12 +38,19 @@ let evaluate ?jobs ?shield ~model ~controller ~specs config =
           streams (i + 1) ((world_rng, run_rng) :: acc)
       in
       let words =
+        Span.with_span ~cat:"sim" "sim.rollouts" @@ fun () ->
         Pool.parallel_map ?jobs
           (fun (world_rng, run_rng) ->
+            let t0 = Unix.gettimeofday () in
             let world = World.create ~noise:config.noise ~model world_rng in
-            Runner.to_symbols
-              (Runner.run ?shield world controller ~steps:config.steps run_rng))
+            let word =
+              Runner.to_symbols
+                (Runner.run ?shield world controller ~steps:config.steps run_rng)
+            in
+            Metrics.observe rollout_latency (Unix.gettimeofday () -. t0);
+            word)
           (streams 0 [])
       in
       Metrics.add rollouts_run config.rollouts;
+      Span.with_span ~cat:"sim" "sim.score" @@ fun () ->
       List.map (fun (name, phi) -> (name, satisfaction_rate phi words)) specs)

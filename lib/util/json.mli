@@ -1,0 +1,40 @@
+(** Minimal JSON values: printing and strict parsing.
+
+    Just enough for the telemetry files written by {!Dpoaf_exec.Trace} and
+    read back by [dpoaf_cli report] — objects, arrays, strings, doubles —
+    without an external dependency.  Numbers are represented as [float]
+    (like every mainstream JSON library); [NaN]/[infinity] print as
+    [null]. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact single-line rendering with proper string escaping. *)
+
+val parse : string -> (t, string) result
+(** Strict parse of one JSON document (no trailing garbage). *)
+
+val parse_exn : string -> t
+(** @raise Bad on malformed input. *)
+
+exception Bad of string
+
+(** {1 Accessors} — shallow, [None] on shape mismatch. *)
+
+val member : string -> t -> t option
+val to_float : t -> float option
+val to_str : t -> string option
+val to_list : t -> t list option
+
+(** {1 Constructors} — aliases that read well at call sites. *)
+
+val obj : (string * t) list -> t
+val str : string -> t
+val num : float -> t
+val arr : t list -> t

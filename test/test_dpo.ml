@@ -14,6 +14,8 @@ let make_model seed =
 
 let tokens steps = Grammar.tokens_of_steps vocab steps
 
+let phis n = List.init n (fun i -> Printf.sprintf "phi_%d" (i + 1))
+
 let mk_pair ?(task_id = "t") chosen rejected =
   {
     Pref_data.task_id;
@@ -22,6 +24,8 @@ let mk_pair ?(task_id = "t") chosen rejected =
     rejected = tokens rejected;
     chosen_score = 15;
     rejected_score = 9;
+    chosen_satisfied = phis 15;
+    rejected_satisfied = phis 9;
     grammar;
     min_clauses = 1;
     max_clauses = 3;
@@ -32,9 +36,9 @@ let mk_pair ?(task_id = "t") chosen rejected =
 let test_pairs_of_scored () =
   let scored =
     [
-      { Pref_data.tokens = tokens [ "turn right" ]; score = 10 };
-      { Pref_data.tokens = tokens [ "go now" ]; score = 12 };
-      { Pref_data.tokens = tokens [ "if red stop" ]; score = 10 };
+      { Pref_data.tokens = tokens [ "turn right" ]; score = 10; satisfied = phis 10 };
+      { Pref_data.tokens = tokens [ "go now" ]; score = 12; satisfied = phis 12 };
+      { Pref_data.tokens = tokens [ "if red stop" ]; score = 10; satisfied = phis 10 };
     ]
   in
   let pairs =
@@ -53,8 +57,8 @@ let test_pairs_of_scored () =
     pairs
 
 let test_pairs_dedup () =
-  let s = { Pref_data.tokens = tokens [ "turn right" ]; score = 10 } in
-  let s' = { Pref_data.tokens = tokens [ "go now" ]; score = 5 } in
+  let s = { Pref_data.tokens = tokens [ "turn right" ]; score = 10; satisfied = phis 10 } in
+  let s' = { Pref_data.tokens = tokens [ "go now" ]; score = 5; satisfied = phis 5 } in
   let pairs =
     Pref_data.pairs_of_scored ~task_id:"t" ~prompt ~grammar ~min_clauses:1
       ~max_clauses:3 [ s; s; s; s' ]
@@ -64,6 +68,33 @@ let test_pairs_dedup () =
 let test_count_possible () =
   Alcotest.(check int) "C2(8)" 28 (Pref_data.count_possible 8);
   Alcotest.(check int) "C2(1)" 0 (Pref_data.count_possible 1)
+
+let test_pair_provenance () =
+  (* pairs carry each side's satisfied-spec names; margin_specs is their
+     set difference *)
+  let a =
+    { Pref_data.tokens = tokens [ "turn right" ]; score = 3;
+      satisfied = [ "phi_1"; "phi_4"; "phi_7" ] }
+  in
+  let b =
+    { Pref_data.tokens = tokens [ "go now" ]; score = 1; satisfied = [ "phi_4" ] }
+  in
+  match
+    Pref_data.pairs_of_scored ~task_id:"t" ~prompt ~grammar ~min_clauses:1
+      ~max_clauses:3 [ a; b ]
+  with
+  | [ p ] ->
+      Alcotest.(check (list string)) "chosen satisfied"
+        [ "phi_1"; "phi_4"; "phi_7" ] p.Pref_data.chosen_satisfied;
+      Alcotest.(check (list string)) "rejected satisfied" [ "phi_4" ]
+        p.Pref_data.rejected_satisfied;
+      Alcotest.(check (list string)) "margin specs" [ "phi_1"; "phi_7" ]
+        (Pref_data.margin_specs p);
+      let json = Dpoaf_util.Json.to_string (Pref_data.json_of_pair p) in
+      let parsed = Dpoaf_util.Json.parse_exn json in
+      Alcotest.(check (option string)) "task round-trips" (Some "t")
+        Dpoaf_util.Json.(Option.bind (member "task" parsed) to_str)
+  | pairs -> Alcotest.failf "expected one pair, got %d" (List.length pairs)
 
 (* ---------------- loss and metrics ---------------- *)
 
@@ -175,6 +206,35 @@ let test_epoch0_checkpoint_is_reference () =
       Alcotest.(check (float 1e-9)) "identical to reference" 0.0 stats.Dpo.margin
   | _ -> Alcotest.fail "missing epoch-0 checkpoint"
 
+let test_step_records_stream () =
+  let reference = make_model 37 in
+  let records = ref [] in
+  let sink r = records := r :: !records in
+  let run =
+    Trainer.train ~sink ~reference ~pairs:(training_pairs ()) (quick_config 4)
+      ~seed:9
+  in
+  ignore run;
+  let rs = List.rev !records in
+  Alcotest.(check bool) "records emitted" true (List.length rs > 0);
+  List.iteri
+    (fun i (r : Trainer.step_record) ->
+      Alcotest.(check int) "steps numbered consecutively" (i + 1) r.Trainer.step;
+      Alcotest.(check bool) "positive step time" true (r.Trainer.seconds >= 0.0);
+      Alcotest.(check bool) "norms populated when sink attached" true
+        (r.Trainer.grad_norm > 0.0 && r.Trainer.update_norm > 0.0))
+    rs;
+  (* csv/jsonl renderings agree with the record *)
+  let r = List.hd rs in
+  let csv = Trainer.csv_line r in
+  Alcotest.(check int) "csv arity"
+    (List.length (String.split_on_char ',' Trainer.csv_header))
+    (List.length (String.split_on_char ',' csv));
+  let json = Dpoaf_util.Json.parse_exn (Trainer.jsonl_line r) in
+  Alcotest.(check (option (float 0.0))) "jsonl step"
+    (Some (float_of_int r.Trainer.step))
+    Dpoaf_util.Json.(Option.bind (member "step" json) to_float)
+
 (* ---------------- REINFORCE baseline ---------------- *)
 
 let test_reinforce_improves_reward () =
@@ -246,6 +306,7 @@ let () =
           Alcotest.test_case "pairs of scored" `Quick test_pairs_of_scored;
           Alcotest.test_case "dedup" `Quick test_pairs_dedup;
           Alcotest.test_case "count possible" `Quick test_count_possible;
+          Alcotest.test_case "provenance" `Quick test_pair_provenance;
         ] );
       ( "loss",
         [
@@ -260,6 +321,7 @@ let () =
           Alcotest.test_case "checkpoints" `Quick test_checkpoints_present;
           Alcotest.test_case "seeds" `Slow test_seeds_same_start_different_order;
           Alcotest.test_case "epoch0 = reference" `Quick test_epoch0_checkpoint_is_reference;
+          Alcotest.test_case "step records" `Quick test_step_records_stream;
         ] );
       ( "reinforce",
         [

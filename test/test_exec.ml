@@ -136,6 +136,142 @@ let test_metrics_counters_and_timers () =
   Alcotest.(check bool) "json mentions counter" true
     (contains (Metrics.to_json ()) {|"test.counter"|})
 
+let test_metrics_name_collision () =
+  let _ = Metrics.counter "test.collide.counter" in
+  let _ = Metrics.histogram "test.collide.histogram" in
+  let expect_invalid kind f =
+    match f () with
+    | exception Invalid_argument msg ->
+        let contains hay needle =
+          let h = String.length hay and n = String.length needle in
+          let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+          go 0
+        in
+        Alcotest.(check bool)
+          (Printf.sprintf "%s message names the existing kind (%s)" kind msg)
+          true
+          (contains msg "already registered")
+    | _ -> Alcotest.failf "%s: expected Invalid_argument" kind
+  in
+  expect_invalid "counter as timer" (fun () ->
+      Metrics.time "test.collide.counter" (fun () -> ()));
+  expect_invalid "counter as histogram" (fun () ->
+      ignore (Metrics.histogram "test.collide.counter"));
+  expect_invalid "histogram as counter" (fun () ->
+      ignore (Metrics.counter "test.collide.histogram"));
+  expect_invalid "histogram as timer" (fun () ->
+      Metrics.time "test.collide.histogram" (fun () -> ()))
+
+let test_metrics_histogram_summary () =
+  let h = Metrics.histogram "test.hist.basic" in
+  List.iter (Metrics.observe h) [ 0.001; 0.002; 0.004; 0.008; 0.1 ];
+  let summary = Metrics.summary () in
+  let get k = List.assoc ("test.hist.basic." ^ k) summary in
+  Alcotest.(check (float 1e-9)) "count" 5.0 (get "count");
+  Alcotest.(check (float 1e-9)) "min exact" 0.001 (get "min");
+  Alcotest.(check (float 1e-9)) "max exact" 0.1 (get "max");
+  Alcotest.(check (float 1e-9)) "sum" 0.115 (get "sum");
+  Alcotest.(check bool) "p50 within a bucket of the median" true
+    (get "p50" >= 0.004 && get "p50" <= 0.004 *. Metrics.bucket_base);
+  Alcotest.(check (float 1e-9)) "p99 clamps to max" 0.1 (get "p99")
+
+let test_metrics_delta () =
+  let c = Metrics.counter "test.delta.counter" in
+  let h = Metrics.histogram "test.delta.hist" in
+  Metrics.observe h 0.5;
+  let before = Metrics.summary () in
+  Metrics.add c 7;
+  Metrics.observe h 2.0;
+  let d = Metrics.delta before (Metrics.summary ()) in
+  Alcotest.(check (float 1e-9)) "counter differenced" 7.0
+    (List.assoc "test.delta.counter" d);
+  Alcotest.(check (float 1e-9)) "histogram count differenced" 1.0
+    (List.assoc "test.delta.hist.count" d);
+  (* order statistics pass through as their current value *)
+  Alcotest.(check (float 1e-9)) "max passed through" 2.0
+    (List.assoc "test.delta.hist.max" d);
+  Alcotest.(check bool) "absent keys count from zero" true
+    (let c2 = Metrics.counter "test.delta.late" in
+     Metrics.incr c2;
+     List.assoc "test.delta.late" (Metrics.delta before (Metrics.summary ()))
+     = 1.0)
+
+(* ---------------- tracing ---------------- *)
+
+let find_span name spans =
+  List.find (fun (e : Trace.event) -> e.Trace.name = name) spans
+
+let test_trace_disabled_is_free () =
+  Trace.disable ();
+  Trace.reset ();
+  let r = Trace.with_span "not.recorded" (fun () -> 41 + 1) in
+  Alcotest.(check int) "thunk result" 42 r;
+  Alcotest.(check int) "nothing buffered" 0 (List.length (Trace.events ()))
+
+let test_trace_nesting_and_parents () =
+  Trace.reset ();
+  Trace.enable ();
+  Fun.protect ~finally:Trace.disable @@ fun () ->
+  let inner_seen = ref (-2) in
+  Trace.with_span ~cat:"t" "outer" (fun () ->
+      Trace.with_span ~cat:"t" "inner" (fun () -> inner_seen := Trace.current ()));
+  let spans = Trace.events () in
+  Alcotest.(check int) "two spans" 2 (List.length spans);
+  let outer = find_span "outer" spans and inner = find_span "inner" spans in
+  Alcotest.(check int) "outer is a root" (-1) outer.Trace.parent;
+  Alcotest.(check int) "inner parented to outer" outer.Trace.id inner.Trace.parent;
+  Alcotest.(check int) "current () inside inner" inner.Trace.id !inner_seen;
+  Alcotest.(check bool) "inner starts after outer" true
+    (inner.Trace.ts_us >= outer.Trace.ts_us);
+  Alcotest.(check bool) "inner contained in outer" true
+    (inner.Trace.ts_us +. inner.Trace.dur_us
+     <= outer.Trace.ts_us +. outer.Trace.dur_us +. 1.0)
+
+let test_trace_spans_cross_pool jobs () =
+  Trace.reset ();
+  Trace.enable ();
+  Fun.protect ~finally:Trace.disable @@ fun () ->
+  let n = 6 in
+  let out =
+    Trace.with_span ~cat:"t" "batch" (fun () ->
+        Pool.parallel_map ~jobs
+          (fun i -> Trace.with_span ~cat:"t" "item" (fun () -> i * i))
+          (List.init n Fun.id))
+  in
+  Alcotest.(check (list int)) "results" (List.init n (fun i -> i * i)) out;
+  let spans = Trace.events () in
+  let batch = find_span "batch" spans in
+  let items = List.filter (fun (e : Trace.event) -> e.Trace.name = "item") spans in
+  Alcotest.(check int) "one span per item" n (List.length items);
+  List.iter
+    (fun (e : Trace.event) ->
+      Alcotest.(check int)
+        (Printf.sprintf "item on tid %d parented to batch" e.Trace.tid)
+        batch.Trace.id e.Trace.parent;
+      Alcotest.(check bool) "item within batch window" true
+        (e.Trace.ts_us >= batch.Trace.ts_us
+        && e.Trace.ts_us +. e.Trace.dur_us
+           <= batch.Trace.ts_us +. batch.Trace.dur_us +. 1.0))
+    items;
+  (* events are sorted by start time *)
+  let starts = List.map (fun (e : Trace.event) -> e.Trace.ts_us) spans in
+  Alcotest.(check bool) "sorted by ts" true
+    (starts = List.sort compare starts)
+
+let test_trace_jsonl_roundtrip () =
+  Trace.reset ();
+  Trace.enable ();
+  (Fun.protect ~finally:Trace.disable @@ fun () ->
+   Trace.with_span ~cat:"t" ~attrs:[ ("k", "v") ] "rt" (fun () -> ()));
+  let path = Filename.temp_file "dpoaf_trace" ".jsonl" in
+  Fun.protect ~finally:(fun () -> Sys.remove path) @@ fun () ->
+  Trace.write_jsonl path;
+  let reader = Trace.read_jsonl path in
+  let rt = find_span "rt" reader.Trace.spans in
+  Alcotest.(check string) "attr round-trips" "v" (List.assoc "k" rt.Trace.attrs);
+  Alcotest.(check string) "cat round-trips" "t" rt.Trace.cat;
+  Alcotest.(check bool) "metrics line present" true (reader.Trace.metrics <> [])
+
 (* ---------------- qcheck: parallel_map = List.map ---------------- *)
 
 let prop_parallel_map_pure k =
@@ -153,6 +289,35 @@ let prop_parallel_mapi_pure k =
     (fun xs ->
       let f i x = i + (2 * x) in
       Pool.parallel_mapi ~jobs:k f xs = List.mapi f xs)
+
+(* histogram percentiles vs a sorted-list nearest-rank oracle: the
+   log-bucketed estimate must bracket the exact order statistic within one
+   bucket's growth factor *)
+let hist_counter = ref 0
+
+let prop_histogram_percentile =
+  let positive = QCheck.Gen.map (fun x -> 1e-6 +. (x *. 1e4)) (QCheck.Gen.float_bound_exclusive 1.0) in
+  QCheck.Test.make ~count:100 ~name:"histogram percentile brackets oracle"
+    (QCheck.make
+       ~print:QCheck.Print.(list float)
+       QCheck.Gen.(list_size (int_range 1 200) positive))
+    (fun xs ->
+      incr hist_counter;
+      let h =
+        Metrics.histogram (Printf.sprintf "test.hist.prop%d" !hist_counter)
+      in
+      List.iter (Metrics.observe h) xs;
+      let sorted = Array.of_list xs in
+      Array.sort compare sorted;
+      let n = Array.length sorted in
+      List.for_all
+        (fun q ->
+          let oracle =
+            sorted.(max 0 (min (n - 1) (int_of_float (ceil (q *. float_of_int n)) - 1)))
+          in
+          let est = Metrics.percentile h q in
+          oracle <= est && est <= oracle *. Metrics.bucket_base)
+        [ 0.5; 0.9; 0.99 ])
 
 let qsuite name tests =
   (name, List.map (QCheck_alcotest.to_alcotest ~verbose:false) tests)
@@ -181,9 +346,25 @@ let () =
         [
           Alcotest.test_case "counters and timers" `Quick
             test_metrics_counters_and_timers;
+          Alcotest.test_case "name collision" `Quick test_metrics_name_collision;
+          Alcotest.test_case "histogram summary" `Quick
+            test_metrics_histogram_summary;
+          Alcotest.test_case "delta" `Quick test_metrics_delta;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "disabled is free" `Quick test_trace_disabled_is_free;
+          Alcotest.test_case "nesting and parents" `Quick
+            test_trace_nesting_and_parents;
+          Alcotest.test_case "spans cross pool (jobs=1)" `Quick
+            (test_trace_spans_cross_pool 1);
+          Alcotest.test_case "spans cross pool (jobs=4)" `Quick
+            (test_trace_spans_cross_pool 4);
+          Alcotest.test_case "jsonl roundtrip" `Quick test_trace_jsonl_roundtrip;
         ] );
       qsuite "properties"
         (List.concat_map
            (fun k -> [ prop_parallel_map_pure k; prop_parallel_mapi_pure k ])
-           [ 1; 2; 4 ]);
+           [ 1; 2; 4 ]
+        @ [ prop_histogram_percentile ]);
     ]

@@ -122,6 +122,69 @@ let test_feedback_hardened_good_not_degraded () =
   let hardened = Feedback.score_tokens_hardened feedback ~corpus setup good in
   Alcotest.(check bool) "no regression" true (hardened >= raw)
 
+let test_feedback_profile_invariants () =
+  let feedback = Feedback.create () in
+  let setup = Corpus.setup corpus (Tasks.find "right_turn_tl") in
+  let spec_names = List.map fst Dpoaf_driving.Specs.all in
+  let responses =
+    [
+      [ "execute the action turn right" ];
+      [ "observe the state of the green traffic light";
+        "if no car from left and no pedestrian at right, execute the action turn right" ];
+      [ "observe the state of the green traffic light" ];
+    ]
+  in
+  List.iter
+    (fun steps ->
+      let tokens = Grammar.tokens_of_steps corpus.Corpus.vocab steps in
+      let p = Feedback.profile_tokens feedback ~corpus setup tokens in
+      let score = Feedback.score_tokens feedback ~corpus setup tokens in
+      Alcotest.(check int) "provenance length = score" score
+        (List.length p.Feedback.satisfied);
+      (* satisfied + violated partition the 15-spec rule book, in order *)
+      Alcotest.(check (list string)) "partition of the rule book" spec_names
+        (List.filter
+           (fun n -> List.mem n p.Feedback.satisfied || List.mem n p.Feedback.violated)
+           spec_names);
+      Alcotest.(check int) "no overlap" 15
+        (List.length p.Feedback.satisfied + List.length p.Feedback.violated);
+      List.iter
+        (fun n ->
+          Alcotest.(check bool) "satisfied not also violated" false
+            (List.mem n p.Feedback.violated))
+        p.Feedback.satisfied)
+    responses
+
+let test_provenance_dump () =
+  let model = small_model 3 in
+  let feedback = Feedback.create () in
+  let pairs =
+    Dpoaf.collect_pairs corpus feedback model (Rng.create 4) ~m:6 Tasks.Training
+  in
+  List.iter
+    (fun (p : Pref_data.pair) ->
+      Alcotest.(check int) "chosen provenance matches score" p.Pref_data.chosen_score
+        (List.length p.Pref_data.chosen_satisfied);
+      Alcotest.(check int) "rejected provenance matches score"
+        p.Pref_data.rejected_score
+        (List.length p.Pref_data.rejected_satisfied);
+      Alcotest.(check bool) "margin specs non-empty" true
+        (Pref_data.margin_specs p <> []))
+    pairs;
+  let path = Filename.temp_file "dpoaf_prov" ".jsonl" in
+  Fun.protect ~finally:(fun () -> Sys.remove path) @@ fun () ->
+  Pref_data.dump_provenance path pairs;
+  let ic = open_in path in
+  let lines = ref 0 in
+  (try
+     while true do
+       let line = input_line ic in
+       ignore (Dpoaf_util.Json.parse_exn line);
+       incr lines
+     done
+   with End_of_file -> close_in ic);
+  Alcotest.(check int) "one JSON line per pair" (List.length pairs) !lines
+
 (* ---------------- pair collection ---------------- *)
 
 let test_collect_pairs_valid () =
@@ -301,6 +364,9 @@ let () =
           Alcotest.test_case "hardened scores" `Quick test_feedback_hardened_scores;
           Alcotest.test_case "hardened no regression" `Quick
             test_feedback_hardened_good_not_degraded;
+          Alcotest.test_case "profile invariants" `Quick
+            test_feedback_profile_invariants;
+          Alcotest.test_case "provenance dump" `Slow test_provenance_dump;
         ] );
       ( "pairs",
         [

@@ -1,0 +1,124 @@
+(* Standalone validator for the telemetry artifacts (used by `make
+   trace-check`):
+
+     trace_validate TRACE.jsonl [METRICS.json]
+
+   checks the JSONL event log (span fields, unique ids, resolvable
+   parents, time containment, terminating metrics line), the sibling
+   TRACE.jsonl.perfetto.json Chrome trace, and optionally a
+   --metrics-json summary.  Exits non-zero naming the first violation. *)
+
+module Trace = Dpoaf_exec.Trace
+module Json = Dpoaf_util.Json
+
+let failures = ref 0
+
+let check label ok =
+  if not ok then begin
+    incr failures;
+    Printf.eprintf "FAIL: %s\n" label
+  end
+
+let validate_jsonl path =
+  let reader = Trace.read_jsonl path in
+  let spans = reader.Trace.spans in
+  check "at least one span recorded" (spans <> []);
+  let ids = Hashtbl.create 64 in
+  List.iter
+    (fun (e : Trace.event) ->
+      check (Printf.sprintf "span %d has a name" e.Trace.id) (e.Trace.name <> "");
+      check (Printf.sprintf "span %d id unique" e.Trace.id)
+        (not (Hashtbl.mem ids e.Trace.id));
+      Hashtbl.add ids e.Trace.id e;
+      check
+        (Printf.sprintf "span %d (%s) non-negative times" e.Trace.id e.Trace.name)
+        (e.Trace.ts_us >= 0.0 && e.Trace.dur_us >= 0.0))
+    spans;
+  List.iter
+    (fun (e : Trace.event) ->
+      if e.Trace.parent >= 0 then begin
+        check
+          (Printf.sprintf "span %d (%s) parent %d resolvable" e.Trace.id
+             e.Trace.name e.Trace.parent)
+          (Hashtbl.mem ids e.Trace.parent);
+        match Hashtbl.find_opt ids e.Trace.parent with
+        | None -> ()
+        | Some (p : Trace.event) ->
+            (* 1µs slack: start/end timestamps are separate clock reads *)
+            check
+              (Printf.sprintf "span %d (%s) within parent %d (%s)" e.Trace.id
+                 e.Trace.name p.Trace.id p.Trace.name)
+              (e.Trace.ts_us +. 1.0 >= p.Trace.ts_us
+              && e.Trace.ts_us +. e.Trace.dur_us
+                 <= p.Trace.ts_us +. p.Trace.dur_us +. 1.0)
+      end)
+    spans;
+  let starts = List.map (fun (e : Trace.event) -> e.Trace.ts_us) spans in
+  check "spans sorted by start time" (starts = List.sort compare starts);
+  check "terminating metrics line present" (reader.Trace.metrics <> []);
+  (spans, reader.Trace.metrics)
+
+let validate_chrome path nspans =
+  match Json.parse (In_channel.with_open_text path In_channel.input_all) with
+  | Error msg ->
+      check (Printf.sprintf "%s parses as JSON (%s)" path msg) false
+  | Ok json -> (
+      match Option.bind (Json.member "traceEvents" json) Json.to_list with
+      | None -> check (path ^ " has a traceEvents array") false
+      | Some events ->
+          check
+            (Printf.sprintf "%s: one trace event per span (%d vs %d)" path
+               (List.length events) nspans)
+            (List.length events = nspans);
+          List.iter
+            (fun ev ->
+              let str k = Option.bind (Json.member k ev) Json.to_str in
+              let num k = Option.bind (Json.member k ev) Json.to_float in
+              check "event has name" (str "name" <> None);
+              check "event is a complete (ph=X) event" (str "ph" = Some "X");
+              check "event has ts/dur/pid/tid"
+                (num "ts" <> None && num "dur" <> None && num "pid" <> None
+               && num "tid" <> None))
+            events)
+
+let validate_metrics_json path =
+  match Json.parse (In_channel.with_open_text path In_channel.input_all) with
+  | Error msg -> check (Printf.sprintf "%s parses as JSON (%s)" path msg) false
+  | Ok json ->
+      (* Empty histograms emit only NAME.count = 0 (a finetune run never
+         observes sim.rollout and vice versa), so percentiles are required
+         only once the histogram has samples. *)
+      List.iter
+        (fun hist ->
+          let num suffix =
+            Option.bind (Json.member (hist ^ "." ^ suffix) json) Json.to_float
+          in
+          check (Printf.sprintf "%s: %s.count present" path hist)
+            (num "count" <> None);
+          if num "count" <> Some 0.0 then
+            List.iter
+              (fun suffix ->
+                check (Printf.sprintf "%s: %s.%s present" path hist suffix)
+                  (num suffix <> None))
+              [ "p50"; "p90"; "p99" ])
+        [ "feedback.score"; "sim.rollout"; "dpo.step" ]
+
+let () =
+  let argc = Array.length Sys.argv in
+  if argc < 2 then begin
+    prerr_endline "usage: trace_validate TRACE.jsonl [METRICS.json]";
+    exit 2
+  end;
+  let trace_path = Sys.argv.(1) in
+  let spans, metrics = validate_jsonl trace_path in
+  let chrome = trace_path ^ ".perfetto.json" in
+  if Sys.file_exists chrome then validate_chrome chrome (List.length spans)
+  else check (chrome ^ " exists") false;
+  if argc > 2 then validate_metrics_json Sys.argv.(2);
+  if !failures > 0 then begin
+    Printf.eprintf "%d validation failure(s) in %s\n" !failures trace_path;
+    exit 1
+  end
+  else
+    Printf.printf "%s: %d spans, %d metrics, chrome trace OK\n" trace_path
+      (List.length spans) (List.length metrics)
