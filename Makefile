@@ -1,4 +1,4 @@
-.PHONY: all build test bench check trace-check clean
+.PHONY: all build test bench check lint mli-check analysis-check trace-check clean
 
 all: build
 
@@ -11,14 +11,36 @@ test:
 bench:
 	dune exec bench/main.exe
 
-# The one-stop gate: full build, the whole test pyramid, a fast benchmark
-# pass on two workers to exercise the parallel scheduler, then the
-# telemetry round-trip.
+# The one-stop gate: full build, the lint + interface hygiene gates, the
+# whole test pyramid, a fast benchmark pass on two workers to exercise
+# the parallel scheduler, then the static-analysis and telemetry
+# round-trips.
 check:
 	dune build
+	$(MAKE) lint
+	$(MAKE) mli-check
 	dune runtest
 	dune exec bench/main.exe -- --fast --jobs 2
+	$(MAKE) analysis-check
 	$(MAKE) trace-check
+
+# Rebuild the libraries with the unused-code warning family (26/27,
+# 32..35, 69) promoted to errors — see lib/dune's `lint` env profile.
+lint:
+	dune build --profile lint
+
+# Every lib/**/*.ml must publish a matching .mli.
+mli-check:
+	sh tools/check_mli.sh
+
+# Static sanity layer round-trip: run the analyzer over the seed
+# artifacts (rule book, world models, canonical controllers), require a
+# clean exit (no error-severity diagnostics), and validate the JSON
+# artifact's shape.
+analysis-check:
+	dune build bin/dpoaf_cli.exe test/analysis_validate.exe
+	dune exec bin/dpoaf_cli.exe -- analyze --json --out _build/analysis.json
+	dune exec test/analysis_validate.exe -- _build/analysis.json
 
 # Telemetry round-trip: record a traced 2-worker bench section, then
 # validate the JSONL event log, the Perfetto trace and the metrics JSON.

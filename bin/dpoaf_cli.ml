@@ -490,6 +490,104 @@ let report_cmd =
              and the spec-violation histogram.")
     Term.(const run_report $ path_arg)
 
+(* ---------------- analyze ---------------- *)
+
+module Analysis = Dpoaf_analysis
+module Diag = Dpoaf_analysis.Diagnostic
+
+(* The static sanity layer: spec sanity (satisfiability, tautology,
+   pairwise redundancy, model-level vacuity) on the rule book, lint on
+   every world model, and structural lint + vacuity on controllers —
+   either the --step response or the paper's canonical responses.  Exits
+   non-zero when any error-severity diagnostic fires, so `make check` can
+   gate on a sane rule book. *)
+let run_analyze steps json out pairwise =
+  let specs = Specs.all in
+  let free = Dpoaf_logic.Symbol.of_atoms Vocab.actions in
+  let universal = Models.universal () in
+  let spec_diags = Analysis.Spec_sanity.check ~model:universal ~free ~pairwise specs in
+  let model_diags =
+    Analysis.Model_lint.lint ~specs ~ignore:free universal
+    @ List.concat_map
+        (fun sc ->
+          (* scenario proposition sets are deliberately partial: only the
+             universal model must cover the whole rule book *)
+          Analysis.Model_lint.lint ~specs ~coverage:false (Models.model sc))
+        Models.all_scenarios
+  in
+  let controllers =
+    match steps with
+    | [] ->
+        [
+          ("right_turn_before_ft", Responses.right_turn_before_ft);
+          ("right_turn_after_ft", Responses.right_turn_after_ft);
+          ("left_turn_after_ft", Responses.left_turn_after_ft);
+        ]
+    | steps -> [ ("cli", steps) ]
+  in
+  let controller_diags =
+    List.concat_map
+      (fun (name, steps) ->
+        let controller, _ = Evaluate.controller_of_steps ~name steps in
+        let satisfied = Evaluate.satisfied_specs ~model:universal controller in
+        Analysis.Controller_lint.lint controller
+        @ Analysis.Vacuity.diagnostics ~model:universal ~controller ~specs
+            ~satisfied)
+      controllers
+  in
+  let diags = Diag.sort (spec_diags @ model_diags @ controller_diags) in
+  let rendered =
+    if json then Dpoaf_util.Json.to_string (Diag.report_json diags) ^ "\n"
+    else begin
+      let buf = Buffer.create 1024 in
+      List.iter
+        (fun d -> Buffer.add_string buf (Diag.to_string d ^ "\n"))
+        diags;
+      Buffer.add_string buf
+        (Printf.sprintf
+           "%d diagnostic(s): %d error(s), %d warning(s), %d info(s) over %d \
+            spec(s), %d model(s), %d controller(s)\n"
+           (List.length diags)
+           (Diag.count Diag.Error diags)
+           (Diag.count Diag.Warning diags)
+           (Diag.count Diag.Info diags)
+           (List.length specs)
+           (1 + List.length Models.all_scenarios)
+           (List.length controllers));
+      Buffer.contents buf
+    end
+  in
+  (match out with
+  | None -> print_string rendered
+  | Some path ->
+      write_file path rendered;
+      Printf.printf "analysis written to %s\n" path);
+  if Diag.has_errors diags then exit 1
+
+let analyze_cmd =
+  let json_arg =
+    Arg.(value & flag
+         & info [ "json" ] ~doc:"Emit the diagnostic report as JSON (the \
+                                 schema validated by test/analysis_validate.exe).")
+  in
+  let out_arg =
+    Arg.(value & opt (some string) None
+         & info [ "out"; "o" ] ~docv:"FILE" ~doc:"Write the report to $(docv) \
+                                                  instead of stdout.")
+  in
+  let pairwise_arg =
+    let doc =
+      "Skip the quadratic pairwise-implication sweep over the rule book."
+    in
+    Term.(const not $ Arg.(value & flag & info [ "no-pairwise" ] ~doc))
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:"Static sanity analysis of the rule book, world models and \
+             controllers: vacuity, dead states, guard completeness, \
+             redundancy.  Exits 1 on any error-severity diagnostic.")
+    Term.(const run_analyze $ steps_arg $ json_arg $ out_arg $ pairwise_arg)
+
 (* ---------------- smv ---------------- *)
 
 let run_smv steps =
@@ -514,4 +612,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ tasks_cmd; specs_cmd; verify_cmd; synthesize_cmd; finetune_cmd;
-            simulate_cmd; report_cmd; smv_cmd ]))
+            simulate_cmd; report_cmd; analyze_cmd; smv_cmd ]))

@@ -1,0 +1,89 @@
+module Json = Dpoaf_util.Json
+
+type severity = Error | Warning | Info
+
+type artifact = Controller of string | Spec of string | Model of string
+
+type t = {
+  code : string;
+  severity : severity;
+  artifact : artifact;
+  message : string;
+  witness : string option;
+}
+
+let make ~code ~severity ~artifact ?witness message =
+  { code; severity; artifact; message; witness }
+
+let severity_string = function
+  | Error -> "error"
+  | Warning -> "warning"
+  | Info -> "info"
+
+let artifact_kind = function
+  | Controller _ -> "controller"
+  | Spec _ -> "spec"
+  | Model _ -> "model"
+
+let artifact_name = function
+  | Controller n | Spec n | Model n -> n
+
+let severity_rank = function Error -> 0 | Warning -> 1 | Info -> 2
+
+let compare_diag a b =
+  let c = compare (severity_rank a.severity) (severity_rank b.severity) in
+  if c <> 0 then c
+  else
+    let c = compare a.code b.code in
+    if c <> 0 then c
+    else
+      let c = compare (artifact_name a.artifact) (artifact_name b.artifact) in
+      if c <> 0 then c else compare a.message b.message
+
+let sort diags = List.sort compare_diag diags
+
+let errors diags = List.filter (fun d -> d.severity = Error) diags
+let has_errors diags = errors diags <> []
+
+let count severity diags =
+  List.length (List.filter (fun d -> d.severity = severity) diags)
+
+let pp ppf d =
+  Format.fprintf ppf "%-7s %s [%s %s]: %s" (severity_string d.severity) d.code
+    (artifact_kind d.artifact) (artifact_name d.artifact) d.message;
+  match d.witness with
+  | None -> ()
+  | Some w -> Format.fprintf ppf " (witness: %s)" w
+
+let to_string d = Format.asprintf "%a" pp d
+
+let to_json d =
+  Json.obj
+    [
+      ("code", Json.str d.code);
+      ("severity", Json.str (severity_string d.severity));
+      ( "artifact",
+        Json.obj
+          [
+            ("kind", Json.str (artifact_kind d.artifact));
+            ("name", Json.str (artifact_name d.artifact));
+          ] );
+      ("message", Json.str d.message);
+      ( "witness",
+        match d.witness with None -> Json.Null | Some w -> Json.str w );
+    ]
+
+let report_json diags =
+  let diags = sort diags in
+  Json.obj
+    [
+      ("diagnostics", Json.arr (List.map to_json diags));
+      ( "summary",
+        Json.obj
+          [
+            ("errors", Json.num (float_of_int (count Error diags)));
+            ("warnings", Json.num (float_of_int (count Warning diags)));
+            ("infos", Json.num (float_of_int (count Info diags)));
+            ("total", Json.num (float_of_int (List.length diags)));
+          ] );
+    ]

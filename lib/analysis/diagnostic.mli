@@ -1,0 +1,53 @@
+(** Typed findings of the static sanity layer.
+
+    Every analyzer in [Dpoaf_analysis] reports through this type, so the
+    CLI, the JSON artifact checked by [test/analysis_validate.exe] and the
+    tests all consume one stream.  Codes are stable identifiers
+    ([CTL]/[SPEC]/[MDL] + 3 digits, catalogued in [docs/analysis.md]);
+    severity [Error] means the artifact would corrupt verification
+    feedback and fails [dpoaf_cli analyze]. *)
+
+type severity = Error | Warning | Info
+
+type artifact = Controller of string | Spec of string | Model of string
+
+type t = {
+  code : string;  (** e.g. ["CTL001"]; stable, documented *)
+  severity : severity;
+  artifact : artifact;
+  message : string;
+  witness : string option;
+      (** A concrete witness (symbol, state, spec name) when the analyzer
+          can produce one. *)
+}
+
+val make :
+  code:string ->
+  severity:severity ->
+  artifact:artifact ->
+  ?witness:string ->
+  string ->
+  t
+
+val severity_string : severity -> string
+(** ["error"], ["warning"], ["info"] — the JSON encoding. *)
+
+val artifact_kind : artifact -> string
+val artifact_name : artifact -> string
+
+val sort : t list -> t list
+(** Most severe first, then by code, artifact and message. *)
+
+val errors : t list -> t list
+val has_errors : t list -> bool
+val count : severity -> t list -> int
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+val to_json : t -> Dpoaf_util.Json.t
+(** [{code, severity, artifact: {kind, name}, message, witness}]. *)
+
+val report_json : t list -> Dpoaf_util.Json.t
+(** The full [dpoaf_cli analyze --json] document: sorted [diagnostics]
+    plus a [summary] with per-severity counts. *)

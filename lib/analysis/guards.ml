@@ -1,0 +1,71 @@
+module Fsa = Dpoaf_automata.Fsa
+module Symbol = Dpoaf_logic.Symbol
+
+type literal = { atom : string; positive : bool }
+type cube = literal list
+type dnf = cube list
+
+(* Insert a literal into a cube sorted by atom name; [None] when the cube
+   already contains the opposite polarity (contradictory cube). *)
+let rec cube_add lit = function
+  | [] -> Some [ lit ]
+  | l :: rest as cube ->
+      let c = compare lit.atom l.atom in
+      if c < 0 then Some (lit :: cube)
+      else if c = 0 then if lit.positive = l.positive then Some cube else None
+      else Option.map (fun r -> l :: r) (cube_add lit rest)
+
+let cube_meet c1 c2 =
+  List.fold_left
+    (fun acc lit -> Option.bind acc (cube_add lit))
+    (Some c1) c2
+
+let product d1 d2 =
+  List.sort_uniq compare
+    (List.concat_map (fun c1 -> List.filter_map (cube_meet c1) d2) d1)
+
+let rec pos = function
+  | Fsa.Gtrue -> [ [] ]
+  | Fsa.Gatom a -> [ [ { atom = a; positive = true } ] ]
+  | Fsa.Gnot g -> neg g
+  | Fsa.Gand (a, b) -> product (pos a) (pos b)
+  | Fsa.Gor (a, b) -> List.sort_uniq compare (pos a @ pos b)
+
+and neg = function
+  | Fsa.Gtrue -> []
+  | Fsa.Gatom a -> [ [ { atom = a; positive = false } ] ]
+  | Fsa.Gnot g -> pos g
+  | Fsa.Gand (a, b) -> List.sort_uniq compare (neg a @ neg b)
+  | Fsa.Gor (a, b) -> product (neg a) (neg b)
+
+let of_guard = pos
+
+let eval_cube cube sym =
+  List.for_all (fun l -> Symbol.mem l.atom sym = l.positive) cube
+
+let eval dnf sym = List.exists (fun cube -> eval_cube cube sym) dnf
+
+let symbol_of_cube cube =
+  List.fold_left
+    (fun acc l -> if l.positive then Symbol.add l.atom acc else acc)
+    Symbol.empty cube
+
+let witness g =
+  match of_guard g with [] -> None | cube :: _ -> Some (symbol_of_cube cube)
+
+let satisfiable g = of_guard g <> []
+
+let disjunction = function
+  | [] -> Fsa.Gnot Fsa.Gtrue
+  | g :: rest -> List.fold_left (fun acc h -> Fsa.Gor (acc, h)) g rest
+
+let overlap_witness g1 g2 = witness (Fsa.Gand (g1, g2))
+
+let complement_witness guards = witness (Fsa.Gnot (disjunction guards))
+
+let compatible ~free sym cube =
+  List.for_all
+    (fun l -> Symbol.mem l.atom free || Symbol.mem l.atom sym = l.positive)
+    cube
+
+let satisfiable_under ~free sym g = List.exists (compatible ~free sym) (of_guard g)

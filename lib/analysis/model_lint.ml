@@ -1,0 +1,44 @@
+module Ltl = Dpoaf_logic.Ltl
+module Symbol = Dpoaf_logic.Symbol
+module Ts = Dpoaf_automata.Ts
+
+let dead_states (m : Ts.t) =
+  List.filter
+    (fun q -> Ts.successors m q = [])
+    (List.init (Ts.n_states m) Fun.id)
+
+let uncovered_atoms ~specs ?(ignore = Symbol.empty) (m : Ts.t) =
+  let spec_atoms =
+    List.fold_left
+      (fun acc (_, phi) -> Symbol.union acc (Ltl.atoms phi))
+      Symbol.empty specs
+  in
+  Symbol.diff (Symbol.diff spec_atoms ignore) (Ts.propositions m)
+
+let lint ?(specs = []) ?ignore ?(coverage = true) (m : Ts.t) =
+  let artifact = Diagnostic.Model m.Ts.name in
+  let dead =
+    List.map
+      (fun q ->
+        Diagnostic.make ~code:"MDL001" ~severity:Diagnostic.Error ~artifact
+          ~witness:m.Ts.state_names.(q)
+          (Printf.sprintf
+             "state %s has no successor: LTL is interpreted over infinite \
+              traces, so verification against this model silently stutters"
+             m.Ts.state_names.(q)))
+      (dead_states m)
+  in
+  let uncovered =
+    if not coverage then []
+    else
+      List.map
+        (fun atom ->
+          Diagnostic.make ~code:"MDL002" ~severity:Diagnostic.Error ~artifact
+            ~witness:atom
+            (Printf.sprintf
+               "atom %S is used by the rule book but never emitted by any \
+                state of %s: every specification guarded on it degenerates"
+               atom m.Ts.name))
+        (Symbol.elements (uncovered_atoms ~specs ?ignore m))
+  in
+  Diagnostic.sort (dead @ uncovered)

@@ -1,0 +1,53 @@
+(** Sanity checks on LTL rule books, via the existing tableau machinery.
+
+    Diagnostic codes:
+
+    - [SPEC001] (error) unsatisfiable specification — every controller
+      fails it
+    - [SPEC002] (error) tautological specification — every controller
+      satisfies it
+    - [SPEC003] (info) pairwise redundancy — one specification implies
+      another as an LTL validity
+    - [SPEC004] (warning) model-level vacuity — a [□(a ⇒ c)] whose
+      antecedent no reachable world-model state can trigger *)
+
+val propositional : Dpoaf_logic.Ltl.t -> bool
+(** No temporal operator anywhere. *)
+
+val guard_of_prop :
+  Dpoaf_logic.Ltl.t -> Dpoaf_automata.Fsa.guard option
+(** Embed a propositional formula into the guard language ([None] on
+    temporal formulas), so {!Guards} can decide it exactly. *)
+
+val antecedent : Dpoaf_logic.Ltl.t -> Dpoaf_logic.Ltl.t option
+(** The trigger [a] of a [□(a ⇒ c)] with propositional [a]. *)
+
+val unsatisfiable : Dpoaf_logic.Ltl.t -> bool
+val tautological : Dpoaf_logic.Ltl.t -> bool
+
+val implies : Dpoaf_logic.Ltl.t -> Dpoaf_logic.Ltl.t -> bool
+(** LTL validity of the implication, by emptiness of [φᵢ ∧ ¬φⱼ]. *)
+
+val implications :
+  (string * Dpoaf_logic.Ltl.t) list -> (string * string) list
+(** All ordered pairs [(nᵢ, nⱼ)] with [φᵢ ⇒ φⱼ], [nᵢ ≠ nⱼ]. *)
+
+val vacuous_in_model :
+  model:Dpoaf_automata.Ts.t ->
+  ?free:Dpoaf_logic.Symbol.t ->
+  Dpoaf_logic.Ltl.t ->
+  bool
+(** True when the formula has a [□(a ⇒ c)] antecedent that no reachable
+    state of [model] can trigger.  Atoms in [free] (typically the
+    controller's action atoms, which the model does not emit) are
+    unconstrained; all other atoms are fixed by each state's label. *)
+
+val check :
+  ?model:Dpoaf_automata.Ts.t ->
+  ?free:Dpoaf_logic.Symbol.t ->
+  ?pairwise:bool ->
+  (string * Dpoaf_logic.Ltl.t) list ->
+  Diagnostic.t list
+(** All checks above over a named rule book; [pairwise] (default true)
+    controls the quadratic implication sweep, vacuity runs only when
+    [model] is given. *)

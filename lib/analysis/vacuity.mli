@@ -1,0 +1,36 @@
+(** Per-controller vacuity: specs "satisfied" only because their trigger
+    never occurs in the closed loop.
+
+    A specification [□(a ⇒ c)] holds vacuously for controller [C] in model
+    [M] when no reachable state of [M ⊗ C] satisfies [a]: the model checker
+    reports [Holds], but the verdict says nothing about [C]'s behaviour.
+    Preference pairs whose entire margin is vacuous carry a corrupted
+    training signal — {!Dpoaf_pipeline.Feedback} flags them through this
+    module. *)
+
+val triggered_specs :
+  model:Dpoaf_automata.Ts.t ->
+  controller:Dpoaf_automata.Fsa.t ->
+  specs:(string * Dpoaf_logic.Ltl.t) list ->
+  string list
+(** Names of specs whose antecedent some reachable product state triggers.
+    Specs without a propositional [□(a ⇒ c)] shape are conservatively
+    counted as triggered (never reported vacuous). *)
+
+val vacuously_satisfied :
+  model:Dpoaf_automata.Ts.t ->
+  controller:Dpoaf_automata.Fsa.t ->
+  specs:(string * Dpoaf_logic.Ltl.t) list ->
+  satisfied:string list ->
+  string list
+(** The subset of [satisfied] whose antecedent never triggers — in
+    rule-book order (the order of [satisfied]). *)
+
+val diagnostics :
+  model:Dpoaf_automata.Ts.t ->
+  controller:Dpoaf_automata.Fsa.t ->
+  specs:(string * Dpoaf_logic.Ltl.t) list ->
+  satisfied:string list ->
+  Diagnostic.t list
+(** One [VAC001] (info) diagnostic per vacuously satisfied spec, with the
+    spec name as witness. *)

@@ -1,6 +1,11 @@
 module Json = Dpoaf_util.Json
 
-type scored = { tokens : int list; score : int; satisfied : string list }
+type scored = {
+  tokens : int list;
+  score : int;
+  satisfied : string list;
+  vacuous : string list;
+}
 
 type pair = {
   task_id : string;
@@ -11,6 +16,7 @@ type pair = {
   rejected_score : int;
   chosen_satisfied : string list;
   rejected_satisfied : string list;
+  chosen_vacuous : string list;
   grammar : Dpoaf_lm.Grammar.t;
   min_clauses : int;
   max_clauses : int;
@@ -48,6 +54,7 @@ let pairs_of_scored ~task_id ~prompt ~grammar ~min_clauses ~max_clauses scored =
             rejected_score = l.score;
             chosen_satisfied = w.satisfied;
             rejected_satisfied = l.satisfied;
+            chosen_vacuous = w.vacuous;
             grammar;
             min_clauses;
             max_clauses;
@@ -63,6 +70,15 @@ let margin_specs pair =
     (fun s -> not (List.mem s pair.rejected_satisfied))
     pair.chosen_satisfied
 
+(* The pair's formal justification evaporates when every margin spec is
+   only vacuously satisfied by the winner: the "better" response was never
+   even exercised on those rules.  Such pairs are flagged in provenance
+   and counted by the feedback.vacuous_margin metric. *)
+let vacuous_margin pair =
+  match margin_specs pair with
+  | [] -> false
+  | margin -> List.for_all (fun s -> List.mem s pair.chosen_vacuous) margin
+
 let json_of_pair pair =
   let strs xs = Json.arr (List.map Json.str xs) in
   Json.obj
@@ -72,7 +88,9 @@ let json_of_pair pair =
       ("rejected_score", Json.num (float_of_int pair.rejected_score));
       ("chosen_satisfied", strs pair.chosen_satisfied);
       ("rejected_satisfied", strs pair.rejected_satisfied);
+      ("chosen_vacuous", strs pair.chosen_vacuous);
       ("margin_specs", strs (margin_specs pair));
+      ("vacuous_margin", Json.Bool (vacuous_margin pair));
     ]
 
 let dump_provenance path pairs =

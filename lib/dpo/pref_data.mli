@@ -15,6 +15,9 @@ type scored = {
   score : int;
   satisfied : string list;
       (** satisfied spec names; [List.length satisfied = score] *)
+  vacuous : string list;
+      (** subset of [satisfied] holding only vacuously (trigger never
+          occurs in the product — see {!Dpoaf_analysis.Vacuity}) *)
 }
 (** A response (token sequence), the number of specifications its
     controller satisfies, and which ones. *)
@@ -28,6 +31,7 @@ type pair = {
   rejected_score : int;
   chosen_satisfied : string list;
   rejected_satisfied : string list;
+  chosen_vacuous : string list;
   grammar : Dpoaf_lm.Grammar.t;
   min_clauses : int;
   max_clauses : int;
@@ -53,9 +57,16 @@ val margin_specs : pair -> string list
 (** The specifications the chosen response satisfies and the rejected one
     does not — the formal reason this pair prefers its winner. *)
 
+val vacuous_margin : pair -> bool
+(** True when the margin is non-empty but every margin specification is
+    only vacuously satisfied by the chosen response — the pair's formal
+    justification carries no behavioural information.  Counted by the
+    [feedback.vacuous_margin] metric when pairs are mined. *)
+
 val json_of_pair : pair -> Dpoaf_util.Json.t
-(** One provenance record: task, both scores, both satisfied sets and the
-    margin specs (token sequences are omitted — they are corpus-relative). *)
+(** One provenance record: task, both scores, both satisfied sets, the
+    chosen side's vacuous set, the margin specs and the [vacuous_margin]
+    flag (token sequences are omitted — they are corpus-relative). *)
 
 val dump_provenance : string -> pair list -> unit
 (** Write one {!json_of_pair} line per pair (JSONL) to the given path. *)

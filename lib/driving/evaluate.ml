@@ -28,23 +28,41 @@ let satisfied_specs ?model controller =
 
 let count_specs ?model controller = List.length (satisfied_specs ?model controller)
 
+type profile = { satisfied : string list; vacuous : string list }
+
+(* Vacuity rides along with verification: one extra product construction
+   per profiled controller tells which "satisfied" verdicts hold only
+   because their antecedent never triggers in the closed loop — the
+   degenerate satisfactions the analyzer exists to expose. *)
+let profile_of_controller ?model controller =
+  let model = match model with Some m -> m | None -> Models.universal () in
+  let satisfied = satisfied_specs ~model controller in
+  let vacuous =
+    Dpoaf_analysis.Vacuity.vacuously_satisfied ~model ~controller
+      ~specs:Specs.all ~satisfied
+  in
+  { satisfied; vacuous }
+
 (* Spec evaluation is pure in (model, steps): the same step list compiles
    to the same controller and verdicts.  Model names are unique per
    scenario (and "universal"), so they key the model side cheaply.  The
    cache is bounded — distinct step lists are effectively unbounded across
-   long sampling runs.  The cached value is the full satisfied-spec name
-   list, so verification provenance costs no extra model-checker calls. *)
-let profile_cache : (string * string list, string list) Cache.t =
-  Cache.create ~capacity:65536 ~name:"evaluate.count_specs" ()
+   long sampling runs.  The cached value is the full profile (satisfied
+   and vacuously-satisfied spec names), so verification provenance costs
+   no extra model-checker calls. *)
+let profile_cache : (string * string list, profile) Cache.t =
+  Cache.create ~capacity:65536 ~name:"evaluate.profile" ()
 
 let evaluations = Metrics.counter "evaluate.count_specs_of_steps"
 
-let satisfied_specs_of_steps ?model steps =
+let profile_of_steps ?model steps =
   Metrics.incr evaluations;
   let model = match model with Some m -> m | None -> Models.universal () in
   Cache.find_or_add profile_cache (model.Dpoaf_automata.Ts.name, steps) (fun () ->
       let controller, _stats = controller_of_steps ~name:"response" steps in
-      satisfied_specs ~model controller)
+      profile_of_controller ~model controller)
+
+let satisfied_specs_of_steps ?model steps = (profile_of_steps ?model steps).satisfied
 
 let count_specs_of_steps ?model steps =
   List.length (satisfied_specs_of_steps ?model steps)

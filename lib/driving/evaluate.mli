@@ -27,11 +27,27 @@ val count_specs : ?model:Dpoaf_automata.Ts.t -> Dpoaf_automata.Fsa.t -> int
 (** Number of the 15 specifications satisfied
     ([= List.length (satisfied_specs …)]). *)
 
+type profile = {
+  satisfied : string list;  (** spec names, in rule-book (Φ1..Φ15) order *)
+  vacuous : string list;
+      (** subset of [satisfied] holding only vacuously: their [□(a ⇒ c)]
+          antecedent never triggers in the product
+          ({!Dpoaf_analysis.Vacuity}) *)
+}
+
+val profile_of_controller :
+  ?model:Dpoaf_automata.Ts.t -> Dpoaf_automata.Fsa.t -> profile
+(** Verify and vacuity-check a controller in one pass. *)
+
+val profile_of_steps : ?model:Dpoaf_automata.Ts.t -> string list -> profile
+(** Parse, compile, verify and vacuity-check in one call (controller name
+    ["response"]).  Memoized on (model name, steps) through
+    {!Dpoaf_exec.Cache}, since the same step lists recur constantly across
+    sampling rounds. *)
+
 val satisfied_specs_of_steps :
   ?model:Dpoaf_automata.Ts.t -> string list -> string list
-(** Parse, compile and verify in one call (controller name ["response"]).
-    Memoized on (model name, steps) through {!Dpoaf_exec.Cache}, since the
-    same step lists recur constantly across sampling rounds. *)
+(** [(profile_of_steps …).satisfied] — same memoized path. *)
 
 val count_specs_of_steps : ?model:Dpoaf_automata.Ts.t -> string list -> int
 (** [List.length (satisfied_specs_of_steps …)] — same memoized path. *)

@@ -53,8 +53,13 @@ let sample_scored ?(harden = false) ?jobs corpus feedback model rng ~m ~temperat
   List.map2
     (fun tokens (p : Feedback.profile) ->
       { Pref_data.tokens; score = List.length p.Feedback.satisfied;
-        satisfied = p.Feedback.satisfied })
+        satisfied = p.Feedback.satisfied; vacuous = p.Feedback.vacuous })
     sampled profiles
+
+(* Pairs whose whole margin is vacuously satisfied train on noise; the
+   static analyzer flags them in provenance and this counter sizes the
+   problem per run (surfaced by `dpoaf_cli report`). *)
+let vacuous_margin_pairs = Metrics.counter "feedback.vacuous_margin"
 
 let collect_pairs ?jobs corpus feedback model rng ~m ?(temperature = 1.0) split =
   Trace.with_span ~cat:"pipeline" "pipeline.collect_pairs" @@ fun () ->
@@ -64,10 +69,17 @@ let collect_pairs ?jobs corpus feedback model rng ~m ?(temperature = 1.0) split 
           let scored =
             sample_scored ?jobs corpus feedback model rng ~m ~temperature setup
           in
-          Pref_data.pairs_of_scored ~task_id:setup.Corpus.task.Tasks.id
-            ~prompt:setup.Corpus.prompt ~grammar:setup.Corpus.grammar
-            ~min_clauses:setup.Corpus.min_clauses
-            ~max_clauses:setup.Corpus.max_clauses scored)
+          let pairs =
+            Pref_data.pairs_of_scored ~task_id:setup.Corpus.task.Tasks.id
+              ~prompt:setup.Corpus.prompt ~grammar:setup.Corpus.grammar
+              ~min_clauses:setup.Corpus.min_clauses
+              ~max_clauses:setup.Corpus.max_clauses scored
+          in
+          List.iter
+            (fun p ->
+              if Pref_data.vacuous_margin p then Metrics.incr vacuous_margin_pairs)
+            pairs;
+          pairs)
         (Corpus.setups_of_split corpus split))
 
 let mean_specs_satisfied ?(harden = false) ?jobs corpus feedback model rng ~samples

@@ -8,7 +8,11 @@ module Trace = Dpoaf_exec.Trace
 (* (task id, tokens, hardened?) — the full identity of a scoring request *)
 type key = string * int list * bool
 
-type profile = { satisfied : string list; violated : string list }
+type profile = {
+  satisfied : string list;
+  violated : string list;
+  vacuous : string list;
+}
 
 type t = {
   model : Dpoaf_automata.Ts.t;
@@ -25,8 +29,13 @@ let score_latency = Metrics.histogram "feedback.score"
 let violation_counters =
   List.map (fun n -> (n, Metrics.counter ("feedback.violations." ^ n))) spec_names
 
-let profile_of_satisfied satisfied =
-  { satisfied; violated = List.filter (fun n -> not (List.mem n satisfied)) spec_names }
+let profile_of_eval (p : Evaluate.profile) =
+  {
+    satisfied = p.Evaluate.satisfied;
+    violated =
+      List.filter (fun n -> not (List.mem n p.Evaluate.satisfied)) spec_names;
+    vacuous = p.Evaluate.vacuous;
+  }
 
 let create ?model () =
   let model = match model with Some m -> m | None -> Models.universal () in
@@ -38,9 +47,9 @@ let create ?model () =
 let score_steps t ~task_id:_ steps =
   Evaluate.count_specs_of_steps ~model:t.model steps
 
-let satisfied_of_clauses t clauses =
+let profile_of_clauses t clauses =
   let controller = Dpoaf_lang.Glm2fsa.controller ~name:"response" clauses in
-  Evaluate.satisfied_specs ~model:t.model controller
+  Evaluate.profile_of_controller ~model:t.model controller
 
 (* Every scoring request passes through here: the span and the per-spec
    violation counters fire per request (hit or miss), reflecting the
@@ -53,9 +62,9 @@ let cached t ~task_id key compute =
       let p =
         Cache.find_or_add t.cache key (fun () ->
             let t0 = Unix.gettimeofday () in
-            let satisfied = compute () in
+            let eval_profile = compute () in
             Metrics.observe score_latency (Unix.gettimeofday () -. t0);
-            profile_of_satisfied satisfied)
+            profile_of_eval eval_profile)
       in
       List.iter
         (fun name -> Metrics.incr (List.assoc name violation_counters))
@@ -70,7 +79,7 @@ let profile_tokens t ~corpus setup tokens =
   let task_id = setup.Corpus.task.Tasks.id in
   cached t ~task_id (task_id, tokens, false) (fun () ->
       let steps = Corpus.steps_of_tokens corpus tokens in
-      Evaluate.satisfied_specs_of_steps ~model:t.model steps)
+      Evaluate.profile_of_steps ~model:t.model steps)
 
 let profile_tokens_hardened t ~corpus setup tokens =
   let task_id = setup.Corpus.task.Tasks.id in
@@ -81,7 +90,7 @@ let profile_tokens_hardened t ~corpus setup tokens =
           ~specs:(List.map snd Dpoaf_driving.Specs.all)
           ~all_actions:Dpoaf_driving.Vocab.actions clauses
       in
-      satisfied_of_clauses t hardened)
+      profile_of_clauses t hardened)
 
 let score_tokens t ~corpus setup tokens =
   List.length (profile_tokens t ~corpus setup tokens).satisfied

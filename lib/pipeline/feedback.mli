@@ -19,10 +19,16 @@ type t
 type profile = {
   satisfied : string list;  (** spec names, in rule-book (Φ1..Φ15) order *)
   violated : string list;  (** the complementary names, same order *)
+  vacuous : string list;
+      (** subset of [satisfied] holding only vacuously — the antecedent of
+          the specification never triggers in the product
+          ({!Dpoaf_analysis.Vacuity}); such "satisfactions" carry no
+          information about the response's behaviour *)
 }
 (** Which of the 15 specifications a response's controller satisfied.
     Invariant: [satisfied] and [violated] partition the rule book, so
-    [List.length satisfied] is exactly the response's score. *)
+    [List.length satisfied] is exactly the response's score;
+    [vacuous ⊆ satisfied]. *)
 
 val create : ?model:Dpoaf_automata.Ts.t -> unit -> t
 (** [model] defaults to the universal model (the paper integrates all

@@ -1,0 +1,114 @@
+(* Standalone validator for the static-analysis artifact (used by `make
+   analysis-check`):
+
+     analysis_validate REPORT.json
+
+   checks the `dpoaf_cli analyze --json` document: a diagnostics array of
+   well-formed records (stable code syntax, known severities and artifact
+   kinds, non-empty messages, string-or-null witnesses), sorted most
+   severe first, plus a summary whose per-severity counts match a recount
+   of the array.  Exits non-zero naming the first violation. *)
+
+module Json = Dpoaf_util.Json
+
+let failures = ref 0
+
+let check label ok =
+  if not ok then begin
+    incr failures;
+    Printf.eprintf "FAIL: %s\n" label
+  end
+
+let code_ok code =
+  let prefix_ok =
+    List.exists
+      (fun p ->
+        String.length code = String.length p + 3
+        && String.sub code 0 (String.length p) = p)
+      [ "CTL"; "SPEC"; "MDL"; "VAC" ]
+  in
+  prefix_ok
+  && String.for_all
+       (fun c -> c >= '0' && c <= '9')
+       (String.sub code (String.length code - 3) 3)
+
+let severity_rank = function
+  | "error" -> Some 0
+  | "warning" -> Some 1
+  | "info" -> Some 2
+  | _ -> None
+
+let validate_diag i d =
+  let str k = Option.bind (Json.member k d) Json.to_str in
+  let ctx = Printf.sprintf "diagnostic %d" i in
+  (match str "code" with
+  | Some code -> check (Printf.sprintf "%s: code %S well-formed" ctx code) (code_ok code)
+  | None -> check (ctx ^ ": has a code") false);
+  let rank =
+    match str "severity" with
+    | Some s ->
+        let r = severity_rank s in
+        check (Printf.sprintf "%s: known severity %S" ctx s) (r <> None);
+        r
+    | None ->
+        check (ctx ^ ": has a severity") false;
+        None
+  in
+  (match Json.member "artifact" d with
+  | Some a ->
+      let akind = Option.bind (Json.member "kind" a) Json.to_str in
+      check
+        (ctx ^ ": artifact kind known")
+        (List.mem akind [ Some "controller"; Some "spec"; Some "model" ]);
+      check
+        (ctx ^ ": artifact name non-empty")
+        (match Option.bind (Json.member "name" a) Json.to_str with
+        | Some n -> n <> ""
+        | None -> false)
+  | None -> check (ctx ^ ": has an artifact") false);
+  check
+    (ctx ^ ": message non-empty")
+    (match str "message" with Some m -> m <> "" | None -> false);
+  check
+    (ctx ^ ": witness is string or null")
+    (match Json.member "witness" d with
+    | Some (Json.Str _) | Some Json.Null -> true
+    | _ -> false);
+  rank
+
+let () =
+  if Array.length Sys.argv < 2 then begin
+    prerr_endline "usage: analysis_validate REPORT.json";
+    exit 2
+  end;
+  let path = Sys.argv.(1) in
+  (match Json.parse (In_channel.with_open_text path In_channel.input_all) with
+  | Error msg -> check (Printf.sprintf "%s parses as JSON (%s)" path msg) false
+  | Ok json -> (
+      match Option.bind (Json.member "diagnostics" json) Json.to_list with
+      | None -> check (path ^ " has a diagnostics array") false
+      | Some diags ->
+          let ranks = List.mapi validate_diag diags in
+          let present = List.filter_map Fun.id ranks in
+          check "diagnostics sorted most severe first"
+            (present = List.sort compare present);
+          let count r =
+            float_of_int (List.length (List.filter (( = ) r) present))
+          in
+          let summary k =
+            Option.bind (Json.member "summary" json)
+              (fun s -> Option.bind (Json.member k s) Json.to_float)
+          in
+          List.iter
+            (fun (k, r) ->
+              check
+                (Printf.sprintf "summary.%s matches recount" k)
+                (summary k = Some (count r)))
+            [ ("errors", 0); ("warnings", 1); ("infos", 2) ];
+          check "summary.total matches recount"
+            (summary "total" = Some (float_of_int (List.length diags)))));
+  if !failures > 0 then begin
+    Printf.eprintf "%d validation failure(s) in %s\n" !failures path;
+    exit 1
+  end
+  else Printf.printf "%s: analysis report OK\n" path

@@ -1,0 +1,382 @@
+(* Tests for the static sanity layer (lib/analysis): the DNF guard engine
+   against brute-force enumeration, each diagnostic class on a seeded
+   defect, and the seed rule book's health. *)
+
+module Fsa = Dpoaf_automata.Fsa
+module Ts = Dpoaf_automata.Ts
+module Symbol = Dpoaf_logic.Symbol
+module Ltl = Dpoaf_logic.Ltl
+module Guards = Dpoaf_analysis.Guards
+module Controller_lint = Dpoaf_analysis.Controller_lint
+module Spec_sanity = Dpoaf_analysis.Spec_sanity
+module Model_lint = Dpoaf_analysis.Model_lint
+module Vacuity = Dpoaf_analysis.Vacuity
+module Diagnostic = Dpoaf_analysis.Diagnostic
+module Specs = Dpoaf_driving.Specs
+module Models = Dpoaf_driving.Models
+module Vocab = Dpoaf_driving.Vocab
+
+let sym = Symbol.of_atoms
+
+(* ---------------- qcheck: the DNF guard engine ---------------- *)
+
+let atoms = [| "a"; "b"; "c"; "d" |]
+
+(* Every subset of the 4-atom universe: brute-force ground truth for the
+   DNF verdicts (guards below only mention these atoms, and verdicts are
+   don't-care on unmentioned atoms). *)
+let all_symbols =
+  let rec subsets = function
+    | [] -> [ [] ]
+    | x :: rest ->
+        let s = subsets rest in
+        s @ List.map (fun l -> x :: l) s
+  in
+  List.map sym (subsets (Array.to_list atoms))
+
+let gen_guard =
+  let open QCheck.Gen in
+  sized_size (int_bound 8)
+  @@ fix (fun self n ->
+         if n <= 0 then
+           oneof
+             [ return Fsa.Gtrue; map (fun i -> Fsa.Gatom atoms.(i)) (int_bound 3) ]
+         else
+           frequency
+             [
+               (1, return Fsa.Gtrue);
+               (3, map (fun i -> Fsa.Gatom atoms.(i)) (int_bound 3));
+               (2, map (fun g -> Fsa.Gnot g) (self (n - 1)));
+               (2, map2 (fun a b -> Fsa.Gand (a, b)) (self (n / 2)) (self (n / 2)));
+               (2, map2 (fun a b -> Fsa.Gor (a, b)) (self (n / 2)) (self (n / 2)));
+             ])
+
+let print_guard = Format.asprintf "%a" Fsa.pp_guard
+let arb_guard = QCheck.make ~print:print_guard gen_guard
+
+let arb_guard_pair =
+  QCheck.make
+    ~print:(fun (a, b) -> print_guard a ^ " / " ^ print_guard b)
+    QCheck.Gen.(pair gen_guard gen_guard)
+
+let arb_guard_list =
+  QCheck.make
+    ~print:(fun gs -> String.concat " ; " (List.map print_guard gs))
+    QCheck.Gen.(list_size (int_range 0 3) gen_guard)
+
+let prop_dnf_agrees =
+  QCheck.Test.make ~count:500 ~name:"DNF eval agrees with Fsa.eval_guard"
+    arb_guard (fun g ->
+      let d = Guards.of_guard g in
+      List.for_all (fun s -> Guards.eval d s = Fsa.eval_guard g s) all_symbols)
+
+let prop_witness_valid =
+  QCheck.Test.make ~count:500 ~name:"witness agrees with brute-force sat"
+    arb_guard (fun g ->
+      match Guards.witness g with
+      | Some s -> Fsa.eval_guard g s
+      | None -> not (List.exists (Fsa.eval_guard g) all_symbols))
+
+let prop_overlap_agrees =
+  QCheck.Test.make ~count:300 ~name:"overlap verdict agrees with brute force"
+    arb_guard_pair (fun (g1, g2) ->
+      match Guards.overlap_witness g1 g2 with
+      | Some s -> Fsa.eval_guard g1 s && Fsa.eval_guard g2 s
+      | None ->
+          not
+            (List.exists
+               (fun s -> Fsa.eval_guard g1 s && Fsa.eval_guard g2 s)
+               all_symbols))
+
+let prop_completeness_agrees =
+  QCheck.Test.make ~count:300
+    ~name:"completeness verdict agrees with brute force" arb_guard_list
+    (fun gs ->
+      let none_enabled s = not (List.exists (fun g -> Fsa.eval_guard g s) gs) in
+      match Guards.complement_witness gs with
+      | Some s -> none_enabled s
+      | None -> not (List.exists none_enabled all_symbols))
+
+let qsuite name tests =
+  (name, List.map (QCheck_alcotest.to_alcotest ~verbose:false) tests)
+
+(* ---------------- controller lint: seeded defects ---------------- *)
+
+let codes diags = List.map (fun d -> d.Diagnostic.code) diags
+let has_code c diags = List.mem c (codes diags)
+
+let find_code c diags =
+  match List.find_opt (fun d -> d.Diagnostic.code = c) diags with
+  | Some d -> d
+  | None -> Alcotest.failf "expected a %s diagnostic, got [%s]" c
+              (String.concat "; " (codes diags))
+
+let tr src guard action dst = { Fsa.src; guard; action; dst }
+let go = sym [ "go" ]
+let stop = sym [ "stop" ]
+
+let test_clean_controller () =
+  (* complete, deterministic, all states reachable: no findings *)
+  let c =
+    Fsa.make ~name:"clean" ~n_states:2 ~init:0
+      ~transitions:
+        [
+          tr 0 (Fsa.Gatom "a") go 1;
+          tr 0 (Fsa.Gnot (Fsa.Gatom "a")) stop 0;
+          tr 1 Fsa.Gtrue stop 0;
+        ]
+      ()
+  in
+  Alcotest.(check (list string)) "no diagnostics" [] (codes (Controller_lint.lint c))
+
+let test_ctl001_unreachable () =
+  let c =
+    Fsa.make ~name:"orphan" ~n_states:3 ~init:0
+      ~transitions:
+        [ tr 0 Fsa.Gtrue go 1; tr 1 Fsa.Gtrue go 0; tr 2 Fsa.Gtrue go 2 ]
+      ()
+  in
+  let diags = Controller_lint.lint c in
+  let d = find_code "CTL001" diags in
+  Alcotest.(check string) "severity" "warning"
+    (Diagnostic.severity_string d.Diagnostic.severity);
+  Alcotest.(check bool) "names the orphan state" true
+    (d.Diagnostic.witness = Some "q2")
+
+let test_ctl002_stuck () =
+  (* q1 is reachable but its only guard is contradictory: the controller
+     freezes there (and the unsatisfiable guard is reported on its own) *)
+  let contradiction = Fsa.Gand (Fsa.Gatom "a", Fsa.Gnot (Fsa.Gatom "a")) in
+  let c =
+    Fsa.make ~name:"frozen" ~n_states:2 ~init:0
+      ~transitions:[ tr 0 Fsa.Gtrue go 1; tr 1 contradiction go 0 ]
+      ()
+  in
+  let diags = Controller_lint.lint c in
+  Alcotest.(check bool) "stuck state reported" true (has_code "CTL002" diags);
+  Alcotest.(check bool) "unsat guard reported" true (has_code "CTL006" diags);
+  Alcotest.(check bool) "lint fails" true (Diagnostic.has_errors diags)
+
+let test_ctl003_overlap () =
+  (* {a} enables both transitions with different actions: nondeterminism.
+     The Gtrue fallback also keeps the state complete, isolating CTL003. *)
+  let c =
+    Fsa.make ~name:"nondet" ~n_states:1 ~init:0
+      ~transitions:[ tr 0 (Fsa.Gatom "a") go 0; tr 0 Fsa.Gtrue stop 0 ]
+      ()
+  in
+  let diags = Controller_lint.lint c in
+  let d = find_code "CTL003" diags in
+  Alcotest.(check (list string)) "only the overlap" [ "CTL003" ] (codes diags);
+  Alcotest.(check bool) "witness enables both" true
+    (match d.Diagnostic.witness with
+    | Some w -> String.length w > 0
+    | None -> false)
+
+let test_ctl004_incomplete () =
+  (* no transition fires when "a" is absent *)
+  let c =
+    Fsa.make ~name:"partial" ~n_states:1 ~init:0
+      ~transitions:[ tr 0 (Fsa.Gatom "a") go 0 ]
+      ()
+  in
+  let diags = Controller_lint.lint c in
+  let d = find_code "CTL004" diags in
+  Alcotest.(check string) "severity" "error"
+    (Diagnostic.severity_string d.Diagnostic.severity);
+  (match Controller_lint.incompleteness c with
+  | [ (q, w) ] ->
+      Alcotest.(check int) "at the initial state" 0 q;
+      Alcotest.(check bool) "witness disables the guard" false
+        (Fsa.eval_guard (Fsa.Gatom "a") w)
+  | other -> Alcotest.failf "expected one gap, got %d" (List.length other))
+
+let test_ctl005_epsilon_cycle () =
+  let eps = Symbol.empty in
+  let c =
+    Fsa.make ~name:"silent" ~n_states:2 ~init:0
+      ~transitions:[ tr 0 Fsa.Gtrue eps 1; tr 1 Fsa.Gtrue eps 0 ]
+      ()
+  in
+  Alcotest.(check bool) "epsilon cycle reported" true
+    (has_code "CTL005" (Controller_lint.lint c))
+
+(* ---------------- spec sanity: rule book + seeded defects ------------- *)
+
+let test_rulebook_sane () =
+  List.iter
+    (fun (name, phi) ->
+      Alcotest.(check bool) (name ^ " satisfiable") false
+        (Spec_sanity.unsatisfiable phi);
+      Alcotest.(check bool) (name ^ " not a tautology") false
+        (Spec_sanity.tautological phi))
+    Specs.all
+
+let test_rulebook_redundancies () =
+  (* the implications the analyzer finds in the paper's 15-rule book *)
+  let imps = Spec_sanity.implications Specs.all in
+  List.iter
+    (fun (a, b) ->
+      Alcotest.(check bool) (a ^ " => " ^ b) true (List.mem (a, b) imps))
+    [ ("phi_5", "phi_11"); ("phi_9", "phi_15"); ("phi_12", "phi_2") ]
+
+let test_spec001_unsat () =
+  let bad = Ltl.And (Ltl.Always (Ltl.Atom "p"), Ltl.Eventually (Ltl.Not (Ltl.Atom "p"))) in
+  let diags = Spec_sanity.check [ ("bad", bad) ] in
+  let d = find_code "SPEC001" diags in
+  Alcotest.(check string) "artifact" "bad" (Diagnostic.artifact_name d.Diagnostic.artifact);
+  Alcotest.(check bool) "error severity" true (Diagnostic.has_errors diags)
+
+let test_spec002_tautology () =
+  let trivial = Ltl.Always (Ltl.Or (Ltl.Atom "p", Ltl.Not (Ltl.Atom "p"))) in
+  Alcotest.(check bool) "reported" true
+    (has_code "SPEC002" (Spec_sanity.check [ ("trivial", trivial) ]))
+
+let test_spec003_redundancy () =
+  let strong = Ltl.Always (Ltl.And (Ltl.Atom "p", Ltl.Atom "q")) in
+  let weak = Ltl.Always (Ltl.Atom "p") in
+  let diags = Spec_sanity.check [ ("strong", strong); ("weak", weak) ] in
+  let d = find_code "SPEC003" diags in
+  Alcotest.(check string) "redundant spec is the implied one" "weak"
+    (Diagnostic.artifact_name d.Diagnostic.artifact);
+  Alcotest.(check bool) "info only" false (Diagnostic.has_errors diags);
+  Alcotest.(check (list string)) "no sweep without pairwise" []
+    (codes (Spec_sanity.check ~pairwise:false [ ("strong", strong); ("weak", weak) ]))
+
+let one_state_model label =
+  Ts.make ~name:"m" ~states:[ ("s0", label) ] ~transitions:[ ("s0", "s0") ] ()
+
+let test_spec004_model_vacuity () =
+  (* the antecedent atom never occurs in the model *)
+  let phi = Ltl.Always (Ltl.Implies (Ltl.Atom "trig", Ltl.Eventually (Ltl.Atom "p"))) in
+  let model = one_state_model (sym [ "p" ]) in
+  Alcotest.(check bool) "vacuous" true (Spec_sanity.vacuous_in_model ~model phi);
+  Alcotest.(check bool) "reported" true
+    (has_code "SPEC004" (Spec_sanity.check ~model [ ("ghost", phi) ]));
+  (* a free atom makes the antecedent reachable again *)
+  Alcotest.(check bool) "free atoms unconstrained" false
+    (Spec_sanity.vacuous_in_model ~model ~free:(sym [ "trig" ]) phi)
+
+(* ---------------- model lint: seeded defects ---------------- *)
+
+let test_mdl001_dead_state () =
+  let m =
+    Ts.make ~name:"dead"
+      ~states:[ ("s0", sym [ "p" ]); ("s1", sym []) ]
+      ~transitions:[ ("s0", "s1") ] ()
+  in
+  let diags = Model_lint.lint m in
+  let d = find_code "MDL001" diags in
+  Alcotest.(check bool) "names the dead state" true
+    (d.Diagnostic.witness = Some "s1")
+
+let test_mdl002_uncovered_atom () =
+  let m = one_state_model (sym [ "p" ]) in
+  let specs = [ ("s", Ltl.Always (Ltl.Implies (Ltl.Atom "ghost", Ltl.Atom "p"))) ] in
+  let diags = Model_lint.lint ~specs m in
+  let d = find_code "MDL002" diags in
+  Alcotest.(check bool) "names the atom" true (d.Diagnostic.witness = Some "ghost");
+  (* action atoms are the controller's to emit, not the model's *)
+  Alcotest.(check (list string)) "ignored atoms not reported" []
+    (codes (Model_lint.lint ~specs ~ignore:(sym [ "ghost" ]) m))
+
+(* ---------------- per-controller vacuity ---------------- *)
+
+let test_vac001_controller_vacuity () =
+  let model = one_state_model Symbol.empty in
+  let controller =
+    Fsa.make ~name:"always_stop" ~n_states:1 ~init:0
+      ~transitions:[ tr 0 Fsa.Gtrue stop 0 ] ()
+  in
+  let specs =
+    [
+      (* never triggers: "p" is neither emitted by the model nor an action *)
+      ("ghost", Ltl.Always (Ltl.Implies (Ltl.Atom "p", Ltl.Eventually (Ltl.Atom "stop"))));
+      (* triggers on every step via the controller's own action atom *)
+      ("live", Ltl.Always (Ltl.Implies (Ltl.Atom "stop", Ltl.Atom "stop")));
+    ]
+  in
+  let satisfied = [ "ghost"; "live" ] in
+  Alcotest.(check (list string)) "only the untriggered spec" [ "ghost" ]
+    (Vacuity.vacuously_satisfied ~model ~controller ~specs ~satisfied);
+  let diags = Vacuity.diagnostics ~model ~controller ~specs ~satisfied in
+  let d = find_code "VAC001" diags in
+  Alcotest.(check string) "severity" "info"
+    (Diagnostic.severity_string d.Diagnostic.severity)
+
+(* ---------------- seed artifacts stay clean ---------------- *)
+
+let test_seed_artifacts_clean () =
+  let free = sym Vocab.actions in
+  let specs = Specs.all in
+  Alcotest.(check bool) "rule book has no errors" false
+    (Diagnostic.has_errors (Spec_sanity.check ~pairwise:false specs));
+  Alcotest.(check bool) "universal model has no errors" false
+    (Diagnostic.has_errors (Model_lint.lint ~specs ~ignore:free (Models.universal ())))
+
+(* ---------------- diagnostics plumbing ---------------- *)
+
+let test_report_json_counts () =
+  let mk code severity =
+    Diagnostic.make ~code ~severity ~artifact:(Diagnostic.Spec "s") "msg"
+  in
+  let diags =
+    [ mk "SPEC003" Diagnostic.Info; mk "SPEC001" Diagnostic.Error;
+      mk "SPEC004" Diagnostic.Warning; mk "SPEC002" Diagnostic.Error ]
+  in
+  let json = Diagnostic.report_json diags in
+  let parsed = Dpoaf_util.Json.parse_exn (Dpoaf_util.Json.to_string json) in
+  let summary k =
+    Dpoaf_util.Json.(
+      Option.bind (member "summary" parsed) (fun s -> Option.bind (member k s) to_float))
+  in
+  Alcotest.(check (option (float 0.))) "errors" (Some 2.) (summary "errors");
+  Alcotest.(check (option (float 0.))) "warnings" (Some 1.) (summary "warnings");
+  Alcotest.(check (option (float 0.))) "infos" (Some 1.) (summary "infos");
+  Alcotest.(check (option (float 0.))) "total" (Some 4.) (summary "total");
+  match Dpoaf_util.Json.(Option.bind (member "diagnostics" parsed) to_list) with
+  | Some (first :: _) ->
+      Alcotest.(check (option string)) "sorted most severe first" (Some "error")
+        Dpoaf_util.Json.(Option.bind (member "severity" first) to_str)
+  | _ -> Alcotest.fail "diagnostics array missing"
+
+let () =
+  Alcotest.run "analysis"
+    [
+      qsuite "guards-qcheck"
+        [
+          prop_dnf_agrees; prop_witness_valid; prop_overlap_agrees;
+          prop_completeness_agrees;
+        ];
+      ( "controller-lint",
+        [
+          Alcotest.test_case "clean controller" `Quick test_clean_controller;
+          Alcotest.test_case "CTL001 unreachable" `Quick test_ctl001_unreachable;
+          Alcotest.test_case "CTL002 stuck" `Quick test_ctl002_stuck;
+          Alcotest.test_case "CTL003 overlap" `Quick test_ctl003_overlap;
+          Alcotest.test_case "CTL004 incomplete" `Quick test_ctl004_incomplete;
+          Alcotest.test_case "CTL005 epsilon cycle" `Quick test_ctl005_epsilon_cycle;
+        ] );
+      ( "spec-sanity",
+        [
+          Alcotest.test_case "rule book sane" `Quick test_rulebook_sane;
+          Alcotest.test_case "rule book redundancies" `Quick test_rulebook_redundancies;
+          Alcotest.test_case "SPEC001 unsatisfiable" `Quick test_spec001_unsat;
+          Alcotest.test_case "SPEC002 tautology" `Quick test_spec002_tautology;
+          Alcotest.test_case "SPEC003 redundancy" `Quick test_spec003_redundancy;
+          Alcotest.test_case "SPEC004 model vacuity" `Quick test_spec004_model_vacuity;
+        ] );
+      ( "model-lint",
+        [
+          Alcotest.test_case "MDL001 dead state" `Quick test_mdl001_dead_state;
+          Alcotest.test_case "MDL002 uncovered atom" `Quick test_mdl002_uncovered_atom;
+        ] );
+      ( "vacuity",
+        [
+          Alcotest.test_case "VAC001 controller vacuity" `Quick
+            test_vac001_controller_vacuity;
+          Alcotest.test_case "seed artifacts clean" `Quick test_seed_artifacts_clean;
+        ] );
+      ( "diagnostics",
+        [ Alcotest.test_case "report json counts" `Quick test_report_json_counts ] );
+    ]

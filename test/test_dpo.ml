@@ -26,6 +26,7 @@ let mk_pair ?(task_id = "t") chosen rejected =
     rejected_score = 9;
     chosen_satisfied = phis 15;
     rejected_satisfied = phis 9;
+    chosen_vacuous = [];
     grammar;
     min_clauses = 1;
     max_clauses = 3;
@@ -36,9 +37,12 @@ let mk_pair ?(task_id = "t") chosen rejected =
 let test_pairs_of_scored () =
   let scored =
     [
-      { Pref_data.tokens = tokens [ "turn right" ]; score = 10; satisfied = phis 10 };
-      { Pref_data.tokens = tokens [ "go now" ]; score = 12; satisfied = phis 12 };
-      { Pref_data.tokens = tokens [ "if red stop" ]; score = 10; satisfied = phis 10 };
+      { Pref_data.tokens = tokens [ "turn right" ]; score = 10; satisfied = phis 10;
+        vacuous = [] };
+      { Pref_data.tokens = tokens [ "go now" ]; score = 12; satisfied = phis 12;
+        vacuous = [] };
+      { Pref_data.tokens = tokens [ "if red stop" ]; score = 10; satisfied = phis 10;
+        vacuous = [] };
     ]
   in
   let pairs =
@@ -57,8 +61,14 @@ let test_pairs_of_scored () =
     pairs
 
 let test_pairs_dedup () =
-  let s = { Pref_data.tokens = tokens [ "turn right" ]; score = 10; satisfied = phis 10 } in
-  let s' = { Pref_data.tokens = tokens [ "go now" ]; score = 5; satisfied = phis 5 } in
+  let s =
+    { Pref_data.tokens = tokens [ "turn right" ]; score = 10; satisfied = phis 10;
+      vacuous = [] }
+  in
+  let s' =
+    { Pref_data.tokens = tokens [ "go now" ]; score = 5; satisfied = phis 5;
+      vacuous = [] }
+  in
   let pairs =
     Pref_data.pairs_of_scored ~task_id:"t" ~prompt ~grammar ~min_clauses:1
       ~max_clauses:3 [ s; s; s; s' ]
@@ -74,10 +84,11 @@ let test_pair_provenance () =
      set difference *)
   let a =
     { Pref_data.tokens = tokens [ "turn right" ]; score = 3;
-      satisfied = [ "phi_1"; "phi_4"; "phi_7" ] }
+      satisfied = [ "phi_1"; "phi_4"; "phi_7" ]; vacuous = [ "phi_7" ] }
   in
   let b =
-    { Pref_data.tokens = tokens [ "go now" ]; score = 1; satisfied = [ "phi_4" ] }
+    { Pref_data.tokens = tokens [ "go now" ]; score = 1; satisfied = [ "phi_4" ];
+      vacuous = [] }
   in
   match
     Pref_data.pairs_of_scored ~task_id:"t" ~prompt ~grammar ~min_clauses:1
@@ -90,10 +101,41 @@ let test_pair_provenance () =
         p.Pref_data.rejected_satisfied;
       Alcotest.(check (list string)) "margin specs" [ "phi_1"; "phi_7" ]
         (Pref_data.margin_specs p);
+      Alcotest.(check (list string)) "chosen vacuous" [ "phi_7" ]
+        p.Pref_data.chosen_vacuous;
+      (* phi_1 in the margin is genuinely satisfied, so the margin stands *)
+      Alcotest.(check bool) "margin not fully vacuous" false
+        (Pref_data.vacuous_margin p);
       let json = Dpoaf_util.Json.to_string (Pref_data.json_of_pair p) in
       let parsed = Dpoaf_util.Json.parse_exn json in
       Alcotest.(check (option string)) "task round-trips" (Some "t")
-        Dpoaf_util.Json.(Option.bind (member "task" parsed) to_str)
+        Dpoaf_util.Json.(Option.bind (member "task" parsed) to_str);
+      Alcotest.(check (option bool)) "vacuous_margin round-trips" (Some false)
+        Dpoaf_util.Json.(
+          Option.bind (member "vacuous_margin" parsed) (function
+            | Bool b -> Some b
+            | _ -> None))
+  | pairs -> Alcotest.failf "expected one pair, got %d" (List.length pairs)
+
+let test_vacuous_margin () =
+  (* every spec separating chosen from rejected holds only vacuously: the
+     pair's formal justification is hollow *)
+  let a =
+    { Pref_data.tokens = tokens [ "turn right" ]; score = 2;
+      satisfied = [ "phi_1"; "phi_7" ]; vacuous = [ "phi_7" ] }
+  in
+  let b =
+    { Pref_data.tokens = tokens [ "go now" ]; score = 1; satisfied = [ "phi_1" ];
+      vacuous = [] }
+  in
+  match
+    Pref_data.pairs_of_scored ~task_id:"t" ~prompt ~grammar ~min_clauses:1
+      ~max_clauses:3 [ a; b ]
+  with
+  | [ p ] ->
+      Alcotest.(check (list string)) "margin is phi_7" [ "phi_7" ]
+        (Pref_data.margin_specs p);
+      Alcotest.(check bool) "flagged" true (Pref_data.vacuous_margin p)
   | pairs -> Alcotest.failf "expected one pair, got %d" (List.length pairs)
 
 (* ---------------- loss and metrics ---------------- *)
@@ -307,6 +349,7 @@ let () =
           Alcotest.test_case "dedup" `Quick test_pairs_dedup;
           Alcotest.test_case "count possible" `Quick test_count_possible;
           Alcotest.test_case "provenance" `Quick test_pair_provenance;
+          Alcotest.test_case "vacuous margin" `Quick test_vacuous_margin;
         ] );
       ( "loss",
         [

@@ -1,0 +1,23 @@
+#!/bin/sh
+# Interface hygiene gate (wired into `make check` via `make mli-check`):
+# every library module must publish a .mli.  Implementation-only modules
+# export everything, which defeats both the unused-code lint profile and
+# the documented API surface.
+set -eu
+cd "$(dirname "$0")/.."
+
+missing=0
+total=0
+for ml in lib/*/*.ml; do
+  total=$((total + 1))
+  if [ ! -f "${ml}i" ]; then
+    echo "check_mli: missing interface ${ml}i" >&2
+    missing=$((missing + 1))
+  fi
+done
+
+if [ "$missing" -gt 0 ]; then
+  echo "check_mli: $missing of $total library modules lack a .mli" >&2
+  exit 1
+fi
+echo "check_mli: all $total library modules have interfaces"
