@@ -1,4 +1,4 @@
-.PHONY: all build test bench check lint mli-check analysis-check trace-check clean
+.PHONY: all build test bench check lint mli-check analysis-check trace-check serve-check clean
 
 all: build
 
@@ -23,6 +23,7 @@ check:
 	dune exec bench/main.exe -- --fast --jobs 2
 	$(MAKE) analysis-check
 	$(MAKE) trace-check
+	$(MAKE) serve-check
 
 # Rebuild the libraries with the unused-code warning family (26/27,
 # 32..35, 69) promoted to errors — see lib/dune's `lint` env profile.
@@ -50,6 +51,12 @@ trace-check:
 	  --trace _build/trace-check.jsonl --metrics-json _build/trace-check.metrics.json
 	dune exec test/trace_validate.exe -- _build/trace-check.jsonl _build/trace-check.metrics.json
 	dune exec bin/dpoaf_cli.exe -- report _build/trace-check.jsonl
+
+# Serving-layer round-trip: daemon on a temp socket, a loadgen burst,
+# assert completions with zero protocol errors, graceful SIGTERM drain.
+serve-check:
+	dune build bin/dpoaf_cli.exe
+	sh tools/serve_check.sh
 
 clean:
 	dune clean

@@ -7,7 +7,9 @@
    dpoaf_cli finetune --out model.ckpt    run the full DPO-AF pipeline
    dpoaf_cli simulate --task ID           empirical P_Φ in the simulator
    dpoaf_cli report trace.jsonl           summarize a recorded trace
-   dpoaf_cli smv --step "..." ...         export a controller to NuSMV *)
+   dpoaf_cli smv --step "..." ...         export a controller to NuSMV
+   dpoaf_cli serve --socket PATH          batched serving daemon (NDJSON)
+   dpoaf_cli loadgen --rate N             replay synthetic traffic at it *)
 
 open Cmdliner
 open Dpoaf_driving
@@ -20,20 +22,35 @@ module Span = Dpoaf_exec.Trace
 
 (* ---------------- shared arguments ---------------- *)
 
-let scenario_of_string = function
-  | "traffic_light" -> Some Models.Traffic_light
-  | "left_turn_light" -> Some Models.Left_turn_light
-  | "two_way_stop" -> Some Models.Two_way_stop
-  | "roundabout" -> Some Models.Roundabout
-  | "wide_median" -> Some Models.Wide_median
-  | "universal" | _ -> None
+(* strict: an unknown scenario name is a usage error listing the valid
+   ones, never a silent fallback to the universal model *)
+let scenario_conv =
+  let parse s =
+    if s = "universal" then Ok None
+    else
+      match Models.scenario_of_name s with
+      | Some sc -> Ok (Some sc)
+      | None ->
+          Error
+            (`Msg
+               (Printf.sprintf
+                  "unknown scenario %S; expected universal or one of: %s" s
+                  (String.concat ", "
+                     (List.map Models.scenario_name Models.all_scenarios))))
+  in
+  let print ppf = function
+    | None -> Format.pp_print_string ppf "universal"
+    | Some sc -> Format.pp_print_string ppf (Models.scenario_name sc)
+  in
+  Arg.conv (parse, print)
 
 let scenario_arg =
   let doc =
     "World model to verify against: traffic_light, left_turn_light, \
-     two_way_stop, roundabout, wide_median, or universal (default)."
+     two_way_stop, roundabout, wide_median, or universal (default). \
+     Unknown names are rejected."
   in
-  Arg.(value & opt string "universal" & info [ "scenario" ] ~docv:"MODEL" ~doc)
+  Arg.(value & opt scenario_conv None & info [ "scenario" ] ~docv:"MODEL" ~doc)
 
 let steps_arg =
   let doc = "One instruction step (repeatable, in order)." in
@@ -103,8 +120,7 @@ let with_telemetry ~trace ~metrics_json f =
   in
   Fun.protect ~finally:finish f
 
-let model_of_scenario name =
-  match scenario_of_string name with
+let model_of_scenario = function
   | Some sc -> Models.model sc
   | None -> Models.universal ()
 
@@ -601,6 +617,135 @@ let smv_cmd =
     (Cmd.info "smv" ~doc:"Export a response's controller to NuSMV syntax.")
     Term.(const run_smv $ steps_arg)
 
+(* ---------------- serve ---------------- *)
+
+module Serve = Dpoaf_serve
+
+let socket_arg =
+  let doc = "Unix-domain socket path for the serving daemon." in
+  Arg.(value & opt string "/tmp/dpoaf.sock"
+       & info [ "socket" ] ~docv:"PATH" ~doc)
+
+let run_serve socket checkpoint jobs max_batch flush_ms queue_capacity seed
+    trace metrics_json =
+  with_telemetry ~trace ~metrics_json @@ fun () ->
+  let corpus = Pipeline.Corpus.build () in
+  let lm =
+    match checkpoint with
+    | Some path -> (
+        try
+          let m = Dpoaf_lm.Checkpoint.load path in
+          Printf.printf "loaded checkpoint %s\n%!" path;
+          m
+        with Dpoaf_lm.Checkpoint.Corrupt { path; reason } ->
+          Printf.eprintf
+            "error: cannot load checkpoint %s: %s\n\
+             (re-create it with `dpoaf_cli finetune --out %s`)\n%!"
+            path reason path;
+          exit 1)
+    | None ->
+        Printf.printf
+          "no --checkpoint given: pre-training a small model (seed %d)...\n%!"
+          seed;
+        Pipeline.Corpus.pretrained_model (Rng.create seed) corpus
+  in
+  let engine = Serve.Engine.create ~lm ~corpus () in
+  let config = { Serve.Server.jobs; max_batch; flush_ms; queue_capacity } in
+  let server =
+    Serve.Server.create ~config ~handler:(Serve.Engine.handle engine) ()
+  in
+  Printf.printf
+    "serving on %s (jobs=%d, max_batch=%d, flush_ms=%g, queue=%d); SIGINT or \
+     SIGTERM drains and stops\n%!"
+    socket jobs max_batch flush_ms queue_capacity;
+  let stats = Serve.Daemon.run ~socket ~server () in
+  Printf.printf
+    "daemon stopped: connections=%d requests=%d responses=%d \
+     protocol_errors=%d\n"
+    stats.Serve.Daemon.connections stats.Serve.Daemon.requests
+    stats.Serve.Daemon.responses stats.Serve.Daemon.protocol_errors
+
+let serve_cmd =
+  let checkpoint_arg =
+    Arg.(value & opt (some string) None
+         & info [ "checkpoint" ] ~docv:"FILE"
+             ~doc:"Serve this fine-tuned checkpoint (default: pre-train a \
+                   small model at startup).")
+  in
+  let max_batch_arg =
+    Arg.(value & opt int Serve.Server.default_config.Serve.Server.max_batch
+         & info [ "max-batch" ] ~docv:"N" ~doc:"Size-based batch flush.")
+  in
+  let flush_ms_arg =
+    Arg.(value & opt float Serve.Server.default_config.Serve.Server.flush_ms
+         & info [ "flush-ms" ] ~docv:"MS" ~doc:"Time-based batch flush.")
+  in
+  let queue_arg =
+    Arg.(value
+         & opt int Serve.Server.default_config.Serve.Server.queue_capacity
+         & info [ "queue" ] ~docv:"N"
+             ~doc:"Admission-queue capacity; beyond it requests are \
+                   rejected.")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Run the batched inference-and-verification daemon (line-delimited \
+             JSON over a Unix socket).")
+    Term.(const run_serve $ socket_arg $ checkpoint_arg $ jobs_arg
+          $ max_batch_arg $ flush_ms_arg $ queue_arg $ seed_arg $ trace_arg
+          $ metrics_json_arg)
+
+(* ---------------- loadgen ---------------- *)
+
+let run_loadgen socket rate duration mix deadline_ms seed =
+  let generate, verify, score_pair = mix in
+  let config =
+    {
+      Serve.Loadgen.socket;
+      rate;
+      duration_s = duration;
+      mix = { Serve.Loadgen.generate; verify; score_pair };
+      deadline_ms;
+      seed;
+    }
+  in
+  match Serve.Loadgen.run config with
+  | report -> Serve.Loadgen.print_report report
+  | exception Unix.Unix_error (e, _, _) ->
+      Printf.eprintf "error: cannot reach daemon at %s: %s\n%!" socket
+        (Unix.error_message e);
+      exit 1
+  | exception Invalid_argument msg ->
+      Printf.eprintf "error: %s\n%!" msg;
+      exit 1
+
+let loadgen_cmd =
+  let rate_arg =
+    Arg.(value & opt float 200.0
+         & info [ "rate" ] ~docv:"RPS" ~doc:"Offered load, requests/second.")
+  in
+  let duration_arg =
+    Arg.(value & opt float 2.0
+         & info [ "duration" ] ~docv:"S" ~doc:"Send window in seconds.")
+  in
+  let mix_arg =
+    Arg.(value & opt (t3 ~sep:',' float float float) (0.3, 0.4, 0.3)
+         & info [ "mix" ] ~docv:"G,V,S"
+             ~doc:"Relative weights of generate, verify and score_pair \
+                   requests.")
+  in
+  let deadline_arg =
+    Arg.(value & opt (some float) None
+         & info [ "deadline-ms" ] ~docv:"MS"
+             ~doc:"Attach this deadline to every request.")
+  in
+  Cmd.v
+    (Cmd.info "loadgen"
+       ~doc:"Replay synthetic traffic against a running daemon and report \
+             throughput and latency percentiles.")
+    Term.(const run_loadgen $ socket_arg $ rate_arg $ duration_arg $ mix_arg
+          $ deadline_arg $ seed_arg)
+
 (* ---------------- main ---------------- *)
 
 let () =
@@ -612,4 +757,5 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ tasks_cmd; specs_cmd; verify_cmd; synthesize_cmd; finetune_cmd;
-            simulate_cmd; report_cmd; analyze_cmd; smv_cmd ]))
+            simulate_cmd; report_cmd; analyze_cmd; smv_cmd; serve_cmd;
+            loadgen_cmd ]))

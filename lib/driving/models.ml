@@ -19,6 +19,9 @@ let scenario_name = function
   | Roundabout -> "roundabout"
   | Wide_median -> "wide_median"
 
+let scenario_of_name name =
+  List.find_opt (fun sc -> scenario_name sc = name) all_scenarios
+
 let sym = Symbol.of_atoms
 
 (* Figure 5: regular signal.  Cross traffic only flows while the signal is

@@ -24,6 +24,12 @@ type scenario =
 val all_scenarios : scenario list
 val scenario_name : scenario -> string
 
+val scenario_of_name : string -> scenario option
+(** Inverse of {!scenario_name}; [None] for unknown names.  Callers that
+    accept user input (CLI flags, serving requests) should reject [None]
+    with the list of valid names rather than silently falling back to the
+    universal model. *)
+
 val model : scenario -> Dpoaf_automata.Ts.t
 (** The scenario's environment-dynamics model.  Memoized. *)
 

@@ -2,15 +2,30 @@
    results can be shared between worker domains.  Values are computed
    OUTSIDE the lock: two domains racing on the same missing key may both
    compute it, but computations are required to be deterministic, so the
-   duplicated work is the only cost and the cached value is unambiguous. *)
+   duplicated work is the only cost and the cached value is unambiguous.
+
+   Bounded caches evict in least-recently-used order: a hit moves the key
+   to the back of an intrusive doubly-linked recency list, so keys that
+   keep being asked for (hot serving keys, the canonical controllers)
+   survive a capacity squeeze that flushes one-off entries.  Unbounded
+   caches skip the list entirely — nothing ever needs evicting. *)
 
 type stats = { hits : int; misses : int; evictions : int; size : int }
+
+(* recency-list node; [prev] is toward the LRU end, [next] toward the MRU
+   end *)
+type 'k node = {
+  nkey : 'k;
+  mutable prev : 'k node option;
+  mutable next : 'k node option;
+}
 
 type ('k, 'v) t = {
   name : string;
   capacity : int option;
-  table : ('k, 'v) Hashtbl.t;
-  order : 'k Queue.t;  (* insertion order; FIFO eviction when bounded *)
+  table : ('k, 'v * 'k node option) Hashtbl.t;
+  mutable lru : 'k node option;  (* next eviction victim *)
+  mutable mru : 'k node option;  (* most recently touched *)
   mutex : Mutex.t;
   mutable hits : int;
   mutable misses : int;
@@ -39,7 +54,8 @@ let create ?capacity ~name () =
       name;
       capacity;
       table = Hashtbl.create 256;
-      order = Queue.create ();
+      lru = None;
+      mru = None;
       mutex = Mutex.create ();
       hits = 0;
       misses = 0;
@@ -56,11 +72,30 @@ let create ?capacity ~name () =
       ]);
   t
 
+(* ---- recency list (all called under the lock) ---- *)
+
+let unlink t n =
+  (match n.prev with Some p -> p.next <- n.next | None -> t.lru <- n.next);
+  (match n.next with Some s -> s.prev <- n.prev | None -> t.mru <- n.prev);
+  n.prev <- None;
+  n.next <- None
+
+let push_mru t n =
+  n.prev <- t.mru;
+  n.next <- None;
+  (match t.mru with Some m -> m.next <- Some n | None -> t.lru <- Some n);
+  t.mru <- Some n
+
+let touch t n =
+  unlink t n;
+  push_mru t n
+
 let find_opt t key =
   with_lock t (fun () ->
       match Hashtbl.find_opt t.table key with
-      | Some v ->
+      | Some (v, node) ->
           t.hits <- t.hits + 1;
+          Option.iter (touch t) node;
           Some v
       | None ->
           t.misses <- t.misses + 1;
@@ -69,15 +104,25 @@ let find_opt t key =
 let add t key value =
   with_lock t (fun () ->
       if not (Hashtbl.mem t.table key) then begin
-        Hashtbl.replace t.table key value;
-        Queue.push key t.order;
+        let node =
+          match t.capacity with
+          | None -> None
+          | Some _ ->
+              let n = { nkey = key; prev = None; next = None } in
+              push_mru t n;
+              Some n
+        in
+        Hashtbl.replace t.table key (value, node);
         match t.capacity with
         | None -> ()
         | Some cap ->
             while Hashtbl.length t.table > cap do
-              let victim = Queue.pop t.order in
-              Hashtbl.remove t.table victim;
-              t.evictions <- t.evictions + 1
+              match t.lru with
+              | None -> assert false (* size > cap >= 1 implies a victim *)
+              | Some victim ->
+                  unlink t victim;
+                  Hashtbl.remove t.table victim.nkey;
+                  t.evictions <- t.evictions + 1
             done
       end)
 
@@ -99,7 +144,8 @@ let hit_rate t =
 let clear t =
   with_lock t (fun () ->
       Hashtbl.reset t.table;
-      Queue.clear t.order;
+      t.lru <- None;
+      t.mru <- None;
       t.hits <- 0;
       t.misses <- 0;
       t.evictions <- 0)

@@ -15,8 +15,11 @@ type ('k, 'v) t
 type stats = { hits : int; misses : int; evictions : int; size : int }
 
 val create : ?capacity:int -> name:string -> unit -> ('k, 'v) t
-(** Unbounded unless [capacity] is given; with [capacity], insertion-order
-    (FIFO) eviction keeps at most that many entries.
+(** Unbounded unless [capacity] is given; with [capacity],
+    least-recently-used eviction keeps at most that many entries.  A
+    {!find_opt} (or {!find_or_add}) hit refreshes the key's recency, so
+    entries that keep being asked for — hot serving keys — outlive colder
+    ones at capacity.
     @raise Invalid_argument if [capacity < 1]. *)
 
 val find_or_add : ('k, 'v) t -> 'k -> (unit -> 'v) -> 'v
@@ -24,7 +27,8 @@ val find_or_add : ('k, 'v) t -> 'k -> (unit -> 'v) -> 'v
     computation outside the lock on a miss, one locked insert. *)
 
 val find_opt : ('k, 'v) t -> 'k -> 'v option
-(** Counts a hit or a miss. *)
+(** Counts a hit or a miss; a hit moves the key to the most-recently-used
+    end of a bounded cache's eviction order. *)
 
 val add : ('k, 'v) t -> 'k -> 'v -> unit
 (** No-op if the key is already present (first write wins). *)

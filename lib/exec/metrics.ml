@@ -33,12 +33,22 @@ let nbuckets = hi_exp - lo_exp + 1 (* plus the underflow bucket at index 0 *)
 
 let bucket_base = 10.0 ** 0.1
 
-type entry = Counter of counter | Timer of timer | Histogram of histogram
+(* Gauges are levels (queue depth, in-flight requests): last write wins,
+   no accumulation.  A boxed-float atomic keeps sets lock-free from any
+   domain. *)
+type gauge = float Atomic.t
+
+type entry =
+  | Counter of counter
+  | Timer of timer
+  | Histogram of histogram
+  | Gauge of gauge
 
 let kind_name = function
   | Counter _ -> "counter"
   | Timer _ -> "timer"
   | Histogram _ -> "histogram"
+  | Gauge _ -> "gauge"
 
 let mutex = Mutex.create ()
 let entries : (string, entry) Hashtbl.t = Hashtbl.create 32
@@ -71,6 +81,19 @@ let counter name =
 let incr c = Atomic.incr c
 let add c n = ignore (Atomic.fetch_and_add c n)
 let value c = Atomic.get c
+
+let gauge name =
+  with_lock (fun () ->
+      match Hashtbl.find_opt entries name with
+      | Some (Gauge g) -> g
+      | Some other -> collision ~requested:"gauge" name other
+      | None ->
+          let g = Atomic.make 0.0 in
+          Hashtbl.add entries name (Gauge g);
+          g)
+
+let set_gauge g v = Atomic.set g v
+let gauge_value g = Atomic.get g
 
 let timer_entry name =
   with_lock (fun () ->
@@ -207,6 +230,7 @@ let summary () =
             | Timer t ->
                 (name ^ ".seconds", t.total) :: (name ^ ".calls", float_of_int t.count)
                 :: acc
+            | Gauge g -> (name ^ ".level", Atomic.get g) :: acc
             | Histogram _ -> acc)
           entries [])
   in
@@ -243,7 +267,7 @@ let delta before after =
     | None -> false
     | Some i -> (
         match String.sub k (i + 1) (String.length k - i - 1) with
-        | "p50" | "p90" | "p99" | "min" | "max" | "size" -> true
+        | "p50" | "p90" | "p99" | "min" | "max" | "size" | "level" -> true
         | _ -> false)
   in
   List.map
@@ -261,6 +285,7 @@ let reset () =
         (fun _ entry ->
           match entry with
           | Counter c -> Atomic.set c 0
+          | Gauge g -> Atomic.set g 0.0
           | Timer t ->
               t.total <- 0.0;
               t.count <- 0

@@ -7,9 +7,9 @@
     mutex.  Names are global — two modules asking for the same counter name
     share the same cell, which is how per-stage totals (responses scored,
     model-checker calls, rollouts run) accumulate across the pipeline.
-    Counters, timers and histograms share one namespace; asking for a name
-    under the wrong kind raises an [Invalid_argument] that names both the
-    requested and the existing kind. *)
+    Counters, timers, histograms and gauges share one namespace; asking
+    for a name under the wrong kind raises an [Invalid_argument] that
+    names both the requested and the existing kind. *)
 
 type counter
 
@@ -21,6 +21,24 @@ val counter : string -> counter
 val incr : counter -> unit
 val add : counter -> int -> unit
 val value : counter -> int
+
+(** {1 Gauges}
+
+    A gauge is a level, not an accumulator: queue depth, in-flight
+    requests.  Last write wins; sets are lock-free and safe from any
+    domain.  A gauge named [n] contributes [n.level] to the summary, and
+    {!delta} passes [.level] keys through unchanged (differencing a level
+    is meaningless). *)
+
+type gauge
+
+val gauge : string -> gauge
+(** Intern (or retrieve) the gauge with this name.
+    @raise Invalid_argument if the name is already registered as another
+    kind. *)
+
+val set_gauge : gauge -> float -> unit
+val gauge_value : gauge -> float
 
 val time : string -> (unit -> 'a) -> 'a
 (** [time name f] runs [f] and adds its wall-clock duration to the timer

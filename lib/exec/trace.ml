@@ -117,6 +117,29 @@ let with_span ?(cat = "") ?(attrs = []) name f =
     Fun.protect ~finally:finish f
   end
 
+(* Retroactive recording: a completed phase whose start and end were
+   measured as plain [Unix.gettimeofday] timestamps, possibly on different
+   domains (a request's queue wait starts on the submitter and ends on a
+   worker).  The caller threads parent ids explicitly instead of relying
+   on this domain's open-span nesting. *)
+let record_span ?(cat = "") ?(attrs = []) ?(parent = -1) name ~t0 ~t1 =
+  if not (enabled ()) then -1
+  else begin
+    let id = Atomic.fetch_and_add next_id 1 in
+    record
+      {
+        id;
+        parent;
+        name;
+        cat;
+        tid = (Domain.self () :> int);
+        ts_us = (t0 -. Atomic.get epoch) *. 1e6;
+        dur_us = Float.max 0.0 (t1 -. t0) *. 1e6;
+        attrs;
+      };
+    id
+  end
+
 let instant ?(cat = "") ?(attrs = []) name =
   if enabled () then begin
     let id = Atomic.fetch_and_add next_id 1 in

@@ -49,6 +49,22 @@ val with_span :
 val instant : ?cat:string -> ?attrs:(string * string) list -> string -> unit
 (** Record a zero-duration marker event under the current span. *)
 
+val record_span :
+  ?cat:string ->
+  ?attrs:(string * string) list ->
+  ?parent:int ->
+  string ->
+  t0:float ->
+  t1:float ->
+  int
+(** [record_span name ~t0 ~t1] records an already-completed span from
+    absolute [Unix.gettimeofday] timestamps — for phases measured across
+    domains (e.g. a serving request's queue wait, which starts on the
+    submitter and ends on a worker) where [with_span] cannot wrap the
+    interval.  [parent] defaults to a root span; pass a previously
+    returned id to build a phase hierarchy.  Returns the new span id, or
+    [-1] when tracing is disabled. *)
+
 val current : unit -> int
 (** The innermost open span id on this domain ([-1] if none or disabled) —
     capture before handing work to another domain. *)

@@ -1,0 +1,34 @@
+(** Bounded submission queue with explicit backpressure and dynamic
+    batch extraction.
+
+    Multi-producer, single-consumer.  {!try_push} never blocks: a full or
+    closed queue answers [false] immediately, which the caller must
+    surface as an explicit reject — overload is a protocol-visible
+    condition here, never an unbounded buffer.  The single consumer pops
+    {e dynamic batches}: a batch flushes at [max] items or after
+    [flush_s] seconds from its first item, whichever comes first.
+
+    The current depth is published as the {!Dpoaf_exec.Metrics} gauge
+    named at creation, so queue pressure shows up in every metrics
+    summary and trace. *)
+
+type 'a t
+
+val create : capacity:int -> gauge_name:string -> 'a t
+(** @raise Invalid_argument if [capacity < 1]. *)
+
+val try_push : 'a t -> 'a -> bool
+(** [false] when the queue is full or closed (the item was not taken). *)
+
+val pop_batch : 'a t -> max:int -> flush_s:float -> 'a list option
+(** Block until at least one item is available, then collect up to [max]
+    items within a [flush_s]-second assembly window (closing the queue
+    flushes immediately).  [None] once the queue is closed {e and} empty.
+    Single consumer only.
+    @raise Invalid_argument if [max < 1]. *)
+
+val close : 'a t -> unit
+(** Stop admitting; wake the consumer.  Already-queued items can still be
+    popped. *)
+
+val depth : 'a t -> int

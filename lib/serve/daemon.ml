@@ -1,0 +1,202 @@
+(* The serving daemon: line-delimited JSON over a Unix domain socket.
+
+   One [Unix.select] event loop owns all sockets; request execution lives
+   entirely in {!Server} (dispatcher + pool domains).  Completion
+   callbacks run on worker domains, so each connection's outbox is a
+   mutex-guarded queue the event loop flushes; the select timeout is short
+   enough (5 ms) that a response never waits long for the next loop turn.
+
+   Shutdown is signal-driven: SIGINT/SIGTERM set a flag, the loop stops
+   accepting and reading, drains the server (every admitted request still
+   gets its response), flushes what the drain produced, and removes the
+   socket file. *)
+
+type stats = {
+  connections : int;
+  requests : int;
+  responses : int;
+  protocol_errors : int;
+}
+
+type client = {
+  fd : Unix.file_descr;
+  mutable pending : string;  (* partial line carried between reads *)
+  outbox : string Queue.t;
+  omutex : Mutex.t;
+  mutable outbuf : string;  (* partially written wire bytes *)
+  mutable alive : bool;
+}
+
+let protocol_errors_c = Dpoaf_exec.Metrics.counter "serve.protocol_errors"
+
+let stop_requested = Atomic.make false
+
+let request_stop () = Atomic.set stop_requested true
+
+let install_signal_handlers () =
+  let handle = Sys.Signal_handle (fun _ -> Atomic.set stop_requested true) in
+  (try Sys.set_signal Sys.sigint handle with Invalid_argument _ -> ());
+  try Sys.set_signal Sys.sigterm handle with Invalid_argument _ -> ()
+
+(* [push_out] runs on whichever domain completes the request; [responses]
+   is therefore atomic while the other stats stay event-loop-private. *)
+let responses_sent = Atomic.make 0
+
+let push_out client line =
+  Mutex.lock client.omutex;
+  Queue.push (line ^ "\n") client.outbox;
+  Mutex.unlock client.omutex;
+  Atomic.incr responses_sent
+
+(* move queued lines into the flat write buffer; [true] if bytes remain *)
+let refill_outbuf client =
+  Mutex.lock client.omutex;
+  if client.outbuf = "" && not (Queue.is_empty client.outbox) then begin
+    let b = Buffer.create 256 in
+    while not (Queue.is_empty client.outbox) do
+      Buffer.add_string b (Queue.pop client.outbox)
+    done;
+    client.outbuf <- Buffer.contents b
+  end;
+  let remaining = client.outbuf <> "" in
+  Mutex.unlock client.omutex;
+  remaining
+
+let flush_client client =
+  if refill_outbuf client then begin
+    let buf = client.outbuf in
+    match Unix.write_substring client.fd buf 0 (String.length buf) with
+    | n -> client.outbuf <- String.sub buf n (String.length buf - n)
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
+    | exception Unix.Unix_error (_, _, _) -> client.alive <- false
+  end
+
+let error_response msg =
+  {
+    Protocol.rid = "";
+    rbody = Protocol.Failed msg;
+    queue_wait_us = 0.0;
+    execute_us = 0.0;
+  }
+
+let handle_line server client counters line =
+  if String.trim line = "" then ()
+  else begin
+    let requests, protocol_errors = counters in
+    incr requests;
+    match Protocol.request_of_string line with
+    | Error msg ->
+        Dpoaf_exec.Metrics.incr protocol_errors_c;
+        incr protocol_errors;
+        push_out client (Protocol.response_to_string (error_response msg))
+    | Ok req ->
+        ignore
+          (Server.submit_async server req ~on_done:(fun resp ->
+               push_out client (Protocol.response_to_string resp)))
+  end
+
+let handle_readable server client counters =
+  let chunk = Bytes.create 4096 in
+  match Unix.read client.fd chunk 0 (Bytes.length chunk) with
+  | 0 -> client.alive <- false
+  | n ->
+      let data = client.pending ^ Bytes.sub_string chunk 0 n in
+      let parts = String.split_on_char '\n' data in
+      let rec consume = function
+        | [] -> client.pending <- ""
+        | [ tail ] -> client.pending <- tail
+        | line :: rest ->
+            handle_line server client counters line;
+            consume rest
+      in
+      consume parts
+  | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
+  | exception Unix.Unix_error (_, _, _) -> client.alive <- false
+
+let close_quietly fd = try Unix.close fd with Unix.Unix_error _ -> ()
+
+let select readfds writefds =
+  try
+    let r, w, _ = Unix.select readfds writefds [] 0.005 in
+    (r, w)
+  with Unix.Unix_error (Unix.EINTR, _, _) -> ([], [])
+
+let run ~socket ~server () =
+  install_signal_handlers ();
+  Atomic.set stop_requested false;
+  Atomic.set responses_sent 0;
+  if Sys.file_exists socket then Sys.remove socket;
+  let listener = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind listener (Unix.ADDR_UNIX socket);
+  Unix.listen listener 64;
+  Unix.set_nonblock listener;
+  let clients : client list ref = ref [] in
+  let connections = ref 0 in
+  let requests = ref 0 in
+  let protocol_errors = ref 0 in
+  let counters = (requests, protocol_errors) in
+  let loop_turn () =
+    let readfds = listener :: List.map (fun c -> c.fd) !clients in
+    let writefds =
+      List.filter_map
+        (fun c -> if refill_outbuf c then Some c.fd else None)
+        !clients
+    in
+    let readable, writable = select readfds writefds in
+    if List.mem listener readable then begin
+      match Unix.accept listener with
+      | fd, _ ->
+          Unix.set_nonblock fd;
+          incr connections;
+          clients :=
+            {
+              fd;
+              pending = "";
+              outbox = Queue.create ();
+              omutex = Mutex.create ();
+              outbuf = "";
+              alive = true;
+            }
+            :: !clients
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+          ()
+    end;
+    List.iter
+      (fun c ->
+        if c.alive && List.mem c.fd readable then
+          handle_readable server c counters)
+      !clients;
+    List.iter
+      (fun c -> if c.alive && List.mem c.fd writable then flush_client c)
+      !clients;
+    let dead, live = List.partition (fun c -> not c.alive) !clients in
+    List.iter (fun c -> close_quietly c.fd) dead;
+    clients := live
+  in
+  while not (Atomic.get stop_requested) do
+    loop_turn ()
+  done;
+  (* graceful drain: stop reading, answer everything already admitted,
+     flush the answers out, then tear the socket down *)
+  close_quietly listener;
+  Server.drain server;
+  let flush_deadline = Unix.gettimeofday () +. 5.0 in
+  let rec flush_all () =
+    let with_output = List.filter (fun c -> c.alive && refill_outbuf c) !clients in
+    if with_output <> [] && Unix.gettimeofday () < flush_deadline then begin
+      let _, writable = select [] (List.map (fun c -> c.fd) with_output) in
+      List.iter
+        (fun c -> if List.mem c.fd writable then flush_client c)
+        with_output;
+      flush_all ()
+    end
+  in
+  flush_all ();
+  List.iter (fun c -> close_quietly c.fd) !clients;
+  if Sys.file_exists socket then Sys.remove socket;
+  {
+    connections = !connections;
+    requests = !requests;
+    responses = Atomic.get responses_sent;
+    protocol_errors = !protocol_errors;
+  }

@@ -1,0 +1,29 @@
+(** The serving daemon: NDJSON over a Unix domain socket.
+
+    A single [Unix.select] event loop accepts connections and reads one
+    {!Protocol} request per line; execution happens on the {!Server}'s
+    dispatcher/pool domains, whose completion callbacks enqueue the
+    response line on the owning connection's outbox for the loop to
+    flush.  Clients may pipeline: responses carry the request id and may
+    arrive out of order relative to submission.
+
+    Malformed lines are answered with a [status="error"] response (empty
+    id) and counted in [serve.protocol_errors] — the connection stays
+    usable. *)
+
+type stats = {
+  connections : int;  (** connections accepted over the daemon's life *)
+  requests : int;  (** non-blank lines received (including malformed) *)
+  responses : int;  (** response lines enqueued for writing *)
+  protocol_errors : int;  (** lines that failed to parse as requests *)
+}
+
+val run : socket:string -> server:Server.t -> unit -> stats
+(** Bind [socket] (an existing file is replaced), serve until SIGINT or
+    SIGTERM (or {!request_stop}), then drain the server gracefully —
+    every admitted request is answered and flushed before the socket file
+    is removed.  Blocks the calling domain for the daemon's lifetime. *)
+
+val request_stop : unit -> unit
+(** Ask a running {!run} loop to shut down — what the signal handlers
+    call; exposed for tests. *)

@@ -1,0 +1,141 @@
+(* Request execution: the DPO-AF loop's stages behind a per-request
+   function.  [handle] is pure in the serving sense — the reply depends
+   only on the request contents (generation is seeded per request, and
+   verification is a deterministic model-checking run), which is what lets
+   {!Server} batch requests in arrival order on any number of workers and
+   still return bit-identical responses. *)
+
+module Models = Dpoaf_driving.Models
+module Tasks = Dpoaf_driving.Tasks
+module Evaluate = Dpoaf_driving.Evaluate
+module Specs = Dpoaf_driving.Specs
+module Corpus = Dpoaf_pipeline.Corpus
+module Sampler = Dpoaf_lm.Sampler
+module Rng = Dpoaf_util.Rng
+
+type t = {
+  corpus : Corpus.t;
+  snapshot : Sampler.snapshot option;  (* None: generation unavailable *)
+}
+
+let spec_names = List.map fst Specs.all
+
+let scenario_names =
+  List.map Models.scenario_name Models.all_scenarios @ [ "universal" ]
+
+let create ?lm ~corpus () =
+  (* Pre-build the shared read-only structures (lexicon, world models) on
+     the calling domain so pool workers never race on first-use init. *)
+  ignore (Evaluate.lexicon ());
+  ignore (Models.universal ());
+  List.iter (fun sc -> ignore (Models.model sc)) Models.all_scenarios;
+  { corpus; snapshot = Option.map Sampler.snapshot lm }
+
+let model_of_scenario = function
+  | None -> Ok (Models.universal ())
+  | Some "universal" -> Ok (Models.universal ())
+  | Some name -> (
+      match Models.scenario_of_name name with
+      | Some sc -> Ok (Models.model sc)
+      | None ->
+          Error
+            (Printf.sprintf "unknown scenario %S (valid: %s)" name
+               (String.concat ", " scenario_names)))
+
+let profile_of_steps ~model steps : Protocol.profile =
+  let p = Evaluate.profile_of_steps ~model steps in
+  {
+    Protocol.score = List.length p.Evaluate.satisfied;
+    satisfied = p.Evaluate.satisfied;
+    violated =
+      List.filter (fun n -> not (List.mem n p.Evaluate.satisfied)) spec_names;
+    vacuous = p.Evaluate.vacuous;
+  }
+
+(* validate the request itself before reporting server-side limitations,
+   so a typo'd task id gets the precise error even on a verify-only
+   server *)
+let generate t ~task ~seed ~temperature : Protocol.body =
+  match List.find_opt (fun tk -> tk.Tasks.id = task) Tasks.all with
+  | None ->
+      Protocol.Failed
+        (Printf.sprintf "unknown task %S (valid: %s)" task
+           (String.concat ", " (List.map (fun tk -> tk.Tasks.id) Tasks.all)))
+  | Some tk -> (
+      match t.snapshot with
+      | None ->
+          Protocol.Failed
+            "generation unavailable: the server was started without a \
+             language model (load a checkpoint or enable the built-in model)"
+      | Some snapshot ->
+          if temperature <= 0.0 then
+            Protocol.Failed "temperature must be positive"
+          else begin
+            let setup = Corpus.setup t.corpus tk in
+            let rng = Rng.create seed in
+            let tokens =
+              Sampler.sample snapshot rng ~prompt:setup.Corpus.prompt
+                ~grammar:setup.Corpus.grammar
+                ~min_clauses:setup.Corpus.min_clauses
+                ~max_clauses:setup.Corpus.max_clauses ~temperature ()
+            in
+            let steps = Corpus.steps_of_tokens t.corpus tokens in
+            let profile =
+              profile_of_steps ~model:(Models.universal ()) steps
+            in
+            Protocol.Generated { steps; tokens; profile }
+          end)
+
+let verify ~scenario steps : Protocol.body =
+  match model_of_scenario scenario with
+  | Error msg -> Protocol.Failed msg
+  | Ok model -> Protocol.Verified (profile_of_steps ~model steps)
+
+let score_pair ~scenario steps_a steps_b : Protocol.body =
+  match model_of_scenario scenario with
+  | Error msg -> Protocol.Failed msg
+  | Ok model ->
+      let profile_a = profile_of_steps ~model steps_a in
+      let profile_b = profile_of_steps ~model steps_b in
+      let winner, loser, preference =
+        if profile_a.Protocol.score > profile_b.Protocol.score then
+          (Some profile_a, Some profile_b, "a")
+        else if profile_b.Protocol.score > profile_a.Protocol.score then
+          (Some profile_b, Some profile_a, "b")
+        else (None, None, "tie")
+      in
+      let margin_specs =
+        match (winner, loser) with
+        | Some w, Some l ->
+            List.filter
+              (fun n -> not (List.mem n l.Protocol.satisfied))
+              w.Protocol.satisfied
+        | _ -> []
+      in
+      let vacuous_margin =
+        match winner with
+        | Some w ->
+            margin_specs <> []
+            && List.for_all
+                 (fun n -> List.mem n w.Protocol.vacuous)
+                 margin_specs
+        | None -> false
+      in
+      Protocol.Compared
+        {
+          preference;
+          margin =
+            abs (profile_a.Protocol.score - profile_b.Protocol.score);
+          margin_specs;
+          vacuous_margin;
+          profile_a;
+          profile_b;
+        }
+
+let handle t (req : Protocol.request) : Protocol.body =
+  match req.Protocol.kind with
+  | Protocol.Generate { task; seed; temperature } ->
+      generate t ~task ~seed ~temperature
+  | Protocol.Verify { steps; scenario } -> verify ~scenario steps
+  | Protocol.Score_pair { steps_a; steps_b; scenario } ->
+      score_pair ~scenario steps_a steps_b

@@ -1,0 +1,27 @@
+(** Per-request execution of the serving API.
+
+    [handle] maps one {!Protocol.request} to its {!Protocol.body} by
+    reusing the batch pipeline's stages: [generate] samples a
+    grammar-constrained response from the language model (seeded per
+    request, so the reply is deterministic); [verify] compiles the steps
+    with GLM2FSA and model-checks the 15-rule book (memoized through
+    {!Dpoaf_exec.Cache}, vacuity-aware via the profile's [vacuous] set);
+    [score_pair] verifies both sides and emits the paper's
+    automated-feedback preference with its formal justification.
+
+    Replies depend only on request contents — never on batching, arrival
+    order or worker count — which is what lets {!Server} parallelize
+    freely while staying bit-deterministic.  Domain errors (unknown task,
+    unknown scenario, missing model) come back as {!Protocol.Failed}
+    bodies, not exceptions. *)
+
+type t
+
+val create : ?lm:Dpoaf_lm.Model.t -> corpus:Dpoaf_pipeline.Corpus.t -> unit -> t
+(** Capture a sampling snapshot of [lm] (omit it to serve verification
+    only: [generate] requests then fail gracefully) and pre-build the
+    shared lexicon and world models so pool workers never race on
+    first-use initialization. *)
+
+val handle : t -> Protocol.request -> Protocol.body
+(** Execute one request.  Safe to call concurrently from any domain. *)

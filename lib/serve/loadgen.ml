@@ -1,0 +1,229 @@
+(* Synthetic-traffic client for the serving daemon.
+
+   Open-loop: request [i] is due at [start + i/rate] regardless of how
+   fast responses come back, so a slow server accumulates in-flight
+   requests instead of silently throttling the offered load — which is
+   what makes admission rejects and deadline expiries observable.  One
+   pipelined connection; reads and writes are nonblocking and interleaved
+   with the send schedule.
+
+   Latency is observed into the [loadgen.latency] histogram and the
+   report's percentiles are read back from it — no ad-hoc timing math. *)
+
+module Metrics = Dpoaf_exec.Metrics
+module Rng = Dpoaf_util.Rng
+module Tasks = Dpoaf_driving.Tasks
+module Responses = Dpoaf_driving.Responses
+module Models = Dpoaf_driving.Models
+
+type mix = { generate : float; verify : float; score_pair : float }
+
+let default_mix = { generate = 0.3; verify = 0.4; score_pair = 0.3 }
+
+type config = {
+  socket : string;
+  rate : float;
+  duration_s : float;
+  mix : mix;
+  deadline_ms : float option;
+  seed : int;
+}
+
+let default_config =
+  {
+    socket = "/tmp/dpoaf.sock";
+    rate = 200.0;
+    duration_s = 2.0;
+    mix = default_mix;
+    deadline_ms = None;
+    seed = 0;
+  }
+
+type report = {
+  sent : int;
+  completed : int;
+  ok : int;
+  rejected : int;
+  expired : int;
+  errors : int;
+  protocol_errors : int;
+  elapsed_s : float;
+  achieved_rps : float;
+  p50_ms : float;
+  p90_ms : float;
+  p99_ms : float;
+}
+
+let latency_h = Metrics.histogram "loadgen.latency"
+
+(* ---------------- request synthesis ---------------- *)
+
+let random_task rng = Rng.choice_list rng Tasks.all
+
+let random_steps rng task =
+  let pool = Rng.shuffle_list rng (Responses.candidate_steps task) in
+  let n = 2 + Rng.int rng 3 in
+  List.filteri (fun i _ -> i < n) pool
+
+let random_scenario rng task =
+  if Rng.bool rng 0.5 then Some (Models.scenario_name task.Tasks.scenario)
+  else None
+
+let synth_kind rng mix =
+  let pick =
+    Rng.weighted rng
+      [
+        (`Generate, mix.generate);
+        (`Verify, mix.verify);
+        (`Score_pair, mix.score_pair);
+      ]
+  in
+  let task = random_task rng in
+  match pick with
+  | `Generate ->
+      Protocol.Generate
+        { task = task.Tasks.id; seed = Rng.int rng 1_000_000; temperature = 1.0 }
+  | `Verify ->
+      Protocol.Verify
+        { steps = random_steps rng task; scenario = random_scenario rng task }
+  | `Score_pair ->
+      Protocol.Score_pair
+        {
+          steps_a = random_steps rng task;
+          steps_b = random_steps rng task;
+          scenario = random_scenario rng task;
+        }
+
+let synth_request rng config i =
+  {
+    Protocol.id = Printf.sprintf "r%06d" i;
+    kind = synth_kind rng config.mix;
+    deadline_ms = config.deadline_ms;
+  }
+
+(* ---------------- the run loop ---------------- *)
+
+let validate config =
+  if config.rate <= 0.0 then invalid_arg "Loadgen.run: rate must be > 0";
+  if config.duration_s <= 0.0 then
+    invalid_arg "Loadgen.run: duration must be > 0";
+  let { generate; verify; score_pair } = config.mix in
+  if generate < 0.0 || verify < 0.0 || score_pair < 0.0
+     || generate +. verify +. score_pair <= 0.0
+  then invalid_arg "Loadgen.run: mix weights must be >= 0 and not all zero"
+
+let run config =
+  validate config;
+  let rng = Rng.create config.seed in
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_UNIX config.socket);
+  Unix.set_nonblock fd;
+  let total = max 1 (int_of_float (config.rate *. config.duration_s)) in
+  let outstanding : (string, float) Hashtbl.t = Hashtbl.create 256 in
+  let sent = ref 0 in
+  let completed = ref 0 in
+  let ok = ref 0 in
+  let rejected = ref 0 in
+  let expired = ref 0 in
+  let errors = ref 0 in
+  let protocol_errors = ref 0 in
+  let outbuf = ref "" in
+  let pending = ref "" in
+  let eof = ref false in
+  let flush_writes () =
+    if !outbuf <> "" then begin
+      let buf = !outbuf in
+      match Unix.write_substring fd buf 0 (String.length buf) with
+      | n -> outbuf := String.sub buf n (String.length buf - n)
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+          ()
+    end
+  in
+  let handle_response line =
+    if String.trim line = "" then ()
+    else
+      match Protocol.response_of_string line with
+      | Error _ -> incr protocol_errors
+      | Ok resp ->
+          incr completed;
+          (match Protocol.status_of_body resp.Protocol.rbody with
+          | "ok" -> incr ok
+          | "rejected" -> incr rejected
+          | "expired" -> incr expired
+          | _ -> incr errors);
+          (match Hashtbl.find_opt outstanding resp.Protocol.rid with
+          | Some t_sent ->
+              Metrics.observe latency_h (Unix.gettimeofday () -. t_sent)
+          | None -> ());
+          Hashtbl.remove outstanding resp.Protocol.rid
+  in
+  let read_responses () =
+    let chunk = Bytes.create 4096 in
+    match Unix.read fd chunk 0 (Bytes.length chunk) with
+    | 0 -> eof := true
+    | n ->
+        let data = !pending ^ Bytes.sub_string chunk 0 n in
+        let parts = String.split_on_char '\n' data in
+        let rec consume = function
+          | [] -> pending := ""
+          | [ tail ] -> pending := tail
+          | line :: rest ->
+              handle_response line;
+              consume rest
+        in
+        consume parts
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
+  in
+  let start = Unix.gettimeofday () in
+  let grace = 10.0 in
+  let hard_deadline = start +. config.duration_s +. grace in
+  let done_ () =
+    (!sent >= total && Hashtbl.length outstanding = 0 && !outbuf = "")
+    || !eof
+    || Unix.gettimeofday () > hard_deadline
+  in
+  while not (done_ ()) do
+    let now = Unix.gettimeofday () in
+    (* enqueue every request whose open-loop slot has arrived *)
+    while !sent < total && now >= start +. (float_of_int !sent /. config.rate)
+    do
+      let req = synth_request rng config !sent in
+      outbuf := !outbuf ^ Protocol.request_to_string req ^ "\n";
+      Hashtbl.replace outstanding req.Protocol.id (Unix.gettimeofday ());
+      incr sent
+    done;
+    flush_writes ();
+    let next_send =
+      if !sent < total then start +. (float_of_int !sent /. config.rate)
+      else now +. 0.005
+    in
+    let wait = Float.min 0.005 (Float.max 0.0 (next_send -. now)) in
+    (match Unix.select [ fd ] [] [] wait with
+    | readable, _, _ -> if readable <> [] then read_responses ()
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ())
+  done;
+  let elapsed_s = Unix.gettimeofday () -. start in
+  (try Unix.close fd with Unix.Unix_error _ -> ());
+  {
+    sent = !sent;
+    completed = !completed;
+    ok = !ok;
+    rejected = !rejected;
+    expired = !expired;
+    errors = !errors;
+    protocol_errors = !protocol_errors;
+    elapsed_s;
+    achieved_rps =
+      (if elapsed_s > 0.0 then float_of_int !completed /. elapsed_s else 0.0);
+    p50_ms = Metrics.percentile latency_h 0.5 *. 1e3;
+    p90_ms = Metrics.percentile latency_h 0.9 *. 1e3;
+    p99_ms = Metrics.percentile latency_h 0.99 *. 1e3;
+  }
+
+let print_report r =
+  Printf.printf
+    "loadgen: sent=%d completed=%d ok=%d rejected=%d expired=%d errors=%d \
+     protocol_errors=%d elapsed_s=%.2f rps=%.1f p50_ms=%.3f p90_ms=%.3f \
+     p99_ms=%.3f\n%!"
+    r.sent r.completed r.ok r.rejected r.expired r.errors r.protocol_errors
+    r.elapsed_s r.achieved_rps r.p50_ms r.p90_ms r.p99_ms

@@ -1,0 +1,53 @@
+(** Synthetic-traffic client for the serving daemon.
+
+    Replays a seeded mixture of [generate]/[verify]/[score_pair] requests
+    against a daemon socket at a target rate, {e open-loop}: request [i]
+    is due at [start + i/rate] whether or not earlier responses have
+    arrived, so an overloaded server shows up as rejects, expiries and
+    latency growth rather than as silently reduced offered load.
+
+    Latency percentiles come from the [loadgen.latency]
+    {!Dpoaf_exec.Metrics} histogram — the report contains no ad-hoc
+    timing. *)
+
+type mix = { generate : float; verify : float; score_pair : float }
+(** Relative (unnormalised) weights of the three request kinds. *)
+
+val default_mix : mix
+(** [{generate = 0.3; verify = 0.4; score_pair = 0.3}]. *)
+
+type config = {
+  socket : string;
+  rate : float;  (** offered load, requests per second *)
+  duration_s : float;  (** send window; [rate * duration_s] requests *)
+  mix : mix;
+  deadline_ms : float option;  (** attached to every request when set *)
+  seed : int;  (** drives the whole traffic stream deterministically *)
+}
+
+val default_config : config
+
+type report = {
+  sent : int;
+  completed : int;  (** responses received (any status) *)
+  ok : int;
+  rejected : int;
+  expired : int;
+  errors : int;  (** [status="error"] responses *)
+  protocol_errors : int;  (** unparseable response lines *)
+  elapsed_s : float;
+  achieved_rps : float;  (** completed responses per elapsed second *)
+  p50_ms : float;
+  p90_ms : float;
+  p99_ms : float;
+}
+
+val run : config -> report
+(** Connect, replay the traffic, wait (bounded) for stragglers, report.
+    @raise Invalid_argument on a non-positive rate/duration or an all-zero
+    mix.
+    @raise Unix.Unix_error if the socket cannot be connected. *)
+
+val print_report : report -> unit
+(** One machine-parsable [loadgen: k=v ...] line on stdout — what
+    [make serve-check] greps. *)

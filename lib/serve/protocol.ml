@@ -1,0 +1,320 @@
+(* Wire protocol of the serving layer: line-delimited JSON over a Unix
+   domain socket.  One request object per line in, one response object per
+   line out; responses carry the request's [id] so a client may pipeline.
+
+   Three request kinds mirror the DPO-AF loop as a service:
+   - [generate]: prompt (a task id) -> grammar-constrained response steps;
+   - [verify]: response steps -> per-spec sat/violated/vacuous profile;
+   - [score_pair]: two responses -> preference + margin, the paper's
+     automated-feedback oracle (§4.2) behind a request/response API.
+
+   Decoding is strict: unknown kinds, missing fields and type mismatches
+   are reported with the offending field, never silently defaulted. *)
+
+module Json = Dpoaf_util.Json
+
+type kind =
+  | Generate of { task : string; seed : int; temperature : float }
+  | Verify of { steps : string list; scenario : string option }
+  | Score_pair of {
+      steps_a : string list;
+      steps_b : string list;
+      scenario : string option;
+    }
+
+type request = { id : string; kind : kind; deadline_ms : float option }
+
+type profile = {
+  score : int;
+  satisfied : string list;
+  violated : string list;
+  vacuous : string list;
+}
+
+type body =
+  | Generated of { steps : string list; tokens : int list; profile : profile }
+  | Verified of profile
+  | Compared of {
+      preference : string;  (* "a" | "b" | "tie" *)
+      margin : int;
+      margin_specs : string list;
+      vacuous_margin : bool;
+      profile_a : profile;
+      profile_b : profile;
+    }
+  | Rejected of string
+  | Expired
+  | Failed of string
+
+type response = {
+  rid : string;
+  rbody : body;
+  queue_wait_us : float;
+  execute_us : float;
+}
+
+let status_of_body = function
+  | Generated _ | Verified _ | Compared _ -> "ok"
+  | Rejected _ -> "rejected"
+  | Expired -> "expired"
+  | Failed _ -> "error"
+
+(* ---------------- encoding ---------------- *)
+
+let jstrs xs = Json.arr (List.map Json.str xs)
+let jints xs = Json.arr (List.map (fun i -> Json.num (float_of_int i)) xs)
+
+let json_of_profile p =
+  Json.obj
+    [
+      ("score", Json.num (float_of_int p.score));
+      ("satisfied", jstrs p.satisfied);
+      ("violated", jstrs p.violated);
+      ("vacuous", jstrs p.vacuous);
+    ]
+
+let json_of_request r =
+  let base =
+    match r.kind with
+    | Generate { task; seed; temperature } ->
+        [
+          ("kind", Json.str "generate");
+          ("task", Json.str task);
+          ("seed", Json.num (float_of_int seed));
+          ("temperature", Json.num temperature);
+        ]
+    | Verify { steps; scenario } ->
+        ("kind", Json.str "verify")
+        :: ("steps", jstrs steps)
+        :: (match scenario with
+           | None -> []
+           | Some s -> [ ("scenario", Json.str s) ])
+    | Score_pair { steps_a; steps_b; scenario } ->
+        ("kind", Json.str "score_pair")
+        :: ("steps_a", jstrs steps_a)
+        :: ("steps_b", jstrs steps_b)
+        :: (match scenario with
+           | None -> []
+           | Some s -> [ ("scenario", Json.str s) ])
+  in
+  let deadline =
+    match r.deadline_ms with
+    | None -> []
+    | Some ms -> [ ("deadline_ms", Json.num ms) ]
+  in
+  Json.obj ((("id", Json.str r.id) :: base) @ deadline)
+
+let json_of_response r =
+  let payload =
+    match r.rbody with
+    | Generated { steps; tokens; profile } ->
+        [
+          ("steps", jstrs steps);
+          ("tokens", jints tokens);
+          ("profile", json_of_profile profile);
+        ]
+    | Verified p -> [ ("profile", json_of_profile p) ]
+    | Compared
+        { preference; margin; margin_specs; vacuous_margin; profile_a; profile_b }
+      ->
+        [
+          ("preference", Json.str preference);
+          ("margin", Json.num (float_of_int margin));
+          ("margin_specs", jstrs margin_specs);
+          ("vacuous_margin", Json.Bool vacuous_margin);
+          ("profile_a", json_of_profile profile_a);
+          ("profile_b", json_of_profile profile_b);
+        ]
+    | Rejected reason -> [ ("reason", Json.str reason) ]
+    | Expired -> []
+    | Failed msg -> [ ("error", Json.str msg) ]
+  in
+  Json.obj
+    ([
+       ("id", Json.str r.rid);
+       ("status", Json.str (status_of_body r.rbody));
+       ("queue_wait_us", Json.num r.queue_wait_us);
+       ("execute_us", Json.num r.execute_us);
+     ]
+    @ payload)
+
+let request_to_string r = Json.to_string (json_of_request r)
+let response_to_string r = Json.to_string (json_of_response r)
+
+(* ---------------- decoding ---------------- *)
+
+let ( let* ) = Result.bind
+
+let field name j =
+  match Json.member name j with
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "missing field %S" name)
+
+let str_field name j =
+  let* v = field name j in
+  match Json.to_str v with
+  | Some s -> Ok s
+  | None -> Error (Printf.sprintf "field %S must be a string" name)
+
+let num_field name j =
+  let* v = field name j in
+  match Json.to_float v with
+  | Some f -> Ok f
+  | None -> Error (Printf.sprintf "field %S must be a number" name)
+
+let str_list_field name j =
+  let* v = field name j in
+  match Json.to_list v with
+  | None -> Error (Printf.sprintf "field %S must be an array" name)
+  | Some items ->
+      let rec go acc = function
+        | [] -> Ok (List.rev acc)
+        | x :: rest -> (
+            match Json.to_str x with
+            | Some s -> go (s :: acc) rest
+            | None ->
+                Error (Printf.sprintf "field %S must contain only strings" name))
+      in
+      go [] items
+
+let opt_str_field name j =
+  match Json.member name j with
+  | None | Some Json.Null -> Ok None
+  | Some v -> (
+      match Json.to_str v with
+      | Some s -> Ok (Some s)
+      | None -> Error (Printf.sprintf "field %S must be a string" name))
+
+let opt_num_field name j =
+  match Json.member name j with
+  | None | Some Json.Null -> Ok None
+  | Some v -> (
+      match Json.to_float v with
+      | Some f -> Ok (Some f)
+      | None -> Error (Printf.sprintf "field %S must be a number" name))
+
+let int_list_field name j =
+  let* v = field name j in
+  match Json.to_list v with
+  | None -> Error (Printf.sprintf "field %S must be an array" name)
+  | Some items ->
+      let rec go acc = function
+        | [] -> Ok (List.rev acc)
+        | x :: rest -> (
+            match Json.to_float x with
+            | Some f -> go (int_of_float f :: acc) rest
+            | None ->
+                Error (Printf.sprintf "field %S must contain only numbers" name))
+      in
+      go [] items
+
+let kind_of_json j =
+  let* kind = str_field "kind" j in
+  match kind with
+  | "generate" ->
+      let* task = str_field "task" j in
+      let* seed = opt_num_field "seed" j in
+      let* temperature = opt_num_field "temperature" j in
+      Ok
+        (Generate
+           {
+             task;
+             seed = (match seed with Some s -> int_of_float s | None -> 0);
+             temperature = Option.value ~default:1.0 temperature;
+           })
+  | "verify" ->
+      let* steps = str_list_field "steps" j in
+      let* scenario = opt_str_field "scenario" j in
+      Ok (Verify { steps; scenario })
+  | "score_pair" ->
+      let* steps_a = str_list_field "steps_a" j in
+      let* steps_b = str_list_field "steps_b" j in
+      let* scenario = opt_str_field "scenario" j in
+      Ok (Score_pair { steps_a; steps_b; scenario })
+  | other ->
+      Error
+        (Printf.sprintf
+           "unknown request kind %S (valid: generate, verify, score_pair)"
+           other)
+
+let request_of_json j =
+  let* id = str_field "id" j in
+  let* kind = kind_of_json j in
+  let* deadline_ms = opt_num_field "deadline_ms" j in
+  (match deadline_ms with
+  | Some d when d <= 0.0 -> Error "field \"deadline_ms\" must be positive"
+  | _ -> Ok ())
+  |> Result.map (fun () -> { id; kind; deadline_ms })
+
+let request_of_string line =
+  match Json.parse line with
+  | Error msg -> Error ("malformed JSON: " ^ msg)
+  | Ok j -> request_of_json j
+
+let profile_of_json j =
+  let* score = num_field "score" j in
+  let* satisfied = str_list_field "satisfied" j in
+  let* violated = str_list_field "violated" j in
+  let* vacuous = str_list_field "vacuous" j in
+  Ok { score = int_of_float score; satisfied; violated; vacuous }
+
+let body_of_json status j =
+  match status with
+  | "ok" -> (
+      (* discriminate the three ok shapes by their distinctive fields *)
+      match (Json.member "preference" j, Json.member "tokens" j) with
+      | Some _, _ ->
+          let* preference = str_field "preference" j in
+          let* margin = num_field "margin" j in
+          let* margin_specs = str_list_field "margin_specs" j in
+          let* vm = field "vacuous_margin" j in
+          let* vacuous_margin =
+            match vm with
+            | Json.Bool b -> Ok b
+            | _ -> Error "field \"vacuous_margin\" must be a boolean"
+          in
+          let* pa = field "profile_a" j in
+          let* profile_a = profile_of_json pa in
+          let* pb = field "profile_b" j in
+          let* profile_b = profile_of_json pb in
+          Ok
+            (Compared
+               {
+                 preference;
+                 margin = int_of_float margin;
+                 margin_specs;
+                 vacuous_margin;
+                 profile_a;
+                 profile_b;
+               })
+      | None, Some _ ->
+          let* steps = str_list_field "steps" j in
+          let* tokens = int_list_field "tokens" j in
+          let* p = field "profile" j in
+          let* profile = profile_of_json p in
+          Ok (Generated { steps; tokens; profile })
+      | None, None ->
+          let* p = field "profile" j in
+          let* profile = profile_of_json p in
+          Ok (Verified profile))
+  | "rejected" ->
+      let* reason = str_field "reason" j in
+      Ok (Rejected reason)
+  | "expired" -> Ok Expired
+  | "error" ->
+      let* msg = str_field "error" j in
+      Ok (Failed msg)
+  | other -> Error (Printf.sprintf "unknown response status %S" other)
+
+let response_of_json j =
+  let* rid = str_field "id" j in
+  let* status = str_field "status" j in
+  let* rbody = body_of_json status j in
+  let* queue_wait_us = num_field "queue_wait_us" j in
+  let* execute_us = num_field "execute_us" j in
+  Ok { rid; rbody; queue_wait_us; execute_us }
+
+let response_of_string line =
+  match Json.parse line with
+  | Error msg -> Error ("malformed JSON: " ^ msg)
+  | Ok j -> response_of_json j

@@ -1,0 +1,78 @@
+(** Wire protocol of the serving layer: line-delimited JSON.
+
+    One request object per line in, one response object per line out (see
+    [docs/serving.md] for the full schema).  Responses echo the request's
+    [id], so clients may pipeline arbitrarily many requests per
+    connection.  Decoding is strict — unknown kinds, missing fields and
+    type mismatches produce an [Error] naming the offending field; the
+    daemon answers such lines with a [status="error"] response rather than
+    guessing. *)
+
+type kind =
+  | Generate of { task : string; seed : int; temperature : float }
+      (** Sample one grammar-constrained response for a task prompt;
+          [seed] makes the sample deterministic. *)
+  | Verify of { steps : string list; scenario : string option }
+      (** Compile the steps with GLM2FSA and model-check the rule book;
+          [scenario] selects a single world model ([None] = universal). *)
+  | Score_pair of {
+      steps_a : string list;
+      steps_b : string list;
+      scenario : string option;
+    }
+      (** The automated-feedback oracle: verify both responses and emit a
+          preference with its formal justification. *)
+
+type request = {
+  id : string;  (** client-chosen correlation id, echoed in the response *)
+  kind : kind;
+  deadline_ms : float option;
+      (** drop the request unexecuted if it waits longer than this *)
+}
+
+type profile = {
+  score : int;  (** [List.length satisfied] *)
+  satisfied : string list;  (** spec names in rule-book order *)
+  violated : string list;  (** complementary names, same order *)
+  vacuous : string list;  (** subset of [satisfied] holding only vacuously *)
+}
+
+type body =
+  | Generated of { steps : string list; tokens : int list; profile : profile }
+  | Verified of profile
+  | Compared of {
+      preference : string;  (** ["a"], ["b"] or ["tie"] *)
+      margin : int;  (** absolute score difference *)
+      margin_specs : string list;
+          (** specs the winner satisfies and the loser does not *)
+      vacuous_margin : bool;
+          (** margin non-empty but carried entirely by vacuous
+              satisfactions *)
+      profile_a : profile;
+      profile_b : profile;
+    }
+  | Rejected of string  (** admission control refused the request *)
+  | Expired  (** deadline passed while queued; never executed *)
+  | Failed of string  (** the handler raised *)
+
+type response = {
+  rid : string;
+  rbody : body;
+  queue_wait_us : float;  (** submission to batch dequeue *)
+  execute_us : float;  (** handler wall-clock; 0 for rejected/expired *)
+}
+
+val status_of_body : body -> string
+(** ["ok"], ["rejected"], ["expired"] or ["error"]. *)
+
+(** {1 Wire codec} — total inverses of each other on well-formed values. *)
+
+val request_to_string : request -> string
+val request_of_string : string -> (request, string) result
+val response_to_string : response -> string
+val response_of_string : string -> (response, string) result
+
+val json_of_request : request -> Dpoaf_util.Json.t
+val request_of_json : Dpoaf_util.Json.t -> (request, string) result
+val json_of_response : response -> Dpoaf_util.Json.t
+val response_of_json : Dpoaf_util.Json.t -> (response, string) result

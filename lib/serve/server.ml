@@ -1,0 +1,258 @@
+(* The request scheduler: admission -> dynamic batch -> pool execution.
+
+   A dedicated dispatcher domain pops batches from the bounded
+   {!Admission} queue (size- or time-flushed) and runs each batch on a
+   {!Dpoaf_exec.Pool}, where the dispatcher itself participates as one
+   execution slot.  Per-request deadlines are checked at dequeue: an
+   expired request is answered [Expired] and never executed, so a backed-up
+   queue sheds load instead of burning workers on answers nobody is
+   waiting for.  [drain] closes admission, lets the dispatcher finish
+   everything already queued, and joins it — in-flight requests always
+   complete.
+
+   Every phase is instrumented through {!Dpoaf_exec.Metrics} (counters,
+   latency histograms, the queue-depth gauge) and, when tracing is on,
+   each request becomes a [serve.request] span with [serve.queue_wait],
+   [serve.batch_assembly] and [serve.execute] children — recorded
+   retroactively via {!Dpoaf_exec.Trace.record_span} because the phases
+   straddle domains. *)
+
+module Metrics = Dpoaf_exec.Metrics
+module Pool = Dpoaf_exec.Pool
+module Trace = Dpoaf_exec.Trace
+
+type config = {
+  jobs : int;
+  max_batch : int;
+  flush_ms : float;
+  queue_capacity : int;
+}
+
+let default_config =
+  { jobs = 1; max_batch = 32; flush_ms = 5.0; queue_capacity = 256 }
+
+type ticket = {
+  req : Protocol.request;
+  submitted : float;
+  deadline : float option;  (* absolute, seconds *)
+  parent_span : int;
+  on_done : (Protocol.response -> unit) option;
+  mutable response : Protocol.response option;
+  tmutex : Mutex.t;
+  tcond : Condition.t;
+}
+
+type t = {
+  config : config;
+  handler : Protocol.request -> Protocol.body;
+  queue : ticket Admission.t;
+  pool : Pool.t;
+  mutable dispatcher : unit Domain.t option;
+  state_mutex : Mutex.t;
+  mutable draining : bool;
+}
+
+(* ---------------- instrumentation ---------------- *)
+
+let accepted_c = Metrics.counter "serve.accepted"
+let rejected_c = Metrics.counter "serve.rejected"
+let expired_c = Metrics.counter "serve.expired"
+let completed_c = Metrics.counter "serve.completed"
+let errors_c = Metrics.counter "serve.errors"
+let batches_c = Metrics.counter "serve.batches"
+let queue_wait_h = Metrics.histogram "serve.queue_wait"
+let execute_h = Metrics.histogram "serve.execute"
+let latency_h = Metrics.histogram "serve.latency"
+let batch_size_h = Metrics.histogram "serve.batch_size"
+
+let kind_name = function
+  | Protocol.Generate _ -> "generate"
+  | Protocol.Verify _ -> "verify"
+  | Protocol.Score_pair _ -> "score_pair"
+
+(* ---------------- ticket completion ---------------- *)
+
+let complete ticket response =
+  Mutex.lock ticket.tmutex;
+  ticket.response <- Some response;
+  Condition.broadcast ticket.tcond;
+  Mutex.unlock ticket.tmutex;
+  match ticket.on_done with None -> () | Some f -> f response
+
+let record_request_spans ticket ~t_dequeue ~t_exec_start ~t_end body =
+  if Trace.enabled () then begin
+    let attrs =
+      [
+        ("req", ticket.req.Protocol.id);
+        ("kind", kind_name ticket.req.Protocol.kind);
+        ("status", Protocol.status_of_body body);
+      ]
+    in
+    let rid =
+      Trace.record_span ~cat:"serve" ~attrs ~parent:ticket.parent_span
+        "serve.request" ~t0:ticket.submitted ~t1:t_end
+    in
+    ignore
+      (Trace.record_span ~cat:"serve" ~parent:rid "serve.queue_wait"
+         ~t0:ticket.submitted ~t1:t_dequeue);
+    if t_exec_start > t_dequeue then
+      ignore
+        (Trace.record_span ~cat:"serve" ~parent:rid "serve.batch_assembly"
+           ~t0:t_dequeue ~t1:t_exec_start);
+    if t_end > t_exec_start then
+      ignore
+        (Trace.record_span ~cat:"serve" ~parent:rid "serve.execute"
+           ~t0:t_exec_start ~t1:t_end)
+  end
+
+let finish ticket ~t_dequeue ~t_exec_start ~t_end body =
+  record_request_spans ticket ~t_dequeue ~t_exec_start ~t_end body;
+  complete ticket
+    {
+      Protocol.rid = ticket.req.Protocol.id;
+      rbody = body;
+      queue_wait_us = (t_dequeue -. ticket.submitted) *. 1e6;
+      execute_us = (t_end -. t_exec_start) *. 1e6;
+    }
+
+(* ---------------- dispatch ---------------- *)
+
+let run_batch t tickets =
+  let t_dequeue = Unix.gettimeofday () in
+  Metrics.incr batches_c;
+  Metrics.observe batch_size_h (float_of_int (List.length tickets));
+  List.iter
+    (fun ticket -> Metrics.observe queue_wait_h (t_dequeue -. ticket.submitted))
+    tickets;
+  (* deadline gate: expired requests are answered, counted and dropped
+     before any execution slot is spent on them *)
+  let expired, alive =
+    List.partition
+      (fun ticket ->
+        match ticket.deadline with
+        | Some d -> t_dequeue > d
+        | None -> false)
+      tickets
+  in
+  List.iter
+    (fun ticket ->
+      Metrics.incr expired_c;
+      finish ticket ~t_dequeue ~t_exec_start:t_dequeue ~t_end:t_dequeue
+        Protocol.Expired)
+    expired;
+  ignore
+    (Pool.map_on_pool t.pool
+       (fun ticket ->
+         let t_exec_start = Unix.gettimeofday () in
+         let body =
+           try t.handler ticket.req
+           with e -> Protocol.Failed (Printexc.to_string e)
+         in
+         let t_end = Unix.gettimeofday () in
+         Metrics.observe execute_h (t_end -. t_exec_start);
+         Metrics.observe latency_h (t_end -. ticket.submitted);
+         Metrics.incr completed_c;
+         (match body with
+         | Protocol.Failed _ -> Metrics.incr errors_c
+         | _ -> ());
+         finish ticket ~t_dequeue ~t_exec_start ~t_end body)
+       alive)
+
+let rec dispatch_loop t =
+  match
+    Admission.pop_batch t.queue ~max:t.config.max_batch
+      ~flush_s:(t.config.flush_ms /. 1000.0)
+  with
+  | None -> ()
+  | Some tickets ->
+      run_batch t tickets;
+      dispatch_loop t
+
+(* ---------------- public API ---------------- *)
+
+let create ?(config = default_config) ~handler () =
+  if config.jobs < 1 then invalid_arg "Server.create: jobs must be >= 1";
+  if config.max_batch < 1 then
+    invalid_arg "Server.create: max_batch must be >= 1";
+  if config.flush_ms < 0.0 then
+    invalid_arg "Server.create: flush_ms must be >= 0";
+  let t =
+    {
+      config;
+      handler;
+      queue =
+        Admission.create ~capacity:config.queue_capacity
+          ~gauge_name:"serve.queue.depth";
+      pool = Pool.create ~jobs:config.jobs;
+      dispatcher = None;
+      state_mutex = Mutex.create ();
+      draining = false;
+    }
+  in
+  t.dispatcher <- Some (Domain.spawn (fun () -> dispatch_loop t));
+  t
+
+let config t = t.config
+let queue_depth t = Admission.depth t.queue
+
+let submit_async ?on_done t req =
+  let submitted = Unix.gettimeofday () in
+  let ticket =
+    {
+      req;
+      submitted;
+      deadline =
+        Option.map (fun ms -> submitted +. (ms /. 1000.0)) req.Protocol.deadline_ms;
+      parent_span = Trace.current ();
+      on_done;
+      response = None;
+      tmutex = Mutex.create ();
+      tcond = Condition.create ();
+    }
+  in
+  if Admission.try_push t.queue ticket then Metrics.incr accepted_c
+  else begin
+    Metrics.incr rejected_c;
+    let reason =
+      if t.draining then "server draining"
+      else
+        Printf.sprintf "queue full (capacity %d)" t.config.queue_capacity
+    in
+    complete ticket
+      {
+        Protocol.rid = req.Protocol.id;
+        rbody = Protocol.Rejected reason;
+        queue_wait_us = 0.0;
+        execute_us = 0.0;
+      }
+  end;
+  ticket
+
+let await ticket =
+  Mutex.lock ticket.tmutex;
+  while ticket.response = None do
+    Condition.wait ticket.tcond ticket.tmutex
+  done;
+  let r = Option.get ticket.response in
+  Mutex.unlock ticket.tmutex;
+  r
+
+let peek ticket =
+  Mutex.lock ticket.tmutex;
+  let r = ticket.response in
+  Mutex.unlock ticket.tmutex;
+  r
+
+let submit t req = await (submit_async t req)
+
+let drain t =
+  Mutex.lock t.state_mutex;
+  t.draining <- true;
+  let dispatcher = t.dispatcher in
+  t.dispatcher <- None;
+  Mutex.unlock t.state_mutex;
+  Admission.close t.queue;
+  (match dispatcher with
+  | Some d -> Domain.join d
+  | None -> ());
+  Pool.shutdown t.pool

@@ -1,0 +1,69 @@
+(** The batched inference-and-verification scheduler.
+
+    Requests enter a bounded admission queue ({!submit} / {!submit_async}
+    answer an explicit [Rejected] body when it is full — backpressure is a
+    protocol condition, not an unbounded buffer), are coalesced into
+    dynamic batches (flushed at [max_batch] items or after [flush_ms],
+    whichever first) by a dedicated dispatcher domain, and execute on a
+    private {!Dpoaf_exec.Pool} of [jobs] slots.  A request whose
+    [deadline_ms] elapses while it queues is answered [Expired] at dequeue
+    time and never executed.
+
+    Because the handler must be a pure function of the request (see
+    {!Engine}), responses are bit-identical for every [jobs], batch size
+    and flush window — the serving-layer restatement of the PR-1 pool
+    guarantee.
+
+    Instrumentation: counters [serve.accepted/rejected/expired/completed/
+    errors/batches], histograms [serve.queue_wait/execute/latency/
+    batch_size], the [serve.queue.depth] gauge, and per-request
+    [serve.request] trace spans with [queue_wait]/[batch_assembly]/
+    [execute] children when {!Dpoaf_exec.Trace} is enabled. *)
+
+type config = {
+  jobs : int;  (** pool slots executing batches *)
+  max_batch : int;  (** size-based flush threshold *)
+  flush_ms : float;  (** time-based flush threshold, milliseconds *)
+  queue_capacity : int;  (** admission bound; beyond it requests reject *)
+}
+
+val default_config : config
+(** [jobs = 1], [max_batch = 32], [flush_ms = 5.0],
+    [queue_capacity = 256]. *)
+
+type t
+
+val create :
+  ?config:config -> handler:(Protocol.request -> Protocol.body) -> unit -> t
+(** Spawn the dispatcher domain and worker pool.  [handler] runs on pool
+    workers and must be safe to call from any domain; exceptions it raises
+    become [Failed] bodies.
+    @raise Invalid_argument on non-positive [jobs]/[max_batch] or negative
+    [flush_ms]. *)
+
+type ticket
+(** A pending (or already answered) request. *)
+
+val submit_async :
+  ?on_done:(Protocol.response -> unit) -> t -> Protocol.request -> ticket
+(** Non-blocking submission.  If admission rejects, the ticket completes
+    immediately with a [Rejected] body.  [on_done] fires exactly once, on
+    whichever domain completes the request — it must be thread-safe and
+    quick (the daemon uses it to enqueue the wire response). *)
+
+val await : ticket -> Protocol.response
+(** Block until the ticket's response is available. *)
+
+val peek : ticket -> Protocol.response option
+(** The response if already available, without blocking. *)
+
+val submit : t -> Protocol.request -> Protocol.response
+(** [await (submit_async t req)]. *)
+
+val drain : t -> unit
+(** Graceful shutdown: stop admitting (subsequent submissions reject with
+    "server draining"), finish every queued and in-flight request, join
+    the dispatcher and shut the pool down.  Idempotent. *)
+
+val config : t -> config
+val queue_depth : t -> int

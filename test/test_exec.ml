@@ -93,9 +93,31 @@ let test_cache_eviction () =
   Alcotest.(check int) "bounded" 3 (Cache.length cache);
   let s = Cache.stats cache in
   Alcotest.(check int) "evictions" 2 s.Cache.evictions;
-  (* FIFO: oldest keys 1 and 2 are gone, 3..5 remain *)
+  (* no hits in between, so LRU degenerates to insertion order: 1 and 2
+     are gone, 3..5 remain *)
   Alcotest.(check (option int)) "evicted" None (Cache.find_opt cache 1);
   Alcotest.(check (option int)) "kept" (Some 50) (Cache.find_opt cache 5)
+
+let test_cache_lru_promotion () =
+  let cache = Cache.create ~capacity:3 ~name:"test.lru" () in
+  List.iter (fun k -> Cache.add cache k (10 * k)) [ 1; 2; 3 ];
+  (* re-hit the oldest key: 2 becomes the eviction candidate, not 1 *)
+  Alcotest.(check (option int)) "hit on oldest" (Some 10)
+    (Cache.find_opt cache 1);
+  Cache.add cache 4 40;
+  Alcotest.(check (option int)) "re-hit key survives" (Some 10)
+    (Cache.find_opt cache 1);
+  Alcotest.(check (option int)) "colder key evicted" None
+    (Cache.find_opt cache 2);
+  Alcotest.(check int) "still bounded" 3 (Cache.length cache);
+  Alcotest.(check int) "one eviction" 1 (Cache.stats cache).Cache.evictions;
+  (* find_or_add also promotes: touch 3, then push two new keys *)
+  ignore (Cache.find_or_add cache 3 (fun () -> assert false));
+  Cache.add cache 5 50;
+  Cache.add cache 6 60;
+  Alcotest.(check (option int)) "promoted by find_or_add" (Some 30)
+    (Cache.find_opt cache 3);
+  Alcotest.(check (option int)) "unpromoted gone" None (Cache.find_opt cache 4)
 
 let test_cache_concurrent_agreement () =
   (* many domains racing on the same keys: every reader sees the
@@ -161,6 +183,23 @@ let test_metrics_name_collision () =
       ignore (Metrics.counter "test.collide.histogram"));
   expect_invalid "histogram as timer" (fun () ->
       Metrics.time "test.collide.histogram" (fun () -> ()))
+
+let test_metrics_gauge () =
+  let g = Metrics.gauge "test.gauge.depth" in
+  Metrics.set_gauge g 7.0;
+  Alcotest.(check (float 0.0)) "level readback" 7.0 (Metrics.gauge_value g);
+  Alcotest.(check (option (float 0.0))) "summary key" (Some 7.0)
+    (List.assoc_opt "test.gauge.depth.level" (Metrics.summary ()));
+  (* last write wins, and delta passes the level through undiffed *)
+  let before = Metrics.summary () in
+  Metrics.set_gauge g 3.0;
+  Metrics.set_gauge g 5.0;
+  let d = Metrics.delta before (Metrics.summary ()) in
+  Alcotest.(check (option (float 0.0))) "delta passthrough" (Some 5.0)
+    (List.assoc_opt "test.gauge.depth.level" d);
+  Alcotest.(check bool) "same name as counter rejected" true
+    (try ignore (Metrics.counter "test.gauge.depth"); false
+     with Invalid_argument _ -> true)
 
 let test_metrics_histogram_summary () =
   let h = Metrics.histogram "test.hist.basic" in
@@ -338,7 +377,8 @@ let () =
       ( "cache",
         [
           Alcotest.test_case "hit/miss accounting" `Quick test_cache_hit_miss;
-          Alcotest.test_case "FIFO eviction" `Quick test_cache_eviction;
+          Alcotest.test_case "bounded eviction" `Quick test_cache_eviction;
+          Alcotest.test_case "LRU promotion" `Quick test_cache_lru_promotion;
           Alcotest.test_case "concurrent agreement" `Quick
             test_cache_concurrent_agreement;
         ] );
@@ -347,6 +387,7 @@ let () =
           Alcotest.test_case "counters and timers" `Quick
             test_metrics_counters_and_timers;
           Alcotest.test_case "name collision" `Quick test_metrics_name_collision;
+          Alcotest.test_case "gauge" `Quick test_metrics_gauge;
           Alcotest.test_case "histogram summary" `Quick
             test_metrics_histogram_summary;
           Alcotest.test_case "delta" `Quick test_metrics_delta;

@@ -425,6 +425,73 @@ let test_checkpoint_roundtrip () =
   Sys.remove path;
   Alcotest.(check (float 1e-12)) "same logprob" (lp model) (lp loaded)
 
+let contains hay needle =
+  let h = String.length hay and n = String.length needle in
+  let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+  go 0
+
+(* run [f], expect [Corrupt] naming exactly [path], return the reason *)
+let expect_corrupt what path f =
+  match f () with
+  | _ -> Alcotest.failf "%s: expected Checkpoint.Corrupt" what
+  | exception Checkpoint.Corrupt { path = p; reason } ->
+      Alcotest.(check string) (what ^ ": path in error") path p;
+      reason
+
+let with_bytes bytes f =
+  let path = Filename.temp_file "dpoaf_corrupt" ".ckpt" in
+  let oc = open_out_bin path in
+  output_string oc bytes;
+  close_out oc;
+  Fun.protect ~finally:(fun () -> Sys.remove path) (fun () -> f path)
+
+let test_checkpoint_bad_magic () =
+  with_bytes "this is not a checkpoint at all" @@ fun path ->
+  let reason = expect_corrupt "bad magic" path (fun () -> Checkpoint.load path) in
+  Alcotest.(check bool) "reason names the magic" true (contains reason "magic");
+  (* a file shorter than the magic is reported as such, not as a decode
+     failure deep inside Marshal *)
+  with_bytes "DP" @@ fun short ->
+  let reason =
+    expect_corrupt "short file" short (fun () -> Checkpoint.load short)
+  in
+  Alcotest.(check bool) "reason names the length" true
+    (contains reason "shorter than")
+
+let test_checkpoint_version_mismatch () =
+  let buf = Buffer.create 16 in
+  Buffer.add_string buf "DPOAFCKP";
+  (* 4-byte big-endian version word, deliberately wrong *)
+  List.iter
+    (fun shift -> Buffer.add_char buf (Char.chr ((999 lsr shift) land 0xff)))
+    [ 24; 16; 8; 0 ];
+  Buffer.add_string buf "payload";
+  with_bytes (Buffer.contents buf) @@ fun path ->
+  let reason =
+    expect_corrupt "version skew" path (fun () -> Checkpoint.load path)
+  in
+  Alcotest.(check bool) "reason has the found version" true
+    (contains reason "999");
+  Alcotest.(check bool) "reason has the expected version" true
+    (contains reason (string_of_int Checkpoint.version))
+
+let test_checkpoint_truncated_payload () =
+  let v = make_vocab () in
+  let model = make_model 41 v in
+  let path = Filename.temp_file "dpoaf_trunc" ".ckpt" in
+  Checkpoint.save model path;
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let bytes = really_input_string ic (len - 10) in
+  close_in ic;
+  Sys.remove path;
+  with_bytes bytes @@ fun truncated ->
+  let reason =
+    expect_corrupt "truncation" truncated (fun () -> Checkpoint.load truncated)
+  in
+  Alcotest.(check bool) "reason says truncated/corrupt" true
+    (contains reason "truncated")
+
 let () =
   Alcotest.run "lm"
     [
@@ -462,7 +529,14 @@ let () =
             test_pretrain_reduces_nll_and_shifts_sampling;
         ] );
       ( "checkpoint",
-        [ Alcotest.test_case "roundtrip" `Quick test_checkpoint_roundtrip ] );
+        [
+          Alcotest.test_case "roundtrip" `Quick test_checkpoint_roundtrip;
+          Alcotest.test_case "bad magic" `Quick test_checkpoint_bad_magic;
+          Alcotest.test_case "version mismatch" `Quick
+            test_checkpoint_version_mismatch;
+          Alcotest.test_case "truncated payload" `Quick
+            test_checkpoint_truncated_payload;
+        ] );
       ( "prompt-format",
         [
           Alcotest.test_case "llama2 template" `Quick test_prompt_llama2;

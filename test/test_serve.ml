@@ -1,0 +1,366 @@
+open Dpoaf_serve
+module P = Protocol
+module Metrics = Dpoaf_exec.Metrics
+
+let ok_profile = { P.score = 0; satisfied = []; violated = []; vacuous = [] }
+
+let body_testable =
+  Alcotest.testable
+    (fun ppf b -> Format.pp_print_string ppf (P.status_of_body b))
+    ( = )
+
+(* ---------------- protocol goldens ---------------- *)
+
+(* exact wire bytes, both directions: the daemon and external clients
+   must agree on these strings forever *)
+
+let check_request golden req =
+  Alcotest.(check string) "encode" golden (P.request_to_string req);
+  match P.request_of_string golden with
+  | Error e -> Alcotest.fail ("decode: " ^ e)
+  | Ok r -> Alcotest.(check bool) "decode equals value" true (r = req)
+
+let check_response golden resp =
+  Alcotest.(check string) "encode" golden (P.response_to_string resp);
+  match P.response_of_string golden with
+  | Error e -> Alcotest.fail ("decode: " ^ e)
+  | Ok r -> Alcotest.(check bool) "decode equals value" true (r = resp)
+
+let test_request_goldens () =
+  check_request
+    {|{"id":"g1","kind":"generate","task":"right_turn_tl","seed":7,"temperature":1}|}
+    {
+      P.id = "g1";
+      kind = P.Generate { task = "right_turn_tl"; seed = 7; temperature = 1.0 };
+      deadline_ms = None;
+    };
+  check_request
+    {|{"id":"v1","kind":"verify","steps":["come to a stop","turn right"],"scenario":"traffic_light","deadline_ms":50}|}
+    {
+      P.id = "v1";
+      kind =
+        P.Verify
+          {
+            steps = [ "come to a stop"; "turn right" ];
+            scenario = Some "traffic_light";
+          };
+      deadline_ms = Some 50.0;
+    };
+  check_request
+    {|{"id":"s1","kind":"score_pair","steps_a":["turn right"],"steps_b":["stop"]}|}
+    {
+      P.id = "s1";
+      kind =
+        P.Score_pair
+          { steps_a = [ "turn right" ]; steps_b = [ "stop" ]; scenario = None };
+      deadline_ms = None;
+    }
+
+let test_response_goldens () =
+  check_response
+    {|{"id":"v1","status":"ok","queue_wait_us":12.5,"execute_us":3,"profile":{"score":2,"satisfied":["phi_1","phi_2"],"violated":["phi_3"],"vacuous":["phi_2"]}}|}
+    {
+      P.rid = "v1";
+      rbody =
+        P.Verified
+          {
+            score = 2;
+            satisfied = [ "phi_1"; "phi_2" ];
+            violated = [ "phi_3" ];
+            vacuous = [ "phi_2" ];
+          };
+      queue_wait_us = 12.5;
+      execute_us = 3.0;
+    };
+  check_response
+    {|{"id":"r1","status":"rejected","queue_wait_us":0,"execute_us":0,"reason":"queue full (capacity 4)"}|}
+    {
+      P.rid = "r1";
+      rbody = P.Rejected "queue full (capacity 4)";
+      queue_wait_us = 0.0;
+      execute_us = 0.0;
+    };
+  check_response
+    {|{"id":"e1","status":"expired","queue_wait_us":60000,"execute_us":0}|}
+    {
+      P.rid = "e1";
+      rbody = P.Expired;
+      queue_wait_us = 60000.0;
+      execute_us = 0.0;
+    };
+  check_response
+    {|{"id":"s1","status":"ok","queue_wait_us":1,"execute_us":2,"preference":"a","margin":3,"margin_specs":["phi_5"],"vacuous_margin":false,"profile_a":{"score":3,"satisfied":["phi_1","phi_4","phi_5"],"violated":[],"vacuous":[]},"profile_b":{"score":0,"satisfied":[],"violated":["phi_1"],"vacuous":[]}}|}
+    {
+      P.rid = "s1";
+      rbody =
+        P.Compared
+          {
+            preference = "a";
+            margin = 3;
+            margin_specs = [ "phi_5" ];
+            vacuous_margin = false;
+            profile_a =
+              {
+                score = 3;
+                satisfied = [ "phi_1"; "phi_4"; "phi_5" ];
+                violated = [];
+                vacuous = [];
+              };
+            profile_b =
+              { score = 0; satisfied = []; violated = [ "phi_1" ]; vacuous = [] };
+          };
+      queue_wait_us = 1.0;
+      execute_us = 2.0;
+    }
+
+let contains hay needle =
+  let h = String.length hay and n = String.length needle in
+  let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+  go 0
+
+let test_protocol_strictness () =
+  let expect_error what line needle =
+    match P.request_of_string line with
+    | Ok _ -> Alcotest.failf "%s: expected a decode error" what
+    | Error msg ->
+        Alcotest.(check bool)
+          (Printf.sprintf "%s mentions %S (got %S)" what needle msg)
+          true (contains msg needle)
+  in
+  expect_error "malformed json" "{not json" "malformed JSON";
+  expect_error "missing id" {|{"kind":"verify","steps":[]}|} "id";
+  expect_error "unknown kind" {|{"id":"x","kind":"transmogrify"}|}
+    "unknown request kind";
+  expect_error "typed field" {|{"id":"x","kind":"verify","steps":"stop"}|}
+    "must be an array";
+  expect_error "bad deadline"
+    {|{"id":"x","kind":"verify","steps":[],"deadline_ms":-5}|} "positive"
+
+(* ---------------- server scheduling ---------------- *)
+
+let verify_request ?deadline_ms id =
+  { P.id; kind = P.Verify { steps = [ id ]; scenario = None }; deadline_ms }
+
+let test_batch_and_complete () =
+  (* trivial handler: everything completes, batches of any size *)
+  let server =
+    Server.create
+      ~config:{ Server.jobs = 2; max_batch = 8; flush_ms = 2.0; queue_capacity = 64 }
+      ~handler:(fun _ -> P.Verified ok_profile)
+      ()
+  in
+  let tickets =
+    List.init 20 (fun i ->
+        Server.submit_async server (verify_request (Printf.sprintf "q%d" i)))
+  in
+  let responses = List.map Server.await tickets in
+  Server.drain server;
+  List.iteri
+    (fun i r ->
+      Alcotest.(check string) "id echoed" (Printf.sprintf "q%d" i) r.P.rid;
+      Alcotest.(check body_testable) "ok" (P.Verified ok_profile) r.P.rbody)
+    responses
+
+let test_deadline_expiry () =
+  let expired_before = Metrics.value (Metrics.counter "serve.expired") in
+  (* one slot, serial batches: while the blocker executes for 100 ms, a
+     request with a 20 ms deadline sits in the queue past its deadline *)
+  let server =
+    Server.create
+      ~config:{ Server.jobs = 1; max_batch = 1; flush_ms = 0.0; queue_capacity = 64 }
+      ~handler:(fun req ->
+        (match req.P.id with "blocker" -> Unix.sleepf 0.1 | _ -> ());
+        P.Verified ok_profile)
+      ()
+  in
+  let blocker = Server.submit_async server (verify_request "blocker") in
+  (* give the dispatcher time to pull the blocker into execution *)
+  Unix.sleepf 0.02;
+  let doomed =
+    Server.submit_async server (verify_request ~deadline_ms:20.0 "doomed")
+  in
+  let r = Server.await doomed in
+  Alcotest.(check body_testable) "expired, not executed" P.Expired r.P.rbody;
+  Alcotest.(check bool) "waited at least its deadline" true
+    (r.P.queue_wait_us >= 20_000.0);
+  Alcotest.(check (float 0.0)) "no execute time" 0.0 r.P.execute_us;
+  Alcotest.(check body_testable) "blocker unaffected" (P.Verified ok_profile)
+    (Server.await blocker).P.rbody;
+  Server.drain server;
+  Alcotest.(check bool) "expired counter advanced" true
+    (Metrics.value (Metrics.counter "serve.expired") > expired_before)
+
+let test_queue_full_reject () =
+  let server =
+    Server.create
+      ~config:{ Server.jobs = 1; max_batch = 1; flush_ms = 0.0; queue_capacity = 2 }
+      ~handler:(fun _ -> Unix.sleepf 0.3; P.Verified ok_profile)
+      ()
+  in
+  let blocker = Server.submit_async server (verify_request "b0") in
+  Unix.sleepf 0.02;
+  (* the blocker is executing; these two fill the whole queue *)
+  let queued =
+    [ Server.submit_async server (verify_request "b1");
+      Server.submit_async server (verify_request "b2") ]
+  in
+  let overflow = Server.submit_async server (verify_request "b3") in
+  (* the reject is synchronous: no awaiting, no timing dependence *)
+  (match Server.peek overflow with
+  | Some { P.rbody = P.Rejected reason; _ } ->
+      Alcotest.(check bool) "reason names the capacity" true
+        (contains reason "queue full (capacity 2)")
+  | Some r ->
+      Alcotest.failf "expected an immediate reject, got %s"
+        (P.status_of_body r.P.rbody)
+  | None -> Alcotest.fail "expected an immediate reject, got a pending ticket");
+  List.iter
+    (fun t ->
+      Alcotest.(check body_testable) "queued requests still complete"
+        (P.Verified ok_profile) (Server.await t).P.rbody)
+    (blocker :: queued);
+  Server.drain server
+
+let test_drain_completes_inflight () =
+  let server =
+    Server.create
+      ~config:{ Server.jobs = 2; max_batch = 4; flush_ms = 1.0; queue_capacity = 64 }
+      ~handler:(fun _ -> Unix.sleepf 0.03; P.Verified ok_profile)
+      ()
+  in
+  let tickets =
+    List.init 10 (fun i ->
+        Server.submit_async server (verify_request (Printf.sprintf "d%d" i)))
+  in
+  Server.drain server;
+  (* after drain returns, every admitted request must already be answered *)
+  List.iter
+    (fun t ->
+      match Server.peek t with
+      | Some r ->
+          Alcotest.(check body_testable) "completed during drain"
+            (P.Verified ok_profile) r.P.rbody
+      | None -> Alcotest.fail "drain returned with an unanswered request")
+    tickets;
+  let late = Server.submit_async server (verify_request "late") in
+  (match Server.peek late with
+  | Some { P.rbody = P.Rejected reason; _ } ->
+      Alcotest.(check bool) "late submission names draining" true
+        (contains reason "draining")
+  | _ -> Alcotest.fail "submission after drain must reject immediately");
+  (* idempotent *)
+  Server.drain server
+
+(* ---------------- determinism with the real engine ---------------- *)
+
+let corpus = lazy (Dpoaf_pipeline.Corpus.build ())
+
+let small_lm seed =
+  Dpoaf_pipeline.Corpus.pretrained_model
+    ~config:
+      { Dpoaf_lm.Model.dim = 12; context = 10; lora_rank = 2;
+        arch = Dpoaf_lm.Model.Bow }
+    ~per_task:20 ~epochs:10
+    (Dpoaf_util.Rng.create seed)
+    (Lazy.force corpus)
+
+let mixed_requests =
+  let right = [ "come to a complete stop"; "turn right" ] in
+  let risky = [ "turn right" ] in
+  List.concat_map
+    (fun i ->
+      [
+        {
+          P.id = Printf.sprintf "gen%d" i;
+          kind =
+            P.Generate { task = "right_turn_tl"; seed = i; temperature = 1.0 };
+          deadline_ms = None;
+        };
+        {
+          P.id = Printf.sprintf "ver%d" i;
+          kind = P.Verify { steps = right; scenario = Some "traffic_light" };
+          deadline_ms = None;
+        };
+        {
+          P.id = Printf.sprintf "cmp%d" i;
+          kind = P.Score_pair { steps_a = right; steps_b = risky; scenario = None };
+          deadline_ms = None;
+        };
+      ])
+    [ 0; 1; 2 ]
+
+let serve_all ~jobs ~max_batch requests =
+  let engine = Engine.create ~lm:(small_lm 11) ~corpus:(Lazy.force corpus) () in
+  let server =
+    Server.create
+      ~config:{ Server.jobs; max_batch; flush_ms = 1.0; queue_capacity = 256 }
+      ~handler:(Engine.handle engine) ()
+  in
+  let tickets = List.map (Server.submit_async server) requests in
+  let rs = List.map Server.await tickets in
+  Server.drain server;
+  List.map (fun r -> (r.P.rid, r.P.rbody)) rs
+
+let test_jobs_determinism () =
+  let base = serve_all ~jobs:1 ~max_batch:1 mixed_requests in
+  (* no Failed bodies: every request kind actually executes *)
+  List.iter
+    (fun (id, b) ->
+      match b with
+      | P.Failed msg -> Alcotest.failf "%s failed: %s" id msg
+      | _ -> ())
+    base;
+  List.iter
+    (fun (jobs, max_batch) ->
+      let got = serve_all ~jobs ~max_batch mixed_requests in
+      Alcotest.(check bool)
+        (Printf.sprintf "jobs=%d max_batch=%d identical to serial" jobs
+           max_batch)
+        true (got = base))
+    [ (2, 4); (4, 32) ]
+
+let test_engine_rejects_unknowns () =
+  let engine = Engine.create ~corpus:(Lazy.force corpus) () in
+  let expect_failed what kind needle =
+    match Engine.handle engine { P.id = "x"; kind; deadline_ms = None } with
+    | P.Failed msg ->
+        Alcotest.(check bool)
+          (Printf.sprintf "%s mentions %S (got %S)" what needle msg)
+          true (contains msg needle)
+    | b -> Alcotest.failf "%s: expected Failed, got %s" what (P.status_of_body b)
+  in
+  expect_failed "unknown scenario"
+    (P.Verify { steps = [ "stop" ]; scenario = Some "motorway" })
+    "traffic_light";
+  expect_failed "unknown task"
+    (P.Generate { task = "fly_to_the_moon"; seed = 0; temperature = 1.0 })
+    "fly_to_the_moon";
+  expect_failed "generation without a model"
+    (P.Generate { task = "right_turn_tl"; seed = 0; temperature = 1.0 })
+    "model"
+
+let () =
+  Alcotest.run "serve"
+    [
+      ( "protocol",
+        [
+          Alcotest.test_case "request goldens" `Quick test_request_goldens;
+          Alcotest.test_case "response goldens" `Quick test_response_goldens;
+          Alcotest.test_case "strict decoding" `Quick test_protocol_strictness;
+        ] );
+      ( "server",
+        [
+          Alcotest.test_case "batch and complete" `Quick test_batch_and_complete;
+          Alcotest.test_case "deadline expiry" `Quick test_deadline_expiry;
+          Alcotest.test_case "queue-full reject" `Quick test_queue_full_reject;
+          Alcotest.test_case "drain completes in-flight" `Quick
+            test_drain_completes_inflight;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "determinism across jobs" `Quick
+            test_jobs_determinism;
+          Alcotest.test_case "graceful domain errors" `Quick
+            test_engine_rejects_unknowns;
+        ] );
+    ]

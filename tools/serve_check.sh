@@ -1,0 +1,87 @@
+#!/bin/sh
+# End-to-end gate for the serving layer: boot the daemon on a temporary
+# socket, fire a loadgen burst at it, and require that (a) requests
+# actually completed and (b) no line failed to parse on either side.
+# The daemon must also shut down gracefully on SIGTERM and remove its
+# socket file.
+#
+# Uses the built binary directly (not `dune exec`) so the daemon and the
+# client never contend on the dune build lock.
+set -eu
+
+CLI=_build/default/bin/dpoaf_cli.exe
+SOCK=$(mktemp -u /tmp/dpoaf-serve-check.XXXXXX.sock)
+LOG=$(mktemp /tmp/dpoaf-serve-check.XXXXXX.log)
+REPORT=$(mktemp /tmp/dpoaf-serve-check.XXXXXX.report)
+
+cleanup() {
+    [ -n "${DAEMON_PID:-}" ] && kill "$DAEMON_PID" 2>/dev/null || true
+    [ -n "${DAEMON_PID:-}" ] && wait "$DAEMON_PID" 2>/dev/null || true
+    rm -f "$SOCK" "$LOG" "$REPORT"
+}
+trap cleanup EXIT INT TERM
+
+[ -x "$CLI" ] || { echo "serve-check: $CLI not built" >&2; exit 1; }
+
+"$CLI" serve --socket "$SOCK" --jobs 2 --seed 17 >"$LOG" 2>&1 &
+DAEMON_PID=$!
+
+# wait for the daemon to pre-train its model and bind the socket
+i=0
+while [ ! -S "$SOCK" ]; do
+    i=$((i + 1))
+    if [ "$i" -gt 600 ]; then
+        echo "serve-check: daemon did not bind $SOCK within 60s" >&2
+        cat "$LOG" >&2
+        exit 1
+    fi
+    kill -0 "$DAEMON_PID" 2>/dev/null || {
+        echo "serve-check: daemon exited during startup" >&2
+        cat "$LOG" >&2
+        exit 1
+    }
+    sleep 0.1
+done
+
+"$CLI" loadgen --socket "$SOCK" --rate 100 --duration 1 --seed 5 | tee "$REPORT"
+
+SUMMARY=$(grep '^loadgen:' "$REPORT") || {
+    echo "serve-check: no loadgen summary line" >&2
+    exit 1
+}
+completed=$(echo "$SUMMARY" | sed -n 's/.*completed=\([0-9]*\).*/\1/p')
+proto_errors=$(echo "$SUMMARY" | sed -n 's/.*protocol_errors=\([0-9]*\).*/\1/p')
+errors=$(echo "$SUMMARY" | sed -n 's/.* errors=\([0-9]*\).*/\1/p')
+
+[ "${completed:-0}" -gt 0 ] || {
+    echo "serve-check: expected completed > 0, got '${completed:-}'" >&2
+    exit 1
+}
+[ "${proto_errors:-1}" -eq 0 ] || {
+    echo "serve-check: expected protocol_errors = 0, got '${proto_errors:-}'" >&2
+    exit 1
+}
+[ "${errors:-1}" -eq 0 ] || {
+    echo "serve-check: expected errors = 0, got '${errors:-}'" >&2
+    exit 1
+}
+
+# graceful shutdown: SIGTERM drains and removes the socket file
+kill -TERM "$DAEMON_PID"
+wait "$DAEMON_PID" || {
+    echo "serve-check: daemon exited non-zero on SIGTERM" >&2
+    cat "$LOG" >&2
+    exit 1
+}
+DAEMON_PID=
+if [ -e "$SOCK" ]; then
+    echo "serve-check: socket file not removed on shutdown" >&2
+    exit 1
+fi
+grep -q 'daemon stopped' "$LOG" || {
+    echo "serve-check: daemon did not report a graceful stop" >&2
+    cat "$LOG" >&2
+    exit 1
+}
+
+echo "serve-check: OK ($SUMMARY)"
