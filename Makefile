@@ -1,4 +1,4 @@
-.PHONY: all build test bench check lint mli-check analysis-check trace-check serve-check clean
+.PHONY: all build test bench check lint mli-check analysis-check trace-check serve-check kernels-check clean
 
 all: build
 
@@ -24,6 +24,7 @@ check:
 	$(MAKE) analysis-check
 	$(MAKE) trace-check
 	$(MAKE) serve-check
+	$(MAKE) kernels-check
 
 # Rebuild the libraries with the unused-code warning family (26/27,
 # 32..35, 69) promoted to errors — see lib/dune's `lint` env profile.
@@ -51,6 +52,19 @@ trace-check:
 	  --trace _build/trace-check.jsonl --metrics-json _build/trace-check.metrics.json
 	dune exec test/trace_validate.exe -- _build/trace-check.jsonl _build/trace-check.metrics.json
 	dune exec bin/dpoaf_cli.exe -- report _build/trace-check.jsonl
+
+# Fused-kernel gate: the bit-identity differential suites (fused vs
+# unfused scoring, incremental vs full-context states, arena reuse vs
+# fresh tapes), then a fast kernels benchmark pass, which itself exits
+# non-zero if the optimized paths diverge from the reference.  See
+# docs/performance.md.
+kernels-check:
+	dune build bench/main.exe test/test_tensor.exe test/test_lm.exe test/test_dpo.exe
+	dune exec test/test_tensor.exe -- test 'fused kernels'
+	dune exec test/test_tensor.exe -- test 'tape reuse'
+	dune exec test/test_lm.exe -- test incremental
+	dune exec test/test_dpo.exe -- test trainer -q
+	dune exec bench/main.exe -- --fast --only kernels
 
 # Serving-layer round-trip: daemon on a temp socket, a loadgen burst,
 # assert completions with zero protocol errors, graceful SIGTERM drain.

@@ -30,7 +30,11 @@
      iter-dpo   extension: iterative DPO-AF
      speedup    parallel scaling of the Fig 11 empirical loop (lib/exec)
      serving    throughput of the batched serving scheduler (lib/serve)
-     micro  Bechamel timings of the core kernels *)
+     micro  Bechamel timings of the core kernels
+     kernels    fused scoring + arena tape + incremental decoding
+                before/after (writes BENCH_kernels.json)
+
+   Unknown --only names are rejected with the list of valid sections. *)
 
 open Dpoaf_driving
 module Pipeline = Dpoaf_pipeline
@@ -875,10 +879,42 @@ let serving () =
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks                                            *)
 
+(* run a grouped Bechamel suite, OLS-fit against run count, and return
+   sorted (name, ns per call) rows *)
+let bechamel_rows tests =
+  let open Bechamel in
+  let open Toolkit in
+  let cfg =
+    Benchmark.cfg ~limit:2000
+      ~quota:(Time.second (if fast then 0.25 else 0.5))
+      ~kde:None ()
+  in
+  let raw = Benchmark.all cfg Instance.[ monotonic_clock ] tests in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name ols_result ->
+      let ns =
+        match Analyze.OLS.estimates ols_result with
+        | Some (x :: _) -> x
+        | _ -> nan
+      in
+      rows := (name, ns) :: !rows)
+    results;
+  List.sort compare !rows
+
+let pretty_ns ns =
+  if ns >= 1e9 then Printf.sprintf "%.2f s" (ns /. 1e9)
+  else if ns >= 1e6 then Printf.sprintf "%.2f ms" (ns /. 1e6)
+  else if ns >= 1e3 then Printf.sprintf "%.2f us" (ns /. 1e3)
+  else Printf.sprintf "%.0f ns" ns
+
 let micro () =
   if section "micro" "Bechamel timings of the core kernels" then begin
     let open Bechamel in
-    let open Toolkit in
     let model = Models.model Models.Traffic_light in
     let universal = Models.universal () in
     let controller, _ =
@@ -926,38 +962,347 @@ let micro () =
                  Dpoaf_sim.Runner.run world controller ~steps:40 (Rng.create 6)));
         ]
     in
-    let cfg =
-      Benchmark.cfg ~limit:2000
-        ~quota:(Time.second (if fast then 0.25 else 0.5))
-        ~kde:None ()
-    in
-    let raw = Benchmark.all cfg Instance.[ monotonic_clock ] tests in
-    let ols =
-      Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
-    in
-    let results = Analyze.all ols Instance.monotonic_clock raw in
-    let rows = ref [] in
-    Hashtbl.iter
-      (fun name ols_result ->
-        let ns =
-          match Analyze.OLS.estimates ols_result with
-          | Some (x :: _) -> x
-          | _ -> nan
-        in
-        rows := (name, ns) :: !rows)
-      results;
     let table = Table.create [ "kernel"; "time per call" ] in
     List.iter
-      (fun (name, ns) ->
-        let pretty =
-          if ns >= 1e9 then Printf.sprintf "%.2f s" (ns /. 1e9)
-          else if ns >= 1e6 then Printf.sprintf "%.2f ms" (ns /. 1e6)
-          else if ns >= 1e3 then Printf.sprintf "%.2f us" (ns /. 1e3)
-          else Printf.sprintf "%.0f ns" ns
-        in
-        Table.add_row table [ name; pretty ])
-      (List.sort compare !rows);
+      (fun (name, ns) -> Table.add_row table [ name; pretty_ns ns ])
+      (bechamel_rows tests);
     emit "micro" table
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Kernel-layer before/after: fused scoring + arena tape + incremental
+   decoding vs the original unfused composition (PR 5)                  *)
+
+let kernels () =
+  if
+    section "kernels"
+      "Fused scoring kernels, arena tape and incremental decoding \
+       (before/after)"
+  then begin
+    let module M = Dpoaf_exec.Metrics in
+    let module Model = Dpoaf_lm.Model in
+    let module Sampler = Dpoaf_lm.Sampler in
+    let module Grammar = Dpoaf_lm.Grammar in
+    let module Autodiff = Dpoaf_tensor.Autodiff in
+    let module Tensor = Dpoaf_tensor.Tensor in
+    let corpus = Pipeline.Corpus.build () in
+    let lm =
+      Model.create (Rng.create 71) Model.default_config
+        corpus.Pipeline.Corpus.vocab
+    in
+    let snap = Sampler.snapshot lm in
+    (* a synthetic preference set (sampled response pairs per training
+       task): the timing target is the DPO batch step, so no verifier is
+       needed to label the legs *)
+    let pair_rng = Rng.create 72 in
+    let sample_setup (setup : Pipeline.Corpus.task_setup) =
+      Sampler.sample snap pair_rng ~prompt:setup.Pipeline.Corpus.prompt
+        ~grammar:setup.Pipeline.Corpus.grammar
+        ~min_clauses:setup.Pipeline.Corpus.min_clauses
+        ~max_clauses:setup.Pipeline.Corpus.max_clauses ()
+    in
+    let pairs =
+      List.concat_map
+        (fun (setup : Pipeline.Corpus.task_setup) ->
+          List.filter_map
+            (fun _ ->
+              let chosen = sample_setup setup in
+              let rejected = sample_setup setup in
+              if chosen = rejected then None
+              else
+                Some
+                  {
+                    Dpoaf_dpo.Pref_data.task_id =
+                      setup.Pipeline.Corpus.task.Tasks.id;
+                    prompt = setup.Pipeline.Corpus.prompt;
+                    chosen;
+                    rejected;
+                    chosen_score = 1;
+                    rejected_score = 0;
+                    chosen_satisfied = [];
+                    rejected_satisfied = [];
+                    chosen_vacuous = [];
+                    grammar = setup.Pipeline.Corpus.grammar;
+                    min_clauses = setup.Pipeline.Corpus.min_clauses;
+                    max_clauses = setup.Pipeline.Corpus.max_clauses;
+                  })
+            (List.init (if fast then 3 else 6) Fun.id))
+        (Pipeline.Corpus.setups_of_split corpus Tasks.Training)
+    in
+    (* --- Fig 8 training loop, before vs after ----------------------- *)
+    let config =
+      {
+        Trainer.default_config with
+        epochs = (if fast then 10 else 30);
+        checkpoint_every = 0;
+      }
+    in
+    let time_train ~impl ~tape_mode =
+      Model.set_default_impl impl;
+      let nodes0 = M.value (M.counter "tape.nodes") in
+      let reuse0 = M.value (M.counter "tape.buffer_reuse") in
+      let steps0 = M.value (M.counter "dpo.steps") in
+      let run, secs =
+        wallclock (fun () ->
+            Trainer.train ~tape_mode ~reference:lm ~pairs config ~seed:1)
+      in
+      Model.set_default_impl Model.Fused;
+      let steps = max 1 (M.value (M.counter "dpo.steps") - steps0) in
+      let nodes_per_step =
+        float_of_int (M.value (M.counter "tape.nodes") - nodes0)
+        /. float_of_int steps
+      in
+      let reuse_per_step =
+        float_of_int (M.value (M.counter "tape.buffer_reuse") - reuse0)
+        /. float_of_int steps
+      in
+      (run, secs, nodes_per_step, reuse_per_step)
+    in
+    let run_before, train_before_s, nodes_before, _ =
+      time_train ~impl:Model.Unfused ~tape_mode:`Fresh
+    in
+    let run_after, train_after_s, nodes_after, reuse_after =
+      time_train ~impl:Model.Fused ~tape_mode:`Reuse
+    in
+    let train_identical =
+      run_before.Trainer.stats = run_after.Trainer.stats
+    in
+    (* --- single-request generation latency, before vs after --------- *)
+    (* "before": a faithful copy of the pre-arena sampler — rebuild the
+       context window and the hidden state from scratch at every token
+       (O(T²)), element access through Tensor.get2.  Bow only, which is
+       the default config this section runs. *)
+    let legacy_hidden context =
+      let d = lm.Model.config.Model.dim in
+      let h = Array.make d 0.0 in
+      let k = float_of_int (max 1 (List.length context)) in
+      List.iter
+        (fun tok ->
+          for j = 0 to d - 1 do
+            h.(j) <- h.(j) +. (Tensor.get2 lm.Model.embedding tok j /. k)
+          done)
+        context;
+      Array.map tanh h
+    in
+    let eff = Dpoaf_tensor.Lora.effective lm.Model.out in
+    let legacy_distribution ~context ~allowed =
+      let h = legacy_hidden context in
+      let d = Array.length h in
+      let logits =
+        List.map
+          (fun tok ->
+            let acc = ref (Tensor.get lm.Model.bias tok) in
+            for j = 0 to d - 1 do
+              acc := !acc +. (Tensor.get2 eff tok j *. h.(j))
+            done;
+            !acc)
+          allowed
+      in
+      let m = List.fold_left Float.max neg_infinity logits in
+      let exps = List.map (fun l -> exp (l -. m)) logits in
+      let z = List.fold_left ( +. ) 0.0 exps in
+      Array.of_list (List.map (fun e -> e /. z) exps)
+    in
+    let pick_index rng probs =
+      let x = Rng.float rng in
+      let n = Array.length probs in
+      let rec go i acc =
+        if i >= n - 1 then n - 1
+        else if x < acc +. probs.(i) then i
+        else go (i + 1) (acc +. probs.(i))
+      in
+      go 0 0.0
+    in
+    let legacy_sample (setup : Pipeline.Corpus.task_setup) rng =
+      let grammar = setup.Pipeline.Corpus.grammar in
+      let rec go state prefix =
+        if Grammar.is_final grammar state then List.rev prefix
+        else begin
+          let allowed =
+            Grammar.allowed grammar
+              ~min_clauses:setup.Pipeline.Corpus.min_clauses
+              ~max_clauses:setup.Pipeline.Corpus.max_clauses state
+          in
+          let context =
+            Model.context_of lm ~prompt:setup.Pipeline.Corpus.prompt
+              ~prefix:(List.rev prefix)
+          in
+          let probs = legacy_distribution ~context ~allowed in
+          let tok = List.nth allowed (pick_index rng probs) in
+          match Grammar.advance grammar state tok with
+          | Some state' -> go state' (tok :: prefix)
+          | None -> assert false
+        end
+      in
+      go (Grammar.start grammar) []
+    in
+    let incremental_sample (setup : Pipeline.Corpus.task_setup) rng =
+      Sampler.sample snap rng ~prompt:setup.Pipeline.Corpus.prompt
+        ~grammar:setup.Pipeline.Corpus.grammar
+        ~min_clauses:setup.Pipeline.Corpus.min_clauses
+        ~max_clauses:setup.Pipeline.Corpus.max_clauses ()
+    in
+    let setups = Pipeline.Corpus.(corpus.setups) in
+    let n_requests = if fast then 60 else 240 in
+    let requests =
+      List.init n_requests (fun i ->
+          (List.nth setups (i mod List.length setups), 1000 + i))
+    in
+    let decode_identical =
+      List.for_all
+        (fun (setup, seed) ->
+          legacy_sample setup (Rng.create seed)
+          = incremental_sample setup (Rng.create seed))
+        requests
+    in
+    let (), gen_before_s =
+      wallclock (fun () ->
+          List.iter
+            (fun (setup, seed) -> ignore (legacy_sample setup (Rng.create seed)))
+            requests)
+    in
+    let (), gen_after_s =
+      wallclock (fun () ->
+          List.iter
+            (fun (setup, seed) ->
+              ignore (incremental_sample setup (Rng.create seed)))
+            requests)
+    in
+    (* --- Bechamel micros on one response score + backward ------------ *)
+    let micro_pair = List.hd pairs in
+    let score_backward impl () =
+      let tape = Autodiff.Tape.create () in
+      let bound = Model.bind lm tape in
+      let node =
+        Model.response_logprob_node ~impl lm bound
+          ~prompt:micro_pair.Dpoaf_dpo.Pref_data.prompt
+          ~grammar:micro_pair.Dpoaf_dpo.Pref_data.grammar
+          ~min_clauses:micro_pair.Dpoaf_dpo.Pref_data.min_clauses
+          ~max_clauses:micro_pair.Dpoaf_dpo.Pref_data.max_clauses
+          ~tokens:micro_pair.Dpoaf_dpo.Pref_data.chosen
+      in
+      Autodiff.backward tape node
+    in
+    let micro_rows =
+      let open Bechamel in
+      bechamel_rows
+        (Test.make_grouped ~name:"kernels"
+           [
+             Test.make ~name:"score+backward-unfused"
+               (Staged.stage (score_backward Model.Unfused));
+             Test.make ~name:"score+backward-fused"
+               (Staged.stage (score_backward Model.Fused));
+           ])
+    in
+    (* --- report ------------------------------------------------------ *)
+    let steps_per_epoch =
+      (List.length pairs + config.Trainer.batch - 1) / config.Trainer.batch
+    in
+    let table =
+      Table.create [ "metric"; "before"; "after"; "improvement" ]
+    in
+    Table.add_row table
+      [
+        Printf.sprintf "fig8 loop (%d pairs x %d epochs)" (List.length pairs)
+          config.Trainer.epochs;
+        Printf.sprintf "%.2f s" train_before_s;
+        Printf.sprintf "%.2f s" train_after_s;
+        Printf.sprintf "%.2fx" (train_before_s /. train_after_s);
+      ];
+    Table.add_row table
+      [
+        "generation latency / request";
+        Printf.sprintf "%.3f ms"
+          (gen_before_s /. float_of_int n_requests *. 1e3);
+        Printf.sprintf "%.3f ms" (gen_after_s /. float_of_int n_requests *. 1e3);
+        Printf.sprintf "%.2fx" (gen_before_s /. gen_after_s);
+      ];
+    Table.add_row table
+      [
+        "tape nodes / DPO step";
+        Printf.sprintf "%.0f" nodes_before;
+        Printf.sprintf "%.0f" nodes_after;
+        Printf.sprintf "%.2fx" (nodes_before /. nodes_after);
+      ];
+    List.iter
+      (fun (name, ns) -> Table.add_row table [ name; "-"; pretty_ns ns; "-" ])
+      micro_rows;
+    emit "kernels" table;
+    Printf.printf
+      "\n\
+       training results identical: %b; decoded tokens identical: %b;\n\
+       grad-buffer reuse %.0f/step after warm-up; timings above are \
+       single-core\n\
+       (1 domain; %d cores available).\n"
+      train_identical decode_identical reuse_after
+      (Domain.recommended_domain_count ());
+    (* machine-readable baseline for the perf trajectory *)
+    let module Json = Dpoaf_util.Json in
+    let json =
+      Json.obj
+        [
+          ("bench", Json.str "kernels");
+          ("fast", Json.num (if fast then 1.0 else 0.0));
+          ("jobs", Json.num (float_of_int jobs));
+          ("cores_available", Json.num
+             (float_of_int (Domain.recommended_domain_count ())));
+          ( "note",
+            Json.str
+              "wall-clock on a single domain (1 core); before = unfused \
+               kernels + fresh tape per step + O(T^2) decoding, after = \
+               fused kernels + arena tape reuse + incremental states" );
+          ( "fig8_loop",
+            Json.obj
+              [
+                ("pairs", Json.num (float_of_int (List.length pairs)));
+                ("epochs", Json.num (float_of_int config.Trainer.epochs));
+                ( "steps_per_epoch",
+                  Json.num (float_of_int steps_per_epoch) );
+                ("before_s", Json.num train_before_s);
+                ("after_s", Json.num train_after_s);
+                ("speedup", Json.num (train_before_s /. train_after_s));
+                ( "results_identical",
+                  Json.num (if train_identical then 1.0 else 0.0) );
+              ] );
+          ( "generation",
+            Json.obj
+              [
+                ("requests", Json.num (float_of_int n_requests));
+                ( "before_ms_per_request",
+                  Json.num (gen_before_s /. float_of_int n_requests *. 1e3) );
+                ( "after_ms_per_request",
+                  Json.num (gen_after_s /. float_of_int n_requests *. 1e3) );
+                ("speedup", Json.num (gen_before_s /. gen_after_s));
+                ( "tokens_identical",
+                  Json.num (if decode_identical then 1.0 else 0.0) );
+              ] );
+          ( "tape",
+            Json.obj
+              [
+                ("nodes_per_step_before", Json.num nodes_before);
+                ("nodes_per_step_after", Json.num nodes_after);
+                ("reduction", Json.num (nodes_before /. nodes_after));
+                ("buffer_reuse_per_step_after", Json.num reuse_after);
+              ] );
+          ( "micro_ns",
+            Json.obj (List.map (fun (n, ns) -> (n, Json.num ns)) micro_rows) );
+        ]
+    in
+    let path = "BENCH_kernels.json" in
+    let oc = open_out path in
+    output_string oc (Json.to_string json);
+    output_char oc '\n';
+    close_out oc;
+    Printf.printf "(wrote %s)\n" path;
+    (* this section doubles as the `make kernels-check` gate: a speedup
+       that changes results is a bug, not a result *)
+    if not (train_identical && decode_identical) then begin
+      Printf.eprintf
+        "bench: fused/incremental paths diverged from the reference \
+         (training identical: %b, decoding identical: %b)\n"
+        train_identical decode_identical;
+      exit 3
+    end
   end
 
 (* ------------------------------------------------------------------ *)
@@ -981,7 +1326,24 @@ let sections =
     ("speedup", speedup);
     ("serving", serving);
     ("micro", micro);
+    ("kernels", kernels);
   ]
+
+(* strict --only: a typo'd section name is an error, not a silent no-op
+   (same convention as the CLI's scenario/section arguments) *)
+let () =
+  match only with
+  | None -> ()
+  | Some names ->
+      let valid = List.map fst sections in
+      let unknown = List.filter (fun n -> not (List.mem n valid)) names in
+      if unknown <> [] then begin
+        Printf.eprintf "bench: unknown section%s %s (valid: %s)\n"
+          (if List.length unknown > 1 then "s" else "")
+          (String.concat ", " (List.map (Printf.sprintf "%S") unknown))
+          (String.concat ", " valid);
+        exit 2
+      end
 
 (* Scope each section's metrics with delta snapshots rather than resets —
    the final summary still covers the whole process, and the trace's

@@ -15,15 +15,35 @@ let reference_logprobs reference pair =
     ref_rejected = logprob reference pair pair.Pref_data.rejected;
   }
 
-let logprob_node policy bound (pair : Pref_data.pair) tokens =
-  Model.response_logprob_node policy bound ~prompt:pair.Pref_data.prompt
-    ~grammar:pair.Pref_data.grammar ~min_clauses:pair.Pref_data.min_clauses
-    ~max_clauses:pair.Pref_data.max_clauses ~tokens
-
 let pair_loss_node ~policy ~bound ~beta refs pair =
   let tape = Model.tape_of_bound bound in
-  let lp_w = logprob_node policy bound pair pair.Pref_data.chosen in
-  let lp_l = logprob_node policy bound pair pair.Pref_data.rejected in
+  let lp_w, lp_l =
+    match Model.default_impl () with
+    | Model.Fused ->
+        (* fold the prompt once; both preference legs score from the
+           shared state, so the prompt-prefix work (the GRU fold in
+           particular) is not repeated per leg *)
+        let state =
+          Model.prompt_state policy bound ~prompt:pair.Pref_data.prompt
+        in
+        let lp tokens =
+          Model.response_logprob_node_from policy bound ~state
+            ~grammar:pair.Pref_data.grammar
+            ~min_clauses:pair.Pref_data.min_clauses
+            ~max_clauses:pair.Pref_data.max_clauses ~tokens
+        in
+        (lp pair.Pref_data.chosen, lp pair.Pref_data.rejected)
+    | Model.Unfused ->
+        (* reference path: each leg rebuilds its own prompt fold, exactly
+           as the pre-fusion implementation did *)
+        let lp tokens =
+          Model.response_logprob_node ~impl:Model.Unfused policy bound
+            ~prompt:pair.Pref_data.prompt ~grammar:pair.Pref_data.grammar
+            ~min_clauses:pair.Pref_data.min_clauses
+            ~max_clauses:pair.Pref_data.max_clauses ~tokens
+        in
+        (lp pair.Pref_data.chosen, lp pair.Pref_data.rejected)
+  in
   (* x = β((lp_w − lp_l) − (ref_w − ref_l)); loss = softplus(−x) *)
   let diff = Autodiff.sub tape lp_w lp_l in
   let shift = Autodiff.const tape (Tensor.scalar (refs.ref_chosen -. refs.ref_rejected)) in

@@ -27,7 +27,7 @@ type epoch_stats = { epoch : int; mean_reward : float }
 
 type run = { stats : epoch_stats list; final : Model.t }
 
-let epoch_step policy opt config rng tasks =
+let epoch_step policy opt config rng tape tasks =
   let snap = Sampler.snapshot policy in
   (* on-policy rollouts with per-task advantage *)
   let batches =
@@ -46,7 +46,7 @@ let epoch_step policy opt config rng tasks =
         (task, samples, baseline))
       tasks
   in
-  let tape = Autodiff.Tape.create () in
+  Autodiff.Tape.reset tape;
   let bound = Model.bind policy tape in
   let total = float_of_int (List.length tasks * config.samples_per_task) in
   let terms =
@@ -82,8 +82,9 @@ let train ~reference ~tasks config ~seed =
   let policy = Model.clone reference in
   let opt = Optim.Adam.create ~lr:config.lr () in
   let rng = Rng.create seed in
+  let tape = Autodiff.Tape.create () in
   let stats =
     List.init config.epochs (fun i ->
-        { epoch = i + 1; mean_reward = epoch_step policy opt config rng tasks })
+        { epoch = i + 1; mean_reward = epoch_step policy opt config rng tape tasks })
   in
   { stats; final = policy }

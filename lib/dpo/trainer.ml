@@ -103,6 +103,13 @@ let file_sink path =
 let step_latency = Metrics.histogram "dpo.step"
 let steps_run = Metrics.counter "dpo.steps"
 
+(* Arena accounting: nodes recorded and grad buffers served from the pool,
+   summed over batch steps.  [tape.nodes / dpo.steps] is the per-step graph
+   size the kernel-fusion work drives down; [tape.buffer_reuse] counts the
+   allocations the pooled arena avoided. *)
+let tape_nodes = Metrics.counter "tape.nodes"
+let tape_buffer_reuse = Metrics.counter "tape.buffer_reuse"
+
 let l2_norm tensors =
   sqrt
     (List.fold_left
@@ -119,9 +126,10 @@ let l2_norm tensors =
    LoRA-update norms require an extra pass over the adapter parameters, so
    they are computed only when a telemetry sink is attached; the returned
    [(loss, accuracy, margin)] triple always feeds the epoch statistics. *)
-let batch_step ?(want_norms = false) policy opt ~beta refs_pairs =
+let batch_step ?(want_norms = false) ~tape policy opt ~beta refs_pairs =
   let t0 = Unix.gettimeofday () in
-  let tape = Autodiff.Tape.create () in
+  Autodiff.Tape.reset tape;
+  let reused_before = (Autodiff.Tape.stats tape).Autodiff.Tape.buffers_reused in
   let bound = Model.bind policy tape in
   let n = float_of_int (List.length refs_pairs) in
   let results =
@@ -164,10 +172,13 @@ let batch_step ?(want_norms = false) policy opt ~beta refs_pairs =
   let seconds = Unix.gettimeofday () -. t0 in
   Metrics.observe step_latency seconds;
   Metrics.incr steps_run;
+  Metrics.add tape_nodes (Autodiff.Tape.length tape);
+  Metrics.add tape_buffer_reuse
+    ((Autodiff.Tape.stats tape).Autodiff.Tape.buffers_reused - reused_before);
   ( (Tensor.get (Autodiff.value mean_loss) 0, acc, margin),
     (logp_gap, grad_norm, update_norm, seconds) )
 
-let train ?sink ~reference ~pairs config ~seed =
+let train ?sink ?(tape_mode = `Reuse) ~reference ~pairs config ~seed =
   let policy = Model.clone reference in
   let refs_pairs =
     List.map (fun pair -> (Dpo.reference_logprobs reference pair, pair)) pairs
@@ -179,6 +190,12 @@ let train ?sink ~reference ~pairs config ~seed =
   let stats = ref [] in
   let want_norms = sink <> None in
   let global_step = ref 0 in
+  (* one arena for every step of the run; [`Fresh] re-allocates per step
+     and exists only so the kernels bench can time the pre-arena behavior *)
+  let run_tape = Autodiff.Tape.create () in
+  let step_tape () =
+    match tape_mode with `Reuse -> run_tape | `Fresh -> Autodiff.Tape.create ()
+  in
   for epoch = 1 to config.epochs do
     if config.shuffle_each_epoch then Rng.shuffle rng arr;
     let n = Array.length arr in
@@ -189,7 +206,8 @@ let train ?sink ~reference ~pairs config ~seed =
       let chunk = Array.to_list (Array.sub arr !i size) in
       let ((loss, acc, margin) as triple), (logp_gap, grad_norm, update_norm, dt)
           =
-        batch_step ~want_norms policy opt ~beta:config.beta chunk
+        batch_step ~want_norms ~tape:(step_tape ()) policy opt ~beta:config.beta
+          chunk
       in
       incr global_step;
       (match sink with
@@ -238,11 +256,11 @@ let train ?sink ~reference ~pairs config ~seed =
    reference weights are read-only after pre-training) and draws from its
    own RNG stream [Rng.create seed], so seeds train in parallel without
    any cross-seed effect on the results. *)
-let train_seeds ?jobs ?sink ~reference ~pairs config ~seeds =
+let train_seeds ?jobs ?sink ?tape_mode ~reference ~pairs config ~seeds =
   Dpoaf_exec.Pool.parallel_map ?jobs
     (fun seed ->
       Trace.with_span ~cat:"dpo" ~attrs:[ ("seed", string_of_int seed) ]
         "dpo.train_seed" (fun () ->
           Metrics.time "dpo.train_seed" (fun () ->
-              train ?sink ~reference ~pairs config ~seed)))
+              train ?sink ?tape_mode ~reference ~pairs config ~seed)))
     seeds

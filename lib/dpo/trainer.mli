@@ -67,6 +67,7 @@ val jsonl_line : step_record -> string
 
 val train :
   ?sink:sink ->
+  ?tape_mode:[ `Reuse | `Fresh ] ->
   reference:Dpoaf_lm.Model.t ->
   pairs:Pref_data.pair list ->
   config ->
@@ -74,11 +75,20 @@ val train :
   run
 (** Fine-tune a clone of [reference].  Reference log-probabilities are
     computed once up front (the reference is frozen).  [?sink] receives
-    one {!step_record} per optimizer step. *)
+    one {!step_record} per optimizer step.
+
+    [?tape_mode] (default [`Reuse]) controls the autodiff arena: [`Reuse]
+    runs every batch step on one {!Dpoaf_tensor.Autodiff.Tape.t}, recycled
+    via [Tape.reset] so gradient buffers are pooled across steps; [`Fresh]
+    allocates a tape per step and exists only as the benchmark baseline.
+    The two produce bit-identical training results.  Arena accounting is
+    published through {!Dpoaf_exec.Metrics} as the [tape.nodes] and
+    [tape.buffer_reuse] counters. *)
 
 val train_seeds :
   ?jobs:int ->
   ?sink:sink ->
+  ?tape_mode:[ `Reuse | `Fresh ] ->
   reference:Dpoaf_lm.Model.t ->
   pairs:Pref_data.pair list ->
   config ->

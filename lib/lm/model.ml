@@ -119,6 +119,17 @@ let bind t tape =
 
 let tape_of_bound bound = bound.tape
 
+(* Which scoring kernels to use.  [Fused] is the production path (one tape
+   node per scored token component); [Unfused] is the original primitive-op
+   composition, kept as the differential-test and benchmark reference.
+   Both produce bit-identical values and gradients. *)
+type impl = Fused | Unfused
+
+let impl_default = ref Fused
+let set_default_impl impl = impl_default := impl
+let default_impl () = !impl_default
+let resolve_impl = function Some impl -> impl | None -> !impl_default
+
 let lora_grads t bound =
   match params_lora t with
   | [ pa; pb ] -> [ (pa, Autodiff.grad bound.a); (pb, Autodiff.grad bound.b) ]
@@ -164,33 +175,94 @@ let gru_step_node t bound h tok =
 let gru_init_node t bound =
   Autodiff.const bound.tape (Tensor.zeros [| t.config.dim |])
 
+(* The rolling Bow context: pushing [tok] onto a window kept at
+   [context_of]'s value gives exactly [context_of] for the longer prefix,
+   without rebuilding the list — the O(T²) → O(T) step. *)
+let bow_push t window tok =
+  let w = window @ [ tok ] in
+  if List.length w > t.config.context then List.tl w else w
+
 (* The conditioning vector: mean embedding (Bow) or a GRU pass (Gru). *)
-let hidden_node t bound ~context =
+let hidden_node ?impl t bound ~context =
   let tape = bound.tape in
   match bound.gru_n with
-  | [] -> Autodiff.tanh_ tape (Autodiff.rows_mean tape bound.emb context)
+  | [] -> (
+      match resolve_impl impl with
+      | Fused -> Autodiff.bow_hidden tape bound.emb context
+      | Unfused -> Autodiff.tanh_ tape (Autodiff.rows_mean tape bound.emb context))
   | _ -> List.fold_left (gru_step_node t bound) (gru_init_node t bound) context
 
-let logprob_from_hidden _t bound ~h ~allowed ~target =
+let target_pos_of ~allowed ~target =
   if allowed = [] then invalid_arg "Model.step_logprob: empty allowed set";
-  let target_pos =
-    match List.find_index (fun tok -> tok = target) allowed with
-    | Some i -> i
-    | None -> invalid_arg "Model.step_logprob: target not allowed"
-  in
+  match List.find_index (fun tok -> tok = target) allowed with
+  | Some i -> i
+  | None -> invalid_arg "Model.step_logprob: target not allowed"
+
+let logprob_from_hidden ?impl _t bound ~h ~allowed ~target =
+  let target_pos = target_pos_of ~allowed ~target in
   let tape = bound.tape in
-  let wx = Autodiff.gather_matvec tape bound.base h allowed in
-  let bh = Autodiff.matvec tape bound.b h in
-  let abx = Autodiff.gather_matvec tape bound.a bh allowed in
-  let bias = Autodiff.gather tape bound.bias_n allowed in
-  let logits = Autodiff.add tape (Autodiff.add tape wx abx) bias in
-  Autodiff.pick tape (Autodiff.log_softmax tape logits) target_pos
+  match resolve_impl impl with
+  | Fused ->
+      Autodiff.lora_logit_logprob tape ~base:bound.base ~a:bound.a ~b:bound.b
+        ~bias:bound.bias_n ~h ~allowed ~target_pos
+  | Unfused ->
+      let wx = Autodiff.gather_matvec tape bound.base h allowed in
+      let bh = Autodiff.matvec tape bound.b h in
+      let abx = Autodiff.gather_matvec tape bound.a bh allowed in
+      let bias = Autodiff.gather tape bound.bias_n allowed in
+      let logits = Autodiff.add tape (Autodiff.add tape wx abx) bias in
+      Autodiff.pick tape (Autodiff.log_softmax tape logits) target_pos
 
-let step_logprob t bound ~context ~allowed ~target =
-  let h = hidden_node t bound ~context in
-  logprob_from_hidden t bound ~h ~allowed ~target
+let step_logprob ?impl t bound ~context ~allowed ~target =
+  let impl = resolve_impl impl in
+  let h = hidden_node ~impl t bound ~context in
+  logprob_from_hidden ~impl t bound ~h ~allowed ~target
 
-let response_logprob_node t bound ~prompt ~grammar ~min_clauses ~max_clauses ~tokens =
+(* The differentiable state left by scoring a prompt, shared between the
+   responses scored after it (both DPO legs reuse one prompt fold). *)
+type prompt_state = P_bow of int list | P_gru of Autodiff.t
+
+let prompt_state t bound ~prompt =
+  match t.config.arch with
+  | Bow -> P_bow (context_of t ~prompt ~prefix:[])
+  | Gru ->
+      P_gru
+        (List.fold_left (gru_step_node t bound) (gru_init_node t bound)
+           (Vocab.bos t.vocab :: prompt))
+
+let response_logprob_node_from t bound ~state ~grammar ~min_clauses ~max_clauses
+    ~tokens =
+  let tape = bound.tape in
+  let rec walk gstate pstate acc = function
+    | [] ->
+        if Grammar.is_final grammar gstate then acc
+        else invalid_arg "Model.response_logprob_node: incomplete response"
+    | tok :: rest -> (
+        let allowed = Grammar.allowed grammar ~min_clauses ~max_clauses gstate in
+        match Grammar.advance grammar gstate tok with
+        | None -> invalid_arg "Model.response_logprob_node: grammar rejects token"
+        | Some gstate' ->
+            let h =
+              match pstate with
+              | P_bow window -> Autodiff.bow_hidden tape bound.emb window
+              | P_gru hn -> hn
+            in
+            let lp = logprob_from_hidden ~impl:Fused t bound ~h ~allowed ~target:tok in
+            let pstate' =
+              match pstate with
+              | P_bow window -> P_bow (bow_push t window tok)
+              | P_gru hn -> P_gru (gru_step_node t bound hn tok)
+            in
+            walk gstate' pstate' (lp :: acc) rest)
+  in
+  Autodiff.add_list tape (walk (Grammar.start grammar) state [] tokens)
+
+(* The original per-token composition, kept verbatim as the reference the
+   fused/incremental path is differentially tested (and benchmarked)
+   against: Bow rebuilds the context window and its hidden node from
+   scratch at every position. *)
+let response_logprob_node_unfused t bound ~prompt ~grammar ~min_clauses
+    ~max_clauses ~tokens =
   let terms =
     match t.config.arch with
     | Bow ->
@@ -205,13 +277,14 @@ let response_logprob_node t bound ~prompt ~grammar ~min_clauses ~max_clauses ~to
                   invalid_arg "Model.response_logprob_node: grammar rejects token"
               | Some state' ->
                   let context = context_of t ~prompt ~prefix:(List.rev prefix) in
-                  let lp = step_logprob t bound ~context ~allowed ~target:tok in
+                  let lp =
+                    step_logprob ~impl:Unfused t bound ~context ~allowed ~target:tok
+                  in
                   walk state' (tok :: prefix) (lp :: acc) rest)
         in
         walk (Grammar.start grammar) [] [] tokens
     | Gru ->
-        (* incremental: the hidden state is threaded through the sequence,
-           so the pass is linear in its length *)
+        (* the recurrence was already incremental pre-fusion *)
         let h0 =
           List.fold_left (gru_step_node t bound) (gru_init_node t bound)
             (Vocab.bos t.vocab :: prompt)
@@ -226,12 +299,25 @@ let response_logprob_node t bound ~prompt ~grammar ~min_clauses ~max_clauses ~to
               | None ->
                   invalid_arg "Model.response_logprob_node: grammar rejects token"
               | Some state' ->
-                  let lp = logprob_from_hidden t bound ~h ~allowed ~target:tok in
+                  let lp =
+                    logprob_from_hidden ~impl:Unfused t bound ~h ~allowed ~target:tok
+                  in
                   walk state' (gru_step_node t bound h tok) (lp :: acc) rest)
         in
         walk (Grammar.start grammar) h0 [] tokens
   in
   Autodiff.add_list bound.tape terms
+
+let response_logprob_node ?impl t bound ~prompt ~grammar ~min_clauses ~max_clauses
+    ~tokens =
+  match resolve_impl impl with
+  | Fused ->
+      let state = prompt_state t bound ~prompt in
+      response_logprob_node_from t bound ~state ~grammar ~min_clauses ~max_clauses
+        ~tokens
+  | Unfused ->
+      response_logprob_node_unfused t bound ~prompt ~grammar ~min_clauses
+        ~max_clauses ~tokens
 
 let response_logprob t ~prompt ~grammar ~min_clauses ~max_clauses ~tokens =
   let tape = Autodiff.Tape.create () in
@@ -240,3 +326,76 @@ let response_logprob t ~prompt ~grammar ~min_clauses ~max_clauses ~tokens =
     response_logprob_node t bound ~prompt ~grammar ~min_clauses ~max_clauses ~tokens
   in
   Tensor.get (Autodiff.value node) 0
+
+(* Float (non-differentiable) forward pass, shared by the sampler and the
+   serving layer.  Mirrors the autodiff hidden path operation-for-operation
+   so sampled distributions agree with scored log-probabilities; the
+   differential test in test/test_lm.ml pins the two together.  States are
+   immutable, so they can be cached and shared across domains. *)
+module Fwd = struct
+  type state = Bow_w of int list | Gru_h of float array
+
+  let bow_hidden t context =
+    let d = t.config.dim in
+    let emb = t.embedding.Tensor.data in
+    let h = Array.make d 0.0 in
+    let k = float_of_int (max 1 (List.length context)) in
+    List.iter
+      (fun tok ->
+        let off = tok * d in
+        for j = 0 to d - 1 do
+          h.(j) <- h.(j) +. (emb.(off + j) /. k)
+        done)
+      context;
+    Array.map tanh h
+
+  let sigmoid x = 1.0 /. (1.0 +. exp (-.x))
+
+  let gru_step t g h tok =
+    let d = t.config.dim in
+    let matvec (m : Tensor.t) v =
+      let md = m.Tensor.data in
+      Array.init d (fun i ->
+          let acc = ref 0.0 in
+          let off = i * d in
+          for j = 0 to d - 1 do
+            acc := !acc +. (md.(off + j) *. v.(j))
+          done;
+          !acc)
+    in
+    let emb = t.embedding.Tensor.data in
+    let x = Array.init d (fun j -> emb.((tok * d) + j)) in
+    let gate w u bv =
+      let wx = matvec w x and uh = matvec u h in
+      let bvd = bv.Tensor.data in
+      Array.init d (fun j -> sigmoid (wx.(j) +. uh.(j) +. bvd.(j)))
+    in
+    let z = gate g.wz g.uz g.bz in
+    let r = gate g.wr g.ur g.br in
+    let rh = Array.init d (fun j -> r.(j) *. h.(j)) in
+    let wx = matvec g.wh x and uh = matvec g.uh rh in
+    let bhd = g.bh.Tensor.data in
+    let candidate = Array.init d (fun j -> tanh (wx.(j) +. uh.(j) +. bhd.(j))) in
+    Array.init d (fun j -> ((1.0 -. z.(j)) *. h.(j)) +. (z.(j) *. candidate.(j)))
+
+  let gru_fold t g context =
+    List.fold_left (gru_step t g) (Array.make t.config.dim 0.0) context
+
+  let hidden_of_context t context =
+    match t.gru with
+    | None -> bow_hidden t context
+    | Some g -> gru_fold t g context
+
+  let init t ~prompt =
+    match t.gru with
+    | None -> Bow_w (context_of t ~prompt ~prefix:[])
+    | Some g -> Gru_h (gru_fold t g (Vocab.bos t.vocab :: prompt))
+
+  let extend t state tok =
+    match (state, t.gru) with
+    | Bow_w w, _ -> Bow_w (bow_push t w tok)
+    | Gru_h h, Some g -> Gru_h (gru_step t g h tok)
+    | Gru_h _, None -> invalid_arg "Model.Fwd.extend: state does not match model"
+
+  let hidden t = function Bow_w w -> bow_hidden t w | Gru_h h -> h
+end

@@ -70,9 +70,24 @@ val bind : t -> Dpoaf_tensor.Autodiff.Tape.t -> bound
 
 val tape_of_bound : bound -> Dpoaf_tensor.Autodiff.Tape.t
 
-val hidden_node : t -> bound -> context:int list -> Dpoaf_tensor.Autodiff.t
+(** Kernel selection: [Fused] (production) scores each token with the fused
+    {!Dpoaf_tensor.Autodiff.lora_logit_logprob} node and threads an
+    incremental context; [Unfused] is the original primitive-op composition
+    retained as the differential-test and benchmark reference.  Values and
+    gradients are bit-identical between the two. *)
+type impl = Fused | Unfused
+
+val set_default_impl : impl -> unit
+(** Process-wide default for the [?impl] arguments below ([Fused] at
+    start-up).  Flip it only between runs, not while worker domains are
+    scoring. *)
+
+val default_impl : unit -> impl
+
+val hidden_node :
+  ?impl:impl -> t -> bound -> context:int list -> Dpoaf_tensor.Autodiff.t
 (** The conditioning vector for the next-token distribution (differentiable
-    path; the sampler has a matching float path). *)
+    path; {!Fwd} is the matching float path). *)
 
 val lora_grads :
   t -> bound -> (Dpoaf_tensor.Optim.param * Dpoaf_tensor.Tensor.t) list
@@ -82,6 +97,7 @@ val pretrain_grads :
   t -> bound -> (Dpoaf_tensor.Optim.param * Dpoaf_tensor.Tensor.t) list
 
 val step_logprob :
+  ?impl:impl ->
   t ->
   bound ->
   context:int list ->
@@ -92,7 +108,29 @@ val step_logprob :
     over the allowed set).  @raise Invalid_argument if [target] is not
     allowed or [allowed] is empty. *)
 
+type prompt_state
+(** The differentiable state left by folding a prompt: the Bow context
+    window, or the GRU hidden node after the prompt.  Building it once and
+    scoring several responses from it shares the prompt-prefix work (DPO
+    scores both preference legs from one state). *)
+
+val prompt_state : t -> bound -> prompt:int list -> prompt_state
+
+val response_logprob_node_from :
+  t ->
+  bound ->
+  state:prompt_state ->
+  grammar:Grammar.t ->
+  min_clauses:int ->
+  max_clauses:int ->
+  tokens:int list ->
+  Dpoaf_tensor.Autodiff.t
+(** Differentiable total log-probability of a grammar-accepted response,
+    scored incrementally from a shared {!prompt_state} (always the fused
+    path).  @raise Invalid_argument if the grammar rejects [tokens]. *)
+
 val response_logprob_node :
+  ?impl:impl ->
   t ->
   bound ->
   prompt:int list ->
@@ -113,3 +151,30 @@ val response_logprob :
   tokens:int list ->
   float
 (** Evaluation-only wrapper around {!response_logprob_node}. *)
+
+(** {1 Float forward pass}
+
+    The non-differentiable mirror of the hidden-state path, shared by the
+    sampler and the serving layer.  It performs the same float operations
+    as {!hidden_node}, so sampling and scoring agree exactly; states are
+    immutable and safe to cache across domains.  Extending a state is O(1)
+    in the sequence length (rolling Bow window / GRU recurrence), which is
+    what makes autoregressive generation O(T·d). *)
+module Fwd : sig
+  type state
+
+  val init : t -> prompt:int list -> state
+  (** The state conditioning the first response token. *)
+
+  val extend : t -> state -> int -> state
+  (** Push one generated token. *)
+
+  val hidden : t -> state -> float array
+  (** The conditioning vector for the next token.  Read-only: the returned
+      array may be shared with the state. *)
+
+  val hidden_of_context : t -> int list -> float array
+  (** The conditioning vector for an explicit context (as produced by
+      {!context_of}); the incremental [init]/[extend] walk visits exactly
+      these values. *)
+end

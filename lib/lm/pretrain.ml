@@ -25,8 +25,8 @@ let mean_nll model examples =
       List.fold_left (fun acc ex -> acc +. nll model ex) 0.0 examples
       /. float_of_int (List.length examples)
 
-let batch_step model opt examples =
-  let tape = Autodiff.Tape.create () in
+let batch_step model opt tape examples =
+  Autodiff.Tape.reset tape;
   let bound = Model.bind model tape in
   let terms = List.map (fun ex -> logprob_node model bound ex) examples in
   let total = Autodiff.add_list tape terms in
@@ -40,6 +40,8 @@ let batch_step model opt examples =
 let train model examples ~epochs ~batch ~lr rng =
   let opt = Optim.Adam.create ~lr () in
   let arr = Array.of_list examples in
+  (* one pooled arena for the whole run *)
+  let tape = Autodiff.Tape.create () in
   List.init epochs (fun _ ->
       Dpoaf_util.Rng.shuffle rng arr;
       let n = Array.length arr in
@@ -48,7 +50,7 @@ let train model examples ~epochs ~batch ~lr rng =
       while !i < n do
         let size = min batch (n - !i) in
         let chunk = Array.to_list (Array.sub arr !i size) in
-        losses := batch_step model opt chunk :: !losses;
+        losses := batch_step model opt tape chunk :: !losses;
         i := !i + size
       done;
       Dpoaf_util.Stats.mean !losses)

@@ -8,64 +8,25 @@ type snapshot = {
 
 let snapshot model = { model; effective_out = Lora.effective model.Model.out }
 
-let sigmoid x = 1.0 /. (1.0 +. exp (-.x))
+type state = Model.Fwd.state
 
-(* Float mirror of Model.hidden_node. *)
-let hidden s context =
-  let d = s.model.Model.config.Model.dim in
-  match s.model.Model.gru with
-  | None ->
-      let h = Array.make d 0.0 in
-      let k = float_of_int (max 1 (List.length context)) in
-      List.iter
-        (fun tok ->
-          for j = 0 to d - 1 do
-            h.(j) <- h.(j) +. (Tensor.get2 s.model.Model.embedding tok j /. k)
-          done)
-        context;
-      Array.map tanh h
-  | Some g ->
-      let matvec m v =
-        Array.init d (fun i ->
-            let acc = ref 0.0 in
-            for j = 0 to d - 1 do
-              acc := !acc +. (Tensor.get2 m i j *. v.(j))
-            done;
-            !acc)
-      in
-      let h = ref (Array.make d 0.0) in
-      List.iter
-        (fun tok ->
-          let x = Array.init d (fun j -> Tensor.get2 s.model.Model.embedding tok j) in
-          let gate w u bv =
-            let wx = matvec w x and uh = matvec u !h in
-            Array.init d (fun j -> sigmoid (wx.(j) +. uh.(j) +. Tensor.get bv j))
-          in
-          let z = gate g.Model.wz g.Model.uz g.Model.bz in
-          let r = gate g.Model.wr g.Model.ur g.Model.br in
-          let rh = Array.init d (fun j -> r.(j) *. !h.(j)) in
-          let wx = matvec g.Model.wh x and uh = matvec g.Model.uh rh in
-          let candidate =
-            Array.init d (fun j -> tanh (wx.(j) +. uh.(j) +. Tensor.get g.Model.bh j))
-          in
-          h :=
-            Array.init d (fun j ->
-                ((1.0 -. z.(j)) *. !h.(j)) +. (z.(j) *. candidate.(j))))
-        context;
-      !h
+let prompt_state s ~prompt = Model.Fwd.init s.model ~prompt
+let extend s state tok = Model.Fwd.extend s.model state tok
 
-let step_distribution s ~context ~allowed ~temperature =
+let distribution_of_hidden s ~h ~allowed ~temperature =
   if allowed = [] then invalid_arg "Sampler.step_distribution: empty allowed set";
   if temperature <= 0.0 then
     invalid_arg "Sampler.step_distribution: temperature must be positive";
-  let h = hidden s context in
   let d = Array.length h in
+  let eff = s.effective_out.Tensor.data
+  and bias = s.model.Model.bias.Tensor.data in
   let logits =
     List.map
       (fun tok ->
-        let acc = ref (Tensor.get s.model.Model.bias tok) in
+        let acc = ref bias.(tok) in
+        let off = tok * d in
         for j = 0 to d - 1 do
-          acc := !acc +. (Tensor.get2 s.effective_out tok j *. h.(j))
+          acc := !acc +. (eff.(off + j) *. h.(j))
         done;
         !acc /. temperature)
       allowed
@@ -74,6 +35,15 @@ let step_distribution s ~context ~allowed ~temperature =
   let exps = List.map (fun l -> exp (l -. m)) logits in
   let z = List.fold_left ( +. ) 0.0 exps in
   Array.of_list (List.map (fun e -> e /. z) exps)
+
+let step_distribution s ~context ~allowed ~temperature =
+  distribution_of_hidden s
+    ~h:(Model.Fwd.hidden_of_context s.model context)
+    ~allowed ~temperature
+
+let state_distribution s ~state ~allowed ~temperature =
+  distribution_of_hidden s ~h:(Model.Fwd.hidden s.model state) ~allowed
+    ~temperature
 
 let pick_index rng probs =
   let x = Dpoaf_util.Rng.float rng in
@@ -85,34 +55,38 @@ let pick_index rng probs =
   in
   go 0 0.0
 
-let sample s rng ~prompt ~grammar ~min_clauses ~max_clauses ?(temperature = 1.0) () =
-  let rec go state prefix =
-    if Grammar.is_final grammar state then List.rev prefix
+let sample_from s rng ~state ~grammar ~min_clauses ~max_clauses
+    ?(temperature = 1.0) () =
+  let rec go gstate st prefix =
+    if Grammar.is_final grammar gstate then List.rev prefix
     else begin
-      let allowed = Grammar.allowed grammar ~min_clauses ~max_clauses state in
-      let context = Model.context_of s.model ~prompt ~prefix:(List.rev prefix) in
-      let probs = step_distribution s ~context ~allowed ~temperature in
+      let allowed = Grammar.allowed grammar ~min_clauses ~max_clauses gstate in
+      let probs = state_distribution s ~state:st ~allowed ~temperature in
       let tok = List.nth allowed (pick_index rng probs) in
-      match Grammar.advance grammar state tok with
-      | Some state' -> go state' (tok :: prefix)
+      match Grammar.advance grammar gstate tok with
+      | Some gstate' -> go gstate' (extend s st tok) (tok :: prefix)
       | None -> assert false
     end
   in
-  go (Grammar.start grammar) []
+  go (Grammar.start grammar) state []
+
+let sample s rng ~prompt ~grammar ~min_clauses ~max_clauses
+    ?(temperature = 1.0) () =
+  sample_from s rng ~state:(prompt_state s ~prompt) ~grammar ~min_clauses
+    ~max_clauses ~temperature ()
 
 let greedy s ~prompt ~grammar ~min_clauses ~max_clauses =
-  let rec go state prefix =
-    if Grammar.is_final grammar state then List.rev prefix
+  let rec go gstate st prefix =
+    if Grammar.is_final grammar gstate then List.rev prefix
     else begin
-      let allowed = Grammar.allowed grammar ~min_clauses ~max_clauses state in
-      let context = Model.context_of s.model ~prompt ~prefix:(List.rev prefix) in
-      let probs = step_distribution s ~context ~allowed ~temperature:1.0 in
+      let allowed = Grammar.allowed grammar ~min_clauses ~max_clauses gstate in
+      let probs = state_distribution s ~state:st ~allowed ~temperature:1.0 in
       let best = ref 0 in
       Array.iteri (fun i p -> if p > probs.(!best) then best := i) probs;
       let tok = List.nth allowed !best in
-      match Grammar.advance grammar state tok with
-      | Some state' -> go state' (tok :: prefix)
+      match Grammar.advance grammar gstate tok with
+      | Some gstate' -> go gstate' (extend s st tok) (tok :: prefix)
       | None -> assert false
     end
   in
-  go (Grammar.start grammar) []
+  go (Grammar.start grammar) (prompt_state s ~prompt) []

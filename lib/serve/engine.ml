@@ -16,6 +16,10 @@ module Rng = Dpoaf_util.Rng
 type t = {
   corpus : Corpus.t;
   snapshot : Sampler.snapshot option;  (* None: generation unavailable *)
+  prompt_states : (int list, Sampler.state) Dpoaf_exec.Cache.t;
+      (* repeated-prompt batches skip the prompt fold: states are immutable
+         and a deterministic function of the prompt (the snapshot is fixed
+         for the server's lifetime), so cache hits cannot change replies *)
 }
 
 let spec_names = List.map fst Specs.all
@@ -29,7 +33,12 @@ let create ?lm ~corpus () =
   ignore (Evaluate.lexicon ());
   ignore (Models.universal ());
   List.iter (fun sc -> ignore (Models.model sc)) Models.all_scenarios;
-  { corpus; snapshot = Option.map Sampler.snapshot lm }
+  {
+    corpus;
+    snapshot = Option.map Sampler.snapshot lm;
+    prompt_states =
+      Dpoaf_exec.Cache.create ~capacity:256 ~name:"serve.prompt_state" ();
+  }
 
 let model_of_scenario = function
   | None -> Ok (Models.universal ())
@@ -73,8 +82,13 @@ let generate t ~task ~seed ~temperature : Protocol.body =
           else begin
             let setup = Corpus.setup t.corpus tk in
             let rng = Rng.create seed in
+            let state =
+              Dpoaf_exec.Cache.find_or_add t.prompt_states setup.Corpus.prompt
+                (fun () ->
+                  Sampler.prompt_state snapshot ~prompt:setup.Corpus.prompt)
+            in
             let tokens =
-              Sampler.sample snapshot rng ~prompt:setup.Corpus.prompt
+              Sampler.sample_from snapshot rng ~state
                 ~grammar:setup.Corpus.grammar
                 ~min_clauses:setup.Corpus.min_clauses
                 ~max_clauses:setup.Corpus.max_clauses ~temperature ()

@@ -7,20 +7,91 @@ type node = {
 type t = node
 
 module Tape = struct
-  type t = { mutable nodes : node list; mutable n : int }
+  (* Growable array-backed arena.  [reset] recycles the arena for the next
+     step of a training run: node slots are blanked and every grad tensor
+     is parked in [pool] (keyed by shape) so the next pass re-acquires
+     zeroed buffers instead of allocating fresh ones.  A tape is owned by
+     a single domain; parallel runs each build their own. *)
+  type stats = {
+    live_nodes : int;
+    buffers_reused : int;
+    buffers_allocated : int;
+    resets : int;
+  }
 
-  let create () = { nodes = []; n = 0 }
+  type t = {
+    mutable nodes : node array;  (* slots [0, n) are live, in creation order *)
+    mutable n : int;
+    pool : (int array, Tensor.t list ref) Hashtbl.t;
+    mutable reused : int;
+    mutable allocated : int;
+    mutable resets : int;
+  }
+
+  let dummy =
+    let z = Tensor.scalar 0.0 in
+    { value = z; grad = z; pull = (fun () -> ()) }
+
+  let create () =
+    {
+      nodes = Array.make 256 dummy;
+      n = 0;
+      pool = Hashtbl.create 16;
+      reused = 0;
+      allocated = 0;
+      resets = 0;
+    }
+
   let length t = t.n
 
   let push t node =
-    t.nodes <- node :: t.nodes;
+    let cap = Array.length t.nodes in
+    if t.n = cap then begin
+      let bigger = Array.make (2 * cap) dummy in
+      Array.blit t.nodes 0 bigger 0 t.n;
+      t.nodes <- bigger
+    end;
+    t.nodes.(t.n) <- node;
     t.n <- t.n + 1
+
+  (* A zeroed adjoint buffer: pooled when one of the right shape is
+     available, freshly allocated otherwise. *)
+  let acquire_grad t shape =
+    match Hashtbl.find_opt t.pool shape with
+    | Some ({ contents = g :: rest } as bucket) ->
+        bucket := rest;
+        t.reused <- t.reused + 1;
+        Tensor.fill g 0.0;
+        g
+    | _ ->
+        t.allocated <- t.allocated + 1;
+        Tensor.zeros shape
+
+  let reset t =
+    for i = 0 to t.n - 1 do
+      let g = t.nodes.(i).grad in
+      let shape = Tensor.dims g in
+      (match Hashtbl.find_opt t.pool shape with
+      | Some bucket -> bucket := g :: !bucket
+      | None -> Hashtbl.add t.pool shape (ref [ g ]));
+      t.nodes.(i) <- dummy
+    done;
+    t.n <- 0;
+    t.resets <- t.resets + 1
+
+  let stats t =
+    {
+      live_nodes = t.n;
+      buffers_reused = t.reused;
+      buffers_allocated = t.allocated;
+      resets = t.resets;
+    }
 end
 
 (* [pull_of_grad] receives the node's own adjoint tensor and accumulates
    into the parents' adjoints. *)
 let record tape value pull_of_grad =
-  let grad = Tensor.zeros (Tensor.dims value) in
+  let grad = Tape.acquire_grad tape (Tensor.dims value) in
   let node = { value; grad; pull = (fun () -> pull_of_grad grad) } in
   Tape.push tape node;
   node
@@ -265,10 +336,210 @@ let add_list tape = function
             (fun x -> Tensor.set x.grad 0 (Tensor.get x.grad 0 +. gv))
             xs)
 
+(* {2 Fused kernels}
+
+   The two ops below each collapse a fixed sub-graph of the LM scoring
+   path into a single tape node with a hand-written backward.  Their
+   contract is strict: every float operation — accumulation order, the
+   [0.0 +.] of the first in-place add, the [<> 0.0] sparsity skips — is
+   the one the equivalent unfused composition performs, so values AND
+   gradients are bit-identical to the reference (test/test_tensor.ml pins
+   this with qcheck). *)
+
+(* tanh (rows_mean m rows) as one node. *)
+let bow_hidden tape m rows =
+  let nrows, cols =
+    match Tensor.dims m.value with
+    | [| r; c |] -> (r, c)
+    | _ -> invalid_arg "Autodiff.bow_hidden: argument must be a matrix"
+  in
+  List.iter
+    (fun r ->
+      if r < 0 || r >= nrows then invalid_arg "Autodiff.bow_hidden: row out of range")
+    rows;
+  let k = float_of_int (max 1 (List.length rows)) in
+  let md = m.value.Tensor.data in
+  let acc = Array.make cols 0.0 in
+  List.iter
+    (fun r ->
+      let off = r * cols in
+      for j = 0 to cols - 1 do
+        acc.(j) <- acc.(j) +. (md.(off + j) /. k)
+      done)
+    rows;
+  let value = Tensor.vector (Array.map tanh acc) in
+  let yd = value.Tensor.data in
+  record tape value (fun g ->
+      let gd = g.Tensor.data in
+      (* tanh pull into the (virtual) rows_mean adjoint... *)
+      let mg = Array.make cols 0.0 in
+      for j = 0 to cols - 1 do
+        let y = yd.(j) in
+        mg.(j) <- 0.0 +. (gd.(j) *. (1.0 -. (y *. y)))
+      done;
+      (* ...then the rows_mean pull. *)
+      let mgrad = m.grad.Tensor.data in
+      List.iter
+        (fun r ->
+          let off = r * cols in
+          for j = 0 to cols - 1 do
+            mgrad.(off + j) <- mgrad.(off + j) +. (mg.(j) /. k)
+          done)
+        rows)
+
+(* pick (log_softmax ((gather_matvec base h rows + gather_matvec a (matvec b h) rows)
+                      + gather bias rows)) target_pos
+   as one node. *)
+let lora_logit_logprob tape ~base ~a ~b ~bias ~h ~allowed ~target_pos =
+  let v_rows, d =
+    match Tensor.dims base.value with
+    | [| r; c |] -> (r, c)
+    | _ -> invalid_arg "Autodiff.lora_logit_logprob: base must be a matrix"
+  in
+  let rank, bd_cols =
+    match Tensor.dims b.value with
+    | [| r; c |] -> (r, c)
+    | _ -> invalid_arg "Autodiff.lora_logit_logprob: b must be a matrix"
+  in
+  let a_rows, a_cols =
+    match Tensor.dims a.value with
+    | [| r; c |] -> (r, c)
+    | _ -> invalid_arg "Autodiff.lora_logit_logprob: a must be a matrix"
+  in
+  if
+    bd_cols <> d || a_rows <> v_rows || a_cols <> rank
+    || Tensor.numel h.value <> d
+    || Tensor.numel bias.value <> v_rows
+  then invalid_arg "Autodiff.lora_logit_logprob: size mismatch";
+  let rows = Array.of_list allowed in
+  let n = Array.length rows in
+  if n = 0 then invalid_arg "Autodiff.lora_logit_logprob: empty allowed set";
+  Array.iter
+    (fun r ->
+      if r < 0 || r >= v_rows then
+        invalid_arg "Autodiff.lora_logit_logprob: row out of range")
+    rows;
+  if target_pos < 0 || target_pos >= n then
+    invalid_arg "Autodiff.lora_logit_logprob: target position out of range";
+  let based = base.value.Tensor.data
+  and ad = a.value.Tensor.data
+  and bd = b.value.Tensor.data
+  and biasd = bias.value.Tensor.data
+  and hd = h.value.Tensor.data in
+  (* forward, in the unfused composition's creation order *)
+  let wx =
+    Array.map
+      (fun r ->
+        let acc = ref 0.0 in
+        let off = r * d in
+        for j = 0 to d - 1 do
+          acc := !acc +. (based.(off + j) *. hd.(j))
+        done;
+        !acc)
+      rows
+  in
+  let bh = Array.make rank 0.0 in
+  for i = 0 to rank - 1 do
+    let acc = ref 0.0 in
+    let off = i * d in
+    for j = 0 to d - 1 do
+      acc := !acc +. (bd.(off + j) *. hd.(j))
+    done;
+    bh.(i) <- !acc
+  done;
+  let abx =
+    Array.map
+      (fun r ->
+        let acc = ref 0.0 in
+        let off = r * rank in
+        for i = 0 to rank - 1 do
+          acc := !acc +. (ad.(off + i) *. bh.(i))
+        done;
+        !acc)
+      rows
+  in
+  let logits = Array.init n (fun k -> (wx.(k) +. abx.(k)) +. biasd.(rows.(k))) in
+  let m = ref neg_infinity in
+  for i = 0 to n - 1 do
+    m := Float.max !m logits.(i)
+  done;
+  let z = ref 0.0 in
+  for i = 0 to n - 1 do
+    z := !z +. exp (logits.(i) -. !m)
+  done;
+  let log_z = !m +. log !z in
+  let ls = Array.map (fun x -> x -. log_z) logits in
+  record tape
+    (Tensor.scalar ls.(target_pos))
+    (fun g ->
+      (* pick pull: the log-softmax adjoint is g at the target, 0 elsewhere *)
+      let lsg_t = 0.0 +. Tensor.get g 0 in
+      (* log_softmax pull; summing the one-hot adjoint yields lsg_t exactly *)
+      let g_sum = lsg_t in
+      let lg =
+        Array.init n (fun k ->
+            let gk = if k = target_pos then lsg_t else 0.0 in
+            (0.0 +. gk) -. (g_sum *. exp ls.(k)))
+      in
+      (* the two adds fan the same adjoint out to wx, abx and the bias
+         gather; each target buffer starts from zero *)
+      let zplus x = 0.0 +. x in
+      let add1g = Array.map zplus lg in
+      let biasgg = Array.map zplus lg in
+      let wxg = Array.map zplus add1g in
+      let abxg = Array.map zplus add1g in
+      (* bias-gather pull *)
+      let biasgrad = bias.grad.Tensor.data in
+      Array.iteri (fun k r -> biasgrad.(r) <- biasgrad.(r) +. biasgg.(k)) rows;
+      (* abx = gather_matvec a bh: pull into a and the bh adjoint *)
+      let agrad = a.grad.Tensor.data in
+      let bhg = Array.make rank 0.0 in
+      Array.iteri
+        (fun k r ->
+          let gk = abxg.(k) in
+          if gk <> 0.0 then begin
+            let off = r * rank in
+            for i = 0 to rank - 1 do
+              agrad.(off + i) <- agrad.(off + i) +. (gk *. bh.(i));
+              bhg.(i) <- bhg.(i) +. (gk *. ad.(off + i))
+            done
+          end)
+        rows;
+      (* bh = matvec b h: pull into b and h *)
+      let bgrad = b.grad.Tensor.data and hgrad = h.grad.Tensor.data in
+      for i = 0 to rank - 1 do
+        let gi = bhg.(i) in
+        if gi <> 0.0 then begin
+          let off = i * d in
+          for j = 0 to d - 1 do
+            bgrad.(off + j) <- bgrad.(off + j) +. (gi *. hd.(j));
+            hgrad.(j) <- hgrad.(j) +. (gi *. bd.(off + j))
+          done
+        end
+      done;
+      (* wx = gather_matvec base h: pull into base and h *)
+      let basegrad = base.grad.Tensor.data in
+      Array.iteri
+        (fun k r ->
+          let gk = wxg.(k) in
+          if gk <> 0.0 then begin
+            let off = r * d in
+            for j = 0 to d - 1 do
+              basegrad.(off + j) <- basegrad.(off + j) +. (gk *. hd.(j));
+              hgrad.(j) <- hgrad.(j) +. (gk *. based.(off + j))
+            done
+          end)
+        rows)
+
 let backward tape out =
   if Tensor.numel out.value <> 1 then
     invalid_arg "Autodiff.backward: output must be a scalar";
-  List.iter (fun node -> Tensor.fill node.grad 0.0) tape.Tape.nodes;
+  let nodes = tape.Tape.nodes and n = tape.Tape.n in
+  for i = 0 to n - 1 do
+    Tensor.fill nodes.(i).grad 0.0
+  done;
   Tensor.set out.grad 0 1.0;
-  (* nodes are stored most-recent first: exactly reverse topological order *)
-  List.iter (fun node -> node.pull ()) tape.Tape.nodes
+  (* creation order is topological order, so walk the arena backwards *)
+  for i = n - 1 downto 0 do
+    nodes.(i).pull ()
+  done

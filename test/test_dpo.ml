@@ -238,6 +238,24 @@ let test_seeds_same_start_different_order () =
       Alcotest.(check bool) "accuracy high" true (last.Trainer.accuracy >= 0.9))
     runs
 
+let test_tape_mode_bitwise_identical () =
+  (* Reusing one arena across every step must leave no trace in the
+     results: same per-epoch stats, bit-identical final adapter. *)
+  let pairs = training_pairs () in
+  let run mode =
+    Trainer.train ~tape_mode:mode ~reference:(make_model 29) ~pairs
+      (quick_config 8) ~seed:5
+  in
+  let reuse = run `Reuse and fresh = run `Fresh in
+  Alcotest.(check bool) "epoch stats identical" true
+    (reuse.Trainer.stats = fresh.Trainer.stats);
+  let bits m =
+    Array.map Int64.bits_of_float
+      m.Model.out.Dpoaf_tensor.Lora.a.Dpoaf_tensor.Tensor.data
+  in
+  Alcotest.(check bool) "final adapter bit-identical" true
+    (bits reuse.Trainer.final = bits fresh.Trainer.final)
+
 let test_epoch0_checkpoint_is_reference () =
   let reference = make_model 23 in
   let run = Trainer.train ~reference ~pairs:(training_pairs ()) (quick_config 5) ~seed:4 in
@@ -364,6 +382,8 @@ let () =
           Alcotest.test_case "checkpoints" `Quick test_checkpoints_present;
           Alcotest.test_case "seeds" `Slow test_seeds_same_start_different_order;
           Alcotest.test_case "epoch0 = reference" `Quick test_epoch0_checkpoint_is_reference;
+          Alcotest.test_case "tape modes bitwise equal" `Quick
+            test_tape_mode_bitwise_identical;
           Alcotest.test_case "step records" `Quick test_step_records_stream;
         ] );
       ( "reinforce",

@@ -408,6 +408,136 @@ let test_gru_checkpoint_roundtrip () =
     (loaded.Model.config.Model.arch = Model.Gru);
   Alcotest.(check (float 1e-12)) "same logprob" (lp model) (lp loaded)
 
+(* ---------------- incremental forward & fused scoring ---------------- *)
+
+module Tensor = Dpoaf_tensor.Tensor
+module Autodiff = Dpoaf_tensor.Autodiff
+
+let bits_equal_arrays a b =
+  Array.length a = Array.length b
+  && begin
+       let ok = ref true in
+       Array.iteri
+         (fun i v ->
+           if Int64.bits_of_float v <> Int64.bits_of_float b.(i) then ok := false)
+         a;
+       !ok
+     end
+
+(* The incremental init/extend walk must visit exactly the hidden vectors
+   the full-context recomputation produces — for both architectures. *)
+let check_incremental_walk model =
+  let v = make_vocab () in
+  let prompt = Vocab.encode v "steps for the task" in
+  let tokens =
+    Grammar.tokens_of_steps v [ "observe the light"; "if green go"; "turn right" ]
+  in
+  let state = ref (Model.Fwd.init model ~prompt) in
+  let prefix = ref [] in
+  List.iter
+    (fun tok ->
+      let context = Model.context_of model ~prompt ~prefix:(List.rev !prefix) in
+      let full = Model.Fwd.hidden_of_context model context in
+      let incr = Model.Fwd.hidden model !state in
+      Alcotest.(check bool) "hidden bits" true (bits_equal_arrays full incr);
+      state := Model.Fwd.extend model !state tok;
+      prefix := tok :: !prefix)
+    (tokens @ [ Vocab.eos v ])
+
+let test_incremental_walk_bow () =
+  let v = make_vocab () in
+  (* context 4 < response length forces the Bow window to roll *)
+  check_incremental_walk (make_model ~context:4 61 v)
+
+let test_incremental_walk_gru () =
+  let v = make_vocab () in
+  check_incremental_walk (make_gru_model 62 v)
+
+(* The float forward (Fwd, used by the sampler) and the autodiff forward
+   (hidden_node, used by training) must agree bit-for-bit. *)
+let check_fwd_matches_node model =
+  let v = make_vocab () in
+  let context =
+    Model.context_of model
+      ~prompt:(Vocab.encode v "steps for the task")
+      ~prefix:(Vocab.encode v "observe the light")
+  in
+  let float_h = Model.Fwd.hidden_of_context model context in
+  let tape = Autodiff.Tape.create () in
+  let bound = Model.bind model tape in
+  let node_h = Autodiff.value (Model.hidden_node model bound ~context) in
+  Alcotest.(check bool) "fwd = node bits" true
+    (bits_equal_arrays float_h node_h.Tensor.data)
+
+let test_fwd_matches_node_bow () =
+  let v = make_vocab () in
+  check_fwd_matches_node (make_model 63 v)
+
+let test_fwd_matches_node_gru () =
+  let v = make_vocab () in
+  check_fwd_matches_node (make_gru_model 64 v)
+
+(* Fused and unfused scoring are the same function: same value, same
+   parameter gradients, to the last bit. *)
+let check_fused_unfused_response model =
+  let v = make_vocab () in
+  let g = make_grammar v in
+  let prompt = Vocab.encode v "steps for the task" in
+  let tokens =
+    Grammar.tokens_of_steps v [ "observe the light"; "if red stop" ]
+  in
+  let run impl =
+    let tape = Autodiff.Tape.create () in
+    let bound = Model.bind model tape in
+    let lp =
+      Model.response_logprob_node ~impl model bound ~prompt ~grammar:g
+        ~min_clauses:1 ~max_clauses:3 ~tokens
+    in
+    Autodiff.backward tape lp;
+    ( Tensor.get (Autodiff.value lp) 0,
+      List.map (fun (_, grad) -> Tensor.copy grad) (Model.pretrain_grads model bound) )
+  in
+  let v_f, g_f = run Model.Fused in
+  let v_u, g_u = run Model.Unfused in
+  Alcotest.(check bool) "value bits" true
+    (Int64.bits_of_float v_f = Int64.bits_of_float v_u);
+  List.iteri
+    (fun i (gf, gu) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "grad %d bits" i)
+        true
+        (bits_equal_arrays gf.Tensor.data gu.Tensor.data))
+    (List.combine g_f g_u)
+
+let test_fused_unfused_bow () =
+  let v = make_vocab () in
+  check_fused_unfused_response (make_model ~context:4 65 v)
+
+let test_fused_unfused_gru () =
+  let v = make_vocab () in
+  check_fused_unfused_response (make_gru_model 66 v)
+
+(* A cached prompt state is transparent: sampling from it consumes the rng
+   exactly as the one-shot path does. *)
+let test_sample_from_state_equals_sample () =
+  let v = make_vocab () in
+  let g = make_grammar v in
+  let model = make_model 67 v in
+  let snap = Sampler.snapshot model in
+  let prompt = Vocab.encode v "steps for the task" in
+  let state = Sampler.prompt_state snap ~prompt in
+  for seed = 0 to 19 do
+    let direct =
+      Sampler.sample snap (Rng.create seed) ~prompt ~grammar:g ~min_clauses:1
+        ~max_clauses:3 ()
+    in
+    let cached =
+      Sampler.sample_from snap (Rng.create seed) ~state ~grammar:g
+        ~min_clauses:1 ~max_clauses:3 ()
+    in
+    Alcotest.(check (list int)) "same tokens" direct cached
+  done
+
 (* ---------------- checkpointing ---------------- *)
 
 let test_checkpoint_roundtrip () =
@@ -541,6 +671,19 @@ let () =
         [
           Alcotest.test_case "llama2 template" `Quick test_prompt_llama2;
           Alcotest.test_case "alignment query" `Quick test_prompt_alignment_query;
+        ] );
+      ( "incremental",
+        [
+          Alcotest.test_case "walk = full context (bow)" `Quick
+            test_incremental_walk_bow;
+          Alcotest.test_case "walk = full context (gru)" `Quick
+            test_incremental_walk_gru;
+          Alcotest.test_case "fwd = node (bow)" `Quick test_fwd_matches_node_bow;
+          Alcotest.test_case "fwd = node (gru)" `Quick test_fwd_matches_node_gru;
+          Alcotest.test_case "fused = unfused (bow)" `Quick test_fused_unfused_bow;
+          Alcotest.test_case "fused = unfused (gru)" `Quick test_fused_unfused_gru;
+          Alcotest.test_case "state sampling = prompt sampling" `Quick
+            test_sample_from_state_equals_sample;
         ] );
       ( "gru",
         [

@@ -319,6 +319,36 @@ let test_jobs_determinism () =
         true (got = base))
     [ (2, 4); (4, 32) ]
 
+let test_prompt_state_cache_transparent () =
+  (* Repeated generations for one task hit the prompt-state cache, and the
+     cache never changes a reply: a cold engine produces the same tokens. *)
+  let gen engine seed =
+    Engine.handle engine
+      {
+        P.id = "p";
+        kind = P.Generate { task = "right_turn_tl"; seed; temperature = 1.0 };
+        deadline_ms = None;
+      }
+  in
+  let warm = Engine.create ~lm:(small_lm 11) ~corpus:(Lazy.force corpus) () in
+  let warm_replies = List.map (gen warm) [ 1; 2; 3 ] in
+  let lookup key =
+    Option.value ~default:0.0 (List.assoc_opt key (Metrics.summary ()))
+  in
+  (* the source reflects the most recently created engine's cache *)
+  Alcotest.(check (float 0.0)) "one miss" 1.0
+    (lookup "cache.serve.prompt_state.misses");
+  Alcotest.(check (float 0.0)) "later requests hit" 2.0
+    (lookup "cache.serve.prompt_state.hits");
+  List.iter2
+    (fun seed warm_reply ->
+      let cold = Engine.create ~lm:(small_lm 11) ~corpus:(Lazy.force corpus) () in
+      Alcotest.(check bool)
+        (Printf.sprintf "seed %d reply unchanged by caching" seed)
+        true
+        (gen cold seed = warm_reply))
+    [ 1; 2; 3 ] warm_replies
+
 let test_engine_rejects_unknowns () =
   let engine = Engine.create ~corpus:(Lazy.force corpus) () in
   let expect_failed what kind needle =
@@ -360,6 +390,8 @@ let () =
         [
           Alcotest.test_case "determinism across jobs" `Quick
             test_jobs_determinism;
+          Alcotest.test_case "prompt-state cache transparent" `Quick
+            test_prompt_state_cache_transparent;
           Alcotest.test_case "graceful domain errors" `Quick
             test_engine_rejects_unknowns;
         ] );
