@@ -1,4 +1,4 @@
-.PHONY: all build test bench check lint mli-check analysis-check trace-check serve-check kernels-check clean
+.PHONY: all build test bench check lint mli-check analysis-check trace-check serve-check kernels-check domains-check clean
 
 all: build
 
@@ -25,6 +25,7 @@ check:
 	$(MAKE) trace-check
 	$(MAKE) serve-check
 	$(MAKE) kernels-check
+	$(MAKE) domains-check
 
 # Rebuild the libraries with the unused-code warning family (26/27,
 # 32..35, 69) promoted to errors — see lib/dune's `lint` env profile.
@@ -71,6 +72,14 @@ kernels-check:
 serve-check:
 	dune build bin/dpoaf_cli.exe
 	sh tools/serve_check.sh
+
+# Domain-pack gate: every registered pack (dpoaf_cli domains) must clear
+# the static analysis gates and run verify -> finetune -> simulate
+# through --domain.  lib/domain needs no extra mli-check wiring: the
+# lib/*/*.ml glob in tools/check_mli.sh already covers it.
+domains-check:
+	dune build bin/dpoaf_cli.exe
+	sh tools/domains_check.sh
 
 clean:
 	dune clean

@@ -30,6 +30,8 @@
      iter-dpo   extension: iterative DPO-AF
      speedup    parallel scaling of the Fig 11 empirical loop (lib/exec)
      serving    throughput of the batched serving scheduler (lib/serve)
+     domains    every registered domain pack through the DPO loop + one
+                serve batch (writes BENCH_domains.json)
      micro  Bechamel timings of the core kernels
      kernels    fused scoring + arena tape + incremental decoding
                 before/after (writes BENCH_kernels.json)
@@ -37,6 +39,7 @@
    Unknown --only names are rejected with the list of valid sections. *)
 
 open Dpoaf_driving
+module Dom = Dpoaf_domain.Domain
 module Pipeline = Dpoaf_pipeline
 module Trainer = Dpoaf_dpo.Trainer
 module MC = Dpoaf_automata.Model_checker
@@ -271,9 +274,18 @@ let fig8 () =
 let fig9 () =
   if section "fig9" "Specifications satisfied vs DPO epoch (Figure 9)" then begin
     let a = train_artifacts () in
+    let total =
+      float_of_int (Dom.spec_count a.corpus.Pipeline.Corpus.domain)
+    in
     let table =
       Table.create
-        [ "epoch"; "training /15"; "training %"; "validation /15"; "validation %" ]
+        [
+          "epoch";
+          Printf.sprintf "training /%.0f" total;
+          "training %";
+          Printf.sprintf "validation /%.0f" total;
+          "validation %";
+        ]
     in
     List.iter
       (fun c ->
@@ -281,9 +293,9 @@ let fig9 () =
           [
             string_of_int c.Pipeline.Dpoaf.epoch;
             Printf.sprintf "%.2f" c.Pipeline.Dpoaf.training_score;
-            Printf.sprintf "%.0f%%" (100.0 *. c.Pipeline.Dpoaf.training_score /. 15.0);
+            Printf.sprintf "%.0f%%" (100.0 *. c.Pipeline.Dpoaf.training_score /. total);
             Printf.sprintf "%.2f" c.Pipeline.Dpoaf.validation_score;
-            Printf.sprintf "%.0f%%" (100.0 *. c.Pipeline.Dpoaf.validation_score /. 15.0);
+            Printf.sprintf "%.0f%%" (100.0 *. c.Pipeline.Dpoaf.validation_score /. total);
           ])
       a.result.Pipeline.Dpoaf.curve;
     emit "fig9" table;
@@ -421,7 +433,7 @@ let ablation_rank () =
     let rng = Rng.create 31 in
     let pairs =
       Pipeline.Dpoaf.collect_pairs a.corpus feedback a.reference rng
-        ~m:(if fast then 12 else 16) Tasks.Training
+        ~m:(if fast then 12 else 16) Dom.Training
     in
     let ranks = if fast then [ 1; 4 ] else [ 1; 2; 4; 8 ] in
     let epochs = if fast then 40 else 80 in
@@ -439,7 +451,7 @@ let ablation_rank () =
         let last = List.nth run.Trainer.stats (List.length run.Trainer.stats - 1) in
         let score =
           Pipeline.Dpoaf.mean_specs_satisfied a.corpus feedback run.Trainer.final
-            (Rng.create 32) ~samples:(if fast then 8 else 16) Tasks.Training
+            (Rng.create 32) ~samples:(if fast then 8 else 16) Dom.Training
         in
         Table.add_row table
           [
@@ -458,7 +470,7 @@ let ablation_decoding () =
   if section "abl-decode" "Ablation: grammar-constrained vs unconstrained decoding"
   then begin
     let a = train_artifacts () in
-    let setup = Pipeline.Corpus.setup a.corpus (Tasks.find "right_turn_tl") in
+    let setup = Pipeline.Corpus.setup_by_id a.corpus "right_turn_tl" in
     let snap = Dpoaf_lm.Sampler.snapshot a.reference in
     let vocab = a.corpus.Pipeline.Corpus.vocab in
     let vocab_size = Dpoaf_lm.Vocab.size vocab in
@@ -569,8 +581,8 @@ let ablation_repair () =
       Table.add_row table
         [
           label;
-          Printf.sprintf "%.2f" (eval ?harden:(Some harden) model Tasks.Training);
-          Printf.sprintf "%.2f" (eval ?harden:(Some harden) model Tasks.Validation);
+          Printf.sprintf "%.2f" (eval ?harden:(Some harden) model Dom.Training);
+          Printf.sprintf "%.2f" (eval ?harden:(Some harden) model Dom.Validation);
         ]
     in
     row "pre-trained" a.reference false;
@@ -587,7 +599,7 @@ let ablation_rl () =
   if section "abl-rl" "Baseline: REINFORCE with verifier reward vs DPO" then begin
     let a = train_artifacts () in
     let feedback = Pipeline.Feedback.create () in
-    let tasks = Pipeline.Dpoaf.reinforce_tasks a.corpus feedback Tasks.Training in
+    let tasks = Pipeline.Dpoaf.reinforce_tasks a.corpus feedback Dom.Training in
     let epochs = if fast then 60 else 150 in
     let config =
       { Dpoaf_dpo.Reinforce.default_config with epochs; samples_per_task = 8 }
@@ -616,11 +628,11 @@ let ablation_rl () =
       "\nfinal sampled scores (training / validation):\n\
       \  REINFORCE   %.2f / %.2f   (%.0fs)\n\
       \  DPO         %.2f / %.2f\n"
-      (eval run.Dpoaf_dpo.Reinforce.final Tasks.Training)
-      (eval run.Dpoaf_dpo.Reinforce.final Tasks.Validation)
+      (eval run.Dpoaf_dpo.Reinforce.final Dom.Training)
+      (eval run.Dpoaf_dpo.Reinforce.final Dom.Validation)
       elapsed
-      (eval dpo_final Tasks.Training)
-      (eval dpo_final Tasks.Validation);
+      (eval dpo_final Dom.Training)
+      (eval dpo_final Dom.Validation);
     print_endline "\nboth automated-feedback strategies lift specification";
     print_endline "satisfaction; DPO gets there offline from a fixed pair set,";
     print_endline "REINFORCE needs fresh on-policy verification every epoch."
@@ -650,7 +662,7 @@ let ablation_arch () =
         in
         let pre =
           Pipeline.Dpoaf.mean_specs_satisfied corpus feedback reference
-            (Rng.create 62) ~samples:10 Tasks.Training
+            (Rng.create 62) ~samples:10 Dom.Training
         in
         let config =
           {
@@ -670,7 +682,7 @@ let ablation_arch () =
         let post =
           Pipeline.Dpoaf.mean_specs_satisfied corpus feedback
             (List.hd result.Pipeline.Dpoaf.runs).Trainer.final (Rng.create 64)
-            ~samples:10 Tasks.Training
+            ~samples:10 Dom.Training
         in
         Table.add_row table
           [
@@ -797,8 +809,9 @@ let serving () =
           let kind =
             if i mod 3 = 2 then
               SP.Score_pair
-                { steps_a = steps (); steps_b = steps (); scenario = None }
-            else SP.Verify { steps = steps (); scenario = None }
+                { steps_a = steps (); steps_b = steps (); scenario = None;
+                  domain = None }
+            else SP.Verify { steps = steps (); scenario = None; domain = None }
           in
           { SP.id = Printf.sprintf "b%d" i; kind; deadline_ms = None })
     in
@@ -926,7 +939,7 @@ let micro () =
       Dpoaf_lm.Model.create (Rng.create 1) Dpoaf_lm.Model.default_config
         corpus.Pipeline.Corpus.vocab
     in
-    let setup = Pipeline.Corpus.setup corpus (Tasks.find "right_turn_tl") in
+    let setup = Pipeline.Corpus.setup_by_id corpus "right_turn_tl" in
     let snap = Dpoaf_lm.Sampler.snapshot lm in
     let word =
       let world = Dpoaf_sim.World.create ~model (Rng.create 2) in
@@ -1013,7 +1026,7 @@ let kernels () =
                 Some
                   {
                     Dpoaf_dpo.Pref_data.task_id =
-                      setup.Pipeline.Corpus.task.Tasks.id;
+                      setup.Pipeline.Corpus.task.Dom.id;
                     prompt = setup.Pipeline.Corpus.prompt;
                     chosen;
                     rejected;
@@ -1027,7 +1040,7 @@ let kernels () =
                     max_clauses = setup.Pipeline.Corpus.max_clauses;
                   })
             (List.init (if fast then 3 else 6) Fun.id))
-        (Pipeline.Corpus.setups_of_split corpus Tasks.Training)
+        (Pipeline.Corpus.setups_of_split corpus Dom.Training)
     in
     (* --- Fig 8 training loop, before vs after ----------------------- *)
     let config =
@@ -1306,6 +1319,154 @@ let kernels () =
   end
 
 (* ------------------------------------------------------------------ *)
+(* Domain packs: the whole loop, once per registered pack              *)
+
+let domains_section () =
+  if
+    section "domains"
+      "Every registered pack through a Fig-8-style DPO loop and one serve \
+       batch (writes BENCH_domains.json)"
+  then begin
+    let module Json = Dpoaf_util.Json in
+    let module Serve = Dpoaf_serve in
+    let module SP = Dpoaf_serve.Protocol in
+    let table =
+      Table.create
+        [ "domain"; "tasks"; "specs"; "pairs"; "pre"; "post"; "train s";
+          "serve ok"; "serve s" ]
+    in
+    let entries =
+      List.map
+        (fun domain ->
+          let (module D : Dpoaf_domain.Domain.S) = domain in
+          Printf.printf "[%s] pre-training + DPO...\n%!" D.name;
+          let corpus = Pipeline.Corpus.build ~domain () in
+          let feedback = Pipeline.Feedback.create ~domain () in
+          let rng = Rng.create 71 in
+          let reference =
+            Pipeline.Corpus.pretrained_model
+              ~config:
+                { Dpoaf_lm.Model.dim = 12; context = 10; lora_rank = 2;
+                  arch = Dpoaf_lm.Model.Bow }
+              ~per_task:20 ~epochs:10 rng corpus
+          in
+          let config =
+            {
+              Pipeline.Dpoaf.responses_per_task = (if fast then 8 else 12);
+              temperature = 1.0;
+              eval_samples = (if fast then 6 else 24);
+              trainer =
+                (* checkpoint only at the start and the end: the curve's
+                   first/last entries are exactly the pre/post scores *)
+                (let epochs = if fast then 10 else 60 in
+                 { Trainer.default_config with
+                   epochs; checkpoint_every = epochs; lr = 2e-3 });
+            }
+          in
+          let result, t_train =
+            wallclock (fun () ->
+                Pipeline.Dpoaf.run ~config ~corpus ~feedback ~reference
+                  ~seeds:[ 1 ] rng)
+          in
+          let curve = result.Pipeline.Dpoaf.curve in
+          let pre, post =
+            match curve with
+            | [] -> (0.0, 0.0)
+            | first :: _ ->
+                ( first.Pipeline.Dpoaf.training_score,
+                  (List.nth curve (List.length curve - 1))
+                    .Pipeline.Dpoaf.training_score )
+          in
+          (* one serve batch: verification-only engine, every request
+             tagged with the pack's wire-protocol domain field *)
+          let engine = Serve.Engine.create ~corpus () in
+          let server =
+            Serve.Server.create
+              ~config:
+                { Serve.Server.jobs = 1; max_batch = 16; flush_ms = 1.0;
+                  queue_capacity = 256 }
+              ~handler:(Serve.Engine.handle engine) ()
+          in
+          let rng_req = Rng.create 72 in
+          let requests =
+            List.init (if fast then 30 else 90) (fun i ->
+                let task = Rng.choice_list rng_req D.tasks in
+                let steps () =
+                  let pool =
+                    Rng.shuffle_list rng_req
+                      (Dpoaf_domain.Domain.candidate_steps domain task)
+                  in
+                  List.filteri (fun j _ -> j < 2 + Rng.int rng_req 3) pool
+                in
+                let kind =
+                  if i mod 3 = 2 then
+                    SP.Score_pair
+                      { steps_a = steps (); steps_b = steps ();
+                        scenario = None; domain = Some D.name }
+                  else
+                    SP.Verify
+                      { steps = steps (); scenario = None;
+                        domain = Some D.name }
+                in
+                { SP.id = Printf.sprintf "%s-%d" D.name i;
+                  kind; deadline_ms = None })
+          in
+          let responses, t_serve =
+            wallclock (fun () ->
+                let tickets =
+                  List.map (Serve.Server.submit_async server) requests
+                in
+                List.map Serve.Server.await tickets)
+          in
+          Serve.Server.drain server;
+          let ok =
+            List.length
+              (List.filter
+                 (fun r -> SP.status_of_body r.SP.rbody = "ok")
+                 responses)
+          in
+          let specs = Dpoaf_domain.Domain.spec_count domain in
+          Table.add_row table
+            [
+              D.name;
+              string_of_int (List.length D.tasks);
+              string_of_int specs;
+              string_of_int result.Pipeline.Dpoaf.pairs_used;
+              Printf.sprintf "%.2f/%d" pre specs;
+              Printf.sprintf "%.2f/%d" post specs;
+              Printf.sprintf "%.1f" t_train;
+              Printf.sprintf "%d/%d" ok (List.length requests);
+              Printf.sprintf "%.2f" t_serve;
+            ];
+          ( D.name,
+            Json.obj
+              [
+                ("tasks", Json.num (float_of_int (List.length D.tasks)));
+                ("specs", Json.num (float_of_int specs));
+                ( "pairs",
+                  Json.num (float_of_int result.Pipeline.Dpoaf.pairs_used) );
+                ("pre_training_score", Json.num pre);
+                ("post_training_score", Json.num post);
+                ("train_s", Json.num t_train);
+                ("serve_requests", Json.num (float_of_int (List.length requests)));
+                ("serve_ok", Json.num (float_of_int ok));
+                ("serve_s", Json.num t_serve);
+              ] ))
+        (Dpoaf_domain.all ())
+    in
+    emit "domains" table;
+    let path = "BENCH_domains.json" in
+    let oc = open_out path in
+    output_string oc (Json.to_string (Json.obj entries));
+    output_char oc '\n';
+    close_out oc;
+    Printf.printf "(wrote %s)\n" path;
+    print_endline "\nevery pack runs the same loop the paper runs for driving:";
+    print_endline "pre-train, mine verification-ranked pairs, DPO, then serve a";
+    print_endline "batch of domain-tagged verification requests."
+  end
+
+(* ------------------------------------------------------------------ *)
 
 let sections =
   [
@@ -1325,6 +1486,7 @@ let sections =
     ("iter-dpo", iterative_dpo);
     ("speedup", speedup);
     ("serving", serving);
+    ("domains", domains_section);
     ("micro", micro);
     ("kernels", kernels);
   ]

@@ -1,7 +1,8 @@
 (* Command-line interface to the DPO-AF pipeline.
 
-   dpoaf_cli tasks                        list control tasks
-   dpoaf_cli specs                        list the 15 LTL specifications
+   dpoaf_cli domains                      list registered domain packs
+   dpoaf_cli tasks [--domain D]           list a pack's control tasks
+   dpoaf_cli specs [--domain D]           list a pack's LTL rule book
    dpoaf_cli verify --step "..." ...      verify a response's steps
    dpoaf_cli synthesize --task ID         sample + rank responses
    dpoaf_cli finetune --out model.ckpt    run the full DPO-AF pipeline
@@ -9,10 +10,14 @@
    dpoaf_cli report trace.jsonl           summarize a recorded trace
    dpoaf_cli smv --step "..." ...         export a controller to NuSMV
    dpoaf_cli serve --socket PATH          batched serving daemon (NDJSON)
-   dpoaf_cli loadgen --rate N             replay synthetic traffic at it *)
+   dpoaf_cli loadgen --rate N             replay synthetic traffic at it
+
+   Every pipeline-facing subcommand takes --domain NAME (default:
+   driving, the paper's use case); unknown names are rejected with the
+   registered list, never silently defaulted. *)
 
 open Cmdliner
-open Dpoaf_driving
+module Domain = Dpoaf_domain.Domain
 module MC = Dpoaf_automata.Model_checker
 module Pipeline = Dpoaf_pipeline
 module Rng = Dpoaf_util.Rng
@@ -22,43 +27,108 @@ module Span = Dpoaf_exec.Trace
 
 (* ---------------- shared arguments ---------------- *)
 
-(* strict: an unknown scenario name is a usage error listing the valid
-   ones, never a silent fallback to the universal model *)
-let scenario_conv =
+let die fmt =
+  Printf.ksprintf
+    (fun msg ->
+      prerr_endline ("error: " ^ msg);
+      exit 1)
+    fmt
+
+(* strict: an unknown domain name is a usage error listing the
+   registered packs, never a silent fallback to driving *)
+let domain_conv =
   let parse s =
-    if s = "universal" then Ok None
-    else
-      match Models.scenario_of_name s with
-      | Some sc -> Ok (Some sc)
-      | None ->
-          Error
-            (`Msg
-               (Printf.sprintf
-                  "unknown scenario %S; expected universal or one of: %s" s
-                  (String.concat ", "
-                     (List.map Models.scenario_name Models.all_scenarios))))
+    match Dpoaf_domain.find s with
+    | Some d -> Ok d
+    | None ->
+        Error
+          (`Msg
+             (Printf.sprintf "unknown domain %S; expected one of: %s" s
+                (String.concat ", " (Dpoaf_domain.names ()))))
   in
-  let print ppf = function
-    | None -> Format.pp_print_string ppf "universal"
-    | Some sc -> Format.pp_print_string ppf (Models.scenario_name sc)
-  in
+  let print ppf d = Format.pp_print_string ppf (Domain.name d) in
   Arg.conv (parse, print)
 
+let domain_arg =
+  let doc =
+    "Domain pack to operate in (see `dpoaf_cli domains`). Unknown names \
+     are rejected."
+  in
+  Arg.(
+    value
+    & opt domain_conv (Dpoaf_domain.find_exn Dpoaf_domain.default)
+    & info [ "domain" ] ~docv:"NAME" ~doc)
+
+(* scenario validity depends on the chosen pack, so the name is resolved
+   (strictly) at run time via [Domain.model_of_scenario] *)
 let scenario_arg =
   let doc =
-    "World model to verify against: traffic_light, left_turn_light, \
-     two_way_stop, roundabout, wide_median, or universal (default). \
-     Unknown names are rejected."
+    "World model to verify against: one of the pack's scenarios (see \
+     `dpoaf_cli tasks`) or universal (default). Unknown names are \
+     rejected."
   in
-  Arg.(value & opt scenario_conv None & info [ "scenario" ] ~docv:"MODEL" ~doc)
+  Arg.(value & opt (some string) None & info [ "scenario" ] ~docv:"MODEL" ~doc)
+
+let resolve_model domain scenario =
+  match Domain.model_of_scenario domain scenario with
+  | Ok model -> model
+  | Error msg -> die "%s" msg
 
 let steps_arg =
   let doc = "One instruction step (repeatable, in order)." in
   Arg.(value & opt_all string [] & info [ "step"; "s" ] ~docv:"TEXT" ~doc)
 
 let task_arg =
-  let doc = "Task id (see `dpoaf_cli tasks`)." in
-  Arg.(value & opt string "right_turn_tl" & info [ "task" ] ~docv:"ID" ~doc)
+  let doc =
+    "Task id (see `dpoaf_cli tasks`; default: the pack's first task)."
+  in
+  Arg.(value & opt (some string) None & info [ "task" ] ~docv:"ID" ~doc)
+
+let resolve_task domain = function
+  | Some id -> (
+      match Domain.find_task domain id with
+      | Some t -> t
+      | None ->
+          die "unknown task %S in domain %S (valid: %s)" id
+            (Domain.name domain)
+            (String.concat ", "
+               (List.map (fun t -> t.Domain.id) (Domain.tasks domain))))
+  | None -> (
+      match Domain.tasks domain with
+      | t :: _ -> t
+      | [] -> die "domain %S has no tasks" (Domain.name domain))
+
+(* the worked example to fall back on when no --step is given: the
+   post-fine-tuning demo response whose name shares the longest prefix
+   with the task id (e.g. left_turn_ll -> left_turn_after_ft) *)
+let demo_response_for domain task_id =
+  let (module D : Domain.S) = domain in
+  let after_ft (name, _) =
+    let suffix = "_after_ft" in
+    String.length name >= String.length suffix
+    && String.sub name
+         (String.length name - String.length suffix)
+         (String.length suffix)
+       = suffix
+  in
+  let common_prefix a b =
+    let n = min (String.length a) (String.length b) in
+    let rec go i = if i < n && a.[i] = b.[i] then go (i + 1) else i in
+    go 0
+  in
+  let candidates =
+    match List.filter after_ft D.demo_responses with
+    | [] -> D.demo_responses
+    | cs -> cs
+  in
+  match candidates with
+  | [] -> die "domain %S has no demo responses" D.name
+  | first :: _ ->
+      List.fold_left
+        (fun (bn, bs) (n, s) ->
+          if common_prefix n task_id > common_prefix bn task_id then (n, s)
+          else (bn, bs))
+        first candidates
 
 let seed_arg =
   Arg.(value & opt int 2024 & info [ "seed" ] ~docv:"N" ~doc:"Random seed.")
@@ -120,59 +190,98 @@ let with_telemetry ~trace ~metrics_json f =
   in
   Fun.protect ~finally:finish f
 
-let model_of_scenario = function
-  | Some sc -> Models.model sc
-  | None -> Models.universal ()
+(* ---------------- domains ---------------- *)
+
+let run_domains quiet =
+  if quiet then List.iter print_endline (Dpoaf_domain.names ())
+  else begin
+    let table =
+      Table.create [ "name"; "tasks"; "specs"; "scenarios"; "actions" ]
+    in
+    List.iter
+      (fun domain ->
+        let (module D : Domain.S) = domain in
+        Table.add_row table
+          [
+            D.name;
+            string_of_int (List.length D.tasks);
+            string_of_int (Domain.spec_count domain);
+            string_of_int (List.length D.scenarios);
+            string_of_int (List.length D.actions);
+          ])
+      (Dpoaf_domain.all ());
+    Table.print table
+  end
+
+let domains_cmd =
+  let quiet_arg =
+    Arg.(value & flag
+         & info [ "quiet"; "q" ] ~doc:"Print one pack name per line.")
+  in
+  Cmd.v
+    (Cmd.info "domains" ~doc:"List the registered domain packs.")
+    Term.(const run_domains $ quiet_arg)
 
 (* ---------------- tasks ---------------- *)
 
-let run_tasks () =
+let run_tasks domain =
   let table = Table.create [ "id"; "prompt"; "scenario"; "split" ] in
   List.iter
     (fun t ->
       Table.add_row table
         [
-          t.Tasks.id;
-          t.Tasks.prompt;
-          Models.scenario_name t.Tasks.scenario;
-          (match t.Tasks.split with Tasks.Training -> "training" | Tasks.Validation -> "validation");
+          t.Domain.id;
+          t.Domain.prompt;
+          t.Domain.scenario;
+          (match t.Domain.split with
+          | Domain.Training -> "training"
+          | Domain.Validation -> "validation");
         ])
-    Tasks.all;
+    (Domain.tasks domain);
   Table.print table
 
 let tasks_cmd =
-  Cmd.v (Cmd.info "tasks" ~doc:"List the control tasks.")
-    Term.(const run_tasks $ const ())
+  Cmd.v (Cmd.info "tasks" ~doc:"List a domain pack's control tasks.")
+    Term.(const run_tasks $ domain_arg)
 
 (* ---------------- specs ---------------- *)
 
-let run_specs () =
+let run_specs domain =
+  let (module D : Domain.S) = domain in
   List.iter
     (fun (name, phi) ->
       Printf.printf "%-8s %s\n" name (Dpoaf_logic.Ltl.to_string phi))
-    Specs.all
+    (D.specs ())
 
 let specs_cmd =
-  Cmd.v (Cmd.info "specs" ~doc:"List the 15 LTL rule-book specifications.")
-    Term.(const run_specs $ const ())
+  Cmd.v
+    (Cmd.info "specs" ~doc:"List a domain pack's LTL rule-book specifications.")
+    Term.(const run_specs $ domain_arg)
 
 (* ---------------- verify ---------------- *)
 
-let run_verify steps scenario =
+let run_verify domain steps scenario =
+  let (module D : Domain.S) = domain in
   let steps =
     if steps <> [] then steps
     else begin
-      print_endline "(no --step given: verifying the paper's §5.1 pre-fine-tuning response)";
-      Responses.right_turn_before_ft
+      let name, demo =
+        match D.demo_responses with
+        | first :: _ -> first
+        | [] -> die "domain %S has no demo responses" D.name
+      in
+      Printf.printf "(no --step given: verifying the %s demo response %S)\n"
+        D.name name;
+      demo
     end
   in
-  let controller, stats = Evaluate.controller_of_steps ~name:"cli" steps in
+  let controller, stats = D.controller_of_steps ~name:"cli" steps in
   Printf.printf "parsed %d/%d steps (%d degraded, %d dropped)\n"
     (stats.Dpoaf_lang.Step_parser.total - stats.Dpoaf_lang.Step_parser.failed)
     stats.Dpoaf_lang.Step_parser.total stats.Dpoaf_lang.Step_parser.degraded
     stats.Dpoaf_lang.Step_parser.failed;
-  let model = model_of_scenario scenario in
-  let verdicts = Evaluate.verdicts ~model controller in
+  let model = resolve_model domain scenario in
+  let verdicts = MC.verify_all ~model ~controller ~specs:(D.specs ()) in
   List.iter
     (fun (name, phi, verdict) ->
       Printf.printf "%-8s %-60s %s\n" name
@@ -195,20 +304,21 @@ let run_verify steps scenario =
 let verify_cmd =
   Cmd.v
     (Cmd.info "verify" ~doc:"Verify a response's steps against the rule book.")
-    Term.(const run_verify $ steps_arg $ scenario_arg)
+    Term.(const run_verify $ domain_arg $ steps_arg $ scenario_arg)
 
 (* ---------------- synthesize ---------------- *)
 
-let run_synthesize task_id n seed =
-  let task = try Tasks.find task_id with Not_found -> failwith ("unknown task " ^ task_id) in
-  let corpus = Pipeline.Corpus.build () in
+let run_synthesize domain task_id n seed =
+  let task = resolve_task domain task_id in
+  let corpus = Pipeline.Corpus.build ~domain () in
   let rng = Rng.create seed in
-  Printf.printf "pre-training the language model (seed %d)...\n%!" seed;
+  Printf.printf "pre-training the %s language model (seed %d)...\n%!"
+    (Domain.name domain) seed;
   let model = Pipeline.Corpus.pretrained_model rng corpus in
-  let feedback = Pipeline.Feedback.create () in
+  let feedback = Pipeline.Feedback.create ~domain () in
   let setup = Pipeline.Corpus.setup corpus task in
   let snap = Dpoaf_lm.Sampler.snapshot model in
-  Printf.printf "sampling %d responses for %S:\n\n" n task.Tasks.prompt;
+  Printf.printf "sampling %d responses for %S:\n\n" n task.Domain.prompt;
   List.iter
     (fun i ->
       let tokens =
@@ -218,7 +328,8 @@ let run_synthesize task_id n seed =
           ~max_clauses:setup.Pipeline.Corpus.max_clauses ()
       in
       let score = Pipeline.Feedback.score_tokens feedback ~corpus setup tokens in
-      Printf.printf "response %d — satisfies %d/15 specifications:\n" (i + 1) score;
+      Printf.printf "response %d — satisfies %d/%d specifications:\n" (i + 1)
+        score (Domain.spec_count domain);
       List.iteri
         (fun j s -> Printf.printf "  %d. %s\n" (j + 1) s)
         (Pipeline.Corpus.steps_of_tokens corpus tokens);
@@ -232,18 +343,19 @@ let synthesize_cmd =
   Cmd.v
     (Cmd.info "synthesize"
        ~doc:"Sample responses from the pre-trained model and rank them by verification.")
-    Term.(const run_synthesize $ task_arg $ n_arg $ seed_arg)
+    Term.(const run_synthesize $ domain_arg $ task_arg $ n_arg $ seed_arg)
 
 (* ---------------- finetune ---------------- *)
 
-let run_finetune epochs seeds out seed jobs trace metrics_json =
+let run_finetune domain epochs seeds out seed jobs trace metrics_json =
   set_jobs jobs;
   with_telemetry ~trace ~metrics_json @@ fun () ->
-  let corpus = Pipeline.Corpus.build () in
+  let corpus = Pipeline.Corpus.build ~domain () in
   let rng = Rng.create seed in
-  Printf.printf "pre-training the language model...\n%!";
+  Printf.printf "pre-training the %s language model...\n%!"
+    (Domain.name domain);
   let reference = Pipeline.Corpus.pretrained_model rng corpus in
-  let feedback = Pipeline.Feedback.create () in
+  let feedback = Pipeline.Feedback.create ~domain () in
   let config =
     {
       Pipeline.Dpoaf.default_config with
@@ -275,11 +387,12 @@ let run_finetune epochs seeds out seed jobs trace metrics_json =
   Printf.printf "verifier cache: %d hits / %d misses (%d entries)\n"
     stats.Dpoaf_exec.Cache.hits stats.Dpoaf_exec.Cache.misses
     stats.Dpoaf_exec.Cache.size;
+  let total = Domain.spec_count domain in
   List.iter
     (fun c ->
-      Printf.printf "epoch %3d: training %.2f/15  validation %.2f/15\n"
-        c.Pipeline.Dpoaf.epoch c.Pipeline.Dpoaf.training_score
-        c.Pipeline.Dpoaf.validation_score)
+      Printf.printf "epoch %3d: training %.2f/%d  validation %.2f/%d\n"
+        c.Pipeline.Dpoaf.epoch c.Pipeline.Dpoaf.training_score total
+        c.Pipeline.Dpoaf.validation_score total)
     result.Pipeline.Dpoaf.curve;
   (match (result.Pipeline.Dpoaf.runs, out) with
   | run :: _, Some path ->
@@ -300,39 +413,40 @@ let finetune_cmd =
   in
   Cmd.v
     (Cmd.info "finetune" ~doc:"Run the full DPO-AF pipeline.")
-    Term.(const run_finetune $ epochs_arg $ seeds_arg $ out_arg $ seed_arg
-          $ jobs_arg $ trace_arg $ metrics_json_arg)
+    Term.(const run_finetune $ domain_arg $ epochs_arg $ seeds_arg $ out_arg
+          $ seed_arg $ jobs_arg $ trace_arg $ metrics_json_arg)
 
 (* ---------------- simulate ---------------- *)
 
-let run_simulate task_id rollouts steps miss false_rate seed jobs trace
-    metrics_json =
+let run_simulate domain task_id steps_override rollouts steps miss false_rate
+    seed jobs trace metrics_json =
   set_jobs jobs;
   with_telemetry ~trace ~metrics_json @@ fun () ->
-  let task = try Tasks.find task_id with Not_found -> failwith ("unknown task " ^ task_id) in
-  let model = Models.model task.Tasks.scenario in
+  let (module D : Domain.S) = domain in
+  let task = resolve_task domain task_id in
+  let model = resolve_model domain (Some task.Domain.scenario) in
   let response =
-    match task_id with
-    | "left_turn_ll" -> Responses.left_turn_after_ft
-    | _ -> Responses.right_turn_after_ft
+    if steps_override <> [] then steps_override
+    else snd (demo_response_for domain task.Domain.id)
   in
-  let controller, _ = Evaluate.controller_of_steps ~name:task_id response in
+  let controller, _ = D.controller_of_steps ~name:task.Domain.id response in
   let config =
     { Dpoaf_sim.Empirical.rollouts; steps;
       noise = { Dpoaf_sim.World.miss_rate = miss; false_rate }; seed }
   in
   let rates =
-    Dpoaf_sim.Empirical.evaluate ~model ~controller ~specs:Specs.all config
+    Dpoaf_sim.Empirical.evaluate ~domain:D.name ~model ~controller
+      ~specs:(D.specs ()) config
   in
-  Printf.printf "empirical P_Φ over %d rollouts × %d steps in %s:\n" rollouts steps
-    (Models.scenario_name task.Tasks.scenario);
+  Printf.printf "empirical P_Φ over %d rollouts × %d steps in %s:\n" rollouts
+    steps task.Domain.scenario;
   List.iter (fun (name, rate) -> Printf.printf "  %-8s %.3f\n" name rate) rates
 
 let simulate_cmd =
   let rollouts_arg =
     Arg.(value & opt int 300 & info [ "rollouts" ] ~docv:"N" ~doc:"Rollouts.")
   in
-  let steps_arg =
+  let length_arg =
     Arg.(value & opt int 40 & info [ "length" ] ~docv:"N" ~doc:"Steps per rollout.")
   in
   let miss_arg =
@@ -343,8 +457,9 @@ let simulate_cmd =
   in
   Cmd.v
     (Cmd.info "simulate" ~doc:"Empirical evaluation in the simulated system.")
-    Term.(const run_simulate $ task_arg $ rollouts_arg $ steps_arg $ miss_arg
-          $ false_arg $ seed_arg $ jobs_arg $ trace_arg $ metrics_json_arg)
+    Term.(const run_simulate $ domain_arg $ task_arg $ steps_arg $ rollouts_arg
+          $ length_arg $ miss_arg $ false_arg $ seed_arg $ jobs_arg $ trace_arg
+          $ metrics_json_arg)
 
 (* ---------------- report ---------------- *)
 
@@ -354,6 +469,28 @@ let exact_percentile sorted q =
   else
     let rank = int_of_float (ceil (q *. float_of_int n)) in
     sorted.(max 0 (min (n - 1) (rank - 1)))
+
+(* render one `name count bar` block, numerically ordered on the phi_N
+   suffix so phi_2 sorts before phi_10 *)
+let print_violation_bars violations =
+  let keyed =
+    List.sort compare
+      (List.map
+         (fun (name, v) ->
+           let num =
+             match String.split_on_char '_' name with
+             | [ _; n ] -> ( try int_of_string n with _ -> max_int)
+             | _ -> max_int
+           in
+           (num, name, v))
+         violations)
+  in
+  let peak = List.fold_left (fun acc (_, _, v) -> max acc v) 1.0 keyed in
+  List.iter
+    (fun (_, name, v) ->
+      let bar = int_of_float (40.0 *. v /. peak) in
+      Printf.printf "  %-8s %8.0f %s\n" name v (String.make bar '#'))
+    keyed
 
 let run_report path =
   let reader = Span.read_jsonl path in
@@ -426,45 +563,52 @@ let run_report path =
       caches;
     Table.print table
   end;
-  (* spec-violation histogram, from the feedback.violations.* counters *)
+  (* spec-violation histograms from the feedback.violations.* counters:
+     the plain `feedback.violations.<spec>` aggregate first, then one
+     block per `feedback.violations.<domain>.<spec>` twin *)
   let prefix = "feedback.violations." in
-  let violations =
+  let tagged =
     List.filter_map
       (fun (k, v) ->
         if String.length k > String.length prefix
            && String.sub k 0 (String.length prefix) = prefix
-        then Some (String.sub k (String.length prefix)
-                     (String.length k - String.length prefix), v)
+        then
+          let suffix =
+            String.sub k (String.length prefix)
+              (String.length k - String.length prefix)
+          in
+          match String.index_opt suffix '.' with
+          | None -> Some (None, suffix, v)
+          | Some i ->
+              Some
+                ( Some (String.sub suffix 0 i),
+                  String.sub suffix (i + 1) (String.length suffix - i - 1),
+                  v )
         else None)
       reader.Span.metrics
   in
-  let violations =
-    if List.exists (fun (_, v) -> v > 0.0) violations then violations else []
+  let live dom =
+    List.filter_map
+      (fun (d, name, v) -> if d = dom then Some (name, v) else None)
+      tagged
+    |> fun vs -> if List.exists (fun (_, v) -> v > 0.0) vs then vs else []
   in
-  if violations <> [] then begin
-    (* order phi_2 before phi_10: numeric sort on the suffix *)
-    let keyed =
-      List.sort compare
-        (List.map
-           (fun (name, v) ->
-             let num =
-               match String.split_on_char '_' name with
-               | [ _; n ] -> ( try int_of_string n with _ -> max_int)
-               | _ -> max_int
-             in
-             (num, name, v))
-           violations)
-    in
-    let peak =
-      List.fold_left (fun acc (_, _, v) -> max acc v) 1.0 keyed
-    in
+  let aggregate = live None in
+  if aggregate <> [] then begin
     print_endline "\nspec violations (per scoring request):";
-    List.iter
-      (fun (_, name, v) ->
-        let bar = int_of_float (40.0 *. v /. peak) in
-        Printf.printf "  %-8s %8.0f %s\n" name v (String.make bar '#'))
-      keyed
+    print_violation_bars aggregate
   end;
+  let domains =
+    List.sort_uniq compare (List.filter_map (fun (d, _, _) -> d) tagged)
+  in
+  List.iter
+    (fun dom ->
+      match live (Some dom) with
+      | [] -> ()
+      | vs ->
+          Printf.printf "\nspec violations [%s]:\n" dom;
+          print_violation_bars vs)
+    domains;
   (* headline latency histograms from the metrics line *)
   let hists = [ "feedback.score"; "sim.rollout"; "dpo.step" ] in
   let present =
@@ -503,7 +647,7 @@ let report_cmd =
   Cmd.v
     (Cmd.info "report"
        ~doc:"Summarize a recorded trace: per-stage latency, cache hit rates \
-             and the spec-violation histogram.")
+             and the spec-violation histograms (aggregate and per domain).")
     Term.(const run_report $ path_arg)
 
 (* ---------------- analyze ---------------- *)
@@ -512,40 +656,45 @@ module Analysis = Dpoaf_analysis
 module Diag = Dpoaf_analysis.Diagnostic
 
 (* The static sanity layer: spec sanity (satisfiability, tautology,
-   pairwise redundancy, model-level vacuity) on the rule book, lint on
-   every world model, and structural lint + vacuity on controllers —
-   either the --step response or the paper's canonical responses.  Exits
-   non-zero when any error-severity diagnostic fires, so `make check` can
-   gate on a sane rule book. *)
-let run_analyze steps json out pairwise =
-  let specs = Specs.all in
-  let free = Dpoaf_logic.Symbol.of_atoms Vocab.actions in
-  let universal = Models.universal () in
+   pairwise redundancy, model-level vacuity) on the pack's rule book,
+   lint on every world model, and structural lint + vacuity on
+   controllers — either the --step response or the pack's demo
+   responses.  Exits non-zero when any error-severity diagnostic fires,
+   so `make check` can gate on a sane rule book. *)
+let run_analyze domain steps json out pairwise =
+  let (module D : Domain.S) = domain in
+  let specs = D.specs () in
+  let free = Dpoaf_logic.Symbol.of_atoms D.actions in
+  let universal = D.universal () in
   let spec_diags = Analysis.Spec_sanity.check ~model:universal ~free ~pairwise specs in
+  let scenario_models =
+    List.map
+      (fun sc ->
+        match D.model sc with
+        | Some m -> m
+        | None -> die "domain %S lists scenario %S without a model" D.name sc)
+      D.scenarios
+  in
   let model_diags =
     Analysis.Model_lint.lint ~specs ~ignore:free universal
     @ List.concat_map
-        (fun sc ->
+        (fun m ->
           (* scenario proposition sets are deliberately partial: only the
              universal model must cover the whole rule book *)
-          Analysis.Model_lint.lint ~specs ~coverage:false (Models.model sc))
-        Models.all_scenarios
+          Analysis.Model_lint.lint ~specs ~coverage:false m)
+        scenario_models
   in
   let controllers =
-    match steps with
-    | [] ->
-        [
-          ("right_turn_before_ft", Responses.right_turn_before_ft);
-          ("right_turn_after_ft", Responses.right_turn_after_ft);
-          ("left_turn_after_ft", Responses.left_turn_after_ft);
-        ]
-    | steps -> [ ("cli", steps) ]
+    match steps with [] -> D.demo_responses | steps -> [ ("cli", steps) ]
   in
   let controller_diags =
     List.concat_map
       (fun (name, steps) ->
-        let controller, _ = Evaluate.controller_of_steps ~name steps in
-        let satisfied = Evaluate.satisfied_specs ~model:universal controller in
+        let controller, _ = D.controller_of_steps ~name steps in
+        let satisfied =
+          (D.profile_of_controller ~model:universal controller)
+            .Domain.satisfied
+        in
         Analysis.Controller_lint.lint controller
         @ Analysis.Vacuity.diagnostics ~model:universal ~controller ~specs
             ~satisfied)
@@ -561,14 +710,14 @@ let run_analyze steps json out pairwise =
         diags;
       Buffer.add_string buf
         (Printf.sprintf
-           "%d diagnostic(s): %d error(s), %d warning(s), %d info(s) over %d \
-            spec(s), %d model(s), %d controller(s)\n"
-           (List.length diags)
+           "%s: %d diagnostic(s): %d error(s), %d warning(s), %d info(s) over \
+            %d spec(s), %d model(s), %d controller(s)\n"
+           D.name (List.length diags)
            (Diag.count Diag.Error diags)
            (Diag.count Diag.Warning diags)
            (Diag.count Diag.Info diags)
            (List.length specs)
-           (1 + List.length Models.all_scenarios)
+           (1 + List.length scenario_models)
            (List.length controllers));
       Buffer.contents buf
     end
@@ -599,23 +748,27 @@ let analyze_cmd =
   in
   Cmd.v
     (Cmd.info "analyze"
-       ~doc:"Static sanity analysis of the rule book, world models and \
+       ~doc:"Static sanity analysis of a pack's rule book, world models and \
              controllers: vacuity, dead states, guard completeness, \
              redundancy.  Exits 1 on any error-severity diagnostic.")
-    Term.(const run_analyze $ steps_arg $ json_arg $ out_arg $ pairwise_arg)
+    Term.(const run_analyze $ domain_arg $ steps_arg $ json_arg $ out_arg
+          $ pairwise_arg)
 
 (* ---------------- smv ---------------- *)
 
-let run_smv steps =
-  let steps = if steps <> [] then steps else Responses.right_turn_after_ft in
-  let controller, _ = Evaluate.controller_of_steps ~name:"exported" steps in
+let run_smv domain steps =
+  let (module D : Domain.S) = domain in
+  let steps =
+    if steps <> [] then steps else snd (demo_response_for domain "")
+  in
+  let controller, _ = D.controller_of_steps ~name:"exported" steps in
   print_string (Dpoaf_automata.Smv.of_controller ~name:"controller" controller
-                  ~props:Vocab.propositions)
+                  ~props:D.propositions)
 
 let smv_cmd =
   Cmd.v
     (Cmd.info "smv" ~doc:"Export a response's controller to NuSMV syntax.")
-    Term.(const run_smv $ steps_arg)
+    Term.(const run_smv $ domain_arg $ steps_arg)
 
 (* ---------------- serve ---------------- *)
 
@@ -626,37 +779,55 @@ let socket_arg =
   Arg.(value & opt string "/tmp/dpoaf.sock"
        & info [ "socket" ] ~docv:"PATH" ~doc)
 
-let run_serve socket checkpoint jobs max_batch flush_ms queue_capacity seed
-    trace metrics_json =
+let run_serve socket domains checkpoint jobs max_batch flush_ms queue_capacity
+    seed trace metrics_json =
   with_telemetry ~trace ~metrics_json @@ fun () ->
-  let corpus = Pipeline.Corpus.build () in
-  let lm =
-    match checkpoint with
-    | Some path -> (
-        try
-          let m = Dpoaf_lm.Checkpoint.load path in
-          Printf.printf "loaded checkpoint %s\n%!" path;
-          m
-        with Dpoaf_lm.Checkpoint.Corrupt { path; reason } ->
-          Printf.eprintf
-            "error: cannot load checkpoint %s: %s\n\
-             (re-create it with `dpoaf_cli finetune --out %s`)\n%!"
-            path reason path;
-          exit 1)
-    | None ->
-        Printf.printf
-          "no --checkpoint given: pre-training a small model (seed %d)...\n%!"
-          seed;
-        Pipeline.Corpus.pretrained_model (Rng.create seed) corpus
+  let domains =
+    match domains with
+    | [] -> [ Dpoaf_domain.find_exn Dpoaf_domain.default ]
+    | ds -> ds
   in
-  let engine = Serve.Engine.create ~lm ~corpus () in
+  if checkpoint <> None && List.length domains > 1 then
+    die "--checkpoint applies to a single --domain; drop it to pre-train a \
+         model per pack";
+  let packs =
+    List.map
+      (fun domain ->
+        let corpus = Pipeline.Corpus.build ~domain () in
+        let lm =
+          match checkpoint with
+          | Some path -> (
+              try
+                let m = Dpoaf_lm.Checkpoint.load path in
+                Printf.printf "loaded checkpoint %s\n%!" path;
+                m
+              with Dpoaf_lm.Checkpoint.Corrupt { path; reason } ->
+                Printf.eprintf
+                  "error: cannot load checkpoint %s: %s\n\
+                   (re-create it with `dpoaf_cli finetune --out %s`)\n%!"
+                  path reason path;
+                exit 1)
+          | None ->
+              Printf.printf
+                "no --checkpoint given: pre-training a small %s model (seed \
+                 %d)...\n\
+                 %!"
+                (Domain.name domain) seed;
+              Pipeline.Corpus.pretrained_model (Rng.create seed) corpus
+        in
+        (Some lm, corpus))
+      domains
+  in
+  let engine = Serve.Engine.create_multi packs in
   let config = { Serve.Server.jobs; max_batch; flush_ms; queue_capacity } in
   let server =
     Serve.Server.create ~config ~handler:(Serve.Engine.handle engine) ()
   in
   Printf.printf
-    "serving on %s (jobs=%d, max_batch=%d, flush_ms=%g, queue=%d); SIGINT or \
-     SIGTERM drains and stops\n%!"
+    "serving %s on %s (jobs=%d, max_batch=%d, flush_ms=%g, queue=%d); SIGINT \
+     or SIGTERM drains and stops\n\
+     %!"
+    (String.concat ", " (Serve.Engine.domains engine))
     socket jobs max_batch flush_ms queue_capacity;
   let stats = Serve.Daemon.run ~socket ~server () in
   Printf.printf
@@ -666,11 +837,18 @@ let run_serve socket checkpoint jobs max_batch flush_ms queue_capacity seed
     stats.Serve.Daemon.responses stats.Serve.Daemon.protocol_errors
 
 let serve_cmd =
+  let domains_arg =
+    let doc =
+      "Serve this domain pack (repeatable; first is the default for \
+       requests without a domain field; default: driving)."
+    in
+    Arg.(value & opt_all domain_conv [] & info [ "domain" ] ~docv:"NAME" ~doc)
+  in
   let checkpoint_arg =
     Arg.(value & opt (some string) None
          & info [ "checkpoint" ] ~docv:"FILE"
-             ~doc:"Serve this fine-tuned checkpoint (default: pre-train a \
-                   small model at startup).")
+             ~doc:"Serve this fine-tuned checkpoint (single-domain only; \
+                   default: pre-train a small model per pack at startup).")
   in
   let max_batch_arg =
     Arg.(value & opt int Serve.Server.default_config.Serve.Server.max_batch
@@ -690,14 +868,14 @@ let serve_cmd =
   Cmd.v
     (Cmd.info "serve"
        ~doc:"Run the batched inference-and-verification daemon (line-delimited \
-             JSON over a Unix socket).")
-    Term.(const run_serve $ socket_arg $ checkpoint_arg $ jobs_arg
-          $ max_batch_arg $ flush_ms_arg $ queue_arg $ seed_arg $ trace_arg
-          $ metrics_json_arg)
+             JSON over a Unix socket), serving one or more domain packs.")
+    Term.(const run_serve $ socket_arg $ domains_arg $ checkpoint_arg
+          $ jobs_arg $ max_batch_arg $ flush_ms_arg $ queue_arg $ seed_arg
+          $ trace_arg $ metrics_json_arg)
 
 (* ---------------- loadgen ---------------- *)
 
-let run_loadgen socket rate duration mix deadline_ms seed =
+let run_loadgen socket domain rate duration mix deadline_ms seed =
   let generate, verify, score_pair = mix in
   let config =
     {
@@ -706,6 +884,7 @@ let run_loadgen socket rate duration mix deadline_ms seed =
       duration_s = duration;
       mix = { Serve.Loadgen.generate; verify; score_pair };
       deadline_ms;
+      domain;
       seed;
     }
   in
@@ -718,8 +897,18 @@ let run_loadgen socket rate duration mix deadline_ms seed =
   | exception Invalid_argument msg ->
       Printf.eprintf "error: %s\n%!" msg;
       exit 1
+  | exception Failure msg ->
+      Printf.eprintf "error: %s\n%!" msg;
+      exit 1
 
 let loadgen_cmd =
+  let domain_opt_arg =
+    let doc =
+      "Synthesize traffic from this pack's tasks and tag every request with \
+       it (default: untagged traffic for the server's default pack)."
+    in
+    Arg.(value & opt (some string) None & info [ "domain" ] ~docv:"NAME" ~doc)
+  in
   let rate_arg =
     Arg.(value & opt float 200.0
          & info [ "rate" ] ~docv:"RPS" ~doc:"Offered load, requests/second.")
@@ -743,8 +932,8 @@ let loadgen_cmd =
     (Cmd.info "loadgen"
        ~doc:"Replay synthetic traffic against a running daemon and report \
              throughput and latency percentiles.")
-    Term.(const run_loadgen $ socket_arg $ rate_arg $ duration_arg $ mix_arg
-          $ deadline_arg $ seed_arg)
+    Term.(const run_loadgen $ socket_arg $ domain_opt_arg $ rate_arg
+          $ duration_arg $ mix_arg $ deadline_arg $ seed_arg)
 
 (* ---------------- main ---------------- *)
 
@@ -756,6 +945,6 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ tasks_cmd; specs_cmd; verify_cmd; synthesize_cmd; finetune_cmd;
-            simulate_cmd; report_cmd; analyze_cmd; smv_cmd; serve_cmd;
-            loadgen_cmd ]))
+          [ domains_cmd; tasks_cmd; specs_cmd; verify_cmd; synthesize_cmd;
+            finetune_cmd; simulate_cmd; report_cmd; analyze_cmd; smv_cmd;
+            serve_cmd; loadgen_cmd ]))

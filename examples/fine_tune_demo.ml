@@ -10,7 +10,7 @@
    (takes roughly a minute) *)
 
 open Dpoaf_pipeline
-module Tasks = Dpoaf_driving.Tasks
+module Domain = Dpoaf_domain.Domain
 module Trainer = Dpoaf_dpo.Trainer
 module Rng = Dpoaf_util.Rng
 
@@ -25,8 +25,8 @@ let () =
     Dpoaf.mean_specs_satisfied corpus feedback model (Rng.create 100) ~samples:12 split
   in
   Printf.printf "before fine-tuning: training %.2f/15, validation %.2f/15\n%!"
-    (mean Tasks.Training reference)
-    (mean Tasks.Validation reference);
+    (mean Domain.Training reference)
+    (mean Domain.Validation reference);
 
   let config =
     {
@@ -49,11 +49,11 @@ let () =
 
   let final = (List.hd result.Dpoaf.runs).Trainer.final in
   Printf.printf "after fine-tuning:  training %.2f/15, validation %.2f/15\n"
-    (mean Tasks.Training final)
-    (mean Tasks.Validation final);
+    (mean Domain.Training final)
+    (mean Domain.Validation final);
 
   (* show what the fine-tuned model now writes for the right-turn task *)
-  let setup = Corpus.setup corpus (Tasks.find "right_turn_tl") in
+  let setup = Corpus.setup_by_id corpus "right_turn_tl" in
   let snap = Dpoaf_lm.Sampler.snapshot final in
   let tokens =
     Dpoaf_lm.Sampler.greedy snap ~prompt:setup.Corpus.prompt

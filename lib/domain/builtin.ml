@@ -1,0 +1,37 @@
+(* Idempotent registration of the built-in packs.  Every public lookup
+   below calls [init] first, so consumers never observe an empty
+   registry; explicit [Registry.register] stays available for
+   out-of-tree packs. *)
+
+let mutex = Mutex.create ()
+let initialized = ref false
+
+let init () =
+  Mutex.lock mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock mutex)
+    (fun () ->
+      if not !initialized then begin
+        initialized := true;
+        Registry.register Pack_driving.pack;
+        Registry.register Pack_household.pack;
+        Registry.register Pack_warehouse.pack
+      end)
+
+let default = "driving"
+
+let find_exn name =
+  init ();
+  Registry.find_exn name
+
+let find name =
+  init ();
+  Registry.find name
+
+let names () =
+  init ();
+  Registry.names ()
+
+let all () =
+  init ();
+  Registry.all ()

@@ -1,0 +1,18 @@
+(** Built-in pack bootstrap.  [init] registers the driving, household
+    and warehouse packs exactly once (thread-safe, idempotent); the
+    lookup wrappers call it implicitly so callers can use them without
+    any setup. *)
+
+val init : unit -> unit
+(** Register the built-in packs if not already registered. *)
+
+val default : string
+(** Name of the default pack ("driving"). *)
+
+val find_exn : string -> Domain.t
+(** [find_exn name] returns the named pack, registering built-ins first.
+    @raise Failure for unknown names, listing the valid domains. *)
+
+val find : string -> Domain.t option
+val names : unit -> string list
+val all : unit -> Domain.t list

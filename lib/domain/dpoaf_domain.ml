@@ -1,0 +1,19 @@
+(* Library interface module: re-export the submodules and lift the
+   common registry lookups to the top level, so consumers can write
+   [Dpoaf_domain.find_exn "household"] directly. *)
+
+module Domain = Domain
+module Registry = Registry
+module Spec_gen = Spec_gen
+module Eval = Eval
+module Pack_driving = Pack_driving
+module Pack_household = Pack_household
+module Pack_warehouse = Pack_warehouse
+module Builtin = Builtin
+
+let default = Builtin.default
+let init = Builtin.init
+let find_exn = Builtin.find_exn
+let find = Builtin.find
+let names = Builtin.names
+let all = Builtin.all

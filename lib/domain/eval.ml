@@ -1,0 +1,63 @@
+(* Generic step-text → spec-verdict evaluator, shared by the non-driving
+   packs.  This is Dpoaf_driving.Evaluate with the driving constants
+   factored out: a mutex-guarded memoized lexicon (Lazy.force is unsafe
+   under concurrent forcing in OCaml 5), GLM2FSA compilation, model
+   checking over the pack's rule book, vacuity provenance, and a bounded
+   profile cache keyed by (model name, steps). *)
+
+module Glm2fsa = Dpoaf_lang.Glm2fsa
+module Model_checker = Dpoaf_automata.Model_checker
+module Cache = Dpoaf_exec.Cache
+
+type t = {
+  lexicon : unit -> Dpoaf_lang.Lexicon.t;
+  controller_of_steps :
+    name:string ->
+    string list ->
+    Dpoaf_automata.Fsa.t * Dpoaf_lang.Step_parser.stats;
+  profile_of_steps :
+    ?model:Dpoaf_automata.Ts.t -> string list -> Domain.profile;
+  profile_of_controller :
+    ?model:Dpoaf_automata.Ts.t -> Dpoaf_automata.Fsa.t -> Domain.profile;
+}
+
+let memoized f =
+  let cell = lazy (f ()) in
+  let mutex = Mutex.create () in
+  fun () ->
+    Mutex.lock mutex;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock mutex)
+      (fun () -> Lazy.force cell)
+
+let make ~name ~make_lexicon ~specs ~universal =
+  let lexicon = memoized make_lexicon in
+  let controller_of_steps ~name steps =
+    Glm2fsa.of_steps ~name (lexicon ()) steps
+  in
+  let profile_of_controller ?model controller =
+    let model = match model with Some m -> m | None -> universal () in
+    let specs = specs () in
+    let satisfied =
+      Model_checker.verify_all ~model ~controller ~specs
+      |> List.filter_map (fun (n, _, v) ->
+             if Model_checker.is_holds v then Some n else None)
+    in
+    let vacuous =
+      Dpoaf_analysis.Vacuity.vacuously_satisfied ~model ~controller ~specs
+        ~satisfied
+    in
+    { Domain.satisfied; vacuous }
+  in
+  let profile_cache : (string * string list, Domain.profile) Cache.t =
+    Cache.create ~capacity:65536 ~name:(Printf.sprintf "eval.profile.%s" name) ()
+  in
+  let profile_of_steps ?model steps =
+    let model = match model with Some m -> m | None -> universal () in
+    Cache.find_or_add profile_cache
+      (model.Dpoaf_automata.Ts.name, steps)
+      (fun () ->
+        let controller, _stats = controller_of_steps ~name:"response" steps in
+        profile_of_controller ~model controller)
+  in
+  { lexicon; controller_of_steps; profile_of_steps; profile_of_controller }

@@ -1,0 +1,31 @@
+(** Generic verification-feedback path for a pack: parse steps with the
+    pack's lexicon, compile the GLM2FSA controller, model-check the rule
+    book and annotate vacuity — with the same memoization structure as
+    the driving pack's [Evaluate] (mutexed lexicon, bounded profile
+    cache [eval.profile.<domain>] keyed by (model name, steps)). *)
+
+type t = {
+  lexicon : unit -> Dpoaf_lang.Lexicon.t;
+  controller_of_steps :
+    name:string ->
+    string list ->
+    Dpoaf_automata.Fsa.t * Dpoaf_lang.Step_parser.stats;
+  profile_of_steps :
+    ?model:Dpoaf_automata.Ts.t -> string list -> Domain.profile;
+  profile_of_controller :
+    ?model:Dpoaf_automata.Ts.t -> Dpoaf_automata.Fsa.t -> Domain.profile;
+}
+
+val make :
+  name:string ->
+  make_lexicon:(unit -> Dpoaf_lang.Lexicon.t) ->
+  specs:(unit -> (string * Dpoaf_logic.Ltl.t) list) ->
+  universal:(unit -> Dpoaf_automata.Ts.t) ->
+  t
+(** All four entry points share one lexicon and one profile cache;
+    [specs] and [universal] are called lazily (first use), so
+    constructing the evaluator is free. *)
+
+val memoized : (unit -> 'a) -> unit -> 'a
+(** Mutex-guarded lazy memoization — the OCaml 5-safe replacement for a
+    bare [Lazy.force] that worker domains may race on. *)

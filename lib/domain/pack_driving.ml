@@ -1,0 +1,71 @@
+(* The autonomous-driving pack: a thin adapter over lib/driving, so
+   behavior behind the Domain interface is bit-identical to the direct
+   modules — same task order, same candidate-step texts, same lexicon and
+   world-model caches, same memoized evaluation paths. *)
+
+module Tasks = Dpoaf_driving.Tasks
+module Models = Dpoaf_driving.Models
+module Responses = Dpoaf_driving.Responses
+module Evaluate = Dpoaf_driving.Evaluate
+
+let task_of_driving (t : Tasks.t) =
+  {
+    Domain.id = t.Tasks.id;
+    prompt = t.Tasks.prompt;
+    scenario = Models.scenario_name t.Tasks.scenario;
+    split =
+      (match t.Tasks.split with
+      | Tasks.Training -> Domain.Training
+      | Tasks.Validation -> Domain.Validation);
+  }
+
+let step_of_driving (s : Responses.step) =
+  {
+    Domain.text = s.Responses.text;
+    quality =
+      (match s.Responses.quality with
+      | Responses.Good -> Domain.Good
+      | Responses.Risky -> Domain.Risky
+      | Responses.Bad -> Domain.Bad);
+  }
+
+module M : Domain.S = struct
+  let name = "driving"
+  let propositions = Dpoaf_driving.Vocab.propositions
+  let actions = Dpoaf_driving.Vocab.actions
+  let lexicon = Evaluate.lexicon
+  let tasks = List.map task_of_driving Tasks.all
+  let specs () = Dpoaf_driving.Specs.all
+  let scenarios = List.map Models.scenario_name Models.all_scenarios
+
+  let model scenario_name =
+    Option.map Models.model (Models.scenario_of_name scenario_name)
+
+  let universal = Models.universal
+  let driving_task (t : Domain.task) = Tasks.find t.Domain.id
+
+  let observations t =
+    List.map step_of_driving (Responses.observations (driving_task t))
+
+  let finals t = List.map step_of_driving (Responses.finals (driving_task t))
+
+  let demo_responses =
+    [
+      ("right_turn_before_ft", Responses.right_turn_before_ft);
+      ("right_turn_after_ft", Responses.right_turn_after_ft);
+      ("left_turn_before_ft", Responses.left_turn_before_ft);
+      ("left_turn_after_ft", Responses.left_turn_after_ft);
+    ]
+
+  let controller_of_steps = Evaluate.controller_of_steps
+
+  let profile_of_steps ?model steps =
+    let p = Evaluate.profile_of_steps ?model steps in
+    { Domain.satisfied = p.Evaluate.satisfied; vacuous = p.Evaluate.vacuous }
+
+  let profile_of_controller ?model controller =
+    let p = Evaluate.profile_of_controller ?model controller in
+    { Domain.satisfied = p.Evaluate.satisfied; vacuous = p.Evaluate.vacuous }
+end
+
+let pack : Domain.t = (module M)

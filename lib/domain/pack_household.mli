@@ -1,0 +1,7 @@
+(** Household-robot manipulation pack (the LAD-VF setting): fetch,
+    place, carry and door-opening tasks around humans, over kitchen /
+    hallway / pantry world models.  Its rule book is produced by
+    {!Spec_gen.suite} and therefore passes the SAT, non-redundancy and
+    non-vacuity gates on the pack's universal model at first use. *)
+
+val pack : Domain.t

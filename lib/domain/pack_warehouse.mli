@@ -1,0 +1,7 @@
+(** Warehouse AGV pack: aisle transit, junction crossing, pallet
+    pick/drop and recharging tasks, over aisle / junction / pick-station
+    / charging-bay world models.  Its rule book is produced by
+    {!Spec_gen.suite} and therefore passes the SAT, non-redundancy and
+    non-vacuity gates on the pack's universal model at first use. *)
+
+val pack : Domain.t

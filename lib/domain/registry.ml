@@ -1,0 +1,34 @@
+(* Mutable, mutex-protected name → pack table.  Registration order is
+   preserved (it is the order `--domain` help text and error messages
+   list), duplicates are rejected loudly, and unknown lookups name every
+   valid domain — the same strictness convention as the CLI's scenario
+   and the bench's --only arguments. *)
+
+let mutex = Mutex.create ()
+let table : (string * Domain.t) list ref = ref []
+
+let locked f =
+  Mutex.lock mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock mutex) f
+
+let register ((module D : Domain.S) as pack) =
+  locked (fun () ->
+      if List.mem_assoc D.name !table then
+        invalid_arg
+          (Printf.sprintf
+             "Registry.register: duplicate domain %S (already registered: %s)"
+             D.name
+             (String.concat ", " (List.map fst !table)));
+      table := !table @ [ (D.name, pack) ])
+
+let names () = locked (fun () -> List.map fst !table)
+let all () = locked (fun () -> List.map snd !table)
+let find name = locked (fun () -> List.assoc_opt name !table)
+
+let find_exn name =
+  match find name with
+  | Some d -> d
+  | None ->
+      failwith
+        (Printf.sprintf "unknown domain %S (valid: %s)" name
+           (String.concat ", " (names ())))

@@ -1,0 +1,16 @@
+(** The domain registry: unique name → pack, in registration order.
+
+    All operations are mutex-protected and safe from any worker domain.
+    Most callers want {!Builtin}, which registers the built-in packs
+    idempotently before delegating here. *)
+
+val register : Domain.t -> unit
+(** @raise Invalid_argument if a pack with the same name is already
+    registered (the message lists the registered names). *)
+
+val names : unit -> string list
+val all : unit -> Domain.t list
+val find : string -> Domain.t option
+
+val find_exn : string -> Domain.t
+(** @raise Failure for unknown names, listing every valid domain. *)

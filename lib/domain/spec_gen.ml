@@ -1,0 +1,65 @@
+(* Template-based rule-book generation, gated by the static sanity layer.
+
+   New packs do not hand-write LTL: they instantiate the safety /
+   response / precondition / coverage / liveness patterns below over
+   their propositions and actions, and [suite] refuses to return a rule
+   book unless lib/analysis finds nothing to say about it — every
+   specification satisfiable (SPEC001) and falsifiable (SPEC002), no
+   pairwise implication (SPEC003), every antecedent triggerable in the
+   universal model (SPEC004), and the model itself total and covering
+   every spec atom (MDL001/MDL002). *)
+
+module Ltl = Dpoaf_logic.Ltl
+module Symbol = Dpoaf_logic.Symbol
+module Diagnostic = Dpoaf_analysis.Diagnostic
+
+type pattern =
+  | Never of { trigger : Ltl.t; action : string }
+  | Requires of { action : string; condition : Ltl.t }
+  | Responds of { trigger : Ltl.t; action : string }
+  | Liveness of { enable : Ltl.t; hold : string }
+  | Coverage of string list
+
+exception Rejected of { domain : string; diagnostics : string list }
+
+let () =
+  Printexc.register_printer (function
+    | Rejected { domain; diagnostics } ->
+        Some
+          (Printf.sprintf "Spec_gen.Rejected(%s):\n  %s" domain
+             (String.concat "\n  " diagnostics))
+    | _ -> None)
+
+let instantiate = function
+  | Never { trigger; action } ->
+      Ltl.always (Ltl.implies trigger (Ltl.neg (Ltl.atom action)))
+  | Requires { action; condition } ->
+      Ltl.always (Ltl.implies (Ltl.atom action) condition)
+  | Responds { trigger; action } ->
+      Ltl.always (Ltl.implies trigger (Ltl.eventually (Ltl.atom action)))
+  | Liveness { enable; hold } ->
+      Ltl.implies (Ltl.eventually enable)
+        (Ltl.eventually (Ltl.neg (Ltl.atom hold)))
+  | Coverage actions -> Ltl.always (Ltl.disj (List.map Ltl.atom actions))
+
+let name_suite formulas =
+  List.mapi (fun i phi -> (Printf.sprintf "phi_%d" (i + 1), phi)) formulas
+
+let gate ~domain ~model ~free specs =
+  let diagnostics =
+    Dpoaf_analysis.Spec_sanity.check ~model ~free ~pairwise:true specs
+    @ Dpoaf_analysis.Model_lint.lint ~specs ~ignore:free ~coverage:true model
+  in
+  if diagnostics <> [] then
+    raise
+      (Rejected
+         {
+           domain;
+           diagnostics =
+             List.map Diagnostic.to_string (Diagnostic.sort diagnostics);
+         })
+
+let suite ~domain ~model ~actions patterns =
+  let specs = name_suite (List.map instantiate patterns) in
+  gate ~domain ~model ~free:(Symbol.of_atoms actions) specs;
+  specs

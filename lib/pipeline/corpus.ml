@@ -1,5 +1,4 @@
-module Tasks = Dpoaf_driving.Tasks
-module Responses = Dpoaf_driving.Responses
+module Domain = Dpoaf_domain.Domain
 module Vocab = Dpoaf_lm.Vocab
 module Grammar = Dpoaf_lm.Grammar
 module Pretrain = Dpoaf_lm.Pretrain
@@ -7,23 +6,29 @@ module Model = Dpoaf_lm.Model
 module Rng = Dpoaf_util.Rng
 
 type task_setup = {
-  task : Tasks.t;
+  task : Domain.task;
   prompt : int list;
   grammar : Grammar.t;
   min_clauses : int;
   max_clauses : int;
 }
 
-type t = { vocab : Vocab.t; setups : task_setup list }
+type t = { domain : Domain.t; vocab : Vocab.t; setups : task_setup list }
 
 let min_clauses = 1
 let max_clauses = 5
 
-let build () =
+let build ?domain () =
+  let domain =
+    match domain with
+    | Some d -> d
+    | None -> Dpoaf_domain.find_exn Dpoaf_domain.default
+  in
+  let (module D : Domain.S) = domain in
   let texts =
     List.concat_map
-      (fun task -> Tasks.query_text task :: Responses.candidate_steps task)
-      Tasks.all
+      (fun task -> Domain.query_text task :: Domain.candidate_steps domain task)
+      D.tasks
   in
   let vocab = Vocab.of_texts texts in
   let setups =
@@ -31,20 +36,29 @@ let build () =
       (fun task ->
         {
           task;
-          prompt = Vocab.encode vocab (Tasks.query_text task);
-          grammar = Grammar.of_clauses vocab (Responses.candidate_steps task);
+          prompt = Vocab.encode vocab (Domain.query_text task);
+          grammar = Grammar.of_clauses vocab (Domain.candidate_steps domain task);
           min_clauses;
           max_clauses;
         })
-      Tasks.all
+      D.tasks
   in
-  { vocab; setups }
+  { domain; vocab; setups }
 
-let setup t task =
-  List.find (fun s -> s.task.Tasks.id = task.Tasks.id) t.setups
+let setup t task = List.find (fun s -> s.task.Domain.id = task.Domain.id) t.setups
+
+let setup_by_id t id =
+  match List.find_opt (fun s -> s.task.Domain.id = id) t.setups with
+  | Some s -> s
+  | None ->
+      failwith
+        (Printf.sprintf "unknown task %S in domain %S (valid: %s)" id
+           (Domain.name t.domain)
+           (String.concat ", "
+              (List.map (fun s -> s.task.Domain.id) t.setups)))
 
 let setups_of_split t split =
-  List.filter (fun s -> s.task.Tasks.split = split) t.setups
+  List.filter (fun s -> s.task.Domain.split = split) t.setups
 
 let steps_of_tokens t tokens = Grammar.steps_of_tokens t.vocab tokens
 
@@ -54,31 +68,32 @@ let steps_of_tokens t tokens = Grammar.steps_of_tokens t.vocab tokens
    landing the pre-trained model near the paper's ≈60% starting point);
    the rest prepend one or two observations to a final step of mixed
    quality. *)
-let synth_response rng setup =
-  let observations = Responses.observations setup.task in
-  let finals = Responses.finals setup.task in
-  let with_quality q = List.filter (fun s -> s.Responses.quality = q) finals in
+let synth_response rng t setup =
+  let (module D : Domain.S) = t.domain in
+  let observations = D.observations setup.task in
+  let finals = D.finals setup.task in
+  let with_quality q = List.filter (fun s -> s.Domain.quality = q) finals in
   let pick_final weights =
     let pools =
       List.filter_map
         (fun (steps, w) -> if steps = [] then None else Some (steps, w))
         weights
     in
-    (Rng.choice_list rng (Rng.weighted rng pools)).Responses.text
+    (Rng.choice_list rng (Rng.weighted rng pools)).Domain.text
   in
   if Rng.bool rng 0.55 then
     (* careless: action step only *)
     [
       pick_final
-        [ (with_quality Responses.Bad, 0.6); (with_quality Responses.Risky, 0.4) ];
+        [ (with_quality Domain.Bad, 0.6); (with_quality Domain.Risky, 0.4) ];
     ]
   else begin
     let final =
       pick_final
         [
-          (with_quality Responses.Good, 0.35);
-          (with_quality Responses.Risky, 0.40);
-          (with_quality Responses.Bad, 0.25);
+          (with_quality Domain.Good, 0.35);
+          (with_quality Domain.Risky, 0.40);
+          (with_quality Domain.Bad, 0.25);
         ]
     in
     let n_obs = 1 + Rng.int rng 2 in
@@ -86,14 +101,14 @@ let synth_response rng setup =
       Array.to_list
         (Rng.sample_without_replacement rng n_obs (Array.of_list observations))
     in
-    List.map (fun s -> s.Responses.text) obs @ [ final ]
+    List.map (fun s -> s.Domain.text) obs @ [ final ]
   end
 
 let pretraining_examples t rng ~per_task =
   List.concat_map
     (fun setup ->
       List.init per_task (fun _ ->
-          let steps = synth_response rng setup in
+          let steps = synth_response rng t setup in
           {
             Pretrain.prompt = setup.prompt;
             tokens = Grammar.tokens_of_steps t.vocab steps;

@@ -1,5 +1,6 @@
 (** Shared vocabulary, per-task grammars and the synthetic pre-training
-    corpus — the ingredients of the "pre-trained language model".
+    corpus — the ingredients of the "pre-trained language model" — for
+    any registered domain pack (driving by default).
 
     The corpus mixes careful, partially careful and careless responses in
     fixed proportions, so that the MLE-trained model reproduces the paper's
@@ -7,23 +8,30 @@
     specifications before fine-tuning. *)
 
 type task_setup = {
-  task : Dpoaf_driving.Tasks.t;
+  task : Dpoaf_domain.Domain.task;
   prompt : int list;  (** encoded task query *)
   grammar : Dpoaf_lm.Grammar.t;
   min_clauses : int;
   max_clauses : int;
 }
 
-type t = private { vocab : Dpoaf_lm.Vocab.t; setups : task_setup list }
+type t = private {
+  domain : Dpoaf_domain.Domain.t;
+  vocab : Dpoaf_lm.Vocab.t;
+  setups : task_setup list;
+}
 
-val build : unit -> t
-(** One setup per task in {!Dpoaf_driving.Tasks.all}; the vocabulary covers
-    all prompts and candidate steps. *)
+val build : ?domain:Dpoaf_domain.Domain.t -> unit -> t
+(** One setup per task in the domain (default: the driving pack); the
+    vocabulary covers all prompts and candidate steps. *)
 
-val setup : t -> Dpoaf_driving.Tasks.t -> task_setup
+val setup : t -> Dpoaf_domain.Domain.task -> task_setup
 (** @raise Not_found for tasks outside the setup list. *)
 
-val setups_of_split : t -> Dpoaf_driving.Tasks.split -> task_setup list
+val setup_by_id : t -> string -> task_setup
+(** @raise Failure for unknown task ids, listing the valid ids. *)
+
+val setups_of_split : t -> Dpoaf_domain.Domain.split -> task_setup list
 
 val steps_of_tokens : t -> int list -> string list
 (** Decode a response into step sentences. *)

@@ -1,4 +1,4 @@
-module Tasks = Dpoaf_driving.Tasks
+module Domain = Dpoaf_domain.Domain
 module Model = Dpoaf_lm.Model
 module Sampler = Dpoaf_lm.Sampler
 module Pref_data = Dpoaf_dpo.Pref_data
@@ -30,7 +30,7 @@ let default_config =
    out across the pool, order-preserved by [parallel_map]. *)
 let sample_scored ?(harden = false) ?jobs corpus feedback model rng ~m ~temperature
     setup =
-  let task = setup.Corpus.task.Tasks.id in
+  let task = setup.Corpus.task.Domain.id in
   let sampled =
     Trace.with_span ~cat:"pipeline" ~attrs:[ ("task", task) ] "pipeline.sample"
       (fun () ->
@@ -70,7 +70,7 @@ let collect_pairs ?jobs corpus feedback model rng ~m ?(temperature = 1.0) split 
             sample_scored ?jobs corpus feedback model rng ~m ~temperature setup
           in
           let pairs =
-            Pref_data.pairs_of_scored ~task_id:setup.Corpus.task.Tasks.id
+            Pref_data.pairs_of_scored ~task_id:setup.Corpus.task.Domain.id
               ~prompt:setup.Corpus.prompt ~grammar:setup.Corpus.grammar
               ~min_clauses:setup.Corpus.min_clauses
               ~max_clauses:setup.Corpus.max_clauses scored
@@ -123,14 +123,14 @@ let run_iterative ?(config = default_config) ?jobs ~rounds ~corpus ~feedback
       mean_specs_satisfied ?jobs corpus feedback policy (Rng.split rng)
         ~samples:config.eval_samples ~temperature:config.temperature split
     in
-    (score Tasks.Training, score Tasks.Validation)
+    (score Domain.Training, score Domain.Validation)
   in
   let rec go round policy acc =
     if round > rounds then (List.rev acc, policy)
     else begin
       let pairs =
         collect_pairs ?jobs corpus feedback policy rng ~m:config.responses_per_task
-          ~temperature:config.temperature Tasks.Training
+          ~temperature:config.temperature Domain.Training
       in
       (* each round anchors the DPO reference at the current policy *)
       let run = Trainer.train ~reference:policy ~pairs config.trainer ~seed:round in
@@ -158,7 +158,8 @@ let reinforce_tasks corpus feedback split =
         max_clauses = setup.Corpus.max_clauses;
         reward =
           (fun tokens ->
-            float_of_int (Feedback.score_tokens feedback ~corpus setup tokens) /. 15.0);
+            float_of_int (Feedback.score_tokens feedback ~corpus setup tokens)
+            /. float_of_int (Domain.spec_count corpus.Corpus.domain));
       })
     (Corpus.setups_of_split corpus split)
 
@@ -166,7 +167,7 @@ let run ?(config = default_config) ?jobs ?sink ~corpus ~feedback ~reference ~see
     rng =
   let pairs =
     collect_pairs ?jobs corpus feedback reference rng ~m:config.responses_per_task
-      ~temperature:config.temperature Tasks.Training
+      ~temperature:config.temperature Domain.Training
   in
   let runs =
     Trace.with_span ~cat:"pipeline" "pipeline.train" @@ fun () ->
@@ -185,8 +186,8 @@ let run ?(config = default_config) ?jobs ?sink ~corpus ~feedback ~reference ~see
             in
             {
               epoch;
-              training_score = eval Tasks.Training;
-              validation_score = eval Tasks.Validation;
+              training_score = eval Domain.Training;
+              validation_score = eval Domain.Validation;
             })
           first.Trainer.checkpoints
   in

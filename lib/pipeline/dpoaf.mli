@@ -21,7 +21,7 @@ val collect_pairs :
   Dpoaf_util.Rng.t ->
   m:int ->
   ?temperature:float ->
-  Dpoaf_driving.Tasks.split ->
+  Dpoaf_domain.Domain.split ->
   Dpoaf_dpo.Pref_data.pair list
 (** Sample [m] responses per task of the split, score each by formal
     verification, and mine all distinct-score pairs (§4.3).
@@ -40,9 +40,9 @@ val mean_specs_satisfied :
   Dpoaf_util.Rng.t ->
   samples:int ->
   ?temperature:float ->
-  Dpoaf_driving.Tasks.split ->
+  Dpoaf_domain.Domain.split ->
   float
-(** Average number of the 15 specifications satisfied by responses sampled
+(** Average number of the domain’s specifications satisfied by responses sampled
     from the model, over the split's tasks — the y-axis of Figure 9.
     With [~harden:true] each response's controller is first repaired with
     {!Dpoaf_lang.Repair.harden} (the post-hoc baseline). *)
@@ -71,9 +71,9 @@ val run_iterative :
   round_eval list * Dpoaf_lm.Model.t
 
 val reinforce_tasks :
-  Corpus.t -> Feedback.t -> Dpoaf_driving.Tasks.split -> Dpoaf_dpo.Reinforce.task list
+  Corpus.t -> Feedback.t -> Dpoaf_domain.Domain.split -> Dpoaf_dpo.Reinforce.task list
 (** Verifier-reward tasks for the {!Dpoaf_dpo.Reinforce} baseline
-    (reward = satisfied/15). *)
+    (reward = satisfied / spec count). *)
 
 type checkpoint_eval = {
   epoch : int;

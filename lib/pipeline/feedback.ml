@@ -1,6 +1,4 @@
-module Evaluate = Dpoaf_driving.Evaluate
-module Models = Dpoaf_driving.Models
-module Tasks = Dpoaf_driving.Tasks
+module Domain = Dpoaf_domain.Domain
 module Cache = Dpoaf_exec.Cache
 module Metrics = Dpoaf_exec.Metrics
 module Trace = Dpoaf_exec.Trace
@@ -15,80 +13,120 @@ type profile = {
 }
 
 type t = {
+  domain : Domain.t;
   model : Dpoaf_automata.Ts.t;
   cache : (key, profile) Cache.t;
+  spec_names : string list;
+  (* aggregate across domains + a per-domain twin, so `dpoaf_cli report`
+     can break the feedback tables down by domain *)
+  responses_scored_dom : Metrics.counter;
+  score_latency_dom : Metrics.histogram;
+  violation_counters : (string * Metrics.counter) list;
+  violation_counters_dom : (string * Metrics.counter) list;
 }
-
-let spec_names = List.map fst Dpoaf_driving.Specs.all
 
 let responses_scored = Metrics.counter "feedback.responses_scored"
 let score_latency = Metrics.histogram "feedback.score"
 
-(* one violation counter per rule-book specification, interned once at
-   module init (single-domain), sampled by `dpoaf_cli report` *)
-let violation_counters =
-  List.map (fun n -> (n, Metrics.counter ("feedback.violations." ^ n))) spec_names
-
-let profile_of_eval (p : Evaluate.profile) =
+let profile_of_domain t (p : Domain.profile) =
   {
-    satisfied = p.Evaluate.satisfied;
+    satisfied = p.Domain.satisfied;
     violated =
-      List.filter (fun n -> not (List.mem n p.Evaluate.satisfied)) spec_names;
-    vacuous = p.Evaluate.vacuous;
+      List.filter (fun n -> not (List.mem n p.Domain.satisfied)) t.spec_names;
+    vacuous = p.Domain.vacuous;
   }
 
-let create ?model () =
-  let model = match model with Some m -> m | None -> Models.universal () in
+let create ?model ?domain () =
+  let domain =
+    match domain with
+    | Some d -> d
+    | None -> Dpoaf_domain.find_exn Dpoaf_domain.default
+  in
+  let (module D : Domain.S) = domain in
+  let model = match model with Some m -> m | None -> D.universal () in
   (* Pre-build shared read-only structures so worker domains never race on
      their first-use initialization. *)
-  ignore (Evaluate.lexicon ());
-  { model; cache = Cache.create ~name:"feedback.scores" () }
+  ignore (D.lexicon ());
+  let spec_names = Domain.spec_names domain in
+  {
+    domain;
+    model;
+    cache = Cache.create ~name:"feedback.scores" ();
+    spec_names;
+    responses_scored_dom =
+      Metrics.counter (Printf.sprintf "feedback.responses_scored.%s" D.name);
+    score_latency_dom =
+      Metrics.histogram (Printf.sprintf "feedback.score.%s" D.name);
+    violation_counters =
+      List.map
+        (fun n -> (n, Metrics.counter ("feedback.violations." ^ n)))
+        spec_names;
+    violation_counters_dom =
+      List.map
+        (fun n ->
+          ( n,
+            Metrics.counter
+              (Printf.sprintf "feedback.violations.%s.%s" D.name n) ))
+        spec_names;
+  }
+
+let domain t = t.domain
 
 let score_steps t ~task_id:_ steps =
-  Evaluate.count_specs_of_steps ~model:t.model steps
+  let (module D : Domain.S) = t.domain in
+  List.length (D.profile_of_steps ~model:t.model steps).Domain.satisfied
 
 let profile_of_clauses t clauses =
+  let (module D : Domain.S) = t.domain in
   let controller = Dpoaf_lang.Glm2fsa.controller ~name:"response" clauses in
-  Evaluate.profile_of_controller ~model:t.model controller
+  D.profile_of_controller ~model:t.model controller
 
 (* Every scoring request passes through here: the span and the per-spec
    violation counters fire per request (hit or miss), reflecting the
-   sampled response distribution; the latency histogram observes only
+   sampled response distribution; the latency histograms observe only
    actual verification work (cache misses). *)
 let cached t ~task_id key compute =
   Metrics.incr responses_scored;
+  Metrics.incr t.responses_scored_dom;
   Trace.with_span ~cat:"feedback" ~attrs:[ ("task", task_id) ] "feedback.score"
     (fun () ->
       let p =
         Cache.find_or_add t.cache key (fun () ->
             let t0 = Unix.gettimeofday () in
-            let eval_profile = compute () in
-            Metrics.observe score_latency (Unix.gettimeofday () -. t0);
-            profile_of_eval eval_profile)
+            let domain_profile = compute () in
+            let dt = Unix.gettimeofday () -. t0 in
+            Metrics.observe score_latency dt;
+            Metrics.observe t.score_latency_dom dt;
+            profile_of_domain t domain_profile)
       in
       List.iter
-        (fun name -> Metrics.incr (List.assoc name violation_counters))
+        (fun name ->
+          Metrics.incr (List.assoc name t.violation_counters);
+          Metrics.incr (List.assoc name t.violation_counters_dom))
         p.violated;
       p)
 
-let clauses_of_tokens corpus tokens =
+let clauses_of_tokens t corpus tokens =
+  let (module D : Domain.S) = t.domain in
   let steps = Corpus.steps_of_tokens corpus tokens in
-  fst (Dpoaf_lang.Step_parser.parse_steps (Evaluate.lexicon ()) steps)
+  fst (Dpoaf_lang.Step_parser.parse_steps (D.lexicon ()) steps)
 
 let profile_tokens t ~corpus setup tokens =
-  let task_id = setup.Corpus.task.Tasks.id in
+  let (module D : Domain.S) = t.domain in
+  let task_id = setup.Corpus.task.Domain.id in
   cached t ~task_id (task_id, tokens, false) (fun () ->
       let steps = Corpus.steps_of_tokens corpus tokens in
-      Evaluate.profile_of_steps ~model:t.model steps)
+      D.profile_of_steps ~model:t.model steps)
 
 let profile_tokens_hardened t ~corpus setup tokens =
-  let task_id = setup.Corpus.task.Tasks.id in
+  let (module D : Domain.S) = t.domain in
+  let task_id = setup.Corpus.task.Domain.id in
   cached t ~task_id (task_id, tokens, true) (fun () ->
-      let clauses = clauses_of_tokens corpus tokens in
+      let clauses = clauses_of_tokens t corpus tokens in
       let hardened =
         Dpoaf_lang.Repair.harden
-          ~specs:(List.map snd Dpoaf_driving.Specs.all)
-          ~all_actions:Dpoaf_driving.Vocab.actions clauses
+          ~specs:(List.map snd (D.specs ()))
+          ~all_actions:D.actions clauses
       in
       profile_of_clauses t hardened)
 

@@ -5,19 +5,22 @@
     specifications (§4.2).  Distinct responses recur constantly across
     sampling rounds and checkpoints, so verdicts are cached by
     (task, tokens) — and the cached value is the full {e profile} (which
-    of the 15 specifications were satisfied and which violated), not just
-    the count, so every preference pair can be explained after the fact.
+    of the rule book's specifications were satisfied and which violated),
+    not just the count, so every preference pair can be explained after
+    the fact.
 
     Telemetry: each scoring request runs inside a [feedback.score] span
     (when {!Dpoaf_exec.Trace} is enabled), actual verification work (cache
-    misses) feeds the [feedback.score] latency histogram, and every
-    violated specification bumps its [feedback.violations.<spec>] counter
-    — the source of the spec-violation histogram in [dpoaf_cli report]. *)
+    misses) feeds the [feedback.score] latency histogram plus its
+    per-domain twin [feedback.score.<domain>], and every violated
+    specification bumps both [feedback.violations.<spec>] and
+    [feedback.violations.<domain>.<spec>] — the sources of the
+    spec-violation tables in [dpoaf_cli report]. *)
 
 type t
 
 type profile = {
-  satisfied : string list;  (** spec names, in rule-book (Φ1..Φ15) order *)
+  satisfied : string list;  (** spec names, in rule-book order *)
   violated : string list;  (** the complementary names, same order *)
   vacuous : string list;
       (** subset of [satisfied] holding only vacuously — the antecedent of
@@ -25,17 +28,22 @@ type profile = {
           ({!Dpoaf_analysis.Vacuity}); such "satisfactions" carry no
           information about the response's behaviour *)
 }
-(** Which of the 15 specifications a response's controller satisfied.
-    Invariant: [satisfied] and [violated] partition the rule book, so
-    [List.length satisfied] is exactly the response's score;
+(** Which of the domain's specifications a response's controller
+    satisfied.  Invariant: [satisfied] and [violated] partition the rule
+    book, so [List.length satisfied] is exactly the response's score;
     [vacuous ⊆ satisfied]. *)
 
-val create : ?model:Dpoaf_automata.Ts.t -> unit -> t
-(** [model] defaults to the universal model (the paper integrates all
-    scenario models for verification). *)
+val create :
+  ?model:Dpoaf_automata.Ts.t -> ?domain:Dpoaf_domain.Domain.t -> unit -> t
+(** [domain] defaults to the driving pack; [model] defaults to the
+    domain's universal model (the paper integrates all scenario models
+    for verification). *)
+
+val domain : t -> Dpoaf_domain.Domain.t
 
 val score_steps : t -> task_id:string -> string list -> int
-(** Number of the 15 specifications satisfied by the steps' controller. *)
+(** Number of the domain's specifications satisfied by the steps'
+    controller. *)
 
 val profile_tokens : t -> corpus:Corpus.t -> Corpus.task_setup -> int list -> profile
 (** Verify a token-level response and return its full spec profile

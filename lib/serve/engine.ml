@@ -3,75 +3,113 @@
    only on the request contents (generation is seeded per request, and
    verification is a deterministic model-checking run), which is what lets
    {!Server} batch requests in arrival order on any number of workers and
-   still return bit-identical responses. *)
+   still return bit-identical responses.
 
-module Models = Dpoaf_driving.Models
-module Tasks = Dpoaf_driving.Tasks
-module Evaluate = Dpoaf_driving.Evaluate
-module Specs = Dpoaf_driving.Specs
+   One engine serves any number of domain packs: each request may name
+   its domain (default: the engine's first/default pack), and every pack
+   keeps its own corpus, sampling snapshot, prompt-state cache
+   ([serve.prompt_state.<domain>]) and request counter
+   ([serve.requests.<domain>]). *)
+
+module Domain = Dpoaf_domain.Domain
 module Corpus = Dpoaf_pipeline.Corpus
 module Sampler = Dpoaf_lm.Sampler
 module Rng = Dpoaf_util.Rng
+module Metrics = Dpoaf_exec.Metrics
 
-type t = {
+type domain_state = {
+  domain : Domain.t;
   corpus : Corpus.t;
   snapshot : Sampler.snapshot option;  (* None: generation unavailable *)
   prompt_states : (int list, Sampler.state) Dpoaf_exec.Cache.t;
       (* repeated-prompt batches skip the prompt fold: states are immutable
          and a deterministic function of the prompt (the snapshot is fixed
          for the server's lifetime), so cache hits cannot change replies *)
+  requests : Metrics.counter;
 }
 
-let spec_names = List.map fst Specs.all
+type t = { states : (string * domain_state) list; default : string }
 
-let scenario_names =
-  List.map Models.scenario_name Models.all_scenarios @ [ "universal" ]
-
-let create ?lm ~corpus () =
+let domain_state ?lm corpus =
+  let (module D : Domain.S) = corpus.Corpus.domain in
   (* Pre-build the shared read-only structures (lexicon, world models) on
      the calling domain so pool workers never race on first-use init. *)
-  ignore (Evaluate.lexicon ());
-  ignore (Models.universal ());
-  List.iter (fun sc -> ignore (Models.model sc)) Models.all_scenarios;
+  ignore (D.lexicon ());
+  ignore (D.universal ());
+  List.iter (fun sc -> ignore (D.model sc)) D.scenarios;
   {
+    domain = corpus.Corpus.domain;
     corpus;
     snapshot = Option.map Sampler.snapshot lm;
     prompt_states =
-      Dpoaf_exec.Cache.create ~capacity:256 ~name:"serve.prompt_state" ();
+      Dpoaf_exec.Cache.create ~capacity:256
+        ~name:(Printf.sprintf "serve.prompt_state.%s" D.name)
+        ();
+    requests = Metrics.counter (Printf.sprintf "serve.requests.%s" D.name);
   }
 
-let model_of_scenario = function
-  | None -> Ok (Models.universal ())
-  | Some "universal" -> Ok (Models.universal ())
+let create ?lm ~corpus () =
+  let st = domain_state ?lm corpus in
+  let name = Domain.name corpus.Corpus.domain in
+  { states = [ (name, st) ]; default = name }
+
+let create_multi packs =
+  match packs with
+  | [] -> invalid_arg "Engine.create_multi: no domains"
+  | _ ->
+      let states =
+        List.map
+          (fun (lm, corpus) ->
+            (Domain.name corpus.Corpus.domain, domain_state ?lm corpus))
+          packs
+      in
+      let names = List.map fst states in
+      List.iteri
+        (fun i n ->
+          if List.exists (fun m -> m = n) (List.filteri (fun j _ -> j < i) names)
+          then
+            invalid_arg
+              (Printf.sprintf "Engine.create_multi: duplicate domain %S" n))
+        names;
+      { states; default = fst (List.hd states) }
+
+let domains t = List.map fst t.states
+
+let state_for t = function
+  | None -> Ok (List.assoc t.default t.states)
   | Some name -> (
-      match Models.scenario_of_name name with
-      | Some sc -> Ok (Models.model sc)
+      match List.assoc_opt name t.states with
+      | Some st -> Ok st
       | None ->
           Error
-            (Printf.sprintf "unknown scenario %S (valid: %s)" name
-               (String.concat ", " scenario_names)))
+            (Printf.sprintf "domain %S not served (serving: %s)" name
+               (String.concat ", " (List.map fst t.states))))
 
-let profile_of_steps ~model steps : Protocol.profile =
-  let p = Evaluate.profile_of_steps ~model steps in
+let profile_of_steps st ~model steps : Protocol.profile =
+  let (module D : Domain.S) = st.domain in
+  let spec_names = Domain.spec_names st.domain in
+  let p = D.profile_of_steps ~model steps in
   {
-    Protocol.score = List.length p.Evaluate.satisfied;
-    satisfied = p.Evaluate.satisfied;
+    Protocol.score = List.length p.Domain.satisfied;
+    satisfied = p.Domain.satisfied;
     violated =
-      List.filter (fun n -> not (List.mem n p.Evaluate.satisfied)) spec_names;
-    vacuous = p.Evaluate.vacuous;
+      List.filter (fun n -> not (List.mem n p.Domain.satisfied)) spec_names;
+    vacuous = p.Domain.vacuous;
   }
 
 (* validate the request itself before reporting server-side limitations,
    so a typo'd task id gets the precise error even on a verify-only
    server *)
-let generate t ~task ~seed ~temperature : Protocol.body =
-  match List.find_opt (fun tk -> tk.Tasks.id = task) Tasks.all with
+let generate st ~task ~seed ~temperature : Protocol.body =
+  let (module D : Domain.S) = st.domain in
+  match Domain.find_task st.domain task with
   | None ->
       Protocol.Failed
         (Printf.sprintf "unknown task %S (valid: %s)" task
-           (String.concat ", " (List.map (fun tk -> tk.Tasks.id) Tasks.all)))
+           (String.concat ", "
+              (List.map (fun (tk : Domain.task) -> tk.Domain.id) D.tasks)))
   | Some tk -> (
-      match t.snapshot with
+      match st.snapshot with
       | None ->
           Protocol.Failed
             "generation unavailable: the server was started without a \
@@ -80,10 +118,10 @@ let generate t ~task ~seed ~temperature : Protocol.body =
           if temperature <= 0.0 then
             Protocol.Failed "temperature must be positive"
           else begin
-            let setup = Corpus.setup t.corpus tk in
+            let setup = Corpus.setup st.corpus tk in
             let rng = Rng.create seed in
             let state =
-              Dpoaf_exec.Cache.find_or_add t.prompt_states setup.Corpus.prompt
+              Dpoaf_exec.Cache.find_or_add st.prompt_states setup.Corpus.prompt
                 (fun () ->
                   Sampler.prompt_state snapshot ~prompt:setup.Corpus.prompt)
             in
@@ -93,24 +131,22 @@ let generate t ~task ~seed ~temperature : Protocol.body =
                 ~min_clauses:setup.Corpus.min_clauses
                 ~max_clauses:setup.Corpus.max_clauses ~temperature ()
             in
-            let steps = Corpus.steps_of_tokens t.corpus tokens in
-            let profile =
-              profile_of_steps ~model:(Models.universal ()) steps
-            in
+            let steps = Corpus.steps_of_tokens st.corpus tokens in
+            let profile = profile_of_steps st ~model:(D.universal ()) steps in
             Protocol.Generated { steps; tokens; profile }
           end)
 
-let verify ~scenario steps : Protocol.body =
-  match model_of_scenario scenario with
+let verify st ~scenario steps : Protocol.body =
+  match Domain.model_of_scenario st.domain scenario with
   | Error msg -> Protocol.Failed msg
-  | Ok model -> Protocol.Verified (profile_of_steps ~model steps)
+  | Ok model -> Protocol.Verified (profile_of_steps st ~model steps)
 
-let score_pair ~scenario steps_a steps_b : Protocol.body =
-  match model_of_scenario scenario with
+let score_pair st ~scenario steps_a steps_b : Protocol.body =
+  match Domain.model_of_scenario st.domain scenario with
   | Error msg -> Protocol.Failed msg
   | Ok model ->
-      let profile_a = profile_of_steps ~model steps_a in
-      let profile_b = profile_of_steps ~model steps_b in
+      let profile_a = profile_of_steps st ~model steps_a in
+      let profile_b = profile_of_steps st ~model steps_b in
       let winner, loser, preference =
         if profile_a.Protocol.score > profile_b.Protocol.score then
           (Some profile_a, Some profile_b, "a")
@@ -147,9 +183,17 @@ let score_pair ~scenario steps_a steps_b : Protocol.body =
         }
 
 let handle t (req : Protocol.request) : Protocol.body =
+  let dispatch domain run =
+    match state_for t domain with
+    | Error msg -> Protocol.Failed msg
+    | Ok st ->
+        Metrics.incr st.requests;
+        run st
+  in
   match req.Protocol.kind with
-  | Protocol.Generate { task; seed; temperature } ->
-      generate t ~task ~seed ~temperature
-  | Protocol.Verify { steps; scenario } -> verify ~scenario steps
-  | Protocol.Score_pair { steps_a; steps_b; scenario } ->
-      score_pair ~scenario steps_a steps_b
+  | Protocol.Generate { task; seed; temperature; domain } ->
+      dispatch domain (fun st -> generate st ~task ~seed ~temperature)
+  | Protocol.Verify { steps; scenario; domain } ->
+      dispatch domain (fun st -> verify st ~scenario steps)
+  | Protocol.Score_pair { steps_a; steps_b; scenario; domain } ->
+      dispatch domain (fun st -> score_pair st ~scenario steps_a steps_b)

@@ -4,24 +4,39 @@
     reusing the batch pipeline's stages: [generate] samples a
     grammar-constrained response from the language model (seeded per
     request, so the reply is deterministic); [verify] compiles the steps
-    with GLM2FSA and model-checks the 15-rule book (memoized through
-    {!Dpoaf_exec.Cache}, vacuity-aware via the profile's [vacuous] set);
-    [score_pair] verifies both sides and emits the paper's
-    automated-feedback preference with its formal justification.
+    with GLM2FSA and model-checks the domain's rule book (memoized
+    through {!Dpoaf_exec.Cache}, vacuity-aware via the profile's
+    [vacuous] set); [score_pair] verifies both sides and emits the
+    paper's automated-feedback preference with its formal justification.
+
+    One engine can serve several domain packs at once; a request selects
+    its pack via the protocol's optional [domain] field (default: the
+    engine's first pack).  Each pack keeps its own corpus, sampling
+    snapshot, prompt-state cache ([serve.prompt_state.<domain>]) and
+    request counter ([serve.requests.<domain>]).
 
     Replies depend only on request contents — never on batching, arrival
     order or worker count — which is what lets {!Server} parallelize
     freely while staying bit-deterministic.  Domain errors (unknown task,
-    unknown scenario, missing model) come back as {!Protocol.Failed}
-    bodies, not exceptions. *)
+    unknown scenario, unserved domain, missing model) come back as
+    {!Protocol.Failed} bodies, not exceptions. *)
 
 type t
 
 val create : ?lm:Dpoaf_lm.Model.t -> corpus:Dpoaf_pipeline.Corpus.t -> unit -> t
-(** Capture a sampling snapshot of [lm] (omit it to serve verification
-    only: [generate] requests then fail gracefully) and pre-build the
-    shared lexicon and world models so pool workers never race on
-    first-use initialization. *)
+(** Single-domain engine for the corpus's pack.  Captures a sampling
+    snapshot of [lm] (omit it to serve verification only: [generate]
+    requests then fail gracefully) and pre-builds the shared lexicon and
+    world models so pool workers never race on first-use
+    initialization. *)
+
+val create_multi : (Dpoaf_lm.Model.t option * Dpoaf_pipeline.Corpus.t) list -> t
+(** Multi-domain engine; the first pack is the default for requests
+    without a [domain] field.
+    @raise Invalid_argument on an empty list or duplicate domains. *)
+
+val domains : t -> string list
+(** Served domain names, default first. *)
 
 val handle : t -> Protocol.request -> Protocol.body
 (** Execute one request.  Safe to call concurrently from any domain. *)

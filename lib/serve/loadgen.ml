@@ -12,9 +12,7 @@
 
 module Metrics = Dpoaf_exec.Metrics
 module Rng = Dpoaf_util.Rng
-module Tasks = Dpoaf_driving.Tasks
-module Responses = Dpoaf_driving.Responses
-module Models = Dpoaf_driving.Models
+module Domain = Dpoaf_domain.Domain
 
 type mix = { generate : float; verify : float; score_pair : float }
 
@@ -26,6 +24,7 @@ type config = {
   duration_s : float;
   mix : mix;
   deadline_ms : float option;
+  domain : string option;
   seed : int;
 }
 
@@ -36,6 +35,7 @@ let default_config =
     duration_s = 2.0;
     mix = default_mix;
     deadline_ms = None;
+    domain = None;
     seed = 0;
   }
 
@@ -56,20 +56,23 @@ type report = {
 
 let latency_h = Metrics.histogram "loadgen.latency"
 
-(* ---------------- request synthesis ---------------- *)
+(* ---------------- request synthesis ----------------
 
-let random_task rng = Rng.choice_list rng Tasks.all
+   Traffic is synthesized from one domain pack's tasks and candidate
+   steps; [config.domain = None] targets the server's default pack and
+   omits the wire field entirely (pre-domain traffic shape). *)
 
-let random_steps rng task =
-  let pool = Rng.shuffle_list rng (Responses.candidate_steps task) in
+let random_task pack rng = Rng.choice_list rng (Domain.tasks pack)
+
+let random_steps pack rng task =
+  let pool = Rng.shuffle_list rng (Domain.candidate_steps pack task) in
   let n = 2 + Rng.int rng 3 in
   List.filteri (fun i _ -> i < n) pool
 
-let random_scenario rng task =
-  if Rng.bool rng 0.5 then Some (Models.scenario_name task.Tasks.scenario)
-  else None
+let random_scenario rng (task : Domain.task) =
+  if Rng.bool rng 0.5 then Some task.Domain.scenario else None
 
-let synth_kind rng mix =
+let synth_kind pack rng mix ~domain =
   let pick =
     Rng.weighted rng
       [
@@ -78,26 +81,36 @@ let synth_kind rng mix =
         (`Score_pair, mix.score_pair);
       ]
   in
-  let task = random_task rng in
+  let task = random_task pack rng in
   match pick with
   | `Generate ->
       Protocol.Generate
-        { task = task.Tasks.id; seed = Rng.int rng 1_000_000; temperature = 1.0 }
+        {
+          task = task.Domain.id;
+          seed = Rng.int rng 1_000_000;
+          temperature = 1.0;
+          domain;
+        }
   | `Verify ->
       Protocol.Verify
-        { steps = random_steps rng task; scenario = random_scenario rng task }
+        {
+          steps = random_steps pack rng task;
+          scenario = random_scenario rng task;
+          domain;
+        }
   | `Score_pair ->
       Protocol.Score_pair
         {
-          steps_a = random_steps rng task;
-          steps_b = random_steps rng task;
+          steps_a = random_steps pack rng task;
+          steps_b = random_steps pack rng task;
           scenario = random_scenario rng task;
+          domain;
         }
 
-let synth_request rng config i =
+let synth_request pack rng config i =
   {
     Protocol.id = Printf.sprintf "r%06d" i;
-    kind = synth_kind rng config.mix;
+    kind = synth_kind pack rng config.mix ~domain:config.domain;
     deadline_ms = config.deadline_ms;
   }
 
@@ -114,6 +127,10 @@ let validate config =
 
 let run config =
   validate config;
+  let pack =
+    Dpoaf_domain.find_exn
+      (Option.value ~default:Dpoaf_domain.default config.domain)
+  in
   let rng = Rng.create config.seed in
   let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
   Unix.connect fd (Unix.ADDR_UNIX config.socket);
@@ -187,7 +204,7 @@ let run config =
     (* enqueue every request whose open-loop slot has arrived *)
     while !sent < total && now >= start +. (float_of_int !sent /. config.rate)
     do
-      let req = synth_request rng config !sent in
+      let req = synth_request pack rng config !sent in
       outbuf := !outbuf ^ Protocol.request_to_string req ^ "\n";
       Hashtbl.replace outstanding req.Protocol.id (Unix.gettimeofday ());
       incr sent

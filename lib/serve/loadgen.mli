@@ -22,6 +22,10 @@ type config = {
   duration_s : float;  (** send window; [rate * duration_s] requests *)
   mix : mix;
   deadline_ms : float option;  (** attached to every request when set *)
+  domain : string option;
+      (** synthesize traffic from this pack's tasks and tag every request
+          with it; [None] targets the server's default pack and leaves the
+          wire field out *)
   seed : int;  (** drives the whole traffic stream deterministically *)
 }
 

@@ -14,12 +14,18 @@
 module Json = Dpoaf_util.Json
 
 type kind =
-  | Generate of { task : string; seed : int; temperature : float }
-  | Verify of { steps : string list; scenario : string option }
+  | Generate of {
+      task : string;
+      seed : int;
+      temperature : float;
+      domain : string option;
+    }
+  | Verify of { steps : string list; scenario : string option; domain : string option }
   | Score_pair of {
       steps_a : string list;
       steps_b : string list;
       scenario : string option;
+      domain : string option;
     }
 
 type request = { id : string; kind : kind; deadline_ms : float option }
@@ -75,27 +81,36 @@ let json_of_profile p =
 
 let json_of_request r =
   let base =
+    (* optional fields are encoded only when present, so single-domain
+       requests stay byte-identical to the pre-domain protocol *)
+    let jdomain = function
+      | None -> []
+      | Some d -> [ ("domain", Json.str d) ]
+    in
     match r.kind with
-    | Generate { task; seed; temperature } ->
+    | Generate { task; seed; temperature; domain } ->
         [
           ("kind", Json.str "generate");
           ("task", Json.str task);
           ("seed", Json.num (float_of_int seed));
           ("temperature", Json.num temperature);
         ]
-    | Verify { steps; scenario } ->
+        @ jdomain domain
+    | Verify { steps; scenario; domain } ->
         ("kind", Json.str "verify")
         :: ("steps", jstrs steps)
-        :: (match scenario with
-           | None -> []
-           | Some s -> [ ("scenario", Json.str s) ])
-    | Score_pair { steps_a; steps_b; scenario } ->
+        :: ((match scenario with
+            | None -> []
+            | Some s -> [ ("scenario", Json.str s) ])
+           @ jdomain domain)
+    | Score_pair { steps_a; steps_b; scenario; domain } ->
         ("kind", Json.str "score_pair")
         :: ("steps_a", jstrs steps_a)
         :: ("steps_b", jstrs steps_b)
-        :: (match scenario with
-           | None -> []
-           | Some s -> [ ("scenario", Json.str s) ])
+        :: ((match scenario with
+            | None -> []
+            | Some s -> [ ("scenario", Json.str s) ])
+           @ jdomain domain)
   in
   let deadline =
     match r.deadline_ms with
@@ -215,22 +230,26 @@ let kind_of_json j =
       let* task = str_field "task" j in
       let* seed = opt_num_field "seed" j in
       let* temperature = opt_num_field "temperature" j in
+      let* domain = opt_str_field "domain" j in
       Ok
         (Generate
            {
              task;
              seed = (match seed with Some s -> int_of_float s | None -> 0);
              temperature = Option.value ~default:1.0 temperature;
+             domain;
            })
   | "verify" ->
       let* steps = str_list_field "steps" j in
       let* scenario = opt_str_field "scenario" j in
-      Ok (Verify { steps; scenario })
+      let* domain = opt_str_field "domain" j in
+      Ok (Verify { steps; scenario; domain })
   | "score_pair" ->
       let* steps_a = str_list_field "steps_a" j in
       let* steps_b = str_list_field "steps_b" j in
       let* scenario = opt_str_field "scenario" j in
-      Ok (Score_pair { steps_a; steps_b; scenario })
+      let* domain = opt_str_field "domain" j in
+      Ok (Score_pair { steps_a; steps_b; scenario; domain })
   | other ->
       Error
         (Printf.sprintf

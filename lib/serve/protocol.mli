@@ -9,19 +9,33 @@
     guessing. *)
 
 type kind =
-  | Generate of { task : string; seed : int; temperature : float }
+  | Generate of {
+      task : string;
+      seed : int;
+      temperature : float;
+      domain : string option;
+    }
       (** Sample one grammar-constrained response for a task prompt;
           [seed] makes the sample deterministic. *)
-  | Verify of { steps : string list; scenario : string option }
+  | Verify of {
+      steps : string list;
+      scenario : string option;
+      domain : string option;
+    }
       (** Compile the steps with GLM2FSA and model-check the rule book;
           [scenario] selects a single world model ([None] = universal). *)
   | Score_pair of {
       steps_a : string list;
       steps_b : string list;
       scenario : string option;
+      domain : string option;
     }
       (** The automated-feedback oracle: verify both responses and emit a
           preference with its formal justification. *)
+(** Every kind carries an optional [domain] naming the pack that should
+    execute it ([None] = the server's default pack).  Like [scenario],
+    the field is encoded only when present, so single-domain traffic is
+    byte-identical to the pre-domain protocol. *)
 
 type request = {
   id : string;  (** client-chosen correlation id, echoed in the response *)

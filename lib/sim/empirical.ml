@@ -20,7 +20,16 @@ let satisfaction_rate phi words =
 let rollouts_run = Metrics.counter "sim.rollouts"
 let rollout_latency = Metrics.histogram "sim.rollout"
 
-let evaluate ?jobs ?shield ~model ~controller ~specs config =
+let evaluate ?jobs ?shield ?domain ~model ~controller ~specs config =
+  (* per-domain twins of the aggregate rollout metrics, so reports can
+     break simulation cost down by domain *)
+  let rollouts_run_dom, rollout_latency_dom =
+    match domain with
+    | None -> (None, None)
+    | Some d ->
+        ( Some (Metrics.counter (Printf.sprintf "sim.rollouts.%s" d)),
+          Some (Metrics.histogram (Printf.sprintf "sim.rollout.%s" d)) )
+  in
   Span.with_span ~cat:"sim"
     ~attrs:[ ("rollouts", string_of_int config.rollouts) ]
     "sim.evaluate"
@@ -47,10 +56,13 @@ let evaluate ?jobs ?shield ~model ~controller ~specs config =
               Runner.to_symbols
                 (Runner.run ?shield world controller ~steps:config.steps run_rng)
             in
-            Metrics.observe rollout_latency (Unix.gettimeofday () -. t0);
+            let dt = Unix.gettimeofday () -. t0 in
+            Metrics.observe rollout_latency dt;
+            Option.iter (fun h -> Metrics.observe h dt) rollout_latency_dom;
             word)
           (streams 0 [])
       in
       Metrics.add rollouts_run config.rollouts;
+      Option.iter (fun c -> Metrics.add c config.rollouts) rollouts_run_dom;
       Span.with_span ~cat:"sim" "sim.score" @@ fun () ->
       List.map (fun (name, phi) -> (name, satisfaction_rate phi words)) specs)

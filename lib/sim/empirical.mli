@@ -26,13 +26,16 @@ val satisfaction_rate :
 val evaluate :
   ?jobs:int ->
   ?shield:Shield.t ->
+  ?domain:string ->
   model:Dpoaf_automata.Ts.t ->
   controller:Dpoaf_automata.Fsa.t ->
   specs:(string * Dpoaf_logic.Ltl.t) list ->
   config ->
   (string * float) list
 (** Run rollouts once and score every specification on them; with
-    [?shield] the runs are shielded (see {!Shield}).
+    [?shield] the runs are shielded (see {!Shield}).  With [?domain]
+    the aggregate [sim.rollout]/[sim.rollouts] metrics get per-domain
+    twins ([sim.rollout.<domain>], [sim.rollouts.<domain>]).
 
     Rollouts fan out over [?jobs] workers (default
     {!Dpoaf_exec.Pool.default_jobs}); each rollout's RNG streams are split

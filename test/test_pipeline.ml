@@ -1,4 +1,5 @@
 open Dpoaf_pipeline
+module Domain = Dpoaf_domain.Domain
 module Tasks = Dpoaf_driving.Tasks
 module Responses = Dpoaf_driving.Responses
 module Grammar = Dpoaf_lm.Grammar
@@ -20,20 +21,20 @@ let test_corpus_setups () =
   Alcotest.(check int) "one setup per task" (List.length Tasks.all)
     (List.length corpus.Corpus.setups);
   Alcotest.(check int) "training setups" 6
-    (List.length (Corpus.setups_of_split corpus Tasks.Training));
+    (List.length (Corpus.setups_of_split corpus Domain.Training));
   Alcotest.(check int) "validation setups" 2
-    (List.length (Corpus.setups_of_split corpus Tasks.Validation))
+    (List.length (Corpus.setups_of_split corpus Domain.Validation))
 
 let test_corpus_grammar_accepts_candidates () =
   List.iter
     (fun setup ->
       (* any single candidate step and any obs+final pair must be accepted *)
-      let steps = Responses.candidate_steps setup.Corpus.task in
+      let steps = Domain.candidate_steps corpus.Corpus.domain setup.Corpus.task in
       List.iter
         (fun s ->
           let tokens = Grammar.tokens_of_steps corpus.Corpus.vocab [ s ] in
           Alcotest.(check bool)
-            (setup.Corpus.task.Tasks.id ^ ": " ^ s)
+            (setup.Corpus.task.Domain.id ^ ": " ^ s)
             true
             (Grammar.accepts setup.Corpus.grammar
                ~min_clauses:setup.Corpus.min_clauses
@@ -54,7 +55,7 @@ let test_corpus_pretraining_examples () =
     examples
 
 let test_corpus_steps_roundtrip () =
-  let setup = Corpus.setup corpus (Tasks.find "right_turn_tl") in
+  let setup = Corpus.setup_by_id corpus "right_turn_tl" in
   let steps = [ "observe the state of the green traffic light" ] in
   let tokens = Grammar.tokens_of_steps corpus.Corpus.vocab steps in
   Alcotest.(check (list string)) "roundtrip" steps (Corpus.steps_of_tokens corpus tokens);
@@ -64,7 +65,7 @@ let test_corpus_steps_roundtrip () =
 
 let test_feedback_scores_and_caches () =
   let feedback = Feedback.create () in
-  let setup = Corpus.setup corpus (Tasks.find "right_turn_tl") in
+  let setup = Corpus.setup_by_id corpus "right_turn_tl" in
   let good =
     Grammar.tokens_of_steps corpus.Corpus.vocab
       [
@@ -95,7 +96,7 @@ let test_feedback_scenario_model_option () =
 
 let test_feedback_hardened_scores () =
   let feedback = Feedback.create () in
-  let setup = Corpus.setup corpus (Tasks.find "right_turn_tl") in
+  let setup = Corpus.setup_by_id corpus "right_turn_tl" in
   let bad =
     Grammar.tokens_of_steps corpus.Corpus.vocab [ "execute the action turn right" ]
   in
@@ -110,7 +111,7 @@ let test_feedback_hardened_scores () =
 
 let test_feedback_hardened_good_not_degraded () =
   let feedback = Feedback.create () in
-  let setup = Corpus.setup corpus (Tasks.find "right_turn_tl") in
+  let setup = Corpus.setup_by_id corpus "right_turn_tl" in
   let good =
     Grammar.tokens_of_steps corpus.Corpus.vocab
       [
@@ -124,7 +125,7 @@ let test_feedback_hardened_good_not_degraded () =
 
 let test_feedback_profile_invariants () =
   let feedback = Feedback.create () in
-  let setup = Corpus.setup corpus (Tasks.find "right_turn_tl") in
+  let setup = Corpus.setup_by_id corpus "right_turn_tl" in
   let spec_names = List.map fst Dpoaf_driving.Specs.all in
   let responses =
     [
@@ -159,7 +160,7 @@ let test_provenance_dump () =
   let model = small_model 3 in
   let feedback = Feedback.create () in
   let pairs =
-    Dpoaf.collect_pairs corpus feedback model (Rng.create 4) ~m:6 Tasks.Training
+    Dpoaf.collect_pairs corpus feedback model (Rng.create 4) ~m:6 Domain.Training
   in
   List.iter
     (fun (p : Pref_data.pair) ->
@@ -191,7 +192,7 @@ let test_collect_pairs_valid () =
   let model = small_model 3 in
   let feedback = Feedback.create () in
   let pairs =
-    Dpoaf.collect_pairs corpus feedback model (Rng.create 4) ~m:10 Tasks.Training
+    Dpoaf.collect_pairs corpus feedback model (Rng.create 4) ~m:10 Domain.Training
   in
   Alcotest.(check bool) "pairs found" true (List.length pairs > 10);
   List.iter
@@ -217,7 +218,7 @@ let test_collect_pairs_jobs_deterministic () =
   let run jobs =
     let feedback = Feedback.create () in
     Dpoaf.collect_pairs ~jobs corpus feedback model (Rng.create 4) ~m:8
-      Tasks.Training
+      Domain.Training
   in
   let seq = run 1 in
   let par = run 4 in
@@ -237,7 +238,7 @@ let test_mean_specs_jobs_deterministic () =
   let score jobs =
     let feedback = Feedback.create () in
     Dpoaf.mean_specs_satisfied ~jobs corpus feedback model (Rng.create 6) ~samples:6
-      Tasks.Training
+      Domain.Training
   in
   Alcotest.(check (float 0.0)) "identical mean spec count" (score 1) (score 4)
 
@@ -246,7 +247,7 @@ let test_mean_specs_range () =
   let feedback = Feedback.create () in
   let score =
     Dpoaf.mean_specs_satisfied corpus feedback model (Rng.create 6) ~samples:6
-      Tasks.Training
+      Domain.Training
   in
   Alcotest.(check bool)
     (Printf.sprintf "score %.2f within [6,15]" score)
@@ -302,7 +303,7 @@ let test_run_improves () =
 
 let test_reinforce_tasks_reward_range () =
   let feedback = Feedback.create () in
-  let tasks = Dpoaf.reinforce_tasks corpus feedback Tasks.Training in
+  let tasks = Dpoaf.reinforce_tasks corpus feedback Domain.Training in
   Alcotest.(check int) "one per training task" 6 (List.length tasks);
   let task = List.hd tasks in
   let good =

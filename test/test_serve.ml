@@ -31,7 +31,9 @@ let test_request_goldens () =
     {|{"id":"g1","kind":"generate","task":"right_turn_tl","seed":7,"temperature":1}|}
     {
       P.id = "g1";
-      kind = P.Generate { task = "right_turn_tl"; seed = 7; temperature = 1.0 };
+      kind =
+        P.Generate
+          { task = "right_turn_tl"; seed = 7; temperature = 1.0; domain = None };
       deadline_ms = None;
     };
   check_request
@@ -43,6 +45,7 @@ let test_request_goldens () =
           {
             steps = [ "come to a stop"; "turn right" ];
             scenario = Some "traffic_light";
+            domain = None;
           };
       deadline_ms = Some 50.0;
     };
@@ -52,7 +55,12 @@ let test_request_goldens () =
       P.id = "s1";
       kind =
         P.Score_pair
-          { steps_a = [ "turn right" ]; steps_b = [ "stop" ]; scenario = None };
+          {
+            steps_a = [ "turn right" ];
+            steps_b = [ "stop" ];
+            scenario = None;
+            domain = None;
+          };
       deadline_ms = None;
     }
 
@@ -139,7 +147,11 @@ let test_protocol_strictness () =
 (* ---------------- server scheduling ---------------- *)
 
 let verify_request ?deadline_ms id =
-  { P.id; kind = P.Verify { steps = [ id ]; scenario = None }; deadline_ms }
+  {
+    P.id;
+    kind = P.Verify { steps = [ id ]; scenario = None; domain = None };
+    deadline_ms;
+  }
 
 let test_batch_and_complete () =
   (* trivial handler: everything completes, batches of any size *)
@@ -273,17 +285,24 @@ let mixed_requests =
         {
           P.id = Printf.sprintf "gen%d" i;
           kind =
-            P.Generate { task = "right_turn_tl"; seed = i; temperature = 1.0 };
+            P.Generate
+              { task = "right_turn_tl"; seed = i; temperature = 1.0;
+                domain = None };
           deadline_ms = None;
         };
         {
           P.id = Printf.sprintf "ver%d" i;
-          kind = P.Verify { steps = right; scenario = Some "traffic_light" };
+          kind =
+            P.Verify
+              { steps = right; scenario = Some "traffic_light"; domain = None };
           deadline_ms = None;
         };
         {
           P.id = Printf.sprintf "cmp%d" i;
-          kind = P.Score_pair { steps_a = right; steps_b = risky; scenario = None };
+          kind =
+            P.Score_pair
+              { steps_a = right; steps_b = risky; scenario = None;
+                domain = None };
           deadline_ms = None;
         };
       ])
@@ -326,7 +345,9 @@ let test_prompt_state_cache_transparent () =
     Engine.handle engine
       {
         P.id = "p";
-        kind = P.Generate { task = "right_turn_tl"; seed; temperature = 1.0 };
+        kind =
+          P.Generate
+            { task = "right_turn_tl"; seed; temperature = 1.0; domain = None };
         deadline_ms = None;
       }
   in
@@ -337,9 +358,9 @@ let test_prompt_state_cache_transparent () =
   in
   (* the source reflects the most recently created engine's cache *)
   Alcotest.(check (float 0.0)) "one miss" 1.0
-    (lookup "cache.serve.prompt_state.misses");
+    (lookup "cache.serve.prompt_state.driving.misses");
   Alcotest.(check (float 0.0)) "later requests hit" 2.0
-    (lookup "cache.serve.prompt_state.hits");
+    (lookup "cache.serve.prompt_state.driving.hits");
   List.iter2
     (fun seed warm_reply ->
       let cold = Engine.create ~lm:(small_lm 11) ~corpus:(Lazy.force corpus) () in
@@ -360,13 +381,15 @@ let test_engine_rejects_unknowns () =
     | b -> Alcotest.failf "%s: expected Failed, got %s" what (P.status_of_body b)
   in
   expect_failed "unknown scenario"
-    (P.Verify { steps = [ "stop" ]; scenario = Some "motorway" })
+    (P.Verify { steps = [ "stop" ]; scenario = Some "motorway"; domain = None })
     "traffic_light";
   expect_failed "unknown task"
-    (P.Generate { task = "fly_to_the_moon"; seed = 0; temperature = 1.0 })
+    (P.Generate
+       { task = "fly_to_the_moon"; seed = 0; temperature = 1.0; domain = None })
     "fly_to_the_moon";
   expect_failed "generation without a model"
-    (P.Generate { task = "right_turn_tl"; seed = 0; temperature = 1.0 })
+    (P.Generate
+       { task = "right_turn_tl"; seed = 0; temperature = 1.0; domain = None })
     "model"
 
 let () =

@@ -1,0 +1,47 @@
+#!/bin/sh
+# Cross-domain gate: every registered pack must clear the static
+# analysis gates and run the full loop — verify a canonical response,
+# fine-tune against formal-methods feedback, and evaluate empirically —
+# through the same `--domain` flag a user would pass.  A pack that
+# registers but cannot complete the loop fails the build, not the first
+# user who tries it.
+#
+# Uses the built binary directly (not `dune exec`) so repeated
+# invocations never contend on the dune build lock.
+set -eu
+
+CLI=_build/default/bin/dpoaf_cli.exe
+
+[ -x "$CLI" ] || { echo "domains-check: $CLI not built" >&2; exit 1; }
+
+DOMAINS=$("$CLI" domains --quiet)
+[ -n "$DOMAINS" ] || { echo "domains-check: no packs registered" >&2; exit 1; }
+
+for required in driving household warehouse; do
+    echo "$DOMAINS" | grep -qx "$required" || {
+        echo "domains-check: built-in pack '$required' not registered" >&2
+        exit 1
+    }
+done
+
+# strict --domain parsing: an unknown name must be refused
+if "$CLI" tasks --domain underwater >/dev/null 2>&1; then
+    echo "domains-check: unknown --domain was accepted" >&2
+    exit 1
+fi
+
+for d in $DOMAINS; do
+    echo "domains-check: [$d] analysis gates"
+    "$CLI" analyze --domain "$d" > /dev/null
+
+    echo "domains-check: [$d] verify demo response"
+    "$CLI" verify --domain "$d" > /dev/null
+
+    echo "domains-check: [$d] finetune smoke (10 epochs)"
+    "$CLI" finetune --domain "$d" --epochs 10 --seed 11 > /dev/null
+
+    echo "domains-check: [$d] simulate smoke (40 rollouts)"
+    "$CLI" simulate --domain "$d" --rollouts 40 --length 30 --seed 11 > /dev/null
+done
+
+echo "domains-check: OK ($(echo "$DOMAINS" | tr '\n' ' ' | sed 's/ $//'))"
