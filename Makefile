@@ -1,4 +1,4 @@
-.PHONY: all build test bench check lint mli-check analysis-check trace-check serve-check kernels-check domains-check clean
+.PHONY: all build test bench check lint mli-check analysis-check trace-check serve-check kernels-check domains-check perf-gate obs-check clean
 
 all: build
 
@@ -21,11 +21,13 @@ check:
 	$(MAKE) mli-check
 	dune runtest
 	dune exec bench/main.exe -- --fast --jobs 2
+	dune exec bench/perf_gate.exe
 	$(MAKE) analysis-check
 	$(MAKE) trace-check
 	$(MAKE) serve-check
 	$(MAKE) kernels-check
 	$(MAKE) domains-check
+	$(MAKE) obs-check
 
 # Rebuild the libraries with the unused-code warning family (26/27,
 # 32..35, 69) promoted to errors — see lib/dune's `lint` env profile.
@@ -72,6 +74,25 @@ kernels-check:
 serve-check:
 	dune build bin/dpoaf_cli.exe
 	sh tools/serve_check.sh
+
+# Perf-regression gate: run the headline bench sections (fig8 loop +
+# generation latency from `kernels`, batch p99 from `serving`) into the
+# dated results series at bench/results/, then compare latest.json
+# against the pinned baseline.json (>10% slower on any headline metric
+# fails; first run pins a fresh baseline).  Re-pin deliberately with
+# `dune exec bench/perf_gate.exe -- --rebase`.
+perf-gate:
+	dune build bench/main.exe bench/perf_gate.exe
+	dune exec bench/main.exe -- --fast --only kernels,serving --jobs 2
+	dune exec bench/perf_gate.exe
+
+# Ops-plane gate: daemon with an event journal on a temp socket, stats
+# and health queried mid-load (JSON and Prometheus), journal validated
+# by `report --journal`, and the perf gate exercised on a throwaway
+# results series (fresh baseline passes, degraded baseline fails).
+obs-check:
+	dune build bin/dpoaf_cli.exe bench/main.exe bench/perf_gate.exe
+	sh tools/obs_check.sh
 
 # Domain-pack gate: every registered pack (dpoaf_cli domains) must clear
 # the static analysis gates and run verify -> finetune -> simulate

@@ -88,6 +88,24 @@ let trace_file = string_opt "--trace"
 let metrics_json_file = string_opt "--metrics-json"
 let section_metrics = Array.exists (( = ) "--section-metrics") Sys.argv
 
+(* Dated results series: every run that produces headline numbers writes
+   <results-dir>/<UTC-stamp>.json and refreshes <results-dir>/latest.json;
+   bench/perf_gate.exe compares latest.json against the pinned
+   baseline.json.  --results-dir beats DPOAF_RESULTS_DIR beats the
+   default. *)
+let results_dir =
+  match string_opt "--results-dir" with
+  | Some d -> d
+  | None -> (
+      match Sys.getenv_opt "DPOAF_RESULTS_DIR" with
+      | Some d -> d
+      | None -> "bench/results")
+
+let headline : (string * float) list ref = ref []
+
+(* the pinned perf numbers the regression gate watches; lower is better *)
+let record_headline name v = headline := !headline @ [ (name, v) ]
+
 let () = if trace_file <> None then Dpoaf_exec.Trace.enable ()
 
 (* print a table and, with --csv DIR, also write DIR/<name>.csv *)
@@ -886,7 +904,8 @@ let serving () =
       (M.percentile qw 0.9 *. 1e3)
       (M.percentile qw 0.99 *. 1e3)
       (M.value (M.counter "serve.expired"))
-      (M.value (M.counter "serve.rejected"))
+      (M.value (M.counter "serve.rejected"));
+    record_headline "serve_batch_p99_ms" (M.percentile lat 0.99 *. 1e3)
   end
 
 (* ------------------------------------------------------------------ *)
@@ -1307,6 +1326,9 @@ let kernels () =
     output_char oc '\n';
     close_out oc;
     Printf.printf "(wrote %s)\n" path;
+    record_headline "fig8_loop_s" train_after_s;
+    record_headline "generation_ms_per_request"
+      (gen_after_s /. float_of_int n_requests *. 1e3);
     (* this section doubles as the `make kernels-check` gate: a speedup
        that changes results is a bug, not a result *)
     if not (train_identical && decode_identical) then begin
@@ -1541,3 +1563,49 @@ let () =
       close_out oc;
       Printf.printf "metrics written to %s\n" path);
   Printf.printf "\nexecution metrics: %s\n" (Dpoaf_exec.Metrics.to_json ())
+
+(* append this run to the dated results series (only when a section that
+   owns a headline number actually ran) *)
+let () =
+  if !headline <> [] then begin
+    let module Json = Dpoaf_util.Json in
+    let rec mkdirs d =
+      if d <> "" && d <> "." && d <> "/" && not (Sys.file_exists d) then begin
+        mkdirs (Filename.dirname d);
+        try Sys.mkdir d 0o755 with Sys_error _ -> ()
+      end
+    in
+    mkdirs results_dir;
+    let tm = Unix.gmtime (Unix.gettimeofday ()) in
+    let stamp =
+      Printf.sprintf "%04d%02d%02dT%02d%02d%02dZ" (tm.Unix.tm_year + 1900)
+        (tm.Unix.tm_mon + 1) tm.Unix.tm_mday tm.Unix.tm_hour tm.Unix.tm_min
+        tm.Unix.tm_sec
+    in
+    let ran =
+      match only with None -> List.map fst sections | Some names -> names
+    in
+    let json =
+      Json.obj
+        [
+          ("schema", Json.str "dpoaf-bench/1");
+          ("utc", Json.str stamp);
+          ("fast", Json.num (if fast then 1.0 else 0.0));
+          ("jobs", Json.num (float_of_int jobs));
+          ("sections", Json.arr (List.map Json.str ran));
+          ( "headline",
+            Json.obj (List.map (fun (k, v) -> (k, Json.num v)) !headline) );
+        ]
+    in
+    let write path =
+      let oc = open_out path in
+      output_string oc (Json.to_string json);
+      output_char oc '\n';
+      close_out oc
+    in
+    let dated = Filename.concat results_dir (stamp ^ ".json") in
+    write dated;
+    write (Filename.concat results_dir "latest.json");
+    Printf.printf "results written to %s (and %s)\n" dated
+      (Filename.concat results_dir "latest.json")
+  end

@@ -1,0 +1,231 @@
+(* Perf-regression gate over the dated bench results series.
+
+   bench/main.exe writes <results-dir>/<UTC-stamp>.json and latest.json
+   on every run that produces headline numbers (fig8 training-loop wall
+   clock, generation latency, serve batch p99 — all lower-is-better).
+   This gate compares the results series against the pinned
+   baseline.json:
+
+     perf_gate [--results-dir DIR] [--tolerance-pct X] [--window N] [--rebase]
+
+   Wall-clock on a shared machine is noisy in one direction only —
+   contention adds time, nothing subtracts it — so the gate compares
+   per-metric MINIMA over the newest N dated runs (default 5, config
+   must match latest.json) rather than a single sample.  A genuine
+   regression slows every run in the window; scheduler noise does not.
+
+   - no baseline yet: the window minimum is pinned as baseline.json and
+     the gate passes ("fresh baseline recorded") — the first run on a
+     new machine pins its own numbers;
+   - any headline metric whose window minimum is more than X% (default
+     10) above the baseline: exit 1, listing the offending metrics;
+   - config mismatch (different --fast or --jobs) between baseline and
+     latest: exit 2 — the runs are not comparable, re-baseline;
+   - --rebase: re-pin baseline.json from the current window and pass.
+
+   Wired into `make check` as `make perf-gate`. *)
+
+module Json = Dpoaf_util.Json
+
+let die code fmt =
+  Printf.ksprintf
+    (fun msg ->
+      prerr_endline ("perf-gate: " ^ msg);
+      exit code)
+    fmt
+
+let string_opt flag =
+  let rec find i =
+    if i >= Array.length Sys.argv - 1 then None
+    else if Sys.argv.(i) = flag then Some Sys.argv.(i + 1)
+    else find (i + 1)
+  in
+  find 1
+
+let results_dir =
+  match string_opt "--results-dir" with
+  | Some d -> d
+  | None -> (
+      match Sys.getenv_opt "DPOAF_RESULTS_DIR" with
+      | Some d -> d
+      | None -> "bench/results")
+
+let tolerance_pct =
+  match string_opt "--tolerance-pct" with
+  | None -> 10.0
+  | Some s -> (
+      match float_of_string_opt s with
+      | Some x when x >= 0.0 -> x
+      | _ -> die 2 "--tolerance-pct expects a non-negative number, got %S" s)
+
+let window =
+  match string_opt "--window" with
+  | None -> 5
+  | Some s -> (
+      match int_of_string_opt s with
+      | Some n when n >= 1 -> n
+      | _ -> die 2 "--window expects a positive integer, got %S" s)
+
+let rebase = Array.exists (( = ) "--rebase") Sys.argv
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let write_file path contents =
+  let oc = open_out_bin path in
+  output_string oc contents;
+  close_out oc
+
+type run = {
+  utc : string;
+  fast : float;
+  jobs : float;
+  headline : (string * float) list;
+}
+
+let load path =
+  if not (Sys.file_exists path) then None
+  else
+    match Json.parse (read_file path) with
+    | Error msg -> die 2 "%s: malformed JSON: %s" path msg
+    | Ok j -> (
+        let num name = Option.bind (Json.member name j) Json.to_float in
+        let str name = Option.bind (Json.member name j) Json.to_str in
+        let headline =
+          match Json.member "headline" j with
+          | Some (Json.Obj fields) ->
+              List.filter_map
+                (fun (k, v) ->
+                  Option.map (fun x -> (k, x)) (Json.to_float v))
+                fields
+          | _ -> []
+        in
+        match (str "utc", num "fast", num "jobs") with
+        | Some utc, Some fast, Some jobs when headline <> [] ->
+            Some { utc; fast; jobs; headline }
+        | _ ->
+            die 2 "%s: missing utc/fast/jobs/headline (schema dpoaf-bench/1)"
+              path)
+
+(* the newest [window] dated runs whose config matches [latest],
+   newest first; latest.json is a copy of the newest dated file, so the
+   dated series alone is the whole population *)
+let recent_runs latest =
+  let dated =
+    Sys.readdir results_dir |> Array.to_list
+    |> List.filter (fun f ->
+           String.length f > 5
+           && f.[0] = '2'
+           && Filename.check_suffix f ".json")
+    |> List.sort (fun a b -> compare b a)
+  in
+  let matching =
+    List.filter_map
+      (fun f ->
+        match load (Filename.concat results_dir f) with
+        | Some r when r.fast = latest.fast && r.jobs = latest.jobs -> Some r
+        | _ -> None)
+      dated
+  in
+  let runs = List.filteri (fun i _ -> i < window) matching in
+  if runs = [] then [ latest ] else runs
+
+(* per-metric minimum across the window: wall-clock noise only ever adds
+   time, so the min is the noise-robust estimate of the true cost *)
+let window_min runs =
+  let keys =
+    List.sort_uniq compare
+      (List.concat_map (fun r -> List.map fst r.headline) runs)
+  in
+  List.map
+    (fun k ->
+      let vs = List.filter_map (fun r -> List.assoc_opt k r.headline) runs in
+      (k, List.fold_left Float.min Float.infinity vs))
+    keys
+
+let pin_baseline path latest current n =
+  let fields =
+    [
+      ("schema", Json.Str "dpoaf-bench/1");
+      ("utc", Json.Str latest.utc);
+      ("fast", Json.Num latest.fast);
+      ("jobs", Json.Num latest.jobs);
+      ( "note",
+        Json.Str
+          (Printf.sprintf
+             "per-metric minimum over the %d newest matching runs" n) );
+      ( "headline",
+        Json.Obj (List.map (fun (k, v) -> (k, Json.Num v)) current) );
+    ]
+  in
+  write_file path (Json.to_string (Json.Obj fields) ^ "\n")
+
+let () =
+  let latest_path = Filename.concat results_dir "latest.json" in
+  let baseline_path = Filename.concat results_dir "baseline.json" in
+  let latest =
+    match load latest_path with
+    | Some r -> r
+    | None ->
+        die 2 "%s not found — run the bench first (make perf-gate does)"
+          latest_path
+  in
+  let runs = recent_runs latest in
+  let current = window_min runs in
+  if rebase || not (Sys.file_exists baseline_path) then begin
+    pin_baseline baseline_path latest current (List.length runs);
+    Printf.printf
+      "perf-gate: %s baseline recorded from the %d newest run(s) (latest \
+       %s)\n"
+      (if rebase then "rebased" else "fresh")
+      (List.length runs) latest.utc;
+    exit 0
+  end;
+  let baseline = Option.get (load baseline_path) in
+  if baseline.fast <> latest.fast || baseline.jobs <> latest.jobs then
+    die 2
+      "baseline (fast=%g jobs=%g) and latest (fast=%g jobs=%g) used \
+       different bench configs — not comparable; re-pin with --rebase"
+      baseline.fast baseline.jobs latest.fast latest.jobs;
+  let regressions = ref [] in
+  List.iter
+    (fun (name, base) ->
+      match List.assoc_opt name current with
+      | None ->
+          regressions :=
+            Printf.sprintf
+              "%s: present in baseline but missing from the current runs"
+              name
+            :: !regressions
+      | Some cur ->
+          let limit = base *. (1.0 +. (tolerance_pct /. 100.0)) in
+          let pct =
+            if base > 0.0 then (cur -. base) /. base *. 100.0 else 0.0
+          in
+          if cur > limit then
+            regressions :=
+              Printf.sprintf "%s: %.4f -> %.4f (%+.1f%%, limit +%.0f%%)" name
+                base cur pct tolerance_pct
+              :: !regressions
+          else
+            Printf.printf "perf-gate: ok %s: %.4f -> %.4f (%+.1f%%)\n" name
+              base cur pct)
+    baseline.headline;
+  match List.rev !regressions with
+  | [] ->
+      Printf.printf
+        "perf-gate: pass — %d headline metrics within +%.0f%% of baseline \
+         %s (min over %d run(s), latest %s)\n"
+        (List.length baseline.headline)
+        tolerance_pct baseline.utc (List.length runs) latest.utc
+  | rs ->
+      List.iter (fun r -> Printf.eprintf "perf-gate: REGRESSION %s\n" r) rs;
+      Printf.eprintf
+        "perf-gate: fail — %d metric(s) regressed beyond +%.0f%% (re-pin \
+         deliberately with `dune exec bench/perf_gate.exe -- --rebase`)\n"
+        (List.length rs) tolerance_pct;
+      exit 1

@@ -11,6 +11,9 @@
    dpoaf_cli smv --step "..." ...         export a controller to NuSMV
    dpoaf_cli serve --socket PATH          batched serving daemon (NDJSON)
    dpoaf_cli loadgen --rate N             replay synthetic traffic at it
+   dpoaf_cli stats [--watch N]            live daemon metrics (json|prom)
+   dpoaf_cli health                       daemon queue/drain liveness
+   dpoaf_cli report --journal FILE        summarize a serving journal
 
    Every pipeline-facing subcommand takes --domain NAME (default:
    driving, the paper's use case); unknown names are rejected with the
@@ -133,22 +136,23 @@ let demo_response_for domain task_id =
 let seed_arg =
   Arg.(value & opt int 2024 & info [ "seed" ] ~docv:"N" ~doc:"Random seed.")
 
+(* strict positive-integer flag values: --jobs, --watch, --journal-max-kb *)
+let pos_int_conv =
+  let parse s =
+    match int_of_string_opt s with
+    | Some n when n >= 1 -> Ok n
+    | Some _ -> Error (`Msg "expected a positive integer")
+    | None -> Error (`Msg "expected an integer")
+  in
+  Arg.conv (parse, Format.pp_print_int)
+
 let jobs_arg =
   let doc =
     "Worker domains for parallel scoring, rollouts and multi-seed training. \
      Results are identical for every value (the scheduler preserves order \
      and RNG streams); 1 disables parallelism."
   in
-  let pos_int =
-    let parse s =
-      match int_of_string_opt s with
-      | Some n when n >= 1 -> Ok n
-      | Some _ -> Error (`Msg "expected a positive integer")
-      | None -> Error (`Msg "expected an integer")
-    in
-    Arg.conv (parse, Format.pp_print_int)
-  in
-  Arg.(value & opt pos_int 1 & info [ "jobs"; "j" ] ~docv:"N" ~doc)
+  Arg.(value & opt pos_int_conv 1 & info [ "jobs"; "j" ] ~docv:"N" ~doc)
 
 let set_jobs n = Dpoaf_exec.Pool.set_default_jobs n
 
@@ -639,16 +643,110 @@ let run_report path =
     Table.print table
   end
 
+(* Summarize an event journal written by `serve --journal`.  Every line
+   must parse and carry "ts"/"ev" — a malformed line is a hard error (exit
+   1), which is what lets tools/obs_check.sh use this command as a journal
+   validity check. *)
+let run_journal_report path =
+  let module Json = Dpoaf_util.Json in
+  let ic = try open_in path with Sys_error msg -> die "%s" msg in
+  let events = ref [] in
+  let lineno = ref 0 in
+  (try
+     while true do
+       let line = input_line ic in
+       incr lineno;
+       if String.trim line <> "" then
+         match Json.parse line with
+         | Error msg -> die "%s:%d: malformed journal line: %s" path !lineno msg
+         | Ok j -> (
+             let ts = Option.bind (Json.member "ts" j) Json.to_float in
+             let ev = Option.bind (Json.member "ev" j) Json.to_str in
+             match (ts, ev) with
+             | Some ts, Some ev -> events := (ts, ev, j) :: !events
+             | _ ->
+                 die "%s:%d: journal line missing \"ts\" or \"ev\"" path
+                   !lineno)
+     done
+   with End_of_file -> ());
+  close_in ic;
+  let events = List.rev !events in
+  match events with
+  | [] -> Printf.printf "journal %s: empty\n" path
+  | (t0, _, _) :: _ ->
+      let tn, _, _ = List.nth events (List.length events - 1) in
+      Printf.printf "journal %s: %d events over %.2fs\n" path
+        (List.length events) (tn -. t0);
+      let counts = Hashtbl.create 16 in
+      List.iter
+        (fun (_, ev, _) ->
+          Hashtbl.replace counts ev
+            (1 + try Hashtbl.find counts ev with Not_found -> 0))
+        events;
+      let table = Table.create [ "event"; "count" ] in
+      List.iter
+        (fun (ev, c) -> Table.add_row table [ ev; string_of_int c ])
+        (List.sort compare
+           (Hashtbl.fold (fun k v acc -> (k, v) :: acc) counts []));
+      Table.print table;
+      (* request latency, from the serve.request events' timing fields *)
+      let field j name = Option.bind (Json.member name j) Json.to_float in
+      let requests =
+        List.filter_map
+          (fun (_, ev, j) ->
+            if ev = "serve.request" then
+              match (field j "queue_wait_us", field j "execute_us") with
+              | Some w, Some e -> Some (w, e)
+              | _ -> None
+            else None)
+          events
+      in
+      if requests <> [] then begin
+        Printf.printf "\nrequest timing (%d requests):\n"
+          (List.length requests);
+        let table =
+          Table.create [ "phase"; "p50_ms"; "p90_ms"; "p99_ms"; "max_ms" ]
+        in
+        let row name xs =
+          let sorted = Array.of_list xs in
+          Array.sort compare sorted;
+          let ms us = Printf.sprintf "%.3f" (us /. 1000.0) in
+          Table.add_row table
+            [
+              name;
+              ms (exact_percentile sorted 0.50);
+              ms (exact_percentile sorted 0.90);
+              ms (exact_percentile sorted 0.99);
+              ms (Array.fold_left Float.max 0.0 sorted);
+            ]
+        in
+        row "queue_wait" (List.map fst requests);
+        row "execute" (List.map snd requests);
+        Table.print table
+      end
+
 let report_cmd =
   let path_arg =
-    Arg.(required & pos 0 (some string) None & info [] ~docv:"TRACE.jsonl"
-         ~doc:"Telemetry file written by --trace.")
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE"
+         ~doc:"Telemetry file written by --trace, or (with $(b,--journal)) \
+               an event journal written by `serve --journal`.")
+  in
+  let journal_arg =
+    Arg.(value & flag
+         & info [ "journal" ]
+             ~doc:"Treat $(i,FILE) as a serving event journal (JSONL, one \
+                   event per line) instead of a span trace; exits 1 on any \
+                   malformed line.")
+  in
+  let run path journal =
+    if journal then run_journal_report path else run_report path
   in
   Cmd.v
     (Cmd.info "report"
        ~doc:"Summarize a recorded trace: per-stage latency, cache hit rates \
-             and the spec-violation histograms (aggregate and per domain).")
-    Term.(const run_report $ path_arg)
+             and the spec-violation histograms (aggregate and per domain).  \
+             With --journal, summarize a serving event journal instead.")
+    Term.(const run $ path_arg $ journal_arg)
 
 (* ---------------- analyze ---------------- *)
 
@@ -780,7 +878,7 @@ let socket_arg =
        & info [ "socket" ] ~docv:"PATH" ~doc)
 
 let run_serve socket domains checkpoint jobs max_batch flush_ms queue_capacity
-    seed trace metrics_json =
+    seed journal_path journal_max_kb trace metrics_json =
   with_telemetry ~trace ~metrics_json @@ fun () ->
   let domains =
     match domains with
@@ -790,6 +888,15 @@ let run_serve socket domains checkpoint jobs max_batch flush_ms queue_capacity
   if checkpoint <> None && List.length domains > 1 then
     die "--checkpoint applies to a single --domain; drop it to pre-train a \
          model per pack";
+  let journal =
+    Option.map
+      (fun path ->
+        Serve.Journal.create ~max_bytes:(journal_max_kb * 1024) path)
+      journal_path
+  in
+  let jemit ev attrs =
+    match journal with Some j -> Serve.Journal.emit j ev attrs | None -> ()
+  in
   let packs =
     List.map
       (fun domain ->
@@ -800,6 +907,11 @@ let run_serve socket domains checkpoint jobs max_batch flush_ms queue_capacity
               try
                 let m = Dpoaf_lm.Checkpoint.load path in
                 Printf.printf "loaded checkpoint %s\n%!" path;
+                jemit "serve.checkpoint_load"
+                  [
+                    ("path", Dpoaf_util.Json.str path);
+                    ("domain", Dpoaf_util.Json.str (Domain.name domain));
+                  ];
                 m
               with Dpoaf_lm.Checkpoint.Corrupt { path; reason } ->
                 Printf.eprintf
@@ -821,7 +933,29 @@ let run_serve socket domains checkpoint jobs max_batch flush_ms queue_capacity
   let engine = Serve.Engine.create_multi packs in
   let config = { Serve.Server.jobs; max_batch; flush_ms; queue_capacity } in
   let server =
-    Serve.Server.create ~config ~handler:(Serve.Engine.handle engine) ()
+    Serve.Server.create ~config ~handler:(Serve.Engine.handle engine) ?journal
+      ()
+  in
+  (* the ops plane: stats filtered by the engine's domain registry, health
+     composed from the server's queue view and per-domain counters *)
+  let ops =
+    {
+      Serve.Daemon.stats =
+        (fun ~domain -> Serve.Engine.stats_body engine ~domain);
+      health =
+        (fun ~domain ->
+          match Serve.Engine.request_counts engine ~domain with
+          | Error msg -> Serve.Protocol.Failed msg
+          | Ok counts ->
+              let h = Serve.Server.health server in
+              Serve.Protocol.Health_report
+                {
+                  queue_depth = h.Serve.Server.queue_depth;
+                  in_flight_batches = h.Serve.Server.in_flight_batches;
+                  draining = h.Serve.Server.draining;
+                  domains = counts;
+                });
+    }
   in
   Printf.printf
     "serving %s on %s (jobs=%d, max_batch=%d, flush_ms=%g, queue=%d); SIGINT \
@@ -829,7 +963,12 @@ let run_serve socket domains checkpoint jobs max_batch flush_ms queue_capacity
      %!"
     (String.concat ", " (Serve.Engine.domains engine))
     socket jobs max_batch flush_ms queue_capacity;
-  let stats = Serve.Daemon.run ~socket ~server () in
+  let stats = Serve.Daemon.run ~socket ~server ~ops ?journal () in
+  (match journal with
+  | Some j ->
+      Serve.Journal.close j;
+      Printf.printf "journal written to %s\n" (Serve.Journal.path j)
+  | None -> ());
   Printf.printf
     "daemon stopped: connections=%d requests=%d responses=%d \
      protocol_errors=%d\n"
@@ -865,17 +1004,31 @@ let serve_cmd =
              ~doc:"Admission-queue capacity; beyond it requests are \
                    rejected.")
   in
+  let journal_arg =
+    Arg.(value & opt (some string) None
+         & info [ "journal" ] ~docv:"FILE"
+             ~doc:"Append serving events (requests, rejects, expiries, \
+                   batches, checkpoint loads, drains) to a size-rotated \
+                   JSONL journal at $(docv); read it back with \
+                   `dpoaf_cli report --journal $(docv)`.")
+  in
+  let journal_max_kb_arg =
+    Arg.(value & opt pos_int_conv 1024
+         & info [ "journal-max-kb" ] ~docv:"KB"
+             ~doc:"Size cap per journal file before rotation (with \
+                   $(b,--journal)).")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:"Run the batched inference-and-verification daemon (line-delimited \
              JSON over a Unix socket), serving one or more domain packs.")
     Term.(const run_serve $ socket_arg $ domains_arg $ checkpoint_arg
           $ jobs_arg $ max_batch_arg $ flush_ms_arg $ queue_arg $ seed_arg
-          $ trace_arg $ metrics_json_arg)
+          $ journal_arg $ journal_max_kb_arg $ trace_arg $ metrics_json_arg)
 
 (* ---------------- loadgen ---------------- *)
 
-let run_loadgen socket domain rate duration mix deadline_ms seed =
+let run_loadgen socket domain rate duration mix deadline_ms seed out =
   let generate, verify, score_pair = mix in
   let config =
     {
@@ -889,7 +1042,15 @@ let run_loadgen socket domain rate duration mix deadline_ms seed =
     }
   in
   match Serve.Loadgen.run config with
-  | report -> Serve.Loadgen.print_report report
+  | report ->
+      Serve.Loadgen.print_report report;
+      (match out with
+      | None -> ()
+      | Some path ->
+          write_file path
+            (Dpoaf_util.Json.to_string (Serve.Loadgen.report_json report)
+            ^ "\n");
+          Printf.printf "loadgen report written to %s\n" path)
   | exception Unix.Unix_error (e, _, _) ->
       Printf.eprintf "error: cannot reach daemon at %s: %s\n%!" socket
         (Unix.error_message e);
@@ -928,12 +1089,206 @@ let loadgen_cmd =
          & info [ "deadline-ms" ] ~docv:"MS"
              ~doc:"Attach this deadline to every request.")
   in
+  let out_arg =
+    Arg.(value & opt (some string) None
+         & info [ "out"; "o" ] ~docv:"FILE"
+             ~doc:"Also write the report as JSON to $(docv), including the \
+                   full latency histogram with per-bucket bounds and \
+                   counts.")
+  in
   Cmd.v
     (Cmd.info "loadgen"
        ~doc:"Replay synthetic traffic against a running daemon and report \
              throughput and latency percentiles.")
     Term.(const run_loadgen $ socket_arg $ domain_opt_arg $ rate_arg
-          $ duration_arg $ mix_arg $ deadline_arg $ seed_arg)
+          $ duration_arg $ mix_arg $ deadline_arg $ seed_arg $ out_arg)
+
+(* ---------------- stats / health ---------------- *)
+
+(* One-shot ops-plane client: connect, send one request line, read one
+   response line.  Blocking I/O — the daemon answers ops verbs ahead of
+   the admission queue, so a response arrives within one loop turn even
+   under full load. *)
+let ops_roundtrip socket kind =
+  let req = { Serve.Protocol.id = "ops"; kind; deadline_ms = None } in
+  let fd =
+    try
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Unix.connect fd (Unix.ADDR_UNIX socket);
+      fd
+    with Unix.Unix_error (e, _, _) ->
+      die "cannot reach daemon at %s: %s" socket (Unix.error_message e)
+  in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+  @@ fun () ->
+  let line = Serve.Protocol.request_to_string req ^ "\n" in
+  let rec write_all off =
+    if off < String.length line then
+      write_all
+        (off + Unix.write_substring fd line off (String.length line - off))
+  in
+  (try write_all 0
+   with Unix.Unix_error (e, _, _) ->
+     die "write to daemon at %s failed: %s" socket (Unix.error_message e));
+  let buf = Buffer.create 8192 in
+  let chunk = Bytes.create 8192 in
+  let rec read_line () =
+    match Unix.read fd chunk 0 (Bytes.length chunk) with
+    | 0 -> die "daemon at %s closed the connection before answering" socket
+    | n -> (
+        Buffer.add_subbytes buf chunk 0 n;
+        let s = Buffer.contents buf in
+        match String.index_opt s '\n' with
+        | Some i -> String.sub s 0 i
+        | None -> read_line ())
+    | exception Unix.Unix_error (e, _, _) ->
+        die "read from daemon at %s failed: %s" socket (Unix.error_message e)
+  in
+  read_line ()
+
+(* Prometheus text exposition of a stats report: dots become underscores
+   under a dpoaf_ prefix; histograms render as cumulative
+   _bucket{le=...}/_sum/_count families and their derived flat keys
+   (.count/.sum/.min/.max/.p50/...) are dropped from the scalar section. *)
+let prom_name s =
+  let b = Buffer.create (String.length s + 6) in
+  Buffer.add_string b "dpoaf_";
+  String.iter
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> Buffer.add_char b c
+      | _ -> Buffer.add_char b '_')
+    s;
+  Buffer.contents b
+
+let prom_num v =
+  if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.9g" v
+
+let prometheus_of_stats ~metrics ~histograms ~runtime =
+  let b = Buffer.create 4096 in
+  let hist_names = List.map fst histograms in
+  let hist_derived k =
+    List.exists
+      (fun h ->
+        List.exists
+          (fun suffix -> k = h ^ "." ^ suffix)
+          [ "count"; "sum"; "min"; "max"; "p50"; "p90"; "p99" ])
+      hist_names
+  in
+  let flat_type k =
+    match String.rindex_opt k '.' with
+    | None -> "counter"
+    | Some i -> (
+        match String.sub k (i + 1) (String.length k - i - 1) with
+        | "level" | "size" | "min" | "max" | "p50" | "p90" | "p99" -> "gauge"
+        | _ -> "counter")
+  in
+  let scalar ty (k, v) =
+    let n = prom_name k in
+    Buffer.add_string b
+      (Printf.sprintf "# TYPE %s %s\n%s %s\n" n ty n (prom_num v))
+  in
+  List.iter
+    (fun (k, v) -> if not (hist_derived k) then scalar (flat_type k) (k, v))
+    metrics;
+  List.iter (scalar "gauge") runtime;
+  List.iter
+    (fun (k, (s : Dpoaf_exec.Metrics.hist_snapshot)) ->
+      let n = prom_name k in
+      Buffer.add_string b (Printf.sprintf "# TYPE %s histogram\n" n);
+      let cum = ref 0 in
+      List.iter
+        (fun (_, upper, c) ->
+          cum := !cum + c;
+          Buffer.add_string b
+            (Printf.sprintf "%s_bucket{le=\"%s\"} %d\n" n (prom_num upper)
+               !cum))
+        s.Dpoaf_exec.Metrics.buckets;
+      Buffer.add_string b
+        (Printf.sprintf "%s_bucket{le=\"+Inf\"} %d\n" n s.Dpoaf_exec.Metrics.count);
+      Buffer.add_string b
+        (Printf.sprintf "%s_sum %s\n" n (prom_num s.Dpoaf_exec.Metrics.sum));
+      Buffer.add_string b
+        (Printf.sprintf "%s_count %d\n" n s.Dpoaf_exec.Metrics.count))
+    histograms;
+  Buffer.contents b
+
+let run_stats socket domain watch format =
+  let once () =
+    let line = ops_roundtrip socket (Serve.Protocol.Stats { domain }) in
+    match Serve.Protocol.response_of_string line with
+    | Error msg -> die "malformed stats response: %s" msg
+    | Ok { Serve.Protocol.rbody = Serve.Protocol.Failed msg; _ } ->
+        die "%s" msg
+    | Ok
+        {
+          Serve.Protocol.rbody =
+            Serve.Protocol.Stats_report { metrics; histograms; runtime };
+          _;
+        } -> (
+        match format with
+        | `Json -> print_endline line (* the exact wire bytes *)
+        | `Prom ->
+            print_string (prometheus_of_stats ~metrics ~histograms ~runtime))
+    | Ok _ -> die "unexpected response body to a stats request"
+  in
+  match watch with
+  | None -> once ()
+  | Some period ->
+      while true do
+        once ();
+        print_newline ();
+        flush stdout;
+        Unix.sleepf (float_of_int period)
+      done
+
+let ops_domain_arg =
+  let doc =
+    "Restrict the report to this domain pack (validity is decided by the \
+     daemon's registry)."
+  in
+  Arg.(value & opt (some string) None & info [ "domain" ] ~docv:"NAME" ~doc)
+
+let stats_cmd =
+  let watch_arg =
+    Arg.(value & opt (some pos_int_conv) None
+         & info [ "watch" ] ~docv:"N"
+             ~doc:"Refresh every $(docv) seconds until interrupted \
+                   (reconnecting each tick; reports are separated by a \
+                   blank line).")
+  in
+  let format_arg =
+    let fmt = Arg.enum [ ("json", `Json); ("prom", `Prom) ] in
+    Arg.(value & opt fmt `Json
+         & info [ "format" ] ~docv:"FORMAT"
+             ~doc:"Output format: $(b,json) (the raw response line, exact \
+                   wire bytes) or $(b,prom) (Prometheus text exposition).")
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:"Query a running daemon's live metrics: counters, latency \
+             histograms with per-bucket bounds, cache hit rates and \
+             GC/runtime gauges.  Answered ahead of the admission queue, so \
+             it works mid-load.")
+    Term.(const run_stats $ socket_arg $ ops_domain_arg $ watch_arg
+          $ format_arg)
+
+let run_health socket domain =
+  let line = ops_roundtrip socket (Serve.Protocol.Health { domain }) in
+  match Serve.Protocol.response_of_string line with
+  | Error msg -> die "malformed health response: %s" msg
+  | Ok { Serve.Protocol.rbody = Serve.Protocol.Failed msg; _ } -> die "%s" msg
+  | Ok _ -> print_endline line
+
+let health_cmd =
+  Cmd.v
+    (Cmd.info "health"
+       ~doc:"Query a running daemon's liveness: admission-queue depth, \
+             in-flight batches, drain state and per-domain request \
+             counters.  Exits 1 if the daemon reports an error.")
+    Term.(const run_health $ socket_arg $ ops_domain_arg)
 
 (* ---------------- main ---------------- *)
 
@@ -947,4 +1302,4 @@ let () =
        (Cmd.group info
           [ domains_cmd; tasks_cmd; specs_cmd; verify_cmd; synthesize_cmd;
             finetune_cmd; simulate_cmd; report_cmd; analyze_cmd; smv_cmd;
-            serve_cmd; loadgen_cmd ]))
+            serve_cmd; loadgen_cmd; stats_cmd; health_cmd ]))

@@ -214,6 +214,172 @@ let histogram_items h =
   Mutex.unlock h.hmutex;
   items
 
+(* ---------------- exportable snapshots ---------------- *)
+
+module Json = Dpoaf_util.Json
+
+(* Lower bound of bucket [i]'s value range.  The underflow bucket reports
+   both bounds as 0, matching its percentile estimate. *)
+let bucket_lower i =
+  if i = 0 then 0.0 else 10.0 ** (float_of_int (i - 1 + lo_exp) /. 10.0)
+
+type hist_snapshot = {
+  count : int;
+  sum : float;
+  min : float;
+  max : float;
+  buckets : (float * float * int) list;
+}
+
+let snapshot_locked (h : histogram) : hist_snapshot =
+  let bs = ref [] in
+  for i = Array.length h.buckets - 1 downto 0 do
+    let c = h.buckets.(i) in
+    if c > 0 then bs := (bucket_lower i, bucket_upper i, c) :: !bs
+  done;
+  {
+    count = h.hcount;
+    sum = h.sum;
+    min = (if h.hcount = 0 then 0.0 else h.minv);
+    max = (if h.hcount = 0 then 0.0 else h.maxv);
+    buckets = !bs;
+  }
+
+let snapshot h =
+  Mutex.lock h.hmutex;
+  let s = snapshot_locked h in
+  Mutex.unlock h.hmutex;
+  s
+
+let histogram_snapshots () =
+  let hists =
+    with_lock (fun () ->
+        Hashtbl.fold
+          (fun name entry acc ->
+            match entry with Histogram h -> (name, h) :: acc | _ -> acc)
+          entries [])
+  in
+  List.sort
+    (fun (a, _) (b, _) -> compare a b)
+    (List.map (fun (name, h) -> (name, snapshot h)) hists)
+
+let snapshot_percentile (s : hist_snapshot) q =
+  if s.count = 0 then 0.0
+  else begin
+    let q = Float.max 0.0 (Float.min 1.0 q) in
+    let rank =
+      Stdlib.max 1 (int_of_float (Float.ceil (q *. float_of_int s.count)))
+    in
+    let est = ref s.max in
+    let cum = ref 0 in
+    (try
+       List.iter
+         (fun (_, upper, c) ->
+           cum := !cum + c;
+           if !cum >= rank then begin
+             est := upper;
+             raise Exit
+           end)
+         s.buckets
+     with Exit -> ());
+    Float.max s.min (Float.min s.max !est)
+  end
+
+let merge_snapshots (a : hist_snapshot) (b : hist_snapshot) : hist_snapshot =
+  (* both bucket lists ascend; bucket identity is the bound pair *)
+  let rec merge xs ys =
+    match (xs, ys) with
+    | [], rest | rest, [] -> rest
+    | ((xl, xu, xc) as x) :: xs', ((yl, yu, yc) as y) :: ys' ->
+        if xl = yl && xu = yu then (xl, xu, xc + yc) :: merge xs' ys'
+        else if xu < yu then x :: merge xs' ys
+        else y :: merge xs ys'
+  in
+  if a.count = 0 then b
+  else if b.count = 0 then a
+  else
+    {
+      count = a.count + b.count;
+      sum = a.sum +. b.sum;
+      min = Float.min a.min b.min;
+      max = Float.max a.max b.max;
+      buckets = merge a.buckets b.buckets;
+    }
+
+let json_of_snapshot (s : hist_snapshot) =
+  Json.obj
+    [
+      ("count", Json.num (float_of_int s.count));
+      ("sum", Json.num s.sum);
+      ("min", Json.num s.min);
+      ("max", Json.num s.max);
+      ("p50", Json.num (snapshot_percentile s 0.50));
+      ("p90", Json.num (snapshot_percentile s 0.90));
+      ("p99", Json.num (snapshot_percentile s 0.99));
+      ( "buckets",
+        Json.arr
+          (List.map
+             (fun (lo, hi, c) ->
+               Json.arr [ Json.num lo; Json.num hi; Json.num (float_of_int c) ])
+             s.buckets) );
+    ]
+
+let snapshot_of_json j =
+  let ( let* ) = Result.bind in
+  let num_field name =
+    match Option.bind (Json.member name j) Json.to_float with
+    | Some v -> Ok v
+    | None ->
+        Error (Printf.sprintf "histogram snapshot field %S must be a number" name)
+  in
+  let* count = num_field "count" in
+  let* sum = num_field "sum" in
+  let* minv = num_field "min" in
+  let* maxv = num_field "max" in
+  let* buckets =
+    match Json.member "buckets" j with
+    | Some (Json.Arr items) ->
+        let rec go acc = function
+          | [] -> Ok (List.rev acc)
+          | it :: rest -> (
+              match Json.to_list it with
+              | Some [ jlo; jhi; jc ] -> (
+                  match
+                    (Json.to_float jlo, Json.to_float jhi, Json.to_float jc)
+                  with
+                  | Some lo, Some hi, Some c ->
+                      go ((lo, hi, int_of_float c) :: acc) rest
+                  | _ ->
+                      Error
+                        "histogram snapshot buckets must be [lower, upper, \
+                         count] number triples")
+              | _ ->
+                  Error
+                    "histogram snapshot buckets must be [lower, upper, count] \
+                     triples")
+        in
+        go [] items
+    | _ -> Error "histogram snapshot field \"buckets\" must be an array"
+  in
+  Ok { count = int_of_float count; sum; min = minv; max = maxv; buckets }
+
+let runtime_gauges () =
+  (* [Gc.stat] walks the heap (it triggers a major collection) — acceptable
+     at ops-query frequency, and the only way to get exact live words. *)
+  let st = Gc.stat () in
+  let ctrl = Gc.get () in
+  [
+    ("gc.minor_heap_words", float_of_int ctrl.Gc.minor_heap_size);
+    ("gc.minor_collections", float_of_int st.Gc.minor_collections);
+    ("gc.major_collections", float_of_int st.Gc.major_collections);
+    ("gc.compactions", float_of_int st.Gc.compactions);
+    ("gc.heap_words", float_of_int st.Gc.heap_words);
+    ("gc.live_words", float_of_int st.Gc.live_words);
+    ("gc.top_heap_words", float_of_int st.Gc.top_heap_words);
+    ("tape.nodes", float_of_int (value (counter "tape.nodes")));
+    ("tape.buffer_reuse", float_of_int (value (counter "tape.buffer_reuse")));
+  ]
+
 (* ---------------- summary ---------------- *)
 
 let register_source name f =
@@ -335,4 +501,31 @@ let json_of_items items =
   Buffer.add_char b '}';
   Buffer.contents b
 
-let to_json () = json_of_items (summary ())
+let to_json () =
+  let base = json_of_items (summary ()) in
+  let snaps =
+    List.filter (fun (_, s) -> s.buckets <> []) (histogram_snapshots ())
+  in
+  if snaps = [] then base
+  else begin
+    (* splice one "NAME.buckets" array per non-empty histogram into the flat
+       object so offline analysis can recompute percentiles exactly *)
+    let b = Buffer.create (String.length base + 256) in
+    Buffer.add_string b (String.sub base 0 (String.length base - 1));
+    List.iter
+      (fun (name, s) ->
+        Buffer.add_char b ',';
+        Buffer.add_string b (Json.to_string (Json.str (name ^ ".buckets")));
+        Buffer.add_char b ':';
+        Buffer.add_string b
+          (Json.to_string
+             (Json.arr
+                (List.map
+                   (fun (lo, hi, c) ->
+                     Json.arr
+                       [ Json.num lo; Json.num hi; Json.num (float_of_int c) ])
+                   s.buckets))))
+      snaps;
+    Buffer.add_char b '}';
+    Buffer.contents b
+  end

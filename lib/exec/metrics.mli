@@ -82,6 +82,61 @@ val bucket_base : float
     [oracle <= percentile h q <= oracle *. bucket_base] where [oracle] is
     the exact nearest-rank order statistic. *)
 
+(** {1 Histogram snapshots}
+
+    A lossless point-in-time export of a histogram: total count, sum, exact
+    min/max, and the non-empty buckets as [(lower, upper, count)] triples in
+    ascending order.  The underflow bucket (values [<= 0] or below [1e-9])
+    reports both bounds as [0.].  Unlike the flat summary keys, a snapshot
+    carries enough information to recompute any percentile exactly as the
+    live estimator would, and snapshots from different processes can be
+    merged. *)
+
+type hist_snapshot = {
+  count : int;
+  sum : float;
+  min : float;
+  max : float;
+  buckets : (float * float * int) list;
+}
+
+val snapshot : histogram -> hist_snapshot
+(** Consistent point-in-time export (taken under the histogram's mutex). *)
+
+val histogram_snapshots : unit -> (string * hist_snapshot) list
+(** Snapshots of every registered histogram, sorted by name. *)
+
+val snapshot_percentile : hist_snapshot -> float -> float
+(** Same nearest-rank estimator as {!percentile}, over the exported
+    buckets: for any histogram [h],
+    [snapshot_percentile (snapshot h) q = percentile h q]. *)
+
+val merge_snapshots : hist_snapshot -> hist_snapshot -> hist_snapshot
+(** Combine two snapshots of the same metric (e.g. from different
+    processes): counts add per bucket, bounds are untouched, min/max and
+    sum combine.  Merging is commutative, and counts never decrease:
+    [merge a b] has [count = a.count + b.count] and every bucket of [a] or
+    [b] appears with a count no smaller than it had. *)
+
+val json_of_snapshot : hist_snapshot -> Dpoaf_util.Json.t
+(** [{"count":…,"sum":…,"min":…,"max":…,"p50":…,"p90":…,"p99":…,
+     "buckets":[[lower,upper,count],…]}] — the percentiles are derived
+    (recomputable from the buckets) and ignored by {!snapshot_of_json}. *)
+
+val snapshot_of_json : Dpoaf_util.Json.t -> (hist_snapshot, string) result
+(** Strict inverse of {!json_of_snapshot}; the error names the offending
+    field. *)
+
+(** {1 Runtime gauges} *)
+
+val runtime_gauges : unit -> (string * float) list
+(** GC and allocator-pressure readings sampled now: [gc.minor_heap_words],
+    [gc.minor_collections], [gc.major_collections], [gc.compactions],
+    [gc.heap_words], [gc.live_words], [gc.top_heap_words], plus the
+    autodiff-tape counters [tape.nodes] and [tape.buffer_reuse].  Calls
+    [Gc.stat], which triggers a major collection — meant for ops-plane
+    queries, not hot paths. *)
+
 (** {1 Summaries} *)
 
 val register_source : string -> (unit -> (string * float) list) -> unit
@@ -104,7 +159,11 @@ val report : unit -> unit
 (** Log the summary at [App] level via {!Logs}. *)
 
 val to_json : unit -> string
-(** The summary as a single-line JSON object. *)
+(** The summary as a single-line JSON object.  In addition to the flat
+    summary keys, every non-empty histogram [n] contributes an
+    [n.buckets] member — an array of [[lower, upper, count]] triples — so
+    offline analysis can recompute percentiles exactly rather than relying
+    on the pre-baked [p50]/[p90]/[p99]. *)
 
 val json_of_items : (string * float) list -> string
 (** Render any summary-shaped item list (e.g. a {!delta}) as JSON. *)

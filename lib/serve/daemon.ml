@@ -9,7 +9,22 @@
    Shutdown is signal-driven: SIGINT/SIGTERM set a flag, the loop stops
    accepting and reading, drains the server (every admitted request still
    gets its response), flushes what the drain produced, and removes the
-   socket file. *)
+   socket file.
+
+   The ops verbs ([stats], [health]) are answered synchronously from the
+   event loop, ahead of the admission queue: a daemon whose queue is full
+   or whose workers are saturated still answers them on the next loop
+   turn.  When a {!Journal} is attached, the loop flushes its ring once
+   per turn so worker-domain emissions almost never touch the
+   filesystem. *)
+
+module Metrics = Dpoaf_exec.Metrics
+module Json = Dpoaf_util.Json
+
+type ops = {
+  stats : domain:string option -> Protocol.body;
+  health : domain:string option -> Protocol.body;
+}
 
 type stats = {
   connections : int;
@@ -79,23 +94,44 @@ let error_response msg =
     execute_us = 0.0;
   }
 
-let handle_line server client counters line =
+let handle_line server ops journal client counters line =
   if String.trim line = "" then ()
   else begin
     let requests, protocol_errors = counters in
     incr requests;
     match Protocol.request_of_string line with
     | Error msg ->
-        Dpoaf_exec.Metrics.incr protocol_errors_c;
+        Metrics.incr protocol_errors_c;
         incr protocol_errors;
+        (match journal with
+        | Some j -> Journal.emit j "daemon.protocol_error" [ ("error", Json.str msg) ]
+        | None -> ());
         push_out client (Protocol.response_to_string (error_response msg))
-    | Ok req ->
-        ignore
-          (Server.submit_async server req ~on_done:(fun resp ->
-               push_out client (Protocol.response_to_string resp)))
+    | Ok req -> (
+        match req.Protocol.kind with
+        | Protocol.Stats { domain } | Protocol.Health { domain } ->
+            (* answered synchronously ahead of admission: a full queue or
+               saturated pool never blocks the ops plane *)
+            let body =
+              match req.Protocol.kind with
+              | Protocol.Stats _ -> ops.stats ~domain
+              | _ -> ops.health ~domain
+            in
+            push_out client
+              (Protocol.response_to_string
+                 {
+                   Protocol.rid = req.Protocol.id;
+                   rbody = body;
+                   queue_wait_us = 0.0;
+                   execute_us = 0.0;
+                 })
+        | _ ->
+            ignore
+              (Server.submit_async server req ~on_done:(fun resp ->
+                   push_out client (Protocol.response_to_string resp))))
   end
 
-let handle_readable server client counters =
+let handle_readable server ops journal client counters =
   let chunk = Bytes.create 4096 in
   match Unix.read client.fd chunk 0 (Bytes.length chunk) with
   | 0 -> client.alive <- false
@@ -106,7 +142,7 @@ let handle_readable server client counters =
         | [] -> client.pending <- ""
         | [ tail ] -> client.pending <- tail
         | line :: rest ->
-            handle_line server client counters line;
+            handle_line server ops journal client counters line;
             consume rest
       in
       consume parts
@@ -121,7 +157,46 @@ let select readfds writefds =
     (r, w)
   with Unix.Unix_error (Unix.EINTR, _, _) -> ([], [])
 
-let run ~socket ~server () =
+(* A daemon embedded without a domain registry still answers the ops
+   verbs from what it can see — the global metrics registry and the
+   server's queue — but refuses domain-tagged queries rather than
+   silently ignoring the tag. *)
+let default_ops server =
+  let no_registry ~domain k =
+    match domain with
+    | Some d ->
+        Protocol.Failed
+          (Printf.sprintf
+             "domain %S: this daemon has no domain registry; retry without \
+              the domain tag"
+             d)
+    | None -> k ()
+  in
+  {
+    stats =
+      (fun ~domain ->
+        no_registry ~domain (fun () ->
+            Protocol.Stats_report
+              {
+                metrics = Metrics.summary ();
+                histograms = Metrics.histogram_snapshots ();
+                runtime = Metrics.runtime_gauges ();
+              }));
+    health =
+      (fun ~domain ->
+        no_registry ~domain (fun () ->
+            let h = Server.health server in
+            Protocol.Health_report
+              {
+                queue_depth = h.Server.queue_depth;
+                in_flight_batches = h.Server.in_flight_batches;
+                draining = h.Server.draining;
+                domains = [];
+              }));
+  }
+
+let run ~socket ~server ?ops ?journal () =
+  let ops = match ops with Some o -> o | None -> default_ops server in
   install_signal_handlers ();
   Atomic.set stop_requested false;
   Atomic.set responses_sent 0;
@@ -164,15 +239,20 @@ let run ~socket ~server () =
     List.iter
       (fun c ->
         if c.alive && List.mem c.fd readable then
-          handle_readable server c counters)
+          handle_readable server ops journal c counters)
       !clients;
     List.iter
       (fun c -> if c.alive && List.mem c.fd writable then flush_client c)
       !clients;
     let dead, live = List.partition (fun c -> not c.alive) !clients in
     List.iter (fun c -> close_quietly c.fd) dead;
-    clients := live
+    clients := live;
+    (* drain worker-domain journal emissions once per turn *)
+    match journal with Some j -> Journal.flush j | None -> ()
   in
+  (match journal with
+  | Some j -> Journal.emit j "daemon.start" [ ("socket", Json.str socket) ]
+  | None -> ());
   while not (Atomic.get stop_requested) do
     loop_turn ()
   done;
@@ -194,6 +274,12 @@ let run ~socket ~server () =
   flush_all ();
   List.iter (fun c -> close_quietly c.fd) !clients;
   if Sys.file_exists socket then Sys.remove socket;
+  (match journal with
+  | Some j ->
+      Journal.emit j "daemon.stop"
+        [ ("responses", Json.num (float_of_int (Atomic.get responses_sent))) ];
+      Journal.flush j
+  | None -> ());
   {
     connections = !connections;
     requests = !requests;

@@ -9,7 +9,23 @@
 
     Malformed lines are answered with a [status="error"] response (empty
     id) and counted in [serve.protocol_errors] — the connection stays
-    usable. *)
+    usable.
+
+    The ops verbs ([stats]/[health]) are answered synchronously from the
+    event loop, ahead of the admission queue: a daemon whose queue is
+    full or whose pool is saturated still answers them on the next loop
+    turn (within the 5 ms select timeout). *)
+
+type ops = {
+  stats : domain:string option -> Protocol.body;
+      (** typically {!Engine.stats_body} *)
+  health : domain:string option -> Protocol.body;
+      (** typically {!Server.health} + {!Engine.request_counts} *)
+}
+(** How the daemon answers the ops verbs.  When omitted, {!run} falls
+    back to the global metrics registry and the server's queue view, and
+    refuses domain-tagged queries (it has no domain registry to validate
+    them against). *)
 
 type stats = {
   connections : int;  (** connections accepted over the daemon's life *)
@@ -18,11 +34,19 @@ type stats = {
   protocol_errors : int;  (** lines that failed to parse as requests *)
 }
 
-val run : socket:string -> server:Server.t -> unit -> stats
+val run :
+  socket:string -> server:Server.t -> ?ops:ops -> ?journal:Journal.t ->
+  unit -> stats
 (** Bind [socket] (an existing file is replaced), serve until SIGINT or
     SIGTERM (or {!request_stop}), then drain the server gracefully —
     every admitted request is answered and flushed before the socket file
-    is removed.  Blocks the calling domain for the daemon's lifetime. *)
+    is removed.  Blocks the calling domain for the daemon's lifetime.
+
+    [journal], when given, records [daemon.start]/[daemon.stop] and
+    per-line [daemon.protocol_error] events, and is flushed once per loop
+    turn (pass the same journal to {!Server.create} to capture the
+    serving events too).  The daemon does not close it — the owner
+    does. *)
 
 val request_stop : unit -> unit
 (** Ask a running {!run} loop to shut down — what the signal handlers

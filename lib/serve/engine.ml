@@ -75,15 +75,65 @@ let create_multi packs =
 
 let domains t = List.map fst t.states
 
+let unserved t name =
+  Printf.sprintf "domain %S not served (serving: %s)" name
+    (String.concat ", " (List.map fst t.states))
+
 let state_for t = function
   | None -> Ok (List.assoc t.default t.states)
   | Some name -> (
       match List.assoc_opt name t.states with
       | Some st -> Ok st
-      | None ->
-          Error
-            (Printf.sprintf "domain %S not served (serving: %s)" name
-               (String.concat ", " (List.map fst t.states))))
+      | None -> Error (unserved t name))
+
+(* ---------------- ops plane ---------------- *)
+
+(* [k] names [d] as a dotted component: "serve.requests.driving" mentions
+   "driving" and so does "serve.prompt_state.driving.hits", but
+   "serve.drivingx" does not. *)
+let mentions_component k d =
+  let dot = "." ^ d in
+  let ld = String.length dot and lk = String.length k in
+  let rec scan i =
+    if i + ld > lk then false
+    else if String.sub k i ld = dot && (i + ld = lk || k.[i + ld] = '.') then
+      true
+    else scan (i + 1)
+  in
+  scan 0
+
+let stats_body t ~domain : Protocol.body =
+  match domain with
+  | Some name when not (List.mem_assoc name t.states) ->
+      Protocol.Failed (unserved t name)
+  | _ ->
+      (* a domain-tagged request hides the *other* packs' twins rather than
+         keeping only keys that name the requested one, so the shared
+         (untagged) serving metrics stay visible in every view *)
+      let others =
+        match domain with
+        | None -> []
+        | Some name -> List.filter (fun d -> d <> name) (List.map fst t.states)
+      in
+      let keep (k, _) = not (List.exists (mentions_component k) others) in
+      Protocol.Stats_report
+        {
+          metrics = List.filter keep (Metrics.summary ());
+          histograms = List.filter keep (Metrics.histogram_snapshots ());
+          runtime = Metrics.runtime_gauges ();
+        }
+
+let request_counts t ~domain =
+  match domain with
+  | Some name when not (List.mem_assoc name t.states) -> Error (unserved t name)
+  | _ ->
+      Ok
+        (List.filter_map
+           (fun (name, st) ->
+             match domain with
+             | Some d when d <> name -> None
+             | _ -> Some (name, Metrics.value st.requests))
+           t.states)
 
 let profile_of_steps st ~model steps : Protocol.profile =
   let (module D : Domain.S) = st.domain in
@@ -197,3 +247,18 @@ let handle t (req : Protocol.request) : Protocol.body =
       dispatch domain (fun st -> verify st ~scenario steps)
   | Protocol.Score_pair { steps_a; steps_b; scenario; domain } ->
       dispatch domain (fun st -> score_pair st ~scenario steps_a steps_b)
+  | Protocol.Stats { domain } -> stats_body t ~domain
+  | Protocol.Health { domain } -> (
+      (* queue visibility belongs to the daemon, which answers [health]
+         ahead of admission; an engine reached directly still reports what
+         it owns — the per-domain request counters *)
+      match request_counts t ~domain with
+      | Error msg -> Protocol.Failed msg
+      | Ok domains ->
+          Protocol.Health_report
+            {
+              queue_depth = 0;
+              in_flight_batches = 0;
+              draining = false;
+              domains;
+            })

@@ -15,11 +15,13 @@
     snapshot, prompt-state cache ([serve.prompt_state.<domain>]) and
     request counter ([serve.requests.<domain>]).
 
-    Replies depend only on request contents — never on batching, arrival
-    order or worker count — which is what lets {!Server} parallelize
-    freely while staying bit-deterministic.  Domain errors (unknown task,
-    unknown scenario, unserved domain, missing model) come back as
-    {!Protocol.Failed} bodies, not exceptions. *)
+    Replies to the execution kinds depend only on request contents — never
+    on batching, arrival order or worker count — which is what lets
+    {!Server} parallelize freely while staying bit-deterministic.  The ops
+    kinds ([stats], [health]) are exempt from that contract: they report
+    live state by design.  Domain errors (unknown task, unknown scenario,
+    unserved domain, missing model) come back as {!Protocol.Failed}
+    bodies, not exceptions. *)
 
 type t
 
@@ -40,3 +42,19 @@ val domains : t -> string list
 
 val handle : t -> Protocol.request -> Protocol.body
 (** Execute one request.  Safe to call concurrently from any domain. *)
+
+(** {1 Ops plane} *)
+
+val stats_body : t -> domain:string option -> Protocol.body
+(** Live {!Protocol.Stats_report}: the {!Dpoaf_exec.Metrics} summary and
+    full histogram snapshots (with bucket bounds), plus
+    {!Dpoaf_exec.Metrics.runtime_gauges}.  A [domain] tag hides the other
+    packs' per-domain twins ([serve.requests.<d>],
+    [serve.prompt_state.<d>.*]) while keeping the shared serving metrics;
+    an unserved domain yields {!Protocol.Failed} with the valid names. *)
+
+val request_counts :
+  t -> domain:string option -> ((string * int) list, string) result
+(** Per-domain request counters ([serve.requests.<d>] values), optionally
+    restricted to one domain.  [Error] names the valid domains when the
+    requested one is not served. *)

@@ -244,3 +244,26 @@ let print_report r =
      p99_ms=%.3f\n%!"
     r.sent r.completed r.ok r.rejected r.expired r.errors r.protocol_errors
     r.elapsed_s r.achieved_rps r.p50_ms r.p90_ms r.p99_ms
+
+let report_json r =
+  let module Json = Dpoaf_util.Json in
+  let n i = Json.num (float_of_int i) in
+  Json.obj
+    [
+      ("schema", Json.str "dpoaf-loadgen/1");
+      ("sent", n r.sent);
+      ("completed", n r.completed);
+      ("ok", n r.ok);
+      ("rejected", n r.rejected);
+      ("expired", n r.expired);
+      ("errors", n r.errors);
+      ("protocol_errors", n r.protocol_errors);
+      ("elapsed_s", Json.num r.elapsed_s);
+      ("achieved_rps", Json.num r.achieved_rps);
+      ("p50_ms", Json.num r.p50_ms);
+      ("p90_ms", Json.num r.p90_ms);
+      ("p99_ms", Json.num r.p99_ms);
+      (* the full latency distribution (seconds) with bucket bounds, so
+         offline analysis can recompute any percentile exactly *)
+      ("latency_s", Metrics.json_of_snapshot (Metrics.snapshot latency_h));
+    ]

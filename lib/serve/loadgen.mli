@@ -55,3 +55,11 @@ val run : config -> report
 val print_report : report -> unit
 (** One machine-parsable [loadgen: k=v ...] line on stdout — what
     [make serve-check] greps. *)
+
+val report_json : report -> Dpoaf_util.Json.t
+(** The report as JSON ([{"schema":"dpoaf-loadgen/1",...}]): every counter
+    and percentile from the flat report plus [latency_s] — the full
+    [loadgen.latency] histogram snapshot with per-bucket bounds and counts
+    ({!Dpoaf_exec.Metrics.json_of_snapshot}), so offline analysis can
+    recompute percentiles exactly.  What [dpoaf_cli loadgen --out]
+    writes. *)

@@ -8,10 +8,19 @@
    - [score_pair]: two responses -> preference + margin, the paper's
      automated-feedback oracle (§4.2) behind a request/response API.
 
+   Two further kinds form the ops plane of a running daemon:
+   - [stats]: live metrics snapshot — counters, histogram summaries with
+     exact bucket bounds, cache hit rates — plus GC/runtime gauges;
+   - [health]: queue depth, in-flight batches, drain state, per-domain
+     request counters.
+   Both accept an optional [domain] tag restricting the view to one
+   served domain's twins.
+
    Decoding is strict: unknown kinds, missing fields and type mismatches
    are reported with the offending field, never silently defaulted. *)
 
 module Json = Dpoaf_util.Json
+module Metrics = Dpoaf_exec.Metrics
 
 type kind =
   | Generate of {
@@ -27,6 +36,8 @@ type kind =
       scenario : string option;
       domain : string option;
     }
+  | Stats of { domain : string option }
+  | Health of { domain : string option }
 
 type request = { id : string; kind : kind; deadline_ms : float option }
 
@@ -48,6 +59,17 @@ type body =
       profile_a : profile;
       profile_b : profile;
     }
+  | Stats_report of {
+      metrics : (string * float) list;
+      histograms : (string * Metrics.hist_snapshot) list;
+      runtime : (string * float) list;
+    }
+  | Health_report of {
+      queue_depth : int;
+      in_flight_batches : int;
+      draining : bool;
+      domains : (string * int) list;
+    }
   | Rejected of string
   | Expired
   | Failed of string
@@ -60,7 +82,8 @@ type response = {
 }
 
 let status_of_body = function
-  | Generated _ | Verified _ | Compared _ -> "ok"
+  | Generated _ | Verified _ | Compared _ | Stats_report _ | Health_report _ ->
+      "ok"
   | Rejected _ -> "rejected"
   | Expired -> "expired"
   | Failed _ -> "error"
@@ -111,6 +134,8 @@ let json_of_request r =
             | None -> []
             | Some s -> [ ("scenario", Json.str s) ])
            @ jdomain domain)
+    | Stats { domain } -> ("kind", Json.str "stats") :: jdomain domain
+    | Health { domain } -> ("kind", Json.str "health") :: jdomain domain
   in
   let deadline =
     match r.deadline_ms with
@@ -139,6 +164,36 @@ let json_of_response r =
           ("vacuous_margin", Json.Bool vacuous_margin);
           ("profile_a", json_of_profile profile_a);
           ("profile_b", json_of_profile profile_b);
+        ]
+    | Stats_report { metrics; histograms; runtime } ->
+        let nums kvs = Json.obj (List.map (fun (k, v) -> (k, Json.num v)) kvs) in
+        [
+          ( "stats",
+            Json.obj
+              [
+                ("metrics", nums metrics);
+                ( "histograms",
+                  Json.obj
+                    (List.map
+                       (fun (k, s) -> (k, Metrics.json_of_snapshot s))
+                       histograms) );
+                ("runtime", nums runtime);
+              ] );
+        ]
+    | Health_report { queue_depth; in_flight_batches; draining; domains } ->
+        [
+          ( "health",
+            Json.obj
+              [
+                ("queue_depth", Json.num (float_of_int queue_depth));
+                ("in_flight_batches", Json.num (float_of_int in_flight_batches));
+                ("draining", Json.Bool draining);
+                ( "domains",
+                  Json.obj
+                    (List.map
+                       (fun (d, n) -> (d, Json.num (float_of_int n)))
+                       domains) );
+              ] );
         ]
     | Rejected reason -> [ ("reason", Json.str reason) ]
     | Expired -> []
@@ -250,10 +305,17 @@ let kind_of_json j =
       let* scenario = opt_str_field "scenario" j in
       let* domain = opt_str_field "domain" j in
       Ok (Score_pair { steps_a; steps_b; scenario; domain })
+  | "stats" ->
+      let* domain = opt_str_field "domain" j in
+      Ok (Stats { domain })
+  | "health" ->
+      let* domain = opt_str_field "domain" j in
+      Ok (Health { domain })
   | other ->
       Error
         (Printf.sprintf
-           "unknown request kind %S (valid: generate, verify, score_pair)"
+           "unknown request kind %S (valid: generate, verify, score_pair, \
+            stats, health)"
            other)
 
 let request_of_json j =
@@ -277,9 +339,68 @@ let profile_of_json j =
   let* vacuous = str_list_field "vacuous" j in
   Ok { score = int_of_float score; satisfied; violated; vacuous }
 
+let num_assoc_field name j =
+  let* v = field name j in
+  match v with
+  | Json.Obj kvs ->
+      let rec go acc = function
+        | [] -> Ok (List.rev acc)
+        | (k, x) :: rest -> (
+            match Json.to_float x with
+            | Some f -> go ((k, f) :: acc) rest
+            | None ->
+                Error
+                  (Printf.sprintf "field %S must map names to numbers" name))
+      in
+      go [] kvs
+  | _ -> Error (Printf.sprintf "field %S must be an object" name)
+
+let stats_report_of_json j =
+  let* metrics = num_assoc_field "metrics" j in
+  let* hs = field "histograms" j in
+  let* histograms =
+    match hs with
+    | Json.Obj kvs ->
+        let rec go acc = function
+          | [] -> Ok (List.rev acc)
+          | (k, x) :: rest -> (
+              match Metrics.snapshot_of_json x with
+              | Ok s -> go ((k, s) :: acc) rest
+              | Error msg -> Error (Printf.sprintf "histogram %S: %s" k msg))
+        in
+        go [] kvs
+    | _ -> Error "field \"histograms\" must be an object"
+  in
+  let* runtime = num_assoc_field "runtime" j in
+  Ok (Stats_report { metrics; histograms; runtime })
+
+let health_report_of_json j =
+  let* queue_depth = num_field "queue_depth" j in
+  let* in_flight = num_field "in_flight_batches" j in
+  let* d = field "draining" j in
+  let* draining =
+    match d with
+    | Json.Bool b -> Ok b
+    | _ -> Error "field \"draining\" must be a boolean"
+  in
+  let* domains = num_assoc_field "domains" j in
+  Ok
+    (Health_report
+       {
+         queue_depth = int_of_float queue_depth;
+         in_flight_batches = int_of_float in_flight;
+         draining;
+         domains = List.map (fun (k, v) -> (k, int_of_float v)) domains;
+       })
+
 let body_of_json status j =
   match status with
   | "ok" -> (
+      (* the ops-plane payloads live under a single member *)
+      match (Json.member "stats" j, Json.member "health" j) with
+      | Some s, _ -> stats_report_of_json s
+      | None, Some h -> health_report_of_json h
+      | None, None -> (
       (* discriminate the three ok shapes by their distinctive fields *)
       match (Json.member "preference" j, Json.member "tokens" j) with
       | Some _, _ ->
@@ -315,7 +436,7 @@ let body_of_json status j =
       | None, None ->
           let* p = field "profile" j in
           let* profile = profile_of_json p in
-          Ok (Verified profile))
+          Ok (Verified profile)))
   | "rejected" ->
       let* reason = str_field "reason" j in
       Ok (Rejected reason)

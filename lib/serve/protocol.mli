@@ -32,10 +32,21 @@ type kind =
     }
       (** The automated-feedback oracle: verify both responses and emit a
           preference with its formal justification. *)
-(** Every kind carries an optional [domain] naming the pack that should
-    execute it ([None] = the server's default pack).  Like [scenario],
-    the field is encoded only when present, so single-domain traffic is
-    byte-identical to the pre-domain protocol. *)
+  | Stats of { domain : string option }
+      (** Ops plane: live metrics snapshot (counters, histogram summaries
+          with exact bucket bounds, cache hit rates) plus GC/runtime
+          gauges.  [domain] restricts the view to one served pack's
+          per-domain twins; [None] returns everything.  Answered by the
+          daemon ahead of the admission queue, so it responds even under
+          full load. *)
+  | Health of { domain : string option }
+      (** Ops plane: queue depth, in-flight batches, drain state and
+          per-domain request counters.  Also answered ahead of the
+          admission queue. *)
+(** Every execution kind carries an optional [domain] naming the pack that
+    should execute it ([None] = the server's default pack).  Like
+    [scenario], the field is encoded only when present, so single-domain
+    traffic is byte-identical to the pre-domain protocol. *)
 
 type request = {
   id : string;  (** client-chosen correlation id, echoed in the response *)
@@ -65,6 +76,22 @@ type body =
       profile_a : profile;
       profile_b : profile;
     }
+  | Stats_report of {
+      metrics : (string * float) list;  (** the flat {!Dpoaf_exec.Metrics}
+          summary, filtered to the requested domain when tagged *)
+      histograms : (string * Dpoaf_exec.Metrics.hist_snapshot) list;
+          (** full snapshots with bucket bounds — percentiles are exactly
+              recomputable offline *)
+      runtime : (string * float) list;
+          (** {!Dpoaf_exec.Metrics.runtime_gauges} at answer time *)
+    }  (** Answer to {!Stats}; serialized under a single ["stats"] member. *)
+  | Health_report of {
+      queue_depth : int;
+      in_flight_batches : int;
+      draining : bool;
+      domains : (string * int) list;  (** per-domain request counters *)
+    }  (** Answer to {!Health}; serialized under a single ["health"]
+          member. *)
   | Rejected of string  (** admission control refused the request *)
   | Expired  (** deadline passed while queued; never executed *)
   | Failed of string  (** the handler raised *)

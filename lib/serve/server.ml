@@ -20,6 +20,7 @@
 module Metrics = Dpoaf_exec.Metrics
 module Pool = Dpoaf_exec.Pool
 module Trace = Dpoaf_exec.Trace
+module Json = Dpoaf_util.Json
 
 type config = {
   jobs : int;
@@ -50,6 +51,8 @@ type t = {
   mutable dispatcher : unit Domain.t option;
   state_mutex : Mutex.t;
   mutable draining : bool;
+  journal : Journal.t option;
+  in_flight : int Atomic.t;  (* batches currently executing *)
 }
 
 (* ---------------- instrumentation ---------------- *)
@@ -64,11 +67,17 @@ let queue_wait_h = Metrics.histogram "serve.queue_wait"
 let execute_h = Metrics.histogram "serve.execute"
 let latency_h = Metrics.histogram "serve.latency"
 let batch_size_h = Metrics.histogram "serve.batch_size"
+let in_flight_g = Metrics.gauge "serve.batches.in_flight"
 
 let kind_name = function
   | Protocol.Generate _ -> "generate"
   | Protocol.Verify _ -> "verify"
   | Protocol.Score_pair _ -> "score_pair"
+  | Protocol.Stats _ -> "stats"
+  | Protocol.Health _ -> "health"
+
+let journal_event journal ev attrs =
+  match journal with None -> () | Some j -> Journal.emit j ev attrs
 
 (* ---------------- ticket completion ---------------- *)
 
@@ -119,6 +128,13 @@ let finish ticket ~t_dequeue ~t_exec_start ~t_end body =
 
 let run_batch t tickets =
   let t_dequeue = Unix.gettimeofday () in
+  Atomic.incr t.in_flight;
+  Metrics.set_gauge in_flight_g (float_of_int (Atomic.get t.in_flight));
+  Fun.protect
+    ~finally:(fun () ->
+      Atomic.decr t.in_flight;
+      Metrics.set_gauge in_flight_g (float_of_int (Atomic.get t.in_flight)))
+  @@ fun () ->
   Metrics.incr batches_c;
   Metrics.observe batch_size_h (float_of_int (List.length tickets));
   List.iter
@@ -134,9 +150,19 @@ let run_batch t tickets =
         | None -> false)
       tickets
   in
+  journal_event t.journal "serve.batch"
+    [
+      ("size", Json.num (float_of_int (List.length tickets)));
+      ("expired", Json.num (float_of_int (List.length expired)));
+    ];
   List.iter
     (fun ticket ->
       Metrics.incr expired_c;
+      journal_event t.journal "serve.expire"
+        [
+          ("id", Json.str ticket.req.Protocol.id);
+          ("waited_ms", Json.num ((t_dequeue -. ticket.submitted) *. 1e3));
+        ];
       finish ticket ~t_dequeue ~t_exec_start:t_dequeue ~t_end:t_dequeue
         Protocol.Expired)
     expired;
@@ -155,6 +181,14 @@ let run_batch t tickets =
          (match body with
          | Protocol.Failed _ -> Metrics.incr errors_c
          | _ -> ());
+         journal_event t.journal "serve.request"
+           [
+             ("id", Json.str ticket.req.Protocol.id);
+             ("kind", Json.str (kind_name ticket.req.Protocol.kind));
+             ("status", Json.str (Protocol.status_of_body body));
+             ("queue_wait_us", Json.num ((t_dequeue -. ticket.submitted) *. 1e6));
+             ("execute_us", Json.num ((t_end -. t_exec_start) *. 1e6));
+           ];
          finish ticket ~t_dequeue ~t_exec_start ~t_end body)
        alive)
 
@@ -170,7 +204,7 @@ let rec dispatch_loop t =
 
 (* ---------------- public API ---------------- *)
 
-let create ?(config = default_config) ~handler () =
+let create ?(config = default_config) ?journal ~handler () =
   if config.jobs < 1 then invalid_arg "Server.create: jobs must be >= 1";
   if config.max_batch < 1 then
     invalid_arg "Server.create: max_batch must be >= 1";
@@ -187,6 +221,8 @@ let create ?(config = default_config) ~handler () =
       dispatcher = None;
       state_mutex = Mutex.create ();
       draining = false;
+      journal;
+      in_flight = Atomic.make 0;
     }
   in
   t.dispatcher <- Some (Domain.spawn (fun () -> dispatch_loop t));
@@ -194,6 +230,18 @@ let create ?(config = default_config) ~handler () =
 
 let config t = t.config
 let queue_depth t = Admission.depth t.queue
+
+type health = { queue_depth : int; in_flight_batches : int; draining : bool }
+
+let health t =
+  Mutex.lock t.state_mutex;
+  let draining = t.draining in
+  Mutex.unlock t.state_mutex;
+  {
+    queue_depth = Admission.depth t.queue;
+    in_flight_batches = Atomic.get t.in_flight;
+    draining;
+  }
 
 let submit_async ?on_done t req =
   let submitted = Unix.gettimeofday () in
@@ -218,6 +266,8 @@ let submit_async ?on_done t req =
       else
         Printf.sprintf "queue full (capacity %d)" t.config.queue_capacity
     in
+    journal_event t.journal "serve.reject"
+      [ ("id", Json.str req.Protocol.id); ("reason", Json.str reason) ];
     complete ticket
       {
         Protocol.rid = req.Protocol.id;
@@ -246,6 +296,8 @@ let peek ticket =
 let submit t req = await (submit_async t req)
 
 let drain t =
+  journal_event t.journal "serve.drain"
+    [ ("queue_depth", Json.num (float_of_int (Admission.depth t.queue))) ];
   Mutex.lock t.state_mutex;
   t.draining <- true;
   let dispatcher = t.dispatcher in

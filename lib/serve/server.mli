@@ -16,9 +16,13 @@
 
     Instrumentation: counters [serve.accepted/rejected/expired/completed/
     errors/batches], histograms [serve.queue_wait/execute/latency/
-    batch_size], the [serve.queue.depth] gauge, and per-request
-    [serve.request] trace spans with [queue_wait]/[batch_assembly]/
-    [execute] children when {!Dpoaf_exec.Trace} is enabled. *)
+    batch_size], the [serve.queue.depth] and [serve.batches.in_flight]
+    gauges, and per-request [serve.request] trace spans with
+    [queue_wait]/[batch_assembly]/[execute] children when
+    {!Dpoaf_exec.Trace} is enabled.  When created with a {!Journal}, every
+    admission reject ([serve.reject]), deadline expiry ([serve.expire]),
+    batch coalesce ([serve.batch]), request completion ([serve.request])
+    and drain ([serve.drain]) is also recorded as a journal event. *)
 
 type config = {
   jobs : int;  (** pool slots executing batches *)
@@ -34,10 +38,17 @@ val default_config : config
 type t
 
 val create :
-  ?config:config -> handler:(Protocol.request -> Protocol.body) -> unit -> t
+  ?config:config ->
+  ?journal:Journal.t ->
+  handler:(Protocol.request -> Protocol.body) ->
+  unit ->
+  t
 (** Spawn the dispatcher domain and worker pool.  [handler] runs on pool
     workers and must be safe to call from any domain; exceptions it raises
-    become [Failed] bodies.
+    become [Failed] bodies.  [journal], when given, receives the serving
+    events listed above; the server buffers through the journal's ring and
+    never flushes it itself — the owning loop should call
+    {!Journal.flush} periodically.
     @raise Invalid_argument on non-positive [jobs]/[max_batch] or negative
     [flush_ms]. *)
 
@@ -67,3 +78,16 @@ val drain : t -> unit
 
 val config : t -> config
 val queue_depth : t -> int
+
+(** {1 Ops plane} *)
+
+type health = {
+  queue_depth : int;  (** requests waiting in admission *)
+  in_flight_batches : int;  (** batches currently executing (0 or 1 with
+      the single dispatcher) *)
+  draining : bool;
+}
+
+val health : t -> health
+(** A point-in-time liveness view; safe from any domain and never blocked
+    by a backed-up queue. *)

@@ -235,6 +235,53 @@ let test_metrics_delta () =
      List.assoc "test.delta.late" (Metrics.delta before (Metrics.summary ()))
      = 1.0)
 
+let test_metrics_snapshot () =
+  let h = Metrics.histogram "test.hist.snap" in
+  List.iter (Metrics.observe h) [ 0.001; 0.002; 0.004; 0.008; 0.1 ];
+  let s = Metrics.snapshot h in
+  Alcotest.(check int) "count" 5 s.Metrics.count;
+  Alcotest.(check (float 1e-9)) "sum" 0.115 s.Metrics.sum;
+  Alcotest.(check (float 1e-9)) "min" 0.001 s.Metrics.min;
+  Alcotest.(check (float 1e-9)) "max" 0.1 s.Metrics.max;
+  Alcotest.(check bool) "only non-empty buckets exported" true
+    (List.for_all (fun (_, _, c) -> c > 0) s.Metrics.buckets);
+  Alcotest.(check int) "bucket counts sum to count" 5
+    (List.fold_left (fun acc (_, _, c) -> acc + c) 0 s.Metrics.buckets);
+  Alcotest.(check bool) "bucket bounds are ordered" true
+    (List.for_all (fun (lo, hi, _) -> lo < hi) s.Metrics.buckets);
+  (match (s.Metrics.buckets, List.rev s.Metrics.buckets) with
+  | (lo, _, _) :: _, (_, hi, _) :: _ ->
+      Alcotest.(check bool) "first bucket brackets min" true (lo <= 0.001);
+      Alcotest.(check bool) "last bucket brackets max" true (hi >= 0.1)
+  | _ -> Alcotest.fail "no buckets exported");
+  (* snapshot percentiles agree with the live estimator *)
+  List.iter
+    (fun q ->
+      Alcotest.(check (float 1e-12))
+        (Printf.sprintf "snapshot p%.0f = live" (q *. 100.0))
+        (Metrics.percentile h q)
+        (Metrics.snapshot_percentile s q))
+    [ 0.5; 0.9; 0.99 ];
+  (* JSON round-trip preserves the whole snapshot *)
+  match Metrics.snapshot_of_json (Metrics.json_of_snapshot s) with
+  | Error e -> Alcotest.fail ("snapshot_of_json: " ^ e)
+  | Ok s' -> Alcotest.(check bool) "json round-trip" true (s = s')
+
+let test_metrics_runtime_gauges () =
+  let g = Metrics.runtime_gauges () in
+  let get k =
+    match List.assoc_opt k g with
+    | Some v -> v
+    | None -> Alcotest.failf "runtime_gauges missing %s" k
+  in
+  Alcotest.(check bool) "heap words positive" true (get "gc.heap_words" > 0.0);
+  Alcotest.(check bool) "live words positive" true (get "gc.live_words" > 0.0);
+  Alcotest.(check bool) "minor heap configured" true
+    (get "gc.minor_heap_words" > 0.0);
+  List.iter
+    (fun k -> Alcotest.(check bool) (k ^ " present") true (get k >= 0.0))
+    [ "gc.minor_collections"; "gc.major_collections"; "tape.nodes" ]
+
 (* ---------------- tracing ---------------- *)
 
 let find_span name spans =
@@ -358,6 +405,46 @@ let prop_histogram_percentile =
           oracle <= est && est <= oracle *. Metrics.bucket_base)
         [ 0.5; 0.9; 0.99 ])
 
+(* merging snapshots is monotone: counts never decrease, the bound pairs
+   of both inputs survive verbatim, and count/sum aggregate exactly *)
+let prop_snapshot_merge_monotone =
+  let positive = QCheck.Gen.map (fun x -> 1e-6 +. (x *. 1e4)) (QCheck.Gen.float_bound_exclusive 1.0) in
+  let samples = QCheck.Gen.(list_size (int_range 0 100) positive) in
+  QCheck.Test.make ~count:100
+    ~name:"snapshot merge is monotone (counts grow, bounds stable)"
+    (QCheck.make
+       ~print:QCheck.Print.(pair (list float) (list float))
+       (QCheck.Gen.pair samples samples))
+    (fun (xs, ys) ->
+      let snap vs =
+        incr hist_counter;
+        let h =
+          Metrics.histogram (Printf.sprintf "test.hist.merge%d" !hist_counter)
+        in
+        List.iter (Metrics.observe h) vs;
+        Metrics.snapshot h
+      in
+      let a = snap xs and b = snap ys in
+      let m = Metrics.merge_snapshots a b in
+      let count_at s (lo, hi) =
+        List.fold_left
+          (fun acc (l, u, c) -> if l = lo && u = hi then acc + c else acc)
+          0 s.Metrics.buckets
+      in
+      let bounds s = List.map (fun (l, u, _) -> (l, u)) s.Metrics.buckets in
+      m.Metrics.count = a.Metrics.count + b.Metrics.count
+      && abs_float (m.Metrics.sum -. (a.Metrics.sum +. b.Metrics.sum)) < 1e-9
+      && List.for_all
+           (fun bd -> count_at m bd >= count_at a bd && count_at m bd >= count_at b bd)
+           (bounds m)
+      && List.for_all (fun bd -> List.mem bd (bounds m)) (bounds a)
+      && List.for_all (fun bd -> List.mem bd (bounds m)) (bounds b)
+      && List.fold_left (fun acc (_, _, c) -> acc + c) 0 m.Metrics.buckets
+         = m.Metrics.count
+      (* merging with an empty snapshot is the identity *)
+      && Metrics.merge_snapshots a (snap []) = a
+      && Metrics.merge_snapshots (snap []) b = b)
+
 let qsuite name tests =
   (name, List.map (QCheck_alcotest.to_alcotest ~verbose:false) tests)
 
@@ -391,6 +478,9 @@ let () =
           Alcotest.test_case "histogram summary" `Quick
             test_metrics_histogram_summary;
           Alcotest.test_case "delta" `Quick test_metrics_delta;
+          Alcotest.test_case "histogram snapshot" `Quick test_metrics_snapshot;
+          Alcotest.test_case "runtime gauges" `Quick
+            test_metrics_runtime_gauges;
         ] );
       ( "trace",
         [
@@ -407,5 +497,5 @@ let () =
         (List.concat_map
            (fun k -> [ prop_parallel_map_pure k; prop_parallel_mapi_pure k ])
            [ 1; 2; 4 ]
-        @ [ prop_histogram_percentile ]);
+        @ [ prop_histogram_percentile; prop_snapshot_merge_monotone ]);
     ]

@@ -121,6 +121,65 @@ let test_response_goldens () =
       execute_us = 2.0;
     }
 
+(* the ops plane verbs, untagged and domain-tagged, both directions *)
+let test_ops_goldens () =
+  check_request {|{"id":"st1","kind":"stats"}|}
+    { P.id = "st1"; kind = P.Stats { domain = None }; deadline_ms = None };
+  check_request {|{"id":"st2","kind":"stats","domain":"driving"}|}
+    {
+      P.id = "st2";
+      kind = P.Stats { domain = Some "driving" };
+      deadline_ms = None;
+    };
+  check_request {|{"id":"h1","kind":"health"}|}
+    { P.id = "h1"; kind = P.Health { domain = None }; deadline_ms = None };
+  check_request {|{"id":"h2","kind":"health","domain":"warehouse"}|}
+    {
+      P.id = "h2";
+      kind = P.Health { domain = Some "warehouse" };
+      deadline_ms = None;
+    };
+  (* histogram snapshots travel with bucket bounds AND counts, so the
+     receiving side can recompute any percentile — nothing is lossy *)
+  let snap =
+    {
+      Metrics.count = 3;
+      sum = 0.75;
+      min = 0.2;
+      max = 0.3;
+      buckets = [ (0.1, 0.25, 2); (0.25, 0.5, 1) ];
+    }
+  in
+  check_response
+    {|{"id":"st1","status":"ok","queue_wait_us":0,"execute_us":0,"stats":{"metrics":{"serve.completed":12},"histograms":{"serve.latency":{"count":3,"sum":0.75,"min":0.2,"max":0.3,"p50":0.25,"p90":0.3,"p99":0.3,"buckets":[[0.1,0.25,2],[0.25,0.5,1]]}},"runtime":{"gc.heap_words":4096}}}|}
+    {
+      P.rid = "st1";
+      rbody =
+        P.Stats_report
+          {
+            metrics = [ ("serve.completed", 12.0) ];
+            histograms = [ ("serve.latency", snap) ];
+            runtime = [ ("gc.heap_words", 4096.0) ];
+          };
+      queue_wait_us = 0.0;
+      execute_us = 0.0;
+    };
+  check_response
+    {|{"id":"h1","status":"ok","queue_wait_us":0,"execute_us":0,"health":{"queue_depth":3,"in_flight_batches":1,"draining":false,"domains":{"driving":10,"warehouse":2}}}|}
+    {
+      P.rid = "h1";
+      rbody =
+        P.Health_report
+          {
+            queue_depth = 3;
+            in_flight_batches = 1;
+            draining = false;
+            domains = [ ("driving", 10); ("warehouse", 2) ];
+          };
+      queue_wait_us = 0.0;
+      execute_us = 0.0;
+    }
+
 let contains hay needle =
   let h = String.length hay and n = String.length needle in
   let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
@@ -392,6 +451,77 @@ let test_engine_rejects_unknowns () =
        { task = "right_turn_tl"; seed = 0; temperature = 1.0; domain = None })
     "model"
 
+(* ---------------- journal ---------------- *)
+
+(* Size-capped rotation under concurrent emitters: every event survives
+   (the ring flushes synchronously when full, rotation keeps enough
+   generations for this volume), no file exceeds the cap, and at least
+   one rotation actually happened. *)
+let test_journal_rotation () =
+  let module Json = Dpoaf_util.Json in
+  let dir = Filename.temp_file "dpoaf-journal" "" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o755;
+  let path = Filename.concat dir "journal.jsonl" in
+  let max_bytes = 4096 in
+  let j = Journal.create ~max_bytes ~keep:3 ~ring_capacity:16 path in
+  let domains = 4 and per_domain = 50 in
+  let spawned =
+    List.init domains (fun d ->
+        Domain.spawn (fun () ->
+            for i = 0 to per_domain - 1 do
+              Journal.emit j "test.event"
+                [ ("id", Json.str (Printf.sprintf "d%d-%03d" d i)) ]
+            done))
+  in
+  List.iter Domain.join spawned;
+  Journal.close j;
+  let generations =
+    List.filter Sys.file_exists
+      (path :: List.init 3 (fun i -> Printf.sprintf "%s.%d" path (i + 1)))
+  in
+  Alcotest.(check bool) "rotated at least once" true
+    (List.length generations > 1);
+  let ids = Hashtbl.create 256 in
+  List.iter
+    (fun file ->
+      let size = (Unix.stat file).Unix.st_size in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s within the size cap" (Filename.basename file))
+        true (size <= max_bytes);
+      let ic = open_in file in
+      (try
+         while true do
+           let line = input_line ic in
+           match Json.parse line with
+           | Error e -> Alcotest.failf "%s: malformed line: %s" file e
+           | Ok o -> (
+               (match Option.bind (Json.member "ts" o) Json.to_float with
+               | Some _ -> ()
+               | None -> Alcotest.failf "%s: event without ts" file);
+               match
+                 Option.bind (Json.member "id" o) Json.to_str
+               with
+               | Some id ->
+                   Hashtbl.replace ids id
+                     (1 + try Hashtbl.find ids id with Not_found -> 0)
+               | None -> Alcotest.failf "%s: event without id" file)
+         done
+       with End_of_file -> ());
+      close_in ic)
+    generations;
+  for d = 0 to domains - 1 do
+    for i = 0 to per_domain - 1 do
+      let id = Printf.sprintf "d%d-%03d" d i in
+      Alcotest.(check int)
+        (Printf.sprintf "event %s written exactly once" id)
+        1
+        (try Hashtbl.find ids id with Not_found -> 0)
+    done
+  done;
+  List.iter Sys.remove generations;
+  Sys.rmdir dir
+
 let () =
   Alcotest.run "serve"
     [
@@ -399,8 +529,11 @@ let () =
         [
           Alcotest.test_case "request goldens" `Quick test_request_goldens;
           Alcotest.test_case "response goldens" `Quick test_response_goldens;
+          Alcotest.test_case "ops goldens" `Quick test_ops_goldens;
           Alcotest.test_case "strict decoding" `Quick test_protocol_strictness;
         ] );
+      ( "journal",
+        [ Alcotest.test_case "rotation under load" `Quick test_journal_rotation ] );
       ( "server",
         [
           Alcotest.test_case "batch and complete" `Quick test_batch_and_complete;

@@ -1,0 +1,188 @@
+#!/bin/sh
+# End-to-end gate for the ops plane: boot the daemon with an event
+# journal, drive a loadgen burst, and require that (a) `stats` and
+# `health` answer *while the daemon is under load*, in both JSON and
+# Prometheus form, (b) the journal is valid JSONL that `report --journal`
+# accepts and that records the burst, (c) the loadgen JSON report is
+# parseable, and (d) the perf gate passes against a fresh baseline and
+# fails when that baseline is artificially degraded.
+#
+# Uses the built binaries directly (not `dune exec`) so the daemon and
+# the clients never contend on the dune build lock.
+set -eu
+
+CLI=_build/default/bin/dpoaf_cli.exe
+GATE=_build/default/bench/perf_gate.exe
+SOCK=$(mktemp -u /tmp/dpoaf-obs-check.XXXXXX.sock)
+LOG=$(mktemp /tmp/dpoaf-obs-check.XXXXXX.log)
+OUT=$(mktemp /tmp/dpoaf-obs-check.XXXXXX.out)
+WORK=$(mktemp -d /tmp/dpoaf-obs-check.XXXXXX)
+JOURNAL="$WORK/journal.jsonl"
+
+cleanup() {
+    [ -n "${DAEMON_PID:-}" ] && kill "$DAEMON_PID" 2>/dev/null || true
+    [ -n "${DAEMON_PID:-}" ] && wait "$DAEMON_PID" 2>/dev/null || true
+    [ -n "${LOADGEN_PID:-}" ] && kill "$LOADGEN_PID" 2>/dev/null || true
+    rm -f "$SOCK" "$LOG" "$OUT"
+    rm -rf "$WORK"
+}
+trap cleanup EXIT INT TERM
+
+[ -x "$CLI" ] || { echo "obs-check: $CLI not built" >&2; exit 1; }
+[ -x "$GATE" ] || { echo "obs-check: $GATE not built" >&2; exit 1; }
+
+"$CLI" serve --socket "$SOCK" --jobs 2 --seed 17 --journal "$JOURNAL" \
+    >"$LOG" 2>&1 &
+DAEMON_PID=$!
+
+i=0
+while [ ! -S "$SOCK" ]; do
+    i=$((i + 1))
+    if [ "$i" -gt 600 ]; then
+        echo "obs-check: daemon did not bind $SOCK within 60s" >&2
+        cat "$LOG" >&2
+        exit 1
+    fi
+    kill -0 "$DAEMON_PID" 2>/dev/null || {
+        echo "obs-check: daemon exited during startup" >&2
+        cat "$LOG" >&2
+        exit 1
+    }
+    sleep 0.1
+done
+
+# ---- ops verbs answered mid-load ------------------------------------
+# Start a burst in the background, then query stats/health while it runs.
+"$CLI" loadgen --socket "$SOCK" --rate 150 --duration 2 --seed 5 \
+    --out "$WORK/loadgen.json" >"$WORK/loadgen.txt" 2>&1 &
+LOADGEN_PID=$!
+sleep 0.5
+
+"$CLI" stats --socket "$SOCK" >"$OUT"
+grep -q '"stats"' "$OUT" || {
+    echo "obs-check: stats (json) missing the stats payload" >&2
+    cat "$OUT" >&2
+    exit 1
+}
+grep -q '"serve.completed"' "$OUT" || {
+    echo "obs-check: stats (json) missing serve counters" >&2
+    exit 1
+}
+grep -q '"gc.heap_words"' "$OUT" || {
+    echo "obs-check: stats (json) missing runtime gauges" >&2
+    exit 1
+}
+
+"$CLI" stats --socket "$SOCK" --format prom >"$OUT"
+grep -q '^# TYPE dpoaf_serve_latency histogram' "$OUT" || {
+    echo "obs-check: stats (prom) missing the latency histogram family" >&2
+    cat "$OUT" >&2
+    exit 1
+}
+grep -q '_bucket{le="+Inf"}' "$OUT" || {
+    echo "obs-check: stats (prom) missing the +Inf bucket" >&2
+    exit 1
+}
+
+"$CLI" health --socket "$SOCK" >"$OUT"
+grep -q '"queue_depth"' "$OUT" && grep -q '"draining":false' "$OUT" || {
+    echo "obs-check: health missing queue_depth/draining" >&2
+    cat "$OUT" >&2
+    exit 1
+}
+
+# strict flag parsing: unknown --format values are usage errors
+if "$CLI" stats --socket "$SOCK" --format yaml >/dev/null 2>"$OUT"; then
+    echo "obs-check: --format yaml should have been rejected" >&2
+    exit 1
+fi
+grep -qi 'json' "$OUT" || {
+    echo "obs-check: --format error does not list the valid values" >&2
+    cat "$OUT" >&2
+    exit 1
+}
+
+wait "$LOADGEN_PID" || {
+    echo "obs-check: loadgen failed" >&2
+    cat "$WORK/loadgen.txt" >&2
+    exit 1
+}
+LOADGEN_PID=
+
+completed=$(sed -n 's/.*completed=\([0-9]*\).*/\1/p' "$WORK/loadgen.txt")
+[ "${completed:-0}" -gt 0 ] || {
+    echo "obs-check: expected loadgen completions under the ops queries" >&2
+    exit 1
+}
+grep -q '"schema":"dpoaf-loadgen\/1"\|"schema":"dpoaf-loadgen/1"' \
+    "$WORK/loadgen.json" || {
+    echo "obs-check: loadgen --out did not write the JSON report" >&2
+    exit 1
+}
+
+# ---- graceful stop, then journal validity ---------------------------
+kill -TERM "$DAEMON_PID"
+wait "$DAEMON_PID" || {
+    echo "obs-check: daemon exited non-zero on SIGTERM" >&2
+    cat "$LOG" >&2
+    exit 1
+}
+DAEMON_PID=
+
+[ -s "$JOURNAL" ] || {
+    echo "obs-check: journal $JOURNAL is missing or empty" >&2
+    exit 1
+}
+# report --journal exits 1 on any malformed line: this IS the validator
+"$CLI" report --journal "$JOURNAL" >"$OUT" || {
+    echo "obs-check: report --journal rejected the journal" >&2
+    cat "$OUT" >&2
+    exit 1
+}
+for ev in daemon.start daemon.stop serve.batch serve.request serve.drain; do
+    grep -q "$ev" "$OUT" || {
+        echo "obs-check: journal report missing $ev events" >&2
+        cat "$OUT" >&2
+        exit 1
+    }
+done
+
+# ---- perf gate on a fresh results series ----------------------------
+RESULTS="$WORK/results"
+_build/default/bench/main.exe --fast --only kernels,serving --jobs 2 \
+    --results-dir "$RESULTS" >"$WORK/bench.txt" 2>&1 || {
+    echo "obs-check: bench run for the perf gate failed" >&2
+    tail -20 "$WORK/bench.txt" >&2
+    exit 1
+}
+[ -f "$RESULTS/latest.json" ] || {
+    echo "obs-check: bench did not write $RESULTS/latest.json" >&2
+    exit 1
+}
+
+# first run pins the baseline and passes
+"$GATE" --results-dir "$RESULTS" | grep -q 'baseline recorded' || {
+    echo "obs-check: perf gate did not record a fresh baseline" >&2
+    exit 1
+}
+# second run compares latest against it and passes
+"$GATE" --results-dir "$RESULTS" | grep -q 'perf-gate: pass' || {
+    echo "obs-check: perf gate failed on an unchanged run" >&2
+    exit 1
+}
+# degrade the baseline (pretend the past was 10x faster): must fail
+sed 's/"fig8_loop_s":\([0-9.e+-]*\)/"fig8_loop_s":0.000001/' \
+    "$RESULTS/baseline.json" >"$RESULTS/baseline.json.tmp"
+mv "$RESULTS/baseline.json.tmp" "$RESULTS/baseline.json"
+if "$GATE" --results-dir "$RESULTS" >"$OUT" 2>&1; then
+    echo "obs-check: perf gate passed despite a degraded headline metric" >&2
+    cat "$OUT" >&2
+    exit 1
+fi
+grep -q 'REGRESSION fig8_loop_s' "$OUT" || {
+    echo "obs-check: perf gate failure did not name the regressed metric" >&2
+    cat "$OUT" >&2
+    exit 1
+}
+
+echo "obs-check: OK (stats/health answered mid-load; journal valid; perf gate gates)"
