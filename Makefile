@@ -1,4 +1,4 @@
-.PHONY: all build test bench check lint mli-check analysis-check trace-check serve-check kernels-check domains-check perf-gate obs-check clean
+.PHONY: all build test bench check lint mli-check det-lint analysis-check trace-check serve-check kernels-check domains-check perf-gate obs-check clean
 
 all: build
 
@@ -19,6 +19,7 @@ check:
 	dune build
 	$(MAKE) lint
 	$(MAKE) mli-check
+	$(MAKE) det-lint
 	dune runtest
 	dune exec bench/main.exe -- --fast --jobs 2
 	dune exec bench/perf_gate.exe
@@ -38,14 +39,20 @@ lint:
 mli-check:
 	sh tools/check_mli.sh
 
-# Static sanity layer round-trip: run the analyzer over the seed
-# artifacts (rule book, world models, canonical controllers), require a
-# clean exit (no error-severity diagnostics), and validate the JSON
-# artifact's shape.
+# Determinism source lint: ban Random.self_init, Obj.magic, wall clocks
+# and Hashtbl iteration order in lib/ (allowlist in
+# tools/det_lint_allow with per-entry justifications).
+det-lint:
+	sh tools/det_lint.sh
+
+# Static sanity round-trip over EVERY registered pack: analyzer with
+# the whole-suite pass (--suite), a clean exit (no error-severity
+# diagnostics), JSON artifact shapes validated (pack name in each
+# header), and the docs drift gate (emitted diagnostic codes vs. the
+# docs/analysis.md catalogue, both directions).
 analysis-check:
 	dune build bin/dpoaf_cli.exe test/analysis_validate.exe
-	dune exec bin/dpoaf_cli.exe -- analyze --json --out _build/analysis.json
-	dune exec test/analysis_validate.exe -- _build/analysis.json
+	sh tools/analysis_check.sh
 
 # Telemetry round-trip: record a traced 2-worker bench section, then
 # validate the JSONL event log, the Perfetto trace and the metrics JSON.
@@ -76,14 +83,15 @@ serve-check:
 	sh tools/serve_check.sh
 
 # Perf-regression gate: run the headline bench sections (fig8 loop +
-# generation latency from `kernels`, batch p99 from `serving`) into the
-# dated results series at bench/results/, then compare latest.json
-# against the pinned baseline.json (>10% slower on any headline metric
-# fails; first run pins a fresh baseline).  Re-pin deliberately with
+# generation latency from `kernels`, batch p99 from `serving`, suite
+# pass + explanation wall time per pack from `analysis`) into the dated
+# results series at bench/results/, then compare latest.json against
+# the pinned baseline.json (>10% slower on any headline metric fails;
+# first run pins a fresh baseline).  Re-pin deliberately with
 # `dune exec bench/perf_gate.exe -- --rebase`.
 perf-gate:
 	dune build bench/main.exe bench/perf_gate.exe
-	dune exec bench/main.exe -- --fast --only kernels,serving --jobs 2
+	dune exec bench/main.exe -- --fast --only kernels,serving,analysis --jobs 2
 	dune exec bench/perf_gate.exe
 
 # Ops-plane gate: daemon with an event journal on a temp socket, stats

@@ -828,8 +828,11 @@ let serving () =
             if i mod 3 = 2 then
               SP.Score_pair
                 { steps_a = steps (); steps_b = steps (); scenario = None;
-                  domain = None }
-            else SP.Verify { steps = steps (); scenario = None; domain = None }
+                  domain = None; explain = false }
+            else
+              SP.Verify
+                { steps = steps (); scenario = None; domain = None;
+                  explain = false }
           in
           { SP.id = Printf.sprintf "b%d" i; kind; deadline_ms = None })
     in
@@ -1054,6 +1057,7 @@ let kernels () =
                     chosen_satisfied = [];
                     rejected_satisfied = [];
                     chosen_vacuous = [];
+                    rejected_explanations = [];
                     grammar = setup.Pipeline.Corpus.grammar;
                     min_clauses = setup.Pipeline.Corpus.min_clauses;
                     max_clauses = setup.Pipeline.Corpus.max_clauses;
@@ -1424,11 +1428,12 @@ let domains_section () =
                   if i mod 3 = 2 then
                     SP.Score_pair
                       { steps_a = steps (); steps_b = steps ();
-                        scenario = None; domain = Some D.name }
+                        scenario = None; domain = Some D.name;
+                        explain = false }
                   else
                     SP.Verify
                       { steps = steps (); scenario = None;
-                        domain = Some D.name }
+                        domain = Some D.name; explain = false }
                 in
                 { SP.id = Printf.sprintf "%s-%d" D.name i;
                   kind; deadline_ms = None })
@@ -1489,6 +1494,84 @@ let domains_section () =
   end
 
 (* ------------------------------------------------------------------ *)
+(* Static analysis: the whole-suite pass and the counterexample        *)
+(* explainer, timed per registered pack.  Both are cold paths by        *)
+(* design (run at gate time, not inside the serving loop), but their    *)
+(* wall time bounds how often `make analysis-check` and `--explain`     *)
+(* artifacts can run in CI — the perf gate watches the headlines.       *)
+
+let analysis_section () =
+  if
+    section "analysis"
+      "Whole-suite static analysis + counterexample explanation per pack"
+  then begin
+    let module Suite = Dpoaf_analysis.Suite_sanity in
+    let table =
+      Table.create
+        [ "domain"; "specs"; "models"; "suite diags"; "suite ms";
+          "explained"; "explain ms" ]
+    in
+    List.iter
+      (fun domain ->
+        let (module D : Dpoaf_domain.Domain.S) = domain in
+        let specs = D.specs () in
+        let models =
+          ("universal", D.universal ())
+          :: List.filter_map
+               (fun sc -> Option.map (fun m -> (sc, m)) (D.model sc))
+               D.scenarios
+        in
+        let pool =
+          List.map
+            (fun (name, steps) ->
+              (name, (D.profile_of_steps steps).Dom.satisfied))
+            D.demo_responses
+        in
+        (* --fast trims the conflict-core search to pair cores (the
+           size-3 sweep over a 15-spec book is ~25x more tableaux) *)
+        let max_core = if fast then 2 else 3 in
+        let diags, t_suite =
+          wallclock (fun () ->
+              Suite.check ~suite:D.name ~max_core
+                ~propositions:D.propositions ~actions:D.actions ~models ~pool
+                specs)
+        in
+        let explanations, t_explain =
+          wallclock (fun () ->
+              List.concat_map
+                (fun (_, steps) -> Dom.explain_steps domain steps)
+                D.demo_responses)
+        in
+        (* every explanation is replay-validated by construction; an
+           empty result on a pack whose demo pool contains violating
+           responses would mean the explainer lost coverage *)
+        if
+          List.exists
+            (fun (_, steps) ->
+              List.length (D.profile_of_steps steps).Dom.satisfied
+              < List.length specs)
+            D.demo_responses
+          && explanations = []
+        then failwith (D.name ^ ": violating demos but no explanations");
+        Table.add_row table
+          [
+            D.name;
+            string_of_int (List.length specs);
+            string_of_int (List.length models);
+            string_of_int (List.length diags);
+            Printf.sprintf "%.1f" (t_suite *. 1e3);
+            string_of_int (List.length explanations);
+            Printf.sprintf "%.2f" (t_explain *. 1e3);
+          ];
+        record_headline
+          (Printf.sprintf "analysis_suite_%s_ms" D.name)
+          (t_suite *. 1e3);
+        record_headline
+          (Printf.sprintf "analysis_explain_%s_ms" D.name)
+          (t_explain *. 1e3))
+      (Dpoaf_domain.all ());
+    emit "analysis" table
+  end
 
 let sections =
   [
@@ -1509,6 +1592,7 @@ let sections =
     ("speedup", speedup);
     ("serving", serving);
     ("domains", domains_section);
+    ("analysis", analysis_section);
     ("micro", micro);
     ("kernels", kernels);
   ]

@@ -759,7 +759,7 @@ module Diag = Dpoaf_analysis.Diagnostic
    controllers — either the --step response or the pack's demo
    responses.  Exits non-zero when any error-severity diagnostic fires,
    so `make check` can gate on a sane rule book. *)
-let run_analyze domain steps json out pairwise =
+let run_analyze domain steps json out pairwise suite explain =
   let (module D : Domain.S) = domain in
   let specs = D.specs () in
   let free = Dpoaf_logic.Symbol.of_atoms D.actions in
@@ -798,25 +798,105 @@ let run_analyze domain steps json out pairwise =
             ~satisfied)
       controllers
   in
-  let diags = Diag.sort (spec_diags @ model_diags @ controller_diags) in
+  (* --suite: the whole-book pass — conflict cores, realizability
+     against every registered world model, the vocabulary coverage
+     matrix, response-pool discrimination and joint redundancy *)
+  let suite_diags =
+    if not suite then []
+    else
+      let models =
+        ("universal", universal)
+        :: List.map2 (fun sc m -> (sc, m)) D.scenarios scenario_models
+      in
+      let pool =
+        List.map
+          (fun (name, steps) ->
+            ( name,
+              (D.profile_of_steps ~model:universal steps).Domain.satisfied ))
+          D.demo_responses
+      in
+      Analysis.Suite_sanity.check ~suite:D.name ~propositions:D.propositions
+        ~actions:D.actions ~models ~pool specs
+  in
+  (* --explain: replay-validated counterexample explanations for every
+     violated spec of every analyzed response *)
+  let explanations =
+    if not explain then []
+    else
+      List.map
+        (fun (name, steps) ->
+          (name, Domain.explain_steps domain ~model:universal steps))
+        controllers
+  in
+  let diags =
+    Diag.sort (spec_diags @ model_diags @ controller_diags @ suite_diags)
+  in
   let rendered =
-    if json then Dpoaf_util.Json.to_string (Diag.report_json diags) ^ "\n"
+    if json then begin
+      let report_fields =
+        match Diag.report_json diags with
+        | Dpoaf_util.Json.Obj fields -> fields
+        | _ -> assert false
+      in
+      let header =
+        (* the pack name leads the report so multi-pack runs (make
+           analysis-check) produce self-identifying artifacts *)
+        [
+          ("domain", Dpoaf_util.Json.str D.name);
+          ("suite_checked", Dpoaf_util.Json.Bool suite);
+        ]
+      in
+      let explain_fields =
+        if not explain then []
+        else
+          [
+            ( "explanations",
+              Dpoaf_util.Json.arr
+                (List.map
+                   (fun (name, items) ->
+                     Dpoaf_util.Json.obj
+                       [
+                         ("response", Dpoaf_util.Json.str name);
+                         ( "items",
+                           Dpoaf_util.Json.arr
+                             (List.map Analysis.Explain.to_json items) );
+                       ])
+                   explanations) );
+          ]
+      in
+      Dpoaf_util.Json.to_string
+        (Dpoaf_util.Json.Obj (header @ report_fields @ explain_fields))
+      ^ "\n"
+    end
     else begin
       let buf = Buffer.create 1024 in
       List.iter
         (fun d -> Buffer.add_string buf (Diag.to_string d ^ "\n"))
         diags;
+      List.iter
+        (fun (name, items) ->
+          if items <> [] then begin
+            Buffer.add_string buf
+              (Printf.sprintf "explanations for %s:\n" name);
+            List.iter
+              (fun e ->
+                Buffer.add_string buf
+                  ("  " ^ Analysis.Explain.to_string e ^ "\n"))
+              items
+          end)
+        explanations;
       Buffer.add_string buf
         (Printf.sprintf
            "%s: %d diagnostic(s): %d error(s), %d warning(s), %d info(s) over \
-            %d spec(s), %d model(s), %d controller(s)\n"
+            %d spec(s), %d model(s), %d controller(s)%s\n"
            D.name (List.length diags)
            (Diag.count Diag.Error diags)
            (Diag.count Diag.Warning diags)
            (Diag.count Diag.Info diags)
            (List.length specs)
            (1 + List.length scenario_models)
-           (List.length controllers));
+           (List.length controllers)
+           (if suite then " (suite-level pass included)" else ""));
       Buffer.contents buf
     end
   in
@@ -844,13 +924,28 @@ let analyze_cmd =
     in
     Term.(const not $ Arg.(value & flag & info [ "no-pairwise" ] ~doc))
   in
+  let suite_arg =
+    Arg.(value & flag
+         & info [ "suite" ]
+             ~doc:"Run the whole-suite pass as well: minimal conflict cores \
+                   (SUITE001), realizability against every registered world \
+                   model (SUITE002/SUITE003), the vocabulary coverage matrix \
+                   (SPEC005/SPEC006), response-pool discrimination (SPEC007) \
+                   and model-relative joint redundancy (SPEC008).")
+  in
+  let explain_arg =
+    Arg.(value & flag
+         & info [ "explain" ]
+             ~doc:"Emit a replay-validated counterexample explanation for \
+                   every violated specification of every analyzed response.")
+  in
   Cmd.v
     (Cmd.info "analyze"
        ~doc:"Static sanity analysis of a pack's rule book, world models and \
              controllers: vacuity, dead states, guard completeness, \
              redundancy.  Exits 1 on any error-severity diagnostic.")
     Term.(const run_analyze $ domain_arg $ steps_arg $ json_arg $ out_arg
-          $ pairwise_arg)
+          $ pairwise_arg $ suite_arg $ explain_arg)
 
 (* ---------------- smv ---------------- *)
 

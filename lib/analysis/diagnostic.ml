@@ -2,7 +2,11 @@ module Json = Dpoaf_util.Json
 
 type severity = Error | Warning | Info
 
-type artifact = Controller of string | Spec of string | Model of string
+type artifact =
+  | Controller of string
+  | Spec of string
+  | Model of string
+  | Suite of string
 
 type t = {
   code : string;
@@ -24,9 +28,10 @@ let artifact_kind = function
   | Controller _ -> "controller"
   | Spec _ -> "spec"
   | Model _ -> "model"
+  | Suite _ -> "suite"
 
 let artifact_name = function
-  | Controller n | Spec n | Model n -> n
+  | Controller n | Spec n | Model n | Suite n -> n
 
 let severity_rank = function Error -> 0 | Warning -> 1 | Info -> 2
 

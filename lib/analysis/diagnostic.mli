@@ -9,7 +9,13 @@
 
 type severity = Error | Warning | Info
 
-type artifact = Controller of string | Spec of string | Model of string
+type artifact =
+  | Controller of string
+  | Spec of string
+  | Model of string
+  | Suite of string
+      (** A whole-rule-book finding ({!Suite_sanity}); the name is the
+          suite's domain (e.g. ["driving"]). *)
 
 type t = {
   code : string;  (** e.g. ["CTL001"]; stable, documented *)

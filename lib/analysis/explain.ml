@@ -1,0 +1,150 @@
+(* Counterexample explanation: translate a model checker lasso into the
+   domain's response vocabulary.
+
+   A Model_checker.counterexample is a prefix + cycle of symbol sets with
+   per-instant provenance tags (the controller step that produced the
+   instant).  This module splits each instant's symbols into the action
+   the controller emitted and the world propositions that held, marks the
+   culprit instants via Model_checker.blame, and renders a sentence like
+
+     "step 3 allows `proceed` while `pedestrian in front` holds,
+      violating phi_1"
+
+   The explanation is only returned after replaying the lasso through
+   Trace.eval_lasso and confirming the specification really is violated
+   on it — an explanation that does not correspond to a genuine
+   violation is a bug, not a result. *)
+
+module Ltl = Dpoaf_logic.Ltl
+module Symbol = Dpoaf_logic.Symbol
+module Trace = Dpoaf_logic.Trace
+module Model_checker = Dpoaf_automata.Model_checker
+module Json = Dpoaf_util.Json
+
+type step = {
+  index : int;  (* 1-based over prefix @ cycle *)
+  in_cycle : bool;
+  action : string option;
+  holds : string list;
+  tag : int;
+  culprit : bool;
+}
+
+type t = {
+  spec : string;
+  formula : string;
+  steps : step list;
+  cycle_start : int;
+  culprits : int list;
+  text : string;
+}
+
+let quote s = "`" ^ s ^ "`"
+
+let describe_step s =
+  let doing =
+    match s.action with
+    | Some a -> Printf.sprintf "allows %s" (quote a)
+    | None -> "emits no action"
+  in
+  let world =
+    match s.holds with
+    | [] -> "nothing holds"
+    | ps ->
+        Printf.sprintf "%s %s"
+          (String.concat ", " (List.map quote ps))
+          (match ps with [ _ ] -> "holds" | _ -> "hold")
+  in
+  Printf.sprintf "step %d %s while %s" s.index doing world
+
+let render spec steps culprits =
+  let focus =
+    match culprits with
+    | i :: _ -> List.find (fun s -> s.index = i) steps
+    | [] -> List.hd steps
+  in
+  let position =
+    if focus.in_cycle then " (repeating forever)" else ""
+  in
+  Printf.sprintf "%s%s, violating %s" (describe_step focus) position spec
+
+(* For a propositional-invariant spec the culprit instants are exactly
+   those where the body is false; for other shapes fall back to the
+   blame tags (every tagged instant for non-invariants). *)
+let culprit_fn spec blamed =
+  match spec with
+  | Ltl.Always body when Spec_sanity.propositional body ->
+      fun sigma _tag -> not (Trace.eval_finite body [| sigma |])
+  | _ -> fun _sigma tag -> tag >= 0 && List.mem tag blamed
+
+let explain ~spec:(name, phi) ~actions (cex : Model_checker.counterexample) =
+  let prefix = Array.of_list cex.Model_checker.prefix in
+  let cycle = Array.of_list cex.Model_checker.cycle in
+  if Array.length cycle = 0 then None
+  else if Trace.eval_lasso phi ~prefix ~cycle then
+    (* replay validation failed: the lasso does NOT violate the spec,
+       so any explanation we produced would lie *)
+    None
+  else begin
+    let action_set = Symbol.of_atoms actions in
+    let blamed = Model_checker.blame ~spec:phi cex in
+    let is_culprit = culprit_fn phi blamed in
+    let mk_step index in_cycle sigma tag =
+      let action =
+        List.find_opt (fun a -> Symbol.mem a sigma) actions
+      in
+      let holds =
+        List.filter
+          (fun p -> not (Symbol.mem p action_set))
+          (Symbol.elements sigma)
+      in
+      { index; in_cycle; action; holds; tag; culprit = is_culprit sigma tag }
+    in
+    let np = Array.length prefix in
+    let steps =
+      List.mapi
+        (fun i sigma -> mk_step (i + 1) false sigma (List.nth cex.prefix_tags i))
+        (Array.to_list prefix)
+      @ List.mapi
+          (fun i sigma ->
+            mk_step (np + i + 1) true sigma (List.nth cex.cycle_tags i))
+          (Array.to_list cycle)
+    in
+    let culprits =
+      List.filter_map (fun s -> if s.culprit then Some s.index else None) steps
+    in
+    Some
+      {
+        spec = name;
+        formula = Ltl.to_string phi;
+        steps;
+        cycle_start = np + 1;
+        culprits;
+        text = render name steps culprits;
+      }
+  end
+
+let to_string e = e.text
+
+let json_of_step s =
+  Json.obj
+    [
+      ("index", Json.num (float_of_int s.index));
+      ("in_cycle", Json.Bool s.in_cycle);
+      ( "action",
+        match s.action with None -> Json.Null | Some a -> Json.str a );
+      ("holds", Json.arr (List.map Json.str s.holds));
+      ("tag", Json.num (float_of_int s.tag));
+      ("culprit", Json.Bool s.culprit);
+    ]
+
+let to_json e =
+  Json.obj
+    [
+      ("spec", Json.str e.spec);
+      ("formula", Json.str e.formula);
+      ("text", Json.str e.text);
+      ("cycle_start", Json.num (float_of_int e.cycle_start));
+      ("culprits", Json.arr (List.map (fun i -> Json.num (float_of_int i)) e.culprits));
+      ("steps", Json.arr (List.map json_of_step e.steps));
+    ]

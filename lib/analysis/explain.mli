@@ -1,0 +1,49 @@
+(** Counterexample explanation: a {!Dpoaf_automata.Model_checker}
+    counterexample lasso translated into the domain's response
+    vocabulary — which action the controller emitted at each instant,
+    which world propositions held, and which instants are to blame —
+    plus a one-sentence rendering like
+
+    ["step 3 allows `proceed` while `pedestrian in front` holds,
+      violating phi_1"]
+
+    Every explanation is validated before it is returned: the lasso is
+    replayed through {!Dpoaf_logic.Trace.eval_lasso} and the
+    specification must really be violated on it. *)
+
+type step = {
+  index : int;  (** 1-based position over prefix then one cycle round *)
+  in_cycle : bool;
+  action : string option;
+      (** the action atom the controller emitted at this instant, if
+          exactly one of [actions] is in the symbol set *)
+  holds : string list;  (** the non-action atoms true at this instant *)
+  tag : int;
+      (** controller-step provenance ([-1] when the lasso is untagged) *)
+  culprit : bool;  (** on the {!Dpoaf_automata.Model_checker.blame} set *)
+}
+
+type t = {
+  spec : string;
+  formula : string;
+  steps : step list;  (** prefix then one unrolling of the cycle *)
+  cycle_start : int;  (** 1-based index of the first cycle step *)
+  culprits : int list;  (** 1-based indices of culprit steps *)
+  text : string;  (** the rendered sentence *)
+}
+
+val explain :
+  spec:string * Dpoaf_logic.Ltl.t ->
+  actions:string list ->
+  Dpoaf_automata.Model_checker.counterexample ->
+  t option
+(** [None] when replay validation fails (the lasso does not actually
+    violate the specification under {!Dpoaf_logic.Trace.eval_lasso}) or
+    the counterexample has an empty cycle — never a lying explanation. *)
+
+val to_string : t -> string
+(** The rendered sentence ([t.text]). *)
+
+val to_json : t -> Dpoaf_util.Json.t
+(** [{spec, formula, text, cycle_start, culprits, steps: [{index,
+    in_cycle, action, holds, tag, culprit}]}]. *)

@@ -1,0 +1,111 @@
+(** Whole-suite static analysis of an LTL rule book: minimal conflict
+    cores, realizability against world models, and a coverage matrix
+    over the domain vocabulary.
+
+    Diagnostic codes (catalogued in [docs/analysis.md]):
+
+    - [SUITE001] (error) minimal jointly-unsatisfiable conflict core —
+      the named subset has no model at all, and removing any single
+      member restores satisfiability
+    - [SUITE002] (error) the book is unrealizable against a registered
+      world model: no controller running in that model can satisfy every
+      specification at once (with a deletion-minimal core as witness)
+    - [SUITE003] (info) realizability undecided — the product-state
+      budget was exceeded (only possible with specifications outside the
+      template shapes)
+    - [SPEC005] (warning) a domain proposition no specification
+      constrains
+    - [SPEC006] (warning) a domain action no specification constrains
+    - [SPEC007] (info) a specification that never distinguishes any pair
+      in the response pool
+    - [SPEC008] (info) a specification jointly redundant relative to the
+      model: every model trace satisfying the rest of the book satisfies
+      it too, and no single specification implies it (strictly beyond
+      [SPEC003]'s pairwise sweep) *)
+
+val conflict_cores :
+  ?max_core:int ->
+  (string * Dpoaf_logic.Ltl.t) list ->
+  string list list
+(** Minimal jointly-unsatisfiable subsets (by name), found by
+    increasing-size tableau search up to [max_core] members (default 3 —
+    the joint tableau grows ~10x per conjunct, so larger cores are out
+    of its reach).  Individually-unsatisfiable specifications
+    ([SPEC001]'s finding) are excluded; supersets of a reported core are
+    skipped.  Every returned core is minimal by construction: all of its
+    proper subsets were checked satisfiable first. *)
+
+type realizability = Realizable | Unrealizable | Unknown
+
+val realizable :
+  model:Dpoaf_automata.Ts.t ->
+  actions:string list ->
+  ?budget:int ->
+  (string * Dpoaf_logic.Ltl.t) list ->
+  realizability
+(** Can any controller (any assignment of one [action] per instant)
+    running in [model] satisfy the whole book?  Decided on the anchored
+    model x action product: propositional invariants restrict the graph,
+    the {!Dpoaf_domain.Spec_gen} template shapes (response, liveness,
+    eventuality, recurrence) become deterministic Buchi monitors, and
+    anything else falls back to a tableau automaton.  [Unknown] when the
+    product exceeds [budget] states (default 50k) or [actions] is
+    empty. *)
+
+val unrealizable_core :
+  model:Dpoaf_automata.Ts.t ->
+  actions:string list ->
+  ?budget:int ->
+  (string * Dpoaf_logic.Ltl.t) list ->
+  string list
+(** Deletion-minimal unrealizable subset of an unrealizable book: every
+    member's removal makes the rest realizable.  (On a realizable book
+    this degenerates to all names — only call it after {!realizable}
+    returned [Unrealizable].) *)
+
+val coverage :
+  vocabulary:string list ->
+  (string * Dpoaf_logic.Ltl.t) list ->
+  (string * string list) list
+(** The coverage matrix: each vocabulary atom paired with the
+    specifications whose formulas mention it (in book order).  An empty
+    list marks an unconstrained atom ([SPEC005]/[SPEC006]). *)
+
+val undistinguishing :
+  pool:(string * string list) list ->
+  (string * Dpoaf_logic.Ltl.t) list ->
+  string list
+(** Specifications whose satisfied-status is identical across every
+    response in [pool] (response name, satisfied spec names) — they
+    never split any preference pair.  Empty for pools of fewer than two
+    responses. *)
+
+val joint_redundancies :
+  model:Dpoaf_automata.Ts.t ->
+  actions:string list ->
+  ?budget:int ->
+  (string * Dpoaf_logic.Ltl.t) list ->
+  string list
+(** Specifications [phi] such that the book with [phi] replaced by
+    [¬phi] is unrealizable against [model] — every model trace
+    satisfying the others satisfies [phi] too — excluding those already
+    implied by a single other specification ([SPEC003]'s finding). *)
+
+val check :
+  suite:string ->
+  ?max_core:int ->
+  ?budget:int ->
+  ?propositions:string list ->
+  ?actions:string list ->
+  ?models:(string * Dpoaf_automata.Ts.t) list ->
+  ?pool:(string * string list) list ->
+  ?redundancy:bool ->
+  (string * Dpoaf_logic.Ltl.t) list ->
+  Diagnostic.t list
+(** The full suite-level pass: conflict cores ([SUITE001]),
+    realizability against every named model ([SUITE002]/[SUITE003]),
+    vocabulary coverage ([SPEC005]/[SPEC006]), pool discrimination
+    ([SPEC007]) and — when [redundancy] (default true) and [models] is
+    non-empty — joint redundancy over the first model, which callers
+    should make the universal one ([SPEC008]).  [actions] feeds both the
+    coverage matrix and the realizability anchor. *)

@@ -66,6 +66,28 @@ let find_task_exn ((module D : S) as d) id =
 let tasks_of_split (module D : S) split =
   List.filter (fun t -> t.split = split) D.tasks
 
+(* One explanation per violated specification: compile the response,
+   model-check the book, and translate every counterexample lasso into
+   the domain's response vocabulary.  Explain.explain replays the lasso
+   through Trace.eval_lasso before returning, so a lying explanation is
+   dropped rather than reported — the filter_map keeps the contract
+   "every returned explanation is replay-validated". *)
+let explain_steps (module D : S) ?model steps =
+  let model = match model with Some m -> m | None -> D.universal () in
+  let controller, _stats = D.controller_of_steps ~name:"response" steps in
+  let verdicts =
+    Dpoaf_automata.Model_checker.verify_all ~model ~controller
+      ~specs:(D.specs ())
+  in
+  List.filter_map
+    (fun (name, phi, verdict) ->
+      match verdict with
+      | Dpoaf_automata.Model_checker.Holds -> None
+      | Dpoaf_automata.Model_checker.Fails cex ->
+          Dpoaf_analysis.Explain.explain ~spec:(name, phi) ~actions:D.actions
+            cex)
+    verdicts
+
 (* [None] and ["universal"] both select the integrated model; any other
    name must be one of the domain's scenarios.  The strict error carries
    the valid list — the CLI and the serving layer share this resolution. *)

@@ -110,6 +110,18 @@ val find_task_exn : t -> string -> task
 
 val tasks_of_split : t -> split -> task list
 
+val explain_steps :
+  t ->
+  ?model:Dpoaf_automata.Ts.t ->
+  string list ->
+  Dpoaf_analysis.Explain.t list
+(** One replay-validated counterexample explanation per violated
+    specification of the response, in rule-book order ([model] defaults
+    to the universal one).  A cold path — no memoization: callers
+    (serving [explain:true], provenance for pair losers, [dpoaf_cli
+    analyze --explain]) ask for explanations far more rarely than for
+    profiles. *)
+
 val model_of_scenario :
   t -> string option -> (Dpoaf_automata.Ts.t, string) result
 (** [None] or [Some "universal"] → the universal model; otherwise the

@@ -45,10 +45,19 @@ let instantiate = function
 let name_suite formulas =
   List.mapi (fun i phi -> (Printf.sprintf "phi_%d" (i + 1), phi)) formulas
 
-let gate ~domain ~model ~free specs =
+let gate ~domain ~model ~actions ~free specs =
   let diagnostics =
     Dpoaf_analysis.Spec_sanity.check ~model ~free ~pairwise:true specs
     @ Dpoaf_analysis.Model_lint.lint ~specs ~ignore:free ~coverage:true model
+    (* the suite-level gates: no jointly-unsatisfiable subset (SUITE001,
+       pairs only — the per-spec and pairwise layers above make larger
+       tableau cores redundant at generation time) and the whole book
+       realizable by some controller in the universal model (SUITE002);
+       the coverage/redundancy layers are advisory and belong to
+       `dpoaf_cli analyze --suite`, not to a generation-time gate *)
+    @ Dpoaf_analysis.Suite_sanity.check ~suite:domain ~max_core:2 ~actions
+        ~models:[ (model.Dpoaf_automata.Ts.name, model) ]
+        ~redundancy:false specs
   in
   if diagnostics <> [] then
     raise
@@ -61,5 +70,5 @@ let gate ~domain ~model ~free specs =
 
 let suite ~domain ~model ~actions patterns =
   let specs = name_suite (List.map instantiate patterns) in
-  gate ~domain ~model ~free:(Symbol.of_atoms actions) specs;
+  gate ~domain ~model ~actions ~free:(Symbol.of_atoms actions) specs;
   specs

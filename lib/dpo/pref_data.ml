@@ -17,6 +17,7 @@ type pair = {
   chosen_satisfied : string list;
   rejected_satisfied : string list;
   chosen_vacuous : string list;
+  rejected_explanations : (string * string) list;
   grammar : Dpoaf_lm.Grammar.t;
   min_clauses : int;
   max_clauses : int;
@@ -33,7 +34,8 @@ let dedup scored =
       end)
     scored
 
-let pairs_of_scored ~task_id ~prompt ~grammar ~min_clauses ~max_clauses scored =
+let pairs_of_scored ?explain ~task_id ~prompt ~grammar ~min_clauses
+    ~max_clauses scored =
   let distinct = dedup scored in
   let rec combos = function
     | [] -> []
@@ -44,6 +46,17 @@ let pairs_of_scored ~task_id ~prompt ~grammar ~min_clauses ~max_clauses scored =
       if a.score = b.score then None
       else
         let w, l = if a.score > b.score then (a, b) else (b, a) in
+        let margin =
+          List.filter (fun s -> not (List.mem s l.satisfied)) w.satisfied
+        in
+        let rejected_explanations =
+          match explain with
+          | None -> []
+          | Some f ->
+              (* only the margin specs: the explanations justify exactly
+                 why this pair prefers its winner *)
+              List.filter (fun (spec, _) -> List.mem spec margin) (f l)
+        in
         Some
           {
             task_id;
@@ -55,6 +68,7 @@ let pairs_of_scored ~task_id ~prompt ~grammar ~min_clauses ~max_clauses scored =
             chosen_satisfied = w.satisfied;
             rejected_satisfied = l.satisfied;
             chosen_vacuous = w.vacuous;
+            rejected_explanations;
             grammar;
             min_clauses;
             max_clauses;
@@ -81,17 +95,33 @@ let vacuous_margin pair =
 
 let json_of_pair pair =
   let strs xs = Json.arr (List.map Json.str xs) in
+  (* emitted only when mined with ~explain, so provenance files from
+     explanation-free runs keep their exact pre-explanation bytes *)
+  let explanations =
+    match pair.rejected_explanations with
+    | [] -> []
+    | es ->
+        [
+          ( "rejected_explanations",
+            Json.arr
+              (List.map
+                 (fun (spec, text) ->
+                   Json.obj [ ("spec", Json.str spec); ("text", Json.str text) ])
+                 es) );
+        ]
+  in
   Json.obj
-    [
-      ("task", Json.str pair.task_id);
-      ("chosen_score", Json.num (float_of_int pair.chosen_score));
-      ("rejected_score", Json.num (float_of_int pair.rejected_score));
-      ("chosen_satisfied", strs pair.chosen_satisfied);
-      ("rejected_satisfied", strs pair.rejected_satisfied);
-      ("chosen_vacuous", strs pair.chosen_vacuous);
-      ("margin_specs", strs (margin_specs pair));
-      ("vacuous_margin", Json.Bool (vacuous_margin pair));
-    ]
+    ([
+       ("task", Json.str pair.task_id);
+       ("chosen_score", Json.num (float_of_int pair.chosen_score));
+       ("rejected_score", Json.num (float_of_int pair.rejected_score));
+       ("chosen_satisfied", strs pair.chosen_satisfied);
+       ("rejected_satisfied", strs pair.rejected_satisfied);
+       ("chosen_vacuous", strs pair.chosen_vacuous);
+       ("margin_specs", strs (margin_specs pair));
+       ("vacuous_margin", Json.Bool (vacuous_margin pair));
+     ]
+    @ explanations)
 
 let dump_provenance path pairs =
   let oc = open_out path in

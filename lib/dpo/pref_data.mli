@@ -32,12 +32,17 @@ type pair = {
   chosen_satisfied : string list;
   rejected_satisfied : string list;
   chosen_vacuous : string list;
+  rejected_explanations : (string * string) list;
+      (** [(spec, text)] counterexample explanations for the rejected
+          response's margin violations — why, in response vocabulary, the
+          loser lost.  Empty unless mined with [~explain]. *)
   grammar : Dpoaf_lm.Grammar.t;
   min_clauses : int;
   max_clauses : int;
 }
 
 val pairs_of_scored :
+  ?explain:(scored -> (string * string) list) ->
   task_id:string ->
   prompt:int list ->
   grammar:Dpoaf_lm.Grammar.t ->
@@ -46,7 +51,14 @@ val pairs_of_scored :
   scored list ->
   pair list
 (** All distinct-score pairs; duplicate token sequences are deduplicated
-    first (keeping one representative each). *)
+    first (keeping one representative each).
+
+    [explain], when given, maps a scored response to [(spec, text)]
+    counterexample explanations for its violated specs (e.g. via
+    {!Dpoaf_analysis.Explain}); each mined pair keeps the loser's
+    explanations filtered to the pair's margin specs.  The callback is
+    invoked once per mined pair's loser, so callers should memoize by
+    token sequence if [m] is large. *)
 
 val count_possible : int -> int
 (** [count_possible m = C₂(m)], the paper's bound on data points per task. *)
@@ -66,7 +78,9 @@ val vacuous_margin : pair -> bool
 val json_of_pair : pair -> Dpoaf_util.Json.t
 (** One provenance record: task, both scores, both satisfied sets, the
     chosen side's vacuous set, the margin specs and the [vacuous_margin]
-    flag (token sequences are omitted — they are corpus-relative). *)
+    flag (token sequences are omitted — they are corpus-relative).  A
+    [rejected_explanations] member is appended only when non-empty, so
+    explanation-free provenance is byte-identical to earlier releases. *)
 
 val dump_provenance : string -> pair list -> unit
 (** Write one {!json_of_pair} line per pair (JSONL) to the given path. *)

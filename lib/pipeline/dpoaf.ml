@@ -61,16 +61,41 @@ let sample_scored ?(harden = false) ?jobs corpus feedback model rng ~m ~temperat
    problem per run (surfaced by `dpoaf_cli report`). *)
 let vacuous_margin_pairs = Metrics.counter "feedback.vacuous_margin"
 
-let collect_pairs ?jobs corpus feedback model rng ~m ?(temperature = 1.0) split =
+let collect_pairs ?jobs ?(explain = false) corpus feedback model rng ~m
+    ?(temperature = 1.0) split =
   Trace.with_span ~cat:"pipeline" "pipeline.collect_pairs" @@ fun () ->
   Metrics.time "pipeline.collect_pairs" (fun () ->
+      (* One losing response can appear in many mined pairs; memoize by
+         token sequence so the (cold-path) explainer runs once each. *)
+      let explain_cb =
+        if not explain then None
+        else begin
+          let memo = Hashtbl.create 64 in
+          Some
+            (fun (s : Pref_data.scored) ->
+              match Hashtbl.find_opt memo s.Pref_data.tokens with
+              | Some es -> es
+              | None ->
+                  let steps = Corpus.steps_of_tokens corpus s.Pref_data.tokens in
+                  let es =
+                    List.map
+                      (fun (e : Dpoaf_analysis.Explain.t) ->
+                        ( e.Dpoaf_analysis.Explain.spec,
+                          e.Dpoaf_analysis.Explain.text ))
+                      (Domain.explain_steps corpus.Corpus.domain steps)
+                  in
+                  Hashtbl.add memo s.Pref_data.tokens es;
+                  es)
+        end
+      in
       List.concat_map
         (fun setup ->
           let scored =
             sample_scored ?jobs corpus feedback model rng ~m ~temperature setup
           in
           let pairs =
-            Pref_data.pairs_of_scored ~task_id:setup.Corpus.task.Domain.id
+            Pref_data.pairs_of_scored ?explain:explain_cb
+              ~task_id:setup.Corpus.task.Domain.id
               ~prompt:setup.Corpus.prompt ~grammar:setup.Corpus.grammar
               ~min_clauses:setup.Corpus.min_clauses
               ~max_clauses:setup.Corpus.max_clauses scored

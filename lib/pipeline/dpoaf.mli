@@ -15,6 +15,7 @@ val default_config : config
 
 val collect_pairs :
   ?jobs:int ->
+  ?explain:bool ->
   Corpus.t ->
   Feedback.t ->
   Dpoaf_lm.Model.t ->
@@ -29,7 +30,14 @@ val collect_pairs :
     Sampling is sequential on the given RNG; scoring fans out over
     [?jobs] workers (default {!Dpoaf_exec.Pool.default_jobs}) through the
     order-preserving scheduler, so the result is identical for every
-    worker count. *)
+    worker count.
+
+    [explain] (default false) additionally runs the counterexample
+    explainer ({!Dpoaf_analysis.Explain} via
+    {!Dpoaf_domain.Domain.explain_steps}) on each pair's losing response
+    and records the margin-spec explanations in the pair's provenance.
+    The explainer re-checks each distinct loser once (memoized by token
+    sequence); leave it off in throughput-sensitive loops. *)
 
 val mean_specs_satisfied :
   ?harden:bool ->

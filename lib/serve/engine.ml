@@ -186,12 +186,33 @@ let generate st ~task ~seed ~temperature : Protocol.body =
             Protocol.Generated { steps; tokens; profile }
           end)
 
-let verify st ~scenario steps : Protocol.body =
+(* Explanations are a cold path (the explainer recompiles and re-checks
+   the steps), so they are computed only on request and only for the
+   named specs. *)
+let explanations_for st ~model ~only steps : Protocol.explanation list =
+  Domain.explain_steps st.domain ~model steps
+  |> List.filter_map (fun (e : Dpoaf_analysis.Explain.t) ->
+         if only = [] || List.mem e.Dpoaf_analysis.Explain.spec only then
+           Some
+             {
+               Protocol.espec = e.Dpoaf_analysis.Explain.spec;
+               etext = e.Dpoaf_analysis.Explain.text;
+             }
+         else None)
+
+let verify st ~scenario ~explain steps : Protocol.body =
   match Domain.model_of_scenario st.domain scenario with
   | Error msg -> Protocol.Failed msg
-  | Ok model -> Protocol.Verified (profile_of_steps st ~model steps)
+  | Ok model ->
+      let profile = profile_of_steps st ~model steps in
+      let explanations =
+        if explain then
+          Some (explanations_for st ~model ~only:profile.Protocol.violated steps)
+        else None
+      in
+      Protocol.Verified { profile; explanations }
 
-let score_pair st ~scenario steps_a steps_b : Protocol.body =
+let score_pair st ~scenario ~explain steps_a steps_b : Protocol.body =
   match Domain.model_of_scenario st.domain scenario with
   | Error msg -> Protocol.Failed msg
   | Ok model ->
@@ -221,6 +242,18 @@ let score_pair st ~scenario steps_a steps_b : Protocol.body =
                  margin_specs
         | None -> false
       in
+      let explanations =
+        (* explain why the loser lost: its counterexamples for exactly
+           the margin specs *)
+        match (explain, loser) with
+        | true, Some l ->
+            let loser_steps =
+              if l == profile_a then steps_a else steps_b
+            in
+            Some
+              (explanations_for st ~model ~only:margin_specs loser_steps)
+        | _ -> None
+      in
       Protocol.Compared
         {
           preference;
@@ -230,6 +263,7 @@ let score_pair st ~scenario steps_a steps_b : Protocol.body =
           vacuous_margin;
           profile_a;
           profile_b;
+          explanations;
         }
 
 let handle t (req : Protocol.request) : Protocol.body =
@@ -243,10 +277,11 @@ let handle t (req : Protocol.request) : Protocol.body =
   match req.Protocol.kind with
   | Protocol.Generate { task; seed; temperature; domain } ->
       dispatch domain (fun st -> generate st ~task ~seed ~temperature)
-  | Protocol.Verify { steps; scenario; domain } ->
-      dispatch domain (fun st -> verify st ~scenario steps)
-  | Protocol.Score_pair { steps_a; steps_b; scenario; domain } ->
-      dispatch domain (fun st -> score_pair st ~scenario steps_a steps_b)
+  | Protocol.Verify { steps; scenario; domain; explain } ->
+      dispatch domain (fun st -> verify st ~scenario ~explain steps)
+  | Protocol.Score_pair { steps_a; steps_b; scenario; domain; explain } ->
+      dispatch domain (fun st ->
+          score_pair st ~scenario ~explain steps_a steps_b)
   | Protocol.Stats { domain } -> stats_body t ~domain
   | Protocol.Health { domain } -> (
       (* queue visibility belongs to the daemon, which answers [health]

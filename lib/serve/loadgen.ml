@@ -97,6 +97,7 @@ let synth_kind pack rng mix ~domain =
           steps = random_steps pack rng task;
           scenario = random_scenario rng task;
           domain;
+          explain = false;
         }
   | `Score_pair ->
       Protocol.Score_pair
@@ -105,6 +106,7 @@ let synth_kind pack rng mix ~domain =
           steps_b = random_steps pack rng task;
           scenario = random_scenario rng task;
           domain;
+          explain = false;
         }
 
 let synth_request pack rng config i =

@@ -29,12 +29,18 @@ type kind =
       temperature : float;
       domain : string option;
     }
-  | Verify of { steps : string list; scenario : string option; domain : string option }
+  | Verify of {
+      steps : string list;
+      scenario : string option;
+      domain : string option;
+      explain : bool;
+    }
   | Score_pair of {
       steps_a : string list;
       steps_b : string list;
       scenario : string option;
       domain : string option;
+      explain : bool;
     }
   | Stats of { domain : string option }
   | Health of { domain : string option }
@@ -48,9 +54,15 @@ type profile = {
   vacuous : string list;
 }
 
+(* A replay-validated counterexample explanation for one violated spec
+   (Dpoaf_analysis.Explain rendered for the wire).  Responses carry them
+   only when the request asked ([explain]:true), so untagged traffic
+   stays byte-identical to the pre-explanation protocol. *)
+type explanation = { espec : string; etext : string }
+
 type body =
   | Generated of { steps : string list; tokens : int list; profile : profile }
-  | Verified of profile
+  | Verified of { profile : profile; explanations : explanation list option }
   | Compared of {
       preference : string;  (* "a" | "b" | "tie" *)
       margin : int;
@@ -58,6 +70,8 @@ type body =
       vacuous_margin : bool;
       profile_a : profile;
       profile_b : profile;
+      explanations : explanation list option;
+          (* the LOSER's margin violations, explained *)
     }
   | Stats_report of {
       metrics : (string * float) list;
@@ -93,6 +107,23 @@ let status_of_body = function
 let jstrs xs = Json.arr (List.map Json.str xs)
 let jints xs = Json.arr (List.map (fun i -> Json.num (float_of_int i)) xs)
 
+let verified profile = Verified { profile; explanations = None }
+
+(* encoded only when present — an unset field keeps the response
+   byte-identical to the pre-explanation encoding *)
+let jexplanations = function
+  | None -> []
+  | Some es ->
+      [
+        ( "explanations",
+          Json.arr
+            (List.map
+               (fun e ->
+                 Json.obj
+                   [ ("spec", Json.str e.espec); ("text", Json.str e.etext) ])
+               es) );
+      ]
+
 let json_of_profile p =
   Json.obj
     [
@@ -119,21 +150,23 @@ let json_of_request r =
           ("temperature", Json.num temperature);
         ]
         @ jdomain domain
-    | Verify { steps; scenario; domain } ->
+    | Verify { steps; scenario; domain; explain } ->
         ("kind", Json.str "verify")
         :: ("steps", jstrs steps)
         :: ((match scenario with
             | None -> []
             | Some s -> [ ("scenario", Json.str s) ])
-           @ jdomain domain)
-    | Score_pair { steps_a; steps_b; scenario; domain } ->
+           @ jdomain domain
+           @ if explain then [ ("explain", Json.Bool true) ] else [])
+    | Score_pair { steps_a; steps_b; scenario; domain; explain } ->
         ("kind", Json.str "score_pair")
         :: ("steps_a", jstrs steps_a)
         :: ("steps_b", jstrs steps_b)
         :: ((match scenario with
             | None -> []
             | Some s -> [ ("scenario", Json.str s) ])
-           @ jdomain domain)
+           @ jdomain domain
+           @ if explain then [ ("explain", Json.Bool true) ] else [])
     | Stats { domain } -> ("kind", Json.str "stats") :: jdomain domain
     | Health { domain } -> ("kind", Json.str "health") :: jdomain domain
   in
@@ -153,10 +186,18 @@ let json_of_response r =
           ("tokens", jints tokens);
           ("profile", json_of_profile profile);
         ]
-    | Verified p -> [ ("profile", json_of_profile p) ]
+    | Verified { profile; explanations } ->
+        ("profile", json_of_profile profile) :: jexplanations explanations
     | Compared
-        { preference; margin; margin_specs; vacuous_margin; profile_a; profile_b }
-      ->
+        {
+          preference;
+          margin;
+          margin_specs;
+          vacuous_margin;
+          profile_a;
+          profile_b;
+          explanations;
+        } ->
         [
           ("preference", Json.str preference);
           ("margin", Json.num (float_of_int margin));
@@ -165,6 +206,7 @@ let json_of_response r =
           ("profile_a", json_of_profile profile_a);
           ("profile_b", json_of_profile profile_b);
         ]
+        @ jexplanations explanations
     | Stats_report { metrics; histograms; runtime } ->
         let nums kvs = Json.obj (List.map (fun (k, v) -> (k, Json.num v)) kvs) in
         [
@@ -263,6 +305,12 @@ let opt_num_field name j =
       | Some f -> Ok (Some f)
       | None -> Error (Printf.sprintf "field %S must be a number" name))
 
+let opt_bool_field name j =
+  match Json.member name j with
+  | None | Some Json.Null -> Ok false
+  | Some (Json.Bool b) -> Ok b
+  | Some _ -> Error (Printf.sprintf "field %S must be a boolean" name)
+
 let int_list_field name j =
   let* v = field name j in
   match Json.to_list v with
@@ -298,13 +346,15 @@ let kind_of_json j =
       let* steps = str_list_field "steps" j in
       let* scenario = opt_str_field "scenario" j in
       let* domain = opt_str_field "domain" j in
-      Ok (Verify { steps; scenario; domain })
+      let* explain = opt_bool_field "explain" j in
+      Ok (Verify { steps; scenario; domain; explain })
   | "score_pair" ->
       let* steps_a = str_list_field "steps_a" j in
       let* steps_b = str_list_field "steps_b" j in
       let* scenario = opt_str_field "scenario" j in
       let* domain = opt_str_field "domain" j in
-      Ok (Score_pair { steps_a; steps_b; scenario; domain })
+      let* explain = opt_bool_field "explain" j in
+      Ok (Score_pair { steps_a; steps_b; scenario; domain; explain })
   | "stats" ->
       let* domain = opt_str_field "domain" j in
       Ok (Stats { domain })
@@ -338,6 +388,22 @@ let profile_of_json j =
   let* violated = str_list_field "violated" j in
   let* vacuous = str_list_field "vacuous" j in
   Ok { score = int_of_float score; satisfied; violated; vacuous }
+
+let explanations_of_json j =
+  match Json.member "explanations" j with
+  | None | Some Json.Null -> Ok None
+  | Some v -> (
+      match Json.to_list v with
+      | None -> Error "field \"explanations\" must be an array"
+      | Some items ->
+          let rec go acc = function
+            | [] -> Ok (Some (List.rev acc))
+            | x :: rest ->
+                let* espec = str_field "spec" x in
+                let* etext = str_field "text" x in
+                go ({ espec; etext } :: acc) rest
+          in
+          go [] items)
 
 let num_assoc_field name j =
   let* v = field name j in
@@ -417,6 +483,7 @@ let body_of_json status j =
           let* profile_a = profile_of_json pa in
           let* pb = field "profile_b" j in
           let* profile_b = profile_of_json pb in
+          let* explanations = explanations_of_json j in
           Ok
             (Compared
                {
@@ -426,6 +493,7 @@ let body_of_json status j =
                  vacuous_margin;
                  profile_a;
                  profile_b;
+                 explanations;
                })
       | None, Some _ ->
           let* steps = str_list_field "steps" j in
@@ -436,7 +504,8 @@ let body_of_json status j =
       | None, None ->
           let* p = field "profile" j in
           let* profile = profile_of_json p in
-          Ok (Verified profile)))
+          let* explanations = explanations_of_json j in
+          Ok (Verified { profile; explanations })))
   | "rejected" ->
       let* reason = str_field "reason" j in
       Ok (Rejected reason)

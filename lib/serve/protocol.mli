@@ -21,17 +21,25 @@ type kind =
       steps : string list;
       scenario : string option;
       domain : string option;
+      explain : bool;
     }
       (** Compile the steps with GLM2FSA and model-check the rule book;
-          [scenario] selects a single world model ([None] = universal). *)
+          [scenario] selects a single world model ([None] = universal).
+          [explain] asks the server to attach natural-language
+          counterexample explanations for each violated spec (encoded on
+          the wire only when [true], so existing clients are
+          unaffected). *)
   | Score_pair of {
       steps_a : string list;
       steps_b : string list;
       scenario : string option;
       domain : string option;
+      explain : bool;
     }
       (** The automated-feedback oracle: verify both responses and emit a
-          preference with its formal justification. *)
+          preference with its formal justification.  [explain] attaches
+          counterexample explanations for the loser's margin
+          violations. *)
   | Stats of { domain : string option }
       (** Ops plane: live metrics snapshot (counters, histogram summaries
           with exact bucket bounds, cache hit rates) plus GC/runtime
@@ -62,9 +70,24 @@ type profile = {
   vacuous : string list;  (** subset of [satisfied] holding only vacuously *)
 }
 
+type explanation = {
+  espec : string;  (** name of the violated spec *)
+  etext : string;
+      (** the {!Dpoaf_analysis.Explain} rendering of the counterexample
+          lasso in response vocabulary *)
+}
+(** One counterexample explanation, as carried on the wire.  The field is
+    optional in both directions: a response without explanations encodes
+    byte-identically to the pre-explanation protocol. *)
+
 type body =
   | Generated of { steps : string list; tokens : int list; profile : profile }
-  | Verified of profile
+  | Verified of {
+      profile : profile;
+      explanations : explanation list option;
+          (** present only when the request set [explain]; [None] keeps
+              the encoding byte-identical to the pre-explanation wire *)
+    }
   | Compared of {
       preference : string;  (** ["a"], ["b"] or ["tie"] *)
       margin : int;  (** absolute score difference *)
@@ -75,6 +98,9 @@ type body =
               satisfactions *)
       profile_a : profile;
       profile_b : profile;
+      explanations : explanation list option;
+          (** when the request set [explain]: explanations for the
+              loser's margin violations, i.e. exactly why it lost *)
     }
   | Stats_report of {
       metrics : (string * float) list;  (** the flat {!Dpoaf_exec.Metrics}
@@ -105,6 +131,9 @@ type response = {
 
 val status_of_body : body -> string
 (** ["ok"], ["rejected"], ["expired"] or ["error"]. *)
+
+val verified : profile -> body
+(** [Verified] with no explanations — the common case. *)
 
 (** {1 Wire codec} — total inverses of each other on well-formed values. *)
 

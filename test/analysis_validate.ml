@@ -25,7 +25,7 @@ let code_ok code =
       (fun p ->
         String.length code = String.length p + 3
         && String.sub code 0 (String.length p) = p)
-      [ "CTL"; "SPEC"; "MDL"; "VAC" ]
+      [ "CTL"; "SPEC"; "MDL"; "VAC"; "SUITE" ]
   in
   prefix_ok
   && String.for_all
@@ -59,7 +59,8 @@ let validate_diag i d =
       let akind = Option.bind (Json.member "kind" a) Json.to_str in
       check
         (ctx ^ ": artifact kind known")
-        (List.mem akind [ Some "controller"; Some "spec"; Some "model" ]);
+        (List.mem akind
+           [ Some "controller"; Some "spec"; Some "model"; Some "suite" ]);
       check
         (ctx ^ ": artifact name non-empty")
         (match Option.bind (Json.member "name" a) Json.to_str with
@@ -85,6 +86,12 @@ let () =
   (match Json.parse (In_channel.with_open_text path In_channel.input_all) with
   | Error msg -> check (Printf.sprintf "%s parses as JSON (%s)" path msg) false
   | Ok json -> (
+      (* the report header must identify the pack it analyzed, so the
+         per-pack artifacts of `make analysis-check` are self-describing *)
+      check (path ^ " header names the analyzed domain")
+        (match Option.bind (Json.member "domain" json) Json.to_str with
+        | Some d -> d <> ""
+        | None -> false);
       match Option.bind (Json.member "diagnostics" json) Json.to_list with
       | None -> check (path ^ " has a diagnostics array") false
       | Some diags ->

@@ -11,7 +11,10 @@ module Controller_lint = Dpoaf_analysis.Controller_lint
 module Spec_sanity = Dpoaf_analysis.Spec_sanity
 module Model_lint = Dpoaf_analysis.Model_lint
 module Vacuity = Dpoaf_analysis.Vacuity
+module Suite_sanity = Dpoaf_analysis.Suite_sanity
+module Explain = Dpoaf_analysis.Explain
 module Diagnostic = Dpoaf_analysis.Diagnostic
+module Trace = Dpoaf_logic.Trace
 module Specs = Dpoaf_driving.Specs
 module Models = Dpoaf_driving.Models
 module Vocab = Dpoaf_driving.Vocab
@@ -314,6 +317,365 @@ let test_seed_artifacts_clean () =
   Alcotest.(check bool) "universal model has no errors" false
     (Diagnostic.has_errors (Model_lint.lint ~specs ~ignore:free (Models.universal ())))
 
+(* ---------------- suite sanity: qcheck + seeded defects -------------- *)
+
+let p = Ltl.Atom "p"
+let q = Ltl.Atom "q"
+
+let conj = function
+  | [] -> invalid_arg "conj"
+  | phi :: rest -> List.fold_left (fun a b -> Ltl.And (a, b)) phi rest
+
+(* random small rule books over {p, q, r}: literals under the template
+   shapes plus a conjunction shape, sized so jointly-unsat subsets occur
+   often enough to exercise the core search *)
+let gen_book =
+  let open QCheck.Gen in
+  let atom = map (fun i -> Ltl.Atom [| "p"; "q"; "r" |].(i)) (int_bound 2) in
+  let lit = oneof [ atom; map (fun a -> Ltl.Not a) atom ] in
+  let formula =
+    oneof
+      [
+        map (fun l -> Ltl.Always l) lit;
+        map (fun l -> Ltl.Eventually l) lit;
+        map2 (fun a b -> Ltl.Always (Ltl.Or (a, b))) lit lit;
+        map2 (fun a b -> Ltl.And (Ltl.Always a, Ltl.Eventually b)) lit lit;
+      ]
+  in
+  map
+    (List.mapi (fun i phi -> (Printf.sprintf "s%d" i, phi)))
+    (list_size (int_range 2 5) formula)
+
+let arb_book =
+  QCheck.make
+    ~print:(fun specs ->
+      String.concat "; "
+        (List.map (fun (n, phi) -> n ^ ": " ^ Ltl.to_string phi) specs))
+    gen_book
+
+(* the tentpole's advertised invariant: every reported core is jointly
+   unsatisfiable AND removing any single member restores satisfiability *)
+let prop_cores_minimal =
+  QCheck.Test.make ~count:200 ~name:"conflict cores are minimal"
+    arb_book (fun specs ->
+      let formulas names = List.map (fun n -> List.assoc n specs) names in
+      List.for_all
+        (fun core ->
+          Spec_sanity.unsatisfiable (conj (formulas core))
+          && List.for_all
+               (fun dropped ->
+                 let rest = List.filter (fun n -> n <> dropped) core in
+                 rest = []
+                 || not (Spec_sanity.unsatisfiable (conj (formulas rest))))
+               core)
+        (Suite_sanity.conflict_cores specs))
+
+(* ...and completeness on the size-2 slice, where brute force is cheap:
+   every jointly-unsat pair of individually-sat specs is covered by some
+   reported core *)
+let prop_cores_cover_pairs =
+  QCheck.Test.make ~count:100 ~name:"cores cover all unsat pairs" arb_book
+    (fun specs ->
+      let cores = Suite_sanity.conflict_cores specs in
+      let sat_alone (_, phi) = not (Spec_sanity.unsatisfiable phi) in
+      let rec pairs = function
+        | [] -> []
+        | x :: rest -> List.map (fun y -> (x, y)) rest @ pairs rest
+      in
+      List.for_all
+        (fun (((na, pa) as a), ((nb, pb) as b)) ->
+          (not (sat_alone a && sat_alone b))
+          || (not (Spec_sanity.unsatisfiable (Ltl.And (pa, pb))))
+          || List.exists
+               (fun core -> List.mem na core && List.mem nb core)
+               cores)
+        (pairs specs))
+
+let test_suite001_conflict_core () =
+  let specs =
+    [ ("inv", Ltl.Always p); ("esc", Ltl.Eventually (Ltl.Not p)) ]
+  in
+  (match Suite_sanity.conflict_cores specs with
+  | [ core ] ->
+      Alcotest.(check (list string)) "both members" [ "esc"; "inv" ]
+        (List.sort compare core)
+  | other -> Alcotest.failf "expected one core, got %d" (List.length other));
+  let diags = Suite_sanity.check ~suite:"seeded" specs in
+  let d = find_code "SUITE001" diags in
+  Alcotest.(check string) "error severity" "error"
+    (Diagnostic.severity_string d.Diagnostic.severity);
+  Alcotest.(check string) "suite artifact" "suite"
+    (Diagnostic.artifact_kind d.Diagnostic.artifact)
+
+let always_red =
+  Ts.make ~name:"always_red"
+    ~states:[ ("s0", sym [ "red" ]) ]
+    ~transitions:[ ("s0", "s0") ] ()
+
+(* jointly satisfiable in general (vacuously, when red never holds) but
+   unrealizable against a model where red always holds: no action can be
+   both halt and not-halt *)
+let clash_book =
+  [
+    ("a", Ltl.Always (Ltl.Implies (Ltl.Atom "red", Ltl.Atom "halt")));
+    ("b", Ltl.Always (Ltl.Implies (Ltl.Atom "red", Ltl.Not (Ltl.Atom "halt"))));
+  ]
+
+let test_suite002_unrealizable () =
+  Alcotest.(check (list (list string))) "no conflict core" []
+    (Suite_sanity.conflict_cores clash_book);
+  (match
+     Suite_sanity.realizable ~model:always_red
+       ~actions:[ "halt"; "proceed" ] clash_book
+   with
+  | Suite_sanity.Unrealizable -> ()
+  | _ -> Alcotest.fail "expected Unrealizable");
+  Alcotest.(check (list string)) "deletion-minimal core" [ "a"; "b" ]
+    (Suite_sanity.unrealizable_core ~model:always_red
+       ~actions:[ "halt"; "proceed" ] clash_book);
+  let diags =
+    Suite_sanity.check ~suite:"seeded" ~actions:[ "halt"; "proceed" ]
+      ~models:[ ("always_red", always_red) ]
+      ~redundancy:false clash_book
+  in
+  let d = find_code "SUITE002" diags in
+  Alcotest.(check string) "error severity" "error"
+    (Diagnostic.severity_string d.Diagnostic.severity);
+  Alcotest.(check (option string)) "witness carries the core" (Some "a, b")
+    d.Diagnostic.witness;
+  Alcotest.(check bool) "message names the model" true
+    (let msg = d.Diagnostic.message in
+     let n = String.length "always_red" and h = String.length msg in
+     let rec go i =
+       i + n <= h && (String.sub msg i n = "always_red" || go (i + 1))
+     in
+     go 0);
+  (* each spec alone is realizable in the same model *)
+  List.iter
+    (fun spec ->
+      match
+        Suite_sanity.realizable ~model:always_red
+          ~actions:[ "halt"; "proceed" ] [ spec ]
+      with
+      | Suite_sanity.Realizable -> ()
+      | _ -> Alcotest.failf "%s alone should be realizable" (fst spec))
+    clash_book
+
+let test_suite003_budget () =
+  (* a non-template formula forces the tableau fallback; a 1-state budget
+     cannot hold its product *)
+  let odd =
+    [ ("nested", Ltl.Eventually (Ltl.And (p, Ltl.Eventually q))) ]
+  in
+  (match
+     Suite_sanity.realizable ~model:always_red ~actions:[ "halt" ] ~budget:1
+       odd
+   with
+  | Suite_sanity.Unknown -> ()
+  | _ -> Alcotest.fail "expected Unknown under a 1-state budget");
+  let diags =
+    Suite_sanity.check ~suite:"seeded" ~actions:[ "halt" ] ~budget:1
+      ~models:[ ("always_red", always_red) ]
+      ~redundancy:false odd
+  in
+  let d = find_code "SUITE003" diags in
+  Alcotest.(check string) "info severity" "info"
+    (Diagnostic.severity_string d.Diagnostic.severity)
+
+let test_spec005_006_coverage () =
+  let specs = [ ("s", Ltl.Always (Ltl.Implies (p, Ltl.Atom "go"))) ] in
+  Alcotest.(check (list (pair string (list string)))) "matrix"
+    [ ("p", [ "s" ]); ("ghost", []) ]
+    (Suite_sanity.coverage ~vocabulary:[ "p"; "ghost" ] specs);
+  let diags =
+    Suite_sanity.check ~suite:"seeded" ~propositions:[ "p"; "ghost" ]
+      ~actions:[ "go"; "wave" ] specs
+  in
+  let d5 = find_code "SPEC005" diags in
+  Alcotest.(check bool) "SPEC005 names the proposition" true
+    (d5.Diagnostic.witness = Some "ghost");
+  let d6 = find_code "SPEC006" diags in
+  Alcotest.(check bool) "SPEC006 names the action" true
+    (d6.Diagnostic.witness = Some "wave");
+  Alcotest.(check bool) "warnings, not errors" false
+    (Diagnostic.has_errors diags)
+
+let test_spec007_undistinguishing () =
+  let specs =
+    [ ("a", Ltl.Always p); ("b", Ltl.Always q); ("c", Ltl.Eventually p) ]
+  in
+  (* a satisfied by both responses, c by neither: only b ever splits a
+     preference pair *)
+  let pool = [ ("r1", [ "a" ]); ("r2", [ "a"; "b" ]) ] in
+  Alcotest.(check (list string)) "constant-status specs" [ "a"; "c" ]
+    (Suite_sanity.undistinguishing ~pool specs);
+  Alcotest.(check (list string)) "singleton pools are skipped" []
+    (Suite_sanity.undistinguishing ~pool:[ ("r1", [ "a" ]) ] specs);
+  let diags = Suite_sanity.check ~suite:"seeded" ~pool specs in
+  Alcotest.(check bool) "SPEC007 reported" true (has_code "SPEC007" diags)
+
+let all_pq_model =
+  (* every {p,q} valuation reachable from every other: nothing about p or
+     q is forced by the world *)
+  let labels = [ []; [ "p" ]; [ "q" ]; [ "p"; "q" ] ] in
+  let states = List.mapi (fun i l -> (Printf.sprintf "s%d" i, sym l)) labels in
+  let names = List.map fst states in
+  Ts.make ~name:"all_pq" ~states
+    ~transitions:
+      (List.concat_map (fun a -> List.map (fun b -> (a, b)) names) names)
+    ()
+
+let test_spec008_joint_redundancy () =
+  let specs =
+    [ ("a", Ltl.Always p); ("b", Ltl.Always q);
+      ("c", Ltl.Always (Ltl.And (p, q))) ]
+  in
+  (* c follows from a AND b together but from neither alone, so the
+     pairwise sweep (SPEC003) cannot see it *)
+  Alcotest.(check (list string)) "joint-only redundancy" [ "c" ]
+    (Suite_sanity.joint_redundancies ~model:all_pq_model ~actions:[ "act" ]
+       specs);
+  Alcotest.(check bool) "invisible to the pairwise sweep" true
+    (List.for_all
+       (fun (n, phi) -> n = "c" || not (Spec_sanity.implies phi (conj [ p; q ])))
+       specs);
+  let diags =
+    Suite_sanity.check ~suite:"seeded" ~actions:[ "act" ]
+      ~models:[ ("all_pq", all_pq_model) ]
+      specs
+  in
+  let d = find_code "SPEC008" diags in
+  Alcotest.(check string) "on spec c" "c"
+    (Diagnostic.artifact_name d.Diagnostic.artifact)
+
+(* the seed driving pack, pinned: the suite pass must keep reproducing
+   the known findings (an unconstrained proposition, six specs the demo
+   pool never splits, three jointly-redundant specs) *)
+let test_driving_suite_findings () =
+  let models =
+    ("universal", Models.universal ())
+    :: List.map
+         (fun sc -> (Models.scenario_name sc, Models.model sc))
+         Models.all_scenarios
+  in
+  let diags =
+    Suite_sanity.check ~suite:"driving" ~propositions:Vocab.propositions
+      ~actions:Vocab.actions ~models Specs.all
+  in
+  Alcotest.(check bool) "no errors" false (Diagnostic.has_errors diags);
+  let with_code c = List.filter (fun d -> d.Diagnostic.code = c) diags in
+  (match with_code "SPEC005" with
+  | [ d ] ->
+      Alcotest.(check (option string)) "the uncovered proposition"
+        (Some "flashing left-turn light") d.Diagnostic.witness
+  | other -> Alcotest.failf "expected one SPEC005, got %d" (List.length other));
+  Alcotest.(check int) "no unconstrained actions" 0
+    (List.length (with_code "SPEC006"));
+  Alcotest.(check (list string)) "jointly redundant specs"
+    [ "phi_4"; "phi_6"; "phi_9" ]
+    (List.sort compare
+       (List.map
+          (fun d -> Diagnostic.artifact_name d.Diagnostic.artifact)
+          (with_code "SPEC008")));
+  Alcotest.(check int) "all suites realizable" 0
+    (List.length (with_code "SUITE002" @ with_code "SUITE003"))
+
+(* the full analyzer path also reproduces the five known pairwise
+   redundancies (SPEC003) the suite pass rides alongside *)
+let test_driving_pairwise_redundancies () =
+  let diags = Spec_sanity.check Specs.all in
+  let found =
+    List.filter_map
+      (fun d ->
+        if d.Diagnostic.code = "SPEC003" then
+          Some (Diagnostic.artifact_name d.Diagnostic.artifact, d.Diagnostic.witness)
+        else None)
+      diags
+  in
+  Alcotest.(check int) "five known redundancies" 5 (List.length found);
+  List.iter
+    (fun (implied, by) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s implied by %s" implied
+           (Option.value ~default:"?" by))
+        true
+        (List.mem (implied, by)
+           [ ("phi_11", Some "phi_5"); ("phi_11", Some "phi_9");
+             ("phi_15", Some "phi_5"); ("phi_15", Some "phi_9");
+             ("phi_2", Some "phi_12") ]))
+    found
+
+(* ---------------- counterexample explanation ---------------- *)
+
+(* replay the explanation's own steps through eval_lasso: the lasso it
+   describes must genuinely violate the spec it blames *)
+let replay_violates phi (e : Explain.t) =
+  let symbol (s : Explain.step) =
+    sym (s.Explain.holds @ Option.to_list s.Explain.action)
+  in
+  let prefix, cycle =
+    List.partition (fun (s : Explain.step) -> not s.Explain.in_cycle) e.Explain.steps
+  in
+  not
+    (Trace.eval_lasso phi
+       ~prefix:(Array.of_list (List.map symbol prefix))
+       ~cycle:(Array.of_list (List.map symbol cycle)))
+
+let test_explanation_roundtrip () =
+  let domain = Dpoaf_domain.find_exn "driving" in
+  (* an unprotected right turn violates several driving rules *)
+  let es = Dpoaf_domain.Domain.explain_steps domain [ "turn right" ] in
+  Alcotest.(check bool) "violations explained" true (es <> []);
+  List.iter
+    (fun (e : Explain.t) ->
+      let phi = List.assoc e.Explain.spec Specs.all in
+      Alcotest.(check bool)
+        (e.Explain.spec ^ " replay violates") true (replay_violates phi e);
+      Alcotest.(check bool) "has culprit steps" true (e.Explain.culprits <> []);
+      Alcotest.(check bool) "text names the spec" true
+        (let n = String.length e.Explain.spec
+         and h = String.length e.Explain.text in
+         let rec go i =
+           i + n <= h
+           && (String.sub e.Explain.text i n = e.Explain.spec || go (i + 1))
+         in
+         go 0);
+      (* the JSON rendering is well-formed and self-identifying *)
+      let json =
+        Dpoaf_util.Json.parse_exn
+          (Dpoaf_util.Json.to_string (Explain.to_json e))
+      in
+      Alcotest.(check (option string)) "json spec" (Some e.Explain.spec)
+        Dpoaf_util.Json.(Option.bind (member "spec" json) to_str))
+    es
+
+let test_explanation_never_lies () =
+  (* a counterexample that does NOT violate the spec must be rejected by
+     replay validation, not explained *)
+  let cex =
+    {
+      Dpoaf_automata.Model_checker.prefix = [];
+      cycle = [ sym [ "p"; "go" ] ];
+      prefix_descr = [];
+      cycle_descr = [ "s0" ];
+      prefix_tags = [];
+      cycle_tags = [ 0 ];
+    }
+  in
+  Alcotest.(check bool) "satisfying lasso rejected" true
+    (Explain.explain ~spec:("holds", Ltl.Always p) ~actions:[ "go" ] cex
+    = None);
+  (* and one that does violate is explained, naming the right step *)
+  match
+    Explain.explain ~spec:("broken", Ltl.Always q) ~actions:[ "go" ] cex
+  with
+  | None -> Alcotest.fail "violating lasso must be explained"
+  | Some e ->
+      Alcotest.(check (list int)) "step 1 is the culprit" [ 1 ]
+        e.Explain.culprits;
+      Alcotest.(check bool) "step carries its action" true
+        ((List.hd e.Explain.steps).Explain.action = Some "go")
+
 (* ---------------- diagnostics plumbing ---------------- *)
 
 let test_report_json_counts () =
@@ -376,6 +738,31 @@ let () =
           Alcotest.test_case "VAC001 controller vacuity" `Quick
             test_vac001_controller_vacuity;
           Alcotest.test_case "seed artifacts clean" `Quick test_seed_artifacts_clean;
+        ] );
+      qsuite "suite-qcheck" [ prop_cores_minimal; prop_cores_cover_pairs ];
+      ( "suite-sanity",
+        [
+          Alcotest.test_case "SUITE001 conflict core" `Quick
+            test_suite001_conflict_core;
+          Alcotest.test_case "SUITE002 unrealizable" `Quick
+            test_suite002_unrealizable;
+          Alcotest.test_case "SUITE003 budget" `Quick test_suite003_budget;
+          Alcotest.test_case "SPEC005/006 coverage" `Quick
+            test_spec005_006_coverage;
+          Alcotest.test_case "SPEC007 undistinguishing" `Quick
+            test_spec007_undistinguishing;
+          Alcotest.test_case "SPEC008 joint redundancy" `Quick
+            test_spec008_joint_redundancy;
+          Alcotest.test_case "driving suite findings" `Slow
+            test_driving_suite_findings;
+          Alcotest.test_case "driving pairwise redundancies" `Slow
+            test_driving_pairwise_redundancies;
+        ] );
+      ( "explain",
+        [
+          Alcotest.test_case "roundtrip on driving violations" `Quick
+            test_explanation_roundtrip;
+          Alcotest.test_case "never lies" `Quick test_explanation_never_lies;
         ] );
       ( "diagnostics",
         [ Alcotest.test_case "report json counts" `Quick test_report_json_counts ] );

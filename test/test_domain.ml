@@ -220,6 +220,7 @@ let test_domain_request_goldens () =
             steps = [ "halt" ];
             scenario = Some "aisle";
             domain = Some "warehouse";
+            explain = false;
           };
       deadline_ms = Some 25.0;
     };
@@ -234,6 +235,7 @@ let test_domain_request_goldens () =
             steps_b = [ "halt" ];
             scenario = None;
             domain = Some "warehouse";
+            explain = false;
           };
       deadline_ms = None;
     }
@@ -250,7 +252,7 @@ let verify ?domain engine steps =
   Engine.handle engine
     {
       P.id = "x";
-      kind = P.Verify { steps; scenario = None; domain };
+      kind = P.Verify { steps; scenario = None; domain; explain = false };
       deadline_ms = None;
     }
 
@@ -261,7 +263,7 @@ let test_multi_domain_routing () =
     [ "household"; "warehouse" ] (Engine.domains engine);
   let rule_book_size body =
     match body with
-    | P.Verified p ->
+    | P.Verified { profile = p; _ } ->
         List.length p.P.satisfied + List.length p.P.violated
     | b -> Alcotest.failf "expected Verified, got %s" (P.status_of_body b)
   in

@@ -27,6 +27,7 @@ let mk_pair ?(task_id = "t") chosen rejected =
     chosen_satisfied = phis 15;
     rejected_satisfied = phis 9;
     chosen_vacuous = [];
+    rejected_explanations = [];
     grammar;
     min_clauses = 1;
     max_clauses = 3;

@@ -186,6 +186,57 @@ let test_provenance_dump () =
    with End_of_file -> close_in ic);
   Alcotest.(check int) "one JSON line per pair" (List.length pairs) !lines
 
+(* mining with ~explain attaches the loser's counterexample explanations,
+   restricted to the margin specs; mining without it leaves them empty and
+   the provenance encoding unchanged *)
+let test_provenance_explanations () =
+  let model = small_model 3 in
+  let collect ~explain =
+    let feedback = Feedback.create () in
+    Dpoaf.collect_pairs ~explain corpus feedback model (Rng.create 4) ~m:6
+      Domain.Training
+  in
+  let plain = collect ~explain:false in
+  let explained = collect ~explain:true in
+  Alcotest.(check int) "explain changes no mined pair" (List.length plain)
+    (List.length explained);
+  List.iter
+    (fun (p : Pref_data.pair) ->
+      Alcotest.(check (list (pair string string))) "empty without ~explain" []
+        p.Pref_data.rejected_explanations)
+    plain;
+  let with_expl =
+    List.filter
+      (fun (p : Pref_data.pair) -> p.Pref_data.rejected_explanations <> [])
+      explained
+  in
+  Alcotest.(check bool) "some pair carries explanations" true (with_expl <> []);
+  List.iter
+    (fun (p : Pref_data.pair) ->
+      let margin = Pref_data.margin_specs p in
+      List.iter
+        (fun (spec, text) ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%s is a margin spec" spec)
+            true (List.mem spec margin);
+          Alcotest.(check bool) "explanation names its spec" true
+            (let n = String.length spec and h = String.length text in
+             let rec go i =
+               i + n <= h && (String.sub text i n = spec || go (i + 1))
+             in
+             go 0))
+        p.Pref_data.rejected_explanations;
+      (* json: field present exactly when non-empty *)
+      let has_field =
+        Dpoaf_util.Json.member "rejected_explanations"
+          (Pref_data.json_of_pair p)
+        <> None
+      in
+      Alcotest.(check bool) "json field iff non-empty"
+        (p.Pref_data.rejected_explanations <> [])
+        has_field)
+    explained
+
 (* ---------------- pair collection ---------------- *)
 
 let test_collect_pairs_valid () =
@@ -368,6 +419,8 @@ let () =
           Alcotest.test_case "profile invariants" `Quick
             test_feedback_profile_invariants;
           Alcotest.test_case "provenance dump" `Slow test_provenance_dump;
+          Alcotest.test_case "provenance explanations" `Slow
+            test_provenance_explanations;
         ] );
       ( "pairs",
         [

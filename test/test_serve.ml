@@ -46,6 +46,7 @@ let test_request_goldens () =
             steps = [ "come to a stop"; "turn right" ];
             scenario = Some "traffic_light";
             domain = None;
+            explain = false;
           };
       deadline_ms = Some 50.0;
     };
@@ -60,6 +61,35 @@ let test_request_goldens () =
             steps_b = [ "stop" ];
             scenario = None;
             domain = None;
+            explain = false;
+          };
+      deadline_ms = None;
+    };
+  (* the explain flag is encoded only when set, so the goldens above also
+     pin that explain=false traffic is byte-identical to the
+     pre-explanation wire *)
+  check_request
+    {|{"id":"v2","kind":"verify","steps":["turn right"],"explain":true}|}
+    {
+      P.id = "v2";
+      kind =
+        P.Verify
+          { steps = [ "turn right" ]; scenario = None; domain = None;
+            explain = true };
+      deadline_ms = None;
+    };
+  check_request
+    {|{"id":"s2","kind":"score_pair","steps_a":["turn right"],"steps_b":["stop"],"explain":true}|}
+    {
+      P.id = "s2";
+      kind =
+        P.Score_pair
+          {
+            steps_a = [ "turn right" ];
+            steps_b = [ "stop" ];
+            scenario = None;
+            domain = None;
+            explain = true;
           };
       deadline_ms = None;
     }
@@ -70,7 +100,7 @@ let test_response_goldens () =
     {
       P.rid = "v1";
       rbody =
-        P.Verified
+        P.verified
           {
             score = 2;
             satisfied = [ "phi_1"; "phi_2" ];
@@ -79,6 +109,31 @@ let test_response_goldens () =
           };
       queue_wait_us = 12.5;
       execute_us = 3.0;
+    };
+  (* with explanations requested: the optional field appears, after the
+     profile, as an array of {spec, text} objects *)
+  check_response
+    {|{"id":"v2","status":"ok","queue_wait_us":1,"execute_us":2,"profile":{"score":0,"satisfied":[],"violated":["phi_4"],"vacuous":[]},"explanations":[{"spec":"phi_4","text":"step 1 allows `proceed` while `pedestrian_present` holds, violating phi_4"}]}|}
+    {
+      P.rid = "v2";
+      rbody =
+        P.Verified
+          {
+            profile =
+              { score = 0; satisfied = []; violated = [ "phi_4" ]; vacuous = [] };
+            explanations =
+              Some
+                [
+                  {
+                    P.espec = "phi_4";
+                    etext =
+                      "step 1 allows `proceed` while `pedestrian_present` \
+                       holds, violating phi_4";
+                  };
+                ];
+          };
+      queue_wait_us = 1.0;
+      execute_us = 2.0;
     };
   check_response
     {|{"id":"r1","status":"rejected","queue_wait_us":0,"execute_us":0,"reason":"queue full (capacity 4)"}|}
@@ -116,6 +171,36 @@ let test_response_goldens () =
               };
             profile_b =
               { score = 0; satisfied = []; violated = [ "phi_1" ]; vacuous = [] };
+            explanations = None;
+          };
+      queue_wait_us = 1.0;
+      execute_us = 2.0;
+    };
+  check_response
+    {|{"id":"s2","status":"ok","queue_wait_us":1,"execute_us":2,"preference":"a","margin":1,"margin_specs":["phi_1"],"vacuous_margin":false,"profile_a":{"score":1,"satisfied":["phi_1"],"violated":[],"vacuous":[]},"profile_b":{"score":0,"satisfied":[],"violated":["phi_1"],"vacuous":[]},"explanations":[{"spec":"phi_1","text":"step 2 allows `proceed` while `red_light` holds, violating phi_1"}]}|}
+    {
+      P.rid = "s2";
+      rbody =
+        P.Compared
+          {
+            preference = "a";
+            margin = 1;
+            margin_specs = [ "phi_1" ];
+            vacuous_margin = false;
+            profile_a =
+              { score = 1; satisfied = [ "phi_1" ]; violated = []; vacuous = [] };
+            profile_b =
+              { score = 0; satisfied = []; violated = [ "phi_1" ]; vacuous = [] };
+            explanations =
+              Some
+                [
+                  {
+                    P.espec = "phi_1";
+                    etext =
+                      "step 2 allows `proceed` while `red_light` holds, \
+                       violating phi_1";
+                  };
+                ];
           };
       queue_wait_us = 1.0;
       execute_us = 2.0;
@@ -208,7 +293,7 @@ let test_protocol_strictness () =
 let verify_request ?deadline_ms id =
   {
     P.id;
-    kind = P.Verify { steps = [ id ]; scenario = None; domain = None };
+    kind = P.Verify { steps = [ id ]; scenario = None; domain = None; explain = false };
     deadline_ms;
   }
 
@@ -217,7 +302,7 @@ let test_batch_and_complete () =
   let server =
     Server.create
       ~config:{ Server.jobs = 2; max_batch = 8; flush_ms = 2.0; queue_capacity = 64 }
-      ~handler:(fun _ -> P.Verified ok_profile)
+      ~handler:(fun _ -> P.verified ok_profile)
       ()
   in
   let tickets =
@@ -229,7 +314,7 @@ let test_batch_and_complete () =
   List.iteri
     (fun i r ->
       Alcotest.(check string) "id echoed" (Printf.sprintf "q%d" i) r.P.rid;
-      Alcotest.(check body_testable) "ok" (P.Verified ok_profile) r.P.rbody)
+      Alcotest.(check body_testable) "ok" (P.verified ok_profile) r.P.rbody)
     responses
 
 let test_deadline_expiry () =
@@ -241,7 +326,7 @@ let test_deadline_expiry () =
       ~config:{ Server.jobs = 1; max_batch = 1; flush_ms = 0.0; queue_capacity = 64 }
       ~handler:(fun req ->
         (match req.P.id with "blocker" -> Unix.sleepf 0.1 | _ -> ());
-        P.Verified ok_profile)
+        P.verified ok_profile)
       ()
   in
   let blocker = Server.submit_async server (verify_request "blocker") in
@@ -255,7 +340,7 @@ let test_deadline_expiry () =
   Alcotest.(check bool) "waited at least its deadline" true
     (r.P.queue_wait_us >= 20_000.0);
   Alcotest.(check (float 0.0)) "no execute time" 0.0 r.P.execute_us;
-  Alcotest.(check body_testable) "blocker unaffected" (P.Verified ok_profile)
+  Alcotest.(check body_testable) "blocker unaffected" (P.verified ok_profile)
     (Server.await blocker).P.rbody;
   Server.drain server;
   Alcotest.(check bool) "expired counter advanced" true
@@ -265,7 +350,7 @@ let test_queue_full_reject () =
   let server =
     Server.create
       ~config:{ Server.jobs = 1; max_batch = 1; flush_ms = 0.0; queue_capacity = 2 }
-      ~handler:(fun _ -> Unix.sleepf 0.3; P.Verified ok_profile)
+      ~handler:(fun _ -> Unix.sleepf 0.3; P.verified ok_profile)
       ()
   in
   let blocker = Server.submit_async server (verify_request "b0") in
@@ -288,7 +373,7 @@ let test_queue_full_reject () =
   List.iter
     (fun t ->
       Alcotest.(check body_testable) "queued requests still complete"
-        (P.Verified ok_profile) (Server.await t).P.rbody)
+        (P.verified ok_profile) (Server.await t).P.rbody)
     (blocker :: queued);
   Server.drain server
 
@@ -296,7 +381,7 @@ let test_drain_completes_inflight () =
   let server =
     Server.create
       ~config:{ Server.jobs = 2; max_batch = 4; flush_ms = 1.0; queue_capacity = 64 }
-      ~handler:(fun _ -> Unix.sleepf 0.03; P.Verified ok_profile)
+      ~handler:(fun _ -> Unix.sleepf 0.03; P.verified ok_profile)
       ()
   in
   let tickets =
@@ -310,7 +395,7 @@ let test_drain_completes_inflight () =
       match Server.peek t with
       | Some r ->
           Alcotest.(check body_testable) "completed during drain"
-            (P.Verified ok_profile) r.P.rbody
+            (P.verified ok_profile) r.P.rbody
       | None -> Alcotest.fail "drain returned with an unanswered request")
     tickets;
   let late = Server.submit_async server (verify_request "late") in
@@ -353,15 +438,19 @@ let mixed_requests =
           P.id = Printf.sprintf "ver%d" i;
           kind =
             P.Verify
-              { steps = right; scenario = Some "traffic_light"; domain = None };
+              { steps = right; scenario = Some "traffic_light"; domain = None;
+                explain = false };
           deadline_ms = None;
         };
+        (* explain=true here routes the loser's margin violations through
+           the live explainer inside the determinism matrix, so the
+           explanation text itself must also be jobs-invariant *)
         {
           P.id = Printf.sprintf "cmp%d" i;
           kind =
             P.Score_pair
               { steps_a = right; steps_b = risky; scenario = None;
-                domain = None };
+                domain = None; explain = true };
           deadline_ms = None;
         };
       ])
@@ -440,7 +529,9 @@ let test_engine_rejects_unknowns () =
     | b -> Alcotest.failf "%s: expected Failed, got %s" what (P.status_of_body b)
   in
   expect_failed "unknown scenario"
-    (P.Verify { steps = [ "stop" ]; scenario = Some "motorway"; domain = None })
+    (P.Verify
+       { steps = [ "stop" ]; scenario = Some "motorway"; domain = None;
+         explain = false })
     "traffic_light";
   expect_failed "unknown task"
     (P.Generate

@@ -1,0 +1,69 @@
+#!/bin/sh
+# Static-analysis round-trip over EVERY registered domain pack:
+#
+#   1. `dpoaf_cli analyze --suite --json` per pack (rule-book sanity,
+#      model lint, controller lint, and the whole-suite pass: conflict
+#      cores, realizability against every registered world model, the
+#      vocabulary coverage matrix) — a clean exit means no error-severity
+#      diagnostic anywhere;
+#   2. the JSON artifact's shape validated by test/analysis_validate.exe
+#      (including the pack name in the report header);
+#   3. the docs drift gate: every diagnostic code emitted by code in
+#      lib/analysis must appear in the docs/analysis.md catalogue table,
+#      and every catalogued code must still exist in the code.
+#
+# Uses the built binaries directly (not `dune exec`) so repeated
+# invocations never contend on the dune build lock.
+set -eu
+
+CLI=_build/default/bin/dpoaf_cli.exe
+VALIDATE=_build/default/test/analysis_validate.exe
+
+[ -x "$CLI" ] || { echo "analysis-check: $CLI not built" >&2; exit 1; }
+[ -x "$VALIDATE" ] || { echo "analysis-check: $VALIDATE not built" >&2; exit 1; }
+
+DOMAINS=$("$CLI" domains --quiet)
+[ -n "$DOMAINS" ] || { echo "analysis-check: no packs registered" >&2; exit 1; }
+
+for d in $DOMAINS; do
+    out="_build/analysis_$d.json"
+    echo "analysis-check: [$d] analyze --suite"
+    "$CLI" analyze --domain "$d" --suite --json --out "$out" > /dev/null
+    "$VALIDATE" "$out"
+    # the artifact must name the pack it analyzed
+    grep -q "\"domain\":\"$d\"" "$out" || {
+        echo "analysis-check: $out does not name pack '$d' in its header" >&2
+        exit 1
+    }
+done
+
+# ---------------- docs drift gate ----------------
+# Codes emitted by the analyzers (the single source of truth is the
+# ~code:"..." literal at each Diagnostic.make site) vs. the catalogue
+# table rows in docs/analysis.md.  Drift in either direction fails.
+DOCS=docs/analysis.md
+[ -f "$DOCS" ] || { echo "analysis-check: $DOCS missing" >&2; exit 1; }
+
+emitted=$(grep -rho '~code:"[A-Z]*[0-9]*"' lib/analysis \
+    | sed 's/~code:"\(.*\)"/\1/' | sort -u)
+documented=$(grep -o '^| `[A-Z]*[0-9]*`' "$DOCS" \
+    | sed 's/| `\(.*\)`/\1/' | sort -u)
+
+[ -n "$emitted" ] || { echo "analysis-check: found no emitted codes in lib/analysis" >&2; exit 1; }
+
+drift=0
+for c in $emitted; do
+    echo "$documented" | grep -qx "$c" || {
+        echo "analysis-check: code $c is emitted by lib/analysis but missing from the $DOCS catalogue" >&2
+        drift=1
+    }
+done
+for c in $documented; do
+    echo "$emitted" | grep -qx "$c" || {
+        echo "analysis-check: code $c is catalogued in $DOCS but no analyzer emits it" >&2
+        drift=1
+    }
+done
+[ "$drift" -eq 0 ] || exit 1
+
+echo "analysis-check: OK ($(echo "$DOMAINS" | tr '\n' ' ' | sed 's/ $//')— $(echo "$emitted" | wc -l | tr -d ' ') codes in sync with $DOCS)"

@@ -1,0 +1,87 @@
+#!/bin/sh
+# Determinism source lint: the pipeline's contract is bit-identical
+# output for any --jobs, and the cheapest way to keep that true is to
+# ban the sources of nondeterminism at the source level:
+#
+#   - Random.self_init    (seeds must be explicit; never allowlistable)
+#   - Obj.magic           (undefined behavior; never allowlistable)
+#   - Sys.time / Unix.gettimeofday
+#                         (wall clocks; allowlistable as "timing" for
+#                          metrics/serve instrumentation that never
+#                          feeds an output path)
+#   - Hashtbl.iter / Hashtbl.fold
+#                         (iteration order depends on hash seeding and
+#                          insertion history; allowlistable as
+#                          "hashtbl-order" for order-insensitive uses —
+#                          anything feeding an output path must sort)
+#
+# The allowlist (tools/det_lint_allow) is per-file per-ban with a
+# mandatory justification comment; a stale entry (file no longer
+# matches) fails too, so the list cannot rot.
+set -eu
+
+ALLOW=tools/det_lint_allow
+fail=0
+
+allowed() { # $1=file $2=ban
+    [ -f "$ALLOW" ] && grep -v '^#' "$ALLOW" | grep -q "^$1 $2\([ #]\|\$\)"
+}
+
+scan() { # $1=ban-name $2=grep-pattern $3=allowlistable?
+    for f in $(grep -rl "$2" lib --include='*.ml' 2>/dev/null || true); do
+        if [ "$3" = yes ] && allowed "$f" "$1"; then
+            continue
+        fi
+        grep -n "$2" "$f" | while IFS= read -r line; do
+            echo "det-lint: $f: banned $1: $line" >&2
+        done
+        fail=1
+    done
+}
+
+scan random-seed  'Random\.self_init'               no
+scan obj-magic    'Obj\.magic'                      no
+scan timing       'Sys\.time\b\|Unix\.gettimeofday' yes
+scan hashtbl-order 'Hashtbl\.\(iter\|fold\)\b'      yes
+
+# stale allowlist entries rot the lint: every entry must still match
+if [ -f "$ALLOW" ]; then
+    grep -v '^#' "$ALLOW" | grep -v '^[ ]*$' | while IFS= read -r entry; do
+        f=$(echo "$entry" | awk '{print $1}')
+        ban=$(echo "$entry" | awk '{print $2}')
+        case "$ban" in
+            timing) pat='Sys\.time\b\|Unix\.gettimeofday' ;;
+            hashtbl-order) pat='Hashtbl\.\(iter\|fold\)\b' ;;
+            *) echo "det-lint: unknown ban '$ban' in $ALLOW" >&2; exit 1 ;;
+        esac
+        [ -f "$f" ] || { echo "det-lint: stale allowlist entry: $f does not exist" >&2; exit 1; }
+        grep -q "$pat" "$f" || {
+            echo "det-lint: stale allowlist entry: $f no longer uses $ban" >&2
+            exit 1
+        }
+        echo "$entry" | grep -q '#' || {
+            echo "det-lint: allowlist entry for $f $ban lacks a justification comment" >&2
+            exit 1
+        }
+    done
+fi
+
+# `fail` set inside the scan pipeline does not propagate out of the
+# subshell; recheck by counting actual violations
+violations=0
+count() { # $1=grep-pattern $2=ban $3=allowlistable?
+    for f in $(grep -rl "$1" lib --include='*.ml' 2>/dev/null || true); do
+        if [ "$3" = yes ] && allowed "$f" "$2"; then continue; fi
+        violations=$((violations + 1))
+    done
+}
+count 'Random\.self_init'                random-seed   no
+count 'Obj\.magic'                       obj-magic     no
+count 'Sys\.time\b\|Unix\.gettimeofday'  timing        yes
+count 'Hashtbl\.\(iter\|fold\)\b'        hashtbl-order yes
+
+if [ "$violations" -gt 0 ]; then
+    echo "det-lint: $violations file(s) with banned nondeterminism (allowlist: $ALLOW)" >&2
+    exit 1
+fi
+echo "det-lint: OK (lib/ clean; $(grep -cv '^#' "$ALLOW" 2>/dev/null || echo 0) allowlisted uses)"
