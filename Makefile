@@ -1,4 +1,4 @@
-.PHONY: all build test bench check lint mli-check det-lint analysis-check trace-check serve-check kernels-check domains-check perf-gate obs-check clean
+.PHONY: all build test bench check lint mli-check det-lint analysis-check trace-check serve-check kernels-check domains-check perf-gate obs-check refine-check clean
 
 all: build
 
@@ -29,6 +29,7 @@ check:
 	$(MAKE) kernels-check
 	$(MAKE) domains-check
 	$(MAKE) obs-check
+	$(MAKE) refine-check
 
 # Rebuild the libraries with the unused-code warning family (26/27,
 # 32..35, 69) promoted to errors — see lib/dune's `lint` env profile.
@@ -84,14 +85,15 @@ serve-check:
 
 # Perf-regression gate: run the headline bench sections (fig8 loop +
 # generation latency from `kernels`, batch p99 from `serving`, suite
-# pass + explanation wall time per pack from `analysis`) into the dated
-# results series at bench/results/, then compare latest.json against
-# the pinned baseline.json (>10% slower on any headline metric fails;
-# first run pins a fresh baseline).  Re-pin deliberately with
+# pass + explanation wall time per pack from `analysis`, wall time per
+# repair round from `refine`) into the dated results series at
+# bench/results/, then compare latest.json against the pinned
+# baseline.json (>10% slower on any headline metric fails; first run
+# pins a fresh baseline).  Re-pin deliberately with
 # `dune exec bench/perf_gate.exe -- --rebase`.
 perf-gate:
 	dune build bench/main.exe bench/perf_gate.exe
-	dune exec bench/main.exe -- --fast --only kernels,serving,analysis --jobs 2
+	dune exec bench/main.exe -- --fast --only kernels,serving,analysis,refine --jobs 2
 	dune exec bench/perf_gate.exe
 
 # Ops-plane gate: daemon with an event journal on a temp socket, stats
@@ -101,6 +103,15 @@ perf-gate:
 obs-check:
 	dune build bin/dpoaf_cli.exe bench/main.exe bench/perf_gate.exe
 	sh tools/obs_check.sh
+
+# Refinement gate: the offline must-repair case (>= 80% of the driving
+# pack's seeded defects improve within 3 rounds, harvested store
+# validates non-empty), then a daemon with --journal and --pref-store
+# under a refine-weighted loadgen mix: zero errors, serve.refine_round
+# events in the journal, and a valid harvested store after SIGTERM.
+refine-check:
+	dune build bin/dpoaf_cli.exe
+	sh tools/refine_check.sh
 
 # Domain-pack gate: every registered pack (dpoaf_cli domains) must clear
 # the static analysis gates and run verify -> finetune -> simulate

@@ -32,6 +32,8 @@
      serving    throughput of the batched serving scheduler (lib/serve)
      domains    every registered domain pack through the DPO loop + one
                 serve batch (writes BENCH_domains.json)
+     refine     counterexample-guided refinement over each pack's seeded
+                defect pool (writes BENCH_refine.json)
      micro  Bechamel timings of the core kernels
      kernels    fused scoring + arena tape + incremental decoding
                 before/after (writes BENCH_kernels.json)
@@ -1573,6 +1575,144 @@ let analysis_section () =
     emit "analysis" table
   end
 
+(* ------------------------------------------------------------------ *)
+(* Counterexample-guided refinement: every pack's seeded repairable     *)
+(* defect pool through the lib/refine loop under the default 3-round    *)
+(* budget.  The per-pack wall time per round is what bounds the serve   *)
+(* daemon's marginal cost per repair iteration, so the perf gate        *)
+(* watches it alongside the serving/analysis headlines.                 *)
+
+let refine_section () =
+  if
+    section "refine"
+      "Counterexample-guided refinement over each pack's seeded defect pool \
+       (writes BENCH_refine.json)"
+  then begin
+    let module Json = Dpoaf_util.Json in
+    let module R = Dpoaf_refine.Refine in
+    let table =
+      Table.create
+        [ "domain"; "defects"; "improved"; "clean"; "rounds";
+          "rounds-to-clean"; "ms/round" ]
+    in
+    let total_rounds = ref 0 in
+    let total_s = ref 0.0 in
+    let entries =
+      List.map
+        (fun domain ->
+          let (module D : Dpoaf_domain.Domain.S) = domain in
+          Printf.printf "[%s] pre-training + refining the defect pool...\n%!"
+            D.name;
+          let corpus = Pipeline.Corpus.build ~domain () in
+          let rng = Rng.create 73 in
+          let model =
+            Pipeline.Corpus.pretrained_model
+              ~config:
+                { Dpoaf_lm.Model.dim = 12; context = 10; lora_rank = 2;
+                  arch = Dpoaf_lm.Model.Bow }
+              ~per_task:20 ~epochs:10 rng corpus
+          in
+          let snapshot = Dpoaf_lm.Sampler.snapshot model in
+          let vocab = corpus.Pipeline.Corpus.vocab in
+          let seed = 2024 in
+          let pool =
+            R.defect_pool domain ~seed ~per_task:(if fast then 1 else 2)
+          in
+          if pool = [] then
+            failwith (D.name ^ ": the seeded defect pool is empty");
+          (* one rendering cache per pack, shared across the pool so
+             repeated lassos hit instead of re-rendering *)
+          let cache = R.explain_cache ~name:("bench.refine." ^ D.name) in
+          let outcomes, t =
+            wallclock (fun () ->
+                List.map
+                  (fun ((task : Dom.task), response) ->
+                    let setup = Pipeline.Corpus.setup corpus task in
+                    let sample =
+                      R.conditioned_sampler ~snapshot
+                        ~encode:(Dpoaf_lm.Vocab.encode vocab)
+                        ~decode:(Pipeline.Corpus.steps_of_tokens corpus)
+                        ~prompt:setup.Pipeline.Corpus.prompt
+                        ~grammar:setup.Pipeline.Corpus.grammar
+                        ~min_clauses:setup.Pipeline.Corpus.min_clauses
+                        ~max_clauses:setup.Pipeline.Corpus.max_clauses
+                        ~sep:(Dpoaf_lm.Vocab.sep vocab) ~seed ()
+                    in
+                    let refiner = R.create ~domain ~cache ~sample () in
+                    R.run refiner response)
+                  pool)
+          in
+          let count p = List.length (List.filter p outcomes) in
+          let clean = count (fun o -> o.R.status = R.Clean) in
+          let improved = count (fun o -> o.R.status <> R.Unchanged) in
+          let rounds =
+            List.fold_left
+              (fun acc o -> acc + List.length o.R.rounds)
+              0 outcomes
+          in
+          (* rounds-to-clean averages only over responses the loop fully
+             repaired — the paper's headline repair-depth statistic *)
+          let rounds_to_clean =
+            let cleans =
+              List.filter_map
+                (fun o ->
+                  if o.R.status = R.Clean then
+                    Some (float_of_int (List.length o.R.rounds))
+                  else None)
+                outcomes
+            in
+            match cleans with
+            | [] -> 0.0
+            | l -> List.fold_left ( +. ) 0.0 l /. float_of_int (List.length l)
+          in
+          let ms_per_round =
+            if rounds = 0 then 0.0 else t *. 1e3 /. float_of_int rounds
+          in
+          total_rounds := !total_rounds + rounds;
+          total_s := !total_s +. t;
+          Table.add_row table
+            [
+              D.name;
+              string_of_int (List.length pool);
+              Printf.sprintf "%d/%d" improved (List.length pool);
+              string_of_int clean;
+              string_of_int rounds;
+              Printf.sprintf "%.1f" rounds_to_clean;
+              Printf.sprintf "%.2f" ms_per_round;
+            ];
+          record_headline
+            (Printf.sprintf "refine_round_%s_ms" D.name)
+            ms_per_round;
+          ( D.name,
+            Json.obj
+              [
+                ("defects", Json.num (float_of_int (List.length pool)));
+                ("improved", Json.num (float_of_int improved));
+                ("clean", Json.num (float_of_int clean));
+                ( "repaired_fraction",
+                  Json.num
+                    (float_of_int improved
+                    /. float_of_int (List.length pool)) );
+                ("rounds", Json.num (float_of_int rounds));
+                ("rounds_to_clean", Json.num rounds_to_clean);
+                ("round_ms", Json.num ms_per_round);
+              ] ))
+        (Dpoaf_domain.all ())
+    in
+    (* the cross-pack aggregate the perf gate pins: marginal wall time
+       per refinement round *)
+    record_headline "refine_round_ms"
+      (if !total_rounds = 0 then 0.0
+       else !total_s *. 1e3 /. float_of_int !total_rounds);
+    emit "refine" table;
+    let path = "BENCH_refine.json" in
+    let oc = open_out path in
+    output_string oc (Json.to_string (Json.obj entries));
+    output_char oc '\n';
+    close_out oc;
+    Printf.printf "(wrote %s)\n" path
+  end
+
 let sections =
   [
     ("fig7", fig7);
@@ -1593,6 +1733,7 @@ let sections =
     ("serving", serving);
     ("domains", domains_section);
     ("analysis", analysis_section);
+    ("refine", refine_section);
     ("micro", micro);
     ("kernels", kernels);
   ]

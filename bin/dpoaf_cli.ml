@@ -5,6 +5,7 @@
    dpoaf_cli specs [--domain D]           list a pack's LTL rule book
    dpoaf_cli verify --step "..." ...      verify a response's steps
    dpoaf_cli synthesize --task ID         sample + rank responses
+   dpoaf_cli refine --step "..." ...      counterexample-guided repair
    dpoaf_cli finetune --out model.ckpt    run the full DPO-AF pipeline
    dpoaf_cli simulate --task ID           empirical P_Φ in the simulator
    dpoaf_cli report trace.jsonl           summarize a recorded trace
@@ -27,6 +28,7 @@ module Rng = Dpoaf_util.Rng
 module Table = Dpoaf_util.Table
 module Metrics = Dpoaf_exec.Metrics
 module Span = Dpoaf_exec.Trace
+module Refine = Dpoaf_refine
 
 (* ---------------- shared arguments ---------------- *)
 
@@ -348,6 +350,164 @@ let synthesize_cmd =
     (Cmd.info "synthesize"
        ~doc:"Sample responses from the pre-trained model and rank them by verification.")
     Term.(const run_synthesize $ domain_arg $ task_arg $ n_arg $ seed_arg)
+
+(* ---------------- refine ---------------- *)
+
+(* Counterexample-guided repair from the command line.  With --step, the
+   given response is refined for --task; without it, a seeded pool of
+   repairable defects (careless final steps that actually violate specs)
+   is built per task and every response is refined — the offline twin of
+   the serve-level refine verb, and what tools/refine_check.sh drives. *)
+let run_refine domain task_id steps seed rounds attempts scenario explain
+    store_path =
+  let corpus = Pipeline.Corpus.build ~domain () in
+  let rng = Rng.create seed in
+  Printf.printf "pre-training the %s language model (seed %d)...\n%!"
+    (Domain.name domain) seed;
+  let model = Pipeline.Corpus.pretrained_model rng corpus in
+  let snapshot = Dpoaf_lm.Sampler.snapshot model in
+  let world = resolve_model domain scenario in
+  let budget =
+    { Refine.Refine.max_rounds = rounds; attempts; round_deadline_ms = None }
+  in
+  let store = Option.map Refine.Pref_store.create store_path in
+  let cache =
+    Refine.Refine.explain_cache
+      ~name:(Printf.sprintf "refine.explain.%s" (Domain.name domain))
+  in
+  let vocab = corpus.Pipeline.Corpus.vocab in
+  let refine_one (task : Domain.task) response =
+    let setup = Pipeline.Corpus.setup corpus task in
+    let sample =
+      Refine.Refine.conditioned_sampler ~snapshot
+        ~encode:(Dpoaf_lm.Vocab.encode vocab)
+        ~decode:(Pipeline.Corpus.steps_of_tokens corpus)
+        ~prompt:setup.Pipeline.Corpus.prompt
+        ~grammar:setup.Pipeline.Corpus.grammar
+        ~min_clauses:setup.Pipeline.Corpus.min_clauses
+        ~max_clauses:setup.Pipeline.Corpus.max_clauses
+        ~sep:(Dpoaf_lm.Vocab.sep vocab) ~seed ()
+    in
+    let refiner = Refine.Refine.create ~domain ~model:world ~cache ~sample () in
+    let outcome = Refine.Refine.run ~budget refiner response in
+    Printf.printf "task %s: %d violated initially\n" task.Domain.id
+      (List.length outcome.Refine.Refine.original_profile.Refine.Refine.violated);
+    List.iter
+      (fun (r : Refine.Refine.round) ->
+        Printf.printf "  round %d: violated=%d %s (margin %+d)\n"
+          r.Refine.Refine.index
+          (List.length
+             r.Refine.Refine.candidate_profile.Refine.Refine.violated)
+          (if r.Refine.Refine.accepted then "accepted" else "rejected")
+          r.Refine.Refine.margin;
+        if explain then
+          List.iter
+            (fun (spec, text) -> Printf.printf "    [%s] %s\n" spec text)
+            r.Refine.Refine.feedback)
+      outcome.Refine.Refine.rounds;
+    Printf.printf "status: %s (%d -> %d violated, %d rounds)\n"
+      (Refine.Refine.status_name outcome.Refine.Refine.status)
+      (List.length outcome.Refine.Refine.original_profile.Refine.Refine.violated)
+      (List.length outcome.Refine.Refine.final_profile.Refine.Refine.violated)
+      (List.length outcome.Refine.Refine.rounds);
+    if outcome.Refine.Refine.final <> response then begin
+      print_endline "repaired steps:";
+      List.iteri
+        (fun i s -> Printf.printf "  %d. %s\n" (i + 1) s)
+        outcome.Refine.Refine.final
+    end;
+    print_newline ();
+    (match store with
+    | None -> ()
+    | Some st ->
+        List.iter
+          (fun (r : Refine.Refine.round) ->
+            if r.Refine.Refine.accepted then
+              Refine.Pref_store.append st
+                {
+                  Dpoaf_dpo.Pref_data.h_task = task.Domain.id;
+                  h_domain = Domain.name domain;
+                  h_round = r.Refine.Refine.index;
+                  h_seed = seed;
+                  h_chosen_steps = r.Refine.Refine.candidate;
+                  h_rejected_steps = response;
+                  h_chosen_score =
+                    List.length
+                      r.Refine.Refine.candidate_profile.Refine.Refine.satisfied;
+                  h_rejected_score =
+                    List.length
+                      outcome.Refine.Refine.original_profile
+                        .Refine.Refine.satisfied;
+                  h_chosen_satisfied =
+                    r.Refine.Refine.candidate_profile.Refine.Refine.satisfied;
+                  h_rejected_satisfied =
+                    outcome.Refine.Refine.original_profile
+                      .Refine.Refine.satisfied;
+                  h_chosen_vacuous =
+                    r.Refine.Refine.candidate_profile.Refine.Refine.vacuous;
+                  h_explanations = r.Refine.Refine.feedback;
+                })
+          outcome.Refine.Refine.rounds);
+    outcome
+  in
+  (match steps with
+  | _ :: _ ->
+      let task = resolve_task domain task_id in
+      ignore (refine_one task steps)
+  | [] ->
+      let pool = Refine.Refine.defect_pool ~model:world domain ~seed ~per_task:2 in
+      if pool = [] then die "domain %S yields no repairable defects" (Domain.name domain);
+      Printf.printf "refining %d seeded defective responses...\n\n"
+        (List.length pool);
+      let outcomes = List.map (fun (task, response) -> refine_one task response) pool in
+      let count p = List.length (List.filter p outcomes) in
+      let clean =
+        count (fun o -> o.Refine.Refine.status = Refine.Refine.Clean)
+      in
+      let improved =
+        count (fun o -> o.Refine.Refine.status <> Refine.Refine.Unchanged)
+      in
+      Printf.printf
+        "refine summary: improved %d/%d defective responses (%d fully clean) \
+         within %d rounds\n"
+        improved (List.length pool) clean rounds);
+  match store with
+  | None -> ()
+  | Some st ->
+      Refine.Pref_store.close st;
+      Printf.printf "preference store written to %s\n"
+        (Refine.Pref_store.path st)
+
+let refine_cmd =
+  let rounds_arg =
+    Arg.(value & opt pos_int_conv Refine.Refine.default_budget.Refine.Refine.max_rounds
+         & info [ "rounds" ] ~docv:"N" ~doc:"Maximum refinement rounds.")
+  in
+  let attempts_arg =
+    Arg.(value & opt pos_int_conv Refine.Refine.default_budget.Refine.Refine.attempts
+         & info [ "attempts" ] ~docv:"N"
+             ~doc:"Candidates re-sampled per round.")
+  in
+  let explain_flag =
+    Arg.(value & flag
+         & info [ "explain" ]
+             ~doc:"Print the counterexample feedback sentences that \
+                   conditioned each round.")
+  in
+  let store_arg =
+    Arg.(value & opt (some string) None
+         & info [ "store" ] ~docv:"FILE"
+             ~doc:"Append every accepted repair as a harvested preference \
+                   pair (dpoaf-prefstore/1 JSONL) to $(docv).")
+  in
+  Cmd.v
+    (Cmd.info "refine"
+       ~doc:"Repair a defective response by feeding counterexample \
+             explanations back into re-sampling; without --step, refine a \
+             seeded pool of repairable defects per task.")
+    Term.(const run_refine $ domain_arg $ task_arg $ steps_arg $ seed_arg
+          $ rounds_arg $ attempts_arg $ scenario_arg $ explain_flag
+          $ store_arg)
 
 (* ---------------- finetune ---------------- *)
 
@@ -723,13 +883,113 @@ let run_journal_report path =
         row "queue_wait" (List.map fst requests);
         row "execute" (List.map snd requests);
         Table.print table
+      end;
+      (* the repair loop, from serve.refine_round events *)
+      let refine_rounds =
+        List.filter_map
+          (fun (_, ev, j) ->
+            if ev = "serve.refine_round" then Some j else None)
+          events
+      in
+      if refine_rounds <> [] then begin
+        let accepted =
+          List.length
+            (List.filter
+               (fun j -> Json.member "accepted" j = Some (Json.Bool true))
+               refine_rounds)
+        in
+        let per_request = Hashtbl.create 16 in
+        List.iter
+          (fun j ->
+            match Option.bind (Json.member "id" j) Json.to_str with
+            | Some id ->
+                Hashtbl.replace per_request id
+                  (1 + try Hashtbl.find per_request id with Not_found -> 0)
+            | None -> ())
+          refine_rounds;
+        Printf.printf "\nrefine rounds: %d over %d requests (%d accepted)\n"
+          (List.length refine_rounds)
+          (Hashtbl.length per_request)
+          accepted;
+        let table = Table.create [ "metric"; "p50"; "p90"; "p99"; "max" ] in
+        let row name f xs =
+          let sorted = Array.of_list xs in
+          Array.sort compare sorted;
+          Table.add_row table
+            [
+              name;
+              f (exact_percentile sorted 0.50);
+              f (exact_percentile sorted 0.90);
+              f (exact_percentile sorted 0.99);
+              f (Array.fold_left Float.max 0.0 sorted);
+            ]
+        in
+        row "rounds/request"
+          (Printf.sprintf "%.0f")
+          (Hashtbl.fold (fun _ v acc -> float_of_int v :: acc) per_request []);
+        row "round_ms"
+          (Printf.sprintf "%.3f")
+          (List.filter_map
+             (fun j -> Option.bind (Json.member "round_ms" j) Json.to_float)
+             refine_rounds);
+        Table.print table
       end
+
+(* Validate and summarize a harvested preference store.  Any malformed
+   record is a hard error (exit 1) — tools/refine_check.sh relies on this
+   command as the store validity check. *)
+let run_pref_store_report path =
+  let module Pref_data = Dpoaf_dpo.Pref_data in
+  match Pref_data.load_harvested path with
+  | Error msg -> die "%s" msg
+  | Ok [] -> Printf.printf "preference store %s: empty (valid)\n" path
+  | Ok records ->
+      Printf.printf "preference store %s: %d harvested pairs (%s)\n" path
+        (List.length records) Pref_data.store_schema;
+      let groups = Hashtbl.create 8 in
+      List.iter
+        (fun (r : Pref_data.harvested) ->
+          let key = (r.Pref_data.h_domain, r.Pref_data.h_task) in
+          let n, gain, rounds =
+            try Hashtbl.find groups key with Not_found -> (0, 0, 0)
+          in
+          Hashtbl.replace groups key
+            ( n + 1,
+              gain + r.Pref_data.h_chosen_score - r.Pref_data.h_rejected_score,
+              rounds + r.Pref_data.h_round ))
+        records;
+      let table =
+        Table.create [ "domain"; "task"; "pairs"; "avg gain"; "avg round" ]
+      in
+      List.iter
+        (fun ((dom, task), (n, gain, rounds)) ->
+          Table.add_row table
+            [
+              dom;
+              task;
+              string_of_int n;
+              Printf.sprintf "%.2f" (float_of_int gain /. float_of_int n);
+              Printf.sprintf "%.2f" (float_of_int rounds /. float_of_int n);
+            ])
+        (List.sort compare
+           (Hashtbl.fold (fun k v acc -> (k, v) :: acc) groups []));
+      Table.print table;
+      let explained =
+        List.length
+          (List.filter
+             (fun (r : Pref_data.harvested) -> r.Pref_data.h_explanations <> [])
+             records)
+      in
+      Printf.printf "%d/%d pairs carry counterexample feedback\n" explained
+        (List.length records)
 
 let report_cmd =
   let path_arg =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE"
          ~doc:"Telemetry file written by --trace, or (with $(b,--journal)) \
-               an event journal written by `serve --journal`.")
+               an event journal written by `serve --journal`, or (with \
+               $(b,--pref-store)) a harvested preference store written by \
+               `serve --pref-store`.")
   in
   let journal_arg =
     Arg.(value & flag
@@ -738,15 +998,28 @@ let report_cmd =
                    event per line) instead of a span trace; exits 1 on any \
                    malformed line.")
   in
-  let run path journal =
-    if journal then run_journal_report path else run_report path
+  let pref_store_arg =
+    Arg.(value & flag
+         & info [ "pref-store" ]
+             ~doc:"Treat $(i,FILE) as a harvested preference store \
+                   (dpoaf-prefstore/1 JSONL) instead of a span trace; exits \
+                   1 on any malformed record.")
+  in
+  let run path journal pref_store =
+    match (journal, pref_store) with
+    | true, true -> die "--journal and --pref-store are mutually exclusive"
+    | true, false -> run_journal_report path
+    | false, true -> run_pref_store_report path
+    | false, false -> run_report path
   in
   Cmd.v
     (Cmd.info "report"
        ~doc:"Summarize a recorded trace: per-stage latency, cache hit rates \
              and the spec-violation histograms (aggregate and per domain).  \
-             With --journal, summarize a serving event journal instead.")
-    Term.(const run $ path_arg $ journal_arg)
+             With --journal, summarize a serving event journal; with \
+             --pref-store, validate and summarize a harvested preference \
+             store.")
+    Term.(const run $ path_arg $ journal_arg $ pref_store_arg)
 
 (* ---------------- analyze ---------------- *)
 
@@ -973,7 +1246,8 @@ let socket_arg =
        & info [ "socket" ] ~docv:"PATH" ~doc)
 
 let run_serve socket domains checkpoint jobs max_batch flush_ms queue_capacity
-    seed journal_path journal_max_kb trace metrics_json =
+    seed journal_path journal_max_kb pref_store_path pref_store_max_kb trace
+    metrics_json =
   with_telemetry ~trace ~metrics_json @@ fun () ->
   let domains =
     match domains with
@@ -988,6 +1262,12 @@ let run_serve socket domains checkpoint jobs max_batch flush_ms queue_capacity
       (fun path ->
         Serve.Journal.create ~max_bytes:(journal_max_kb * 1024) path)
       journal_path
+  in
+  let pref_store =
+    Option.map
+      (fun path ->
+        Refine.Pref_store.create ~max_bytes:(pref_store_max_kb * 1024) path)
+      pref_store_path
   in
   let jemit ev attrs =
     match journal with Some j -> Serve.Journal.emit j ev attrs | None -> ()
@@ -1025,7 +1305,7 @@ let run_serve socket domains checkpoint jobs max_batch flush_ms queue_capacity
         (Some lm, corpus))
       domains
   in
-  let engine = Serve.Engine.create_multi packs in
+  let engine = Serve.Engine.create_multi ?journal ?pref_store packs in
   let config = { Serve.Server.jobs; max_batch; flush_ms; queue_capacity } in
   let server =
     Serve.Server.create ~config ~handler:(Serve.Engine.handle engine) ?journal
@@ -1058,11 +1338,17 @@ let run_serve socket domains checkpoint jobs max_batch flush_ms queue_capacity
      %!"
     (String.concat ", " (Serve.Engine.domains engine))
     socket jobs max_batch flush_ms queue_capacity;
-  let stats = Serve.Daemon.run ~socket ~server ~ops ?journal () in
+  let stats = Serve.Daemon.run ~socket ~server ~ops ?journal ?pref_store () in
   (match journal with
   | Some j ->
       Serve.Journal.close j;
       Printf.printf "journal written to %s\n" (Serve.Journal.path j)
+  | None -> ());
+  (match pref_store with
+  | Some s ->
+      Refine.Pref_store.close s;
+      Printf.printf "preference store written to %s\n"
+        (Refine.Pref_store.path s)
   | None -> ());
   Printf.printf
     "daemon stopped: connections=%d requests=%d responses=%d \
@@ -1113,24 +1399,39 @@ let serve_cmd =
              ~doc:"Size cap per journal file before rotation (with \
                    $(b,--journal)).")
   in
+  let pref_store_arg =
+    Arg.(value & opt (some string) None
+         & info [ "pref-store" ] ~docv:"FILE"
+             ~doc:"Harvest every accepted refine repair as an (original, \
+                   repaired) preference pair with per-spec provenance into a \
+                   size-rotated JSONL store at $(docv) \
+                   (dpoaf-prefstore/1); validate and summarize it with \
+                   `dpoaf_cli report --pref-store $(docv)`.")
+  in
+  let pref_store_max_kb_arg =
+    Arg.(value & opt pos_int_conv 1024
+         & info [ "pref-store-max-kb" ] ~docv:"KB"
+             ~doc:"Size cap per store file before rotation (with \
+                   $(b,--pref-store)).")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:"Run the batched inference-and-verification daemon (line-delimited \
              JSON over a Unix socket), serving one or more domain packs.")
     Term.(const run_serve $ socket_arg $ domains_arg $ checkpoint_arg
           $ jobs_arg $ max_batch_arg $ flush_ms_arg $ queue_arg $ seed_arg
-          $ journal_arg $ journal_max_kb_arg $ trace_arg $ metrics_json_arg)
+          $ journal_arg $ journal_max_kb_arg $ pref_store_arg
+          $ pref_store_max_kb_arg $ trace_arg $ metrics_json_arg)
 
 (* ---------------- loadgen ---------------- *)
 
 let run_loadgen socket domain rate duration mix deadline_ms seed out =
-  let generate, verify, score_pair = mix in
   let config =
     {
       Serve.Loadgen.socket;
       rate;
       duration_s = duration;
-      mix = { Serve.Loadgen.generate; verify; score_pair };
+      mix;
       deadline_ms;
       domain;
       seed;
@@ -1173,11 +1474,27 @@ let loadgen_cmd =
     Arg.(value & opt float 2.0
          & info [ "duration" ] ~docv:"S" ~doc:"Send window in seconds.")
   in
+  let mix_conv =
+    let parse s =
+      match Serve.Loadgen.mix_of_string s with
+      | Ok m -> Ok m
+      | Error msg -> Error (`Msg msg)
+    in
+    let print ppf (m : Serve.Loadgen.mix) =
+      Format.fprintf ppf "generate=%g,verify=%g,score_pair=%g,refine=%g"
+        m.Serve.Loadgen.generate m.Serve.Loadgen.verify
+        m.Serve.Loadgen.score_pair m.Serve.Loadgen.refine
+    in
+    Arg.conv (parse, print)
+  in
   let mix_arg =
-    Arg.(value & opt (t3 ~sep:',' float float float) (0.3, 0.4, 0.3)
-         & info [ "mix" ] ~docv:"G,V,S"
-             ~doc:"Relative weights of generate, verify and score_pair \
-                   requests.")
+    Arg.(value & opt mix_conv Serve.Loadgen.default_mix
+         & info [ "mix" ] ~docv:"MIX"
+             ~doc:"Workload mix, either named classes \
+                   ($(b,generate=0.2,verify=0.4,refine=0.4); unlisted \
+                   classes weigh 0) or the legacy positional form \
+                   $(b,G,V,S) for generate, verify, score_pair.  Unknown \
+                   class names are rejected.")
   in
   let deadline_arg =
     Arg.(value & opt (some float) None
@@ -1396,5 +1713,6 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ domains_cmd; tasks_cmd; specs_cmd; verify_cmd; synthesize_cmd;
-            finetune_cmd; simulate_cmd; report_cmd; analyze_cmd; smv_cmd;
+            refine_cmd; finetune_cmd; simulate_cmd; report_cmd; analyze_cmd;
+            smv_cmd;
             serve_cmd; loadgen_cmd; stats_cmd; health_cmd ]))

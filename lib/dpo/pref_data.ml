@@ -131,3 +131,157 @@ let dump_provenance path pairs =
       output_string oc (Json.to_string (json_of_pair pair));
       output_char oc '\n')
     pairs
+
+(* ---------------- harvested refinement pairs ---------------- *)
+
+let store_schema = "dpoaf-prefstore/1"
+
+type harvested = {
+  h_task : string;
+  h_domain : string;
+  h_round : int;
+  h_seed : int;
+  h_chosen_steps : string list;
+  h_rejected_steps : string list;
+  h_chosen_score : int;
+  h_rejected_score : int;
+  h_chosen_satisfied : string list;
+  h_rejected_satisfied : string list;
+  h_chosen_vacuous : string list;
+  h_explanations : (string * string) list;
+}
+
+let json_of_harvested h =
+  let strs xs = Json.arr (List.map Json.str xs) in
+  let num i = Json.num (float_of_int i) in
+  Json.obj
+    [
+      ("schema", Json.str store_schema);
+      ("task", Json.str h.h_task);
+      ("domain", Json.str h.h_domain);
+      ("round", num h.h_round);
+      ("seed", num h.h_seed);
+      ("chosen_steps", strs h.h_chosen_steps);
+      ("rejected_steps", strs h.h_rejected_steps);
+      ("chosen_score", num h.h_chosen_score);
+      ("rejected_score", num h.h_rejected_score);
+      ("chosen_satisfied", strs h.h_chosen_satisfied);
+      ("rejected_satisfied", strs h.h_rejected_satisfied);
+      ("chosen_vacuous", strs h.h_chosen_vacuous);
+      ( "explanations",
+        Json.arr
+          (List.map
+             (fun (spec, text) ->
+               Json.obj [ ("spec", Json.str spec); ("text", Json.str text) ])
+             h.h_explanations) );
+    ]
+
+let ( let* ) = Result.bind
+
+let h_str name j =
+  match Option.bind (Json.member name j) Json.to_str with
+  | Some s -> Ok s
+  | None -> Error (Printf.sprintf "field %S must be a string" name)
+
+let h_int name j =
+  match Option.bind (Json.member name j) Json.to_float with
+  | Some f -> Ok (int_of_float f)
+  | None -> Error (Printf.sprintf "field %S must be a number" name)
+
+let h_strs name j =
+  match Option.bind (Json.member name j) Json.to_list with
+  | None -> Error (Printf.sprintf "field %S must be an array" name)
+  | Some items ->
+      let rec go acc = function
+        | [] -> Ok (List.rev acc)
+        | x :: rest -> (
+            match Json.to_str x with
+            | Some s -> go (s :: acc) rest
+            | None ->
+                Error (Printf.sprintf "field %S must contain only strings" name))
+      in
+      go [] items
+
+let harvested_of_json j =
+  let* schema = h_str "schema" j in
+  if schema <> store_schema then
+    Error
+      (Printf.sprintf "unsupported store schema %S (expected %S)" schema
+         store_schema)
+  else
+    let* h_task = h_str "task" j in
+    let* h_domain = h_str "domain" j in
+    let* h_round = h_int "round" j in
+    let* h_seed = h_int "seed" j in
+    let* h_chosen_steps = h_strs "chosen_steps" j in
+    let* h_rejected_steps = h_strs "rejected_steps" j in
+    let* h_chosen_score = h_int "chosen_score" j in
+    let* h_rejected_score = h_int "rejected_score" j in
+    let* h_chosen_satisfied = h_strs "chosen_satisfied" j in
+    let* h_rejected_satisfied = h_strs "rejected_satisfied" j in
+    let* h_chosen_vacuous = h_strs "chosen_vacuous" j in
+    let* h_explanations =
+      match Option.bind (Json.member "explanations" j) Json.to_list with
+      | None -> Error "field \"explanations\" must be an array"
+      | Some items ->
+          let rec go acc = function
+            | [] -> Ok (List.rev acc)
+            | x :: rest ->
+                let* spec = h_str "spec" x in
+                let* text = h_str "text" x in
+                go ((spec, text) :: acc) rest
+          in
+          go [] items
+    in
+    Ok
+      {
+        h_task;
+        h_domain;
+        h_round;
+        h_seed;
+        h_chosen_steps;
+        h_rejected_steps;
+        h_chosen_score;
+        h_rejected_score;
+        h_chosen_satisfied;
+        h_rejected_satisfied;
+        h_chosen_vacuous;
+        h_explanations;
+      }
+
+let load_harvested path =
+  match open_in path with
+  | exception Sys_error msg -> Error msg
+  | ic ->
+      Fun.protect ~finally:(fun () -> close_in_noerr ic) @@ fun () ->
+      let rec go lineno acc =
+        match input_line ic with
+        | exception End_of_file -> Ok (List.rev acc)
+        | line when String.trim line = "" -> go (lineno + 1) acc
+        | line -> (
+            match Json.parse line with
+            | Error msg ->
+                Error (Printf.sprintf "%s:%d: malformed JSON: %s" path lineno msg)
+            | Ok j -> (
+                match harvested_of_json j with
+                | Error msg -> Error (Printf.sprintf "%s:%d: %s" path lineno msg)
+                | Ok h -> go (lineno + 1) (h :: acc)))
+      in
+      go 1 []
+
+let pair_of_harvested ~encode ~prompt ~grammar ~min_clauses ~max_clauses h =
+  {
+    task_id = h.h_task;
+    prompt;
+    chosen = encode h.h_chosen_steps;
+    rejected = encode h.h_rejected_steps;
+    chosen_score = h.h_chosen_score;
+    rejected_score = h.h_rejected_score;
+    chosen_satisfied = h.h_chosen_satisfied;
+    rejected_satisfied = h.h_rejected_satisfied;
+    chosen_vacuous = h.h_chosen_vacuous;
+    rejected_explanations = h.h_explanations;
+    grammar;
+    min_clauses;
+    max_clauses;
+  }

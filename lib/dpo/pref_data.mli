@@ -84,3 +84,57 @@ val json_of_pair : pair -> Dpoaf_util.Json.t
 
 val dump_provenance : string -> pair list -> unit
 (** Write one {!json_of_pair} line per pair (JSONL) to the given path. *)
+
+(** {1 Harvested refinement pairs}
+
+    The [dpoaf-prefstore/1] record: one (original, repaired) preference
+    pair emitted by an accepted inference-time refinement round
+    ({!Dpoaf_refine.Refine}), with full per-spec provenance.  The record
+    format lives here — next to the pair type it feeds — so the store
+    writer ([Dpoaf_refine.Pref_store]) and this reader cannot drift
+    apart. *)
+
+val store_schema : string
+(** ["dpoaf-prefstore/1"] — the value of every record's ["schema"]
+    member. *)
+
+type harvested = {
+  h_task : string;
+  h_domain : string;
+  h_round : int;  (** the refinement round that produced the repair *)
+  h_seed : int;  (** the request seed driving the re-sampling *)
+  h_chosen_steps : string list;  (** the accepted repaired response *)
+  h_rejected_steps : string list;  (** the original defective response *)
+  h_chosen_score : int;
+  h_rejected_score : int;
+  h_chosen_satisfied : string list;
+  h_rejected_satisfied : string list;
+  h_chosen_vacuous : string list;
+  h_explanations : (string * string) list;
+      (** the [(spec, text)] counterexample feedback that drove the
+          accepted round's re-sampling *)
+}
+
+val json_of_harvested : harvested -> Dpoaf_util.Json.t
+(** One store record, ["schema"] member first. *)
+
+val harvested_of_json : Dpoaf_util.Json.t -> (harvested, string) result
+(** Strict: a wrong or missing schema, a missing field or a type mismatch
+    is an [Error] naming the offending field. *)
+
+val load_harvested : string -> (harvested list, string) result
+(** Read a store file (JSONL, blank lines skipped); the first malformed
+    line fails the whole load with [path:line: reason]. *)
+
+val pair_of_harvested :
+  encode:(string list -> int list) ->
+  prompt:int list ->
+  grammar:Dpoaf_lm.Grammar.t ->
+  min_clauses:int ->
+  max_clauses:int ->
+  harvested ->
+  pair
+(** Ingest one store record as a training {!pair}: step texts are
+    re-encoded with the caller's corpus ([encode]), and the record's
+    provenance (scores, satisfied sets, vacuous set, explanations)
+    carries over verbatim. *)

@@ -195,7 +195,7 @@ let default_ops server =
               }));
   }
 
-let run ~socket ~server ?ops ?journal () =
+let run ~socket ~server ?ops ?journal ?pref_store () =
   let ops = match ops with Some o -> o | None -> default_ops server in
   install_signal_handlers ();
   Atomic.set stop_requested false;
@@ -247,8 +247,12 @@ let run ~socket ~server ?ops ?journal () =
     let dead, live = List.partition (fun c -> not c.alive) !clients in
     List.iter (fun c -> close_quietly c.fd) dead;
     clients := live;
-    (* drain worker-domain journal emissions once per turn *)
-    match journal with Some j -> Journal.flush j | None -> ()
+    (* drain worker-domain journal emissions and harvested preference
+       pairs once per turn *)
+    (match journal with Some j -> Journal.flush j | None -> ());
+    match pref_store with
+    | Some s -> Dpoaf_refine.Pref_store.flush s
+    | None -> ()
   in
   (match journal with
   | Some j -> Journal.emit j "daemon.start" [ ("socket", Json.str socket) ]
@@ -274,6 +278,9 @@ let run ~socket ~server ?ops ?journal () =
   flush_all ();
   List.iter (fun c -> close_quietly c.fd) !clients;
   if Sys.file_exists socket then Sys.remove socket;
+  (match pref_store with
+  | Some s -> Dpoaf_refine.Pref_store.flush s
+  | None -> ());
   (match journal with
   | Some j ->
       Journal.emit j "daemon.stop"

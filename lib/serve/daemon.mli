@@ -36,6 +36,7 @@ type stats = {
 
 val run :
   socket:string -> server:Server.t -> ?ops:ops -> ?journal:Journal.t ->
+  ?pref_store:Dpoaf_refine.Pref_store.t ->
   unit -> stats
 (** Bind [socket] (an existing file is replaced), serve until SIGINT or
     SIGTERM (or {!request_stop}), then drain the server gracefully —
@@ -45,8 +46,11 @@ val run :
     [journal], when given, records [daemon.start]/[daemon.stop] and
     per-line [daemon.protocol_error] events, and is flushed once per loop
     turn (pass the same journal to {!Server.create} to capture the
-    serving events too).  The daemon does not close it — the owner
-    does. *)
+    serving events too).  [pref_store], when given, is likewise flushed
+    once per loop turn and at shutdown, so harvested pairs emitted by
+    worker domains reach disk without the hot path blocking on the
+    filesystem (pass the same store to {!Engine.create} to harvest).
+    The daemon closes neither — the owner does. *)
 
 val request_stop : unit -> unit
 (** Ask a running {!run} loop to shut down — what the signal handlers

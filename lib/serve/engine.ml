@@ -14,8 +14,13 @@
 module Domain = Dpoaf_domain.Domain
 module Corpus = Dpoaf_pipeline.Corpus
 module Sampler = Dpoaf_lm.Sampler
+module Vocab = Dpoaf_lm.Vocab
 module Rng = Dpoaf_util.Rng
+module Json = Dpoaf_util.Json
 module Metrics = Dpoaf_exec.Metrics
+module Refine = Dpoaf_refine.Refine
+module Pref_store = Dpoaf_refine.Pref_store
+module Pref_data = Dpoaf_dpo.Pref_data
 
 type domain_state = {
   domain : Domain.t;
@@ -25,10 +30,18 @@ type domain_state = {
       (* repeated-prompt batches skip the prompt fold: states are immutable
          and a deterministic function of the prompt (the snapshot is fixed
          for the server's lifetime), so cache hits cannot change replies *)
+  refine_explain : Refine.explain_cache;
+      (* (spec, lasso) -> rendered sentence; across refinement rounds the
+         incumbent's lassos rarely change, so rendering is mostly hits *)
   requests : Metrics.counter;
 }
 
-type t = { states : (string * domain_state) list; default : string }
+type t = {
+  states : (string * domain_state) list;
+  default : string;
+  journal : Journal.t option;  (* serve.refine_round events *)
+  pref_store : Pref_store.t option;  (* harvested (original, repaired) pairs *)
+}
 
 let domain_state ?lm corpus =
   let (module D : Domain.S) = corpus.Corpus.domain in
@@ -45,15 +58,17 @@ let domain_state ?lm corpus =
       Dpoaf_exec.Cache.create ~capacity:256
         ~name:(Printf.sprintf "serve.prompt_state.%s" D.name)
         ();
+    refine_explain =
+      Refine.explain_cache ~name:(Printf.sprintf "refine.explain.%s" D.name);
     requests = Metrics.counter (Printf.sprintf "serve.requests.%s" D.name);
   }
 
-let create ?lm ~corpus () =
+let create ?lm ?journal ?pref_store ~corpus () =
   let st = domain_state ?lm corpus in
   let name = Domain.name corpus.Corpus.domain in
-  { states = [ (name, st) ]; default = name }
+  { states = [ (name, st) ]; default = name; journal; pref_store }
 
-let create_multi packs =
+let create_multi ?journal ?pref_store packs =
   match packs with
   | [] -> invalid_arg "Engine.create_multi: no domains"
   | _ ->
@@ -71,7 +86,7 @@ let create_multi packs =
             invalid_arg
               (Printf.sprintf "Engine.create_multi: duplicate domain %S" n))
         names;
-      { states; default = fst (List.hd states) }
+      { states; default = fst (List.hd states); journal; pref_store }
 
 let domains t = List.map fst t.states
 
@@ -266,6 +281,151 @@ let score_pair st ~scenario ~explain steps_a steps_b : Protocol.body =
           explanations;
         }
 
+(* ---------------- counterexample-guided repair ---------------- *)
+
+let refine_rounds_c = Metrics.counter "serve.refine.rounds"
+let refine_accepted_c = Metrics.counter "serve.refine.accepted"
+
+let wire_profile (p : Refine.profile) : Protocol.profile =
+  {
+    Protocol.score = List.length p.Refine.satisfied;
+    satisfied = p.Refine.satisfied;
+    violated = p.Refine.violated;
+    vacuous = p.Refine.vacuous;
+  }
+
+let refine t st ~id ~task ~steps ~seed ~scenario ~explain ~max_rounds ~attempts
+    : Protocol.body =
+  let (module D : Domain.S) = st.domain in
+  match Domain.find_task st.domain task with
+  | None ->
+      Protocol.Failed
+        (Printf.sprintf "unknown task %S (valid: %s)" task
+           (String.concat ", "
+              (List.map (fun (tk : Domain.task) -> tk.Domain.id) D.tasks)))
+  | Some tk -> (
+      match st.snapshot with
+      | None ->
+          Protocol.Failed
+            "refinement unavailable: the server was started without a \
+             language model (load a checkpoint or enable the built-in model)"
+      | Some snapshot -> (
+          match Domain.model_of_scenario st.domain scenario with
+          | Error msg -> Protocol.Failed msg
+          | Ok model ->
+              let setup = Corpus.setup st.corpus tk in
+              let vocab = st.corpus.Corpus.vocab in
+              let sample =
+                Refine.conditioned_sampler ~snapshot
+                  ~encode:(Vocab.encode vocab)
+                  ~decode:(Corpus.steps_of_tokens st.corpus)
+                  ~prompt:setup.Corpus.prompt ~grammar:setup.Corpus.grammar
+                  ~min_clauses:setup.Corpus.min_clauses
+                  ~max_clauses:setup.Corpus.max_clauses
+                  ~prompt_cache:st.prompt_states ~sep:(Vocab.sep vocab) ~seed
+                  ()
+              in
+              let refiner =
+                Refine.create ~domain:st.domain ~model
+                  ~cache:st.refine_explain ~sample ()
+              in
+              let budget =
+                {
+                  Refine.max_rounds =
+                    Option.value
+                      ~default:Refine.default_budget.Refine.max_rounds
+                      max_rounds;
+                  attempts =
+                    Option.value ~default:Refine.default_budget.Refine.attempts
+                      attempts;
+                  round_deadline_ms = None;
+                }
+              in
+              let outcome = Refine.run ~budget refiner steps in
+              List.iter
+                (fun (r : Refine.round) ->
+                  Metrics.incr refine_rounds_c;
+                  if r.Refine.accepted then Metrics.incr refine_accepted_c;
+                  match t.journal with
+                  | None -> ()
+                  | Some j ->
+                      Journal.emit j "serve.refine_round"
+                        [
+                          ("id", Json.str id);
+                          ("domain", Json.str D.name);
+                          ("round", Json.num (float_of_int r.Refine.index));
+                          ( "violated",
+                            Json.num
+                              (float_of_int
+                                 (List.length
+                                    r.Refine.candidate_profile.Refine.violated))
+                          );
+                          ("accepted", Json.Bool r.Refine.accepted);
+                          ("round_ms", Json.num r.Refine.round_ms);
+                        ])
+                outcome.Refine.rounds;
+              (* every accepted repair becomes one (original, repaired)
+                 training pair with full per-spec provenance *)
+              (match t.pref_store with
+              | None -> ()
+              | Some store ->
+                  List.iter
+                    (fun (r : Refine.round) ->
+                      if r.Refine.accepted then
+                        Pref_store.append store
+                          {
+                            Pref_data.h_task = task;
+                            h_domain = D.name;
+                            h_round = r.Refine.index;
+                            h_seed = seed;
+                            h_chosen_steps = r.Refine.candidate;
+                            h_rejected_steps = steps;
+                            h_chosen_score =
+                              List.length
+                                r.Refine.candidate_profile.Refine.satisfied;
+                            h_rejected_score =
+                              List.length
+                                outcome.Refine.original_profile.Refine.satisfied;
+                            h_chosen_satisfied =
+                              r.Refine.candidate_profile.Refine.satisfied;
+                            h_rejected_satisfied =
+                              outcome.Refine.original_profile.Refine.satisfied;
+                            h_chosen_vacuous =
+                              r.Refine.candidate_profile.Refine.vacuous;
+                            h_explanations = r.Refine.feedback;
+                          })
+                    outcome.Refine.rounds);
+              let rounds =
+                List.map
+                  (fun (r : Refine.round) ->
+                    {
+                      Protocol.rr_index = r.Refine.index;
+                      rr_violated =
+                        r.Refine.candidate_profile.Refine.violated;
+                      rr_accepted = r.Refine.accepted;
+                      rr_margin = r.Refine.margin;
+                      rr_feedback =
+                        (if explain then
+                           Some
+                             (List.map
+                                (fun (spec, text) ->
+                                  { Protocol.espec = spec; etext = text })
+                                r.Refine.feedback)
+                         else None);
+                    })
+                  outcome.Refine.rounds
+              in
+              Protocol.Refined
+                {
+                  rstatus = Refine.status_name outcome.Refine.status;
+                  deadline_hit = outcome.Refine.deadline_hit;
+                  original_profile =
+                    wire_profile outcome.Refine.original_profile;
+                  final_steps = outcome.Refine.final;
+                  final_profile = wire_profile outcome.Refine.final_profile;
+                  rounds;
+                }))
+
 let handle t (req : Protocol.request) : Protocol.body =
   let dispatch domain run =
     match state_for t domain with
@@ -282,6 +442,11 @@ let handle t (req : Protocol.request) : Protocol.body =
   | Protocol.Score_pair { steps_a; steps_b; scenario; domain; explain } ->
       dispatch domain (fun st ->
           score_pair st ~scenario ~explain steps_a steps_b)
+  | Protocol.Refine
+      { task; steps; seed; scenario; domain; explain; max_rounds; attempts } ->
+      dispatch domain (fun st ->
+          refine t st ~id:req.Protocol.id ~task ~steps ~seed ~scenario ~explain
+            ~max_rounds ~attempts)
   | Protocol.Stats { domain } -> stats_body t ~domain
   | Protocol.Health { domain } -> (
       (* queue visibility belongs to the daemon, which answers [health]

@@ -7,7 +7,14 @@
     with GLM2FSA and model-checks the domain's rule book (memoized
     through {!Dpoaf_exec.Cache}, vacuity-aware via the profile's
     [vacuous] set); [score_pair] verifies both sides and emits the
-    paper's automated-feedback preference with its formal justification.
+    paper's automated-feedback preference with its formal justification;
+    [refine] runs the {!Dpoaf_refine.Refine} counterexample-guided repair
+    loop, reusing the pack's prompt-state cache for the feedback-extended
+    prompts and memoizing explanation rendering per (spec, lasso) in a
+    [refine.explain.<domain>] cache.  When the engine was created with a
+    [pref_store], every accepted repair round appends one
+    (original, repaired) preference pair with full per-spec provenance;
+    with a [journal], every round emits a [serve.refine_round] event.
 
     One engine can serve several domain packs at once; a request selects
     its pack via the protocol's optional [domain] field (default: the
@@ -25,16 +32,28 @@
 
 type t
 
-val create : ?lm:Dpoaf_lm.Model.t -> corpus:Dpoaf_pipeline.Corpus.t -> unit -> t
+val create :
+  ?lm:Dpoaf_lm.Model.t ->
+  ?journal:Journal.t ->
+  ?pref_store:Dpoaf_refine.Pref_store.t ->
+  corpus:Dpoaf_pipeline.Corpus.t ->
+  unit ->
+  t
 (** Single-domain engine for the corpus's pack.  Captures a sampling
-    snapshot of [lm] (omit it to serve verification only: [generate]
-    requests then fail gracefully) and pre-builds the shared lexicon and
-    world models so pool workers never race on first-use
-    initialization. *)
+    snapshot of [lm] (omit it to serve verification only: [generate] and
+    [refine] requests then fail gracefully) and pre-builds the shared
+    lexicon and world models so pool workers never race on first-use
+    initialization.  [journal] receives [serve.refine_round] events;
+    [pref_store] receives one harvested pair per accepted repair. *)
 
-val create_multi : (Dpoaf_lm.Model.t option * Dpoaf_pipeline.Corpus.t) list -> t
+val create_multi :
+  ?journal:Journal.t ->
+  ?pref_store:Dpoaf_refine.Pref_store.t ->
+  (Dpoaf_lm.Model.t option * Dpoaf_pipeline.Corpus.t) list ->
+  t
 (** Multi-domain engine; the first pack is the default for requests
-    without a [domain] field.
+    without a [domain] field.  [journal]/[pref_store] are shared across
+    packs (records carry the domain name).
     @raise Invalid_argument on an empty list or duplicate domains. *)
 
 val domains : t -> string list

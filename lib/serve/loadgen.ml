@@ -14,9 +14,58 @@ module Metrics = Dpoaf_exec.Metrics
 module Rng = Dpoaf_util.Rng
 module Domain = Dpoaf_domain.Domain
 
-type mix = { generate : float; verify : float; score_pair : float }
+type mix = {
+  generate : float;
+  verify : float;
+  score_pair : float;
+  refine : float;
+}
 
-let default_mix = { generate = 0.3; verify = 0.4; score_pair = 0.3 }
+let default_mix =
+  { generate = 0.3; verify = 0.4; score_pair = 0.3; refine = 0.0 }
+
+(* Accepts the named form "generate=0.2,verify=0.4,refine=0.4" (classes
+   not mentioned weigh 0) and the legacy positional form "0.3,0.4,0.3"
+   (generate,verify,score_pair — refine 0).  Strict: an unknown class is
+   an error naming the valid ones, never a silently dropped weight. *)
+let mix_of_string s =
+  let parts = String.split_on_char ',' (String.trim s) in
+  let parse_float str = float_of_string_opt (String.trim str) in
+  if List.for_all (fun p -> not (String.contains p '=')) parts then
+    match List.map parse_float parts with
+    | [ Some g; Some v; Some sp ] ->
+        Ok { generate = g; verify = v; score_pair = sp; refine = 0.0 }
+    | _ ->
+        Error
+          "positional mix must be three numbers: generate,verify,score_pair"
+  else
+    let rec go acc = function
+      | [] -> Ok acc
+      | p :: rest -> (
+          match String.index_opt p '=' with
+          | None ->
+              Error (Printf.sprintf "mix entry %S must be class=weight" p)
+          | Some i -> (
+              let cls = String.trim (String.sub p 0 i) in
+              let w = String.sub p (i + 1) (String.length p - i - 1) in
+              match parse_float w with
+              | None ->
+                  Error
+                    (Printf.sprintf "mix weight for %S must be a number" cls)
+              | Some w -> (
+                  match cls with
+                  | "generate" -> go { acc with generate = w } rest
+                  | "verify" -> go { acc with verify = w } rest
+                  | "score_pair" -> go { acc with score_pair = w } rest
+                  | "refine" -> go { acc with refine = w } rest
+                  | other ->
+                      Error
+                        (Printf.sprintf
+                           "unknown workload class %S (valid: generate, \
+                            verify, score_pair, refine)"
+                           other))))
+    in
+    go { generate = 0.0; verify = 0.0; score_pair = 0.0; refine = 0.0 } parts
 
 type config = {
   socket : string;
@@ -79,6 +128,7 @@ let synth_kind pack rng mix ~domain =
         (`Generate, mix.generate);
         (`Verify, mix.verify);
         (`Score_pair, mix.score_pair);
+        (`Refine, mix.refine);
       ]
   in
   let task = random_task pack rng in
@@ -108,6 +158,20 @@ let synth_kind pack rng mix ~domain =
           domain;
           explain = false;
         }
+  | `Refine ->
+      Protocol.Refine
+        {
+          task = task.Domain.id;
+          steps = random_steps pack rng task;
+          seed = Rng.int rng 1_000_000;
+          scenario = random_scenario rng task;
+          domain;
+          explain = false;
+          (* a tight budget keeps one refine comparable to a handful of
+             verifies instead of letting it dominate its batch slot *)
+          max_rounds = Some 2;
+          attempts = Some 2;
+        }
 
 let synth_request pack rng config i =
   {
@@ -122,9 +186,9 @@ let validate config =
   if config.rate <= 0.0 then invalid_arg "Loadgen.run: rate must be > 0";
   if config.duration_s <= 0.0 then
     invalid_arg "Loadgen.run: duration must be > 0";
-  let { generate; verify; score_pair } = config.mix in
-  if generate < 0.0 || verify < 0.0 || score_pair < 0.0
-     || generate +. verify +. score_pair <= 0.0
+  let { generate; verify; score_pair; refine } = config.mix in
+  if generate < 0.0 || verify < 0.0 || score_pair < 0.0 || refine < 0.0
+     || generate +. verify +. score_pair +. refine <= 0.0
   then invalid_arg "Loadgen.run: mix weights must be >= 0 and not all zero"
 
 let run config =

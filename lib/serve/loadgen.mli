@@ -1,7 +1,8 @@
 (** Synthetic-traffic client for the serving daemon.
 
-    Replays a seeded mixture of [generate]/[verify]/[score_pair] requests
-    against a daemon socket at a target rate, {e open-loop}: request [i]
+    Replays a seeded mixture of [generate]/[verify]/[score_pair]/[refine]
+    requests against a daemon socket at a target rate, {e open-loop}:
+    request [i]
     is due at [start + i/rate] whether or not earlier responses have
     arrived, so an overloaded server shows up as rejects, expiries and
     latency growth rather than as silently reduced offered load.
@@ -10,11 +11,26 @@
     {!Dpoaf_exec.Metrics} histogram — the report contains no ad-hoc
     timing. *)
 
-type mix = { generate : float; verify : float; score_pair : float }
-(** Relative (unnormalised) weights of the three request kinds. *)
+type mix = {
+  generate : float;
+  verify : float;
+  score_pair : float;
+  refine : float;
+}
+(** Relative (unnormalised) weights of the four request kinds.  Synthetic
+    [refine] requests carry a tight budget (2 rounds × 2 attempts) so one
+    stays comparable to a handful of verifies. *)
 
 val default_mix : mix
-(** [{generate = 0.3; verify = 0.4; score_pair = 0.3}]. *)
+(** [{generate = 0.3; verify = 0.4; score_pair = 0.3; refine = 0.0}] —
+    refine traffic is opt-in. *)
+
+val mix_of_string : string -> (mix, string) result
+(** Parse a command-line mix.  The named form
+    ["generate=0.2,verify=0.4,refine=0.4"] weighs the listed classes
+    (others 0); the legacy positional form ["0.3,0.4,0.3"] maps to
+    generate, verify, score_pair.  Strict: an unknown class is an
+    [Error] listing the valid ones. *)
 
 type config = {
   socket : string;

@@ -2,11 +2,14 @@
    domain socket.  One request object per line in, one response object per
    line out; responses carry the request's [id] so a client may pipeline.
 
-   Three request kinds mirror the DPO-AF loop as a service:
+   Four request kinds mirror the DPO-AF loop as a service:
    - [generate]: prompt (a task id) -> grammar-constrained response steps;
    - [verify]: response steps -> per-spec sat/violated/vacuous profile;
    - [score_pair]: two responses -> preference + margin, the paper's
-     automated-feedback oracle (§4.2) behind a request/response API.
+     automated-feedback oracle (§4.2) behind a request/response API;
+   - [refine]: a defective response -> counterexample-guided repair
+     trajectory (Dpoaf_refine) — per-round violated specs,
+     accepted/rejected, and the final profile.
 
    Two further kinds form the ops plane of a running daemon:
    - [stats]: live metrics snapshot — counters, histogram summaries with
@@ -42,6 +45,16 @@ type kind =
       domain : string option;
       explain : bool;
     }
+  | Refine of {
+      task : string;
+      steps : string list;
+      seed : int;
+      scenario : string option;
+      domain : string option;
+      explain : bool;
+      max_rounds : int option;
+      attempts : int option;
+    }
   | Stats of { domain : string option }
   | Health of { domain : string option }
 
@@ -60,6 +73,16 @@ type profile = {
    stays byte-identical to the pre-explanation protocol. *)
 type explanation = { espec : string; etext : string }
 
+(* One round of a repair trajectory.  [rr_feedback] is carried only when
+   the request asked ([explain]:true), like every other explanation. *)
+type rround = {
+  rr_index : int;
+  rr_violated : string list;
+  rr_accepted : bool;
+  rr_margin : int;
+  rr_feedback : explanation list option;
+}
+
 type body =
   | Generated of { steps : string list; tokens : int list; profile : profile }
   | Verified of { profile : profile; explanations : explanation list option }
@@ -72,6 +95,14 @@ type body =
       profile_b : profile;
       explanations : explanation list option;
           (* the LOSER's margin violations, explained *)
+    }
+  | Refined of {
+      rstatus : string;  (* "clean" | "improved" | "unchanged" *)
+      deadline_hit : bool;
+      original_profile : profile;
+      final_steps : string list;
+      final_profile : profile;
+      rounds : rround list;
     }
   | Stats_report of {
       metrics : (string * float) list;
@@ -96,7 +127,8 @@ type response = {
 }
 
 let status_of_body = function
-  | Generated _ | Verified _ | Compared _ | Stats_report _ | Health_report _ ->
+  | Generated _ | Verified _ | Compared _ | Refined _ | Stats_report _
+  | Health_report _ ->
       "ok"
   | Rejected _ -> "rejected"
   | Expired -> "expired"
@@ -110,12 +142,13 @@ let jints xs = Json.arr (List.map (fun i -> Json.num (float_of_int i)) xs)
 let verified profile = Verified { profile; explanations = None }
 
 (* encoded only when present — an unset field keeps the response
-   byte-identical to the pre-explanation encoding *)
-let jexplanations = function
+   byte-identical to the pre-explanation encoding; repair rounds carry
+   theirs under "feedback" instead of "explanations" *)
+let jexplanations ?(name = "explanations") = function
   | None -> []
   | Some es ->
       [
-        ( "explanations",
+        ( name,
           Json.arr
             (List.map
                (fun e ->
@@ -167,6 +200,32 @@ let json_of_request r =
             | Some s -> [ ("scenario", Json.str s) ])
            @ jdomain domain
            @ if explain then [ ("explain", Json.Bool true) ] else [])
+    | Refine { task; steps; seed; scenario; domain; explain; max_rounds; attempts }
+      ->
+        (* the budget object appears only when some bound was set, so a
+           default-budget request carries no "budget" member at all *)
+        let budget =
+          let members =
+            (match max_rounds with
+            | None -> []
+            | Some n -> [ ("max_rounds", Json.num (float_of_int n)) ])
+            @
+            match attempts with
+            | None -> []
+            | Some n -> [ ("attempts", Json.num (float_of_int n)) ]
+          in
+          match members with [] -> [] | ms -> [ ("budget", Json.obj ms) ]
+        in
+        ("kind", Json.str "refine")
+        :: ("task", Json.str task)
+        :: ("steps", jstrs steps)
+        :: ("seed", Json.num (float_of_int seed))
+        :: ((match scenario with
+            | None -> []
+            | Some s -> [ ("scenario", Json.str s) ])
+           @ jdomain domain
+           @ (if explain then [ ("explain", Json.Bool true) ] else [])
+           @ budget)
     | Stats { domain } -> ("kind", Json.str "stats") :: jdomain domain
     | Health { domain } -> ("kind", Json.str "health") :: jdomain domain
   in
@@ -207,6 +266,38 @@ let json_of_response r =
           ("profile_b", json_of_profile profile_b);
         ]
         @ jexplanations explanations
+    | Refined
+        {
+          rstatus;
+          deadline_hit;
+          original_profile;
+          final_steps;
+          final_profile;
+          rounds;
+        } ->
+        let json_of_round r =
+          Json.obj
+            ([
+               ("round", Json.num (float_of_int r.rr_index));
+               ("violated", jstrs r.rr_violated);
+               ("accepted", Json.Bool r.rr_accepted);
+               ("margin", Json.num (float_of_int r.rr_margin));
+             ]
+            @ jexplanations ~name:"feedback" r.rr_feedback)
+        in
+        [
+          ( "refine",
+            Json.obj
+              ([ ("status", Json.str rstatus) ]
+              @ (if deadline_hit then [ ("deadline_hit", Json.Bool true) ]
+                 else [])
+              @ [
+                  ("original_profile", json_of_profile original_profile);
+                  ("final_steps", jstrs final_steps);
+                  ("final_profile", json_of_profile final_profile);
+                  ("rounds", Json.arr (List.map json_of_round rounds));
+                ]) );
+        ]
     | Stats_report { metrics; histograms; runtime } ->
         let nums kvs = Json.obj (List.map (fun (k, v) -> (k, Json.num v)) kvs) in
         [
@@ -355,6 +446,42 @@ let kind_of_json j =
       let* domain = opt_str_field "domain" j in
       let* explain = opt_bool_field "explain" j in
       Ok (Score_pair { steps_a; steps_b; scenario; domain; explain })
+  | "refine" ->
+      let* task = str_field "task" j in
+      let* steps = str_list_field "steps" j in
+      let* seed = opt_num_field "seed" j in
+      let* scenario = opt_str_field "scenario" j in
+      let* domain = opt_str_field "domain" j in
+      let* explain = opt_bool_field "explain" j in
+      let* max_rounds, attempts =
+        match Json.member "budget" j with
+        | None | Some Json.Null -> Ok (None, None)
+        | Some (Json.Obj _ as b) ->
+            let bound name =
+              let* v = opt_num_field name b in
+              match v with
+              | None -> Ok None
+              | Some f when f >= 1.0 -> Ok (Some (int_of_float f))
+              | Some _ ->
+                  Error (Printf.sprintf "budget field %S must be >= 1" name)
+            in
+            let* max_rounds = bound "max_rounds" in
+            let* attempts = bound "attempts" in
+            Ok (max_rounds, attempts)
+        | Some _ -> Error "field \"budget\" must be an object"
+      in
+      Ok
+        (Refine
+           {
+             task;
+             steps;
+             seed = (match seed with Some s -> int_of_float s | None -> 0);
+             scenario;
+             domain;
+             explain;
+             max_rounds;
+             attempts;
+           })
   | "stats" ->
       let* domain = opt_str_field "domain" j in
       Ok (Stats { domain })
@@ -365,7 +492,7 @@ let kind_of_json j =
       Error
         (Printf.sprintf
            "unknown request kind %S (valid: generate, verify, score_pair, \
-            stats, health)"
+            refine, stats, health)"
            other)
 
 let request_of_json j =
@@ -389,12 +516,12 @@ let profile_of_json j =
   let* vacuous = str_list_field "vacuous" j in
   Ok { score = int_of_float score; satisfied; violated; vacuous }
 
-let explanations_of_json j =
-  match Json.member "explanations" j with
+let explanations_of_json ?(name = "explanations") j =
+  match Json.member name j with
   | None | Some Json.Null -> Ok None
   | Some v -> (
       match Json.to_list v with
-      | None -> Error "field \"explanations\" must be an array"
+      | None -> Error (Printf.sprintf "field %S must be an array" name)
       | Some items ->
           let rec go acc = function
             | [] -> Ok (Some (List.rev acc))
@@ -440,6 +567,56 @@ let stats_report_of_json j =
   let* runtime = num_assoc_field "runtime" j in
   Ok (Stats_report { metrics; histograms; runtime })
 
+let refined_of_json j =
+  let* rstatus = str_field "status" j in
+  let* deadline_hit = opt_bool_field "deadline_hit" j in
+  let* op = field "original_profile" j in
+  let* original_profile = profile_of_json op in
+  let* final_steps = str_list_field "final_steps" j in
+  let* fp = field "final_profile" j in
+  let* final_profile = profile_of_json fp in
+  let* rs = field "rounds" j in
+  let* rounds =
+    match Json.to_list rs with
+    | None -> Error "field \"rounds\" must be an array"
+    | Some items ->
+        let rec go acc = function
+          | [] -> Ok (List.rev acc)
+          | x :: rest ->
+              let* index = num_field "round" x in
+              let* rr_violated = str_list_field "violated" x in
+              let* a = field "accepted" x in
+              let* rr_accepted =
+                match a with
+                | Json.Bool b -> Ok b
+                | _ -> Error "field \"accepted\" must be a boolean"
+              in
+              let* margin = num_field "margin" x in
+              let* rr_feedback = explanations_of_json ~name:"feedback" x in
+              go
+                ({
+                   rr_index = int_of_float index;
+                   rr_violated;
+                   rr_accepted;
+                   rr_margin = int_of_float margin;
+                   rr_feedback;
+                 }
+                :: acc)
+                rest
+        in
+        go [] items
+  in
+  Ok
+    (Refined
+       {
+         rstatus;
+         deadline_hit;
+         original_profile;
+         final_steps;
+         final_profile;
+         rounds;
+       })
+
 let health_report_of_json j =
   let* queue_depth = num_field "queue_depth" j in
   let* in_flight = num_field "in_flight_batches" j in
@@ -462,11 +639,14 @@ let health_report_of_json j =
 let body_of_json status j =
   match status with
   | "ok" -> (
-      (* the ops-plane payloads live under a single member *)
-      match (Json.member "stats" j, Json.member "health" j) with
-      | Some s, _ -> stats_report_of_json s
-      | None, Some h -> health_report_of_json h
-      | None, None -> (
+      (* the ops-plane and refine payloads live under a single member *)
+      match
+        (Json.member "stats" j, Json.member "health" j, Json.member "refine" j)
+      with
+      | Some s, _, _ -> stats_report_of_json s
+      | None, Some h, _ -> health_report_of_json h
+      | None, None, Some r -> refined_of_json r
+      | None, None, None -> (
       (* discriminate the three ok shapes by their distinctive fields *)
       match (Json.member "preference" j, Json.member "tokens" j) with
       | Some _, _ ->

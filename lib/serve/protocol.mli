@@ -40,6 +40,24 @@ type kind =
           preference with its formal justification.  [explain] attaches
           counterexample explanations for the loser's margin
           violations. *)
+  | Refine of {
+      task : string;
+      steps : string list;
+      seed : int;
+      scenario : string option;
+      domain : string option;
+      explain : bool;
+      max_rounds : int option;
+      attempts : int option;
+    }
+      (** Counterexample-guided repair ({!Dpoaf_refine.Refine}): verify
+          the steps, feed each violated spec's explained lasso back into
+          re-sampling, and iterate until clean or out of budget.  [seed]
+          drives the per-round re-sampling deterministically.
+          [max_rounds]/[attempts] override the server's default budget;
+          on the wire they ride a single optional ["budget"] object,
+          encoded only when at least one is set.  [explain] attaches each
+          round's feedback sentences to the response trajectory. *)
   | Stats of { domain : string option }
       (** Ops plane: live metrics snapshot (counters, histogram summaries
           with exact bucket bounds, cache hit rates) plus GC/runtime
@@ -80,6 +98,18 @@ type explanation = {
     optional in both directions: a response without explanations encodes
     byte-identically to the pre-explanation protocol. *)
 
+type rround = {
+  rr_index : int;  (** 1-based round number *)
+  rr_violated : string list;
+      (** the round's best candidate's violated specs *)
+  rr_accepted : bool;
+  rr_margin : int;  (** violated-spec count removed; positive iff accepted *)
+  rr_feedback : explanation list option;
+      (** the feedback sentences that conditioned the round's re-sampling;
+          present only when the request set [explain] *)
+}
+(** One round of a repair trajectory, as carried on the wire. *)
+
 type body =
   | Generated of { steps : string list; tokens : int list; profile : profile }
   | Verified of {
@@ -102,6 +132,18 @@ type body =
           (** when the request set [explain]: explanations for the
               loser's margin violations, i.e. exactly why it lost *)
     }
+  | Refined of {
+      rstatus : string;  (** ["clean"], ["improved"] or ["unchanged"] *)
+      deadline_hit : bool;
+          (** the per-round deadline truncated the loop; encoded on the
+              wire only when [true] *)
+      original_profile : profile;
+      final_steps : string list;
+      final_profile : profile;
+      rounds : rround list;  (** the full trajectory, in round order *)
+    }
+      (** Answer to {!Refine}; serialized under a single ["refine"]
+          member. *)
   | Stats_report of {
       metrics : (string * float) list;  (** the flat {!Dpoaf_exec.Metrics}
           summary, filtered to the requested domain when tagged *)

@@ -73,6 +73,7 @@ let kind_name = function
   | Protocol.Generate _ -> "generate"
   | Protocol.Verify _ -> "verify"
   | Protocol.Score_pair _ -> "score_pair"
+  | Protocol.Refine _ -> "refine"
   | Protocol.Stats _ -> "stats"
   | Protocol.Health _ -> "health"
 

@@ -1,0 +1,412 @@
+(* lib/refine: the counterexample-guided refinement loop, its monotone
+   acceptance contract, the per-pack repair rate the paper's use case
+   depends on, and the harvested preference store (writer + reader).
+
+   The loop tests run against scripted samplers — fixed candidate tables
+   instead of a language model — so they pin the control flow (clean
+   short-circuit, strict-shrink acceptance, budget exhaustion) without
+   any sampling noise.  The per-pack repair-rate test then runs the real
+   conditioned sampler over every registered pack's seeded defect pool:
+   at least 80% of defective responses must improve within 3 rounds. *)
+
+module R = Dpoaf_refine.Refine
+module Store = Dpoaf_refine.Pref_store
+module PD = Dpoaf_dpo.Pref_data
+module Dom = Dpoaf_domain.Domain
+module Pipeline = Dpoaf_pipeline
+module Rng = Dpoaf_util.Rng
+module Json = Dpoaf_util.Json
+
+let driving = Dpoaf_domain.find_exn "driving"
+
+let no_sample ~feedback:_ ~round:_ ~attempt:_ =
+  Alcotest.fail "the sampler must not run"
+
+(* a probe refiner for measuring profiles without sampling *)
+let probe = lazy (R.create ~domain:driving ~sample:no_sample ())
+
+let violated steps =
+  List.length (R.profile (Lazy.force probe) steps).R.violated
+
+let defects = lazy (R.defect_pool driving ~seed:2024 ~per_task:1)
+
+let first_defect () =
+  match Lazy.force defects with
+  | (_, steps) :: _ -> steps
+  | [] -> Alcotest.fail "driving yields no repairable defects"
+
+(* a response the rule book accepts outright, found in the demo pool *)
+let clean_response =
+  lazy
+    (let (module D : Dom.S) = driving in
+     match
+       List.find_opt (fun (_, steps) -> violated steps = 0) D.demo_responses
+     with
+     | Some (_, steps) -> steps
+     | None -> Alcotest.fail "driving demo pool has no clean response")
+
+(* ---------------- scripted-loop units ---------------- *)
+
+let test_clean_short_circuit () =
+  let clean = Lazy.force clean_response in
+  let refiner = R.create ~domain:driving ~sample:no_sample () in
+  let o = R.run refiner clean in
+  Alcotest.(check string) "status" "clean" (R.status_name o.R.status);
+  Alcotest.(check int) "no rounds" 0 (List.length o.R.rounds);
+  Alcotest.(check bool) "final is the original" true (o.R.final = clean);
+  Alcotest.(check bool) "no deadline" false o.R.deadline_hit
+
+let test_no_improvement_rejected () =
+  let d = first_defect () in
+  (* the sampler parrots the defective response: every round's best
+     candidate ties the incumbent, so strict-shrink acceptance must
+     reject all of them and the trajectory stays at the original *)
+  let refiner =
+    R.create ~domain:driving
+      ~sample:(fun ~feedback:_ ~round:_ ~attempt:_ -> d)
+      ()
+  in
+  let o = R.run refiner d in
+  Alcotest.(check string) "status" "unchanged" (R.status_name o.R.status);
+  Alcotest.(check int) "every budgeted round ran"
+    R.default_budget.R.max_rounds (List.length o.R.rounds);
+  List.iter
+    (fun (r : R.round) ->
+      Alcotest.(check bool) "rejected" false r.R.accepted;
+      Alcotest.(check bool) "non-positive margin" true (r.R.margin <= 0))
+    o.R.rounds;
+  Alcotest.(check bool) "final is the original" true (o.R.final = d)
+
+let test_repair_accepted () =
+  let d = first_defect () in
+  let clean = Lazy.force clean_response in
+  let v0 = violated d in
+  Alcotest.(check bool) "the defect actually violates" true (v0 > 0);
+  let refiner =
+    R.create ~domain:driving
+      ~sample:(fun ~feedback:_ ~round:_ ~attempt:_ -> clean)
+      ()
+  in
+  let o = R.run refiner d in
+  Alcotest.(check string) "status" "clean" (R.status_name o.R.status);
+  Alcotest.(check int) "one round suffices" 1 (List.length o.R.rounds);
+  (match o.R.rounds with
+  | [ r ] ->
+      Alcotest.(check bool) "accepted" true r.R.accepted;
+      Alcotest.(check int) "margin removes every violation" v0 r.R.margin
+  | _ -> Alcotest.fail "expected exactly one round");
+  Alcotest.(check bool) "final is the repair" true (o.R.final = clean);
+  Alcotest.(check int) "final profile clean" 0
+    (List.length o.R.final_profile.R.violated)
+
+let test_budget_exhaustion () =
+  let d = first_defect () in
+  let budget = { R.max_rounds = 2; attempts = 1; round_deadline_ms = None } in
+  let refiner =
+    R.create ~domain:driving
+      ~sample:(fun ~feedback:_ ~round:_ ~attempt:_ -> d)
+      ()
+  in
+  let o = R.run ~budget refiner d in
+  Alcotest.(check int) "stops at max_rounds" 2 (List.length o.R.rounds);
+  List.iter
+    (fun bad ->
+      match
+        R.run ~budget:bad
+          (R.create ~domain:driving ~sample:no_sample ())
+          (Lazy.force clean_response)
+      with
+      | _ -> Alcotest.fail "a non-positive budget must raise"
+      | exception Invalid_argument _ -> ())
+    [
+      { R.max_rounds = 0; attempts = 1; round_deadline_ms = None };
+      { R.max_rounds = 1; attempts = 0; round_deadline_ms = None };
+      { R.max_rounds = 1; attempts = 1; round_deadline_ms = Some 0.0 };
+    ]
+
+let test_derive_seed_distinct () =
+  (* every (round, attempt) coordinate draws from its own stream *)
+  let seeds =
+    List.concat_map
+      (fun round ->
+        List.map
+          (fun attempt -> R.derive_seed ~seed:2024 ~round ~attempt)
+          [ 0; 1; 2; 3 ])
+      [ 1; 2; 3 ]
+  in
+  Alcotest.(check int) "no colliding streams"
+    (List.length seeds)
+    (List.length (List.sort_uniq compare seeds))
+
+(* ---------------- monotone-trajectory property ---------------- *)
+
+(* Against arbitrary scripted samplers drawing from a mixed candidate
+   pool, accepted rounds' violated counts strictly decrease and the
+   outcome status matches the trajectory. *)
+let monotone_trajectory =
+  QCheck.Test.make ~count:30 ~name:"accepted trajectories strictly shrink"
+    QCheck.(pair small_nat (list_of_size Gen.(return 3) small_nat))
+    (fun (salt, picks) ->
+      let d = first_defect () in
+      let pool =
+        Array.of_list
+          (Lazy.force clean_response :: d
+           :: List.map snd (Lazy.force defects))
+      in
+      let picks = Array.of_list picks in
+      let sample ~feedback:_ ~round ~attempt =
+        let mixed =
+          salt + (31 * round) + (7 * attempt)
+          + (if Array.length picks = 0 then 0
+             else picks.(round mod Array.length picks))
+        in
+        pool.(mixed mod Array.length pool)
+      in
+      let refiner = R.create ~domain:driving ~sample () in
+      let o = R.run refiner d in
+      let v0 = List.length o.R.original_profile.R.violated in
+      let final_v =
+        List.fold_left
+          (fun cur (r : R.round) ->
+            let v = List.length r.R.candidate_profile.R.violated in
+            if r.R.accepted then begin
+              if v >= cur then
+                QCheck.Test.fail_reportf
+                  "round %d accepted without shrinking (%d -> %d)" r.R.index
+                  cur v;
+              if r.R.margin <> cur - v then
+                QCheck.Test.fail_reportf "round %d margin %d <> %d - %d"
+                  r.R.index r.R.margin cur v;
+              v
+            end
+            else cur)
+          v0 o.R.rounds
+      in
+      if List.length o.R.final_profile.R.violated <> final_v then
+        QCheck.Test.fail_reportf "final profile disagrees with trajectory";
+      (match o.R.status with
+      | R.Clean -> final_v = 0
+      | R.Improved -> final_v > 0 && final_v < v0
+      | R.Unchanged -> final_v = v0)
+      && o.R.deadline_hit = false)
+
+(* ---------------- per-pack repair rate ---------------- *)
+
+(* The acceptance bar of the refinement subsystem: on every registered
+   pack, the real conditioned sampler repairs (strictly improves) at
+   least 80% of the seeded defect pool within 3 rounds. *)
+let test_pack_repair_rate () =
+  List.iter
+    (fun domain ->
+      let (module D : Dom.S) = domain in
+      let corpus = Pipeline.Corpus.build ~domain () in
+      let model =
+        Pipeline.Corpus.pretrained_model
+          ~config:
+            { Dpoaf_lm.Model.dim = 12; context = 10; lora_rank = 2;
+              arch = Dpoaf_lm.Model.Bow }
+          ~per_task:20 ~epochs:10 (Rng.create 11) corpus
+      in
+      let snapshot = Dpoaf_lm.Sampler.snapshot model in
+      let vocab = corpus.Pipeline.Corpus.vocab in
+      let seed = 2024 in
+      let pool = R.defect_pool domain ~seed ~per_task:2 in
+      Alcotest.(check bool)
+        (D.name ^ ": defect pool is non-empty")
+        true (pool <> []);
+      let cache = R.explain_cache ~name:("test.refine." ^ D.name) in
+      let budget = { R.max_rounds = 3; attempts = 4; round_deadline_ms = None } in
+      let improved =
+        List.length
+          (List.filter
+             (fun ((task : Dom.task), response) ->
+               let setup = Pipeline.Corpus.setup corpus task in
+               let sample =
+                 R.conditioned_sampler ~snapshot
+                   ~encode:(Dpoaf_lm.Vocab.encode vocab)
+                   ~decode:(Pipeline.Corpus.steps_of_tokens corpus)
+                   ~prompt:setup.Pipeline.Corpus.prompt
+                   ~grammar:setup.Pipeline.Corpus.grammar
+                   ~min_clauses:setup.Pipeline.Corpus.min_clauses
+                   ~max_clauses:setup.Pipeline.Corpus.max_clauses
+                   ~sep:(Dpoaf_lm.Vocab.sep vocab) ~seed ()
+               in
+               let refiner = R.create ~domain ~cache ~sample () in
+               (R.run ~budget refiner response).R.status <> R.Unchanged)
+             pool)
+      in
+      let rate = float_of_int improved /. float_of_int (List.length pool) in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: %d/%d repaired (>= 80%%)" D.name improved
+           (List.length pool))
+        true (rate >= 0.8))
+    (Dpoaf_domain.all ())
+
+(* ---------------- the preference store ---------------- *)
+
+let sample_harvested i =
+  {
+    PD.h_task = Printf.sprintf "task_%02d" i;
+    h_domain = "driving";
+    h_round = 1 + (i mod 3);
+    h_seed = 2024;
+    h_chosen_steps = [ "come to a complete stop"; "turn right" ];
+    h_rejected_steps = [ "turn right" ];
+    h_chosen_score = 15;
+    h_rejected_score = 12;
+    h_chosen_satisfied = [ "phi_1"; "phi_2" ];
+    h_rejected_satisfied = [ "phi_2" ];
+    h_chosen_vacuous = [ "phi_2" ];
+    h_explanations =
+      [ ("phi_1", "step 1 allows `proceed` while `red_light` holds") ];
+  }
+
+let test_harvested_json_round_trip () =
+  let h = sample_harvested 0 in
+  let j = PD.json_of_harvested h in
+  (* the schema member leads every record, so `head -c` on a store file
+     identifies the format without parsing *)
+  let prefix = {|{"schema":"dpoaf-prefstore/1"|} in
+  let s = Json.to_string j in
+  Alcotest.(check string) "schema member first" prefix
+    (String.sub s 0 (String.length prefix));
+  (match PD.harvested_of_json j with
+  | Ok h' -> Alcotest.(check bool) "round-trips" true (h = h')
+  | Error e -> Alcotest.fail ("round-trip failed: " ^ e));
+  let expect_error what j needle =
+    match PD.harvested_of_json j with
+    | Ok _ -> Alcotest.failf "%s: expected an error" what
+    | Error msg ->
+        let contains hay needle =
+          let h = String.length hay and n = String.length needle in
+          let rec go i =
+            i + n <= h && (String.sub hay i n = needle || go (i + 1))
+          in
+          go 0
+        in
+        Alcotest.(check bool)
+          (Printf.sprintf "%s mentions %S (got %S)" what needle msg)
+          true (contains msg needle)
+  in
+  expect_error "wrong schema"
+    (Json.obj [ ("schema", Json.str "dpoaf-prefstore/999") ])
+    "schema";
+  expect_error "missing field"
+    (Json.obj [ ("schema", Json.str PD.store_schema) ])
+    "task"
+
+let test_store_round_trip () =
+  let path = Filename.temp_file "dpoaf-prefstore" ".jsonl" in
+  let records = List.init 5 sample_harvested in
+  let store = Store.create path in
+  List.iter (Store.append store) records;
+  Store.close store;
+  (match PD.load_harvested path with
+  | Error e -> Alcotest.fail e
+  | Ok got ->
+      Alcotest.(check bool) "loads back in order" true (got = records));
+  (* appending after close is a documented no-op, not a crash *)
+  Store.append store (sample_harvested 99);
+  Sys.remove path
+
+let test_store_rotation () =
+  let dir = Filename.temp_file "dpoaf-prefstore" "" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o755;
+  let path = Filename.concat dir "store.jsonl" in
+  let max_bytes = 2048 in
+  let store = Store.create ~max_bytes ~keep:3 ~ring_capacity:4 path in
+  let total = 16 in
+  List.iter (fun i -> Store.append store (sample_harvested i))
+    (List.init total Fun.id);
+  Store.close store;
+  let generations =
+    List.filter Sys.file_exists
+      (path :: List.init 3 (fun i -> Printf.sprintf "%s.%d" path (i + 1)))
+  in
+  Alcotest.(check bool) "rotated at least once" true
+    (List.length generations > 1);
+  let seen = Hashtbl.create 32 in
+  List.iter
+    (fun file ->
+      Alcotest.(check bool)
+        (Filename.basename file ^ " within the size cap")
+        true
+        ((Unix.stat file).Unix.st_size <= max_bytes);
+      match PD.load_harvested file with
+      | Error e -> Alcotest.fail e
+      | Ok hs ->
+          List.iter
+            (fun h ->
+              Hashtbl.replace seen h.PD.h_task
+                (1 + try Hashtbl.find seen h.PD.h_task with Not_found -> 0))
+            hs)
+    generations;
+  List.iter
+    (fun i ->
+      let id = Printf.sprintf "task_%02d" i in
+      Alcotest.(check int)
+        (Printf.sprintf "record %s survives rotation exactly once" id)
+        1
+        (try Hashtbl.find seen id with Not_found -> 0))
+    (List.init total Fun.id);
+  List.iter Sys.remove generations;
+  Sys.rmdir dir
+
+let test_pair_ingestion () =
+  (* a harvested record re-enters DPO training as an ordinary pair, with
+     the caller's corpus doing the re-encoding *)
+  let corpus = Pipeline.Corpus.build ~domain:driving () in
+  let task = List.hd (Dom.tasks driving) in
+  let setup = Pipeline.Corpus.setup corpus task in
+  let h = sample_harvested 3 in
+  let encode steps =
+    List.concat_map (Dpoaf_lm.Vocab.encode corpus.Pipeline.Corpus.vocab) steps
+  in
+  let pair =
+    PD.pair_of_harvested ~encode ~prompt:setup.Pipeline.Corpus.prompt
+      ~grammar:setup.Pipeline.Corpus.grammar
+      ~min_clauses:setup.Pipeline.Corpus.min_clauses
+      ~max_clauses:setup.Pipeline.Corpus.max_clauses h
+  in
+  Alcotest.(check string) "task carries over" h.PD.h_task pair.PD.task_id;
+  Alcotest.(check bool) "chosen re-encoded" true
+    (pair.PD.chosen = encode h.PD.h_chosen_steps);
+  Alcotest.(check bool) "rejected re-encoded" true
+    (pair.PD.rejected = encode h.PD.h_rejected_steps);
+  Alcotest.(check int) "chosen score" h.PD.h_chosen_score pair.PD.chosen_score;
+  Alcotest.(check int) "rejected score" h.PD.h_rejected_score
+    pair.PD.rejected_score;
+  Alcotest.(check bool) "explanations carry over" true
+    (pair.PD.rejected_explanations = h.PD.h_explanations);
+  Alcotest.(check bool) "margin specs from provenance" true
+    (PD.margin_specs pair = [ "phi_1" ])
+
+let () =
+  Alcotest.run "refine"
+    [
+      ( "loop",
+        [
+          Alcotest.test_case "clean short-circuit" `Quick
+            test_clean_short_circuit;
+          Alcotest.test_case "no-improvement rejected" `Quick
+            test_no_improvement_rejected;
+          Alcotest.test_case "repair accepted" `Quick test_repair_accepted;
+          Alcotest.test_case "budget exhaustion" `Quick test_budget_exhaustion;
+          Alcotest.test_case "derived seeds distinct" `Quick
+            test_derive_seed_distinct;
+          QCheck_alcotest.to_alcotest monotone_trajectory;
+        ] );
+      ( "repair-rate",
+        [ Alcotest.test_case "every pack >= 80%" `Quick test_pack_repair_rate ]
+      );
+      ( "store",
+        [
+          Alcotest.test_case "harvested JSON round-trip" `Quick
+            test_harvested_json_round_trip;
+          Alcotest.test_case "store round-trip" `Quick test_store_round_trip;
+          Alcotest.test_case "rotation preserves records" `Quick
+            test_store_rotation;
+          Alcotest.test_case "pair ingestion" `Quick test_pair_ingestion;
+        ] );
+    ]

@@ -94,6 +94,137 @@ let test_request_goldens () =
       deadline_ms = None;
     }
 
+(* the refine verb, minimal and fully-tagged, both directions; a
+   default-budget untagged request carries no budget/scenario/domain/
+   explain members at all *)
+let test_refine_goldens () =
+  check_request
+    {|{"id":"rf1","kind":"refine","task":"right_turn_tl","steps":["turn right"],"seed":5}|}
+    {
+      P.id = "rf1";
+      kind =
+        P.Refine
+          {
+            task = "right_turn_tl";
+            steps = [ "turn right" ];
+            seed = 5;
+            scenario = None;
+            domain = None;
+            explain = false;
+            max_rounds = None;
+            attempts = None;
+          };
+      deadline_ms = None;
+    };
+  check_request
+    {|{"id":"rf2","kind":"refine","task":"right_turn_tl","steps":["turn right"],"seed":5,"scenario":"traffic_light","domain":"driving","explain":true,"budget":{"max_rounds":2,"attempts":3},"deadline_ms":50}|}
+    {
+      P.id = "rf2";
+      kind =
+        P.Refine
+          {
+            task = "right_turn_tl";
+            steps = [ "turn right" ];
+            seed = 5;
+            scenario = Some "traffic_light";
+            domain = Some "driving";
+            explain = true;
+            max_rounds = Some 2;
+            attempts = Some 3;
+          };
+      deadline_ms = Some 50.0;
+    };
+  (* a partial budget encodes only the bound that was set *)
+  check_request
+    {|{"id":"rf3","kind":"refine","task":"right_turn_tl","steps":["turn right"],"seed":5,"budget":{"max_rounds":2}}|}
+    {
+      P.id = "rf3";
+      kind =
+        P.Refine
+          {
+            task = "right_turn_tl";
+            steps = [ "turn right" ];
+            seed = 5;
+            scenario = None;
+            domain = None;
+            explain = false;
+            max_rounds = Some 2;
+            attempts = None;
+          };
+      deadline_ms = None;
+    };
+  let p_bad =
+    { P.score = 14; satisfied = [ "phi_2" ]; violated = [ "phi_1" ];
+      vacuous = [] }
+  in
+  let p_ok =
+    { P.score = 15; satisfied = [ "phi_1"; "phi_2" ]; violated = [];
+      vacuous = [] }
+  in
+  check_response
+    {|{"id":"rf1","status":"ok","queue_wait_us":1,"execute_us":2,"refine":{"status":"clean","original_profile":{"score":14,"satisfied":["phi_2"],"violated":["phi_1"],"vacuous":[]},"final_steps":["come to a complete stop","turn right"],"final_profile":{"score":15,"satisfied":["phi_1","phi_2"],"violated":[],"vacuous":[]},"rounds":[{"round":1,"violated":["phi_1"],"accepted":true,"margin":1}]}}|}
+    {
+      P.rid = "rf1";
+      rbody =
+        P.Refined
+          {
+            rstatus = "clean";
+            deadline_hit = false;
+            original_profile = p_bad;
+            final_steps = [ "come to a complete stop"; "turn right" ];
+            final_profile = p_ok;
+            rounds =
+              [
+                {
+                  P.rr_index = 1;
+                  rr_violated = [ "phi_1" ];
+                  rr_accepted = true;
+                  rr_margin = 1;
+                  rr_feedback = None;
+                };
+              ];
+          };
+      queue_wait_us = 1.0;
+      execute_us = 2.0;
+    };
+  (* deadline_hit appears only when true; feedback only when explain
+     was requested *)
+  check_response
+    {|{"id":"rf2","status":"ok","queue_wait_us":1,"execute_us":2,"refine":{"status":"unchanged","deadline_hit":true,"original_profile":{"score":14,"satisfied":["phi_2"],"violated":["phi_1"],"vacuous":[]},"final_steps":["turn right"],"final_profile":{"score":14,"satisfied":["phi_2"],"violated":["phi_1"],"vacuous":[]},"rounds":[{"round":1,"violated":["phi_1"],"accepted":false,"margin":0,"feedback":[{"spec":"phi_1","text":"step 1 allows `proceed` while `red_light` holds, violating phi_1"}]}]}}|}
+    {
+      P.rid = "rf2";
+      rbody =
+        P.Refined
+          {
+            rstatus = "unchanged";
+            deadline_hit = true;
+            original_profile = p_bad;
+            final_steps = [ "turn right" ];
+            final_profile = p_bad;
+            rounds =
+              [
+                {
+                  P.rr_index = 1;
+                  rr_violated = [ "phi_1" ];
+                  rr_accepted = false;
+                  rr_margin = 0;
+                  rr_feedback =
+                    Some
+                      [
+                        {
+                          P.espec = "phi_1";
+                          etext =
+                            "step 1 allows `proceed` while `red_light` \
+                             holds, violating phi_1";
+                        };
+                      ];
+                };
+              ];
+          };
+      queue_wait_us = 1.0;
+      execute_us = 2.0;
+    }
+
 let test_response_goldens () =
   check_response
     {|{"id":"v1","status":"ok","queue_wait_us":12.5,"execute_us":3,"profile":{"score":2,"satisfied":["phi_1","phi_2"],"violated":["phi_3"],"vacuous":["phi_2"]}}|}
@@ -283,10 +414,19 @@ let test_protocol_strictness () =
   expect_error "missing id" {|{"kind":"verify","steps":[]}|} "id";
   expect_error "unknown kind" {|{"id":"x","kind":"transmogrify"}|}
     "unknown request kind";
+  (* the unknown-kind error enumerates the verbs, refine included *)
+  expect_error "unknown kind lists refine" {|{"id":"x","kind":"transmogrify"}|}
+    "refine";
   expect_error "typed field" {|{"id":"x","kind":"verify","steps":"stop"}|}
     "must be an array";
   expect_error "bad deadline"
-    {|{"id":"x","kind":"verify","steps":[],"deadline_ms":-5}|} "positive"
+    {|{"id":"x","kind":"verify","steps":[],"deadline_ms":-5}|} "positive";
+  expect_error "non-object budget"
+    {|{"id":"x","kind":"refine","task":"t","steps":[],"seed":0,"budget":5}|}
+    "must be an object";
+  expect_error "non-positive budget bound"
+    {|{"id":"x","kind":"refine","task":"t","steps":[],"seed":0,"budget":{"max_rounds":0}}|}
+    ">= 1"
 
 (* ---------------- server scheduling ---------------- *)
 
@@ -453,6 +593,20 @@ let mixed_requests =
                 domain = None; explain = true };
           deadline_ms = None;
         };
+        (* a refine request runs the whole repair loop inside a batch
+           slot: its trajectory (rounds, candidates, margins — and with
+           explain=true the feedback text) must be bit-identical whatever
+           the worker count, which also pins that the engine passes no
+           wall-clock deadline into the loop *)
+        {
+          P.id = Printf.sprintf "ref%d" i;
+          kind =
+            P.Refine
+              { task = "right_turn_tl"; steps = risky; seed = i;
+                scenario = None; domain = None; explain = i mod 2 = 0;
+                max_rounds = Some 2; attempts = Some 2 };
+          deadline_ms = None;
+        };
       ])
     [ 0; 1; 2 ]
 
@@ -540,7 +694,105 @@ let test_engine_rejects_unknowns () =
   expect_failed "generation without a model"
     (P.Generate
        { task = "right_turn_tl"; seed = 0; temperature = 1.0; domain = None })
-    "model"
+    "model";
+  expect_failed "refinement without a model"
+    (P.Refine
+       { task = "right_turn_tl"; steps = [ "turn right" ]; seed = 0;
+         scenario = None; domain = None; explain = false; max_rounds = None;
+         attempts = None })
+    "language model";
+  expect_failed "refinement of an unknown task"
+    (P.Refine
+       { task = "fly_to_the_moon"; steps = [ "turn right" ]; seed = 0;
+         scenario = None; domain = None; explain = false; max_rounds = None;
+         attempts = None })
+    "fly_to_the_moon"
+
+(* every accepted refine round harvests one (original, repaired)
+   preference pair into the engine's store, and the store's record count
+   matches what the wire trajectories report *)
+let test_refine_harvests_pairs () =
+  let module Store = Dpoaf_refine.Pref_store in
+  let module PD = Dpoaf_dpo.Pref_data in
+  let path = Filename.temp_file "dpoaf-harvest" ".jsonl" in
+  let store = Store.create path in
+  let engine =
+    Engine.create ~lm:(small_lm 11) ~pref_store:store
+      ~corpus:(Lazy.force corpus) ()
+  in
+  let pool =
+    Dpoaf_refine.Refine.defect_pool
+      (Dpoaf_domain.find_exn "driving")
+      ~seed:2024 ~per_task:1
+  in
+  Alcotest.(check bool) "non-empty defect pool" true (pool <> []);
+  let accepted = ref 0 in
+  List.iteri
+    (fun i ((task : Dpoaf_domain.Domain.task), steps) ->
+      match
+        Engine.handle engine
+          {
+            P.id = Printf.sprintf "h%d" i;
+            kind =
+              P.Refine
+                { task = task.Dpoaf_domain.Domain.id; steps; seed = 2024;
+                  scenario = None; domain = None; explain = false;
+                  max_rounds = Some 3; attempts = Some 4 };
+            deadline_ms = None;
+          }
+      with
+      | P.Refined { rounds; _ } ->
+          List.iter
+            (fun (r : P.rround) -> if r.P.rr_accepted then incr accepted)
+            rounds
+      | b -> Alcotest.failf "refine failed: %s" (P.status_of_body b))
+    pool;
+  Store.close store;
+  Alcotest.(check bool) "some round was accepted" true (!accepted > 0);
+  (match PD.load_harvested path with
+  | Error e -> Alcotest.fail e
+  | Ok hs ->
+      Alcotest.(check int) "one record per accepted round" !accepted
+        (List.length hs);
+      List.iter
+        (fun h ->
+          Alcotest.(check string) "tagged with the pack" "driving"
+            h.PD.h_domain;
+          Alcotest.(check bool) "repair differs from the original" true
+            (h.PD.h_chosen_steps <> h.PD.h_rejected_steps);
+          Alcotest.(check bool) "repair strictly wins" true
+            (h.PD.h_chosen_score > h.PD.h_rejected_score))
+        hs);
+  Sys.remove path
+
+(* ---------------- loadgen mix parsing ---------------- *)
+
+let test_mix_parsing () =
+  let ok s =
+    match Loadgen.mix_of_string s with
+    | Ok m -> m
+    | Error e -> Alcotest.failf "%S: %s" s e
+  in
+  let expect_error what s needle =
+    match Loadgen.mix_of_string s with
+    | Ok _ -> Alcotest.failf "%s: expected a parse error" what
+    | Error msg ->
+        Alcotest.(check bool)
+          (Printf.sprintf "%s mentions %S (got %S)" what needle msg)
+          true (contains msg needle)
+  in
+  (* the legacy positional form still means generate,verify,score_pair *)
+  Alcotest.(check bool) "positional keeps refine at 0" true
+    (ok "0.5,0.3,0.2"
+    = { Loadgen.generate = 0.5; verify = 0.3; score_pair = 0.2; refine = 0.0 });
+  Alcotest.(check bool) "named form, unlisted classes weigh 0" true
+    (ok "generate=1,refine=2"
+    = { Loadgen.generate = 1.0; verify = 0.0; score_pair = 0.0; refine = 2.0 });
+  expect_error "unknown class" "generate=1,refinez=2" "unknown workload class";
+  expect_error "unknown class lists the valid ones" "teleport=1" "refine";
+  expect_error "bad weight" "refine=much" "must be a number";
+  expect_error "entry without =" "generate=1,verify" "class=weight";
+  expect_error "short positional" "0.1,0.2" "positional mix"
 
 (* ---------------- journal ---------------- *)
 
@@ -620,8 +872,10 @@ let () =
         [
           Alcotest.test_case "request goldens" `Quick test_request_goldens;
           Alcotest.test_case "response goldens" `Quick test_response_goldens;
+          Alcotest.test_case "refine goldens" `Quick test_refine_goldens;
           Alcotest.test_case "ops goldens" `Quick test_ops_goldens;
           Alcotest.test_case "strict decoding" `Quick test_protocol_strictness;
+          Alcotest.test_case "loadgen mix parsing" `Quick test_mix_parsing;
         ] );
       ( "journal",
         [ Alcotest.test_case "rotation under load" `Quick test_journal_rotation ] );
@@ -641,5 +895,7 @@ let () =
             test_prompt_state_cache_transparent;
           Alcotest.test_case "graceful domain errors" `Quick
             test_engine_rejects_unknowns;
+          Alcotest.test_case "refine harvests preference pairs" `Quick
+            test_refine_harvests_pairs;
         ] );
     ]
