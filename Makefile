@@ -1,4 +1,4 @@
-.PHONY: all build test bench check lint mli-check det-lint analysis-check trace-check serve-check kernels-check domains-check perf-gate obs-check refine-check clean
+.PHONY: all build test bench check lint mli-check det-lint analysis-check trace-check serve-check scale-check kernels-check domains-check perf-gate obs-check refine-check clean
 
 all: build
 
@@ -26,6 +26,7 @@ check:
 	$(MAKE) analysis-check
 	$(MAKE) trace-check
 	$(MAKE) serve-check
+	$(MAKE) scale-check
 	$(MAKE) kernels-check
 	$(MAKE) domains-check
 	$(MAKE) obs-check
@@ -83,17 +84,26 @@ serve-check:
 	dune build bin/dpoaf_cli.exe
 	sh tools/serve_check.sh
 
+# Serving-scale gate: a sharded daemon on both transports (Unix + TCP),
+# per-shard health rows, a short saturation sweep, response bit-identity
+# across shard counts, and the BENCH_serving_scale.json schema.
+scale-check:
+	dune build bin/dpoaf_cli.exe bench/main.exe
+	sh tools/scale_check.sh
+
 # Perf-regression gate: run the headline bench sections (fig8 loop +
-# generation latency from `kernels`, batch p99 from `serving`, suite
-# pass + explanation wall time per pack from `analysis`, wall time per
-# repair round from `refine`) into the dated results series at
-# bench/results/, then compare latest.json against the pinned
-# baseline.json (>10% slower on any headline metric fails; first run
-# pins a fresh baseline).  Re-pin deliberately with
-# `dune exec bench/perf_gate.exe -- --rebase`.
+# generation latency from `kernels`, batch p99 from `serving`, the fleet
+# saturation knee max_rps_at_p99 from `serving_scale`, suite pass +
+# explanation wall time per pack from `analysis`, wall time per repair
+# round from `refine`) into the dated results series at bench/results/,
+# then compare latest.json against the pinned baseline.json (worse than
+# tolerance on any headline metric fails — 10% slower for wall-clock
+# metrics, 50% lower for throughput metrics, whose knees swing with box
+# load; first run pins a fresh baseline).  Re-pin
+# deliberately with `dune exec bench/perf_gate.exe -- --rebase`.
 perf-gate:
 	dune build bench/main.exe bench/perf_gate.exe
-	dune exec bench/main.exe -- --fast --only kernels,serving,analysis,refine --jobs 2
+	dune exec bench/main.exe -- --fast --only kernels,serving,serving_scale,analysis,refine --jobs 2
 	dune exec bench/perf_gate.exe
 
 # Ops-plane gate: daemon with an event journal on a temp socket, stats

@@ -30,6 +30,8 @@
      iter-dpo   extension: iterative DPO-AF
      speedup    parallel scaling of the Fig 11 empirical loop (lib/exec)
      serving    throughput of the batched serving scheduler (lib/serve)
+     serving_scale  sharded-fleet saturation sweep through the daemon +
+                loadgen (writes BENCH_serving_scale.json)
      domains    every registered domain pack through the DPO loop + one
                 serve batch (writes BENCH_domains.json)
      refine     counterexample-guided refinement over each pack's seeded
@@ -914,6 +916,238 @@ let serving () =
   end
 
 (* ------------------------------------------------------------------ *)
+(* Serving scale: the sharded fleet through the real stack — a daemon   *)
+(* (Unix socket, continuous batching) on a spawned domain, saturated    *)
+(* by a loadgen sweep per shard count.  On a one-core box the win is    *)
+(* not parallelism but the aggregate prompt-state cache: each replica's *)
+(* capacity is far below the pack's task count, so a single replica     *)
+(* thrashes under uniform generate traffic while the router's FNV task  *)
+(* affinity keeps every shard of a fleet hot.                           *)
+
+let serving_scale () =
+  if
+    section "serving_scale"
+      "Sharded-fleet saturation sweep: max sustained RPS at a p99 budget vs \
+       shard count (writes BENCH_serving_scale.json)"
+  then begin
+    let module Serve = Dpoaf_serve in
+    let module Loadgen = Dpoaf_serve.Loadgen in
+    let module M = Dpoaf_exec.Metrics in
+    let module Json = Dpoaf_util.Json in
+    let corpus = Pipeline.Corpus.build () in
+    (* An untrained GRU conditioner: sampling quality is irrelevant to a
+       throughput bench, but the GRU's O(prompt × dim²) prompt fold is the
+       per-request cost the prompt-state cache absorbs (Bow's fold is a
+       window truncation — nothing worth caching). *)
+    let lm =
+      Dpoaf_lm.Model.create (Rng.create 31)
+        { Dpoaf_lm.Model.dim = 32; context = 12; lora_rank = 2;
+          arch = Dpoaf_lm.Model.Gru }
+        corpus.Pipeline.Corpus.vocab
+    in
+    let prompt_cache_capacity = 3 in
+    let tasks = List.length Tasks.all in
+    let sweep =
+      if fast then { Loadgen.start_rps = 50.; step_rps = 100.; max_rps = 1250. }
+      else { Loadgen.start_rps = 50.; step_rps = 50.; max_rps = 1500. }
+    in
+    let duration_s = if fast then 0.5 else 1.2 in
+    let p99_budget_ms = 25.0 in
+    let contains s sub =
+      let n = String.length s and m = String.length sub in
+      let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+      m = 0 || go 0
+    in
+    let run_fleet_once shards =
+      let socket =
+        Filename.concat (Filename.get_temp_dir_name ())
+          (Printf.sprintf "dpoaf-scale-%d-%d.sock" (Unix.getpid ()) shards)
+      in
+      let make_shard i =
+        let tag =
+          if shards = 1 then None else Some (Serve.Router.shard_name i)
+        in
+        let engine =
+          Serve.Engine.create ~lm ?tag ~prompt_cache_capacity ~corpus ()
+        in
+        Serve.Server.create
+          ~config:
+            { Serve.Server.jobs = 1; max_batch = 32; flush_ms = 2.0;
+              queue_capacity = 512 }
+          ~batching:`Continuous ?label:tag
+          ~handler:(Serve.Engine.handle engine) ()
+      in
+      let router = Serve.Router.create (Array.init shards make_shard) in
+      let daemon =
+        Domain.spawn (fun () -> Serve.Daemon.run ~socket ~router ())
+      in
+      let deadline = Unix.gettimeofday () +. 10.0 in
+      let rec wait_up () =
+        let up =
+          try
+            let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+            Fun.protect
+              ~finally:(fun () -> Unix.close fd)
+              (fun () ->
+                Unix.connect fd (Unix.ADDR_UNIX socket);
+                true)
+          with Unix.Unix_error _ -> false
+        in
+        if not up then
+          if Unix.gettimeofday () > deadline then
+            failwith "serving_scale: daemon did not come up"
+          else begin
+            Unix.sleepf 0.01;
+            wait_up ()
+          end
+      in
+      wait_up ();
+      let config =
+        {
+          Loadgen.default_config with
+          socket;
+          duration_s;
+          mix =
+            { Loadgen.generate = 1.0; verify = 0.0; score_pair = 0.0;
+              refine = 0.0 };
+          seed = 97;
+        }
+      in
+      (* one short unrecorded pass so the first sweep level measures
+         steady-state cache temperature, not cold-start misses *)
+      ignore
+        (Loadgen.run
+           { config with rate = sweep.Loadgen.start_rps; duration_s = 0.4 }
+          : Loadgen.report);
+      let before = M.summary () in
+      let sr = Loadgen.run_sweep config ~sweep ~p99_budget_ms in
+      let d = M.delta before (M.summary ()) in
+      let cache_sum suffix =
+        List.fold_left
+          (fun acc (k, v) ->
+            if contains k ".prompt_state." && Filename.check_suffix k suffix
+            then acc +. v
+            else acc)
+          0.0 d
+      in
+      let hits = cache_sum ".hits" and misses = cache_sum ".misses" in
+      let hit_rate =
+        if hits +. misses <= 0.0 then 0.0 else hits /. (hits +. misses)
+      in
+      Serve.Daemon.request_stop ();
+      ignore (Domain.join daemon : Serve.Daemon.stats);
+      (sr, hit_rate)
+    in
+    (* Sweep noise is one-directional: a GC pause or scheduler stall can
+       fail a level the fleet would sustain, but nothing makes an
+       unsustainable level pass.  Take the best of two sweeps per fleet —
+       the throughput mirror of the perf gate's window minimum. *)
+    let run_fleet shards =
+      let better (a : Loadgen.sweep_report * float) b =
+        if (fst a).Loadgen.max_rps_at_p99 >= (fst b).Loadgen.max_rps_at_p99
+        then a
+        else b
+      in
+      let first = run_fleet_once shards in
+      better first (run_fleet_once shards)
+    in
+    let table =
+      Table.create
+        [ "shards"; "knee rps"; "max rps@p99"; "p99@knee ms"; "cache hit";
+          "levels"; "speedup" ]
+    in
+    let results =
+      List.map
+        (fun shards ->
+          Printf.printf "[%d shard%s] sweeping %.0f..%.0f rps...\n%!" shards
+            (if shards = 1 then "" else "s")
+            sweep.Loadgen.start_rps sweep.Loadgen.max_rps;
+          (shards, run_fleet shards))
+        [ 1; 2; 4 ]
+    in
+    let base_rps =
+      match results with
+      | (_, (sr, _)) :: _ -> sr.Loadgen.max_rps_at_p99
+      | [] -> 0.0
+    in
+    let knee_p99 (sr : Loadgen.sweep_report) =
+      let rec last acc = function
+        | [] -> acc
+        | (l : Loadgen.level) :: rest ->
+            last (if l.Loadgen.sustained then Some l else acc) rest
+      in
+      match last None sr.Loadgen.levels with
+      | Some l -> l.Loadgen.level_report.Loadgen.p99_ms
+      | None -> 0.0
+    in
+    List.iter
+      (fun (shards, ((sr : Loadgen.sweep_report), hit_rate)) ->
+        Table.add_row table
+          [
+            string_of_int shards;
+            Printf.sprintf "%.0f" sr.Loadgen.knee_offered_rps;
+            Printf.sprintf "%.0f" sr.Loadgen.max_rps_at_p99;
+            Printf.sprintf "%.2f" (knee_p99 sr);
+            Printf.sprintf "%.0f%%" (hit_rate *. 100.);
+            string_of_int (List.length sr.Loadgen.levels);
+            (if base_rps > 0.0 then
+               Printf.sprintf "%.2fx" (sr.Loadgen.max_rps_at_p99 /. base_rps)
+             else "-");
+          ])
+      results;
+    emit "serving_scale" table;
+    Printf.printf
+      "\ngenerate-only traffic over %d tasks, per-replica prompt-state cache \
+       capacity %d,\n\
+       p99 budget %.0f ms, %.1f s per level; shard routing is FNV task \
+       affinity, so a\n\
+       fleet's aggregate cache covers the task set a single replica \
+       cannot (cores: %d).\n"
+      tasks prompt_cache_capacity p99_budget_ms duration_s
+      (Domain.recommended_domain_count ());
+    let fleet_json (shards, ((sr : Loadgen.sweep_report), hit_rate)) =
+      Json.obj
+        [
+          ("shards", Json.num (float_of_int shards));
+          ("knee_offered_rps", Json.num sr.Loadgen.knee_offered_rps);
+          ("max_rps_at_p99", Json.num sr.Loadgen.max_rps_at_p99);
+          ("p99_ms_at_knee", Json.num (knee_p99 sr));
+          ("cache_hit_rate", Json.num hit_rate);
+          ("levels", Json.num (float_of_int (List.length sr.Loadgen.levels)));
+        ]
+    in
+    let best =
+      List.fold_left
+        (fun acc (_, ((sr : Loadgen.sweep_report), _)) ->
+          Float.max acc sr.Loadgen.max_rps_at_p99)
+        0.0 results
+    in
+    let json =
+      Json.obj
+        [
+          ("schema", Json.str "dpoaf-serving-scale/1");
+          ("p99_budget_ms", Json.num p99_budget_ms);
+          ("duration_s", Json.num duration_s);
+          ("prompt_cache_capacity", Json.num (float_of_int prompt_cache_capacity));
+          ("tasks", Json.num (float_of_int tasks));
+          ("batching", Json.str "continuous");
+          ("fleets", Json.arr (List.map fleet_json results));
+          ( "speedup_multi_vs_1",
+            Json.num (if base_rps > 0.0 then best /. base_rps else 0.0) );
+        ]
+    in
+    let path = "BENCH_serving_scale.json" in
+    let oc = open_out path in
+    output_string oc (Json.to_string json);
+    output_char oc '\n';
+    close_out oc;
+    Printf.printf "(wrote %s)\n" path;
+    (* the fleet headline the perf gate watches — higher is better, which
+       perf_gate.ml knows by name *)
+    record_headline "max_rps_at_p99" best
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks                                            *)
 
 (* run a grouped Bechamel suite, OLS-fit against run count, and return
@@ -1731,6 +1965,7 @@ let sections =
     ("iter-dpo", iterative_dpo);
     ("speedup", speedup);
     ("serving", serving);
+    ("serving_scale", serving_scale);
     ("domains", domains_section);
     ("analysis", analysis_section);
     ("refine", refine_section);

@@ -2,23 +2,32 @@
 
    bench/main.exe writes <results-dir>/<UTC-stamp>.json and latest.json
    on every run that produces headline numbers (fig8 training-loop wall
-   clock, generation latency, serve batch p99 — all lower-is-better).
+   clock, generation latency, serve batch p99 — lower-is-better — and
+   the serving-scale throughput knee max_rps_at_p99 — higher-is-better).
    This gate compares the results series against the pinned
    baseline.json:
 
-     perf_gate [--results-dir DIR] [--tolerance-pct X] [--window N] [--rebase]
+     perf_gate [--results-dir DIR] [--tolerance-pct X]
+               [--rps-tolerance-pct Y] [--window N] [--rebase]
 
    Wall-clock on a shared machine is noisy in one direction only —
    contention adds time, nothing subtracts it — so the gate compares
    per-metric MINIMA over the newest N dated runs (default 5, config
    must match latest.json) rather than a single sample.  A genuine
    regression slows every run in the window; scheduler noise does not.
+   Throughput metrics (any headline whose name contains "rps") are the
+   mirror image: noise only ever subtracts requests per second, so the
+   window statistic is the MAXIMUM and a regression is the value falling
+   below baseline, not rising above it.
 
-   - no baseline yet: the window minimum is pinned as baseline.json and
+   - no baseline yet: the window statistic is pinned as baseline.json and
      the gate passes ("fresh baseline recorded") — the first run on a
      new machine pins its own numbers;
-   - any headline metric whose window minimum is more than X% (default
-     10) above the baseline: exit 1, listing the offending metrics;
+   - any headline metric whose window statistic is more than X% (default
+     10; throughput metrics use the wider Y, default 50 — see
+     [rps_tolerance_pct]) worse than the baseline (above it for
+     wall-clock metrics, below it for throughput metrics): exit 1,
+     listing the offending metrics;
    - config mismatch (different --fast or --jobs) between baseline and
      latest: exit 2 — the runs are not comparable, re-baseline;
    - --rebase: re-pin baseline.json from the current window and pass.
@@ -57,6 +66,20 @@ let tolerance_pct =
       match float_of_string_opt s with
       | Some x when x >= 0.0 -> x
       | _ -> die 2 "--tolerance-pct expects a non-negative number, got %S" s)
+
+(* Throughput knees swing far more with ambient box load than wall
+   clocks do — a saturation sweep whose p99 budget sits near the edge
+   can lose whole rate levels to a busy neighbour — so rps metrics get
+   their own, much wider band: the gate catches collapse (a routing or
+   scheduling bug halving the knee), not weather. *)
+let rps_tolerance_pct =
+  match string_opt "--rps-tolerance-pct" with
+  | None -> 50.0
+  | Some s -> (
+      match float_of_string_opt s with
+      | Some x when x >= 0.0 -> x
+      | _ ->
+          die 2 "--rps-tolerance-pct expects a non-negative number, got %S" s)
 
 let window =
   match string_opt "--window" with
@@ -134,9 +157,20 @@ let recent_runs latest =
   let runs = List.filteri (fun i _ -> i < window) matching in
   if runs = [] then [ latest ] else runs
 
-(* per-metric minimum across the window: wall-clock noise only ever adds
-   time, so the min is the noise-robust estimate of the true cost *)
-let window_min runs =
+(* Direction by name: throughput headlines carry "rps" in their name
+   (max_rps_at_p99 from the serving_scale section) and are
+   higher-is-better; everything else is wall clock, lower-is-better. *)
+let higher_is_better name =
+  let sub = "rps" in
+  let n = String.length name and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub name i m = sub || go (i + 1)) in
+  go 0
+
+(* Per-metric noise-robust estimate across the window: noise only ever
+   adds wall-clock time and only ever subtracts throughput, so the min
+   (or max, for higher-is-better metrics) is the estimate of the true
+   value. *)
+let window_stat runs =
   let keys =
     List.sort_uniq compare
       (List.concat_map (fun r -> List.map fst r.headline) runs)
@@ -144,7 +178,10 @@ let window_min runs =
   List.map
     (fun k ->
       let vs = List.filter_map (fun r -> List.assoc_opt k r.headline) runs in
-      (k, List.fold_left Float.min Float.infinity vs))
+      ( k,
+        if higher_is_better k then
+          List.fold_left Float.max Float.neg_infinity vs
+        else List.fold_left Float.min Float.infinity vs ))
     keys
 
 let pin_baseline path latest current n =
@@ -175,7 +212,7 @@ let () =
           latest_path
   in
   let runs = recent_runs latest in
-  let current = window_min runs in
+  let current = window_stat runs in
   if rebase || not (Sys.file_exists baseline_path) then begin
     pin_baseline baseline_path latest current (List.length runs);
     Printf.printf
@@ -202,14 +239,21 @@ let () =
               name
             :: !regressions
       | Some cur ->
-          let limit = base *. (1.0 +. (tolerance_pct /. 100.0)) in
+          let hib = higher_is_better name in
+          let tol = if hib then rps_tolerance_pct else tolerance_pct in
+          let limit =
+            if hib then base *. (1.0 -. (tol /. 100.0))
+            else base *. (1.0 +. (tol /. 100.0))
+          in
           let pct =
             if base > 0.0 then (cur -. base) /. base *. 100.0 else 0.0
           in
-          if cur > limit then
+          if (if hib then cur < limit else cur > limit) then
             regressions :=
-              Printf.sprintf "%s: %.4f -> %.4f (%+.1f%%, limit +%.0f%%)" name
-                base cur pct tolerance_pct
+              Printf.sprintf "%s: %.4f -> %.4f (%+.1f%%, limit %c%.0f%%)" name
+                base cur pct
+                (if hib then '-' else '+')
+                tol
               :: !regressions
           else
             Printf.printf "perf-gate: ok %s: %.4f -> %.4f (%+.1f%%)\n" name
@@ -218,14 +262,16 @@ let () =
   match List.rev !regressions with
   | [] ->
       Printf.printf
-        "perf-gate: pass — %d headline metrics within +%.0f%% of baseline \
-         %s (min over %d run(s), latest %s)\n"
+        "perf-gate: pass — %d headline metrics within tolerance (+%.0f%% \
+         wall clock, -%.0f%% rps) of baseline %s (over %d run(s), latest \
+         %s)\n"
         (List.length baseline.headline)
-        tolerance_pct baseline.utc (List.length runs) latest.utc
+        tolerance_pct rps_tolerance_pct baseline.utc (List.length runs)
+        latest.utc
   | rs ->
       List.iter (fun r -> Printf.eprintf "perf-gate: REGRESSION %s\n" r) rs;
       Printf.eprintf
-        "perf-gate: fail — %d metric(s) regressed beyond +%.0f%% (re-pin \
+        "perf-gate: fail — %d metric(s) regressed beyond tolerance (re-pin \
          deliberately with `dune exec bench/perf_gate.exe -- --rebase`)\n"
-        (List.length rs) tolerance_pct;
+        (List.length rs);
       exit 1

@@ -1245,9 +1245,9 @@ let socket_arg =
   Arg.(value & opt string "/tmp/dpoaf.sock"
        & info [ "socket" ] ~docv:"PATH" ~doc)
 
-let run_serve socket domains checkpoint jobs max_batch flush_ms queue_capacity
-    seed journal_path journal_max_kb pref_store_path pref_store_max_kb trace
-    metrics_json =
+let run_serve socket tcp_port shards batching prompt_cache domains checkpoint
+    jobs max_batch flush_ms queue_capacity seed journal_path journal_max_kb
+    pref_store_path pref_store_max_kb trace metrics_json =
   with_telemetry ~trace ~metrics_json @@ fun () ->
   let domains =
     match domains with
@@ -1305,40 +1305,66 @@ let run_serve socket domains checkpoint jobs max_batch flush_ms queue_capacity
         (Some lm, corpus))
       domains
   in
-  let engine = Serve.Engine.create_multi ?journal ?pref_store packs in
+  (* one engine + one labelled server per shard: each replica gets its own
+     prompt-state caches (bounded by --prompt-cache) while the per-domain
+     request counters share the untagged cells, so fleet totals need no
+     aggregation.  A single shard keeps the historical untagged names. *)
   let config = { Serve.Server.jobs; max_batch; flush_ms; queue_capacity } in
-  let server =
-    Serve.Server.create ~config ~handler:(Serve.Engine.handle engine) ?journal
-      ()
+  let make_shard i =
+    let tag = if shards = 1 then None else Some (Serve.Router.shard_name i) in
+    let engine =
+      Serve.Engine.create_multi ?journal ?pref_store ?tag
+        ~prompt_cache_capacity:prompt_cache packs
+    in
+    let server =
+      Serve.Server.create ~config ~batching ?label:tag
+        ~handler:(Serve.Engine.handle engine) ?journal ()
+    in
+    (engine, server)
+  in
+  let shard_pairs = List.init shards make_shard in
+  let engine0 = fst (List.hd shard_pairs) in
+  let router =
+    Serve.Router.create (Array.of_list (List.map snd shard_pairs))
   in
   (* the ops plane: stats filtered by the engine's domain registry, health
-     composed from the server's queue view and per-domain counters *)
+     composed from the fleet's queue views and per-domain counters *)
   let ops =
     {
       Serve.Daemon.stats =
-        (fun ~domain -> Serve.Engine.stats_body engine ~domain);
+        (fun ~domain -> Serve.Engine.stats_body engine0 ~domain);
       health =
         (fun ~domain ->
-          match Serve.Engine.request_counts engine ~domain with
+          match Serve.Engine.request_counts engine0 ~domain with
           | Error msg -> Serve.Protocol.Failed msg
           | Ok counts ->
-              let h = Serve.Server.health server in
+              let h = Serve.Router.health router in
               Serve.Protocol.Health_report
                 {
                   queue_depth = h.Serve.Server.queue_depth;
                   in_flight_batches = h.Serve.Server.in_flight_batches;
                   draining = h.Serve.Server.draining;
                   domains = counts;
+                  shards =
+                    (if shards > 1 then Serve.Router.shard_healths router
+                     else []);
                 });
     }
   in
   Printf.printf
-    "serving %s on %s (jobs=%d, max_batch=%d, flush_ms=%g, queue=%d); SIGINT \
-     or SIGTERM drains and stops\n\
+    "serving %s on %s (shards=%d, batching=%s, jobs=%d/shard, max_batch=%d, \
+     flush_ms=%g, queue=%d/shard); SIGINT or SIGTERM drains and stops\n\
      %!"
-    (String.concat ", " (Serve.Engine.domains engine))
-    socket jobs max_batch flush_ms queue_capacity;
-  let stats = Serve.Daemon.run ~socket ~server ~ops ?journal ?pref_store () in
+    (String.concat ", " (Serve.Engine.domains engine0))
+    socket shards
+    (match batching with `Flush -> "flush" | `Continuous -> "continuous")
+    jobs max_batch flush_ms queue_capacity;
+  let stats =
+    Serve.Daemon.run ~socket ?tcp_port
+      ~on_tcp_listen:(fun port ->
+        Printf.printf "tcp listener on 127.0.0.1:%d\n%!" port)
+      ~router ~ops ?journal ?pref_store ()
+  in
   (match journal with
   | Some j ->
       Serve.Journal.close j;
@@ -1355,6 +1381,26 @@ let run_serve socket domains checkpoint jobs max_batch flush_ms queue_capacity
      protocol_errors=%d\n"
     stats.Serve.Daemon.connections stats.Serve.Daemon.requests
     stats.Serve.Daemon.responses stats.Serve.Daemon.protocol_errors
+
+let tcp_port_arg =
+  Arg.(value & opt (some int) None
+       & info [ "tcp-port" ] ~docv:"PORT"
+           ~doc:"Use TCP on 127.0.0.1:$(docv) — same NDJSON protocol as the \
+                 Unix socket.  For $(b,serve): listen there alongside the \
+                 socket (0 picks an ephemeral port, printed at startup); \
+                 for client commands: connect there instead of \
+                 $(b,--socket).")
+
+let batching_arg =
+  let mode_conv =
+    Arg.enum [ ("continuous", `Continuous); ("flush", `Flush) ]
+  in
+  Arg.(value & opt mode_conv `Continuous
+       & info [ "batching" ] ~docv:"MODE"
+           ~doc:"Batching discipline: $(b,continuous) keeps every worker \
+                 slot refilled as requests complete; $(b,flush) restores \
+                 the flush-and-wait dispatcher (responses are bit-identical \
+                 either way).")
 
 let serve_cmd =
   let domains_arg =
@@ -1414,21 +1460,57 @@ let serve_cmd =
              ~doc:"Size cap per store file before rotation (with \
                    $(b,--pref-store)).")
   in
+  let shards_arg =
+    Arg.(value & opt pos_int_conv 1
+         & info [ "shards" ] ~docv:"N"
+             ~doc:"Replica count: requests hash to a shard by prompt \
+                   identity so each replica's prompt-state cache stays hot; \
+                   every shard gets its own engine, $(b,--jobs) workers and \
+                   $(b,--queue)-bounded admission queue.  Responses are \
+                   bit-identical for every value.")
+  in
+  let prompt_cache_arg =
+    Arg.(value & opt pos_int_conv 256
+         & info [ "prompt-cache" ] ~docv:"N"
+             ~doc:"Per-replica prompt-state cache capacity (entries per \
+                   domain pack).")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:"Run the batched inference-and-verification daemon (line-delimited \
-             JSON over a Unix socket), serving one or more domain packs.")
-    Term.(const run_serve $ socket_arg $ domains_arg $ checkpoint_arg
+             JSON over a Unix socket and optionally TCP), serving one or \
+             more domain packs across one or more shards.")
+    Term.(const run_serve $ socket_arg $ tcp_port_arg $ shards_arg
+          $ batching_arg $ prompt_cache_arg $ domains_arg $ checkpoint_arg
           $ jobs_arg $ max_batch_arg $ flush_ms_arg $ queue_arg $ seed_arg
           $ journal_arg $ journal_max_kb_arg $ pref_store_arg
           $ pref_store_max_kb_arg $ trace_arg $ metrics_json_arg)
 
 (* ---------------- loadgen ---------------- *)
 
-let run_loadgen socket domain rate duration mix deadline_ms seed out =
+(* responses re-encoded with the timing fields zeroed and sorted by id:
+   bit-comparable across transports, shard counts and batching modes *)
+let normalized_dump responses =
+  let lines =
+    List.map
+      (fun (r : Serve.Protocol.response) ->
+        Serve.Protocol.response_to_string
+          { r with Serve.Protocol.queue_wait_us = 0.0; execute_us = 0.0 })
+      responses
+  in
+  String.concat "\n" (List.sort compare lines) ^ "\n"
+
+let run_loadgen socket tcp_port domain rate duration mix deadline_ms seed out
+    sweep sweep_p99_ms dump =
+  let endpoint =
+    match tcp_port with
+    | Some p -> Printf.sprintf "127.0.0.1:%d" p
+    | None -> socket
+  in
   let config =
     {
       Serve.Loadgen.socket;
+      tcp_port;
       rate;
       duration_s = duration;
       mix;
@@ -1437,18 +1519,49 @@ let run_loadgen socket domain rate duration mix deadline_ms seed out =
       seed;
     }
   in
-  match Serve.Loadgen.run config with
-  | report ->
-      Serve.Loadgen.print_report report;
-      (match out with
-      | None -> ()
-      | Some path ->
-          write_file path
-            (Dpoaf_util.Json.to_string (Serve.Loadgen.report_json report)
-            ^ "\n");
-          Printf.printf "loadgen report written to %s\n" path)
+  let body () =
+    match sweep with
+    | Some sweep ->
+        if dump <> None then
+          die "--dump applies to a single run; drop --sweep";
+        let s =
+          Serve.Loadgen.run_sweep ~progress:Serve.Loadgen.print_level config
+            ~sweep ~p99_budget_ms:sweep_p99_ms
+        in
+        Serve.Loadgen.print_sweep_report s;
+        (match out with
+        | None -> ()
+        | Some path ->
+            write_file path
+              (Dpoaf_util.Json.to_string (Serve.Loadgen.sweep_report_json s)
+              ^ "\n");
+            Printf.printf "sweep report written to %s\n" path)
+    | None ->
+        let captured = ref [] in
+        let capture =
+          Option.map
+            (fun _ -> fun r -> captured := r :: !captured)
+            dump
+        in
+        let report = Serve.Loadgen.run ?capture config in
+        Serve.Loadgen.print_report report;
+        (match dump with
+        | None -> ()
+        | Some path ->
+            write_file path (normalized_dump !captured);
+            Printf.printf "response dump written to %s\n" path);
+        (match out with
+        | None -> ()
+        | Some path ->
+            write_file path
+              (Dpoaf_util.Json.to_string (Serve.Loadgen.report_json report)
+              ^ "\n");
+            Printf.printf "loadgen report written to %s\n" path)
+  in
+  match body () with
+  | () -> ()
   | exception Unix.Unix_error (e, _, _) ->
-      Printf.eprintf "error: cannot reach daemon at %s: %s\n%!" socket
+      Printf.eprintf "error: cannot reach daemon at %s: %s\n%!" endpoint
         (Unix.error_message e);
       exit 1
   | exception Invalid_argument msg ->
@@ -1508,12 +1621,50 @@ let loadgen_cmd =
                    full latency histogram with per-bucket bounds and \
                    counts.")
   in
+  let sweep_conv =
+    let parse s =
+      match Serve.Loadgen.sweep_of_string s with
+      | Ok sw -> Ok sw
+      | Error msg -> Error (`Msg msg)
+    in
+    let print ppf (s : Serve.Loadgen.sweep) =
+      Format.fprintf ppf "%g:%g:%g" s.Serve.Loadgen.start_rps
+        s.Serve.Loadgen.step_rps s.Serve.Loadgen.max_rps
+    in
+    Arg.conv (parse, print)
+  in
+  let sweep_arg =
+    Arg.(value & opt (some sweep_conv) None
+         & info [ "sweep" ] ~docv:"START:STEP:MAX"
+             ~doc:"Saturation sweep: step the offered rate from $(b,START) \
+                   by $(b,STEP) up to $(b,MAX) rps, one run of \
+                   $(b,--duration) each, stopping at the first level the \
+                   daemon fails to sustain (p99 over the budget, or any \
+                   reject/expiry/error/loss).  Reports the knee and the \
+                   achieved rps there ($(b,max_rps_at_p99)).")
+  in
+  let sweep_p99_arg =
+    Arg.(value & opt float 50.0
+         & info [ "sweep-p99-ms" ] ~docv:"MS"
+             ~doc:"p99 latency budget a sweep level must meet to count as \
+                   sustained (with $(b,--sweep)).")
+  in
+  let dump_arg =
+    Arg.(value & opt (some string) None
+         & info [ "dump" ] ~docv:"FILE"
+             ~doc:"Write every response to $(docv), sorted by request id \
+                   with the timing fields zeroed — bit-comparable across \
+                   transports, shard counts and batching modes (single \
+                   runs only).")
+  in
   Cmd.v
     (Cmd.info "loadgen"
-       ~doc:"Replay synthetic traffic against a running daemon and report \
-             throughput and latency percentiles.")
-    Term.(const run_loadgen $ socket_arg $ domain_opt_arg $ rate_arg
-          $ duration_arg $ mix_arg $ deadline_arg $ seed_arg $ out_arg)
+       ~doc:"Replay synthetic traffic against a running daemon (Unix socket \
+             or TCP) and report throughput and latency percentiles, or find \
+             the saturation knee with $(b,--sweep).")
+    Term.(const run_loadgen $ socket_arg $ tcp_port_arg $ domain_opt_arg
+          $ rate_arg $ duration_arg $ mix_arg $ deadline_arg $ seed_arg
+          $ out_arg $ sweep_arg $ sweep_p99_arg $ dump_arg)
 
 (* ---------------- stats / health ---------------- *)
 
@@ -1521,16 +1672,28 @@ let loadgen_cmd =
    response line.  Blocking I/O — the daemon answers ops verbs ahead of
    the admission queue, so a response arrives within one loop turn even
    under full load. *)
-let ops_roundtrip socket kind =
+let ops_roundtrip ?tcp_port socket kind =
   let req = { Serve.Protocol.id = "ops"; kind; deadline_ms = None } in
+  let endpoint =
+    match tcp_port with
+    | Some p -> Printf.sprintf "127.0.0.1:%d" p
+    | None -> socket
+  in
   let fd =
     try
-      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-      Unix.connect fd (Unix.ADDR_UNIX socket);
-      fd
+      match tcp_port with
+      | None ->
+          let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+          Unix.connect fd (Unix.ADDR_UNIX socket);
+          fd
+      | Some port ->
+          let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+          Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+          fd
     with Unix.Unix_error (e, _, _) ->
-      die "cannot reach daemon at %s: %s" socket (Unix.error_message e)
+      die "cannot reach daemon at %s: %s" endpoint (Unix.error_message e)
   in
+  let socket = endpoint in
   Fun.protect
     ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
   @@ fun () ->
@@ -1627,9 +1790,11 @@ let prometheus_of_stats ~metrics ~histograms ~runtime =
     histograms;
   Buffer.contents b
 
-let run_stats socket domain watch format =
+let run_stats socket tcp_port domain watch format =
   let once () =
-    let line = ops_roundtrip socket (Serve.Protocol.Stats { domain }) in
+    let line =
+      ops_roundtrip ?tcp_port socket (Serve.Protocol.Stats { domain })
+    in
     match Serve.Protocol.response_of_string line with
     | Error msg -> die "malformed stats response: %s" msg
     | Ok { Serve.Protocol.rbody = Serve.Protocol.Failed msg; _ } ->
@@ -1684,11 +1849,13 @@ let stats_cmd =
              histograms with per-bucket bounds, cache hit rates and \
              GC/runtime gauges.  Answered ahead of the admission queue, so \
              it works mid-load.")
-    Term.(const run_stats $ socket_arg $ ops_domain_arg $ watch_arg
-          $ format_arg)
+    Term.(const run_stats $ socket_arg $ tcp_port_arg $ ops_domain_arg
+          $ watch_arg $ format_arg)
 
-let run_health socket domain =
-  let line = ops_roundtrip socket (Serve.Protocol.Health { domain }) in
+let run_health socket tcp_port domain =
+  let line =
+    ops_roundtrip ?tcp_port socket (Serve.Protocol.Health { domain })
+  in
   match Serve.Protocol.response_of_string line with
   | Error msg -> die "malformed health response: %s" msg
   | Ok { Serve.Protocol.rbody = Serve.Protocol.Failed msg; _ } -> die "%s" msg
@@ -1698,9 +1865,10 @@ let health_cmd =
   Cmd.v
     (Cmd.info "health"
        ~doc:"Query a running daemon's liveness: admission-queue depth, \
-             in-flight batches, drain state and per-domain request \
-             counters.  Exits 1 if the daemon reports an error.")
-    Term.(const run_health $ socket_arg $ ops_domain_arg)
+             in-flight requests, drain state, per-domain request counters \
+             and (when sharded) the per-shard breakdown.  Exits 1 if the \
+             daemon reports an error.")
+    Term.(const run_health $ socket_arg $ tcp_port_arg $ ops_domain_arg)
 
 (* ---------------- main ---------------- *)
 

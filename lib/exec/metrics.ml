@@ -306,6 +306,37 @@ let merge_snapshots (a : hist_snapshot) (b : hist_snapshot) : hist_snapshot =
       buckets = merge a.buckets b.buckets;
     }
 
+let diff_snapshots (newer : hist_snapshot) (older : hist_snapshot) :
+    hist_snapshot =
+  (* both bucket lists ascend; bucket identity is the bound pair.  [older]
+     must be an earlier snapshot of the same histogram, so its buckets are
+     a subset of [newer]'s with counts no larger. *)
+  let rec sub xs ys =
+    match (xs, ys) with
+    | rest, [] -> rest
+    | [], _ -> []
+    | ((xl, xu, xc) as x) :: xs', (yl, yu, yc) :: ys' ->
+        if xl = yl && xu = yu then
+          let c = xc - yc in
+          if c > 0 then (xl, xu, c) :: sub xs' ys' else sub xs' ys'
+        else if xu < yu then x :: sub xs' ys
+        else sub xs ys'
+  in
+  if older.count = 0 then newer
+  else begin
+    let buckets = sub newer.buckets older.buckets in
+    let count = Stdlib.max 0 (newer.count - older.count) in
+    (* exact window extremes are not recoverable from cumulative state;
+       the surviving buckets' bounds are the tightest honest envelope *)
+    let min, max =
+      match (buckets, List.rev buckets) with
+      | (lo, _, _) :: _, (_, hi, _) :: _ ->
+          (Float.max lo newer.min, Float.min hi newer.max)
+      | _ -> (0.0, 0.0)
+    in
+    { count; sum = newer.sum -. older.sum; min; max; buckets }
+  end
+
 let json_of_snapshot (s : hist_snapshot) =
   Json.obj
     [

@@ -118,6 +118,16 @@ val merge_snapshots : hist_snapshot -> hist_snapshot -> hist_snapshot
     [merge a b] has [count = a.count + b.count] and every bucket of [a] or
     [b] appears with a count no smaller than it had. *)
 
+val diff_snapshots : hist_snapshot -> hist_snapshot -> hist_snapshot
+(** [diff_snapshots newer older] — the observations that landed between
+    two snapshots of the {e same} histogram: counts subtract per bucket
+    (clamped at zero), [sum] subtracts, and the window's [min]/[max] are
+    approximated by the surviving buckets' bounds (the exact extremes of
+    an interior window are not recoverable from cumulative state — the
+    estimate is within one bucket, i.e. a factor of {!bucket_base}).
+    This is what lets a load sweep report per-level percentiles from one
+    process-global histogram. *)
+
 val json_of_snapshot : hist_snapshot -> Dpoaf_util.Json.t
 (** [{"count":…,"sum":…,"min":…,"max":…,"p50":…,"p90":…,"p99":…,
      "buckets":[[lower,upper,count],…]}] — the percentiles are derived

@@ -71,6 +71,22 @@ let drain_locked t ~max acc =
   publish_depth t;
   !acc
 
+let pop_one t =
+  Mutex.lock t.mutex;
+  while Queue.is_empty t.items && not t.closed do
+    Condition.wait t.nonempty t.mutex
+  done;
+  let r =
+    if Queue.is_empty t.items then None
+    else begin
+      let x = Queue.pop t.items in
+      publish_depth t;
+      Some x
+    end
+  in
+  Mutex.unlock t.mutex;
+  r
+
 let pop_batch t ~max ~flush_s =
   if max < 1 then invalid_arg "Admission.pop_batch: max must be >= 1";
   Mutex.lock t.mutex;

@@ -20,6 +20,13 @@ val create : capacity:int -> gauge_name:string -> 'a t
 val try_push : 'a t -> 'a -> bool
 (** [false] when the queue is full or closed (the item was not taken). *)
 
+val pop_one : 'a t -> 'a option
+(** Block until one item is available and pop it; [None] once the queue
+    is closed {e and} empty.  Unlike {!pop_batch} this is multi-consumer
+    safe — it is the primitive behind continuous batching, where each
+    worker refills its own slot as soon as its previous request
+    completes instead of waiting for a batch boundary. *)
+
 val pop_batch : 'a t -> max:int -> flush_s:float -> 'a list option
 (** Block until at least one item is available, then collect up to [max]
     items within a [flush_s]-second assembly window (closing the queue

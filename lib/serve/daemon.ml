@@ -1,22 +1,31 @@
-(* The serving daemon: line-delimited JSON over a Unix domain socket.
+(* The serving daemon: line-delimited JSON over a Unix domain socket and,
+   optionally, a TCP listener on the same protocol.
 
    One [Unix.select] event loop owns all sockets; request execution lives
-   entirely in {!Server} (dispatcher + pool domains).  Completion
-   callbacks run on worker domains, so each connection's outbox is a
-   mutex-guarded queue the event loop flushes; the select timeout is short
-   enough (5 ms) that a response never waits long for the next loop turn.
+   entirely in the {!Router}'s replica servers (dispatcher/worker + pool
+   domains).  Completion callbacks run on worker domains, so each
+   connection's outbox is a mutex-guarded queue the event loop flushes —
+   and every enqueue writes one byte down a self-pipe whose read end sits
+   in the select set, so a finished response wakes the loop immediately
+   instead of waiting out a polling interval.  That wake-up is what lets
+   the select timeout be adaptive: an idle daemon blocks for seconds
+   (0.25 s when a journal/pref store needs periodic flushing, 5 s
+   otherwise) rather than busy-polling at 200 Hz as the old fixed 5 ms
+   timeout did.
 
-   Shutdown is signal-driven: SIGINT/SIGTERM set a flag, the loop stops
-   accepting and reading, drains the server (every admitted request still
-   gets its response), flushes what the drain produced, and removes the
-   socket file.
+   Shutdown is signal-driven: SIGINT/SIGTERM set a flag (and
+   {!request_stop} also writes the wake byte, so a stop requested from
+   another domain interrupts a long select), the loop stops accepting and
+   reading, drains every shard (every admitted request still gets its
+   response), flushes what the drain produced, and removes the socket
+   file.
 
    The ops verbs ([stats], [health]) are answered synchronously from the
-   event loop, ahead of the admission queue: a daemon whose queue is full
-   or whose workers are saturated still answers them on the next loop
-   turn.  When a {!Journal} is attached, the loop flushes its ring once
-   per turn so worker-domain emissions almost never touch the
-   filesystem. *)
+   event loop, ahead of every shard's admission queue: a daemon whose
+   queues are full or whose workers are saturated still answers them on
+   the next loop turn.  When a {!Journal} is attached, the loop flushes
+   its ring once per turn so worker-domain emissions almost never touch
+   the filesystem. *)
 
 module Metrics = Dpoaf_exec.Metrics
 module Json = Dpoaf_util.Json
@@ -44,12 +53,53 @@ type client = {
 
 let protocol_errors_c = Dpoaf_exec.Metrics.counter "serve.protocol_errors"
 
+(* ---------------- wake-up plumbing ---------------- *)
+
+(* The self-pipe is process-global (created eagerly: [Lazy] is not safe to
+   force from several domains at once) because its writers — completion
+   callbacks on worker domains, [request_stop] from anywhere — have no
+   handle on the running loop.  The byte content is meaningless; only the
+   readability edge matters, and the pipe is drained every turn. *)
+let wake_rd, wake_wr =
+  let r, w = Unix.pipe () in
+  Unix.set_nonblock r;
+  Unix.set_nonblock w;
+  (r, w)
+
+let wake_byte = Bytes.make 1 'w'
+
+let wake () =
+  try ignore (Unix.write wake_wr wake_byte 0 1)
+  with
+  | Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+      (* pipe already full: the loop is guaranteed awake *)
+      ()
+  | Unix.Unix_error _ -> ()
+
+let drain_wake () =
+  let chunk = Bytes.create 64 in
+  let rec go () =
+    match Unix.read wake_rd chunk 0 (Bytes.length chunk) with
+    | n when n > 0 -> go ()
+    | _ -> ()
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
+    | exception Unix.Unix_error _ -> ()
+  in
+  go ()
+
 let stop_requested = Atomic.make false
 
-let request_stop () = Atomic.set stop_requested true
+let request_stop () =
+  Atomic.set stop_requested true;
+  wake ()
 
 let install_signal_handlers () =
-  let handle = Sys.Signal_handle (fun _ -> Atomic.set stop_requested true) in
+  let handle =
+    Sys.Signal_handle
+      (fun _ ->
+        Atomic.set stop_requested true;
+        wake ())
+  in
   (try Sys.set_signal Sys.sigint handle with Invalid_argument _ -> ());
   try Sys.set_signal Sys.sigterm handle with Invalid_argument _ -> ()
 
@@ -61,7 +111,8 @@ let push_out client line =
   Mutex.lock client.omutex;
   Queue.push (line ^ "\n") client.outbox;
   Mutex.unlock client.omutex;
-  Atomic.incr responses_sent
+  Atomic.incr responses_sent;
+  wake ()
 
 (* move queued lines into the flat write buffer; [true] if bytes remain *)
 let refill_outbuf client =
@@ -94,7 +145,7 @@ let error_response msg =
     execute_us = 0.0;
   }
 
-let handle_line server ops journal client counters line =
+let handle_line router ops journal client counters line =
   if String.trim line = "" then ()
   else begin
     let requests, protocol_errors = counters in
@@ -110,8 +161,8 @@ let handle_line server ops journal client counters line =
     | Ok req -> (
         match req.Protocol.kind with
         | Protocol.Stats { domain } | Protocol.Health { domain } ->
-            (* answered synchronously ahead of admission: a full queue or
-               saturated pool never blocks the ops plane *)
+            (* answered synchronously ahead of admission: full queues or
+               saturated shards never block the ops plane *)
             let body =
               match req.Protocol.kind with
               | Protocol.Stats _ -> ops.stats ~domain
@@ -127,11 +178,11 @@ let handle_line server ops journal client counters line =
                  })
         | _ ->
             ignore
-              (Server.submit_async server req ~on_done:(fun resp ->
+              (Router.submit_async router req ~on_done:(fun resp ->
                    push_out client (Protocol.response_to_string resp))))
   end
 
-let handle_readable server ops journal client counters =
+let handle_readable router ops journal client counters =
   let chunk = Bytes.create 4096 in
   match Unix.read client.fd chunk 0 (Bytes.length chunk) with
   | 0 -> client.alive <- false
@@ -142,7 +193,7 @@ let handle_readable server ops journal client counters =
         | [] -> client.pending <- ""
         | [ tail ] -> client.pending <- tail
         | line :: rest ->
-            handle_line server ops journal client counters line;
+            handle_line router ops journal client counters line;
             consume rest
       in
       consume parts
@@ -151,17 +202,17 @@ let handle_readable server ops journal client counters =
 
 let close_quietly fd = try Unix.close fd with Unix.Unix_error _ -> ()
 
-let select readfds writefds =
+let select readfds writefds timeout =
   try
-    let r, w, _ = Unix.select readfds writefds [] 0.005 in
+    let r, w, _ = Unix.select readfds writefds [] timeout in
     (r, w)
   with Unix.Unix_error (Unix.EINTR, _, _) -> ([], [])
 
 (* A daemon embedded without a domain registry still answers the ops
    verbs from what it can see — the global metrics registry and the
-   server's queue — but refuses domain-tagged queries rather than
+   shards' queues — but refuses domain-tagged queries rather than
    silently ignoring the tag. *)
-let default_ops server =
+let default_ops router =
   let no_registry ~domain k =
     match domain with
     | Some d ->
@@ -185,61 +236,99 @@ let default_ops server =
     health =
       (fun ~domain ->
         no_registry ~domain (fun () ->
-            let h = Server.health server in
+            let h = Router.health router in
             Protocol.Health_report
               {
                 queue_depth = h.Server.queue_depth;
                 in_flight_batches = h.Server.in_flight_batches;
                 draining = h.Server.draining;
                 domains = [];
+                shards =
+                  (if Router.shard_count router > 1 then
+                     Router.shard_healths router
+                   else []);
               }));
   }
 
-let run ~socket ~server ?ops ?journal ?pref_store () =
-  let ops = match ops with Some o -> o | None -> default_ops server in
+let tcp_listener port =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt fd Unix.SO_REUSEADDR true;
+  Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+  Unix.listen fd 64;
+  Unix.set_nonblock fd;
+  let bound =
+    match Unix.getsockname fd with
+    | Unix.ADDR_INET (_, p) -> p
+    | _ -> port
+  in
+  (fd, bound)
+
+let run ~socket ?tcp_port ?on_tcp_listen ~router ?ops ?journal ?pref_store () =
+  let ops = match ops with Some o -> o | None -> default_ops router in
   install_signal_handlers ();
   Atomic.set stop_requested false;
   Atomic.set responses_sent 0;
+  drain_wake ();
   if Sys.file_exists socket then Sys.remove socket;
   let listener = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
   Unix.bind listener (Unix.ADDR_UNIX socket);
   Unix.listen listener 64;
   Unix.set_nonblock listener;
+  let tcp =
+    match tcp_port with
+    | None -> None
+    | Some port ->
+        let fd, bound = tcp_listener port in
+        (match on_tcp_listen with Some f -> f bound | None -> ());
+        Some (fd, bound)
+  in
+  let listeners =
+    listener :: (match tcp with Some (fd, _) -> [ fd ] | None -> [])
+  in
   let clients : client list ref = ref [] in
   let connections = ref 0 in
   let requests = ref 0 in
   let protocol_errors = ref 0 in
   let counters = (requests, protocol_errors) in
+  (* with the self-pipe carrying completion and stop wake-ups, the select
+     timeout only bounds the journal/pref-store flush cadence — so an
+     idle daemon sleeps instead of spinning *)
+  let idle_timeout =
+    if journal <> None || pref_store <> None then 0.25 else 5.0
+  in
+  let accept_from lfd =
+    match Unix.accept lfd with
+    | fd, _ ->
+        Unix.set_nonblock fd;
+        incr connections;
+        clients :=
+          {
+            fd;
+            pending = "";
+            outbox = Queue.create ();
+            omutex = Mutex.create ();
+            outbuf = "";
+            alive = true;
+          }
+          :: !clients
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
+  in
   let loop_turn () =
-    let readfds = listener :: List.map (fun c -> c.fd) !clients in
+    let readfds = (wake_rd :: listeners) @ List.map (fun c -> c.fd) !clients in
     let writefds =
       List.filter_map
         (fun c -> if refill_outbuf c then Some c.fd else None)
         !clients
     in
-    let readable, writable = select readfds writefds in
-    if List.mem listener readable then begin
-      match Unix.accept listener with
-      | fd, _ ->
-          Unix.set_nonblock fd;
-          incr connections;
-          clients :=
-            {
-              fd;
-              pending = "";
-              outbox = Queue.create ();
-              omutex = Mutex.create ();
-              outbuf = "";
-              alive = true;
-            }
-            :: !clients
-      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
-          ()
-    end;
+    let readable, writable = select readfds writefds idle_timeout in
+    if List.mem wake_rd readable then drain_wake ();
+    List.iter
+      (fun lfd -> if List.mem lfd readable then accept_from lfd)
+      listeners;
     List.iter
       (fun c ->
         if c.alive && List.mem c.fd readable then
-          handle_readable server ops journal c counters)
+          handle_readable router ops journal c counters)
       !clients;
     List.iter
       (fun c -> if c.alive && List.mem c.fd writable then flush_client c)
@@ -255,20 +344,51 @@ let run ~socket ~server ?ops ?journal ?pref_store () =
     | None -> ()
   in
   (match journal with
-  | Some j -> Journal.emit j "daemon.start" [ ("socket", Json.str socket) ]
+  | Some j ->
+      let attrs =
+        ("socket", Json.str socket)
+        ::
+        (match tcp with
+        | Some (_, port) -> [ ("tcp_port", Json.num (float_of_int port)) ]
+        | None -> [])
+      in
+      Journal.emit j "daemon.start" attrs;
+      (* one serve.shard.up per replica, even for a single-shard daemon,
+         so journal consumers see the fleet shape without a health call *)
+      List.iteri
+        (fun i (sh : Protocol.shard_health) ->
+          let srv = Router.server router i in
+          Journal.emit j "serve.shard.up"
+            [
+              ("shard", Json.str sh.Protocol.sh_shard);
+              ( "batching",
+                Json.str
+                  (match Server.batching srv with
+                  | `Flush -> "flush"
+                  | `Continuous -> "continuous") );
+              ( "jobs",
+                Json.num (float_of_int (Server.config srv).Server.jobs) );
+              ( "queue_capacity",
+                Json.num
+                  (float_of_int (Server.config srv).Server.queue_capacity) );
+            ])
+        (Router.shard_healths router)
   | None -> ());
   while not (Atomic.get stop_requested) do
     loop_turn ()
   done;
   (* graceful drain: stop reading, answer everything already admitted,
-     flush the answers out, then tear the socket down *)
+     flush the answers out, then tear the sockets down *)
   close_quietly listener;
-  Server.drain server;
+  (match tcp with Some (fd, _) -> close_quietly fd | None -> ());
+  Router.drain router;
   let flush_deadline = Unix.gettimeofday () +. 5.0 in
   let rec flush_all () =
     let with_output = List.filter (fun c -> c.alive && refill_outbuf c) !clients in
     if with_output <> [] && Unix.gettimeofday () < flush_deadline then begin
-      let _, writable = select [] (List.map (fun c -> c.fd) with_output) in
+      let _, writable =
+        select [] (List.map (fun c -> c.fd) with_output) 0.05
+      in
       List.iter
         (fun c -> if List.mem c.fd writable then flush_client c)
         with_output;

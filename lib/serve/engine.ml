@@ -43,39 +43,52 @@ type t = {
   pref_store : Pref_store.t option;  (* harvested (original, repaired) pairs *)
 }
 
-let domain_state ?lm corpus =
+let domain_state ?lm ?tag ?(prompt_cache_capacity = 256) corpus =
   let (module D : Domain.S) = corpus.Corpus.domain in
   (* Pre-build the shared read-only structures (lexicon, world models) on
      the calling domain so pool workers never race on first-use init. *)
   ignore (D.lexicon ());
   ignore (D.universal ());
   List.iter (fun sc -> ignore (D.model sc)) D.scenarios;
+  (* a tagged (sharded) engine needs its own cache metric names — two
+     caches registered under one name would shadow each other's hit/miss
+     source — but the request counters deliberately share the untagged
+     cell, so per-domain totals aggregate across shards for free *)
+  let cache_name =
+    match tag with
+    | None -> Printf.sprintf "serve.prompt_state.%s" D.name
+    | Some s -> Printf.sprintf "serve.%s.prompt_state.%s" s D.name
+  in
+  let explain_name =
+    match tag with
+    | None -> Printf.sprintf "refine.explain.%s" D.name
+    | Some s -> Printf.sprintf "refine.%s.explain.%s" s D.name
+  in
   {
     domain = corpus.Corpus.domain;
     corpus;
     snapshot = Option.map Sampler.snapshot lm;
     prompt_states =
-      Dpoaf_exec.Cache.create ~capacity:256
-        ~name:(Printf.sprintf "serve.prompt_state.%s" D.name)
+      Dpoaf_exec.Cache.create ~capacity:prompt_cache_capacity ~name:cache_name
         ();
-    refine_explain =
-      Refine.explain_cache ~name:(Printf.sprintf "refine.explain.%s" D.name);
+    refine_explain = Refine.explain_cache ~name:explain_name;
     requests = Metrics.counter (Printf.sprintf "serve.requests.%s" D.name);
   }
 
-let create ?lm ?journal ?pref_store ~corpus () =
-  let st = domain_state ?lm corpus in
+let create ?lm ?journal ?pref_store ?tag ?prompt_cache_capacity ~corpus () =
+  let st = domain_state ?lm ?tag ?prompt_cache_capacity corpus in
   let name = Domain.name corpus.Corpus.domain in
   { states = [ (name, st) ]; default = name; journal; pref_store }
 
-let create_multi ?journal ?pref_store packs =
+let create_multi ?journal ?pref_store ?tag ?prompt_cache_capacity packs =
   match packs with
   | [] -> invalid_arg "Engine.create_multi: no domains"
   | _ ->
       let states =
         List.map
           (fun (lm, corpus) ->
-            (Domain.name corpus.Corpus.domain, domain_state ?lm corpus))
+            ( Domain.name corpus.Corpus.domain,
+              domain_state ?lm ?tag ?prompt_cache_capacity corpus ))
           packs
       in
       let names = List.map fst states in
@@ -461,4 +474,5 @@ let handle t (req : Protocol.request) : Protocol.body =
               in_flight_batches = 0;
               draining = false;
               domains;
+              shards = [];
             })

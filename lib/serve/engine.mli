@@ -36,6 +36,8 @@ val create :
   ?lm:Dpoaf_lm.Model.t ->
   ?journal:Journal.t ->
   ?pref_store:Dpoaf_refine.Pref_store.t ->
+  ?tag:string ->
+  ?prompt_cache_capacity:int ->
   corpus:Dpoaf_pipeline.Corpus.t ->
   unit ->
   t
@@ -44,16 +46,30 @@ val create :
     [refine] requests then fail gracefully) and pre-builds the shared
     lexicon and world models so pool workers never race on first-use
     initialization.  [journal] receives [serve.refine_round] events;
-    [pref_store] receives one harvested pair per accepted repair. *)
+    [pref_store] receives one harvested pair per accepted repair.
+
+    [tag] marks the engine as one replica of a sharded fleet: its
+    prompt-state and explanation caches register under
+    [serve.<tag>.prompt_state.<domain>] / [refine.<tag>.explain.<domain>]
+    so each shard's hit rate is individually visible (two caches under
+    one metric name would shadow each other), while the per-domain
+    request counters keep the untagged shared cell so fleet totals need
+    no aggregation.  [prompt_cache_capacity] (default 256) bounds each
+    pack's prompt-state LRU — the per-replica analogue of a KV-cache
+    budget: with prompt-affinity routing, a small capacity stays hot on a
+    shard's slice of the task set where a single replica would thrash. *)
 
 val create_multi :
   ?journal:Journal.t ->
   ?pref_store:Dpoaf_refine.Pref_store.t ->
+  ?tag:string ->
+  ?prompt_cache_capacity:int ->
   (Dpoaf_lm.Model.t option * Dpoaf_pipeline.Corpus.t) list ->
   t
 (** Multi-domain engine; the first pack is the default for requests
     without a [domain] field.  [journal]/[pref_store] are shared across
-    packs (records carry the domain name).
+    packs (records carry the domain name); [tag] and
+    [prompt_cache_capacity] apply to every pack as in {!create}.
     @raise Invalid_argument on an empty list or duplicate domains. *)
 
 val domains : t -> string list

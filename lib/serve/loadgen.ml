@@ -69,6 +69,7 @@ let mix_of_string s =
 
 type config = {
   socket : string;
+  tcp_port : int option;
   rate : float;
   duration_s : float;
   mix : mix;
@@ -80,6 +81,7 @@ type config = {
 let default_config =
   {
     socket = "/tmp/dpoaf.sock";
+    tcp_port = None;
     rate = 200.0;
     duration_s = 2.0;
     mix = default_mix;
@@ -101,6 +103,10 @@ type report = {
   p50_ms : float;
   p90_ms : float;
   p99_ms : float;
+  latency : Metrics.hist_snapshot;
+      (* this run's window of the process-global loadgen.latency
+         histogram (snapshot difference), so back-to-back runs — a
+         sweep's levels — report their own percentiles *)
 }
 
 let latency_h = Metrics.histogram "loadgen.latency"
@@ -191,15 +197,30 @@ let validate config =
      || generate +. verify +. score_pair +. refine <= 0.0
   then invalid_arg "Loadgen.run: mix weights must be >= 0 and not all zero"
 
-let run config =
+(* one pipelined connection on either transport; the NDJSON protocol is
+   transport-agnostic, so the only TCP-specific concern is Nagle delay *)
+let connect config =
+  match config.tcp_port with
+  | None ->
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Unix.connect fd (Unix.ADDR_UNIX config.socket);
+      fd
+  | Some port ->
+      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+      (try Unix.setsockopt fd Unix.TCP_NODELAY true
+       with Unix.Unix_error _ -> ());
+      fd
+
+let run ?capture config =
   validate config;
   let pack =
     Dpoaf_domain.find_exn
       (Option.value ~default:Dpoaf_domain.default config.domain)
   in
   let rng = Rng.create config.seed in
-  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-  Unix.connect fd (Unix.ADDR_UNIX config.socket);
+  let latency_before = Metrics.snapshot latency_h in
+  let fd = connect config in
   Unix.set_nonblock fd;
   let total = max 1 (int_of_float (config.rate *. config.duration_s)) in
   let outstanding : (string, float) Hashtbl.t = Hashtbl.create 256 in
@@ -229,6 +250,7 @@ let run config =
       | Error _ -> incr protocol_errors
       | Ok resp ->
           incr completed;
+          (match capture with Some f -> f resp | None -> ());
           (match Protocol.status_of_body resp.Protocol.rbody with
           | "ok" -> incr ok
           | "rejected" -> incr rejected
@@ -287,6 +309,9 @@ let run config =
   done;
   let elapsed_s = Unix.gettimeofday () -. start in
   (try Unix.close fd with Unix.Unix_error _ -> ());
+  let latency =
+    Metrics.diff_snapshots (Metrics.snapshot latency_h) latency_before
+  in
   {
     sent = !sent;
     completed = !completed;
@@ -298,9 +323,10 @@ let run config =
     elapsed_s;
     achieved_rps =
       (if elapsed_s > 0.0 then float_of_int !completed /. elapsed_s else 0.0);
-    p50_ms = Metrics.percentile latency_h 0.5 *. 1e3;
-    p90_ms = Metrics.percentile latency_h 0.9 *. 1e3;
-    p99_ms = Metrics.percentile latency_h 0.99 *. 1e3;
+    p50_ms = Metrics.snapshot_percentile latency 0.5 *. 1e3;
+    p90_ms = Metrics.snapshot_percentile latency 0.9 *. 1e3;
+    p99_ms = Metrics.snapshot_percentile latency 0.99 *. 1e3;
+    latency;
   }
 
 let print_report r =
@@ -311,25 +337,124 @@ let print_report r =
     r.sent r.completed r.ok r.rejected r.expired r.errors r.protocol_errors
     r.elapsed_s r.achieved_rps r.p50_ms r.p90_ms r.p99_ms
 
-let report_json r =
+let report_fields r =
   let module Json = Dpoaf_util.Json in
   let n i = Json.num (float_of_int i) in
+  [
+    ("sent", n r.sent);
+    ("completed", n r.completed);
+    ("ok", n r.ok);
+    ("rejected", n r.rejected);
+    ("expired", n r.expired);
+    ("errors", n r.errors);
+    ("protocol_errors", n r.protocol_errors);
+    ("elapsed_s", Json.num r.elapsed_s);
+    ("achieved_rps", Json.num r.achieved_rps);
+    ("p50_ms", Json.num r.p50_ms);
+    ("p90_ms", Json.num r.p90_ms);
+    ("p99_ms", Json.num r.p99_ms);
+    (* the full latency distribution (seconds) with bucket bounds, so
+       offline analysis can recompute any percentile exactly *)
+    ("latency_s", Metrics.json_of_snapshot r.latency);
+  ]
+
+let report_json r =
+  let module Json = Dpoaf_util.Json in
+  Json.obj (("schema", Json.str "dpoaf-loadgen/1") :: report_fields r)
+
+(* ---------------- saturation sweep ---------------- *)
+
+type sweep = { start_rps : float; step_rps : float; max_rps : float }
+
+let sweep_of_string s =
+  match String.split_on_char ':' (String.trim s) with
+  | [ a; b; c ] -> (
+      match
+        (float_of_string_opt a, float_of_string_opt b, float_of_string_opt c)
+      with
+      | Some start_rps, Some step_rps, Some max_rps
+        when start_rps > 0.0 && step_rps > 0.0 && max_rps >= start_rps ->
+          Ok { start_rps; step_rps; max_rps }
+      | Some _, Some _, Some _ ->
+          Error "sweep needs START > 0, STEP > 0 and MAX >= START"
+      | _ -> Error "sweep bounds must be numbers")
+  | _ -> Error "sweep must be START:STEP:MAX (requests per second)"
+
+type level = { offered_rps : float; sustained : bool; level_report : report }
+
+type sweep_report = {
+  levels : level list;  (* in offered-rate order; stops after first failure *)
+  p99_budget_ms : float;
+  knee_offered_rps : float;  (* highest sustained offered rate; 0 if none *)
+  max_rps_at_p99 : float;  (* achieved rps at the knee level; 0 if none *)
+}
+
+(* A level is sustained when the server kept up within the latency budget
+   and shed nothing: every request answered [ok] and p99 under budget.
+   The knee is the last sustained level; the sweep stops at the first
+   failure (levels above it would only re-measure a saturated server). *)
+let sustained_level ~p99_budget_ms r =
+  r.completed = r.sent && r.rejected = 0 && r.expired = 0 && r.errors = 0
+  && r.protocol_errors = 0
+  && r.p99_ms <= p99_budget_ms
+
+let run_sweep ?(progress = fun _ -> ()) config ~sweep ~p99_budget_ms =
+  if p99_budget_ms <= 0.0 then
+    invalid_arg "Loadgen.run_sweep: p99 budget must be > 0";
+  let rec go acc rate =
+    if rate > sweep.max_rps +. 1e-9 then List.rev acc
+    else begin
+      let r = run { config with rate } in
+      let sustained = sustained_level ~p99_budget_ms r in
+      let lvl = { offered_rps = rate; sustained; level_report = r } in
+      progress lvl;
+      if sustained then go (lvl :: acc) (rate +. sweep.step_rps)
+      else List.rev (lvl :: acc)
+    end
+  in
+  let levels = go [] sweep.start_rps in
+  let knee =
+    List.fold_left
+      (fun acc lvl -> if lvl.sustained then Some lvl else acc)
+      None levels
+  in
+  {
+    levels;
+    p99_budget_ms;
+    knee_offered_rps =
+      (match knee with Some l -> l.offered_rps | None -> 0.0);
+    max_rps_at_p99 =
+      (match knee with Some l -> l.level_report.achieved_rps | None -> 0.0);
+  }
+
+let print_level lvl =
+  Printf.printf "sweep level: offered_rps=%.1f sustained=%b " lvl.offered_rps
+    lvl.sustained;
+  print_report lvl.level_report
+
+let print_sweep_report s =
+  Printf.printf
+    "sweep: levels=%d p99_budget_ms=%g knee_offered_rps=%.1f \
+     max_rps_at_p99=%.1f\n\
+     %!"
+    (List.length s.levels) s.p99_budget_ms s.knee_offered_rps s.max_rps_at_p99
+
+let sweep_report_json s =
+  let module Json = Dpoaf_util.Json in
   Json.obj
     [
       ("schema", Json.str "dpoaf-loadgen/1");
-      ("sent", n r.sent);
-      ("completed", n r.completed);
-      ("ok", n r.ok);
-      ("rejected", n r.rejected);
-      ("expired", n r.expired);
-      ("errors", n r.errors);
-      ("protocol_errors", n r.protocol_errors);
-      ("elapsed_s", Json.num r.elapsed_s);
-      ("achieved_rps", Json.num r.achieved_rps);
-      ("p50_ms", Json.num r.p50_ms);
-      ("p90_ms", Json.num r.p90_ms);
-      ("p99_ms", Json.num r.p99_ms);
-      (* the full latency distribution (seconds) with bucket bounds, so
-         offline analysis can recompute any percentile exactly *)
-      ("latency_s", Metrics.json_of_snapshot (Metrics.snapshot latency_h));
+      ("mode", Json.str "sweep");
+      ("p99_budget_ms", Json.num s.p99_budget_ms);
+      ("knee_offered_rps", Json.num s.knee_offered_rps);
+      ("max_rps_at_p99", Json.num s.max_rps_at_p99);
+      ( "levels",
+        Json.arr
+          (List.map
+             (fun lvl ->
+               Json.obj
+                 (("offered_rps", Json.num lvl.offered_rps)
+                 :: ("sustained", Json.Bool lvl.sustained)
+                 :: report_fields lvl.level_report))
+             s.levels) );
     ]

@@ -83,6 +83,17 @@ type rround = {
   rr_feedback : explanation list option;
 }
 
+(* Per-shard liveness twin of the aggregate health fields.  A single-shard
+   daemon reports an empty list and its health encoding stays byte-identical
+   to the pre-sharding wire format. *)
+type shard_health = {
+  sh_shard : string;  (* e.g. "shard0" *)
+  sh_queue_depth : int;
+  sh_in_flight : int;
+  sh_requests : int;  (* admissions routed to this shard so far *)
+  sh_draining : bool;
+}
+
 type body =
   | Generated of { steps : string list; tokens : int list; profile : profile }
   | Verified of { profile : profile; explanations : explanation list option }
@@ -114,6 +125,7 @@ type body =
       in_flight_batches : int;
       draining : bool;
       domains : (string * int) list;
+      shards : shard_health list;
     }
   | Rejected of string
   | Expired
@@ -313,20 +325,48 @@ let json_of_response r =
                 ("runtime", nums runtime);
               ] );
         ]
-    | Health_report { queue_depth; in_flight_batches; draining; domains } ->
+    | Health_report { queue_depth; in_flight_batches; draining; domains; shards }
+      ->
+        (* [shards] is encoded only when non-empty, so an unsharded
+           daemon's health line is byte-identical to the pre-fleet wire *)
+        let jshards =
+          match shards with
+          | [] -> []
+          | _ ->
+              [
+                ( "shards",
+                  Json.arr
+                    (List.map
+                       (fun s ->
+                         Json.obj
+                           [
+                             ("shard", Json.str s.sh_shard);
+                             ( "queue_depth",
+                               Json.num (float_of_int s.sh_queue_depth) );
+                             ( "in_flight",
+                               Json.num (float_of_int s.sh_in_flight) );
+                             ( "requests",
+                               Json.num (float_of_int s.sh_requests) );
+                             ("draining", Json.Bool s.sh_draining);
+                           ])
+                       shards) );
+              ]
+        in
         [
           ( "health",
             Json.obj
-              [
-                ("queue_depth", Json.num (float_of_int queue_depth));
-                ("in_flight_batches", Json.num (float_of_int in_flight_batches));
-                ("draining", Json.Bool draining);
-                ( "domains",
-                  Json.obj
-                    (List.map
-                       (fun (d, n) -> (d, Json.num (float_of_int n)))
-                       domains) );
-              ] );
+              ([
+                 ("queue_depth", Json.num (float_of_int queue_depth));
+                 ( "in_flight_batches",
+                   Json.num (float_of_int in_flight_batches) );
+                 ("draining", Json.Bool draining);
+                 ( "domains",
+                   Json.obj
+                     (List.map
+                        (fun (d, n) -> (d, Json.num (float_of_int n)))
+                        domains) );
+               ]
+              @ jshards) );
         ]
     | Rejected reason -> [ ("reason", Json.str reason) ]
     | Expired -> []
@@ -617,6 +657,21 @@ let refined_of_json j =
          rounds;
        })
 
+let shard_health_of_json j =
+  let* sh_shard = str_field "shard" j in
+  let* qd = num_field "queue_depth" j in
+  let* infl = num_field "in_flight" j in
+  let* reqs = num_field "requests" j in
+  let* sh_draining = opt_bool_field "draining" j in
+  Ok
+    {
+      sh_shard;
+      sh_queue_depth = int_of_float qd;
+      sh_in_flight = int_of_float infl;
+      sh_requests = int_of_float reqs;
+      sh_draining;
+    }
+
 let health_report_of_json j =
   let* queue_depth = num_field "queue_depth" j in
   let* in_flight = num_field "in_flight_batches" j in
@@ -627,6 +682,21 @@ let health_report_of_json j =
     | _ -> Error "field \"draining\" must be a boolean"
   in
   let* domains = num_assoc_field "domains" j in
+  let* shards =
+    match Json.member "shards" j with
+    | None | Some Json.Null -> Ok []
+    | Some v -> (
+        match Json.to_list v with
+        | None -> Error "field \"shards\" must be an array"
+        | Some items ->
+            let rec go acc = function
+              | [] -> Ok (List.rev acc)
+              | x :: rest ->
+                  let* s = shard_health_of_json x in
+                  go (s :: acc) rest
+            in
+            go [] items)
+  in
   Ok
     (Health_report
        {
@@ -634,6 +704,7 @@ let health_report_of_json j =
          in_flight_batches = int_of_float in_flight;
          draining;
          domains = List.map (fun (k, v) -> (k, int_of_float v)) domains;
+         shards;
        })
 
 let body_of_json status j =

@@ -110,6 +110,19 @@ type rround = {
 }
 (** One round of a repair trajectory, as carried on the wire. *)
 
+type shard_health = {
+  sh_shard : string;  (** shard name, e.g. ["shard0"] *)
+  sh_queue_depth : int;  (** requests waiting in this shard's admission *)
+  sh_in_flight : int;  (** batches/requests this shard is executing *)
+  sh_requests : int;  (** admissions routed to this shard so far *)
+  sh_draining : bool;
+}
+(** Per-shard liveness twin of the aggregate {!Health_report} fields.
+    Reported by a sharded daemon so load imbalance and per-shard
+    backpressure are visible; an unsharded daemon reports an empty list,
+    which is {e not encoded} — its health line stays byte-identical to
+    the pre-fleet wire format. *)
+
 type body =
   | Generated of { steps : string list; tokens : int list; profile : profile }
   | Verified of {
@@ -154,10 +167,13 @@ type body =
           (** {!Dpoaf_exec.Metrics.runtime_gauges} at answer time *)
     }  (** Answer to {!Stats}; serialized under a single ["stats"] member. *)
   | Health_report of {
-      queue_depth : int;
-      in_flight_batches : int;
+      queue_depth : int;  (** summed across shards when sharded *)
+      in_flight_batches : int;  (** summed across shards when sharded *)
       draining : bool;
       domains : (string * int) list;  (** per-domain request counters *)
+      shards : shard_health list;
+          (** per-shard breakdown; empty (and unencoded) when the daemon
+              runs a single unsharded server *)
     }  (** Answer to {!Health}; serialized under a single ["health"]
           member. *)
   | Rejected of string  (** admission control refused the request *)

@@ -32,6 +32,8 @@ type config = {
 let default_config =
   { jobs = 1; max_batch = 32; flush_ms = 5.0; queue_capacity = 256 }
 
+type batching = [ `Flush | `Continuous ]
+
 type ticket = {
   req : Protocol.request;
   submitted : float;
@@ -45,14 +47,20 @@ type ticket = {
 
 type t = {
   config : config;
+  batching : batching;
+  label : string option;
   handler : Protocol.request -> Protocol.body;
   queue : ticket Admission.t;
-  pool : Pool.t;
-  mutable dispatcher : unit Domain.t option;
+  pool : Pool.t option;  (* [`Flush] only; [`Continuous] workers are domains *)
+  mutable workers : unit Domain.t list;
   state_mutex : Mutex.t;
   mutable draining : bool;
   journal : Journal.t option;
-  in_flight : int Atomic.t;  (* batches currently executing *)
+  in_flight : int Atomic.t;  (* batches ([`Flush]) or requests executing *)
+  admitted : int Atomic.t;  (* instance-local: the shared serve.accepted
+                               counter sums every shard *)
+  in_flight_g : Metrics.gauge;
+  requests_c : Metrics.counter option;  (* per-shard twin, labelled only *)
 }
 
 (* ---------------- instrumentation ---------------- *)
@@ -67,7 +75,6 @@ let queue_wait_h = Metrics.histogram "serve.queue_wait"
 let execute_h = Metrics.histogram "serve.execute"
 let latency_h = Metrics.histogram "serve.latency"
 let batch_size_h = Metrics.histogram "serve.batch_size"
-let in_flight_g = Metrics.gauge "serve.batches.in_flight"
 
 let kind_name = function
   | Protocol.Generate _ -> "generate"
@@ -79,6 +86,13 @@ let kind_name = function
 
 let journal_event journal ev attrs =
   match journal with None -> () | Some j -> Journal.emit j ev attrs
+
+(* labelled (sharded) servers stamp every journal event with their shard
+   name so a merged journal can be split back out per replica *)
+let shard_attrs label attrs =
+  match label with
+  | None -> attrs
+  | Some l -> ("shard", Dpoaf_util.Json.str l) :: attrs
 
 (* ---------------- ticket completion ---------------- *)
 
@@ -127,14 +141,51 @@ let finish ticket ~t_dequeue ~t_exec_start ~t_end body =
 
 (* ---------------- dispatch ---------------- *)
 
-let run_batch t tickets =
+let expired_at ~t_dequeue ticket =
+  match ticket.deadline with Some d -> t_dequeue > d | None -> false
+
+let expire_ticket t ~t_dequeue ticket =
+  Metrics.incr expired_c;
+  journal_event t.journal "serve.expire"
+    (shard_attrs t.label
+       [
+         ("id", Json.str ticket.req.Protocol.id);
+         ("waited_ms", Json.num ((t_dequeue -. ticket.submitted) *. 1e3));
+       ]);
+  finish ticket ~t_dequeue ~t_exec_start:t_dequeue ~t_end:t_dequeue
+    Protocol.Expired
+
+let execute_ticket t ~t_dequeue ticket =
+  let t_exec_start = Unix.gettimeofday () in
+  let body =
+    try t.handler ticket.req with e -> Protocol.Failed (Printexc.to_string e)
+  in
+  let t_end = Unix.gettimeofday () in
+  Metrics.observe execute_h (t_end -. t_exec_start);
+  Metrics.observe latency_h (t_end -. ticket.submitted);
+  Metrics.incr completed_c;
+  (match body with Protocol.Failed _ -> Metrics.incr errors_c | _ -> ());
+  journal_event t.journal "serve.request"
+    (shard_attrs t.label
+       [
+         ("id", Json.str ticket.req.Protocol.id);
+         ("kind", Json.str (kind_name ticket.req.Protocol.kind));
+         ("status", Json.str (Protocol.status_of_body body));
+         ("queue_wait_us", Json.num ((t_dequeue -. ticket.submitted) *. 1e6));
+         ("execute_us", Json.num ((t_end -. t_exec_start) *. 1e6));
+       ]);
+  finish ticket ~t_dequeue ~t_exec_start ~t_end body
+
+let set_in_flight t = Metrics.set_gauge t.in_flight_g (float_of_int (Atomic.get t.in_flight))
+
+let run_batch t pool tickets =
   let t_dequeue = Unix.gettimeofday () in
   Atomic.incr t.in_flight;
-  Metrics.set_gauge in_flight_g (float_of_int (Atomic.get t.in_flight));
+  set_in_flight t;
   Fun.protect
     ~finally:(fun () ->
       Atomic.decr t.in_flight;
-      Metrics.set_gauge in_flight_g (float_of_int (Atomic.get t.in_flight)))
+      set_in_flight t)
   @@ fun () ->
   Metrics.incr batches_c;
   Metrics.observe batch_size_h (float_of_int (List.length tickets));
@@ -143,94 +194,106 @@ let run_batch t tickets =
     tickets;
   (* deadline gate: expired requests are answered, counted and dropped
      before any execution slot is spent on them *)
-  let expired, alive =
-    List.partition
-      (fun ticket ->
-        match ticket.deadline with
-        | Some d -> t_dequeue > d
-        | None -> false)
-      tickets
-  in
+  let expired, alive = List.partition (expired_at ~t_dequeue) tickets in
   journal_event t.journal "serve.batch"
-    [
-      ("size", Json.num (float_of_int (List.length tickets)));
-      ("expired", Json.num (float_of_int (List.length expired)));
-    ];
-  List.iter
-    (fun ticket ->
-      Metrics.incr expired_c;
-      journal_event t.journal "serve.expire"
-        [
-          ("id", Json.str ticket.req.Protocol.id);
-          ("waited_ms", Json.num ((t_dequeue -. ticket.submitted) *. 1e3));
-        ];
-      finish ticket ~t_dequeue ~t_exec_start:t_dequeue ~t_end:t_dequeue
-        Protocol.Expired)
-    expired;
-  ignore
-    (Pool.map_on_pool t.pool
-       (fun ticket ->
-         let t_exec_start = Unix.gettimeofday () in
-         let body =
-           try t.handler ticket.req
-           with e -> Protocol.Failed (Printexc.to_string e)
-         in
-         let t_end = Unix.gettimeofday () in
-         Metrics.observe execute_h (t_end -. t_exec_start);
-         Metrics.observe latency_h (t_end -. ticket.submitted);
-         Metrics.incr completed_c;
-         (match body with
-         | Protocol.Failed _ -> Metrics.incr errors_c
-         | _ -> ());
-         journal_event t.journal "serve.request"
-           [
-             ("id", Json.str ticket.req.Protocol.id);
-             ("kind", Json.str (kind_name ticket.req.Protocol.kind));
-             ("status", Json.str (Protocol.status_of_body body));
-             ("queue_wait_us", Json.num ((t_dequeue -. ticket.submitted) *. 1e6));
-             ("execute_us", Json.num ((t_end -. t_exec_start) *. 1e6));
-           ];
-         finish ticket ~t_dequeue ~t_exec_start ~t_end body)
-       alive)
+    (shard_attrs t.label
+       [
+         ("size", Json.num (float_of_int (List.length tickets)));
+         ("expired", Json.num (float_of_int (List.length expired)));
+       ]);
+  List.iter (expire_ticket t ~t_dequeue) expired;
+  ignore (Pool.map_on_pool pool (execute_ticket t ~t_dequeue) alive)
 
-let rec dispatch_loop t =
+let rec dispatch_loop t pool =
   match
     Admission.pop_batch t.queue ~max:t.config.max_batch
       ~flush_s:(t.config.flush_ms /. 1000.0)
   with
   | None -> ()
   | Some tickets ->
-      run_batch t tickets;
-      dispatch_loop t
+      run_batch t pool tickets;
+      dispatch_loop t pool
+
+(* continuous batching: each worker holds one in-flight slot and refills
+   it the moment its previous request completes, so the "batch" is the
+   set of busy workers and never drains between flush windows *)
+let rec worker_loop t =
+  match Admission.pop_one t.queue with
+  | None -> ()
+  | Some ticket ->
+      let t_dequeue = Unix.gettimeofday () in
+      Atomic.incr t.in_flight;
+      set_in_flight t;
+      Fun.protect
+        ~finally:(fun () ->
+          Atomic.decr t.in_flight;
+          set_in_flight t)
+        (fun () ->
+          Metrics.observe queue_wait_h (t_dequeue -. ticket.submitted);
+          if expired_at ~t_dequeue ticket then expire_ticket t ~t_dequeue ticket
+          else execute_ticket t ~t_dequeue ticket);
+      worker_loop t
 
 (* ---------------- public API ---------------- *)
 
-let create ?(config = default_config) ?journal ~handler () =
+let create ?(config = default_config) ?(batching = `Flush) ?label ?journal
+    ~handler () =
   if config.jobs < 1 then invalid_arg "Server.create: jobs must be >= 1";
   if config.max_batch < 1 then
     invalid_arg "Server.create: max_batch must be >= 1";
   if config.flush_ms < 0.0 then
     invalid_arg "Server.create: flush_ms must be >= 0";
+  (* an unlabelled server keeps the historical metric names; a labelled
+     (sharded) one gets per-shard twins alongside the shared process-wide
+     counters/histograms, which all shards still feed *)
+  let prefix =
+    match label with None -> "serve" | Some l -> "serve." ^ l
+  in
+  let pool =
+    match batching with
+    | `Flush -> Some (Pool.create ~jobs:config.jobs)
+    | `Continuous -> None
+  in
   let t =
     {
       config;
+      batching;
+      label;
       handler;
       queue =
         Admission.create ~capacity:config.queue_capacity
-          ~gauge_name:"serve.queue.depth";
-      pool = Pool.create ~jobs:config.jobs;
-      dispatcher = None;
+          ~gauge_name:(prefix ^ ".queue.depth");
+      pool;
+      workers = [];
       state_mutex = Mutex.create ();
       draining = false;
       journal;
       in_flight = Atomic.make 0;
+      admitted = Atomic.make 0;
+      in_flight_g =
+        Metrics.gauge
+          (match label with
+          | None -> "serve.batches.in_flight"
+          | Some _ -> prefix ^ ".in_flight");
+      requests_c =
+        (match label with
+        | None -> None
+        | Some _ -> Some (Metrics.counter (prefix ^ ".requests")));
     }
   in
-  t.dispatcher <- Some (Domain.spawn (fun () -> dispatch_loop t));
+  t.workers <-
+    (match (batching, pool) with
+    | `Flush, Some pool -> [ Domain.spawn (fun () -> dispatch_loop t pool) ]
+    | `Continuous, _ ->
+        List.init config.jobs (fun _ -> Domain.spawn (fun () -> worker_loop t))
+    | `Flush, None -> assert false);
   t
 
 let config t = t.config
+let batching t = t.batching
+let label t = t.label
 let queue_depth t = Admission.depth t.queue
+let admitted t = Atomic.get t.admitted
 
 type health = { queue_depth : int; in_flight_batches : int; draining : bool }
 
@@ -259,7 +322,11 @@ let submit_async ?on_done t req =
       tcond = Condition.create ();
     }
   in
-  if Admission.try_push t.queue ticket then Metrics.incr accepted_c
+  if Admission.try_push t.queue ticket then begin
+    Metrics.incr accepted_c;
+    Atomic.incr t.admitted;
+    match t.requests_c with Some c -> Metrics.incr c | None -> ()
+  end
   else begin
     Metrics.incr rejected_c;
     let reason =
@@ -268,7 +335,8 @@ let submit_async ?on_done t req =
         Printf.sprintf "queue full (capacity %d)" t.config.queue_capacity
     in
     journal_event t.journal "serve.reject"
-      [ ("id", Json.str req.Protocol.id); ("reason", Json.str reason) ];
+      (shard_attrs t.label
+         [ ("id", Json.str req.Protocol.id); ("reason", Json.str reason) ]);
     complete ticket
       {
         Protocol.rid = req.Protocol.id;
@@ -298,14 +366,13 @@ let submit t req = await (submit_async t req)
 
 let drain t =
   journal_event t.journal "serve.drain"
-    [ ("queue_depth", Json.num (float_of_int (Admission.depth t.queue))) ];
+    (shard_attrs t.label
+       [ ("queue_depth", Json.num (float_of_int (Admission.depth t.queue))) ]);
   Mutex.lock t.state_mutex;
   t.draining <- true;
-  let dispatcher = t.dispatcher in
-  t.dispatcher <- None;
+  let workers = t.workers in
+  t.workers <- [];
   Mutex.unlock t.state_mutex;
   Admission.close t.queue;
-  (match dispatcher with
-  | Some d -> Domain.join d
-  | None -> ());
-  Pool.shutdown t.pool
+  List.iter Domain.join workers;
+  match t.pool with Some pool -> Pool.shutdown pool | None -> ()

@@ -35,20 +35,38 @@ val default_config : config
 (** [jobs = 1], [max_batch = 32], [flush_ms = 5.0],
     [queue_capacity = 256]. *)
 
+type batching = [ `Flush  (** dispatcher + dynamic batches (historical) *)
+  | `Continuous
+    (** [jobs] worker domains, each refilling its in-flight slot the
+        moment its previous request completes — no batch boundaries, so
+        a slow request never stalls the rest of its batch.  [max_batch]
+        and [flush_ms] are ignored; [serve.batch] events and the
+        [serve.batches]/[serve.batch_size] metrics are not produced. *) ]
+
 type t
 
 val create :
   ?config:config ->
+  ?batching:batching ->
+  ?label:string ->
   ?journal:Journal.t ->
   handler:(Protocol.request -> Protocol.body) ->
   unit ->
   t
-(** Spawn the dispatcher domain and worker pool.  [handler] runs on pool
-    workers and must be safe to call from any domain; exceptions it raises
-    become [Failed] bodies.  [journal], when given, receives the serving
-    events listed above; the server buffers through the journal's ring and
-    never flushes it itself — the owning loop should call
-    {!Journal.flush} periodically.
+(** Spawn the dispatcher domain and worker pool ([`Flush], the default)
+    or [jobs] continuous-batching worker domains ([`Continuous]).
+    [handler] runs on pool workers and must be safe to call from any
+    domain; exceptions it raises become [Failed] bodies.  [journal], when
+    given, receives the serving events listed above; the server buffers
+    through the journal's ring and never flushes it itself — the owning
+    loop should call {!Journal.flush} periodically.
+
+    [label] names this server as one shard of a fleet: the queue-depth
+    and in-flight gauges move to [serve.<label>.queue.depth] /
+    [serve.<label>.in_flight], an extra [serve.<label>.requests] counter
+    counts admissions, and every journal event carries a ["shard"]
+    attribute.  The process-wide [serve.*] counters and histograms are
+    still fed by every shard, so fleet totals need no aggregation step.
     @raise Invalid_argument on non-positive [jobs]/[max_batch] or negative
     [flush_ms]. *)
 
@@ -77,14 +95,24 @@ val drain : t -> unit
     the dispatcher and shut the pool down.  Idempotent. *)
 
 val config : t -> config
+
+val batching : t -> batching
+val label : t -> string option
 val queue_depth : t -> int
+
+val admitted : t -> int
+(** Requests this instance has admitted over its lifetime — instance
+    local, unlike the process-wide [serve.accepted] counter that every
+    shard feeds. *)
 
 (** {1 Ops plane} *)
 
 type health = {
   queue_depth : int;  (** requests waiting in admission *)
-  in_flight_batches : int;  (** batches currently executing (0 or 1 with
-      the single dispatcher) *)
+  in_flight_batches : int;
+      (** batches currently executing (0 or 1 with the [`Flush]
+          dispatcher); under [`Continuous] batching, the number of
+          requests currently executing (at most [jobs]) *)
   draining : bool;
 }
 

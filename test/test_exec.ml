@@ -445,6 +445,42 @@ let prop_snapshot_merge_monotone =
       && Metrics.merge_snapshots a (snap []) = a
       && Metrics.merge_snapshots (snap []) b = b)
 
+(* diff_snapshots recovers exactly the window between two snapshots of
+   one histogram: bucket-for-bucket it equals a fresh histogram fed only
+   the second batch (what loadgen relies on to give each sweep level its
+   own percentiles), and diffing a snapshot against itself is empty *)
+let prop_snapshot_diff_window =
+  let positive = QCheck.Gen.map (fun x -> 1e-6 +. (x *. 1e4)) (QCheck.Gen.float_bound_exclusive 1.0) in
+  let samples = QCheck.Gen.(list_size (int_range 0 100) positive) in
+  QCheck.Test.make ~count:100
+    ~name:"snapshot diff recovers the inter-snapshot window"
+    (QCheck.make
+       ~print:QCheck.Print.(pair (list float) (list float))
+       (QCheck.Gen.pair samples samples))
+    (fun (xs, ys) ->
+      let fresh vs =
+        incr hist_counter;
+        let h =
+          Metrics.histogram (Printf.sprintf "test.hist.diff%d" !hist_counter)
+        in
+        List.iter (Metrics.observe h) vs;
+        h
+      in
+      let h = fresh xs in
+      let a = Metrics.snapshot h in
+      List.iter (Metrics.observe h) ys;
+      let b = Metrics.snapshot h in
+      let w = Metrics.diff_snapshots b a in
+      let oracle = Metrics.snapshot (fresh ys) in
+      let nonzero s =
+        List.filter (fun (_, _, c) -> c > 0) s.Metrics.buckets
+      in
+      w.Metrics.count = List.length ys
+      && abs_float (w.Metrics.sum -. oracle.Metrics.sum) < 1e-6
+      && nonzero w = nonzero oracle
+      && (Metrics.diff_snapshots b b).Metrics.count = 0
+      && (Metrics.diff_snapshots b b).Metrics.buckets = [])
+
 let qsuite name tests =
   (name, List.map (QCheck_alcotest.to_alcotest ~verbose:false) tests)
 
@@ -497,5 +533,9 @@ let () =
         (List.concat_map
            (fun k -> [ prop_parallel_map_pure k; prop_parallel_mapi_pure k ])
            [ 1; 2; 4 ]
-        @ [ prop_histogram_percentile; prop_snapshot_merge_monotone ]);
+        @ [
+            prop_histogram_percentile;
+            prop_snapshot_merge_monotone;
+            prop_snapshot_diff_window;
+          ]);
     ]

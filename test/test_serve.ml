@@ -391,6 +391,7 @@ let test_ops_goldens () =
             in_flight_batches = 1;
             draining = false;
             domains = [ ("driving", 10); ("warehouse", 2) ];
+            shards = [];
           };
       queue_wait_us = 0.0;
       execute_us = 0.0;
@@ -547,6 +548,182 @@ let test_drain_completes_inflight () =
   (* idempotent *)
   Server.drain server
 
+(* ---------------- continuous batching ---------------- *)
+
+(* the worker-loop path (no dispatcher, no batch assembly) through the
+   same contract the flush tests pin: everything completes in ticket
+   order, a full queue rejects synchronously, drain answers every
+   admitted request and labeled servers publish shard-tagged metrics *)
+let test_continuous_server () =
+  let server =
+    Server.create
+      ~config:
+        { Server.jobs = 2; max_batch = 8; flush_ms = 2.0; queue_capacity = 64 }
+      ~batching:`Continuous ~label:"s9"
+      ~handler:(fun _ -> P.verified ok_profile)
+      ()
+  in
+  Alcotest.(check bool) "reports continuous" true
+    (Server.batching server = `Continuous);
+  Alcotest.(check (option string)) "reports its label" (Some "s9")
+    (Server.label server);
+  let tickets =
+    List.init 20 (fun i ->
+        Server.submit_async server (verify_request (Printf.sprintf "c%d" i)))
+  in
+  List.iteri
+    (fun i t ->
+      let r = Server.await t in
+      Alcotest.(check string) "id echoed" (Printf.sprintf "c%d" i) r.P.rid;
+      Alcotest.(check body_testable) "ok" (P.verified ok_profile) r.P.rbody)
+    tickets;
+  (* the labeled twins of the fleet metrics exist (and the admitted
+     counter drove the per-shard requests gauge the health rows report) *)
+  let keys = List.map fst (Metrics.summary ()) in
+  Alcotest.(check bool) "labeled queue-depth gauge" true
+    (List.mem "serve.s9.queue.depth.level" keys);
+  Alcotest.(check bool) "labeled in-flight gauge" true
+    (List.mem "serve.s9.in_flight.level" keys);
+  Alcotest.(check int) "admitted counts accepts" 20 (Server.admitted server);
+  Server.drain server;
+  let late = Server.submit_async server (verify_request "late") in
+  (match Server.peek late with
+  | Some { P.rbody = P.Rejected reason; _ } ->
+      Alcotest.(check bool) "late submission names draining" true
+        (contains reason "draining")
+  | _ -> Alcotest.fail "submission after drain must reject immediately");
+  Server.drain server
+
+let test_continuous_queue_full_reject () =
+  let server =
+    Server.create
+      ~config:
+        { Server.jobs = 1; max_batch = 1; flush_ms = 0.0; queue_capacity = 2 }
+      ~batching:`Continuous
+      ~handler:(fun _ -> Unix.sleepf 0.3; P.verified ok_profile)
+      ()
+  in
+  let blocker = Server.submit_async server (verify_request "b0") in
+  Unix.sleepf 0.02;
+  let queued =
+    [ Server.submit_async server (verify_request "b1");
+      Server.submit_async server (verify_request "b2") ]
+  in
+  let overflow = Server.submit_async server (verify_request "b3") in
+  (match Server.peek overflow with
+  | Some { P.rbody = P.Rejected reason; _ } ->
+      Alcotest.(check bool) "reason names the capacity" true
+        (contains reason "queue full (capacity 2)")
+  | Some r ->
+      Alcotest.failf "expected an immediate reject, got %s"
+        (P.status_of_body r.P.rbody)
+  | None -> Alcotest.fail "expected an immediate reject, got a pending ticket");
+  List.iter
+    (fun t ->
+      Alcotest.(check body_testable) "queued requests still complete"
+        (P.verified ok_profile) (Server.await t).P.rbody)
+    (blocker :: queued);
+  Server.drain server
+
+(* ---------------- router ---------------- *)
+
+let gen_request ?domain ?(id = "g") ?(seed = 1) task =
+  {
+    P.id;
+    kind = P.Generate { task; seed; temperature = 1.0; domain };
+    deadline_ms = None;
+  }
+
+(* FNV-1a/64 goldens: these exact shard assignments must hold forever —
+   a silent change to the hash or the key format would re-shuffle every
+   fleet's cache affinity on upgrade *)
+let test_router_goldens () =
+  let gen = gen_request "right_turn_tl" in
+  let ver = verify_request "v" in
+  let ver =
+    {
+      ver with
+      P.kind =
+        P.Verify
+          {
+            steps = [ "come to a complete stop"; "turn right" ];
+            scenario = None;
+            domain = None;
+            explain = false;
+          };
+    }
+  in
+  Alcotest.(check (option string)) "generate key"
+    (Some "prompt//right_turn_tl") (Router.shard_key gen);
+  Alcotest.(check (option string)) "verify key"
+    (Some "steps//come to a complete stop\x1fturn right")
+    (Router.shard_key ver);
+  Alcotest.(check int) "generate shards=4" 2 (Router.shard_for ~shards:4 gen);
+  Alcotest.(check int) "generate shards=2" 0 (Router.shard_for ~shards:2 gen);
+  Alcotest.(check int) "generate shards=8" 2 (Router.shard_for ~shards:8 gen);
+  Alcotest.(check int) "verify shards=4" 3 (Router.shard_for ~shards:4 ver);
+  Alcotest.(check int) "verify shards=2" 1 (Router.shard_for ~shards:2 ver);
+  (* the domain participates in the key: the same task in another pack
+     is another prompt *)
+  Alcotest.(check int) "domain-tagged generate shards=4" 1
+    (Router.shard_for ~shards:4 (gen_request ~domain:"driving" "right_turn_tl"));
+  (* ops verbs carry no prompt and pin to shard 0 *)
+  let health =
+    { P.id = "h"; kind = P.Health { domain = None }; deadline_ms = None }
+  in
+  Alcotest.(check (option string)) "ops have no key" None
+    (Router.shard_key health);
+  Alcotest.(check int) "ops route to shard 0" 0
+    (Router.shard_for ~shards:7 health);
+  Alcotest.(check int) "single shard is total" 0
+    (Router.shard_for ~shards:1 gen)
+
+(* routing is pure prompt affinity: always in range, invariant under
+   everything that is not the prompt identity (id, deadline, seed,
+   temperature, explain), and generate/refine of one task cohabit — they
+   fold the same prompt, so they must share a replica's cache *)
+let prop_router_stability =
+  let gen =
+    QCheck.Gen.(
+      triple (int_range 1 8)
+        (string_size ~gen:printable (int_range 0 12))
+        (list_size (int_range 0 4) (string_size ~gen:printable (int_range 0 8))))
+  in
+  QCheck.Test.make ~count:200
+    ~name:"router: in range, prompt-identity only, generate/refine cohabit"
+    (QCheck.make
+       ~print:(fun (s, t, steps) ->
+         Printf.sprintf "shards=%d task=%S steps=[%s]" s t
+           (String.concat ";" (List.map (Printf.sprintf "%S") steps)))
+       gen)
+    (fun (shards, task, steps) ->
+      let in_range i = 0 <= i && i < shards in
+      let g id seed = gen_request ~id ~seed task in
+      let refine id =
+        {
+          P.id;
+          kind =
+            P.Refine
+              { task; steps; seed = 3; scenario = None; domain = None;
+                explain = false; max_rounds = None; attempts = None };
+          deadline_ms = None;
+        }
+      in
+      let ver id explain deadline_ms =
+        {
+          P.id;
+          kind = P.Verify { steps; scenario = None; domain = None; explain };
+          deadline_ms;
+        }
+      in
+      let sg = Router.shard_for ~shards (g "a" 1) in
+      let sv = Router.shard_for ~shards (ver "v" false None) in
+      in_range sg && in_range sv
+      && sg = Router.shard_for ~shards (g "zzz" 999_999)
+      && sg = Router.shard_for ~shards (refine "r")
+      && sv = Router.shard_for ~shards (ver "w" true (Some 5.0))
+      && (shards > 1 || sg = 0))
+
 (* ---------------- determinism with the real engine ---------------- *)
 
 let corpus = lazy (Dpoaf_pipeline.Corpus.build ())
@@ -639,6 +816,217 @@ let test_jobs_determinism () =
            max_batch)
         true (got = base))
     [ (2, 4); (4, 32) ]
+
+(* one shared small model for the fleet tests: training is deterministic
+   (same seed as serve_all's), so sharing the weights keeps the matrix
+   comparable to the single-server baseline without retraining per shard *)
+let shared_lm = lazy (small_lm 11)
+
+let serve_fleet ~shards ~jobs ~batching requests =
+  let make_shard i =
+    let tag = if shards = 1 then None else Some (Router.shard_name i) in
+    let engine =
+      Engine.create ~lm:(Lazy.force shared_lm) ?tag ~corpus:(Lazy.force corpus)
+        ()
+    in
+    Server.create
+      ~config:
+        { Server.jobs; max_batch = 8; flush_ms = 1.0; queue_capacity = 256 }
+      ~batching ?label:tag ~handler:(Engine.handle engine) ()
+  in
+  let router = Router.create (Array.init shards make_shard) in
+  let tickets = List.map (Router.submit_async router) requests in
+  let rs = List.map Server.await tickets in
+  Router.drain router;
+  List.map (fun r -> (r.P.rid, r.P.rbody)) rs
+
+(* the tentpole invariant: sharding and continuous batching move only
+   queueing and cache temperature, never replies — every (shards, jobs,
+   batching) corner returns the serial single-server run bit for bit *)
+let test_shards_determinism () =
+  let base = serve_all ~jobs:1 ~max_batch:1 mixed_requests in
+  List.iter
+    (fun (id, b) ->
+      match b with
+      | P.Failed msg -> Alcotest.failf "%s failed: %s" id msg
+      | _ -> ())
+    base;
+  List.iter
+    (fun (shards, jobs, batching) ->
+      let got = serve_fleet ~shards ~jobs ~batching mixed_requests in
+      Alcotest.(check bool)
+        (Printf.sprintf "shards=%d jobs=%d %s identical to serial" shards jobs
+           (match batching with `Flush -> "flush" | `Continuous -> "continuous"))
+        true (got = base))
+    [
+      (1, 2, `Continuous);
+      (2, 1, `Flush);
+      (2, 2, `Continuous);
+      (4, 2, `Continuous);
+    ]
+
+(* a full queue on one shard rejects synchronously without touching its
+   siblings, the per-shard health rows see exactly that picture, and a
+   fleet drain answers everything every shard admitted *)
+let test_shard_queue_isolation () =
+  let slow = Server.create
+      ~config:
+        { Server.jobs = 1; max_batch = 1; flush_ms = 0.0; queue_capacity = 2 }
+      ~batching:`Continuous ~label:"shard0"
+      ~handler:(fun req ->
+        (match req.P.id with "blocker" -> Unix.sleepf 0.3 | _ -> ());
+        P.verified ok_profile)
+      ()
+  in
+  let live = Server.create
+      ~config:
+        { Server.jobs = 1; max_batch = 1; flush_ms = 0.0; queue_capacity = 64 }
+      ~batching:`Continuous ~label:"shard1"
+      ~handler:(fun _ -> P.verified ok_profile)
+      ()
+  in
+  let router = Router.create [| slow; live |] in
+  (* craft steps that provably route to each shard — the pure function is
+     the oracle, so the test cannot drift from the router *)
+  let to_shard shard id =
+    let rec go i =
+      let r =
+        {
+          P.id;
+          kind =
+            P.Verify
+              { steps = [ "probe"; string_of_int i ]; scenario = None;
+                domain = None; explain = false };
+          deadline_ms = None;
+        }
+      in
+      if Router.shard_for ~shards:2 r = shard then r else go (i + 1)
+    in
+    go 0
+  in
+  let blocker = Router.submit_async router (to_shard 0 "blocker") in
+  Unix.sleepf 0.02;
+  let queued =
+    [ Router.submit_async router (to_shard 0 "q1");
+      Router.submit_async router (to_shard 0 "q2") ]
+  in
+  let overflow = Router.submit_async router (to_shard 0 "q3") in
+  (match Server.peek overflow with
+  | Some { P.rbody = P.Rejected reason; _ } ->
+      Alcotest.(check bool) "shard 0 rejects at its own capacity" true
+        (contains reason "queue full (capacity 2)")
+  | _ -> Alcotest.fail "expected an immediate reject from the full shard");
+  (* the sibling shard is untouched by shard 0's saturation *)
+  let r = Server.await (Router.submit_async router (to_shard 1 "alive")) in
+  Alcotest.(check body_testable) "shard 1 still serves" (P.verified ok_profile)
+    r.P.rbody;
+  (* per-shard health rows see the asymmetry the aggregate hides *)
+  let rows = Router.shard_healths router in
+  Alcotest.(check (list string)) "rows use the server labels"
+    [ "shard0"; "shard1" ]
+    (List.map (fun s -> s.P.sh_shard) rows);
+  let row name = List.find (fun s -> s.P.sh_shard = name) rows in
+  Alcotest.(check int) "shard 0 queue holds the two queued" 2
+    ((row "shard0").P.sh_queue_depth);
+  Alcotest.(check int) "shard 1 queue is empty" 0
+    ((row "shard1").P.sh_queue_depth);
+  let agg = Router.health router in
+  Alcotest.(check int) "aggregate depth is the sum" 2 agg.Server.queue_depth;
+  Router.drain router;
+  List.iter
+    (fun t ->
+      match Server.peek t with
+      | Some r ->
+          Alcotest.(check body_testable) "admitted requests drain to answers"
+            (P.verified ok_profile) r.P.rbody
+      | None -> Alcotest.fail "fleet drain returned with an unanswered request")
+    (blocker :: queued)
+
+(* ---------------- daemon: TCP and Unix are one protocol ---------------- *)
+
+let normalized_response line =
+  match P.response_of_string line with
+  | Error e -> Alcotest.failf "daemon sent an unparseable line: %s" e
+  | Ok r ->
+      P.response_to_string { r with P.queue_wait_us = 0.0; execute_us = 0.0 }
+
+let roundtrip_over fd requests =
+  let ic = Unix.in_channel_of_descr fd in
+  let oc = Unix.out_channel_of_descr fd in
+  List.iter
+    (fun r ->
+      output_string oc (P.request_to_string r);
+      output_char oc '\n')
+    requests;
+  flush oc;
+  let lines = List.map (fun _ -> input_line ic) requests in
+  let normalized = List.sort compare (List.map normalized_response lines) in
+  Unix.close fd;
+  normalized
+
+(* the same pipelined batch over the Unix socket and the TCP listener
+   must come back byte-identical (timings zeroed, order ignored: clients
+   may pipeline and responses carry ids) *)
+let test_daemon_transport_identity () =
+  let socket = Filename.temp_file "dpoaf-daemon" ".sock" in
+  Sys.remove socket;
+  let make_shard i =
+    let engine =
+      Engine.create ~lm:(Lazy.force shared_lm)
+        ~tag:(Router.shard_name i) ~corpus:(Lazy.force corpus) ()
+    in
+    Server.create
+      ~config:
+        { Server.jobs = 1; max_batch = 8; flush_ms = 1.0; queue_capacity = 64 }
+      ~batching:`Continuous ~label:(Router.shard_name i)
+      ~handler:(Engine.handle engine) ()
+  in
+  let router = Router.create (Array.init 2 make_shard) in
+  let port = Atomic.make 0 in
+  let daemon =
+    Domain.spawn (fun () ->
+        Daemon.run ~socket ~tcp_port:0
+          ~on_tcp_listen:(fun p -> Atomic.set port p)
+          ~router ())
+  in
+  let deadline = Unix.gettimeofday () +. 10.0 in
+  while Atomic.get port = 0 && Unix.gettimeofday () < deadline do
+    Unix.sleepf 0.01
+  done;
+  if Atomic.get port = 0 then Alcotest.fail "daemon did not bind its TCP port";
+  let requests =
+    List.filter
+      (fun r ->
+        match r.P.kind with P.Refine _ -> false | _ -> true)
+      mixed_requests
+  in
+  let over_unix () =
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    Unix.connect fd (Unix.ADDR_UNIX socket);
+    roundtrip_over fd requests
+  in
+  let over_tcp () =
+    let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    Unix.connect fd
+      (Unix.ADDR_INET (Unix.inet_addr_loopback, Atomic.get port));
+    roundtrip_over fd requests
+  in
+  let u = over_unix () in
+  let t = over_tcp () in
+  Alcotest.(check (list string)) "TCP equals Unix byte for byte" u t;
+  (* and both transports actually executed everything *)
+  List.iter
+    (fun line ->
+      match P.response_of_string line with
+      | Ok { P.rbody = P.Failed msg; rid; _ } ->
+          Alcotest.failf "%s failed: %s" rid msg
+      | Ok _ -> ()
+      | Error e -> Alcotest.fail e)
+    u;
+  Daemon.request_stop ();
+  let (_ : Daemon.stats) = Domain.join daemon in
+  Alcotest.(check bool) "socket file removed on shutdown" false
+    (Sys.file_exists socket)
 
 let test_prompt_state_cache_transparent () =
   (* Repeated generations for one task hit the prompt-state cache, and the
@@ -886,11 +1274,29 @@ let () =
           Alcotest.test_case "queue-full reject" `Quick test_queue_full_reject;
           Alcotest.test_case "drain completes in-flight" `Quick
             test_drain_completes_inflight;
+          Alcotest.test_case "continuous batching contract" `Quick
+            test_continuous_server;
+          Alcotest.test_case "continuous queue-full reject" `Quick
+            test_continuous_queue_full_reject;
+        ] );
+      ( "router",
+        [
+          Alcotest.test_case "FNV shard goldens" `Quick test_router_goldens;
+          QCheck_alcotest.to_alcotest ~verbose:false prop_router_stability;
+          Alcotest.test_case "per-shard queue isolation" `Quick
+            test_shard_queue_isolation;
+        ] );
+      ( "daemon",
+        [
+          Alcotest.test_case "TCP and Unix transport identity" `Quick
+            test_daemon_transport_identity;
         ] );
       ( "engine",
         [
           Alcotest.test_case "determinism across jobs" `Quick
             test_jobs_determinism;
+          Alcotest.test_case "determinism across shards and batching" `Quick
+            test_shards_determinism;
           Alcotest.test_case "prompt-state cache transparent" `Quick
             test_prompt_state_cache_transparent;
           Alcotest.test_case "graceful domain errors" `Quick

@@ -139,7 +139,10 @@ DAEMON_PID=
     cat "$OUT" >&2
     exit 1
 }
-for ev in daemon.start daemon.stop serve.batch serve.request serve.drain; do
+# serve.shard.up replaces serve.batch here: the default scheduler is
+# continuous batching (no batch-assembly events), and every replica
+# announces itself at startup instead.
+for ev in daemon.start daemon.stop serve.shard.up serve.request serve.drain; do
     grep -q "$ev" "$OUT" || {
         echo "obs-check: journal report missing $ev events" >&2
         cat "$OUT" >&2
